@@ -1,0 +1,111 @@
+// Fig 6 — context search: "return the content portion in the 'X' sections of
+// all the documents in a document collection".
+//
+// Series: context-search latency vs corpus size, with the text index on
+// (production path) and off (full-scan ablation, DESIGN.md Ablation B). The
+// paper's implicit claim is that section retrieval stays interactive at
+// collection scale because the text index prunes the candidate set.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "query/executor.h"
+#include "workload/query_workload.h"
+
+namespace {
+
+using namespace netmark;
+
+void RunQueries(const xmlstore::XmlStore* store, bool use_index,
+                benchmark::State& state) {
+  query::ExecuteOptions options;
+  options.use_text_index = use_index;
+  query::QueryExecutor executor(store, options);
+  workload::QueryWorkload workload(17);
+  size_t hits_total = 0;
+  size_t queries = 0;
+  for (auto _ : state) {
+    query::XdbQuery q = workload.Next(/*context_only=*/1.0, /*content_only=*/0.0);
+    auto hits = executor.Execute(q);
+    bench::Check(hits.status(), "query");
+    hits_total += hits->size();
+    ++queries;
+    benchmark::DoNotOptimize(hits->size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(queries));
+  state.counters["avg_hits"] =
+      queries == 0 ? 0 : static_cast<double>(hits_total) / static_cast<double>(queries);
+  state.counters["corpus_docs"] = static_cast<double>(store->document_count());
+}
+
+void BM_ContextSearchIndexed(benchmark::State& state) {
+  auto inst = bench::MakeLoadedInstance(static_cast<size_t>(state.range(0)));
+  RunQueries(inst.nm->store(), /*use_index=*/true, state);
+}
+BENCHMARK(BM_ContextSearchIndexed)
+    ->Arg(100)->Arg(400)->Arg(1600)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ContextSearchFullScan(benchmark::State& state) {
+  auto inst = bench::MakeLoadedInstance(static_cast<size_t>(state.range(0)));
+  RunQueries(inst.nm->store(), /*use_index=*/false, state);
+}
+BENCHMARK(BM_ContextSearchFullScan)
+    ->Arg(100)->Arg(400)->Arg(1600)
+    ->Unit(benchmark::kMicrosecond);
+
+// Content search at document granularity (the other Fig 6 query kind).
+void BM_ContentSearchIndexed(benchmark::State& state) {
+  auto inst = bench::MakeLoadedInstance(static_cast<size_t>(state.range(0)));
+  query::QueryExecutor executor(inst.nm->store());
+  workload::QueryWorkload workload(19);
+  for (auto _ : state) {
+    query::XdbQuery q = workload.Next(/*context_only=*/0.0, /*content_only=*/1.0);
+    auto hits = executor.Execute(q);
+    bench::Check(hits.status(), "query");
+    benchmark::DoNotOptimize(hits->size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ContentSearchIndexed)->Arg(400)->Arg(1600)->Unit(benchmark::kMicrosecond);
+
+void PrintLatencyTable() {
+  bench::ReportHeader("Fig 6: context search across a document collection",
+                      "index-pruned section retrieval stays fast as the "
+                      "collection grows; scans do not");
+  std::printf("%10s %16s %16s %10s\n", "docs", "indexed (ms)", "scan (ms)",
+              "speedup");
+  for (size_t n : {100, 400, 1600}) {
+    auto inst = bench::MakeLoadedInstance(n);
+    workload::QueryWorkload workload(17);
+    std::vector<query::XdbQuery> queries;
+    for (int i = 0; i < 40; ++i) queries.push_back(workload.Next(1.0, 0.0));
+
+    query::QueryExecutor indexed(inst.nm->store());
+    Stopwatch w1;
+    for (const auto& q : queries) bench::Check(indexed.Execute(q).status(), "q");
+    double indexed_ms = w1.ElapsedSeconds() * 1000 / static_cast<double>(queries.size());
+
+    query::ExecuteOptions scan_options;
+    scan_options.use_text_index = false;
+    query::QueryExecutor scanning(inst.nm->store(), scan_options);
+    Stopwatch w2;
+    for (const auto& q : queries) bench::Check(scanning.Execute(q).status(), "q");
+    double scan_ms = w2.ElapsedSeconds() * 1000 / static_cast<double>(queries.size());
+
+    std::printf("%10zu %16.3f %16.3f %9.1fx\n", n, indexed_ms, scan_ms,
+                scan_ms / indexed_ms);
+  }
+  std::printf("shape check: the scan column grows ~linearly with corpus size;\n"
+              "the indexed column grows with result size only.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintLatencyTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Shared helpers for the reproduction benchmarks.
+
+#ifndef NETMARK_BENCH_BENCH_UTIL_H_
+#define NETMARK_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "common/temp_dir.h"
+#include "core/netmark.h"
+#include "workload/corpus.h"
+
+namespace netmark::bench {
+
+inline void Check(const Status& st, const char* what) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "bench setup: %s failed: %s\n", what,
+                 st.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Unwrap(Result<T> result, const char* what) {
+  Check(result.status(), what);
+  return std::move(result).ValueOrDie();
+}
+
+/// A NETMARK instance pre-loaded with a mixed corpus of `n` documents.
+struct LoadedInstance {
+  std::unique_ptr<TempDir> dir;
+  std::unique_ptr<Netmark> nm;
+};
+
+inline LoadedInstance MakeLoadedInstance(size_t corpus_size, uint64_t seed = 2025) {
+  LoadedInstance inst;
+  inst.dir = std::make_unique<TempDir>(Unwrap(TempDir::Make("bench"), "temp dir"));
+  NetmarkOptions options;
+  options.data_dir = inst.dir->Sub("data").string();
+  inst.nm = Unwrap(Netmark::Open(options), "open");
+  workload::CorpusGenerator gen(seed);
+  for (const auto& doc : gen.MixedCorpus(corpus_size)) {
+    Check(inst.nm->IngestContent(doc.file_name, doc.content).status(), "ingest");
+  }
+  return inst;
+}
+
+/// Header line for the paper-shape report blocks each bench prints.
+inline void ReportHeader(const char* experiment, const char* claim) {
+  std::printf("\n=== %s ===\n", experiment);
+  std::printf("paper claim: %s\n", claim);
+}
+
+}  // namespace netmark::bench
+
+#endif  // NETMARK_BENCH_BENCH_UTIL_H_

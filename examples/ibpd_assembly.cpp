@@ -1,0 +1,105 @@
+// Integrated Budget Performance Document assembly (paper Table 1, §3).
+//
+// "While manual assembly of the IBPD can take several weeks, NETMARK was
+// used to extract and integrate information from thousands of NASA task
+// plans containing the required budget information and compose an
+// integrated IBPD document."
+//
+// This example ingests task plans (plain-text documents with numbered
+// sections), pulls every "Budget Summary" section with one context query,
+// and composes the integrated document with an XSLT stylesheet — the Fig 6/7
+// pipeline end to end. The result is written next to the data directory.
+//
+// Run: ./build/examples/ibpd_assembly [n_task_plans]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/clock.h"
+#include "common/temp_dir.h"
+#include "core/netmark.h"
+#include "workload/corpus.h"
+#include "xml/parser.h"
+
+namespace {
+
+void Check(const netmark::Status& st, const char* what) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, st.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Unwrap(netmark::Result<T> result, const char* what) {
+  Check(result.status(), what);
+  return std::move(result).ValueOrDie();
+}
+
+constexpr const char* kIbpdStylesheet =
+    "<xsl:stylesheet>"
+    "<xsl:template match=\"/\">"
+    "<ibpd title=\"Integrated Budget Performance Document\" fiscal-year=\"2005\">"
+    "<summary>"
+    "<xsl:text>Integrated from </xsl:text>"
+    "<xsl:value-of select=\"results/@count\"/>"
+    "<xsl:text> task plans.</xsl:text>"
+    "</summary>"
+    "<xsl:for-each select=\"results/result\">"
+    "<xsl:sort select=\"@doc\"/>"
+    "<budget-entry source=\"{@doc}\">"
+    "<xsl:value-of select=\"content\"/>"
+    "</budget-entry>"
+    "</xsl:for-each>"
+    "</ibpd>"
+    "</xsl:template>"
+    "</xsl:stylesheet>";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int n = argc > 1 ? std::atoi(argv[1]) : 200;
+  auto dir = Unwrap(netmark::TempDir::Make("ibpd"), "temp dir");
+  netmark::NetmarkOptions options;
+  options.data_dir = dir.Sub("data").string();
+  auto nm = Unwrap(netmark::Netmark::Open(options), "open");
+
+  netmark::Stopwatch ingest_watch;
+  netmark::workload::CorpusGenerator gen(1964);
+  for (int i = 0; i < n; ++i) {
+    auto doc = gen.TaskPlan(i);
+    Unwrap(nm->IngestContent(doc.file_name, doc.content), "ingest task plan");
+  }
+  double ingest_s = ingest_watch.ElapsedSeconds();
+
+  netmark::Stopwatch assemble_watch;
+  std::string ibpd = Unwrap(
+      nm->QueryAndTransform("context=%22Budget+Summary%22", kIbpdStylesheet),
+      "assemble IBPD");
+  double assemble_s = assemble_watch.ElapsedSeconds();
+
+  std::string out_path = dir.Sub("ibpd.xml").string();
+  Check(netmark::WriteFile(out_path, ibpd), "write IBPD");
+
+  // Validate the assembled artifact.
+  auto parsed = Unwrap(netmark::xml::ParseXml(ibpd), "parse IBPD");
+  auto entries = parsed.ChildElements(parsed.DocumentElement());
+  std::printf("task plans ingested:  %d (%.3f s)\n", n, ingest_s);
+  std::printf("IBPD sections:        %zu (assembled in %.3f s)\n",
+              entries.size() - 1 /* minus <summary> */, assemble_s);
+  std::printf("IBPD written to:      %s (%zu bytes)\n", out_path.c_str(),
+              ibpd.size());
+  std::printf("\nfirst entries:\n");
+  int shown = 0;
+  for (netmark::xml::NodeId entry : entries) {
+    if (parsed.name(entry) != "budget-entry") continue;
+    std::printf("  [%s] %.60s...\n",
+                std::string(parsed.GetAttribute(entry, "source")).c_str(),
+                parsed.TextContent(entry).c_str());
+    if (++shown == 5) break;
+  }
+  std::printf(
+      "\nThe paper reports manual IBPD assembly taking weeks; the NETMARK\n"
+      "pipeline above is one query plus one stylesheet.\n");
+  return 0;
+}

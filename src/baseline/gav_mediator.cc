@@ -1,0 +1,168 @@
+#include "baseline/gav_mediator.h"
+
+#include "common/string_util.h"
+
+namespace netmark::baseline {
+
+bool Predicate::Eval(const Record& record) const {
+  auto it = record.find(attribute);
+  if (it == record.end()) return false;
+  const std::string& actual = it->second;
+  auto lhs_num = netmark::ParseDouble(actual);
+  auto rhs_num = netmark::ParseDouble(value);
+  int cmp;
+  if (lhs_num.ok() && rhs_num.ok()) {
+    double a = *lhs_num;
+    double b = *rhs_num;
+    cmp = a < b ? -1 : (a > b ? 1 : 0);
+  } else {
+    cmp = actual.compare(value);
+    cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+  }
+  switch (op) {
+    case Op::kEq:
+      return cmp == 0;
+    case Op::kNe:
+      return cmp != 0;
+    case Op::kLt:
+      return cmp < 0;
+    case Op::kLe:
+      return cmp <= 0;
+    case Op::kGt:
+      return cmp > 0;
+    case Op::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+netmark::Status GavMediator::RegisterSource(RecordSource source) {
+  if (sources_.count(source.name) != 0) {
+    return netmark::Status::AlreadyExists("source " + source.name +
+                                          " already registered");
+  }
+  if (source.attributes.empty()) {
+    return netmark::Status::InvalidArgument("source " + source.name +
+                                            " needs a schema");
+  }
+  // Validate records against the declared schema — the rigidity the paper
+  // complains about is enforced, not just counted.
+  for (const Record& record : source.records) {
+    for (const auto& [attr, value] : record) {
+      bool declared = false;
+      for (const std::string& a : source.attributes) {
+        if (a == attr) {
+          declared = true;
+          break;
+        }
+      }
+      if (!declared) {
+        return netmark::Status::InvalidArgument(
+            "record attribute '" + attr + "' not in schema of " + source.name);
+      }
+    }
+  }
+  std::string name = source.name;
+  sources_[name] = std::move(source);
+  ++artifacts_;  // one authored source schema
+  return netmark::Status::OK();
+}
+
+netmark::Status GavMediator::DefineView(GlobalView view) {
+  if (views_.count(view.name) != 0) {
+    return netmark::Status::AlreadyExists("view " + view.name + " already defined");
+  }
+  for (const SourceMapping& mapping : view.mappings) {
+    auto src = sources_.find(mapping.source);
+    if (src == sources_.end()) {
+      return netmark::Status::NotFound("view " + view.name +
+                                       " maps unknown source " + mapping.source);
+    }
+    // Every global attribute must be mapped to a declared source attribute.
+    for (const std::string& attr : view.attributes) {
+      auto m = mapping.attribute_map.find(attr);
+      if (m == mapping.attribute_map.end()) {
+        return netmark::Status::InvalidArgument(
+            "mapping for " + mapping.source + " misses global attribute " + attr);
+      }
+      bool declared = false;
+      for (const std::string& a : src->second.attributes) {
+        if (a == m->second) {
+          declared = true;
+          break;
+        }
+      }
+      if (!declared) {
+        return netmark::Status::InvalidArgument(
+            "mapping for " + mapping.source + " targets unknown attribute " +
+            m->second);
+      }
+    }
+  }
+  artifacts_ += 1 + view.mappings.size();  // the view + one mapping per source
+  std::string name = view.name;
+  views_[name] = std::move(view);
+  return netmark::Status::OK();
+}
+
+netmark::Result<std::vector<Record>> GavMediator::QuerySource(
+    const std::string& source, const std::vector<Predicate>& predicates) const {
+  auto it = sources_.find(source);
+  if (it == sources_.end()) {
+    return netmark::Status::NotFound("no source " + source);
+  }
+  std::vector<Record> out;
+  for (const Record& record : it->second.records) {
+    bool keep = true;
+    for (const Predicate& p : predicates) {
+      if (!p.Eval(record)) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) out.push_back(record);
+  }
+  return out;
+}
+
+netmark::Result<std::vector<Record>> GavMediator::Query(
+    const std::string& view, const std::vector<Predicate>& predicates) const {
+  auto it = views_.find(view);
+  if (it == views_.end()) {
+    return netmark::Status::NotFound("no view " + view);
+  }
+  std::vector<Record> out;
+  for (const SourceMapping& mapping : it->second.mappings) {
+    // View unfolding: rewrite global predicates into source attribute space
+    // and conjoin the mapping's baked-in filters.
+    std::vector<Predicate> source_predicates = mapping.filters;
+    bool mappable = true;
+    for (const Predicate& p : predicates) {
+      auto m = mapping.attribute_map.find(p.attribute);
+      if (m == mapping.attribute_map.end()) {
+        mappable = false;  // source cannot answer; contributes nothing
+        break;
+      }
+      Predicate rewritten = p;
+      rewritten.attribute = m->second;
+      source_predicates.push_back(std::move(rewritten));
+    }
+    if (!mappable) continue;
+    NETMARK_ASSIGN_OR_RETURN(std::vector<Record> rows,
+                             QuerySource(mapping.source, source_predicates));
+    // Rename back to the global schema.
+    for (Record& row : rows) {
+      Record global;
+      for (const std::string& attr : it->second.attributes) {
+        auto m = mapping.attribute_map.find(attr);
+        auto v = row.find(m->second);
+        if (v != row.end()) global[attr] = v->second;
+      }
+      global["_source"] = mapping.source;
+      out.push_back(std::move(global));
+    }
+  }
+  return out;
+}
+
+}  // namespace netmark::baseline

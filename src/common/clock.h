@@ -1,0 +1,39 @@
+// Wall/steady clock helpers and a stopwatch used by benches and the daemon.
+
+#ifndef NETMARK_COMMON_CLOCK_H_
+#define NETMARK_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace netmark {
+
+/// Microseconds since the steady-clock epoch (monotonic).
+inline int64_t MonotonicMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Seconds since the Unix epoch (wall clock).
+inline int64_t WallSeconds() {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// \brief Simple monotonic stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(MonotonicMicros()) {}
+  void Restart() { start_ = MonotonicMicros(); }
+  int64_t ElapsedMicros() const { return MonotonicMicros() - start_; }
+  double ElapsedSeconds() const { return static_cast<double>(ElapsedMicros()) * 1e-6; }
+
+ private:
+  int64_t start_;
+};
+
+}  // namespace netmark
+
+#endif  // NETMARK_COMMON_CLOCK_H_

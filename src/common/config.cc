@@ -1,0 +1,141 @@
+#include "common/config.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace netmark {
+
+Result<Config> Config::Parse(std::string_view text) {
+  Config cfg;
+  Section* current = cfg.FindOrCreateSection("");
+  size_t line_no = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = TrimView(raw);
+    if (line.empty() || line[0] == '#' || line[0] == ';') continue;
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        return Status::ParseError(
+            StringPrintf("config line %zu: unterminated section header", line_no));
+      }
+      std::string name = ToLower(TrimView(line.substr(1, line.size() - 2)));
+      current = cfg.FindOrCreateSection(name);
+      continue;
+    }
+    size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::ParseError(
+          StringPrintf("config line %zu: expected key=value", line_no));
+    }
+    std::string key = ToLower(TrimView(line.substr(0, eq)));
+    std::string value = Trim(line.substr(eq + 1));
+    if (key.empty()) {
+      return Status::ParseError(StringPrintf("config line %zu: empty key", line_no));
+    }
+    current->entries.emplace_back(std::move(key), std::move(value));
+  }
+  return cfg;
+}
+
+Result<Config> Config::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open config file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  auto result = Parse(ss.str());
+  if (!result.ok()) return result.status().WithContext(path);
+  return result;
+}
+
+const Config::Section* Config::FindSection(std::string_view name) const {
+  std::string lower = ToLower(name);
+  for (const Section& s : sections_) {
+    if (s.name == lower) return &s;
+  }
+  return nullptr;
+}
+
+Config::Section* Config::FindOrCreateSection(std::string_view name) {
+  std::string lower = ToLower(name);
+  for (Section& s : sections_) {
+    if (s.name == lower) return &s;
+  }
+  sections_.push_back(Section{lower, {}});
+  return &sections_.back();
+}
+
+Result<std::string> Config::Get(std::string_view section, std::string_view key) const {
+  const Section* s = FindSection(section);
+  if (s == nullptr) {
+    return Status::NotFound("no config section [" + std::string(section) + "]");
+  }
+  std::string lower = ToLower(key);
+  for (const auto& [k, v] : s->entries) {
+    if (k == lower) return v;
+  }
+  return Status::NotFound("no config key '" + std::string(key) + "' in [" +
+                          std::string(section) + "]");
+}
+
+std::string Config::GetOr(std::string_view section, std::string_view key,
+                          std::string fallback) const {
+  auto r = Get(section, key);
+  return r.ok() ? *r : std::move(fallback);
+}
+
+Result<int64_t> Config::GetInt(std::string_view section, std::string_view key) const {
+  NETMARK_ASSIGN_OR_RETURN(std::string v, Get(section, key));
+  return ParseInt64(v);
+}
+
+int64_t Config::GetIntOr(std::string_view section, std::string_view key,
+                         int64_t fallback) const {
+  auto r = GetInt(section, key);
+  return r.ok() ? *r : fallback;
+}
+
+bool Config::GetBoolOr(std::string_view section, std::string_view key,
+                       bool fallback) const {
+  auto r = Get(section, key);
+  if (!r.ok()) return fallback;
+  std::string v = ToLower(*r);
+  if (v == "true" || v == "yes" || v == "on" || v == "1") return true;
+  if (v == "false" || v == "no" || v == "off" || v == "0") return false;
+  return fallback;
+}
+
+bool Config::HasSection(std::string_view section) const {
+  return FindSection(section) != nullptr;
+}
+
+std::vector<std::string> Config::Keys(std::string_view section) const {
+  std::vector<std::string> out;
+  const Section* s = FindSection(section);
+  if (s == nullptr) return out;
+  for (const auto& [k, v] : s->entries) out.push_back(k);
+  return out;
+}
+
+std::vector<std::string> Config::Sections() const {
+  std::vector<std::string> out;
+  for (const Section& s : sections_) {
+    if (!s.name.empty() || !s.entries.empty()) out.push_back(s.name);
+  }
+  return out;
+}
+
+void Config::Set(std::string_view section, std::string_view key, std::string value) {
+  Section* s = FindOrCreateSection(section);
+  std::string lower = ToLower(key);
+  for (auto& [k, v] : s->entries) {
+    if (k == lower) {
+      v = std::move(value);
+      return;
+    }
+  }
+  s->entries.emplace_back(std::move(lower), std::move(value));
+}
+
+}  // namespace netmark

@@ -1,0 +1,63 @@
+// INI-style configuration files.
+//
+// The NETMARK daemon passes "HTML or XML configuration files" to the SGML
+// parser to control node typing (paper §2.1.1); this module parses the
+// sectioned key=value format those files use.
+
+#ifndef NETMARK_COMMON_CONFIG_H_
+#define NETMARK_COMMON_CONFIG_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace netmark {
+
+/// \brief Parsed sectioned key=value configuration.
+///
+/// Format: `[section]` headers, `key = value` lines, `#` or `;` comments.
+/// Keys outside any section land in the "" section. Section and key lookups
+/// are case-insensitive; values preserve case.
+class Config {
+ public:
+  /// Parses configuration text.
+  static Result<Config> Parse(std::string_view text);
+  /// Reads and parses a configuration file.
+  static Result<Config> Load(const std::string& path);
+
+  /// Value lookup; returns NotFound if absent.
+  Result<std::string> Get(std::string_view section, std::string_view key) const;
+  /// Value lookup with a default.
+  std::string GetOr(std::string_view section, std::string_view key,
+                    std::string fallback) const;
+  Result<int64_t> GetInt(std::string_view section, std::string_view key) const;
+  int64_t GetIntOr(std::string_view section, std::string_view key,
+                   int64_t fallback) const;
+  bool GetBoolOr(std::string_view section, std::string_view key, bool fallback) const;
+
+  bool HasSection(std::string_view section) const;
+  /// All keys of a section (lower-cased), in insertion order.
+  std::vector<std::string> Keys(std::string_view section) const;
+  /// All section names (lower-cased), in insertion order.
+  std::vector<std::string> Sections() const;
+
+  /// Sets (or overwrites) a value programmatically.
+  void Set(std::string_view section, std::string_view key, std::string value);
+
+ private:
+  struct Section {
+    std::string name;  // lower-cased
+    std::vector<std::pair<std::string, std::string>> entries;  // key lower-cased
+  };
+  const Section* FindSection(std::string_view name) const;
+  Section* FindOrCreateSection(std::string_view name);
+
+  std::vector<Section> sections_;
+};
+
+}  // namespace netmark
+
+#endif  // NETMARK_COMMON_CONFIG_H_

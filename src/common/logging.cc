@@ -1,0 +1,42 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace netmark {
+
+Logger& Logger::Instance() {
+  static Logger logger;
+  return logger;
+}
+
+namespace {
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void Logger::Log(LogLevel level, const char* file, int line,
+                 const std::string& message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Strip directories from __FILE__ for terse output.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  std::fprintf(stderr, "[%s] %s:%d %s\n", LevelName(level), base, line,
+               message.c_str());
+}
+
+}  // namespace netmark

@@ -1,0 +1,59 @@
+// Minimal leveled logger. Thread-safe; writes to stderr by default.
+
+#ifndef NETMARK_COMMON_LOGGING_H_
+#define NETMARK_COMMON_LOGGING_H_
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace netmark {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// \brief Process-wide logging configuration.
+class Logger {
+ public:
+  static Logger& Instance();
+
+  void SetLevel(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// \brief Emits one formatted line ("[LEVEL] file:line message").
+  void Log(LogLevel level, const char* file, int line, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarning;
+  std::mutex mu_;
+};
+
+namespace internal {
+/// Stream-collecting helper behind the NETMARK_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { Logger::Instance().Log(level_, file_, line_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace netmark
+
+#define NETMARK_LOG(severity)                                                   \
+  if (static_cast<int>(::netmark::LogLevel::k##severity) <                      \
+      static_cast<int>(::netmark::Logger::Instance().level()))                  \
+    ;                                                                           \
+  else                                                                          \
+    ::netmark::internal::LogMessage(::netmark::LogLevel::k##severity, __FILE__, \
+                                    __LINE__)                                   \
+        .stream()
+
+#endif  // NETMARK_COMMON_LOGGING_H_

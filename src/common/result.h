@@ -1,0 +1,74 @@
+// Result<T>: value-or-Status, the return type for fallible value-producing
+// functions throughout NETMARK (Arrow idiom).
+
+#ifndef NETMARK_COMMON_RESULT_H_
+#define NETMARK_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace netmark {
+
+/// \brief Holds either a T or an error Status.
+///
+/// Constructing from an OK Status is a programming error (asserted); use the
+/// value constructor instead.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Constructs from a value (implicit, so `return value;` works).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Constructs from an error status (implicit, so `return st;` works).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() && "Result constructed from OK Status");
+  }
+
+  Result(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(const Result&) = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error Status, or OK when a value is held.
+  Status status() const& {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Value accessors; must only be called when ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value, or `fallback` on error.
+  T ValueOr(T fallback) const& { return ok() ? std::get<T>(repr_) : std::move(fallback); }
+  T ValueOr(T fallback) && {
+    return ok() ? std::get<T>(std::move(repr_)) : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace netmark
+
+#endif  // NETMARK_COMMON_RESULT_H_

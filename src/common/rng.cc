@@ -1,0 +1,24 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace netmark {
+
+size_t Rng::Zipf(size_t n, double theta) {
+  if (n <= 1) return 0;
+  // Inverse-CDF over the generalized harmonic number, computed incrementally.
+  // O(n) worst case but typically exits early for skewed theta; n here is the
+  // vocabulary/document-count scale used in workloads, so this stays cheap
+  // relative to the work done per pick.
+  double h = 0.0;
+  for (size_t i = 0; i < n; ++i) h += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+  double u = UniformDouble() * h;
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    if (acc >= u) return i;
+  }
+  return n - 1;
+}
+
+}  // namespace netmark

@@ -1,0 +1,59 @@
+// Deterministic pseudo-random generator used by workload generators and
+// property tests. A thin wrapper over a SplitMix64/xorshift mix so results
+// are reproducible across standard libraries.
+
+#ifndef NETMARK_COMMON_RNG_H_
+#define NETMARK_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace netmark {
+
+/// \brief Seeded, portable PRNG (SplitMix64 core).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli with probability p.
+  bool Chance(double p) { return UniformDouble() < p; }
+
+  /// Picks a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[Uniform(v.size())];
+  }
+
+  /// Zipf-like skewed index in [0, n): rank r selected w.p. ∝ 1/(r+1)^theta.
+  /// Approximate (rejection-free) but adequate for workload skew.
+  size_t Zipf(size_t n, double theta = 1.0);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace netmark
+
+#endif  // NETMARK_COMMON_RNG_H_

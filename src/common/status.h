@@ -1,0 +1,158 @@
+// Status: the error-reporting type used across all NETMARK libraries.
+//
+// NETMARK follows the Arrow/RocksDB idiom: functions that can fail return a
+// Status (or a Result<T>, see result.h) instead of throwing. Exceptions never
+// cross library boundaries.
+
+#ifndef NETMARK_COMMON_STATUS_H_
+#define NETMARK_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace netmark {
+
+/// Machine-readable category of a failure.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kIOError = 4,
+  kCorruption = 5,
+  kNotImplemented = 6,
+  kParseError = 7,
+  kCapacityExceeded = 8,
+  kUnavailable = 9,
+  kTimeout = 10,
+  kInternal = 11,
+};
+
+/// \brief Human-readable name of a StatusCode ("Invalid argument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation: OK, or a code plus message.
+///
+/// An OK Status carries no allocation; error states allocate a small state
+/// block. Status is cheap to move and to test.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string message)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_unique<State>(State{code, std::move(message)})) {}
+
+  Status(const Status& other)
+      : state_(other.state_ ? std::make_unique<State>(*other.state_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory for the (stateless) OK status.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->message : kEmpty;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsCapacityExceeded() const { return code() == StatusCode::kCapacityExceeded; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsTimeout() const { return code() == StatusCode::kTimeout; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  /// \brief Returns this status with `context` prefixed to the message.
+  Status WithContext(std::string_view context) const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::unique_ptr<State> state_;  // nullptr means OK
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace netmark
+
+/// Propagates an error Status from an expression; evaluates to void on OK.
+#define NETMARK_RETURN_NOT_OK(expr)                 \
+  do {                                              \
+    ::netmark::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define NETMARK_ASSIGN_OR_RETURN(lhs, rexpr)        \
+  NETMARK_ASSIGN_OR_RETURN_IMPL(                    \
+      NETMARK_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define NETMARK_CONCAT_INNER_(a, b) a##b
+#define NETMARK_CONCAT_(a, b) NETMARK_CONCAT_INNER_(a, b)
+
+#define NETMARK_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).ValueOrDie();
+
+#endif  // NETMARK_COMMON_STATUS_H_

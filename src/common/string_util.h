@@ -1,0 +1,60 @@
+// Small string helpers shared by all NETMARK modules.
+
+#ifndef NETMARK_COMMON_STRING_UTIL_H_
+#define NETMARK_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace netmark {
+
+/// \brief Removes leading and trailing ASCII whitespace.
+std::string_view TrimView(std::string_view s);
+inline std::string Trim(std::string_view s) { return std::string(TrimView(s)); }
+
+/// \brief ASCII lower-casing (locale independent).
+std::string ToLower(std::string_view s);
+/// \brief ASCII upper-casing (locale independent).
+std::string ToUpper(std::string_view s);
+
+/// \brief Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// \brief Splits on a single character; empty fields are preserved.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// \brief Splits on a character, trimming each field and dropping empties.
+std::vector<std::string> SplitAndTrim(std::string_view s, char sep);
+
+/// \brief Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// \brief Replaces every occurrence of `from` with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from, std::string_view to);
+
+/// \brief Parses a decimal integer; rejects trailing garbage.
+Result<int64_t> ParseInt64(std::string_view s);
+/// \brief Parses a floating point number; rejects trailing garbage.
+Result<double> ParseDouble(std::string_view s);
+
+/// \brief Percent-decodes a URL component ("%20" -> ' ', '+' -> ' ').
+Result<std::string> UrlDecode(std::string_view s);
+/// \brief Percent-encodes a URL component.
+std::string UrlEncode(std::string_view s);
+
+/// \brief Collapses runs of whitespace into single spaces and trims.
+std::string NormalizeWhitespace(std::string_view s);
+
+/// \brief printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace netmark
+
+#endif  // NETMARK_COMMON_STRING_UTIL_H_

@@ -1,0 +1,45 @@
+#include "common/temp_dir.h"
+
+#include <fstream>
+#include <random>
+#include <sstream>
+
+namespace netmark {
+
+Result<TempDir> TempDir::Make(const std::string& prefix) {
+  std::error_code ec;
+  std::filesystem::path base = std::filesystem::temp_directory_path(ec);
+  if (ec) return Status::IOError("no temp directory: " + ec.message());
+  std::random_device rd;
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    std::ostringstream name;
+    name << prefix << '-' << std::hex << rd() << rd();
+    std::filesystem::path candidate = base / name.str();
+    if (std::filesystem::create_directory(candidate, ec)) {
+      return TempDir(candidate);
+    }
+  }
+  return Status::IOError("failed to create temp directory under " + base.string());
+}
+
+Status WriteFile(const std::filesystem::path& path, std::string_view content) {
+  std::error_code ec;
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path(), ec);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for write: " + path.string());
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out) return Status::IOError("write failed: " + path.string());
+  return Status::OK();
+}
+
+Result<std::string> ReadFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path.string());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace netmark

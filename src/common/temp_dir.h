@@ -1,0 +1,58 @@
+// Scoped temporary directory for tests, benches and the ingestion daemon's
+// staging areas. Removed recursively on destruction.
+
+#ifndef NETMARK_COMMON_TEMP_DIR_H_
+#define NETMARK_COMMON_TEMP_DIR_H_
+
+#include <filesystem>
+#include <string>
+
+#include "common/result.h"
+
+namespace netmark {
+
+/// \brief RAII temporary directory under the system temp path.
+class TempDir {
+ public:
+  /// Creates a fresh directory named `<prefix>-<random>`.
+  static Result<TempDir> Make(const std::string& prefix = "netmark");
+
+  TempDir(TempDir&& other) noexcept : path_(std::move(other.path_)) {
+    other.path_.clear();
+  }
+  TempDir& operator=(TempDir&& other) noexcept {
+    if (this != &other) {
+      Remove();
+      path_ = std::move(other.path_);
+      other.path_.clear();
+    }
+    return *this;
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+  ~TempDir() { Remove(); }
+
+  const std::filesystem::path& path() const { return path_; }
+  std::string str() const { return path_.string(); }
+  /// Joins a relative name onto the directory.
+  std::filesystem::path Sub(const std::string& name) const { return path_ / name; }
+
+ private:
+  explicit TempDir(std::filesystem::path p) : path_(std::move(p)) {}
+  void Remove() {
+    if (!path_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(path_, ec);
+    }
+  }
+  std::filesystem::path path_;
+};
+
+/// \brief Writes `content` to `path`, creating parent directories.
+Status WriteFile(const std::filesystem::path& path, std::string_view content);
+/// \brief Reads an entire file.
+Result<std::string> ReadFile(const std::filesystem::path& path);
+
+}  // namespace netmark
+
+#endif  // NETMARK_COMMON_TEMP_DIR_H_

@@ -1,0 +1,42 @@
+#include "convert/converter.h"
+
+namespace netmark::convert {
+
+UpmarkBuilder::UpmarkBuilder(std::string_view file_name, std::string_view format) {
+  root_ = doc_.CreateElement("document");
+  doc_.AppendChild(doc_.root(), root_);
+  xml::NodeId meta = doc_.CreateElement("netmark:meta");
+  doc_.AddAttribute(meta, "file", std::string(file_name));
+  doc_.AddAttribute(meta, "format", std::string(format));
+  doc_.AppendChild(root_, meta);
+}
+
+void UpmarkBuilder::BeginSection(std::string heading) {
+  xml::NodeId ctx = doc_.CreateElement("context");
+  doc_.AppendChild(ctx, doc_.CreateText(std::move(heading)));
+  doc_.AppendChild(root_, ctx);
+  current_content_ = xml::kInvalidNode;  // fresh <content> on next block
+}
+
+void UpmarkBuilder::EnsureContent() {
+  if (current_content_ == xml::kInvalidNode) {
+    current_content_ = doc_.CreateElement("content");
+    doc_.AppendChild(root_, current_content_);
+  }
+}
+
+void UpmarkBuilder::AddParagraph(std::string text) {
+  EnsureContent();
+  xml::NodeId p = doc_.CreateElement("p");
+  doc_.AppendChild(p, doc_.CreateText(std::move(text)));
+  doc_.AppendChild(current_content_, p);
+}
+
+void UpmarkBuilder::AddBlock(xml::NodeId subtree) {
+  EnsureContent();
+  doc_.AppendChild(current_content_, subtree);
+}
+
+xml::Document UpmarkBuilder::Finish() { return std::move(doc_); }
+
+}  // namespace netmark::convert

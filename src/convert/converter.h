@@ -1,0 +1,81 @@
+// Converter interface: turn a source document in any supported format into
+// "upmarked" context/content XML (paper §4: parsers that "automatically
+// structure and 'upmark' a document into XML based on the formatting
+// information in the document").
+//
+// Upmarked shape (matching the paper's Fig 2 illustration):
+//
+//   <document>
+//     <netmark:meta file="..." format="..."/>      (SIMULATION node)
+//     <context>Section Heading</context>
+//     <content> <p>...</p> ... </content>
+//     <context>Next Heading</context>
+//     <content> ... </content>
+//   </document>
+
+#ifndef NETMARK_CONVERT_CONVERTER_H_
+#define NETMARK_CONVERT_CONVERTER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/dom.h"
+
+namespace netmark::convert {
+
+/// Conversion inputs beyond the raw bytes.
+struct ConvertContext {
+  std::string file_name;  ///< used for sniffing and provenance metadata
+};
+
+/// \brief One source-format parser.
+class Converter {
+ public:
+  virtual ~Converter() = default;
+
+  /// Short format tag ("txt", "md", "html", "csv", "nrt", "xml").
+  virtual std::string_view format() const = 0;
+
+  /// File extensions this converter claims (lower-case, without dot).
+  virtual std::vector<std::string_view> extensions() const = 0;
+
+  /// Content-based detection for extensionless inputs; conservative.
+  virtual bool Sniff(std::string_view content) const = 0;
+
+  /// Produces the upmarked DOM.
+  virtual netmark::Result<xml::Document> Convert(std::string_view content,
+                                                 const ConvertContext& ctx) const = 0;
+};
+
+/// \brief Builder shared by all converters for the upmarked skeleton.
+class UpmarkBuilder {
+ public:
+  UpmarkBuilder(std::string_view file_name, std::string_view format);
+
+  /// Starts a new section.
+  void BeginSection(std::string heading);
+  /// Adds one paragraph (plain text) to the current section.
+  void AddParagraph(std::string text);
+  /// Adds an arbitrary pre-built element subtree to the current section
+  /// content. The subtree must come from builder-provided `doc()`.
+  void AddBlock(xml::NodeId subtree);
+  /// Access to the underlying document for building custom blocks.
+  xml::Document* doc() { return &doc_; }
+
+  /// Finishes and returns the document.
+  xml::Document Finish();
+
+ private:
+  void EnsureContent();
+
+  xml::Document doc_;
+  xml::NodeId root_;
+  xml::NodeId current_content_ = xml::kInvalidNode;
+};
+
+}  // namespace netmark::convert
+
+#endif  // NETMARK_CONVERT_CONVERTER_H_

@@ -1,0 +1,140 @@
+#include "convert/csv_converter.h"
+
+#include "common/string_util.h"
+
+namespace netmark::convert {
+
+std::vector<std::vector<std::string>> ParseCsv(std::string_view content, char sep) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  auto end_field = [&]() {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&]() {
+    end_field();
+    // Skip fully empty rows.
+    bool all_empty = true;
+    for (const std::string& f : row) {
+      if (!f.empty()) {
+        all_empty = false;
+        break;
+      }
+    }
+    if (!all_empty) rows.push_back(std::move(row));
+    row.clear();
+  };
+  size_t i = 0;
+  while (i < content.size()) {
+    char c = content[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < content.size() && content[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"' && !field_started) {
+      in_quotes = true;
+      field_started = true;
+    } else if (c == sep) {
+      end_field();
+    } else if (c == '\n') {
+      if (!field.empty() || !row.empty()) end_row();
+    } else if (c != '\r') {
+      field += c;
+      field_started = true;
+    }
+    ++i;
+  }
+  if (!field.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+std::string EmitCsv(const std::vector<std::vector<std::string>>& rows, char sep) {
+  std::string out;
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out += sep;
+      const std::string& field = row[c];
+      bool needs_quoting = field.find(sep) != std::string::npos ||
+                           field.find('"') != std::string::npos ||
+                           field.find('\n') != std::string::npos ||
+                           field.find('\r') != std::string::npos;
+      if (needs_quoting) {
+        out += '"';
+        for (char ch : field) {
+          if (ch == '"') out += '"';
+          out += ch;
+        }
+        out += '"';
+      } else {
+        out += field;
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+bool CsvConverter::Sniff(std::string_view content) const {
+  // Consistent comma counts across the first handful of non-empty lines.
+  int lines = 0;
+  int commas_first = -1;
+  for (const std::string& raw : netmark::Split(content.substr(0, 2000), '\n')) {
+    std::string_view line = netmark::TrimView(raw);
+    if (line.empty()) continue;
+    if (line[0] == '<') return false;
+    int commas = 0;
+    for (char c : line) {
+      if (c == ',') ++commas;
+    }
+    if (commas == 0) return false;
+    if (commas_first < 0) {
+      commas_first = commas;
+    } else if (commas != commas_first) {
+      return false;
+    }
+    if (++lines >= 4) break;
+  }
+  return lines >= 2;
+}
+
+netmark::Result<xml::Document> CsvConverter::Convert(std::string_view content,
+                                                     const ConvertContext& ctx) const {
+  char sep = netmark::EndsWith(netmark::ToLower(ctx.file_name), ".tsv") ? '\t' : ',';
+  std::vector<std::vector<std::string>> rows = ParseCsv(content, sep);
+  UpmarkBuilder builder(ctx.file_name, format());
+  builder.BeginSection(ctx.file_name.empty() ? "Sheet" : ctx.file_name);
+  xml::Document* doc = builder.doc();
+  xml::NodeId table = doc->CreateElement("table");
+  builder.AddBlock(table);
+  if (rows.empty()) return builder.Finish();
+
+  const std::vector<std::string>& header = rows[0];
+  for (size_t r = 1; r < rows.size(); ++r) {
+    xml::NodeId tr = doc->CreateElement("row");
+    doc->AddAttribute(tr, "n", std::to_string(r));
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      xml::NodeId cell = doc->CreateElement("cell");
+      std::string name = c < header.size() ? header[c] : "col" + std::to_string(c);
+      doc->AddAttribute(cell, "name", name);
+      if (!rows[r][c].empty()) {
+        doc->AppendChild(cell, doc->CreateText(rows[r][c]));
+      }
+      doc->AppendChild(tr, cell);
+    }
+    doc->AppendChild(table, tr);
+  }
+  return builder.Finish();
+}
+
+}  // namespace netmark::convert

@@ -1,0 +1,39 @@
+// CSV ("spreadsheet") upmark converter.
+//
+// The first row is treated as a header; each data row becomes a <row>
+// element whose cells are <cell name="<header>">value</cell> children. The
+// sheet gets one CONTEXT per header column group? No — per the paper,
+// spreadsheets are just another document source: the whole sheet is one
+// section titled by the file name, and the cell names make column-targeted
+// context queries possible (a <cell name=...> can be promoted to CONTEXT
+// through the node-type configuration when applications want per-column
+// sections).
+
+#ifndef NETMARK_CONVERT_CSV_CONVERTER_H_
+#define NETMARK_CONVERT_CSV_CONVERTER_H_
+
+#include "convert/converter.h"
+
+namespace netmark::convert {
+
+/// \brief Converts `.csv` spreadsheets.
+class CsvConverter : public Converter {
+ public:
+  std::string_view format() const override { return "csv"; }
+  std::vector<std::string_view> extensions() const override { return {"csv", "tsv"}; }
+  bool Sniff(std::string_view content) const override;
+  netmark::Result<xml::Document> Convert(std::string_view content,
+                                         const ConvertContext& ctx) const override;
+};
+
+/// \brief RFC-4180-ish CSV line parsing (quoted fields, embedded commas,
+/// doubled quotes). Exposed for tests and the workload generators.
+std::vector<std::vector<std::string>> ParseCsv(std::string_view content, char sep = ',');
+
+/// \brief Emits rows as CSV, quoting fields that need it (the inverse of
+/// ParseCsv; round-trip property-tested).
+std::string EmitCsv(const std::vector<std::vector<std::string>>& rows, char sep = ',');
+
+}  // namespace netmark::convert
+
+#endif  // NETMARK_CONVERT_CSV_CONVERTER_H_

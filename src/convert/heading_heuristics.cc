@@ -1,0 +1,100 @@
+#include "convert/heading_heuristics.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace netmark::convert {
+
+namespace {
+
+bool IsNumberedHeading(std::string_view line) {
+  // "3. Title", "2.1 Title", "IV. Title", "A. Title"
+  size_t i = 0;
+  bool saw_digit = false;
+  while (i < line.size() &&
+         (std::isdigit(static_cast<unsigned char>(line[i])) || line[i] == '.')) {
+    if (std::isdigit(static_cast<unsigned char>(line[i]))) saw_digit = true;
+    ++i;
+  }
+  if (saw_digit && i > 0 && i < line.size() && line[i] == ' ') return true;
+  // Roman numeral or single letter followed by a dot.
+  size_t roman = 0;
+  while (roman < line.size() && std::string_view("IVXLC").find(line[roman]) !=
+                                    std::string_view::npos) {
+    ++roman;
+  }
+  if (roman > 0 && roman < line.size() && line[roman] == '.') return true;
+  if (line.size() > 2 && std::isupper(static_cast<unsigned char>(line[0])) &&
+      line[1] == '.' && line[2] == ' ') {
+    return true;
+  }
+  return false;
+}
+
+bool IsAllCaps(std::string_view line) {
+  bool saw_letter = false;
+  for (char c : line) {
+    if (std::islower(static_cast<unsigned char>(c))) return false;
+    if (std::isupper(static_cast<unsigned char>(c))) saw_letter = true;
+  }
+  return saw_letter;
+}
+
+bool IsTitleCase(std::string_view line) {
+  // Every word of >= 4 chars starts with a capital; at most 8 words.
+  int words = 0;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') ++i;
+    if (i >= line.size()) break;
+    size_t start = i;
+    while (i < line.size() && line[i] != ' ') ++i;
+    std::string_view word = line.substr(start, i - start);
+    ++words;
+    if (words > 8) return false;
+    if (word.size() >= 4 && !std::isupper(static_cast<unsigned char>(word[0]))) {
+      return false;
+    }
+  }
+  return words > 0;
+}
+
+}  // namespace
+
+bool LooksLikeHeading(std::string_view raw) {
+  std::string_view line = netmark::TrimView(raw);
+  if (line.empty() || line.size() > 70) return false;
+  // Headings do not end sentences.
+  char last = line.back();
+  if (last == '.' || last == ',' || last == ';' || last == '!' || last == '?') {
+    // ...unless the whole line is a numbered label like "3." (rare; reject).
+    return false;
+  }
+  if (IsNumberedHeading(line)) return true;
+  if (IsAllCaps(line)) return true;
+  // Title Case alone is weak; require it to also be short.
+  if (line.size() <= 48 && IsTitleCase(line)) return true;
+  return false;
+}
+
+std::vector<std::string> SplitParagraphs(std::string_view text) {
+  std::vector<std::string> out;
+  std::string current;
+  for (const std::string& raw : netmark::Split(text, '\n')) {
+    std::string_view line = netmark::TrimView(raw);
+    if (line.empty()) {
+      if (!current.empty()) {
+        out.push_back(std::move(current));
+        current.clear();
+      }
+      continue;
+    }
+    if (!current.empty()) current += ' ';
+    current += line;
+  }
+  if (!current.empty()) out.push_back(std::move(current));
+  return out;
+}
+
+}  // namespace netmark::convert

@@ -1,0 +1,23 @@
+// Shared heading-detection heuristics for the plain-text-family converters.
+
+#ifndef NETMARK_CONVERT_HEADING_HEURISTICS_H_
+#define NETMARK_CONVERT_HEADING_HEURISTICS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace netmark::convert {
+
+/// \brief True when a text line reads like a section heading: short, does
+/// not end a sentence, and is ALL CAPS, numbered ("3.", "2.1", "IV."),
+/// or Title Case.
+bool LooksLikeHeading(std::string_view line);
+
+/// \brief Splits text into blocks separated by blank lines; each block keeps
+/// its interior line breaks collapsed to spaces.
+std::vector<std::string> SplitParagraphs(std::string_view text);
+
+}  // namespace netmark::convert
+
+#endif  // NETMARK_CONVERT_HEADING_HEURISTICS_H_

@@ -1,0 +1,37 @@
+#include "convert/html_converter.h"
+
+#include "common/string_util.h"
+#include "xml/parser.h"
+
+namespace netmark::convert {
+
+bool HtmlConverter::Sniff(std::string_view content) const {
+  std::string_view t = netmark::TrimView(content);
+  if (t.empty() || t[0] != '<') return false;
+  std::string head = netmark::ToLower(t.substr(0, 256));
+  return head.find("<!doctype html") != std::string::npos ||
+         head.find("<html") != std::string::npos ||
+         head.find("<body") != std::string::npos;
+}
+
+netmark::Result<xml::Document> HtmlConverter::Convert(std::string_view content,
+                                                      const ConvertContext&) const {
+  return xml::ParseHtml(content);
+}
+
+bool XmlConverter::Sniff(std::string_view content) const {
+  std::string_view t = netmark::TrimView(content);
+  return netmark::StartsWith(t, "<?xml") ||
+         (!t.empty() && t[0] == '<' && !HtmlConverter().Sniff(content));
+}
+
+netmark::Result<xml::Document> XmlConverter::Convert(std::string_view content,
+                                                     const ConvertContext&) const {
+  auto strict = xml::ParseXml(content);
+  if (strict.ok()) return strict;
+  // NETMARK ingests whatever lands in the drop folder; near-XML content gets
+  // the tolerant parser rather than a rejection.
+  return xml::ParseHtml(content);
+}
+
+}  // namespace netmark::convert

@@ -1,0 +1,40 @@
+// HTML/XML upmark converters.
+//
+// HTML is parsed tolerantly and stored as-is: the default node-type
+// configuration already classifies <h1>..<h6>/<title> as CONTEXT and
+// emphasis tags as INTENSE, so no restructuring is needed — the structure
+// *is* the upmark. XML is parsed strictly (falling back to the tolerant
+// parser for near-XML data).
+
+#ifndef NETMARK_CONVERT_HTML_CONVERTER_H_
+#define NETMARK_CONVERT_HTML_CONVERTER_H_
+
+#include "convert/converter.h"
+
+namespace netmark::convert {
+
+/// \brief Converts `.html`/`.htm` documents.
+class HtmlConverter : public Converter {
+ public:
+  std::string_view format() const override { return "html"; }
+  std::vector<std::string_view> extensions() const override {
+    return {"html", "htm"};
+  }
+  bool Sniff(std::string_view content) const override;
+  netmark::Result<xml::Document> Convert(std::string_view content,
+                                         const ConvertContext& ctx) const override;
+};
+
+/// \brief Passes through well-formed `.xml` documents.
+class XmlConverter : public Converter {
+ public:
+  std::string_view format() const override { return "xml"; }
+  std::vector<std::string_view> extensions() const override { return {"xml"}; }
+  bool Sniff(std::string_view content) const override;
+  netmark::Result<xml::Document> Convert(std::string_view content,
+                                         const ConvertContext& ctx) const override;
+};
+
+}  // namespace netmark::convert
+
+#endif  // NETMARK_CONVERT_HTML_CONVERTER_H_

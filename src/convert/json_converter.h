@@ -1,0 +1,58 @@
+// JSON upmark converter.
+//
+// Enterprise sources increasingly export JSON; NETMARK's schema-less store
+// takes it like any other document. Mapping:
+//
+//   {"title": "T", "items": [1, 2]}        <document>
+//                                            <netmark:meta .../>
+//                                            <context>T</context>
+//                                            <items><item>1</item>
+//                                                   <item>2</item></items>
+//                                          </document>
+//
+// Object keys become elements (tag-sanitized, original spelling kept in a
+// name= attribute when it differs); arrays repeat <item> children; scalars
+// become text. String fields keyed `title`/`name`/`heading`/`subject`
+// are promoted to CONTEXT elements so context search works on JSON too.
+
+#ifndef NETMARK_CONVERT_JSON_CONVERTER_H_
+#define NETMARK_CONVERT_JSON_CONVERTER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "convert/converter.h"
+
+namespace netmark::convert {
+
+/// \brief Parsed JSON value (exposed for tests and other consumers).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Insertion-ordered object fields.
+  std::vector<std::pair<std::string, JsonValue>> object;
+};
+
+/// \brief Parses a JSON document (RFC 8259 subset: no duplicate-key policy,
+/// \uXXXX escapes decoded to UTF-8, surrogate pairs supported).
+netmark::Result<JsonValue> ParseJson(std::string_view text);
+
+/// \brief Converts `.json` documents.
+class JsonConverter : public Converter {
+ public:
+  std::string_view format() const override { return "json"; }
+  std::vector<std::string_view> extensions() const override { return {"json"}; }
+  bool Sniff(std::string_view content) const override;
+  netmark::Result<xml::Document> Convert(std::string_view content,
+                                         const ConvertContext& ctx) const override;
+};
+
+}  // namespace netmark::convert
+
+#endif  // NETMARK_CONVERT_JSON_CONVERTER_H_

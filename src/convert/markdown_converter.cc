@@ -1,0 +1,156 @@
+#include "convert/markdown_converter.h"
+
+#include "common/string_util.h"
+
+namespace netmark::convert {
+
+namespace {
+
+// Emits inline markdown (bold/italic/code spans) as child nodes of `parent`.
+void EmitInline(xml::Document* doc, xml::NodeId parent, std::string_view text) {
+  std::string plain;
+  auto flush = [&]() {
+    if (!plain.empty()) {
+      doc->AppendChild(parent, doc->CreateText(std::move(plain)));
+      plain.clear();
+    }
+  };
+  size_t i = 0;
+  while (i < text.size()) {
+    if (text.compare(i, 2, "**") == 0) {
+      size_t close = text.find("**", i + 2);
+      if (close != std::string_view::npos) {
+        flush();
+        xml::NodeId b = doc->CreateElement("b");
+        doc->AppendChild(b, doc->CreateText(std::string(text.substr(i + 2, close - i - 2))));
+        doc->AppendChild(parent, b);
+        i = close + 2;
+        continue;
+      }
+    }
+    if (text[i] == '*' && i + 1 < text.size() && text[i + 1] != '*') {
+      size_t close = text.find('*', i + 1);
+      if (close != std::string_view::npos) {
+        flush();
+        xml::NodeId em = doc->CreateElement("em");
+        doc->AppendChild(em, doc->CreateText(std::string(text.substr(i + 1, close - i - 1))));
+        doc->AppendChild(parent, em);
+        i = close + 1;
+        continue;
+      }
+    }
+    if (text[i] == '`') {
+      size_t close = text.find('`', i + 1);
+      if (close != std::string_view::npos) {
+        flush();
+        xml::NodeId code = doc->CreateElement("code");
+        doc->AppendChild(code,
+                         doc->CreateText(std::string(text.substr(i + 1, close - i - 1))));
+        doc->AppendChild(parent, code);
+        i = close + 1;
+        continue;
+      }
+    }
+    plain += text[i];
+    ++i;
+  }
+  flush();
+}
+
+}  // namespace
+
+bool MarkdownConverter::Sniff(std::string_view content) const {
+  // Look for markdown signals in the first few lines.
+  int signals = 0;
+  int lines = 0;
+  for (const std::string& raw : netmark::Split(content.substr(0, 2000), '\n')) {
+    std::string_view line = netmark::TrimView(raw);
+    ++lines;
+    if (lines > 40) break;
+    if (netmark::StartsWith(line, "#")) ++signals;
+    if (netmark::StartsWith(line, "- ") || netmark::StartsWith(line, "* ")) ++signals;
+    if (netmark::StartsWith(line, "```")) ++signals;
+  }
+  return signals >= 2;
+}
+
+netmark::Result<xml::Document> MarkdownConverter::Convert(
+    std::string_view content, const ConvertContext& ctx) const {
+  UpmarkBuilder builder(ctx.file_name, format());
+  xml::Document* doc = builder.doc();
+
+  std::string paragraph;
+  xml::NodeId list = xml::kInvalidNode;
+  bool in_code = false;
+  std::string code;
+
+  auto flush_paragraph = [&]() {
+    if (paragraph.empty()) return;
+    xml::NodeId p = doc->CreateElement("p");
+    EmitInline(doc, p, paragraph);
+    builder.AddBlock(p);
+    paragraph.clear();
+  };
+  auto flush_list = [&]() { list = xml::kInvalidNode; };
+  auto flush_code = [&]() {
+    if (!in_code) return;
+    xml::NodeId pre = doc->CreateElement("pre");
+    doc->AppendChild(pre, doc->CreateText(std::move(code)));
+    builder.AddBlock(pre);
+    code.clear();
+    in_code = false;
+  };
+
+  for (const std::string& raw : netmark::Split(content, '\n')) {
+    if (in_code) {
+      if (netmark::StartsWith(netmark::TrimView(raw), "```")) {
+        flush_code();
+      } else {
+        code += raw;
+        code += '\n';
+      }
+      continue;
+    }
+    std::string_view line = netmark::TrimView(raw);
+    if (line.empty()) {
+      flush_paragraph();
+      flush_list();
+      continue;
+    }
+    if (netmark::StartsWith(line, "```")) {
+      flush_paragraph();
+      flush_list();
+      in_code = true;
+      continue;
+    }
+    if (line[0] == '#') {
+      size_t level = 0;
+      while (level < line.size() && line[level] == '#') ++level;
+      if (level <= 6 && level < line.size() && line[level] == ' ') {
+        flush_paragraph();
+        flush_list();
+        builder.BeginSection(netmark::Trim(line.substr(level + 1)));
+        continue;
+      }
+    }
+    if (netmark::StartsWith(line, "- ") || netmark::StartsWith(line, "* ")) {
+      flush_paragraph();
+      if (list == xml::kInvalidNode) {
+        list = doc->CreateElement("ul");
+        builder.AddBlock(list);
+      }
+      xml::NodeId li = doc->CreateElement("li");
+      EmitInline(doc, li, line.substr(2));
+      doc->AppendChild(list, li);
+      continue;
+    }
+    flush_list();
+    if (!paragraph.empty()) paragraph += ' ';
+    paragraph += line;
+  }
+  flush_code();
+  flush_paragraph();
+  return builder.Finish();
+}
+
+}  // namespace netmark::convert

@@ -1,0 +1,25 @@
+// Markdown upmark converter: explicit `#` headings, paragraph blocks,
+// `**bold**`/`*italic*` emphasis (INTENSE), `-` lists, fenced code blocks.
+
+#ifndef NETMARK_CONVERT_MARKDOWN_CONVERTER_H_
+#define NETMARK_CONVERT_MARKDOWN_CONVERTER_H_
+
+#include "convert/converter.h"
+
+namespace netmark::convert {
+
+/// \brief Converts `.md` documents.
+class MarkdownConverter : public Converter {
+ public:
+  std::string_view format() const override { return "md"; }
+  std::vector<std::string_view> extensions() const override {
+    return {"md", "markdown"};
+  }
+  bool Sniff(std::string_view content) const override;
+  netmark::Result<xml::Document> Convert(std::string_view content,
+                                         const ConvertContext& ctx) const override;
+};
+
+}  // namespace netmark::convert
+
+#endif  // NETMARK_CONVERT_MARKDOWN_CONVERTER_H_

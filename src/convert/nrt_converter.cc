@@ -1,0 +1,107 @@
+#include "convert/nrt_converter.h"
+
+#include "common/string_util.h"
+
+namespace netmark::convert {
+
+namespace {
+
+struct FontState {
+  int size = 11;
+  bool bold = false;
+  bool italic = false;
+
+  bool IsHeading() const { return size >= 16 || (bold && size >= 12); }
+};
+
+}  // namespace
+
+bool NrtConverter::Sniff(std::string_view content) const {
+  std::string_view t = netmark::TrimView(content);
+  return netmark::StartsWith(t, ".font") || netmark::StartsWith(t, ".meta") ||
+         netmark::StartsWith(t, ".page");
+}
+
+netmark::Result<xml::Document> NrtConverter::Convert(std::string_view content,
+                                                     const ConvertContext& ctx) const {
+  UpmarkBuilder builder(ctx.file_name, format());
+  xml::Document* doc = builder.doc();
+  FontState font;
+  std::string paragraph;
+  bool paragraph_emphasis = false;
+  int page = 1;
+
+  auto flush = [&]() {
+    if (paragraph.empty()) return;
+    xml::NodeId p = doc->CreateElement("p");
+    if (paragraph_emphasis) {
+      // Whole-paragraph emphasis becomes INTENSE markup.
+      xml::NodeId b = doc->CreateElement(font.bold ? "b" : "em");
+      doc->AppendChild(b, doc->CreateText(std::move(paragraph)));
+      doc->AppendChild(p, b);
+    } else {
+      doc->AppendChild(p, doc->CreateText(std::move(paragraph)));
+    }
+    builder.AddBlock(p);
+    paragraph.clear();
+    paragraph_emphasis = false;
+  };
+
+  for (const std::string& raw : netmark::Split(content, '\n')) {
+    std::string_view line = netmark::TrimView(raw);
+    if (line.empty()) {
+      flush();
+      continue;
+    }
+    if (line[0] == '.') {
+      std::vector<std::string> parts = netmark::SplitAndTrim(line, ' ');
+      const std::string& directive = parts[0];
+      if (directive == ".font") {
+        flush();
+        FontState next;
+        if (parts.size() >= 2) {
+          auto size = netmark::ParseInt64(parts[1]);
+          if (!size.ok()) {
+            return netmark::Status::ParseError("bad .font size in " + ctx.file_name +
+                                               ": " + parts[1]);
+          }
+          next.size = static_cast<int>(*size);
+        }
+        for (size_t i = 2; i < parts.size(); ++i) {
+          if (parts[i] == "bold") next.bold = true;
+          else if (parts[i] == "italic") next.italic = true;
+        }
+        font = next;
+        continue;
+      }
+      if (directive == ".page") {
+        flush();
+        ++page;
+        continue;
+      }
+      if (directive == ".meta") {
+        if (parts.size() >= 3) {
+          xml::NodeId meta = doc->CreateElement("netmark:meta");
+          doc->AddAttribute(meta, parts[1],
+                            netmark::Join({parts.begin() + 2, parts.end()}, " "));
+          builder.AddBlock(meta);
+        }
+        continue;
+      }
+      // Unknown directive: preserve as text (tolerance).
+    }
+    if (font.IsHeading()) {
+      flush();
+      builder.BeginSection(std::string(line));
+      continue;
+    }
+    if (!paragraph.empty()) paragraph += ' ';
+    paragraph += line;
+    paragraph_emphasis = font.bold || font.italic;
+  }
+  flush();
+  (void)page;
+  return builder.Finish();
+}
+
+}  // namespace netmark::convert

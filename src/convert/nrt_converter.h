@@ -1,0 +1,43 @@
+// NRT ("NETMARK Rich Text") converter — the stand-in for the paper's Word,
+// PDF and PowerPoint parsers.
+//
+// The paper's binary-format parsers recover structure "based on the
+// formatting information in the document": font size and weight runs mark
+// headings. NRT is a plain-text carrier for exactly those signals, so the
+// same heuristic code path is exercised without a binary codec:
+//
+//   .font <size> [bold] [italic]    formatting directive for following lines
+//   .page                           page break (PowerPoint slide boundary)
+//   .meta <key> <value>             document property
+//   <text lines>
+//
+// Heading rule (mirrors the Word/PDF heuristics the paper alludes to): a
+// line rendered at size >= 16, or bold at size >= 12, begins a new section.
+// Bold/italic runs inside body text become INTENSE markup.
+
+#ifndef NETMARK_CONVERT_NRT_CONVERTER_H_
+#define NETMARK_CONVERT_NRT_CONVERTER_H_
+
+#include "convert/converter.h"
+
+namespace netmark::convert {
+
+/// \brief Converts `.nrt` rich-text documents (and `.doc`/`.pdf`/`.ppt`
+/// files written in NRT syntax by the workload generators).
+class NrtConverter : public Converter {
+ public:
+  std::string_view format() const override { return "nrt"; }
+  std::vector<std::string_view> extensions() const override {
+    // The synthetic corpora emit NASA-style "word"/"pdf"/"powerpoint" files
+    // whose payload is NRT; claiming those extensions keeps the ingest flow
+    // identical to the paper's drag-and-drop story.
+    return {"nrt", "doc", "pdf", "ppt"};
+  }
+  bool Sniff(std::string_view content) const override;
+  netmark::Result<xml::Document> Convert(std::string_view content,
+                                         const ConvertContext& ctx) const override;
+};
+
+}  // namespace netmark::convert
+
+#endif  // NETMARK_CONVERT_NRT_CONVERTER_H_

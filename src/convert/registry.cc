@@ -1,0 +1,75 @@
+#include "convert/registry.h"
+
+#include "common/string_util.h"
+#include "convert/csv_converter.h"
+#include "convert/html_converter.h"
+#include "convert/json_converter.h"
+#include "convert/markdown_converter.h"
+#include "convert/nrt_converter.h"
+#include "convert/text_converter.h"
+
+namespace netmark::convert {
+
+std::string FileExtension(const std::string& file_name) {
+  size_t slash = file_name.find_last_of('/');
+  size_t dot = file_name.find_last_of('.');
+  if (dot == std::string::npos) return "";
+  if (slash != std::string::npos && dot < slash) return "";
+  return netmark::ToLower(file_name.substr(dot + 1));
+}
+
+ConverterRegistry ConverterRegistry::Default() {
+  ConverterRegistry registry;
+  registry.Register(std::make_unique<XmlConverter>());
+  registry.Register(std::make_unique<HtmlConverter>());
+  registry.Register(std::make_unique<JsonConverter>());
+  registry.Register(std::make_unique<MarkdownConverter>());
+  registry.Register(std::make_unique<CsvConverter>());
+  registry.Register(std::make_unique<NrtConverter>());
+  registry.Register(std::make_unique<TextConverter>());
+  return registry;
+}
+
+void ConverterRegistry::Register(std::unique_ptr<Converter> converter) {
+  converters_.push_back(std::move(converter));
+}
+
+netmark::Result<const Converter*> ConverterRegistry::Select(
+    const std::string& file_name, std::string_view content) const {
+  std::string ext = FileExtension(file_name);
+  if (!ext.empty()) {
+    // Later registrations win: scan backwards.
+    for (auto it = converters_.rbegin(); it != converters_.rend(); ++it) {
+      for (std::string_view claimed : (*it)->extensions()) {
+        if (claimed == ext) return it->get();
+      }
+    }
+  }
+  for (const auto& converter : converters_) {
+    if (converter->Sniff(content)) return converter.get();
+  }
+  return netmark::Status::NotFound("no converter accepts '" + file_name + "'");
+}
+
+netmark::Result<xml::Document> ConverterRegistry::Convert(
+    const std::string& file_name, std::string_view content) const {
+  NETMARK_ASSIGN_OR_RETURN(const Converter* converter, Select(file_name, content));
+  ConvertContext ctx;
+  ctx.file_name = file_name;
+  auto result = converter->Convert(content, ctx);
+  if (!result.ok()) {
+    return result.status().WithContext("converting " + file_name + " as " +
+                                       std::string(converter->format()));
+  }
+  return result;
+}
+
+std::vector<std::string> ConverterRegistry::SupportedFormats() const {
+  std::vector<std::string> out;
+  for (const auto& converter : converters_) {
+    out.emplace_back(converter->format());
+  }
+  return out;
+}
+
+}  // namespace netmark::convert

@@ -1,0 +1,43 @@
+// Converter registry: extension- and content-based format dispatch.
+
+#ifndef NETMARK_CONVERT_REGISTRY_H_
+#define NETMARK_CONVERT_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "convert/converter.h"
+
+namespace netmark::convert {
+
+/// \brief Holds converters and routes documents to the right one.
+class ConverterRegistry {
+ public:
+  /// Registry pre-loaded with every built-in converter.
+  static ConverterRegistry Default();
+
+  /// Adds a converter; later registrations win extension conflicts.
+  void Register(std::unique_ptr<Converter> converter);
+
+  /// Picks a converter: extension match first, then content sniffing, then
+  /// the plain-text fallback. Returns NotFound only for binary garbage.
+  netmark::Result<const Converter*> Select(const std::string& file_name,
+                                           std::string_view content) const;
+
+  /// One-call conversion.
+  netmark::Result<xml::Document> Convert(const std::string& file_name,
+                                         std::string_view content) const;
+
+  std::vector<std::string> SupportedFormats() const;
+
+ private:
+  std::vector<std::unique_ptr<Converter>> converters_;
+};
+
+/// \brief Lower-cased extension of a path ("" when absent).
+std::string FileExtension(const std::string& file_name);
+
+}  // namespace netmark::convert
+
+#endif  // NETMARK_CONVERT_REGISTRY_H_

@@ -1,0 +1,44 @@
+#include "convert/text_converter.h"
+
+#include "common/string_util.h"
+#include "convert/heading_heuristics.h"
+
+namespace netmark::convert {
+
+bool TextConverter::Sniff(std::string_view content) const {
+  // Plain text is the fallback: accept anything that is not markup-shaped
+  // and contains no NUL bytes.
+  if (content.find('\0') != std::string_view::npos) return false;
+  std::string_view t = netmark::TrimView(content);
+  return t.empty() || t[0] != '<';
+}
+
+netmark::Result<xml::Document> TextConverter::Convert(std::string_view content,
+                                                      const ConvertContext& ctx) const {
+  UpmarkBuilder builder(ctx.file_name, format());
+  std::string paragraph;
+  auto flush = [&]() {
+    if (!paragraph.empty()) {
+      builder.AddParagraph(std::move(paragraph));
+      paragraph.clear();
+    }
+  };
+  for (const std::string& raw : netmark::Split(content, '\n')) {
+    std::string_view line = netmark::TrimView(raw);
+    if (line.empty()) {
+      flush();
+      continue;
+    }
+    if (LooksLikeHeading(line)) {
+      flush();
+      builder.BeginSection(std::string(line));
+      continue;
+    }
+    if (!paragraph.empty()) paragraph += ' ';
+    paragraph += line;
+  }
+  flush();
+  return builder.Finish();
+}
+
+}  // namespace netmark::convert

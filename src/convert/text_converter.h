@@ -1,0 +1,22 @@
+// Plain-text upmark converter: infers sections from heading-looking lines.
+
+#ifndef NETMARK_CONVERT_TEXT_CONVERTER_H_
+#define NETMARK_CONVERT_TEXT_CONVERTER_H_
+
+#include "convert/converter.h"
+
+namespace netmark::convert {
+
+/// \brief Converts `.txt` documents using the heading heuristics.
+class TextConverter : public Converter {
+ public:
+  std::string_view format() const override { return "txt"; }
+  std::vector<std::string_view> extensions() const override { return {"txt", "text"}; }
+  bool Sniff(std::string_view content) const override;
+  netmark::Result<xml::Document> Convert(std::string_view content,
+                                         const ConvertContext& ctx) const override;
+};
+
+}  // namespace netmark::convert
+
+#endif  // NETMARK_CONVERT_TEXT_CONVERTER_H_

@@ -1,0 +1,149 @@
+#include "core/netmark.h"
+
+#include "common/clock.h"
+#include "common/temp_dir.h"
+#include "federation/local_source.h"
+#include "xml/serializer.h"
+
+namespace netmark {
+
+Result<std::unique_ptr<Netmark>> Netmark::Open(const NetmarkOptions& options) {
+  if (options.data_dir.empty()) {
+    return Status::InvalidArgument("NetmarkOptions.data_dir must be set");
+  }
+  std::unique_ptr<Netmark> nm(new Netmark(options));
+  NETMARK_ASSIGN_OR_RETURN(nm->store_,
+                           xmlstore::XmlStore::Open(options.data_dir, options.node_types));
+  nm->service_ = std::make_unique<server::NetmarkService>(nm->store_.get());
+  nm->service_->set_router(&nm->router_);
+  return nm;
+}
+
+Netmark::~Netmark() {
+  StopDaemon();
+  StopServer();
+}
+
+Result<int64_t> Netmark::IngestFile(const std::filesystem::path& path) {
+  NETMARK_ASSIGN_OR_RETURN(std::string content, ReadFile(path));
+  return IngestContent(path.filename().string(), content);
+}
+
+Result<int64_t> Netmark::IngestContent(const std::string& file_name,
+                                       std::string_view content) {
+  NETMARK_ASSIGN_OR_RETURN(xml::Document doc, converters_.Convert(file_name, content));
+  xmlstore::DocumentInfo info;
+  info.file_name = file_name;
+  info.file_date = WallSeconds();
+  info.file_size = static_cast<int64_t>(content.size());
+  return store_->InsertDocument(doc, info);
+}
+
+Result<std::vector<query::QueryHit>> Netmark::Query(const std::string& query_string) {
+  NETMARK_ASSIGN_OR_RETURN(query::XdbQuery q, query::ParseXdbQuery(query_string));
+  query::QueryExecutor executor(store_.get());
+  return executor.Execute(q);
+}
+
+Result<std::string> Netmark::QueryToXml(const std::string& query_string) {
+  NETMARK_ASSIGN_OR_RETURN(query::XdbQuery q, query::ParseXdbQuery(query_string));
+  query::QueryExecutor executor(store_.get());
+  NETMARK_ASSIGN_OR_RETURN(std::vector<query::QueryHit> hits, executor.Execute(q));
+  NETMARK_ASSIGN_OR_RETURN(xml::Document results,
+                           query::ComposeResults(*store_, q, hits));
+  return xml::Serialize(results);
+}
+
+Result<std::string> Netmark::QueryAndTransform(const std::string& query_string,
+                                               std::string_view stylesheet_text) {
+  NETMARK_ASSIGN_OR_RETURN(query::XdbQuery q, query::ParseXdbQuery(query_string));
+  query::QueryExecutor executor(store_.get());
+  NETMARK_ASSIGN_OR_RETURN(std::vector<query::QueryHit> hits, executor.Execute(q));
+  NETMARK_ASSIGN_OR_RETURN(xml::Document results,
+                           query::ComposeResults(*store_, q, hits));
+  NETMARK_ASSIGN_OR_RETURN(xml::Document transformed,
+                           xslt::Transform(stylesheet_text, results));
+  return xml::Serialize(transformed);
+}
+
+Result<std::string> Netmark::GetDocumentXml(int64_t doc_id) const {
+  NETMARK_ASSIGN_OR_RETURN(xml::Document doc, store_->Reconstruct(doc_id));
+  return xml::Serialize(doc);
+}
+
+Status Netmark::DeleteDocument(int64_t doc_id) { return store_->DeleteDocument(doc_id); }
+
+Result<std::vector<xmlstore::DocRecord>> Netmark::ListDocuments() const {
+  return store_->ListDocuments();
+}
+
+Status Netmark::RegisterSelfAsSource(const std::string& source_name) {
+  return router_.RegisterSource(
+      std::make_shared<federation::LocalStoreSource>(source_name, store_.get()));
+}
+
+Status Netmark::RegisterSource(std::shared_ptr<federation::Source> source) {
+  return router_.RegisterSource(std::move(source));
+}
+
+Status Netmark::DefineDatabank(const std::string& name,
+                               std::vector<std::string> source_names) {
+  return router_.DefineDatabank(name, std::move(source_names));
+}
+
+Result<std::vector<federation::FederatedHit>> Netmark::QueryDatabank(
+    const std::string& databank, const std::string& query_string) {
+  NETMARK_ASSIGN_OR_RETURN(query::XdbQuery q, query::ParseXdbQuery(query_string));
+  return router_.Query(databank, q);
+}
+
+Status Netmark::StartServer(uint16_t port) {
+  if (http_server_ != nullptr) return Status::AlreadyExists("server already started");
+  http_server_ = std::make_unique<server::HttpServer>(
+      [this](const server::HttpRequest& req) { return service_->Handle(req); });
+  Status st = http_server_->Start(port);
+  if (!st.ok()) http_server_.reset();
+  return st;
+}
+
+void Netmark::StopServer() {
+  if (http_server_ != nullptr) {
+    http_server_->Stop();
+    http_server_.reset();
+  }
+}
+
+uint16_t Netmark::server_port() const {
+  return http_server_ == nullptr ? 0 : http_server_->port();
+}
+
+Status Netmark::RegisterStylesheet(const std::string& name, std::string_view text) {
+  return service_->RegisterStylesheet(name, text);
+}
+
+Status Netmark::StartDaemon(const std::filesystem::path& drop_dir) {
+  if (daemon_ != nullptr) return Status::AlreadyExists("daemon already started");
+  server::DaemonOptions opts;
+  opts.drop_dir = drop_dir;
+  daemon_ =
+      std::make_unique<server::IngestionDaemon>(store_.get(), &converters_, opts);
+  Status st = daemon_->Start();
+  if (!st.ok()) daemon_.reset();
+  return st;
+}
+
+void Netmark::StopDaemon() {
+  if (daemon_ != nullptr) {
+    daemon_->Stop();
+    daemon_.reset();
+  }
+}
+
+Result<int> Netmark::ProcessDropFolderOnce() {
+  if (daemon_ == nullptr) {
+    return Status::InvalidArgument("daemon not started (StartDaemon first)");
+  }
+  return daemon_->ProcessOnce();
+}
+
+}  // namespace netmark

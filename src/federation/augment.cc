@@ -1,0 +1,46 @@
+#include "federation/augment.h"
+
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace netmark::federation {
+
+std::vector<DomSection> ExtractSections(const xml::Document& doc,
+                                        const xml::NodeTypeConfig& node_types) {
+  std::vector<DomSection> out;
+  for (xml::NodeId node : doc.Descendants(doc.root())) {
+    if (doc.kind(node) != xml::NodeKind::kElement) continue;
+    if (node_types.Classify(doc, node) != xml::NetmarkNodeType::kContext) continue;
+    DomSection section;
+    section.heading = doc.TextContent(node);
+    for (xml::NodeId sib = doc.next_sibling(node); sib != xml::kInvalidNode;
+         sib = doc.next_sibling(sib)) {
+      if (doc.kind(sib) == xml::NodeKind::kElement &&
+          node_types.Classify(doc, sib) == xml::NetmarkNodeType::kContext) {
+        break;
+      }
+      std::string text = doc.kind(sib) == xml::NodeKind::kText
+                             ? doc.data(sib)
+                             : doc.TextContent(sib);
+      if (!text.empty()) {
+        if (!section.text.empty()) section.text += ' ';
+        section.text += text;
+      }
+      section.markup += xml::Serialize(doc, sib);
+    }
+    out.push_back(std::move(section));
+  }
+  return out;
+}
+
+netmark::Result<std::vector<DomSection>> ExtractSectionsFromMarkup(
+    std::string_view markup, const xml::NodeTypeConfig& node_types) {
+  auto doc = xml::ParseXml(markup);
+  if (!doc.ok()) {
+    NETMARK_ASSIGN_OR_RETURN(xml::Document html, xml::ParseHtml(markup));
+    return ExtractSections(html, node_types);
+  }
+  return ExtractSections(*doc, node_types);
+}
+
+}  // namespace netmark::federation

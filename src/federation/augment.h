@@ -1,0 +1,37 @@
+// Query augmentation helpers: client-side section extraction over raw
+// document markup fetched from capability-limited sources.
+
+#ifndef NETMARK_FEDERATION_AUGMENT_H_
+#define NETMARK_FEDERATION_AUGMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/dom.h"
+#include "xml/node_type_config.h"
+
+namespace netmark::federation {
+
+/// A section located in a fetched document (DOM-level, no store involved).
+struct DomSection {
+  std::string heading;
+  std::string text;    ///< content-run text (up to the next heading sibling)
+  std::string markup;  ///< serialized content-run markup
+};
+
+/// \brief Finds every CONTEXT-classified element in `doc` and assembles its
+/// section (following siblings until the next CONTEXT sibling) — the same
+/// walk the XML store performs, but over a transient DOM.
+std::vector<DomSection> ExtractSections(
+    const xml::Document& doc,
+    const xml::NodeTypeConfig& node_types = xml::NodeTypeConfig::Default());
+
+/// \brief Parses raw markup then extracts sections; tolerant of HTML.
+netmark::Result<std::vector<DomSection>> ExtractSectionsFromMarkup(
+    std::string_view markup,
+    const xml::NodeTypeConfig& node_types = xml::NodeTypeConfig::Default());
+
+}  // namespace netmark::federation
+
+#endif  // NETMARK_FEDERATION_AUGMENT_H_

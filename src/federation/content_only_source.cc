@@ -1,0 +1,55 @@
+#include "federation/content_only_source.h"
+
+#include "textindex/text_query.h"
+#include "xml/serializer.h"
+
+namespace netmark::federation {
+
+void ContentOnlySource::AddDocument(const std::string& file_name,
+                                    const xml::Document& doc) {
+  Doc d;
+  d.id = static_cast<int64_t>(docs_.size()) + 1;
+  d.file_name = file_name;
+  // Space-join text nodes: plain TextContent() concatenation would fuse the
+  // last word of one node with the first of the next, breaking term matches.
+  for (xml::NodeId n : doc.Descendants(doc.root())) {
+    if (doc.kind(n) == xml::NodeKind::kText || doc.kind(n) == xml::NodeKind::kCData) {
+      if (!d.text.empty()) d.text += ' ';
+      d.text += doc.data(n);
+    }
+  }
+  d.markup = xml::Serialize(doc, doc.root());
+  docs_.push_back(std::move(d));
+}
+
+netmark::Result<std::vector<FederatedHit>> ContentOnlySource::Execute(
+    const query::XdbQuery& query) {
+  // A content-only server ignores any context clause entirely; it matches
+  // keywords (no phrase support: phrases degrade to their words — the router
+  // re-verifies after augmentation).
+  std::vector<FederatedHit> out;
+  if (query.content.empty()) return out;
+  textindex::TextQuery parsed = textindex::ParseTextQuery(query.content);
+  // Degrade phrases to conjunctions of terms (capability limitation).
+  textindex::TextQuery degraded;
+  for (const textindex::QueryClause& clause : parsed.clauses) {
+    for (const std::string& word : clause.words) {
+      textindex::QueryClause term;
+      term.kind = textindex::QueryClause::Kind::kTerm;
+      term.words = {word};
+      degraded.clauses.push_back(std::move(term));
+    }
+  }
+  for (const Doc& doc : docs_) {
+    if (!textindex::Matches(degraded, doc.text)) continue;
+    FederatedHit hit;
+    hit.doc_id = doc.id;
+    hit.file_name = doc.file_name;
+    hit.text = doc.text;
+    hit.markup = doc.markup;
+    out.push_back(std::move(hit));
+  }
+  return out;
+}
+
+}  // namespace netmark::federation

@@ -1,0 +1,50 @@
+// ContentOnlySource: a deliberately limited source modeling systems like the
+// NASA Lessons Learned Information Server, which "allows only 'Content
+// search' kinds of queries" (paper §2.1.5). The router must augment context
+// clauses itself from the returned documents.
+
+#ifndef NETMARK_FEDERATION_CONTENT_ONLY_SOURCE_H_
+#define NETMARK_FEDERATION_CONTENT_ONLY_SOURCE_H_
+
+#include <string>
+#include <vector>
+
+#include "federation/source.h"
+#include "xml/dom.h"
+
+namespace netmark::federation {
+
+/// \brief Keyword-search-only document server.
+///
+/// Documents are held as upmarked XML, but the query interface exposes only
+/// single-/multi-term content matching over the flat text and returns whole
+/// documents (text + raw markup) — exactly the shape the router's
+/// augmentation path needs to exercise.
+class ContentOnlySource : public Source {
+ public:
+  explicit ContentOnlySource(std::string name) : name_(std::move(name)) {}
+
+  /// Adds a document (takes the upmarked DOM).
+  void AddDocument(const std::string& file_name, const xml::Document& doc);
+
+  const std::string& name() const override { return name_; }
+  Capabilities capabilities() const override { return Capabilities::ContentOnly(); }
+  netmark::Result<std::vector<FederatedHit>> Execute(
+      const query::XdbQuery& query) override;
+
+  size_t document_count() const { return docs_.size(); }
+
+ private:
+  struct Doc {
+    int64_t id;
+    std::string file_name;
+    std::string text;    // flattened text for matching
+    std::string markup;  // serialized XML for augmentation
+  };
+  std::string name_;
+  std::vector<Doc> docs_;
+};
+
+}  // namespace netmark::federation
+
+#endif  // NETMARK_FEDERATION_CONTENT_ONLY_SOURCE_H_

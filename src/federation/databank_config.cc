@@ -1,0 +1,106 @@
+#include "federation/databank_config.h"
+
+#include "common/string_util.h"
+
+namespace netmark::federation {
+
+netmark::Result<DatabankConfig> ParseDatabankConfig(std::string_view text) {
+  NETMARK_ASSIGN_OR_RETURN(Config ini, Config::Parse(text));
+  DatabankConfig config;
+  for (const std::string& section : ini.Sections()) {
+    if (netmark::StartsWith(section, "source:")) {
+      SourceDecl decl;
+      decl.name = netmark::Trim(section.substr(7));
+      if (decl.name.empty()) {
+        return netmark::Status::ParseError("source section with empty name");
+      }
+      decl.kind = netmark::ToLower(ini.GetOr(section, "kind", ""));
+      if (decl.kind == "local") {
+        decl.path = ini.GetOr(section, "path", "");
+        if (decl.path.empty()) {
+          return netmark::Status::ParseError("local source " + decl.name +
+                                             " needs path=");
+        }
+      } else if (decl.kind == "remote") {
+        decl.host = ini.GetOr(section, "host", "127.0.0.1");
+        auto port_value = ini.GetInt(section, "port");
+        if (!port_value.ok()) {
+          return netmark::Status::ParseError("remote source " + decl.name +
+                                             " needs a numeric port=");
+        }
+        int64_t port = *port_value;
+        if (port <= 0 || port > 65535) {
+          return netmark::Status::ParseError("remote source " + decl.name +
+                                             " has bad port");
+        }
+        decl.port = static_cast<uint16_t>(port);
+      } else {
+        return netmark::Status::ParseError("source " + decl.name +
+                                           " has unknown kind '" + decl.kind + "'");
+      }
+      std::string caps = netmark::ToLower(ini.GetOr(section, "capabilities", "full"));
+      if (caps == "content") {
+        decl.capabilities = Capabilities::ContentOnly();
+      } else if (caps != "full") {
+        return netmark::Status::ParseError("source " + decl.name +
+                                           " has unknown capabilities '" + caps + "'");
+      }
+      config.sources.push_back(std::move(decl));
+    } else if (netmark::StartsWith(section, "databank:")) {
+      DatabankDecl decl;
+      decl.name = netmark::Trim(section.substr(9));
+      if (decl.name.empty()) {
+        return netmark::Status::ParseError("databank section with empty name");
+      }
+      NETMARK_ASSIGN_OR_RETURN(std::string sources, ini.Get(section, "sources"));
+      decl.sources = netmark::SplitAndTrim(sources, ',');
+      if (decl.sources.empty()) {
+        return netmark::Status::ParseError("databank " + decl.name +
+                                           " declares no sources");
+      }
+      config.databanks.push_back(std::move(decl));
+    } else if (!section.empty()) {
+      return netmark::Status::ParseError("unknown config section [" + section + "]");
+    }
+  }
+  // Validate references.
+  for (const DatabankDecl& bank : config.databanks) {
+    for (const std::string& src : bank.sources) {
+      bool found = false;
+      for (const SourceDecl& decl : config.sources) {
+        if (netmark::EqualsIgnoreCase(decl.name, src)) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return netmark::Status::ParseError("databank " + bank.name +
+                                           " references undeclared source " + src);
+      }
+    }
+  }
+  return config;
+}
+
+netmark::Status ApplyDatabankConfig(const DatabankConfig& config,
+                                    const SourceFactory& factory, Router* router) {
+  for (const SourceDecl& decl : config.sources) {
+    NETMARK_ASSIGN_OR_RETURN(std::shared_ptr<Source> source, factory(decl));
+    if (source == nullptr) {
+      return netmark::Status::Internal("source factory returned null for " +
+                                       decl.name);
+    }
+    NETMARK_RETURN_NOT_OK(router->RegisterSource(std::move(source)));
+  }
+  for (const DatabankDecl& bank : config.databanks) {
+    // Resolve to the canonical (lower-cased) names registered above.
+    std::vector<std::string> sources;
+    for (const std::string& src : bank.sources) {
+      sources.push_back(netmark::ToLower(src));
+    }
+    NETMARK_RETURN_NOT_OK(router->DefineDatabank(bank.name, std::move(sources)));
+  }
+  return netmark::Status::OK();
+}
+
+}  // namespace netmark::federation

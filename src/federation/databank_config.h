@@ -1,0 +1,72 @@
+// Declarative databank configuration (paper §2.1.5: "a simple declarative
+// process where an administrator creates a 'Databank' for an application").
+//
+// INI format (section and source names are case-insensitive):
+//
+//   [source:ames-store]
+//   kind = local            ; an on-disk NETMARK store
+//   path = /data/ames
+//
+//   [source:lessons]
+//   kind = remote           ; another NETMARK instance over HTTP
+//   host = 127.0.0.1
+//   port = 8080
+//   capabilities = content  ; optional: full (default) | content
+//
+//   [databank:anomalies]
+//   sources = ames-store, lessons
+
+#ifndef NETMARK_FEDERATION_DATABANK_CONFIG_H_
+#define NETMARK_FEDERATION_DATABANK_CONFIG_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/result.h"
+#include "federation/router.h"
+
+namespace netmark::federation {
+
+/// Parsed declaration of one source.
+struct SourceDecl {
+  std::string name;
+  std::string kind;  ///< "local" | "remote"
+  std::string path;  ///< local: store directory
+  std::string host;  ///< remote
+  uint16_t port = 0;
+  Capabilities capabilities = Capabilities::Full();
+};
+
+/// Parsed declaration of one databank.
+struct DatabankDecl {
+  std::string name;
+  std::vector<std::string> sources;
+};
+
+/// The whole configuration.
+struct DatabankConfig {
+  std::vector<SourceDecl> sources;
+  std::vector<DatabankDecl> databanks;
+};
+
+/// \brief Parses databank configuration text (validating kinds, ports, and
+/// that databanks reference declared sources).
+netmark::Result<DatabankConfig> ParseDatabankConfig(std::string_view text);
+
+/// Factory turning a SourceDecl into a live Source. The default factory
+/// (used by ApplyDatabankConfig when none is given) opens local stores from
+/// disk and connects remote sources over HTTP — callers in tests inject
+/// fakes here.
+using SourceFactory =
+    std::function<netmark::Result<std::shared_ptr<Source>>(const SourceDecl&)>;
+
+/// \brief Instantiates every declared source and databank into `router`.
+netmark::Status ApplyDatabankConfig(const DatabankConfig& config,
+                                    const SourceFactory& factory, Router* router);
+
+}  // namespace netmark::federation
+
+#endif  // NETMARK_FEDERATION_DATABANK_CONFIG_H_

@@ -1,0 +1,39 @@
+#include "federation/local_source.h"
+
+#include "xml/serializer.h"
+
+namespace netmark::federation {
+
+netmark::Result<std::shared_ptr<LocalStoreSource>> LocalStoreSource::OpenOwned(
+    std::string name, const std::string& dir) {
+  NETMARK_ASSIGN_OR_RETURN(std::unique_ptr<xmlstore::XmlStore> store,
+                           xmlstore::XmlStore::Open(dir));
+  return std::shared_ptr<LocalStoreSource>(
+      new LocalStoreSource(std::move(name), std::move(store)));
+}
+
+netmark::Result<std::vector<FederatedHit>> LocalStoreSource::Execute(
+    const query::XdbQuery& query) {
+  NETMARK_ASSIGN_OR_RETURN(std::vector<query::QueryHit> hits,
+                           executor_.Execute(query));
+  std::vector<FederatedHit> out;
+  out.reserve(hits.size());
+  for (const query::QueryHit& hit : hits) {
+    FederatedHit fh;
+    fh.doc_id = hit.doc_id;
+    fh.file_name = hit.file_name;
+    fh.heading = hit.heading;
+    fh.text = hit.text;
+    if (hit.context.valid()) {
+      // Include the section markup so downstream composition can embed it.
+      auto fragment = store_->ReconstructSubtree(hit.context);
+      if (fragment.ok()) {
+        fh.markup = xml::Serialize(*fragment, fragment->root());
+      }
+    }
+    out.push_back(std::move(fh));
+  }
+  return out;
+}
+
+}  // namespace netmark::federation

@@ -1,0 +1,47 @@
+// LocalStoreSource: full-capability source backed by an in-process XmlStore.
+
+#ifndef NETMARK_FEDERATION_LOCAL_SOURCE_H_
+#define NETMARK_FEDERATION_LOCAL_SOURCE_H_
+
+#include <memory>
+#include <string>
+
+#include "federation/source.h"
+#include "query/executor.h"
+#include "xmlstore/xml_store.h"
+
+namespace netmark::federation {
+
+/// \brief Adapter exposing a NETMARK XML Store as a federated source.
+class LocalStoreSource : public Source {
+ public:
+  /// Wraps a store owned elsewhere (must outlive the source).
+  LocalStoreSource(std::string name, const xmlstore::XmlStore* store)
+      : name_(std::move(name)), store_(store), executor_(store) {}
+
+  /// Opens the store at `dir` and owns it for the source's lifetime (the
+  /// form declarative databank configs use).
+  static netmark::Result<std::shared_ptr<LocalStoreSource>> OpenOwned(
+      std::string name, const std::string& dir);
+
+  const std::string& name() const override { return name_; }
+  Capabilities capabilities() const override { return Capabilities::Full(); }
+  netmark::Result<std::vector<FederatedHit>> Execute(
+      const query::XdbQuery& query) override;
+
+ private:
+  LocalStoreSource(std::string name, std::unique_ptr<xmlstore::XmlStore> owned)
+      : name_(std::move(name)),
+        owned_(std::move(owned)),
+        store_(owned_.get()),
+        executor_(owned_.get()) {}
+
+  std::string name_;
+  std::unique_ptr<xmlstore::XmlStore> owned_;  // null when externally owned
+  const xmlstore::XmlStore* store_;
+  query::QueryExecutor executor_;
+};
+
+}  // namespace netmark::federation
+
+#endif  // NETMARK_FEDERATION_LOCAL_SOURCE_H_

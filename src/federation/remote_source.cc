@@ -1,0 +1,54 @@
+#include "federation/remote_source.h"
+
+#include "common/string_util.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace netmark::federation {
+
+netmark::Result<std::vector<FederatedHit>> ParseResultsDocument(
+    std::string_view body) {
+  NETMARK_ASSIGN_OR_RETURN(xml::Document doc, xml::ParseXml(body));
+  xml::NodeId results = doc.DocumentElement();
+  if (results == xml::kInvalidNode || doc.name(results) != "results") {
+    return netmark::Status::ParseError("remote response is not a <results> document");
+  }
+  std::vector<FederatedHit> out;
+  for (xml::NodeId result = doc.first_child(results); result != xml::kInvalidNode;
+       result = doc.next_sibling(result)) {
+    if (doc.kind(result) != xml::NodeKind::kElement || doc.name(result) != "result") {
+      continue;
+    }
+    FederatedHit hit;
+    hit.file_name = std::string(doc.GetAttribute(result, "doc"));
+    auto doc_id = netmark::ParseInt64(doc.GetAttribute(result, "docid"));
+    if (doc_id.ok()) hit.doc_id = *doc_id;
+    xml::NodeId context = doc.FirstChildElement(result, "context");
+    if (context != xml::kInvalidNode) hit.heading = doc.TextContent(context);
+    xml::NodeId content = doc.FirstChildElement(result, "content");
+    if (content != xml::kInvalidNode) {
+      hit.text = doc.TextContent(content);
+      std::string markup;
+      for (xml::NodeId c = doc.first_child(content); c != xml::kInvalidNode;
+           c = doc.next_sibling(c)) {
+        markup += xml::Serialize(doc, c);
+      }
+      hit.markup = std::move(markup);
+    }
+    out.push_back(std::move(hit));
+  }
+  return out;
+}
+
+netmark::Result<std::vector<FederatedHit>> RemoteSource::Execute(
+    const query::XdbQuery& query) {
+  std::string path = "/xdb?" + query.ToQueryString();
+  NETMARK_ASSIGN_OR_RETURN(std::string body, transport_->Get(path));
+  auto hits = ParseResultsDocument(body);
+  if (!hits.ok()) {
+    return hits.status().WithContext("remote source " + name_);
+  }
+  return hits;
+}
+
+}  // namespace netmark::federation

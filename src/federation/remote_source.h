@@ -1,0 +1,52 @@
+// RemoteSource: a source reached over HTTP — another NETMARK server's XDB
+// endpoint ("users can access NETMARK documents by simple HTTP requests").
+//
+// The transport is abstract so federation does not depend on the server
+// module; netmark::server provides the socket-backed implementation.
+
+#ifndef NETMARK_FEDERATION_REMOTE_SOURCE_H_
+#define NETMARK_FEDERATION_REMOTE_SOURCE_H_
+
+#include <memory>
+#include <string>
+
+#include "federation/source.h"
+
+namespace netmark::federation {
+
+/// \brief Minimal HTTP GET transport.
+class HttpTransport {
+ public:
+  virtual ~HttpTransport() = default;
+  /// Fetches `path_and_query` ("/xdb?context=..."), returning the body.
+  virtual netmark::Result<std::string> Get(const std::string& path_and_query) = 0;
+};
+
+/// \brief Federated source proxied over HTTP to a remote NETMARK instance.
+class RemoteSource : public Source {
+ public:
+  RemoteSource(std::string name, std::unique_ptr<HttpTransport> transport,
+               Capabilities capabilities = Capabilities::Full())
+      : name_(std::move(name)),
+        transport_(std::move(transport)),
+        capabilities_(capabilities) {}
+
+  const std::string& name() const override { return name_; }
+  Capabilities capabilities() const override { return capabilities_; }
+  netmark::Result<std::vector<FederatedHit>> Execute(
+      const query::XdbQuery& query) override;
+
+ private:
+  std::string name_;
+  std::unique_ptr<HttpTransport> transport_;
+  Capabilities capabilities_;
+};
+
+/// \brief Parses a `<results>` document (the XDB endpoint's response format;
+/// see query::ComposeResults) back into federated hits. Exposed for tests.
+netmark::Result<std::vector<FederatedHit>> ParseResultsDocument(
+    std::string_view body);
+
+}  // namespace netmark::federation
+
+#endif  // NETMARK_FEDERATION_REMOTE_SOURCE_H_

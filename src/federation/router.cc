@@ -1,0 +1,157 @@
+#include "federation/router.h"
+
+#include <algorithm>
+
+#include "textindex/text_query.h"
+
+namespace netmark::federation {
+
+netmark::Status Router::RegisterSource(std::shared_ptr<Source> source) {
+  const std::string& name = source->name();
+  if (sources_.count(name) != 0) {
+    return netmark::Status::AlreadyExists("source " + name + " already registered");
+  }
+  sources_[name] = std::move(source);
+  return netmark::Status::OK();
+}
+
+netmark::Status Router::DefineDatabank(const std::string& name,
+                                       std::vector<std::string> source_names) {
+  if (databanks_.count(name) != 0) {
+    return netmark::Status::AlreadyExists("databank " + name + " already defined");
+  }
+  if (source_names.empty()) {
+    return netmark::Status::InvalidArgument("databank " + name + " needs sources");
+  }
+  for (const std::string& src : source_names) {
+    if (sources_.count(src) == 0) {
+      return netmark::Status::NotFound("databank " + name +
+                                       " references unknown source " + src);
+    }
+  }
+  databanks_[name] = Databank{name, std::move(source_names)};
+  return netmark::Status::OK();
+}
+
+std::vector<std::string> Router::DatabankNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, bank] : databanks_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> Router::SourceNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, src] : sources_) out.push_back(name);
+  return out;
+}
+
+Source* Router::GetSource(const std::string& name) {
+  auto it = sources_.find(name);
+  return it == sources_.end() ? nullptr : it->second.get();
+}
+
+netmark::Result<std::vector<FederatedHit>> Router::QueryOneSource(
+    Source* source, const query::XdbQuery& query) {
+  Capabilities caps = source->capabilities();
+  const bool needs_context = !query.context.empty();
+  bool needs_phrase = false;
+  {
+    textindex::TextQuery parsed = textindex::ParseTextQuery(query.content);
+    for (const textindex::QueryClause& clause : parsed.clauses) {
+      if (clause.kind == textindex::QueryClause::Kind::kPhrase) needs_phrase = true;
+    }
+  }
+
+  if ((!needs_context || caps.context_search) &&
+      (query.content.empty() || caps.content_search) &&
+      (!needs_phrase || caps.phrase_search)) {
+    // Full push-down.
+    ++stats_.pushed_down_full;
+    NETMARK_ASSIGN_OR_RETURN(std::vector<FederatedHit> hits, source->Execute(query));
+    stats_.raw_hits += hits.size();
+    return hits;
+  }
+
+  // Capability-limited source: push down the supported sub-query, augment
+  // the remainder locally (the paper's Context=Title&Content=Engine walk-
+  // through against the Lessons Learned server).
+  ++stats_.augmented;
+  query::XdbQuery pushed;
+  pushed.limit = 0;  // fetch everything; we filter locally
+  if (caps.content_search) {
+    // Best effort: if the user gave a content key push that; otherwise use
+    // the context key as a content probe (documents mentioning the heading
+    // words are the superset we refine).
+    pushed.content = !query.content.empty() ? query.content : query.context;
+  } else {
+    return netmark::Status::Unavailable("source " + source->name() +
+                                        " supports no usable search capability");
+  }
+  NETMARK_ASSIGN_OR_RETURN(std::vector<FederatedHit> raw, source->Execute(pushed));
+  stats_.raw_hits += raw.size();
+
+  textindex::TextQuery context_query = textindex::ParseTextQuery(query.context);
+  textindex::TextQuery content_query = textindex::ParseTextQuery(query.content);
+  std::vector<FederatedHit> out;
+  for (FederatedHit& hit : raw) {
+    if (!needs_context) {
+      // Content-only query: re-verify phrases the source degraded.
+      if (!content_query.empty() && !textindex::Matches(content_query, hit.text)) {
+        continue;
+      }
+      out.push_back(std::move(hit));
+      continue;
+    }
+    // Context clause: extract sections from the returned markup and keep the
+    // ones whose heading matches (and whose body satisfies the content key).
+    if (hit.markup.empty()) continue;
+    auto sections = ExtractSectionsFromMarkup(hit.markup);
+    if (!sections.ok()) continue;  // unparseable remote payload: skip the hit
+    for (DomSection& section : *sections) {
+      if (!textindex::Matches(context_query, section.heading)) continue;
+      if (!content_query.empty()) {
+        std::string scope = section.heading + " " + section.text;
+        if (!textindex::Matches(content_query, scope)) continue;
+      }
+      FederatedHit refined;
+      refined.doc_id = hit.doc_id;
+      refined.file_name = hit.file_name;
+      refined.heading = std::move(section.heading);
+      refined.text = std::move(section.text);
+      refined.markup = std::move(section.markup);
+      out.push_back(std::move(refined));
+    }
+  }
+  return out;
+}
+
+netmark::Result<std::vector<FederatedHit>> Router::Query(
+    const std::string& databank, const query::XdbQuery& query) {
+  stats_ = Stats{};
+  auto bank_it = databanks_.find(databank);
+  if (bank_it == databanks_.end()) {
+    return netmark::Status::NotFound("no databank " + databank);
+  }
+  std::vector<FederatedHit> merged;
+  for (const std::string& source_name : bank_it->second.source_names) {
+    Source* source = sources_.at(source_name).get();
+    ++stats_.sources_queried;
+    auto hits = QueryOneSource(source, query);
+    if (!hits.ok()) {
+      // A failing source must not take down the whole databank query; the
+      // paper's applications keep serving from the remaining sources.
+      continue;
+    }
+    for (FederatedHit& hit : *hits) {
+      hit.source = source_name;
+      merged.push_back(std::move(hit));
+    }
+  }
+  if (query.limit != 0 && merged.size() > query.limit) {
+    merged.resize(query.limit);
+  }
+  stats_.final_hits = merged.size();
+  return merged;
+}
+
+}  // namespace netmark::federation

@@ -1,0 +1,72 @@
+// Databanks and the thin query router (paper §2.1.5, Fig 8).
+//
+// "Integration can be specified (and executed) at the client side by
+// specifying databanks. ... Middleware requirements are reduced to needing
+// just a thin router capability across the various information sources."
+//
+// A databank is a named list of sources created by a *declarative* step —
+// no schemas, no views, no mappings. The router decomposes each query per
+// source capability, pushes down the supported part, and augments the rest.
+
+#ifndef NETMARK_FEDERATION_ROUTER_H_
+#define NETMARK_FEDERATION_ROUTER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "federation/augment.h"
+#include "federation/source.h"
+
+namespace netmark::federation {
+
+/// A named source list — the whole "integration specification".
+struct Databank {
+  std::string name;
+  std::vector<std::string> source_names;
+};
+
+/// \brief Registry of sources + databanks, and the fan-out query engine.
+class Router {
+ public:
+  /// Registers a source (owned by the router).
+  netmark::Status RegisterSource(std::shared_ptr<Source> source);
+  /// Declares a databank over registered sources.
+  netmark::Status DefineDatabank(const std::string& name,
+                                 std::vector<std::string> source_names);
+
+  bool HasDatabank(const std::string& name) const {
+    return databanks_.count(name) != 0;
+  }
+  std::vector<std::string> DatabankNames() const;
+  std::vector<std::string> SourceNames() const;
+  Source* GetSource(const std::string& name);
+
+  /// Runs `query` against every source of `databank`, augmenting
+  /// capability-limited sources, and merges the results.
+  netmark::Result<std::vector<FederatedHit>> Query(const std::string& databank,
+                                                   const query::XdbQuery& query);
+
+  /// Per-query accounting (read after Query; benches use this).
+  struct Stats {
+    size_t sources_queried = 0;
+    size_t pushed_down_full = 0;   ///< sources that ran the whole query
+    size_t augmented = 0;          ///< sources whose results needed local work
+    size_t raw_hits = 0;           ///< hits fetched from sources
+    size_t final_hits = 0;         ///< hits after augmentation/merging
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  netmark::Result<std::vector<FederatedHit>> QueryOneSource(
+      Source* source, const query::XdbQuery& query);
+
+  std::map<std::string, std::shared_ptr<Source>> sources_;
+  std::map<std::string, Databank> databanks_;
+  Stats stats_;
+};
+
+}  // namespace netmark::federation
+
+#endif  // NETMARK_FEDERATION_ROUTER_H_

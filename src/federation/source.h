@@ -1,0 +1,56 @@
+// Federated sources and their capability descriptors (paper §2.1.5).
+//
+// "A source that is queried need not necessarily have XML or even
+// Context+Content searching capabilities. However NETMARK 'augments' the
+// query capability in that it uses whatever query and search capabilities
+// are available at the source and then does further processing required."
+
+#ifndef NETMARK_FEDERATION_SOURCE_H_
+#define NETMARK_FEDERATION_SOURCE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/xdb_query.h"
+
+namespace netmark::federation {
+
+/// What a source can evaluate natively. The router pushes down the largest
+/// supported sub-query and augments the remainder itself.
+struct Capabilities {
+  bool context_search = false;  ///< heading-scoped section queries
+  bool content_search = false;  ///< keyword document queries
+  bool phrase_search = false;   ///< quoted phrases in keys
+  bool returns_markup = false;  ///< hits carry document/section XML
+
+  static Capabilities Full() { return {true, true, true, true}; }
+  static Capabilities ContentOnly() { return {false, true, false, false}; }
+};
+
+/// One hit returned by a source.
+struct FederatedHit {
+  std::string source;       ///< source name (filled by the router)
+  int64_t doc_id = 0;       ///< source-local document id
+  std::string file_name;
+  std::string heading;      ///< section heading ("" for document-level hits)
+  std::string text;         ///< section text, or full document text
+  std::string markup;       ///< raw XML of the matched unit, when available
+};
+
+/// \brief One information source inside a databank.
+class Source {
+ public:
+  virtual ~Source() = default;
+  virtual const std::string& name() const = 0;
+  virtual Capabilities capabilities() const = 0;
+
+  /// Executes the *supported subset* of `query` (the router guarantees it
+  /// only sends what `capabilities()` advertises) and returns raw hits.
+  virtual netmark::Result<std::vector<FederatedHit>> Execute(
+      const query::XdbQuery& query) = 0;
+};
+
+}  // namespace netmark::federation
+
+#endif  // NETMARK_FEDERATION_SOURCE_H_

@@ -1,0 +1,75 @@
+#include "query/compose.h"
+
+#include "xml/parser.h"
+#include "xmlstore/context_walk.h"
+
+namespace netmark::query {
+
+netmark::Result<xml::Document> ComposeResults(const xmlstore::XmlStore& store,
+                                              const XdbQuery& query,
+                                              const std::vector<QueryHit>& hits,
+                                              const ComposeOptions& options) {
+  xml::Document out;
+  xml::NodeId results = out.CreateElement("results");
+  out.AddAttribute(results, "query", query.ToQueryString());
+  out.AddAttribute(results, "count", std::to_string(hits.size()));
+  out.AppendChild(out.root(), results);
+
+  for (const QueryHit& hit : hits) {
+    xml::NodeId result = out.CreateElement("result");
+    out.AddAttribute(result, "doc", hit.file_name);
+    out.AddAttribute(result, "docid", std::to_string(hit.doc_id));
+    out.AppendChild(results, result);
+
+    if (!hit.context.valid()) {
+      if (!hit.markup.empty()) {
+        // XPath hit: embed the selected fragment.
+        xml::NodeId content = out.CreateElement("content");
+        out.AppendChild(result, content);
+        auto fragment = xml::ParseXml(hit.markup);
+        if (fragment.ok()) {
+          for (xml::NodeId c = fragment->first_child(fragment->root());
+               c != xml::kInvalidNode; c = fragment->next_sibling(c)) {
+            out.AppendChild(content, out.ImportSubtree(*fragment, c));
+          }
+        } else {
+          out.AppendChild(content, out.CreateText(hit.text));
+        }
+      }
+      // Document-level hit (content-only query): a reference plus its
+      // snippet (section heading + matched text slice) when available.
+      if (!hit.heading.empty() || !hit.text.empty()) {
+        xml::NodeId snippet = out.CreateElement("snippet");
+        if (!hit.heading.empty()) out.AddAttribute(snippet, "section", hit.heading);
+        if (!hit.text.empty()) {
+          out.AppendChild(snippet, out.CreateText(hit.text));
+        }
+        out.AppendChild(result, snippet);
+      }
+      continue;
+    }
+    xml::NodeId context = out.CreateElement("context");
+    out.AppendChild(context, out.CreateText(hit.heading));
+    out.AppendChild(result, context);
+
+    xml::NodeId content = out.CreateElement("content");
+    out.AppendChild(result, content);
+    if (options.include_markup) {
+      NETMARK_ASSIGN_OR_RETURN(std::vector<storage::RowId> body,
+                               xmlstore::SectionContent(store, hit.context));
+      for (storage::RowId node : body) {
+        NETMARK_ASSIGN_OR_RETURN(xml::Document fragment,
+                                 store.ReconstructSubtree(node));
+        for (xml::NodeId child = fragment.first_child(fragment.root());
+             child != xml::kInvalidNode; child = fragment.next_sibling(child)) {
+          out.AppendChild(content, out.ImportSubtree(fragment, child));
+        }
+      }
+    } else {
+      out.AppendChild(content, out.CreateText(hit.text));
+    }
+  }
+  return out;
+}
+
+}  // namespace netmark::query

@@ -1,0 +1,38 @@
+// Result composition: assemble query hits into a new XML document (the
+// "composing new documents with sections from other multiple documents"
+// capability, paper §1 / Fig 6).
+
+#ifndef NETMARK_QUERY_COMPOSE_H_
+#define NETMARK_QUERY_COMPOSE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "query/executor.h"
+#include "xml/dom.h"
+
+namespace netmark::query {
+
+/// Composition knobs.
+struct ComposeOptions {
+  /// Embed the full reconstructed section markup (not just flat text).
+  bool include_markup = true;
+};
+
+/// \brief Builds the result document:
+///
+///   <results query="...">
+///     <result doc="file" docid="1">
+///       <context>Heading</context>
+///       <content> ...section markup or text... </content>
+///     </result>
+///     ...
+///   </results>
+netmark::Result<xml::Document> ComposeResults(const xmlstore::XmlStore& store,
+                                              const XdbQuery& query,
+                                              const std::vector<QueryHit>& hits,
+                                              const ComposeOptions& options = {});
+
+}  // namespace netmark::query
+
+#endif  // NETMARK_QUERY_COMPOSE_H_

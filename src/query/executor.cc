@@ -1,0 +1,264 @@
+#include "query/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "xml/serializer.h"
+#include "xslt/xpath.h"
+
+namespace netmark::query {
+
+using storage::RowId;
+using textindex::QueryClause;
+using textindex::TextQuery;
+using xmlstore::NodeRecord;
+
+netmark::Result<std::vector<RowId>> QueryExecutor::ClauseNodes(
+    const QueryClause& clause) const {
+  ++stats_.index_probes;
+  if (!options_.use_text_index) {
+    TextQuery single;
+    single.clauses.push_back(clause);
+    return store_->TextScanMatch(single);
+  }
+  std::vector<textindex::DocKey> keys;
+  switch (clause.kind) {
+    case QueryClause::Kind::kTerm:
+      keys = store_->text_index().LookupTerm(clause.words[0]);
+      break;
+    case QueryClause::Kind::kPhrase:
+      keys = store_->text_index().MatchPhrase(clause.words);
+      break;
+    case QueryClause::Kind::kPrefix:
+      keys = store_->text_index().MatchPrefix(clause.words[0]);
+      break;
+  }
+  std::vector<RowId> out;
+  out.reserve(keys.size());
+  for (textindex::DocKey key : keys) out.push_back(RowId::Unpack(key));
+  return out;
+}
+
+netmark::Result<RowId> QueryExecutor::Walk(RowId start) const {
+  ++stats_.nodes_walked;
+  if (options_.use_index_joins_for_walks) {
+    return xmlstore::FindGoverningContextViaIndex(*store_, start);
+  }
+  return xmlstore::FindGoverningContext(*store_, start);
+}
+
+netmark::Result<bool> QueryExecutor::InsideIntense(RowId node) const {
+  // A text node "is emphasized" when an enclosing element within a few
+  // parent hops is INTENSE-typed (<b>term</b> nests at most a couple of
+  // levels in practice).
+  RowId cur = node;
+  for (int hop = 0; hop < 4; ++hop) {
+    NETMARK_ASSIGN_OR_RETURN(NodeRecord rec, store_->GetNode(cur));
+    if (rec.node_type == xml::NetmarkNodeType::kIntense) return true;
+    if (!rec.parent_rowid.valid()) return false;
+    cur = rec.parent_rowid;
+  }
+  return false;
+}
+
+netmark::Result<std::vector<QueryHit>> QueryExecutor::ContentOnly(
+    const XdbQuery& query) const {
+  TextQuery content = textindex::ParseTextQuery(query.content);
+  if (content.empty()) return std::vector<QueryHit>{};
+
+  // Per clause: matched nodes -> the documents containing them; then AND
+  // across clauses at document granularity ("all documents that contain the
+  // term", paper §2.1.3). Scores accumulate per matching node, with INTENSE
+  // (emphasis) matches counting double.
+  std::set<int64_t> docs;
+  std::map<int64_t, double> scores;
+  std::map<int64_t, RowId> first_match;  // snippet anchor per document
+  bool first = true;
+  for (const QueryClause& clause : content.clauses) {
+    NETMARK_ASSIGN_OR_RETURN(std::vector<RowId> nodes, ClauseNodes(clause));
+    std::set<int64_t> clause_docs;
+    for (RowId id : nodes) {
+      NETMARK_ASSIGN_OR_RETURN(NodeRecord rec, store_->GetNode(id));
+      if (query.doc_id != 0 && rec.doc_id != query.doc_id) continue;
+      clause_docs.insert(rec.doc_id);
+      first_match.emplace(rec.doc_id, id);
+      NETMARK_ASSIGN_OR_RETURN(bool intense, InsideIntense(id));
+      scores[rec.doc_id] += intense ? 2.0 : 1.0;
+    }
+    if (first) {
+      docs = std::move(clause_docs);
+      first = false;
+    } else {
+      std::set<int64_t> merged;
+      std::set_intersection(docs.begin(), docs.end(), clause_docs.begin(),
+                            clause_docs.end(), std::inserter(merged, merged.end()));
+      docs = std::move(merged);
+    }
+    if (docs.empty()) break;
+  }
+
+  std::vector<QueryHit> hits;
+  for (int64_t doc_id : docs) {
+    NETMARK_ASSIGN_OR_RETURN(xmlstore::DocRecord info, store_->GetDocumentInfo(doc_id));
+    QueryHit hit;
+    hit.doc_id = doc_id;
+    hit.file_name = info.file_name;
+    hit.score = scores[doc_id];
+    // Snippet: the heading of the section the (first) match sits in, plus a
+    // truncated slice of the matching node's text — enough for a result list.
+    auto anchor = first_match.find(doc_id);
+    if (anchor != first_match.end()) {
+      NETMARK_ASSIGN_OR_RETURN(RowId ctx, Walk(anchor->second));
+      if (ctx.valid()) {
+        NETMARK_ASSIGN_OR_RETURN(hit.heading, store_->SubtreeText(ctx));
+      }
+      NETMARK_ASSIGN_OR_RETURN(NodeRecord rec, store_->GetNode(anchor->second));
+      constexpr size_t kSnippetChars = 160;
+      hit.text = rec.node_data.substr(0, kSnippetChars);
+    }
+    hits.push_back(std::move(hit));
+  }
+  std::stable_sort(hits.begin(), hits.end(), [](const QueryHit& a, const QueryHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc_id < b.doc_id;
+  });
+  return hits;
+}
+
+netmark::Result<std::vector<QueryHit>> QueryExecutor::SectionQuery(
+    const XdbQuery& query) const {
+  TextQuery context_query = textindex::ParseTextQuery(query.context);
+  if (context_query.empty()) return std::vector<QueryHit>{};
+
+  // Candidate contexts: sections whose governing heading we must verify.
+  // With a content key, candidates come from content hits; otherwise from
+  // hits on the heading text itself.
+  std::set<uint64_t> candidates;  // packed context RowIds
+  TextQuery content_query = textindex::ParseTextQuery(query.content);
+  const TextQuery& seed = query.has_content() ? content_query : context_query;
+
+  bool first = true;
+  for (const QueryClause& clause : seed.clauses) {
+    NETMARK_ASSIGN_OR_RETURN(std::vector<RowId> nodes, ClauseNodes(clause));
+    std::set<uint64_t> clause_contexts;
+    for (RowId node : nodes) {
+      NETMARK_ASSIGN_OR_RETURN(NodeRecord rec, store_->GetNode(node));
+      if (query.doc_id != 0 && rec.doc_id != query.doc_id) continue;
+      NETMARK_ASSIGN_OR_RETURN(RowId ctx, Walk(node));
+      if (ctx.valid()) clause_contexts.insert(ctx.Pack());
+    }
+    if (first) {
+      candidates = std::move(clause_contexts);
+      first = false;
+    } else {
+      std::set<uint64_t> merged;
+      std::set_intersection(candidates.begin(), candidates.end(),
+                            clause_contexts.begin(), clause_contexts.end(),
+                            std::inserter(merged, merged.end()));
+      candidates = std::move(merged);
+    }
+    if (candidates.empty()) break;
+  }
+
+  // Verify headings and assemble sections.
+  std::vector<std::pair<std::pair<int64_t, int64_t>, QueryHit>> ordered;
+  for (uint64_t packed : candidates) {
+    RowId ctx = RowId::Unpack(packed);
+    NETMARK_ASSIGN_OR_RETURN(xmlstore::Section section,
+                             xmlstore::BuildSection(*store_, ctx));
+    if (!textindex::Matches(context_query, section.heading)) continue;
+    // With a content key, the *section body* (or heading) must satisfy it.
+    if (query.has_content()) {
+      NETMARK_ASSIGN_OR_RETURN(std::string body,
+                               xmlstore::SectionText(*store_, ctx));
+      std::string scope = section.heading + " " + body;
+      if (!textindex::Matches(content_query, scope)) continue;
+    }
+    ++stats_.sections_built;
+    NETMARK_ASSIGN_OR_RETURN(xmlstore::DocRecord info,
+                             store_->GetDocumentInfo(section.doc_id));
+    NETMARK_ASSIGN_OR_RETURN(NodeRecord head, store_->GetNode(ctx));
+    QueryHit hit;
+    hit.doc_id = section.doc_id;
+    hit.file_name = info.file_name;
+    hit.context = ctx;
+    hit.heading = section.heading;
+    NETMARK_ASSIGN_OR_RETURN(hit.text, xmlstore::SectionText(*store_, ctx));
+    ordered.push_back({{section.doc_id, head.node_id}, std::move(hit)});
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<QueryHit> hits;
+  hits.reserve(ordered.size());
+  for (auto& [key, hit] : ordered) hits.push_back(std::move(hit));
+  return hits;
+}
+
+netmark::Result<std::vector<QueryHit>> QueryExecutor::XPathQuery(
+    const XdbQuery& query) const {
+  NETMARK_ASSIGN_OR_RETURN(xslt::XPath path, xslt::XPath::Parse(query.xpath));
+  // Candidate documents: content-key pre-selection when given, else the doc
+  // scope, else the whole collection (XPath has no index; the content key is
+  // how users keep this selective).
+  std::vector<int64_t> docs;
+  if (query.has_content()) {
+    XdbQuery content_only;
+    content_only.content = query.content;
+    content_only.doc_id = query.doc_id;
+    NETMARK_ASSIGN_OR_RETURN(std::vector<QueryHit> doc_hits,
+                             ContentOnly(content_only));
+    for (const QueryHit& hit : doc_hits) docs.push_back(hit.doc_id);
+    std::sort(docs.begin(), docs.end());
+  } else if (query.doc_id != 0) {
+    docs.push_back(query.doc_id);
+  } else {
+    NETMARK_ASSIGN_OR_RETURN(std::vector<xmlstore::DocRecord> all,
+                             store_->ListDocuments());
+    for (const auto& rec : all) docs.push_back(rec.doc_id);
+  }
+
+  std::vector<QueryHit> hits;
+  for (int64_t doc_id : docs) {
+    NETMARK_ASSIGN_OR_RETURN(xmlstore::DocRecord info,
+                             store_->GetDocumentInfo(doc_id));
+    NETMARK_ASSIGN_OR_RETURN(xml::Document doc, store_->Reconstruct(doc_id));
+    for (xml::NodeId node : path.SelectNodes(doc, doc.root())) {
+      QueryHit hit;
+      hit.doc_id = doc_id;
+      hit.file_name = info.file_name;
+      hit.text = doc.TextContent(node);
+      hit.markup = xml::Serialize(doc, node);
+      hits.push_back(std::move(hit));
+    }
+  }
+  return hits;
+}
+
+netmark::Result<std::vector<QueryHit>> QueryExecutor::Execute(
+    const XdbQuery& query) const {
+  stats_ = Stats{};
+  if (query.empty()) {
+    return netmark::Status::InvalidArgument(
+        "XDB query needs a Context, Content or XPath key");
+  }
+  std::vector<QueryHit> hits;
+  if (query.has_xpath()) {
+    if (query.has_context()) {
+      return netmark::Status::InvalidArgument(
+          "XPath and Context keys cannot be combined (use Content to "
+          "pre-select documents)");
+    }
+    NETMARK_ASSIGN_OR_RETURN(hits, XPathQuery(query));
+  } else if (query.has_context()) {
+    NETMARK_ASSIGN_OR_RETURN(hits, SectionQuery(query));
+  } else {
+    NETMARK_ASSIGN_OR_RETURN(hits, ContentOnly(query));
+  }
+  if (query.limit != 0 && hits.size() > query.limit) {
+    hits.resize(query.limit);
+  }
+  return hits;
+}
+
+}  // namespace netmark::query

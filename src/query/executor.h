@@ -1,0 +1,82 @@
+// XDB query execution over an XmlStore (paper §2.1.4).
+//
+// Pipeline: text-index probe -> RowId context walks -> heading filter ->
+// section assembly. Content-only queries return whole documents; context
+// queries (with or without content) return sections.
+
+#ifndef NETMARK_QUERY_EXECUTOR_H_
+#define NETMARK_QUERY_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/xdb_query.h"
+#include "xmlstore/context_walk.h"
+#include "xmlstore/xml_store.h"
+
+namespace netmark::query {
+
+/// One query hit. Context/combined queries produce one hit per matched
+/// section; content-only queries one hit per matched document (with an
+/// invalid context RowId).
+struct QueryHit {
+  int64_t doc_id = 0;
+  std::string file_name;
+  storage::RowId context;  ///< heading node; invalid for document-level hits
+  std::string heading;     ///< section heading ("" for document-level hits)
+  std::string text;        ///< section body text (or "" for document hits)
+  std::string markup;      ///< serialized fragment (XPath hits only)
+  /// Relevance score for content searches: matching nodes count 1 each,
+  /// doubled when the match sits inside INTENSE (emphasis) markup — the use
+  /// NETMARK's INTENSE node type exists for. Document-level hits are ordered
+  /// by descending score, then doc id.
+  double score = 0;
+};
+
+/// Execution knobs.
+struct ExecuteOptions {
+  /// Use the inverted index (default). When false, falls back to full scans
+  /// — the ablation path for bench_fig6.
+  bool use_text_index = true;
+  /// Resolve context walks through logical-id index joins instead of RowId
+  /// links — the ablation path for bench_ablation_rowid.
+  bool use_index_joins_for_walks = false;
+};
+
+/// \brief Evaluates XDB queries against one store.
+class QueryExecutor {
+ public:
+  explicit QueryExecutor(const xmlstore::XmlStore* store,
+                         ExecuteOptions options = {})
+      : store_(store), options_(options) {}
+
+  /// Runs the query; hits are ordered by (doc_id, position).
+  netmark::Result<std::vector<QueryHit>> Execute(const XdbQuery& query) const;
+
+  /// Statistics from the most recent Execute (not thread safe; benches only).
+  struct Stats {
+    size_t index_probes = 0;
+    size_t nodes_walked = 0;
+    size_t sections_built = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  netmark::Result<std::vector<storage::RowId>> ClauseNodes(
+      const textindex::QueryClause& clause) const;
+  /// True when `node` sits under INTENSE markup (emphasis-boosted scoring).
+  netmark::Result<bool> InsideIntense(storage::RowId node) const;
+  netmark::Result<std::vector<QueryHit>> ContentOnly(const XdbQuery& query) const;
+  netmark::Result<std::vector<QueryHit>> SectionQuery(const XdbQuery& query) const;
+  netmark::Result<std::vector<QueryHit>> XPathQuery(const XdbQuery& query) const;
+  netmark::Result<storage::RowId> Walk(storage::RowId start) const;
+
+  const xmlstore::XmlStore* store_;
+  ExecuteOptions options_;
+  mutable Stats stats_;
+};
+
+}  // namespace netmark::query
+
+#endif  // NETMARK_QUERY_EXECUTOR_H_

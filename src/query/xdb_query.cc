@@ -1,0 +1,57 @@
+#include "query/xdb_query.h"
+
+#include "common/string_util.h"
+
+namespace netmark::query {
+
+netmark::Result<XdbQuery> ParseXdbQuery(std::string_view query_string) {
+  XdbQuery query;
+  if (netmark::TrimView(query_string).empty()) return query;
+  for (const std::string& pair : netmark::Split(query_string, '&')) {
+    if (pair.empty()) continue;
+    size_t eq = pair.find('=');
+    std::string key = netmark::ToLower(eq == std::string::npos ? pair
+                                                               : pair.substr(0, eq));
+    std::string raw_value = eq == std::string::npos ? "" : pair.substr(eq + 1);
+    NETMARK_ASSIGN_OR_RETURN(std::string value, netmark::UrlDecode(raw_value));
+    if (key == "context") {
+      query.context = netmark::Trim(value);
+    } else if (key == "content") {
+      query.content = netmark::Trim(value);
+    } else if (key == "doc" || key == "docid") {
+      NETMARK_ASSIGN_OR_RETURN(query.doc_id, netmark::ParseInt64(value));
+    } else if (key == "xpath") {
+      query.xpath = netmark::Trim(value);
+    } else if (key == "xslt") {
+      query.xslt = netmark::Trim(value);
+    } else if (key == "limit") {
+      NETMARK_ASSIGN_OR_RETURN(int64_t limit, netmark::ParseInt64(value));
+      if (limit < 0) {
+        return netmark::Status::InvalidArgument("limit must be non-negative");
+      }
+      query.limit = static_cast<size_t>(limit);
+    }
+    // Unknown keys ignored.
+  }
+  return query;
+}
+
+std::string XdbQuery::ToQueryString() const {
+  std::string out;
+  auto append = [&](std::string_view key, std::string_view value) {
+    if (value.empty()) return;
+    if (!out.empty()) out += '&';
+    out += key;
+    out += '=';
+    out += netmark::UrlEncode(value);
+  };
+  append("context", context);
+  append("content", content);
+  append("xpath", xpath);
+  if (doc_id != 0) append("doc", std::to_string(doc_id));
+  append("xslt", xslt);
+  if (limit != 0) append("limit", std::to_string(limit));
+  return out;
+}
+
+}  // namespace netmark::query

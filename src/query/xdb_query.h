@@ -1,0 +1,58 @@
+// XDB Query: NETMARK's query language (paper §2.1.3).
+//
+// "context and content search specifications are appended to a URL that is
+// sent to NETMARK. In this URL we may also specify an XSLT stylesheet which
+// specifies how the results are to be formatted and composed into a new
+// document."
+//
+// Example query strings:
+//   Context=Introduction
+//   Content=Shuttle
+//   Context=Technology+Gap&Content=Shrinking
+//   Context=Budget&xslt=report.xsl&limit=20
+
+#ifndef NETMARK_QUERY_XDB_QUERY_H_
+#define NETMARK_QUERY_XDB_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace netmark::query {
+
+/// \brief Parsed XDB query.
+struct XdbQuery {
+  /// Context search key: matches section headings. Empty = no context clause.
+  std::string context;
+  /// Content search key: matches body text. Empty = no content clause.
+  std::string content;
+  /// XPath expression evaluated over reconstructed documents — the paper's
+  /// "full-fledged XML querying" capability (§2.1.5). May be combined with a
+  /// content key (the content search pre-selects candidate documents).
+  std::string xpath;
+  /// Restrict to one document id (0 = all documents).
+  int64_t doc_id = 0;
+  /// Name of an XSLT stylesheet for result composition ("" = raw results).
+  std::string xslt;
+  /// Maximum hits to return (0 = unlimited).
+  size_t limit = 0;
+
+  bool has_context() const { return !context.empty(); }
+  bool has_content() const { return !content.empty(); }
+  bool has_xpath() const { return !xpath.empty(); }
+  bool empty() const { return !has_context() && !has_content() && !has_xpath(); }
+
+  /// Re-encodes the query as a URL query string (canonical ordering).
+  std::string ToQueryString() const;
+};
+
+/// \brief Parses an URL query string ("Context=...&Content=...").
+/// Keys are case-insensitive; values are URL-decoded. Unknown keys are
+/// ignored (forward compatibility), malformed escapes are errors.
+netmark::Result<XdbQuery> ParseXdbQuery(std::string_view query_string);
+
+}  // namespace netmark::query
+
+#endif  // NETMARK_QUERY_XDB_QUERY_H_

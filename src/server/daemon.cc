@@ -1,0 +1,85 @@
+#include "server/daemon.h"
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "common/temp_dir.h"
+
+namespace netmark::server {
+
+namespace fs = std::filesystem;
+
+netmark::Status IngestionDaemon::Start() {
+  if (running_.load()) return netmark::Status::AlreadyExists("daemon already running");
+  std::error_code ec;
+  fs::create_directories(options_.drop_dir, ec);
+  if (ec) {
+    return netmark::Status::IOError("cannot create drop dir: " + ec.message());
+  }
+  running_.store(true);
+  thread_ = std::thread([this] { Loop(); });
+  return netmark::Status::OK();
+}
+
+void IngestionDaemon::Stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+void IngestionDaemon::Loop() {
+  while (running_.load()) {
+    auto processed = ProcessOnce();
+    if (!processed.ok()) {
+      NETMARK_LOG(Warning) << "daemon sweep failed: " << processed.status();
+    }
+    std::this_thread::sleep_for(options_.poll_interval);
+  }
+}
+
+netmark::Result<int> IngestionDaemon::ProcessOnce() {
+  std::lock_guard<std::mutex> lock(sweep_mu_);
+  std::error_code ec;
+  if (!fs::exists(options_.drop_dir, ec)) return 0;
+  int count = 0;
+  std::vector<fs::path> pending;
+  for (const auto& entry : fs::directory_iterator(options_.drop_dir, ec)) {
+    if (ec) break;
+    if (!entry.is_regular_file()) continue;
+    std::string name = entry.path().filename().string();
+    if (name.empty() || name[0] == '.') continue;  // editors' temp files
+    pending.push_back(entry.path());
+  }
+  std::sort(pending.begin(), pending.end());  // deterministic order
+  for (const fs::path& path : pending) {
+    netmark::Status st = IngestFile(path);
+    fs::path target_dir =
+        options_.drop_dir / (st.ok() ? "processed" : "failed");
+    if (st.ok()) {
+      ++count;
+      files_ingested_.fetch_add(1);
+    } else {
+      files_failed_.fetch_add(1);
+      NETMARK_LOG(Warning) << "failed to ingest " << path.string() << ": " << st;
+    }
+    if (options_.keep_processed) {
+      fs::create_directories(target_dir, ec);
+      fs::rename(path, target_dir / path.filename(), ec);
+      if (ec) fs::remove(path, ec);
+    } else {
+      fs::remove(path, ec);
+    }
+  }
+  return count;
+}
+
+netmark::Status IngestionDaemon::IngestFile(const fs::path& path) {
+  NETMARK_ASSIGN_OR_RETURN(std::string content, netmark::ReadFile(path));
+  NETMARK_ASSIGN_OR_RETURN(xml::Document doc,
+                           converters_->Convert(path.filename().string(), content));
+  xmlstore::DocumentInfo info;
+  info.file_name = path.filename().string();
+  info.file_date = netmark::WallSeconds();
+  info.file_size = static_cast<int64_t>(content.size());
+  return store_->InsertDocument(doc, info).status();
+}
+
+}  // namespace netmark::server

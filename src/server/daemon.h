@@ -1,0 +1,67 @@
+// The NETMARK DAEMON (paper Fig 3): watches a drop folder, runs the SGML
+// parser / upmark converters on new files, and inserts them into the XML
+// Store — the drag-and-drop ingestion path.
+
+#ifndef NETMARK_SERVER_DAEMON_H_
+#define NETMARK_SERVER_DAEMON_H_
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <mutex>
+#include <thread>
+
+#include "common/result.h"
+#include "convert/registry.h"
+#include "xmlstore/xml_store.h"
+
+namespace netmark::server {
+
+/// Daemon configuration.
+struct DaemonOptions {
+  std::filesystem::path drop_dir;
+  /// Poll period for the background thread.
+  std::chrono::milliseconds poll_interval{200};
+  /// Move ingested files into drop_dir/processed (failures to drop_dir/failed)
+  /// instead of deleting them.
+  bool keep_processed = true;
+};
+
+/// \brief Folder-watching ingestion daemon.
+class IngestionDaemon {
+ public:
+  IngestionDaemon(xmlstore::XmlStore* store,
+                  const convert::ConverterRegistry* converters,
+                  DaemonOptions options)
+      : store_(store), converters_(converters), options_(std::move(options)) {}
+  ~IngestionDaemon() { Stop(); }
+
+  /// Creates the folder structure and starts the polling thread.
+  netmark::Status Start();
+  /// Stops the thread (joins). Idempotent.
+  void Stop();
+
+  /// One synchronous sweep of the drop folder; returns the number of files
+  /// ingested. Usable without Start() for deterministic tests/benchmarks.
+  netmark::Result<int> ProcessOnce();
+
+  uint64_t files_ingested() const { return files_ingested_.load(); }
+  uint64_t files_failed() const { return files_failed_.load(); }
+
+ private:
+  netmark::Status IngestFile(const std::filesystem::path& path);
+  void Loop();
+
+  xmlstore::XmlStore* store_;
+  const convert::ConverterRegistry* converters_;
+  DaemonOptions options_;
+  std::mutex sweep_mu_;  // serializes ProcessOnce vs the polling thread
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> files_ingested_{0};
+  std::atomic<uint64_t> files_failed_{0};
+  std::thread thread_;
+};
+
+}  // namespace netmark::server
+
+#endif  // NETMARK_SERVER_DAEMON_H_

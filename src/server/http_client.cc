@@ -1,0 +1,102 @@
+#include "server/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace netmark::server {
+
+netmark::Result<HttpResponse> HttpClient::Send(const HttpRequest& request) const {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return netmark::Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_ == "localhost" ? "127.0.0.1" : host_.c_str(),
+                  &addr.sin_addr) != 1) {
+    ::close(fd);
+    return netmark::Status::InvalidArgument("bad host address: " + host_);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return netmark::Status::Unavailable("connect " + host_ + ":" +
+                                        std::to_string(port_) + ": " +
+                                        std::strerror(errno));
+  }
+  std::string wire = request.Serialize();
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return netmark::Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  // Server closes after the response; read to EOF.
+  std::string raw;
+  char chunk[4096];
+  while (true) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return netmark::Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) break;
+    raw.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return ParseResponse(raw);
+}
+
+netmark::Result<HttpResponse> HttpClient::Get(const std::string& target) const {
+  HttpRequest req;
+  req.method = "GET";
+  req.target = target;
+  return Send(req);
+}
+
+netmark::Result<HttpResponse> HttpClient::Put(const std::string& target,
+                                              std::string body,
+                                              std::string content_type) const {
+  HttpRequest req;
+  req.method = "PUT";
+  req.target = target;
+  req.body = std::move(body);
+  req.headers["Content-Type"] = std::move(content_type);
+  return Send(req);
+}
+
+netmark::Result<HttpResponse> HttpClient::Delete(const std::string& target) const {
+  HttpRequest req;
+  req.method = "DELETE";
+  req.target = target;
+  return Send(req);
+}
+
+netmark::Result<HttpResponse> HttpClient::Propfind(const std::string& target) const {
+  HttpRequest req;
+  req.method = "PROPFIND";
+  req.target = target;
+  req.headers["Depth"] = "1";
+  return Send(req);
+}
+
+netmark::Result<std::string> SocketTransport::Get(const std::string& path_and_query) {
+  NETMARK_ASSIGN_OR_RETURN(HttpResponse resp, client_.Get(path_and_query));
+  if (resp.status != 200) {
+    return netmark::Status::Unavailable("remote returned HTTP " +
+                                        std::to_string(resp.status) + ": " + resp.body);
+  }
+  return resp.body;
+}
+
+}  // namespace netmark::server

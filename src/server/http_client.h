@@ -1,0 +1,53 @@
+// Blocking HTTP/1.1 client (loopback-oriented) plus the federation transport
+// adapter.
+
+#ifndef NETMARK_SERVER_HTTP_CLIENT_H_
+#define NETMARK_SERVER_HTTP_CLIENT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "federation/remote_source.h"
+#include "server/http_message.h"
+
+namespace netmark::server {
+
+/// \brief One-request-per-connection HTTP client.
+class HttpClient {
+ public:
+  HttpClient(std::string host, uint16_t port)
+      : host_(std::move(host)), port_(port) {}
+
+  netmark::Result<HttpResponse> Send(const HttpRequest& request) const;
+
+  netmark::Result<HttpResponse> Get(const std::string& target) const;
+  netmark::Result<HttpResponse> Put(const std::string& target,
+                                    std::string body,
+                                    std::string content_type = "text/plain") const;
+  netmark::Result<HttpResponse> Delete(const std::string& target) const;
+  netmark::Result<HttpResponse> Propfind(const std::string& target) const;
+
+  const std::string& host() const { return host_; }
+  uint16_t port() const { return port_; }
+
+ private:
+  std::string host_;
+  uint16_t port_;
+};
+
+/// \brief federation::HttpTransport over HttpClient — wires RemoteSource to
+/// real sockets.
+class SocketTransport : public federation::HttpTransport {
+ public:
+  SocketTransport(std::string host, uint16_t port)
+      : client_(std::move(host), port) {}
+
+  netmark::Result<std::string> Get(const std::string& path_and_query) override;
+
+ private:
+  HttpClient client_;
+};
+
+}  // namespace netmark::server
+
+#endif  // NETMARK_SERVER_HTTP_CLIENT_H_

@@ -1,0 +1,173 @@
+#include "server/http_message.h"
+
+#include "common/string_util.h"
+
+namespace netmark::server {
+
+bool CaseInsensitiveLess::operator()(const std::string& a, const std::string& b) const {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    char ca = a[i], cb = b[i];
+    if (ca >= 'A' && ca <= 'Z') ca = static_cast<char>(ca - 'A' + 'a');
+    if (cb >= 'A' && cb <= 'Z') cb = static_cast<char>(cb - 'A' + 'a');
+    if (ca != cb) return ca < cb;
+  }
+  return a.size() < b.size();
+}
+
+netmark::Status SplitTarget(std::string_view target, std::string* path,
+                            std::string* query) {
+  size_t qmark = target.find('?');
+  std::string_view raw_path =
+      qmark == std::string_view::npos ? target : target.substr(0, qmark);
+  *query = qmark == std::string_view::npos ? "" : std::string(target.substr(qmark + 1));
+  NETMARK_ASSIGN_OR_RETURN(*path, netmark::UrlDecode(raw_path));
+  return netmark::Status::OK();
+}
+
+namespace {
+
+netmark::Status ParseHeaders(std::string_view head, size_t start_line_end,
+                             HeaderMap* headers) {
+  size_t pos = start_line_end;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    std::string_view line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    if (line.empty()) break;
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return netmark::Status::ParseError("malformed header line: " + std::string(line));
+    }
+    std::string name = netmark::Trim(line.substr(0, colon));
+    std::string value = netmark::Trim(line.substr(colon + 1));
+    (*headers)[name] = value;
+  }
+  return netmark::Status::OK();
+}
+
+}  // namespace
+
+netmark::Result<HttpRequest> ParseRequest(std::string_view raw) {
+  size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    return netmark::Status::ParseError("incomplete HTTP request head");
+  }
+  std::string_view head = raw.substr(0, head_end + 2);
+  size_t line_end = head.find("\r\n");
+  std::string_view request_line = head.substr(0, line_end);
+
+  HttpRequest req;
+  std::vector<std::string> parts = netmark::SplitAndTrim(request_line, ' ');
+  if (parts.size() != 3 || !netmark::StartsWith(parts[2], "HTTP/")) {
+    return netmark::Status::ParseError("malformed request line: " +
+                                       std::string(request_line));
+  }
+  req.method = parts[0];
+  req.target = parts[1];
+  NETMARK_RETURN_NOT_OK(SplitTarget(req.target, &req.path, &req.query));
+  NETMARK_RETURN_NOT_OK(ParseHeaders(head, line_end + 2, &req.headers));
+  req.body = std::string(raw.substr(head_end + 4));
+  return req;
+}
+
+netmark::Result<HttpResponse> ParseResponse(std::string_view raw) {
+  size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    return netmark::Status::ParseError("incomplete HTTP response head");
+  }
+  std::string_view head = raw.substr(0, head_end + 2);
+  size_t line_end = head.find("\r\n");
+  std::string_view status_line = head.substr(0, line_end);
+
+  HttpResponse resp;
+  if (!netmark::StartsWith(status_line, "HTTP/")) {
+    return netmark::Status::ParseError("malformed status line");
+  }
+  size_t sp1 = status_line.find(' ');
+  if (sp1 == std::string_view::npos) {
+    return netmark::Status::ParseError("malformed status line");
+  }
+  size_t sp2 = status_line.find(' ', sp1 + 1);
+  std::string_view code = status_line.substr(
+      sp1 + 1, sp2 == std::string_view::npos ? std::string_view::npos : sp2 - sp1 - 1);
+  NETMARK_ASSIGN_OR_RETURN(int64_t status, netmark::ParseInt64(code));
+  resp.status = static_cast<int>(status);
+  resp.reason = sp2 == std::string_view::npos ? "" : netmark::Trim(status_line.substr(sp2 + 1));
+  NETMARK_RETURN_NOT_OK(ParseHeaders(head, line_end + 2, &resp.headers));
+  resp.body = std::string(raw.substr(head_end + 4));
+  return resp;
+}
+
+std::string HttpRequest::Serialize() const {
+  std::string out = method + " " + target + " HTTP/1.1\r\n";
+  HeaderMap all = headers;
+  all["Content-Length"] = std::to_string(body.size());
+  if (all.find("Connection") == all.end()) all["Connection"] = "close";
+  for (const auto& [name, value] : all) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+std::string HttpResponse::Serialize() const {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason + "\r\n";
+  HeaderMap all = headers;
+  all["Content-Length"] = std::to_string(body.size());
+  all["Connection"] = "close";
+  if (all.find("Content-Type") == all.end()) {
+    all["Content-Type"] = "text/plain";
+  }
+  for (const auto& [name, value] : all) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+HttpResponse HttpResponse::Ok(std::string body, std::string content_type) {
+  HttpResponse resp;
+  resp.body = std::move(body);
+  resp.headers["Content-Type"] = std::move(content_type);
+  return resp;
+}
+
+HttpResponse HttpResponse::Text(int status, std::string message) {
+  HttpResponse resp;
+  resp.status = status;
+  switch (status) {
+    case 200: resp.reason = "OK"; break;
+    case 201: resp.reason = "Created"; break;
+    case 204: resp.reason = "No Content"; break;
+    case 207: resp.reason = "Multi-Status"; break;
+    case 400: resp.reason = "Bad Request"; break;
+    case 404: resp.reason = "Not Found"; break;
+    case 405: resp.reason = "Method Not Allowed"; break;
+    case 500: resp.reason = "Internal Server Error"; break;
+    default: resp.reason = "Status"; break;
+  }
+  resp.body = std::move(message);
+  return resp;
+}
+
+HttpResponse HttpResponse::NotFound(std::string message) {
+  return Text(404, std::move(message));
+}
+HttpResponse HttpResponse::BadRequest(std::string message) {
+  return Text(400, std::move(message));
+}
+HttpResponse HttpResponse::ServerError(std::string message) {
+  return Text(500, std::move(message));
+}
+
+}  // namespace netmark::server

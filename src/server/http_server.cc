@@ -1,0 +1,150 @@
+#include "server/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace netmark::server {
+
+namespace {
+
+// Reads one full HTTP message from a socket: head until CRLFCRLF, then
+// Content-Length body bytes.
+netmark::Result<std::string> ReadHttpMessage(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  size_t head_end = std::string::npos;
+  while (head_end == std::string::npos) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return netmark::Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return netmark::Status::IOError("connection closed mid-request");
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    head_end = buffer.find("\r\n\r\n");
+    if (buffer.size() > 64 * 1024 * 1024) {
+      return netmark::Status::CapacityExceeded("HTTP head too large");
+    }
+  }
+  // Parse Content-Length out of the head.
+  size_t body_have = buffer.size() - (head_end + 4);
+  size_t body_want = 0;
+  {
+    std::string head = netmark::ToLower(buffer.substr(0, head_end));
+    size_t cl = head.find("content-length:");
+    if (cl != std::string::npos) {
+      size_t eol = head.find("\r\n", cl);
+      auto value = netmark::ParseInt64(
+          head.substr(cl + 15, eol == std::string::npos ? std::string::npos
+                                                        : eol - cl - 15));
+      if (value.ok() && *value >= 0) body_want = static_cast<size_t>(*value);
+    }
+  }
+  while (body_have < body_want) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return netmark::Status::IOError(std::string("recv body: ") + std::strerror(errno));
+    }
+    if (n == 0) break;
+    buffer.append(chunk, static_cast<size_t>(n));
+    body_have += static_cast<size_t>(n);
+  }
+  return buffer;
+}
+
+netmark::Status WriteAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return netmark::Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return netmark::Status::OK();
+}
+
+}  // namespace
+
+netmark::Status HttpServer::Start(uint16_t port) {
+  if (running_.load()) return netmark::Status::AlreadyExists("server already running");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return netmark::Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return netmark::Status::IOError(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return netmark::Status::IOError(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return netmark::Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false)) return;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpServer::AcceptLoop() {
+  while (running_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, 100 /* ms */);
+    if (ready <= 0) continue;  // timeout/EINTR: re-check running_
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::HandleConnection(int fd) {
+  auto raw = ReadHttpMessage(fd);
+  if (!raw.ok()) {
+    NETMARK_LOG(Debug) << "bad connection: " << raw.status();
+    return;
+  }
+  HttpResponse response;
+  auto request = ParseRequest(*raw);
+  if (!request.ok()) {
+    response = HttpResponse::BadRequest(request.status().ToString());
+  } else {
+    response = handler_(*request);
+  }
+  requests_served_.fetch_add(1);
+  (void)WriteAll(fd, response.Serialize());
+}
+
+}  // namespace netmark::server

@@ -1,0 +1,59 @@
+// Minimal HTTP/1.1 server over POSIX sockets.
+//
+// Connection model: accept loop on a background thread, one request per
+// connection (Connection: close) handled by a small worker pool. This is
+// deliberately lean — NETMARK's thesis is that the middleware tier should be
+// thin — while still exercising a real network round trip in tests and
+// benchmarks.
+
+#ifndef NETMARK_SERVER_HTTP_SERVER_H_
+#define NETMARK_SERVER_HTTP_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "server/http_message.h"
+
+namespace netmark::server {
+
+/// Request handler: pure function of the request.
+using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+/// \brief Loopback HTTP server.
+class HttpServer {
+ public:
+  explicit HttpServer(Handler handler) : handler_(std::move(handler)) {}
+  ~HttpServer() { Stop(); }
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts serving.
+  netmark::Status Start(uint16_t port = 0);
+  /// Stops accepting and joins all threads. Idempotent.
+  void Stop();
+
+  /// Bound port (valid after Start).
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(); }
+
+  /// Requests served since Start (benchmarks).
+  uint64_t requests_served() const { return requests_served_.load(); }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_served_{0};
+  std::thread accept_thread_;
+};
+
+}  // namespace netmark::server
+
+#endif  // NETMARK_SERVER_HTTP_SERVER_H_

@@ -1,0 +1,237 @@
+#include "server/netmark_service.h"
+
+#include "common/clock.h"
+#include "common/string_util.h"
+#include "xml/entities.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace netmark::server {
+
+netmark::Status NetmarkService::RegisterStylesheet(const std::string& name,
+                                                   std::string_view stylesheet_text) {
+  NETMARK_ASSIGN_OR_RETURN(xslt::Stylesheet sheet,
+                           xslt::Stylesheet::Parse(stylesheet_text));
+  stylesheets_.insert_or_assign(name, std::move(sheet));
+  return netmark::Status::OK();
+}
+
+HttpResponse NetmarkService::Handle(const HttpRequest& request) {
+  const std::string& path = request.path;
+  if (path == "/xdb") {
+    if (request.method != "GET") return HttpResponse::Text(405, "GET only");
+    return HandleXdb(request);
+  }
+  if (path == "/status") {
+    if (request.method != "GET") return HttpResponse::Text(405, "GET only");
+    return HandleStatus();
+  }
+  if (path == "/docs" || path == "/docs/") {
+    if (request.method == "GET") return HandleListDocuments(/*webdav=*/false);
+    if (request.method == "PROPFIND") return HandleListDocuments(/*webdav=*/true);
+    if (request.method == "PUT") {
+      return HttpResponse::BadRequest("missing document name");
+    }
+    return HttpResponse::Text(405, "GET or PROPFIND");
+  }
+  if (netmark::StartsWith(path, "/docs/")) {
+    std::string tail = path.substr(6);
+    if (request.method == "PUT") {
+      if (tail.empty()) return HttpResponse::BadRequest("missing document name");
+      return HandlePutDocument(request, tail);
+    }
+    auto doc_id = netmark::ParseInt64(tail);
+    if (!doc_id.ok()) {
+      return HttpResponse::BadRequest("document id must be numeric: " + tail);
+    }
+    if (request.method == "GET") return HandleGetDocument(*doc_id);
+    if (request.method == "DELETE") return HandleDeleteDocument(*doc_id);
+    return HttpResponse::Text(405, "GET, PUT or DELETE");
+  }
+  return HttpResponse::NotFound("no route for " + path);
+}
+
+HttpResponse NetmarkService::HandleXdb(const HttpRequest& request) {
+  auto query = query::ParseXdbQuery(request.query);
+  if (!query.ok()) return HttpResponse::BadRequest(query.status().ToString());
+
+  // Databank fan-out takes priority when requested.
+  std::string databank;
+  for (const std::string& pair : netmark::Split(request.query, '&')) {
+    size_t eq = pair.find('=');
+    if (eq != std::string::npos &&
+        netmark::EqualsIgnoreCase(pair.substr(0, eq), "databank")) {
+      auto value = netmark::UrlDecode(pair.substr(eq + 1));
+      if (value.ok()) databank = *value;
+    }
+  }
+
+  xml::Document results;
+  if (!databank.empty()) {
+    if (router_ == nullptr) {
+      return HttpResponse::BadRequest("this instance has no databank router");
+    }
+    auto hits = router_->Query(databank, *query);
+    if (!hits.ok()) return HttpResponse::ServerError(hits.status().ToString());
+    results = ComposeFederatedResults(*query, *hits);
+  } else {
+    auto hits = executor_.Execute(*query);
+    if (!hits.ok()) {
+      if (hits.status().IsInvalidArgument()) {
+        return HttpResponse::BadRequest(hits.status().ToString());
+      }
+      return HttpResponse::ServerError(hits.status().ToString());
+    }
+    auto composed = query::ComposeResults(*store_, *query, *hits);
+    if (!composed.ok()) return HttpResponse::ServerError(composed.status().ToString());
+    results = std::move(*composed);
+  }
+
+  auto body = RenderResults(results, query->xslt);
+  if (!body.ok()) return HttpResponse::ServerError(body.status().ToString());
+  return HttpResponse::Ok(std::move(*body));
+}
+
+netmark::Result<std::string> NetmarkService::RenderResults(
+    const xml::Document& results, const std::string& xslt_name) {
+  if (xslt_name.empty()) {
+    return xml::Serialize(results);
+  }
+  auto it = stylesheets_.find(xslt_name);
+  if (it == stylesheets_.end()) {
+    return netmark::Status::NotFound("no stylesheet named " + xslt_name);
+  }
+  NETMARK_ASSIGN_OR_RETURN(xml::Document transformed,
+                           xslt::Transform(it->second, results));
+  return xml::Serialize(transformed);
+}
+
+HttpResponse NetmarkService::HandlePutDocument(const HttpRequest& request,
+                                               const std::string& file_name) {
+  auto doc = converters_.Convert(file_name, request.body);
+  if (!doc.ok()) return HttpResponse::BadRequest(doc.status().ToString());
+  // WebDAV PUT semantics ("collaboratively edit and manage files", paper
+  // §2.1.2): putting to an existing name replaces that document.
+  bool replaced = false;
+  auto existing = store_->ListDocuments();
+  if (existing.ok()) {
+    for (const xmlstore::DocRecord& rec : *existing) {
+      if (rec.file_name == file_name) {
+        netmark::Status st = store_->DeleteDocument(rec.doc_id);
+        if (!st.ok()) return HttpResponse::ServerError(st.ToString());
+        replaced = true;
+      }
+    }
+  }
+  xmlstore::DocumentInfo info;
+  info.file_name = file_name;
+  info.file_date = netmark::WallSeconds();
+  info.file_size = static_cast<int64_t>(request.body.size());
+  auto doc_id = store_->InsertDocument(*doc, info);
+  if (!doc_id.ok()) return HttpResponse::ServerError(doc_id.status().ToString());
+  HttpResponse resp =
+      replaced ? HttpResponse::Text(204, "") : HttpResponse::Text(201, std::to_string(*doc_id));
+  resp.headers["Location"] = "/docs/" + std::to_string(*doc_id);
+  return resp;
+}
+
+HttpResponse NetmarkService::HandleGetDocument(int64_t doc_id) {
+  auto doc = store_->Reconstruct(doc_id);
+  if (!doc.ok()) {
+    if (doc.status().IsNotFound()) return HttpResponse::NotFound(doc.status().message());
+    return HttpResponse::ServerError(doc.status().ToString());
+  }
+  xml::SerializeOptions opts;
+  opts.declaration = true;
+  return HttpResponse::Ok(xml::Serialize(*doc, opts));
+}
+
+HttpResponse NetmarkService::HandleDeleteDocument(int64_t doc_id) {
+  netmark::Status st = store_->DeleteDocument(doc_id);
+  if (st.IsNotFound()) return HttpResponse::NotFound(st.message());
+  if (!st.ok()) return HttpResponse::ServerError(st.ToString());
+  return HttpResponse::Text(204, "");
+}
+
+HttpResponse NetmarkService::HandleListDocuments(bool webdav) {
+  auto docs = store_->ListDocuments();
+  if (!docs.ok()) return HttpResponse::ServerError(docs.status().ToString());
+  std::string body;
+  if (webdav) {
+    body = "<?xml version=\"1.0\"?><D:multistatus xmlns:D=\"DAV:\">";
+    for (const xmlstore::DocRecord& doc : *docs) {
+      body += "<D:response><D:href>/docs/" + std::to_string(doc.doc_id) +
+              "</D:href><D:propstat><D:prop><D:displayname>" +
+              xml::EscapeText(doc.file_name) +
+              "</D:displayname><D:getcontentlength>" + std::to_string(doc.file_size) +
+              "</D:getcontentlength></D:prop>"
+              "<D:status>HTTP/1.1 200 OK</D:status></D:propstat></D:response>";
+    }
+    body += "</D:multistatus>";
+    HttpResponse resp = HttpResponse::Text(207, std::move(body));
+    resp.headers["Content-Type"] = "text/xml";
+    return resp;
+  }
+  body = "<documents>";
+  for (const xmlstore::DocRecord& doc : *docs) {
+    body += "<doc id=\"" + std::to_string(doc.doc_id) + "\" name=\"" +
+            xml::EscapeAttribute(doc.file_name) + "\" size=\"" +
+            std::to_string(doc.file_size) + "\"/>";
+  }
+  body += "</documents>";
+  return HttpResponse::Ok(std::move(body));
+}
+
+HttpResponse NetmarkService::HandleStatus() {
+  std::string body = "<status><documents>" + std::to_string(store_->document_count()) +
+                     "</documents><nodes>" + std::to_string(store_->node_count()) +
+                     "</nodes><terms>" +
+                     std::to_string(store_->text_index().num_terms()) + "</terms>" +
+                     "</status>";
+  return HttpResponse::Ok(std::move(body));
+}
+
+xml::Document ComposeFederatedResults(
+    const query::XdbQuery& query,
+    const std::vector<federation::FederatedHit>& hits) {
+  xml::Document out;
+  xml::NodeId results = out.CreateElement("results");
+  out.AddAttribute(results, "query", query.ToQueryString());
+  out.AddAttribute(results, "count", std::to_string(hits.size()));
+  out.AppendChild(out.root(), results);
+  for (const federation::FederatedHit& hit : hits) {
+    xml::NodeId result = out.CreateElement("result");
+    out.AddAttribute(result, "doc", hit.file_name);
+    out.AddAttribute(result, "docid", std::to_string(hit.doc_id));
+    if (!hit.source.empty()) out.AddAttribute(result, "source", hit.source);
+    out.AppendChild(results, result);
+    if (!hit.heading.empty()) {
+      xml::NodeId context = out.CreateElement("context");
+      out.AppendChild(context, out.CreateText(hit.heading));
+      out.AppendChild(result, context);
+    }
+    if (!hit.markup.empty() || !hit.text.empty()) {
+      xml::NodeId content = out.CreateElement("content");
+      out.AppendChild(result, content);
+      bool embedded = false;
+      if (!hit.markup.empty()) {
+        // Wrap: the markup may be a forest.
+        auto parsed = xml::ParseXml("<wrap>" + hit.markup + "</wrap>");
+        if (parsed.ok()) {
+          xml::NodeId wrap = parsed->DocumentElement();
+          for (xml::NodeId c = parsed->first_child(wrap); c != xml::kInvalidNode;
+               c = parsed->next_sibling(c)) {
+            out.AppendChild(content, out.ImportSubtree(*parsed, c));
+          }
+          embedded = true;
+        }
+      }
+      if (!embedded) {
+        out.AppendChild(content, out.CreateText(hit.text));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace netmark::server

@@ -1,0 +1,78 @@
+// The NETMARK HTTP service: XDB queries, WebDAV-lite document authoring, and
+// XSLT result composition behind "simple HTTP requests" (paper §2.1.2-2.1.3).
+//
+// Routes:
+//   GET      /xdb?Context=..&Content=..[&xslt=name][&databank=name][&limit=n]
+//   PUT      /docs/<file-name>          ingest a document (any format)
+//   GET      /docs/<doc-id>             reconstructed document XML
+//   DELETE   /docs/<doc-id>
+//   GET      /docs                      document listing (XML)
+//   PROPFIND /docs                      WebDAV-style multistatus listing
+//   GET      /status                    store statistics
+
+#ifndef NETMARK_SERVER_NETMARK_SERVICE_H_
+#define NETMARK_SERVER_NETMARK_SERVICE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "convert/registry.h"
+#include "federation/router.h"
+#include "query/compose.h"
+#include "query/executor.h"
+#include "server/http_message.h"
+#include "xmlstore/xml_store.h"
+#include "xslt/stylesheet.h"
+
+namespace netmark::server {
+
+/// \brief Request router for one NETMARK instance.
+class NetmarkService {
+ public:
+  explicit NetmarkService(xmlstore::XmlStore* store)
+      : store_(store),
+        executor_(store),
+        converters_(convert::ConverterRegistry::Default()) {}
+
+  /// Optional: enable `databank=` fan-out queries.
+  void set_router(federation::Router* router) { router_ = router; }
+
+  /// Registers a stylesheet for `xslt=` result composition.
+  netmark::Status RegisterStylesheet(const std::string& name,
+                                     std::string_view stylesheet_text);
+
+  /// Dispatches one request.
+  HttpResponse Handle(const HttpRequest& request);
+
+  xmlstore::XmlStore* store() { return store_; }
+
+ private:
+  HttpResponse HandleXdb(const HttpRequest& request);
+  HttpResponse HandlePutDocument(const HttpRequest& request,
+                                 const std::string& file_name);
+  HttpResponse HandleGetDocument(int64_t doc_id);
+  HttpResponse HandleDeleteDocument(int64_t doc_id);
+  HttpResponse HandleListDocuments(bool webdav);
+  HttpResponse HandleStatus();
+
+  /// Applies the named stylesheet (if any) and serializes.
+  netmark::Result<std::string> RenderResults(const xml::Document& results,
+                                             const std::string& xslt_name);
+
+  xmlstore::XmlStore* store_;
+  query::QueryExecutor executor_;
+  convert::ConverterRegistry converters_;
+  federation::Router* router_ = nullptr;
+  std::map<std::string, xslt::Stylesheet> stylesheets_;
+};
+
+/// \brief Builds a `<results>` document from federated hits (mirror of
+/// query::ComposeResults for the databank path).
+xml::Document ComposeFederatedResults(
+    const query::XdbQuery& query,
+    const std::vector<federation::FederatedHit>& hits);
+
+}  // namespace netmark::server
+
+#endif  // NETMARK_SERVER_NETMARK_SERVICE_H_

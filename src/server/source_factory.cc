@@ -1,0 +1,28 @@
+#include "server/source_factory.h"
+
+#include "federation/local_source.h"
+#include "federation/remote_source.h"
+#include "server/http_client.h"
+
+namespace netmark::server {
+
+federation::SourceFactory DefaultSourceFactory() {
+  return [](const federation::SourceDecl& decl)
+             -> netmark::Result<std::shared_ptr<federation::Source>> {
+    if (decl.kind == "local") {
+      NETMARK_ASSIGN_OR_RETURN(
+          std::shared_ptr<federation::LocalStoreSource> source,
+          federation::LocalStoreSource::OpenOwned(decl.name, decl.path));
+      return std::shared_ptr<federation::Source>(std::move(source));
+    }
+    if (decl.kind == "remote") {
+      return std::shared_ptr<federation::Source>(
+          std::make_shared<federation::RemoteSource>(
+              decl.name, std::make_unique<SocketTransport>(decl.host, decl.port),
+              decl.capabilities));
+    }
+    return netmark::Status::InvalidArgument("unknown source kind: " + decl.kind);
+  };
+}
+
+}  // namespace netmark::server

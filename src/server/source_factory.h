@@ -1,0 +1,18 @@
+// The production SourceFactory for declarative databank configs: local
+// stores open from disk; remote sources connect over HTTP.
+
+#ifndef NETMARK_SERVER_SOURCE_FACTORY_H_
+#define NETMARK_SERVER_SOURCE_FACTORY_H_
+
+#include "federation/databank_config.h"
+
+namespace netmark::server {
+
+/// \brief Returns the factory used by `ApplyDatabankConfig` in servers and
+/// the CLI: kind=local -> owning LocalStoreSource; kind=remote ->
+/// RemoteSource over a SocketTransport.
+federation::SourceFactory DefaultSourceFactory();
+
+}  // namespace netmark::server
+
+#endif  // NETMARK_SERVER_SOURCE_FACTORY_H_

@@ -1,0 +1,285 @@
+#include "storage/btree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace netmark::storage {
+
+int CompareKeys(const IndexKey& a, const IndexKey& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+struct BTree::Entry {
+  IndexKey key;
+  RowId rid;
+};
+
+namespace {
+
+int CompareEntryToKR(const BTree::Entry& e, const IndexKey& k, RowId r);
+
+}  // namespace
+
+struct BTree::Node {
+  bool leaf = true;
+  std::vector<Entry> entries;                   // leaf payload
+  std::vector<Entry> seps;                      // internal separators (full entries)
+  std::vector<std::unique_ptr<Node>> children;  // internal children
+  Node* next = nullptr;                         // leaf chain
+
+  bool IsFull(int fanout) const {
+    return leaf ? entries.size() >= static_cast<size_t>(fanout)
+                : seps.size() >= static_cast<size_t>(fanout);
+  }
+};
+
+namespace {
+
+int CompareEntries(const BTree::Entry& a, const BTree::Entry& b) {
+  int c = CompareKeys(a.key, b.key);
+  if (c != 0) return c;
+  if (a.rid == b.rid) return 0;
+  return a.rid < b.rid ? -1 : 1;
+}
+
+int CompareEntryToKR(const BTree::Entry& e, const IndexKey& k, RowId r) {
+  int c = CompareKeys(e.key, k);
+  if (c != 0) return c;
+  if (e.rid == r) return 0;
+  return e.rid < r ? -1 : 1;
+}
+
+// True when `key` begins with `prefix` component-wise.
+bool HasPrefix(const IndexKey& key, const IndexKey& prefix) {
+  if (key.size() < prefix.size()) return false;
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    if (key[i].Compare(prefix[i]) != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+BTree::BTree(int fanout) : fanout_(std::max(4, fanout)) {
+  root_ = std::make_unique<Node>();
+}
+BTree::~BTree() = default;
+BTree::BTree(BTree&&) noexcept = default;
+BTree& BTree::operator=(BTree&&) noexcept = default;
+
+void BTree::SplitChild(Node* parent, int index) {
+  Node* child = parent->children[static_cast<size_t>(index)].get();
+  auto right = std::make_unique<Node>();
+  right->leaf = child->leaf;
+  Entry up;
+  if (child->leaf) {
+    size_t mid = child->entries.size() / 2;
+    up = child->entries[mid];  // copy: leaf keeps all its entries >= mid in right
+    right->entries.assign(child->entries.begin() + static_cast<long>(mid),
+                          child->entries.end());
+    child->entries.resize(mid);
+    right->next = child->next;
+    child->next = right.get();
+  } else {
+    size_t mid = child->seps.size() / 2;
+    up = child->seps[mid];
+    right->seps.assign(child->seps.begin() + static_cast<long>(mid) + 1,
+                       child->seps.end());
+    for (size_t i = mid + 1; i < child->children.size(); ++i) {
+      right->children.push_back(std::move(child->children[i]));
+    }
+    child->seps.resize(mid);
+    child->children.resize(mid + 1);
+  }
+  parent->seps.insert(parent->seps.begin() + index, std::move(up));
+  parent->children.insert(parent->children.begin() + index + 1, std::move(right));
+}
+
+void BTree::InsertNonFull(Node* node, const IndexKey& key, RowId rid) {
+  while (!node->leaf) {
+    // First separator strictly greater than (key, rid) routes left of it.
+    int idx = 0;
+    int n = static_cast<int>(node->seps.size());
+    while (idx < n && CompareEntryToKR(node->seps[static_cast<size_t>(idx)], key, rid) <= 0) {
+      ++idx;
+    }
+    Node* child = node->children[static_cast<size_t>(idx)].get();
+    if (child->IsFull(fanout_)) {
+      SplitChild(node, idx);
+      // Re-route: the new separator may direct us right.
+      if (CompareEntryToKR(node->seps[static_cast<size_t>(idx)], key, rid) <= 0) ++idx;
+      child = node->children[static_cast<size_t>(idx)].get();
+    }
+    node = child;
+  }
+  Entry e{key, rid};
+  auto it = std::lower_bound(node->entries.begin(), node->entries.end(), e,
+                             [](const Entry& a, const Entry& b) {
+                               return CompareEntries(a, b) < 0;
+                             });
+  if (it != node->entries.end() && CompareEntries(*it, e) == 0) return;  // duplicate
+  node->entries.insert(it, std::move(e));
+  ++size_;
+}
+
+void BTree::Insert(const IndexKey& key, RowId rid) {
+  if (root_->IsFull(fanout_)) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->children.push_back(std::move(root_));
+    root_ = std::move(new_root);
+    SplitChild(root_.get(), 0);
+  }
+  InsertNonFull(root_.get(), key, rid);
+}
+
+BTree::Node* BTree::FindLeaf(const IndexKey& key) const {
+  // Leftmost leaf that can contain (key, smallest rid).
+  Node* node = root_.get();
+  while (!node->leaf) {
+    int idx = 0;
+    int n = static_cast<int>(node->seps.size());
+    while (idx < n && CompareKeys(node->seps[static_cast<size_t>(idx)].key, key) < 0) {
+      ++idx;
+    }
+    // seps[idx].key >= key: entries equal to key may sit in child idx (left of
+    // the separator) because separator comparison includes the rid.
+    node = node->children[static_cast<size_t>(idx)].get();
+  }
+  return node;
+}
+
+bool BTree::Remove(const IndexKey& key, RowId rid) {
+  Node* leaf = FindLeaf(key);
+  // The target (key, rid) may be in a following leaf when duplicates span
+  // leaves; walk the chain while keys are <= key.
+  while (leaf != nullptr) {
+    auto it = std::lower_bound(
+        leaf->entries.begin(), leaf->entries.end(), std::make_pair(&key, rid),
+        [](const Entry& e, const std::pair<const IndexKey*, RowId>& target) {
+          return CompareEntryToKR(e, *target.first, target.second) < 0;
+        });
+    if (it != leaf->entries.end()) {
+      if (CompareEntryToKR(*it, key, rid) == 0) {
+        leaf->entries.erase(it);
+        --size_;
+        return true;
+      }
+      if (CompareKeys(it->key, key) > 0) return false;
+      // Same key, larger rid ahead in this leaf means the pair is absent.
+      return false;
+    }
+    leaf = leaf->next;
+  }
+  return false;
+}
+
+std::vector<RowId> BTree::Lookup(const IndexKey& key) const {
+  std::vector<RowId> out;
+  Node* leaf = FindLeaf(key);
+  while (leaf != nullptr) {
+    for (const Entry& e : leaf->entries) {
+      int c = CompareKeys(e.key, key);
+      if (c < 0) continue;
+      if (c > 0) return out;
+      out.push_back(e.rid);
+    }
+    leaf = leaf->next;
+  }
+  return out;
+}
+
+std::vector<RowId> BTree::Range(const IndexKey& lo, const IndexKey& hi) const {
+  std::vector<RowId> out;
+  Node* leaf = FindLeaf(lo);
+  while (leaf != nullptr) {
+    for (const Entry& e : leaf->entries) {
+      if (CompareKeys(e.key, lo) < 0) continue;
+      if (CompareKeys(e.key, hi) > 0) return out;
+      out.push_back(e.rid);
+    }
+    leaf = leaf->next;
+  }
+  return out;
+}
+
+std::vector<RowId> BTree::PrefixLookup(const IndexKey& prefix) const {
+  std::vector<RowId> out;
+  Node* leaf = FindLeaf(prefix);
+  while (leaf != nullptr) {
+    for (const Entry& e : leaf->entries) {
+      if (CompareKeys(e.key, prefix) < 0) continue;
+      if (!HasPrefix(e.key, prefix)) return out;
+      out.push_back(e.rid);
+    }
+    leaf = leaf->next;
+  }
+  return out;
+}
+
+void BTree::VisitAll(const std::function<bool(const IndexKey&, RowId)>& visitor) const {
+  Node* node = root_.get();
+  while (!node->leaf) node = node->children.front().get();
+  for (; node != nullptr; node = node->next) {
+    for (const Entry& e : node->entries) {
+      if (!visitor(e.key, e.rid)) return;
+    }
+  }
+}
+
+int BTree::height() const {
+  int h = 1;
+  Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children.front().get();
+    ++h;
+  }
+  return h;
+}
+
+namespace {
+
+// Returns leaf depth, or -1 on violation. lo/hi entry bounds may be null.
+int CheckNode(const BTree::Node* node, const BTree::Entry* lo, const BTree::Entry* hi);
+
+int CheckNode(const BTree::Node* node, const BTree::Entry* lo,
+              const BTree::Entry* hi) {
+  if (node->leaf) {
+    for (size_t i = 0; i < node->entries.size(); ++i) {
+      if (i > 0 && CompareEntries(node->entries[i - 1], node->entries[i]) >= 0) {
+        return -1;
+      }
+      if (lo != nullptr && CompareEntries(node->entries[i], *lo) < 0) return -1;
+      if (hi != nullptr && CompareEntries(node->entries[i], *hi) >= 0) return -1;
+    }
+    return 1;
+  }
+  if (node->children.size() != node->seps.size() + 1) return -1;
+  for (size_t i = 1; i < node->seps.size(); ++i) {
+    if (CompareEntries(node->seps[i - 1], node->seps[i]) >= 0) return -1;
+  }
+  int depth = -2;
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    const BTree::Entry* child_lo = (i == 0) ? lo : &node->seps[i - 1];
+    const BTree::Entry* child_hi = (i == node->seps.size()) ? hi : &node->seps[i];
+    int d = CheckNode(node->children[i].get(), child_lo, child_hi);
+    if (d < 0) return -1;
+    if (depth == -2) depth = d;
+    if (d != depth) return -1;
+  }
+  return depth + 1;
+}
+
+}  // namespace
+
+bool BTree::CheckInvariants() const {
+  return CheckNode(root_.get(), nullptr, nullptr) >= 0;
+}
+
+}  // namespace netmark::storage

@@ -1,0 +1,91 @@
+// In-memory B+Tree mapping composite Value keys to RowIds.
+//
+// Used for secondary indexes over heap tables. Duplicate keys are allowed;
+// entries are unique on (key, rowid). Indexes are rebuilt from a heap scan at
+// database open (the heap file is the durable representation), which keeps
+// the index code free of paging concerns while the base data remains fully
+// persistent — the same recovery discipline several embedded stores use for
+// secondary structures.
+//
+// Deletion is implemented precisely (entry removal) with lazy structural
+// rebalancing: leaves may underflow below the usual B+Tree minimum, which
+// affects only space, never search correctness. Property tests in
+// tests/storage assert ordering, balance-at-insert, and lookup equivalence
+// against a reference std::multimap.
+
+#ifndef NETMARK_STORAGE_BTREE_H_
+#define NETMARK_STORAGE_BTREE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "storage/row_id.h"
+#include "storage/value.h"
+
+namespace netmark::storage {
+
+/// Composite index key.
+using IndexKey = std::vector<Value>;
+
+/// Lexicographic comparison of composite keys. A shorter key that is a
+/// prefix of a longer one compares less — which is exactly the behaviour
+/// prefix range-scans need.
+int CompareKeys(const IndexKey& a, const IndexKey& b);
+
+/// \brief B+Tree with duplicate-key support.
+class BTree {
+ public:
+  // Node/Entry are implementation details; they are forward-declared here
+  // (rather than in the private section) so internal helper functions can
+  // name them. They remain incomplete types to library users.
+  struct Node;
+  struct Entry;
+
+  explicit BTree(int fanout = 64);
+  ~BTree();
+  BTree(BTree&&) noexcept;
+  BTree& operator=(BTree&&) noexcept;
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  /// Inserts (key, rid). Duplicate (key, rid) pairs are ignored.
+  void Insert(const IndexKey& key, RowId rid);
+
+  /// Removes (key, rid); returns true if it was present.
+  bool Remove(const IndexKey& key, RowId rid);
+
+  /// All RowIds whose key equals `key` exactly.
+  std::vector<RowId> Lookup(const IndexKey& key) const;
+
+  /// All RowIds with lo <= key <= hi (inclusive range).
+  std::vector<RowId> Range(const IndexKey& lo, const IndexKey& hi) const;
+
+  /// All RowIds whose key begins with `prefix` (component-wise equality on
+  /// the prefix components).
+  std::vector<RowId> PrefixLookup(const IndexKey& prefix) const;
+
+  /// Visits entries in key order; return false from the visitor to stop.
+  void VisitAll(const std::function<bool(const IndexKey&, RowId)>& visitor) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  int height() const;
+
+  /// Structural invariant check (ordering within and across nodes, child
+  /// counts, uniform leaf depth). Used by tests.
+  bool CheckInvariants() const;
+
+ private:
+  Node* FindLeaf(const IndexKey& key) const;
+  void SplitChild(Node* parent, int index);
+  void InsertNonFull(Node* node, const IndexKey& key, RowId rid);
+
+  std::unique_ptr<Node> root_;
+  int fanout_;
+  size_t size_ = 0;
+};
+
+}  // namespace netmark::storage
+
+#endif  // NETMARK_STORAGE_BTREE_H_

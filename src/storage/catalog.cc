@@ -1,0 +1,109 @@
+#include "storage/catalog.h"
+
+#include <filesystem>
+
+#include "common/string_util.h"
+#include "common/temp_dir.h"
+
+namespace netmark::storage {
+
+netmark::Result<Catalog> Catalog::Load(const std::string& path) {
+  Catalog catalog;
+  if (!std::filesystem::exists(path)) return catalog;  // fresh database
+  NETMARK_ASSIGN_OR_RETURN(std::string text, netmark::ReadFile(path));
+  size_t line_no = 0;
+  for (const std::string& raw : netmark::Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = netmark::TrimView(raw);
+    if (line.empty() || line[0] == '#') continue;
+    if (netmark::StartsWith(line, "table ")) {
+      NETMARK_ASSIGN_OR_RETURN(TableSchema schema, TableSchema::Decode(line.substr(6)));
+      NETMARK_RETURN_NOT_OK(catalog.AddTable(std::move(schema)));
+    } else if (netmark::StartsWith(line, "index ")) {
+      std::vector<std::string> parts = netmark::SplitAndTrim(line.substr(6), ' ');
+      if (parts.size() != 3) {
+        return netmark::Status::ParseError(
+            netmark::StringPrintf("catalog line %zu: bad index entry", line_no));
+      }
+      IndexDef def;
+      def.name = parts[1];
+      def.columns = netmark::SplitAndTrim(parts[2], ',');
+      NETMARK_RETURN_NOT_OK(catalog.AddIndex(parts[0], std::move(def)));
+    } else {
+      return netmark::Status::ParseError(
+          netmark::StringPrintf("catalog line %zu: unknown entry kind", line_no));
+    }
+  }
+  return catalog;
+}
+
+netmark::Status Catalog::Save(const std::string& path) const {
+  std::string out = "# NETMARK catalog\n";
+  for (const TableDef& t : tables_) {
+    out += "table ";
+    out += t.schema.Encode();
+    out += '\n';
+    for (const IndexDef& ix : t.indexes) {
+      out += "index ";
+      out += t.schema.name();
+      out += ' ';
+      out += ix.name;
+      out += ' ';
+      out += netmark::Join(ix.columns, ",");
+      out += '\n';
+    }
+  }
+  return netmark::WriteFile(path, out);
+}
+
+TableDef* Catalog::Find(std::string_view table_name) {
+  for (TableDef& t : tables_) {
+    if (t.schema.name() == table_name) return &t;
+  }
+  return nullptr;
+}
+
+const TableDef* Catalog::Find(std::string_view table_name) const {
+  for (const TableDef& t : tables_) {
+    if (t.schema.name() == table_name) return &t;
+  }
+  return nullptr;
+}
+
+netmark::Status Catalog::AddTable(TableSchema schema) {
+  if (Find(schema.name()) != nullptr) {
+    return netmark::Status::AlreadyExists("table " + schema.name() +
+                                          " already in catalog");
+  }
+  tables_.push_back(TableDef{std::move(schema), {}});
+  return netmark::Status::OK();
+}
+
+netmark::Status Catalog::AddIndex(std::string_view table_name, IndexDef index) {
+  TableDef* t = Find(table_name);
+  if (t == nullptr) {
+    return netmark::Status::NotFound("no table " + std::string(table_name) +
+                                     " in catalog");
+  }
+  for (const IndexDef& ix : t->indexes) {
+    if (ix.name == index.name) {
+      return netmark::Status::AlreadyExists("index " + index.name + " already on " +
+                                            std::string(table_name));
+    }
+  }
+  t->indexes.push_back(std::move(index));
+  return netmark::Status::OK();
+}
+
+netmark::Status Catalog::RemoveTable(std::string_view table_name) {
+  for (auto it = tables_.begin(); it != tables_.end(); ++it) {
+    if (it->schema.name() == table_name) {
+      tables_.erase(it);
+      return netmark::Status::OK();
+    }
+  }
+  return netmark::Status::NotFound("no table " + std::string(table_name) +
+                                   " in catalog");
+}
+
+}  // namespace netmark::storage

@@ -1,0 +1,46 @@
+// Catalog: the persisted list of table schemas and index definitions.
+//
+// Stored as a line-oriented text file (`catalog.nmk`) in the database
+// directory:
+//   table <name>(<col>:<TYPE>[?],...)
+//   index <table> <index-name> <col1,col2,...>
+
+#ifndef NETMARK_STORAGE_CATALOG_H_
+#define NETMARK_STORAGE_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+
+namespace netmark::storage {
+
+/// Catalog entry for one table.
+struct TableDef {
+  TableSchema schema;
+  std::vector<IndexDef> indexes;
+};
+
+/// \brief In-memory catalog with load/save.
+class Catalog {
+ public:
+  static netmark::Result<Catalog> Load(const std::string& path);
+  netmark::Status Save(const std::string& path) const;
+
+  const std::vector<TableDef>& tables() const { return tables_; }
+  TableDef* Find(std::string_view table_name);
+  const TableDef* Find(std::string_view table_name) const;
+
+  netmark::Status AddTable(TableSchema schema);
+  netmark::Status AddIndex(std::string_view table_name, IndexDef index);
+  netmark::Status RemoveTable(std::string_view table_name);
+
+ private:
+  std::vector<TableDef> tables_;
+};
+
+}  // namespace netmark::storage
+
+#endif  // NETMARK_STORAGE_CATALOG_H_

@@ -1,0 +1,109 @@
+#include "storage/database.h"
+
+#include <filesystem>
+
+#include "common/string_util.h"
+#include "common/temp_dir.h"
+
+namespace netmark::storage {
+
+namespace fs = std::filesystem;
+
+netmark::Result<std::unique_ptr<Database>> Database::Open(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return netmark::Status::IOError("cannot create database directory " + dir + ": " +
+                                    ec.message());
+  }
+  std::unique_ptr<Database> db(new Database(dir));
+  NETMARK_ASSIGN_OR_RETURN(db->catalog_, Catalog::Load(db->CatalogPath()));
+  for (const TableDef& def : db->catalog_.tables()) {
+    NETMARK_ASSIGN_OR_RETURN(
+        std::unique_ptr<Table> table,
+        Table::Open(def.schema, db->TableFilePath(def.schema.name()), def.indexes));
+    db->tables_[def.schema.name()] = std::move(table);
+  }
+  // DDL counter survives restarts so assembly-cost benchmarks can account
+  // full lifetimes.
+  auto counter = netmark::ReadFile(db->DdlCounterPath());
+  if (counter.ok()) {
+    auto v = netmark::ParseInt64(*counter);
+    if (v.ok()) db->ddl_statements_ = static_cast<uint64_t>(*v);
+  }
+  return db;
+}
+
+Database::~Database() { (void)Flush(); }
+
+std::string Database::TableFilePath(std::string_view table) const {
+  return (fs::path(dir_) / (std::string(table) + ".heap")).string();
+}
+std::string Database::CatalogPath() const {
+  return (fs::path(dir_) / "catalog.nmk").string();
+}
+std::string Database::DdlCounterPath() const {
+  return (fs::path(dir_) / "ddl_count.nmk").string();
+}
+
+netmark::Result<Table*> Database::CreateTable(TableSchema schema) {
+  if (tables_.count(schema.name()) != 0) {
+    return netmark::Status::AlreadyExists("table " + schema.name() + " exists");
+  }
+  std::string name = schema.name();
+  NETMARK_RETURN_NOT_OK(catalog_.AddTable(schema));
+  NETMARK_ASSIGN_OR_RETURN(std::unique_ptr<Table> table,
+                           Table::Open(std::move(schema), TableFilePath(name)));
+  Table* raw = table.get();
+  tables_[name] = std::move(table);
+  ++ddl_statements_;
+  NETMARK_RETURN_NOT_OK(catalog_.Save(CatalogPath()));
+  return raw;
+}
+
+netmark::Result<Table*> Database::GetTable(std::string_view name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return netmark::Status::NotFound("no table " + std::string(name));
+  }
+  return it->second.get();
+}
+
+netmark::Status Database::CreateIndex(std::string_view table,
+                                      const std::string& index_name,
+                                      const std::vector<std::string>& columns) {
+  NETMARK_ASSIGN_OR_RETURN(Table * t, GetTable(table));
+  NETMARK_RETURN_NOT_OK(t->CreateIndex(index_name, columns));
+  NETMARK_RETURN_NOT_OK(catalog_.AddIndex(table, IndexDef{index_name, columns}));
+  ++ddl_statements_;
+  return catalog_.Save(CatalogPath());
+}
+
+netmark::Status Database::DropTable(std::string_view name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return netmark::Status::NotFound("no table " + std::string(name));
+  }
+  tables_.erase(it);
+  NETMARK_RETURN_NOT_OK(catalog_.RemoveTable(name));
+  std::error_code ec;
+  fs::remove(TableFilePath(name), ec);
+  ++ddl_statements_;
+  return catalog_.Save(CatalogPath());
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, t] : tables_) out.push_back(name);
+  return out;
+}
+
+netmark::Status Database::Flush() {
+  for (auto& [name, table] : tables_) {
+    NETMARK_RETURN_NOT_OK(table->Flush());
+  }
+  NETMARK_RETURN_NOT_OK(catalog_.Save(CatalogPath()));
+  return netmark::WriteFile(DdlCounterPath(), std::to_string(ddl_statements_));
+}
+
+}  // namespace netmark::storage

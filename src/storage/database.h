@@ -1,0 +1,69 @@
+// Database: a directory of tables plus the catalog.
+//
+// The database also counts DDL statements (CREATE TABLE / CREATE INDEX): the
+// paper's economic argument is that NETMARK needs a *constant* amount of DDL
+// regardless of what documents arrive, while schema-centric stores pay DDL
+// per document type. Benchmarks read this counter.
+
+#ifndef NETMARK_STORAGE_DATABASE_H_
+#define NETMARK_STORAGE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace netmark::storage {
+
+/// \brief A set of tables persisted under one directory.
+class Database {
+ public:
+  /// Opens (creating if needed) the database at `dir`. Existing tables are
+  /// loaded and their indexes rebuilt.
+  static netmark::Result<std::unique_ptr<Database>> Open(const std::string& dir);
+
+  ~Database();
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// CREATE TABLE. Fails if the table exists.
+  netmark::Result<Table*> CreateTable(TableSchema schema);
+  /// Table handle, or NotFound.
+  netmark::Result<Table*> GetTable(std::string_view name);
+  bool HasTable(std::string_view name) const { return tables_.count(std::string(name)) != 0; }
+  /// CREATE INDEX on an existing table.
+  netmark::Status CreateIndex(std::string_view table, const std::string& index_name,
+                              const std::vector<std::string>& columns);
+  /// DROP TABLE (removes the heap file).
+  netmark::Status DropTable(std::string_view name);
+
+  std::vector<std::string> TableNames() const;
+
+  /// Number of DDL statements executed over this database's lifetime
+  /// (persisted in the catalog directory; see Fig 5 benchmark).
+  uint64_t ddl_statements() const { return ddl_statements_; }
+
+  /// Flushes all tables and the catalog.
+  netmark::Status Flush();
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  explicit Database(std::string dir) : dir_(std::move(dir)) {}
+  std::string TableFilePath(std::string_view table) const;
+  std::string CatalogPath() const;
+  std::string DdlCounterPath() const;
+
+  std::string dir_;
+  Catalog catalog_;
+  std::map<std::string, std::unique_ptr<Table>, std::less<>> tables_;
+  uint64_t ddl_statements_ = 0;
+};
+
+}  // namespace netmark::storage
+
+#endif  // NETMARK_STORAGE_DATABASE_H_

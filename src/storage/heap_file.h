@@ -1,0 +1,85 @@
+// Heap file: unordered record storage with stable RowIds.
+//
+// Records live in slotted pages. Three complications are handled so that a
+// RowId handed out at insert time stays valid for the record's lifetime:
+//
+//  * updates that no longer fit in place leave a *forward pointer* at the
+//    original slot and relocate the bytes (Get/Update/Delete chase pointers;
+//    chains are collapsed on re-update);
+//  * records larger than a page spill to chained *overflow pages*;
+//  * deleted slots tombstone rather than compact, so neighbours keep their
+//    addresses.
+//
+// Space freed by deletes/relocations is not reused — NETMARK's workload is
+// append-mostly bulk ingest, matching the paper's usage.
+
+#ifndef NETMARK_STORAGE_HEAP_FILE_H_
+#define NETMARK_STORAGE_HEAP_FILE_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "storage/page.h"
+#include "storage/pager.h"
+#include "storage/row_id.h"
+
+namespace netmark::storage {
+
+/// \brief Record store over a Pager.
+class HeapFile {
+ public:
+  /// Wraps an open pager; recovers the append position by scanning page
+  /// headers (overflow pages are marked and skipped).
+  static netmark::Result<HeapFile> Open(Pager* pager);
+
+  /// Stores a record, returning its permanent RowId.
+  netmark::Result<RowId> Insert(std::string_view record);
+
+  /// Fetches a record (assembling overflow chains, chasing forwards).
+  netmark::Result<std::string> Get(RowId id) const;
+
+  /// Replaces a record's bytes; the RowId remains valid.
+  netmark::Status Update(RowId id, std::string_view record);
+
+  /// Removes a record.
+  netmark::Status Delete(RowId id);
+
+  /// True if `id` addresses a live record.
+  bool Exists(RowId id) const;
+
+  /// Visits every live record in physical order with its canonical RowId.
+  /// Stops early if `fn` returns a non-OK status (propagated).
+  netmark::Status Scan(
+      const std::function<netmark::Status(RowId, std::string_view)>& fn) const;
+
+  /// Number of live records (maintained incrementally; recomputed at Open).
+  uint64_t live_records() const { return live_records_; }
+
+ private:
+  explicit HeapFile(Pager* pager) : pager_(pager) {}
+
+  // Record tag flags (first byte of every slot payload).
+  static constexpr uint8_t kForwardFlag = 0x1;    // payload = packed RowId (8B)
+  static constexpr uint8_t kRelocatedFlag = 0x2;  // reached only via forward
+  static constexpr uint8_t kOverflowFlag = 0x4;   // payload = page id + length
+
+  // Overflow page marker value stored in the slot_count field.
+  static constexpr uint16_t kOverflowMarker = 0xFFFF;
+
+  netmark::Result<RowId> InsertTagged(std::string_view record, uint8_t extra_flags);
+  netmark::Result<RowId> AppendSlot(std::string_view payload);
+  netmark::Result<std::string> ReadOverflow(std::string_view payload) const;
+  netmark::Result<std::string> WriteOverflowPayload(std::string_view record);
+  /// Follows forward pointers from `id` to the slot holding the data.
+  netmark::Result<RowId> Resolve(RowId id) const;
+
+  Pager* pager_;
+  PageId tail_ = kInvalidPage;  // current append page
+  uint64_t live_records_ = 0;
+};
+
+}  // namespace netmark::storage
+
+#endif  // NETMARK_STORAGE_HEAP_FILE_H_

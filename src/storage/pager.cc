@@ -1,0 +1,95 @@
+#include "storage/pager.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace netmark::storage {
+
+netmark::Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return netmark::Status::IOError("open " + path + ": " + std::strerror(errno));
+  }
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return netmark::Status::IOError("lseek " + path + ": " + std::strerror(errno));
+  }
+  if (static_cast<size_t>(size) % kPageSize != 0) {
+    ::close(fd);
+    return netmark::Status::Corruption(
+        netmark::StringPrintf("page file %s has size %lld not a multiple of %zu",
+                              path.c_str(), static_cast<long long>(size), kPageSize));
+  }
+  auto count = static_cast<PageId>(static_cast<size_t>(size) / kPageSize);
+  return std::unique_ptr<Pager>(new Pager(path, fd, count));
+}
+
+Pager::~Pager() {
+  (void)Flush();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+netmark::Result<PageId> Pager::Allocate() {
+  if (page_count_ == kInvalidPage) {
+    return netmark::Status::CapacityExceeded("page file full");
+  }
+  PageId id = page_count_++;
+  auto buf = std::make_unique<uint8_t[]>(kPageSize);
+  std::memset(buf.get(), 0, kPageSize);
+  Page(buf.get()).Init();
+  cache_[id] = std::move(buf);
+  dirty_[id] = true;
+  return id;
+}
+
+netmark::Result<uint8_t*> Pager::Buffer(PageId id) {
+  auto it = cache_.find(id);
+  if (it != cache_.end()) return it->second.get();
+  if (id >= page_count_) {
+    return netmark::Status::InvalidArgument(
+        netmark::StringPrintf("page %u out of range (%u pages)", id, page_count_));
+  }
+  auto buf = std::make_unique<uint8_t[]>(kPageSize);
+  ssize_t n = ::pread(fd_, buf.get(), kPageSize,
+                      static_cast<off_t>(id) * static_cast<off_t>(kPageSize));
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return netmark::Status::IOError(
+        netmark::StringPrintf("short read of page %u from %s", id, path_.c_str()));
+  }
+  ++pages_read_;
+  uint8_t* raw = buf.get();
+  cache_[id] = std::move(buf);
+  return raw;
+}
+
+netmark::Result<Page> Pager::Fetch(PageId id) {
+  NETMARK_ASSIGN_OR_RETURN(uint8_t* buf, Buffer(id));
+  return Page(buf);
+}
+
+void Pager::MarkDirty(PageId id) { dirty_[id] = true; }
+
+netmark::Status Pager::Flush() {
+  for (auto& [id, is_dirty] : dirty_) {
+    if (!is_dirty) continue;
+    auto it = cache_.find(id);
+    if (it == cache_.end()) continue;
+    ssize_t n = ::pwrite(fd_, it->second.get(), kPageSize,
+                         static_cast<off_t>(id) * static_cast<off_t>(kPageSize));
+    if (n != static_cast<ssize_t>(kPageSize)) {
+      return netmark::Status::IOError(
+          netmark::StringPrintf("short write of page %u to %s", id, path_.c_str()));
+    }
+    is_dirty = false;
+    ++pages_written_;
+  }
+  return netmark::Status::OK();
+}
+
+}  // namespace netmark::storage

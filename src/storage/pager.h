@@ -1,0 +1,69 @@
+// File-backed page manager.
+//
+// Pages are cached in memory once touched and written back on Flush/close.
+// This favors the NETMARK workload (bulk document ingest, read-mostly
+// querying) over strict memory bounds; an eviction policy could be added
+// behind the same interface.
+
+#ifndef NETMARK_STORAGE_PAGER_H_
+#define NETMARK_STORAGE_PAGER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/page.h"
+#include "storage/row_id.h"
+
+namespace netmark::storage {
+
+/// \brief Owns the page file: allocation, fetch, write-back.
+class Pager {
+ public:
+  /// Opens (creating if absent) the page file at `path`.
+  static netmark::Result<std::unique_ptr<Pager>> Open(const std::string& path);
+
+  ~Pager();
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  /// Number of pages in the file.
+  PageId page_count() const { return page_count_; }
+
+  /// Allocates a fresh, zero-initialized page and returns its id.
+  netmark::Result<PageId> Allocate();
+
+  /// Fetches a page for reading; the pointer stays valid until the Pager is
+  /// destroyed (buffers are never evicted).
+  netmark::Result<Page> Fetch(PageId id);
+
+  /// Marks a page dirty so Flush persists it.
+  void MarkDirty(PageId id);
+
+  /// Writes all dirty pages (and the page count) to disk.
+  netmark::Status Flush();
+
+  /// Count of pages read from disk (cache misses), for benchmarks.
+  uint64_t pages_read() const { return pages_read_; }
+  uint64_t pages_written() const { return pages_written_; }
+
+ private:
+  Pager(std::string path, int fd, PageId page_count)
+      : path_(std::move(path)), fd_(fd), page_count_(page_count) {}
+
+  netmark::Result<uint8_t*> Buffer(PageId id);
+
+  std::string path_;
+  int fd_;
+  PageId page_count_ = 0;
+  std::unordered_map<PageId, std::unique_ptr<uint8_t[]>> cache_;
+  std::unordered_map<PageId, bool> dirty_;
+  uint64_t pages_read_ = 0;
+  uint64_t pages_written_ = 0;
+};
+
+}  // namespace netmark::storage
+
+#endif  // NETMARK_STORAGE_PAGER_H_

@@ -1,0 +1,66 @@
+// RowId: the physical row address.
+//
+// The paper leans on Oracle physical ROWIDs "for very fast traversal between
+// nodes that are related" (§2.1.1). Our equivalent is (page, slot): a stable
+// physical address that fetches a record with one page lookup and one slot
+// dereference — no index involved.
+
+#ifndef NETMARK_STORAGE_ROW_ID_H_
+#define NETMARK_STORAGE_ROW_ID_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace netmark::storage {
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPage = 0xFFFFFFFFu;
+
+/// \brief Physical address of a record: page number + slot index.
+struct RowId {
+  PageId page = kInvalidPage;
+  uint16_t slot = 0;
+
+  constexpr RowId() = default;
+  constexpr RowId(PageId p, uint16_t s) : page(p), slot(s) {}
+
+  bool valid() const { return page != kInvalidPage; }
+
+  /// Packs into a single integer (for storing RowIds inside records —
+  /// this is how PARENTROWID/SIBLINGID columns hold links).
+  uint64_t Pack() const {
+    return (static_cast<uint64_t>(page) << 16) | slot;
+  }
+  static RowId Unpack(uint64_t v) {
+    RowId r;
+    r.page = static_cast<PageId>(v >> 16);
+    r.slot = static_cast<uint16_t>(v & 0xFFFF);
+    return r;
+  }
+  /// Packed representation of the invalid RowId.
+  static constexpr uint64_t kInvalidPacked = 0xFFFFFFFF0000ull;
+
+  bool operator==(const RowId& o) const { return page == o.page && slot == o.slot; }
+  bool operator!=(const RowId& o) const { return !(*this == o); }
+  bool operator<(const RowId& o) const {
+    return page != o.page ? page < o.page : slot < o.slot;
+  }
+
+  std::string ToString() const {
+    return "(" + std::to_string(page) + "," + std::to_string(slot) + ")";
+  }
+};
+
+inline constexpr RowId kInvalidRowId{};
+
+}  // namespace netmark::storage
+
+template <>
+struct std::hash<netmark::storage::RowId> {
+  size_t operator()(const netmark::storage::RowId& r) const noexcept {
+    return std::hash<uint64_t>{}(r.Pack());
+  }
+};
+
+#endif  // NETMARK_STORAGE_ROW_ID_H_

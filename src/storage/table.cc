@@ -1,0 +1,146 @@
+#include "storage/table.h"
+
+namespace netmark::storage {
+
+netmark::Result<std::unique_ptr<Table>> Table::Open(
+    TableSchema schema, const std::string& file_path,
+    const std::vector<IndexDef>& indexes) {
+  NETMARK_ASSIGN_OR_RETURN(std::unique_ptr<Pager> pager, Pager::Open(file_path));
+  NETMARK_ASSIGN_OR_RETURN(HeapFile heap, HeapFile::Open(pager.get()));
+  std::unique_ptr<Table> table(new Table(std::move(schema), std::move(pager),
+                                         std::make_unique<HeapFile>(std::move(heap))));
+  for (const IndexDef& def : indexes) {
+    NETMARK_RETURN_NOT_OK(table->CreateIndex(def.name, def.columns));
+  }
+  return table;
+}
+
+IndexKey Table::ExtractKey(const Index& index, const Row& row) const {
+  IndexKey key;
+  key.reserve(index.column_indexes.size());
+  for (size_t ci : index.column_indexes) key.push_back(row[ci]);
+  return key;
+}
+
+netmark::Status Table::IndexInsert(const Row& row, RowId id) {
+  for (auto& [name, index] : indexes_) {
+    index.tree.Insert(ExtractKey(index, row), id);
+  }
+  return netmark::Status::OK();
+}
+
+netmark::Status Table::IndexRemove(const Row& row, RowId id) {
+  for (auto& [name, index] : indexes_) {
+    index.tree.Remove(ExtractKey(index, row), id);
+  }
+  return netmark::Status::OK();
+}
+
+netmark::Result<RowId> Table::Insert(const Row& row) {
+  NETMARK_RETURN_NOT_OK(schema_.Validate(row));
+  NETMARK_ASSIGN_OR_RETURN(RowId id, heap_->Insert(EncodeRow(row)));
+  NETMARK_RETURN_NOT_OK(IndexInsert(row, id));
+  return id;
+}
+
+netmark::Result<Row> Table::Get(RowId id) const {
+  NETMARK_ASSIGN_OR_RETURN(std::string bytes, heap_->Get(id));
+  return DecodeRow(bytes);
+}
+
+netmark::Status Table::Update(RowId id, const Row& row) {
+  NETMARK_RETURN_NOT_OK(schema_.Validate(row));
+  NETMARK_ASSIGN_OR_RETURN(Row old_row, Get(id));
+  NETMARK_RETURN_NOT_OK(heap_->Update(id, EncodeRow(row)));
+  NETMARK_RETURN_NOT_OK(IndexRemove(old_row, id));
+  NETMARK_RETURN_NOT_OK(IndexInsert(row, id));
+  return netmark::Status::OK();
+}
+
+netmark::Status Table::Delete(RowId id) {
+  NETMARK_ASSIGN_OR_RETURN(Row old_row, Get(id));
+  NETMARK_RETURN_NOT_OK(heap_->Delete(id));
+  return IndexRemove(old_row, id);
+}
+
+netmark::Status Table::Scan(
+    const std::function<netmark::Status(RowId, const Row&)>& fn) const {
+  return heap_->Scan([&](RowId id, std::string_view bytes) -> netmark::Status {
+    NETMARK_ASSIGN_OR_RETURN(Row row, DecodeRow(bytes));
+    return fn(id, row);
+  });
+}
+
+netmark::Status Table::CreateIndex(const std::string& name,
+                                   const std::vector<std::string>& columns) {
+  if (indexes_.count(name) != 0) {
+    return netmark::Status::AlreadyExists("index " + name + " already exists on " +
+                                          schema_.name());
+  }
+  Index index;
+  for (const std::string& col : columns) {
+    NETMARK_ASSIGN_OR_RETURN(size_t ci, schema_.ColumnIndex(col));
+    index.column_indexes.push_back(ci);
+  }
+  auto [it, inserted] = indexes_.emplace(name, std::move(index));
+  Index& ix = it->second;
+  // Build from existing rows.
+  netmark::Status st =
+      Scan([&](RowId id, const Row& row) -> netmark::Status {
+        ix.tree.Insert(ExtractKey(ix, row), id);
+        return netmark::Status::OK();
+      });
+  if (!st.ok()) {
+    indexes_.erase(it);
+    return st;
+  }
+  return netmark::Status::OK();
+}
+
+std::vector<IndexDef> Table::IndexDefs() const {
+  std::vector<IndexDef> out;
+  for (const auto& [name, index] : indexes_) {
+    IndexDef def;
+    def.name = name;
+    for (size_t ci : index.column_indexes) {
+      def.columns.push_back(schema_.columns()[ci].name);
+    }
+    out.push_back(std::move(def));
+  }
+  return out;
+}
+
+netmark::Result<std::vector<RowId>> Table::IndexLookup(const std::string& index,
+                                                       const IndexKey& key) const {
+  auto it = indexes_.find(index);
+  if (it == indexes_.end()) {
+    return netmark::Status::NotFound("no index " + index + " on " + schema_.name());
+  }
+  return it->second.tree.Lookup(key);
+}
+
+netmark::Result<std::vector<RowId>> Table::IndexRange(const std::string& index,
+                                                      const IndexKey& lo,
+                                                      const IndexKey& hi) const {
+  auto it = indexes_.find(index);
+  if (it == indexes_.end()) {
+    return netmark::Status::NotFound("no index " + index + " on " + schema_.name());
+  }
+  return it->second.tree.Range(lo, hi);
+}
+
+netmark::Result<std::vector<RowId>> Table::IndexPrefix(const std::string& index,
+                                                       const IndexKey& prefix) const {
+  auto it = indexes_.find(index);
+  if (it == indexes_.end()) {
+    return netmark::Status::NotFound("no index " + index + " on " + schema_.name());
+  }
+  return it->second.tree.PrefixLookup(prefix);
+}
+
+const BTree* Table::GetIndex(const std::string& name) const {
+  auto it = indexes_.find(name);
+  return it == indexes_.end() ? nullptr : &it->second.tree;
+}
+
+}  // namespace netmark::storage

@@ -1,0 +1,92 @@
+// Table: schema-checked rows over a heap file, with secondary B+Tree indexes.
+
+#ifndef NETMARK_STORAGE_TABLE_H_
+#define NETMARK_STORAGE_TABLE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/btree.h"
+#include "storage/heap_file.h"
+#include "storage/pager.h"
+#include "storage/schema.h"
+
+namespace netmark::storage {
+
+/// Definition of a secondary index.
+struct IndexDef {
+  std::string name;
+  std::vector<std::string> columns;
+};
+
+/// \brief One relational table: typed rows addressed by RowId.
+class Table {
+ public:
+  /// Opens (or creates) the table's heap file at `file_path`. Indexes in
+  /// `indexes` are (re)built from a full scan.
+  static netmark::Result<std::unique_ptr<Table>> Open(
+      TableSchema schema, const std::string& file_path,
+      const std::vector<IndexDef>& indexes = {});
+
+  const TableSchema& schema() const { return schema_; }
+  uint64_t row_count() const { return heap_->live_records(); }
+
+  /// Validates against the schema and stores the row.
+  netmark::Result<RowId> Insert(const Row& row);
+  netmark::Result<Row> Get(RowId id) const;
+  netmark::Status Update(RowId id, const Row& row);
+  netmark::Status Delete(RowId id);
+
+  /// Visits every live row. Stops on non-OK from `fn`.
+  netmark::Status Scan(
+      const std::function<netmark::Status(RowId, const Row&)>& fn) const;
+
+  /// Adds an index over `columns` and builds it from current rows.
+  netmark::Status CreateIndex(const std::string& name,
+                              const std::vector<std::string>& columns);
+  bool HasIndex(const std::string& name) const { return indexes_.count(name) != 0; }
+  std::vector<IndexDef> IndexDefs() const;
+
+  /// Exact-match lookup on an index.
+  netmark::Result<std::vector<RowId>> IndexLookup(const std::string& index,
+                                                  const IndexKey& key) const;
+  /// Inclusive range lookup on an index.
+  netmark::Result<std::vector<RowId>> IndexRange(const std::string& index,
+                                                 const IndexKey& lo,
+                                                 const IndexKey& hi) const;
+  /// Prefix lookup (first k components equal) on an index.
+  netmark::Result<std::vector<RowId>> IndexPrefix(const std::string& index,
+                                                  const IndexKey& prefix) const;
+
+  /// Direct access to the underlying B+Tree (tests/benchmarks).
+  const BTree* GetIndex(const std::string& name) const;
+
+  netmark::Status Flush() { return pager_->Flush(); }
+  const Pager& pager() const { return *pager_; }
+
+ private:
+  struct Index {
+    std::vector<size_t> column_indexes;
+    BTree tree;
+  };
+
+  Table(TableSchema schema, std::unique_ptr<Pager> pager,
+        std::unique_ptr<HeapFile> heap)
+      : schema_(std::move(schema)), pager_(std::move(pager)), heap_(std::move(heap)) {}
+
+  IndexKey ExtractKey(const Index& index, const Row& row) const;
+  netmark::Status IndexInsert(const Row& row, RowId id);
+  netmark::Status IndexRemove(const Row& row, RowId id);
+
+  TableSchema schema_;
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<HeapFile> heap_;
+  std::map<std::string, Index> indexes_;
+};
+
+}  // namespace netmark::storage
+
+#endif  // NETMARK_STORAGE_TABLE_H_

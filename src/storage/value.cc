@@ -1,0 +1,68 @@
+#include "storage/value.h"
+
+namespace netmark::storage {
+
+std::string_view ValueTypeToString(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return "INT";
+    case ValueType::kDouble:
+      return "REAL";
+    case ValueType::kString:
+      return "TEXT";
+  }
+  return "?";
+}
+
+netmark::Result<ValueType> ValueTypeFromString(std::string_view s) {
+  if (s == "NULL") return ValueType::kNull;
+  if (s == "INT") return ValueType::kInt64;
+  if (s == "REAL") return ValueType::kDouble;
+  if (s == "TEXT") return ValueType::kString;
+  return netmark::Status::ParseError("unknown value type: " + std::string(s));
+}
+
+int Value::Compare(const Value& other) const {
+  const ValueType ta = type();
+  const ValueType tb = other.type();
+  // NULL sorts first.
+  if (ta == ValueType::kNull || tb == ValueType::kNull) {
+    if (ta == tb) return 0;
+    return ta == ValueType::kNull ? -1 : 1;
+  }
+  const bool numeric_a = ta == ValueType::kInt64 || ta == ValueType::kDouble;
+  const bool numeric_b = tb == ValueType::kInt64 || tb == ValueType::kDouble;
+  if (numeric_a && numeric_b) {
+    if (ta == ValueType::kInt64 && tb == ValueType::kInt64) {
+      int64_t a = AsInt();
+      int64_t b = other.AsInt();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    double a = ta == ValueType::kInt64 ? static_cast<double>(AsInt()) : AsReal();
+    double b = tb == ValueType::kInt64 ? static_cast<double>(other.AsInt())
+                                       : other.AsReal();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (numeric_a != numeric_b) return numeric_a ? -1 : 1;  // numbers before strings
+  const std::string& a = AsStr();
+  const std::string& b = other.AsStr();
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(AsInt());
+    case ValueType::kDouble:
+      return std::to_string(AsReal());
+    case ValueType::kString:
+      return "'" + AsStr() + "'";
+  }
+  return "?";
+}
+
+}  // namespace netmark::storage

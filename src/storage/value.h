@@ -1,0 +1,74 @@
+// Typed values and column types for the relational layer.
+
+#ifndef NETMARK_STORAGE_VALUE_H_
+#define NETMARK_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "common/result.h"
+
+namespace netmark::storage {
+
+/// Column / value types supported by the storage engine.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+};
+
+std::string_view ValueTypeToString(ValueType t);
+netmark::Result<ValueType> ValueTypeFromString(std::string_view s);
+
+/// \brief A dynamically typed cell value.
+class Value {
+ public:
+  Value() : repr_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Real(double v) { return Value(v); }
+  static Value Str(std::string v) { return Value(std::move(v)); }
+
+  ValueType type() const {
+    switch (repr_.index()) {
+      case 0:
+        return ValueType::kNull;
+      case 1:
+        return ValueType::kInt64;
+      case 2:
+        return ValueType::kDouble;
+      default:
+        return ValueType::kString;
+    }
+  }
+  bool is_null() const { return repr_.index() == 0; }
+
+  /// Typed accessors; must match the held type.
+  int64_t AsInt() const { return std::get<int64_t>(repr_); }
+  double AsReal() const { return std::get<double>(repr_); }
+  const std::string& AsStr() const { return std::get<std::string>(repr_); }
+
+  /// Total ordering used by indexes: NULL < ints/doubles (numeric order,
+  /// cross-type comparable) < strings (byte order).
+  int Compare(const Value& other) const;
+  bool operator==(const Value& o) const { return Compare(o) == 0; }
+  bool operator!=(const Value& o) const { return Compare(o) != 0; }
+  bool operator<(const Value& o) const { return Compare(o) < 0; }
+
+  /// Debug rendering.
+  std::string ToString() const;
+
+ private:
+  explicit Value(int64_t v) : repr_(v) {}
+  explicit Value(double v) : repr_(v) {}
+  explicit Value(std::string v) : repr_(std::move(v)) {}
+
+  std::variant<std::monostate, int64_t, double, std::string> repr_;
+};
+
+}  // namespace netmark::storage
+
+#endif  // NETMARK_STORAGE_VALUE_H_

@@ -1,0 +1,84 @@
+// Positional inverted index over text-bearing nodes.
+//
+// This is the reproduction of the Oracle Text index the paper's query path
+// starts from: "the keyword-based context and content search is performed by
+// first querying the text index for the search key. Each node returned from
+// the index search is then processed based on its designated unique ROWID"
+// (§2.1.4). Keys here are packed RowIds of stored text nodes.
+
+#ifndef NETMARK_TEXTINDEX_INVERTED_INDEX_H_
+#define NETMARK_TEXTINDEX_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "textindex/tokenizer.h"
+
+namespace netmark::textindex {
+
+/// Opaque key of an indexed unit (NETMARK packs node RowIds here).
+using DocKey = uint64_t;
+
+/// Postings entry: one indexed unit and the positions of the term within it.
+struct Posting {
+  DocKey key;
+  std::vector<uint32_t> positions;
+};
+
+/// \brief In-memory positional inverted index with incremental add/remove.
+///
+/// At store open the index is loaded from a token-validated snapshot
+/// (textindex/snapshot.h) when one is fresh, and rebuilt from the XML store
+/// otherwise — the store is always the durable copy.
+class InvertedIndex {
+ public:
+  /// Indexes `text` under `key`. A key may be added once; re-adding merges
+  /// (used when node text is updated: Remove then Add).
+  void Add(DocKey key, std::string_view text);
+
+  /// Removes `key`'s contribution; `text` must be the text it was added
+  /// with (the index stores no forward map, by design — the store has it).
+  void Remove(DocKey key, std::string_view text);
+
+  /// Keys containing `term` (case-folded), sorted ascending.
+  std::vector<DocKey> LookupTerm(std::string_view term) const;
+
+  /// Keys containing *all* the given terms (conjunction), sorted.
+  std::vector<DocKey> MatchAll(const std::vector<std::string>& terms) const;
+
+  /// Keys containing *any* of the given terms (disjunction), sorted.
+  std::vector<DocKey> MatchAny(const std::vector<std::string>& terms) const;
+
+  /// Keys containing the exact phrase (terms at consecutive positions).
+  std::vector<DocKey> MatchPhrase(const std::vector<std::string>& words) const;
+
+  /// Keys containing any term starting with `prefix`.
+  std::vector<DocKey> MatchPrefix(std::string_view prefix) const;
+
+  size_t num_terms() const { return postings_.size(); }
+  size_t num_postings() const { return num_postings_; }
+
+  /// Visits every term with its postings list, in term order (snapshotting).
+  void Visit(const std::function<void(const std::string&,
+                                      const std::vector<Posting>&)>& fn) const;
+
+  /// Bulk-restores one term's postings (snapshot loading). The list must be
+  /// sorted by key and the term must not already exist.
+  void RestoreTerm(std::string term, std::vector<Posting> postings);
+
+ private:
+  const std::vector<Posting>* Find(std::string_view term) const;
+
+  // term -> postings sorted by key.
+  std::map<std::string, std::vector<Posting>, std::less<>> postings_;
+  size_t num_postings_ = 0;
+};
+
+}  // namespace netmark::textindex
+
+#endif  // NETMARK_TEXTINDEX_INVERTED_INDEX_H_

@@ -1,0 +1,152 @@
+#include "textindex/snapshot.h"
+
+#include <cstring>
+#include <filesystem>
+
+#include "common/temp_dir.h"
+
+namespace netmark::textindex {
+
+namespace {
+
+constexpr char kMagic[4] = {'N', 'M', 'I', 'X'};
+constexpr uint32_t kVersion = 1;
+
+void Put32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 4);
+}
+void Put64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 8);
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  netmark::Result<uint32_t> Get32() {
+    if (pos_ + 4 > data_.size()) return netmark::Status::Corruption("truncated u32");
+    uint32_t v;
+    std::memcpy(&v, data_.data() + pos_, 4);
+    pos_ += 4;
+    return v;
+  }
+  netmark::Result<uint64_t> Get64() {
+    if (pos_ + 8 > data_.size()) return netmark::Status::Corruption("truncated u64");
+    uint64_t v;
+    std::memcpy(&v, data_.data() + pos_, 8);
+    pos_ += 8;
+    return v;
+  }
+  netmark::Result<std::string> GetBytes(size_t n) {
+    if (pos_ + n > data_.size()) return netmark::Status::Corruption("truncated bytes");
+    std::string out(data_.substr(pos_, n));
+    pos_ += n;
+    return out;
+  }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+netmark::Status SaveIndexSnapshot(const InvertedIndex& index,
+                                  const SnapshotToken& token,
+                                  const std::string& path) {
+  std::string out;
+  out.append(kMagic, 4);
+  Put32(&out, kVersion);
+  Put64(&out, token.a);
+  Put64(&out, token.b);
+  Put64(&out, token.extra_a);
+  Put64(&out, token.extra_b);
+  Put64(&out, index.num_terms());
+  index.Visit([&](const std::string& term, const std::vector<Posting>& postings) {
+    Put32(&out, static_cast<uint32_t>(term.size()));
+    out += term;
+    Put64(&out, postings.size());
+    for (const Posting& p : postings) {
+      Put64(&out, p.key);
+      Put32(&out, static_cast<uint32_t>(p.positions.size()));
+      for (uint32_t pos : p.positions) Put32(&out, pos);
+    }
+  });
+  // Atomic replace: write sideways then rename.
+  std::string tmp = path + ".tmp";
+  NETMARK_RETURN_NOT_OK(netmark::WriteFile(tmp, out));
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return netmark::Status::IOError("snapshot rename failed: " + ec.message());
+  }
+  return netmark::Status::OK();
+}
+
+netmark::Result<LoadedSnapshot> LoadIndexSnapshot(const std::string& path,
+                                                  const SnapshotToken& expected) {
+  if (!std::filesystem::exists(path)) {
+    return netmark::Status::NotFound("no index snapshot at " + path);
+  }
+  NETMARK_ASSIGN_OR_RETURN(std::string data, netmark::ReadFile(path));
+  Cursor cursor(data);
+  NETMARK_ASSIGN_OR_RETURN(std::string magic, cursor.GetBytes(4));
+  if (std::memcmp(magic.data(), kMagic, 4) != 0) {
+    return netmark::Status::Corruption("bad snapshot magic");
+  }
+  NETMARK_ASSIGN_OR_RETURN(uint32_t version, cursor.Get32());
+  if (version != kVersion) {
+    return netmark::Status::Corruption("unsupported snapshot version " +
+                                       std::to_string(version));
+  }
+  SnapshotToken token;
+  NETMARK_ASSIGN_OR_RETURN(token.a, cursor.Get64());
+  NETMARK_ASSIGN_OR_RETURN(token.b, cursor.Get64());
+  NETMARK_ASSIGN_OR_RETURN(token.extra_a, cursor.Get64());
+  NETMARK_ASSIGN_OR_RETURN(token.extra_b, cursor.Get64());
+  if (!token.Matches(expected)) {
+    return netmark::Status::InvalidArgument("stale snapshot (token mismatch)");
+  }
+  NETMARK_ASSIGN_OR_RETURN(uint64_t term_count, cursor.Get64());
+  InvertedIndex index;
+  for (uint64_t t = 0; t < term_count; ++t) {
+    NETMARK_ASSIGN_OR_RETURN(uint32_t term_len, cursor.Get32());
+    if (term_len > 1 << 20) return netmark::Status::Corruption("absurd term length");
+    NETMARK_ASSIGN_OR_RETURN(std::string term, cursor.GetBytes(term_len));
+    NETMARK_ASSIGN_OR_RETURN(uint64_t posting_count, cursor.Get64());
+    std::vector<Posting> postings;
+    postings.reserve(posting_count);
+    uint64_t prev_key = 0;
+    bool first = true;
+    for (uint64_t p = 0; p < posting_count; ++p) {
+      Posting posting;
+      NETMARK_ASSIGN_OR_RETURN(posting.key, cursor.Get64());
+      if (!first && posting.key <= prev_key) {
+        return netmark::Status::Corruption("snapshot postings out of order");
+      }
+      first = false;
+      prev_key = posting.key;
+      NETMARK_ASSIGN_OR_RETURN(uint32_t n_positions, cursor.Get32());
+      if (n_positions > 1 << 24) {
+        return netmark::Status::Corruption("absurd position count");
+      }
+      posting.positions.reserve(n_positions);
+      for (uint32_t k = 0; k < n_positions; ++k) {
+        NETMARK_ASSIGN_OR_RETURN(uint32_t pos, cursor.Get32());
+        posting.positions.push_back(pos);
+      }
+      postings.push_back(std::move(posting));
+    }
+    index.RestoreTerm(std::move(term), std::move(postings));
+  }
+  if (!cursor.AtEnd()) {
+    return netmark::Status::Corruption("trailing bytes in snapshot");
+  }
+  LoadedSnapshot loaded;
+  loaded.index = std::move(index);
+  loaded.token = token;
+  return loaded;
+}
+
+}  // namespace netmark::textindex

@@ -1,0 +1,57 @@
+// Text-index snapshots: persist the inverted index so store open can skip
+// the full rebuild scan.
+//
+// The heap files remain the durable source of truth; a snapshot is a cache.
+// The caller embeds a validation token (NETMARK uses the XML table's live
+// row count plus the next node id) — on load, a token mismatch means the
+// snapshot is stale (e.g. a crash after unsnapshotted inserts) and the
+// caller falls back to rebuilding from the store.
+//
+// File format (little-endian, versioned):
+//   magic "NMIX" | u32 version | u64 token_a | u64 token_b | u64 term_count
+//   per term:   u32 term_len | bytes | u64 posting_count
+//   per posting: u64 key | u32 n_positions | u32 positions[n]
+
+#ifndef NETMARK_TEXTINDEX_SNAPSHOT_H_
+#define NETMARK_TEXTINDEX_SNAPSHOT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "textindex/inverted_index.h"
+
+namespace netmark::textindex {
+
+/// Opaque consistency tokens stored with the snapshot. `a`/`b` must be
+/// independently recomputable by the caller at load time (NETMARK uses the
+/// XML and DOC table row counts); `extra_a`/`extra_b` are trusted payload
+/// restored to the caller once the tokens match (NETMARK stores its next
+/// node/document ids there, saving the id-recovery scan too).
+struct SnapshotToken {
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint64_t extra_a = 0;
+  uint64_t extra_b = 0;
+  bool Matches(const SnapshotToken& o) const { return a == o.a && b == o.b; }
+};
+
+/// A successfully loaded snapshot.
+struct LoadedSnapshot {
+  InvertedIndex index;
+  SnapshotToken token;  ///< includes the restored extra payload
+};
+
+/// \brief Writes the index (atomically: temp file + rename) to `path`.
+netmark::Status SaveIndexSnapshot(const InvertedIndex& index,
+                                  const SnapshotToken& token,
+                                  const std::string& path);
+
+/// \brief Loads a snapshot. Fails with NotFound when the file is absent,
+/// Corruption on format damage, and InvalidArgument ("stale snapshot") when
+/// the stored a/b tokens differ from `expected`.
+netmark::Result<LoadedSnapshot> LoadIndexSnapshot(const std::string& path,
+                                                  const SnapshotToken& expected);
+
+}  // namespace netmark::textindex
+
+#endif  // NETMARK_TEXTINDEX_SNAPSHOT_H_

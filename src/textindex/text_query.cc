@@ -1,0 +1,128 @@
+#include "textindex/text_query.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace netmark::textindex {
+
+TextQuery ParseTextQuery(std::string_view key) {
+  TextQuery query;
+  size_t i = 0;
+  while (i < key.size()) {
+    while (i < key.size() && std::isspace(static_cast<unsigned char>(key[i]))) ++i;
+    if (i >= key.size()) break;
+    if (key[i] == '"') {
+      size_t close = key.find('"', i + 1);
+      if (close != std::string_view::npos) {
+        QueryClause clause;
+        clause.kind = QueryClause::Kind::kPhrase;
+        clause.words = TokenizeTerms(key.substr(i + 1, close - i - 1));
+        if (clause.words.size() == 1) {
+          clause.kind = QueryClause::Kind::kTerm;
+        }
+        if (!clause.words.empty()) query.clauses.push_back(std::move(clause));
+        i = close + 1;
+        continue;
+      }
+      // Unterminated quote: treat the rest as plain words.
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    while (i < key.size() && !std::isspace(static_cast<unsigned char>(key[i]))) ++i;
+    std::string_view word = key.substr(start, i - start);
+    bool prefix = word.size() > 1 && word.back() == '*';
+    if (prefix) word.remove_suffix(1);
+    std::vector<std::string> terms = TokenizeTerms(word);
+    if (terms.empty()) continue;
+    if (terms.size() > 1) {
+      // A hyphenated/punctuated word tokenizes to several terms: require them
+      // as a phrase so "on-the-fly" matches exactly.
+      QueryClause clause;
+      clause.kind = QueryClause::Kind::kPhrase;
+      clause.words = std::move(terms);
+      query.clauses.push_back(std::move(clause));
+    } else {
+      QueryClause clause;
+      clause.kind = prefix ? QueryClause::Kind::kPrefix : QueryClause::Kind::kTerm;
+      clause.words = std::move(terms);
+      query.clauses.push_back(std::move(clause));
+    }
+  }
+  return query;
+}
+
+std::vector<DocKey> Evaluate(const TextQuery& query, const InvertedIndex& index) {
+  if (query.empty()) return {};
+  std::vector<DocKey> acc;
+  bool first = true;
+  for (const QueryClause& clause : query.clauses) {
+    std::vector<DocKey> keys;
+    switch (clause.kind) {
+      case QueryClause::Kind::kTerm:
+        keys = index.LookupTerm(clause.words[0]);
+        break;
+      case QueryClause::Kind::kPhrase:
+        keys = index.MatchPhrase(clause.words);
+        break;
+      case QueryClause::Kind::kPrefix:
+        keys = index.MatchPrefix(clause.words[0]);
+        break;
+    }
+    if (first) {
+      acc = std::move(keys);
+      first = false;
+    } else {
+      std::vector<DocKey> merged;
+      std::set_intersection(acc.begin(), acc.end(), keys.begin(), keys.end(),
+                            std::back_inserter(merged));
+      acc = std::move(merged);
+    }
+    if (acc.empty()) break;
+  }
+  return acc;
+}
+
+bool Matches(const TextQuery& query, std::string_view text) {
+  if (query.empty()) return false;
+  std::vector<Token> tokens = Tokenize(text);
+  for (const QueryClause& clause : query.clauses) {
+    bool hit = false;
+    switch (clause.kind) {
+      case QueryClause::Kind::kTerm:
+        for (const Token& t : tokens) {
+          if (t.term == clause.words[0]) {
+            hit = true;
+            break;
+          }
+        }
+        break;
+      case QueryClause::Kind::kPrefix:
+        for (const Token& t : tokens) {
+          if (netmark::StartsWith(t.term, clause.words[0])) {
+            hit = true;
+            break;
+          }
+        }
+        break;
+      case QueryClause::Kind::kPhrase: {
+        for (size_t i = 0; i + clause.words.size() <= tokens.size() && !hit; ++i) {
+          bool all = true;
+          for (size_t k = 0; k < clause.words.size(); ++k) {
+            if (tokens[i + k].term != clause.words[k]) {
+              all = false;
+              break;
+            }
+          }
+          hit = all;
+        }
+        break;
+      }
+    }
+    if (!hit) return false;
+  }
+  return true;
+}
+
+}  // namespace netmark::textindex

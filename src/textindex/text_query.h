@@ -1,0 +1,48 @@
+// Search-expression parsing and evaluation for content/context search keys.
+//
+// Grammar (whitespace separated, AND semantics across clauses):
+//   clause  := word | "quoted phrase" | word*   (trailing * = prefix match)
+// Example: `shuttle "technology gap" eng*`
+
+#ifndef NETMARK_TEXTINDEX_TEXT_QUERY_H_
+#define NETMARK_TEXTINDEX_TEXT_QUERY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "textindex/inverted_index.h"
+
+namespace netmark::textindex {
+
+/// One conjunct of a text query.
+struct QueryClause {
+  enum class Kind { kTerm, kPhrase, kPrefix };
+  Kind kind = Kind::kTerm;
+  /// kTerm/kPrefix: one entry; kPhrase: the words in order.
+  std::vector<std::string> words;
+};
+
+/// A parsed search key: conjunction of clauses.
+struct TextQuery {
+  std::vector<QueryClause> clauses;
+  bool empty() const { return clauses.empty(); }
+};
+
+/// \brief Parses a search key. Never fails on plain text — quoting errors
+/// degrade to term clauses (NETMARK is permissive with user queries) — but
+/// an all-whitespace key yields an empty query.
+TextQuery ParseTextQuery(std::string_view key);
+
+/// \brief Evaluates a query over an index: intersection of clause results.
+std::vector<DocKey> Evaluate(const TextQuery& query, const InvertedIndex& index);
+
+/// \brief True when `text` satisfies the query — used to post-filter results
+/// from capability-limited federated sources that only support coarser
+/// matching than the query requires (paper §2.1.5 "augmentation").
+bool Matches(const TextQuery& query, std::string_view text);
+
+}  // namespace netmark::textindex
+
+#endif  // NETMARK_TEXTINDEX_TEXT_QUERY_H_

@@ -1,0 +1,39 @@
+#include "textindex/tokenizer.h"
+
+namespace netmark::textindex {
+
+namespace {
+bool IsTermChar(unsigned char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+         c >= 0x80;
+}
+char FoldCase(unsigned char c) {
+  if (c >= 'A' && c <= 'Z') return static_cast<char>(c - 'A' + 'a');
+  return static_cast<char>(c);
+}
+}  // namespace
+
+std::vector<Token> Tokenize(std::string_view text) {
+  std::vector<Token> out;
+  uint32_t position = 0;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && !IsTermChar(static_cast<unsigned char>(text[i]))) ++i;
+    if (i >= text.size()) break;
+    std::string term;
+    while (i < text.size() && IsTermChar(static_cast<unsigned char>(text[i]))) {
+      term += FoldCase(static_cast<unsigned char>(text[i]));
+      ++i;
+    }
+    out.push_back(Token{std::move(term), position++});
+  }
+  return out;
+}
+
+std::vector<std::string> TokenizeTerms(std::string_view text) {
+  std::vector<std::string> out;
+  for (Token& t : Tokenize(text)) out.push_back(std::move(t.term));
+  return out;
+}
+
+}  // namespace netmark::textindex

@@ -1,0 +1,34 @@
+// Tokenizer for the text index: lower-cased alphanumeric terms with
+// positions. Bytes >= 0x80 (UTF-8 continuation/lead bytes) are treated as
+// letters so non-ASCII words survive intact.
+
+#ifndef NETMARK_TEXTINDEX_TOKENIZER_H_
+#define NETMARK_TEXTINDEX_TOKENIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace netmark::textindex {
+
+/// One token with its ordinal position in the source text.
+struct Token {
+  std::string term;
+  uint32_t position;
+
+  bool operator==(const Token& o) const {
+    return term == o.term && position == o.position;
+  }
+};
+
+/// \brief Splits text into lower-cased terms. Positions are term ordinals
+/// (0, 1, 2, ...), which is what phrase matching needs.
+std::vector<Token> Tokenize(std::string_view text);
+
+/// \brief Tokenizes and returns just the terms.
+std::vector<std::string> TokenizeTerms(std::string_view text);
+
+}  // namespace netmark::textindex
+
+#endif  // NETMARK_TEXTINDEX_TOKENIZER_H_

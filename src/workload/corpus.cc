@@ -1,0 +1,177 @@
+#include "workload/corpus.h"
+
+#include "common/string_util.h"
+
+namespace netmark::workload {
+
+namespace {
+
+const std::vector<std::string> kHeadings = {
+    "Abstract",          "Introduction",     "Technical Approach",
+    "Budget",            "Budget Summary",   "Management Plan",
+    "Risk Assessment",   "Schedule",         "Technology Gap",
+    "Lessons Learned",   "Conclusions",      "Recommendations",
+};
+
+const std::vector<std::string> kTopics = {
+    "shuttle",    "engine",     "anomaly",    "telemetry", "propulsion",
+    "avionics",   "thermal",    "mission",    "payload",   "orbiter",
+    "inspection", "certification", "turbine", "nozzle",    "sensor",
+    "software",   "integration", "valve",     "launch",    "descent",
+};
+
+const std::vector<std::string> kFiller = {
+    "the",  "of",      "for",     "during", "analysis", "system",  "review",
+    "data", "program", "project", "test",   "flight",   "results", "plan",
+    "performance",     "assessment",        "requirements",        "status",
+};
+
+const std::vector<std::string> kDivisions = {
+    "Aeronautics", "Exploration", "Science", "SpaceOperations", "Safety",
+};
+
+const std::vector<std::string> kCenters = {
+    "Ames", "Johnson", "Kennedy", "Marshall", "Glenn", "Langley",
+};
+
+}  // namespace
+
+const std::vector<std::string>& CorpusGenerator::StandardHeadings() {
+  return kHeadings;
+}
+const std::vector<std::string>& CorpusGenerator::TopicTerms() { return kTopics; }
+const std::vector<std::string>& CorpusGenerator::Divisions() { return kDivisions; }
+
+std::string CorpusGenerator::RandomTopicTerm() {
+  return kTopics[rng_.Zipf(kTopics.size(), 0.8)];
+}
+
+std::string CorpusGenerator::RandomHeading() { return rng_.Pick(kHeadings); }
+
+std::string CorpusGenerator::Sentence(size_t words) {
+  std::string out;
+  for (size_t i = 0; i < words; ++i) {
+    if (i != 0) out += ' ';
+    // Mix topical terms (searchable) with filler.
+    out += rng_.Chance(0.35) ? kTopics[rng_.Zipf(kTopics.size(), 0.8)]
+                             : rng_.Pick(kFiller);
+  }
+  if (!out.empty()) out[0] = static_cast<char>(std::toupper(out[0]));
+  out += '.';
+  return out;
+}
+
+std::string CorpusGenerator::ParagraphText(size_t sentences) {
+  std::string out;
+  for (size_t i = 0; i < sentences; ++i) {
+    if (i != 0) out += ' ';
+    out += Sentence(6 + rng_.Uniform(10));
+  }
+  return out;
+}
+
+GeneratedDoc CorpusGenerator::Proposal(int index) {
+  const std::string& division = rng_.Pick(kDivisions);
+  int64_t amount = 50 + static_cast<int64_t>(rng_.Uniform(950));  // $K
+  std::string title = "Advanced " + kTopics[rng_.Uniform(kTopics.size())] +
+                      " research proposal " + std::to_string(index);
+
+  std::string nrt;
+  nrt += ".meta division " + division + "\n";
+  nrt += ".meta amount " + std::to_string(amount) + "\n";
+  nrt += ".font 24 bold\n" + title + "\n";
+  nrt += ".font 11\nPrincipal investigator: investigator" + std::to_string(index) +
+         " at NASA " + rng_.Pick(kCenters) + ".\n\n";
+  nrt += ".font 16 bold\nAbstract\n.font 11\n" + ParagraphText(3) + "\n\n";
+  nrt += ".font 16 bold\nTechnical Approach\n.font 11\n" + ParagraphText(4) + "\n\n" +
+         ParagraphText(3) + "\n\n";
+  nrt += ".font 16 bold\nBudget\n.font 11\nThe requested amount is " +
+         std::to_string(amount) + " thousand dollars for division " + division +
+         ". " + ParagraphText(2) + "\n\n";
+  nrt += ".font 16 bold\nManagement Plan\n.font 11\n" + ParagraphText(3) + "\n";
+  return {"proposal_" + std::to_string(index) + ".doc", nrt};
+}
+
+GeneratedDoc CorpusGenerator::TaskPlan(int index) {
+  int64_t fy1 = 100 + static_cast<int64_t>(rng_.Uniform(900));
+  int64_t fy2 = 100 + static_cast<int64_t>(rng_.Uniform(900));
+  std::string txt;
+  txt += "TASK PLAN " + std::to_string(index) + "\n\n";
+  txt += "1. Introduction\n" + ParagraphText(2) + "\n\n";
+  txt += "2. Technical Approach\n" + ParagraphText(3) + "\n\n";
+  txt += "3. Budget Summary\n";
+  txt += "Task " + std::to_string(index) + " requires " + std::to_string(fy1) +
+         " thousand in FY2005 and " + std::to_string(fy2) +
+         " thousand in FY2006. " + ParagraphText(1) + "\n\n";
+  txt += "4. Schedule\n" + ParagraphText(2) + "\n";
+  return {"taskplan_" + std::to_string(index) + ".txt", txt};
+}
+
+GeneratedDoc CorpusGenerator::AnomalyReport(int index) {
+  const std::string& system = kTopics[rng_.Uniform(kTopics.size())];
+  std::string severity = rng_.Chance(0.2) ? "critical" : "minor";
+  std::string html;
+  html += "<HTML><HEAD><TITLE>Anomaly " + std::to_string(index) +
+          "</TITLE></HEAD><BODY>";
+  html += "<H1>Anomaly Description</H1><P>During flight test the " + system +
+          " exhibited a " + severity + " anomaly. " + ParagraphText(2) + "<P>" +
+          ParagraphText(1);
+  html += "<H1>Corrective Action</H1><P>" + ParagraphText(2);
+  html += "<H1>Disposition</H1><P>The anomaly was closed as " + severity + ". " +
+          Sentence(8);
+  html += "</BODY></HTML>";
+  return {"anomaly_" + std::to_string(index) + ".html", html};
+}
+
+GeneratedDoc CorpusGenerator::LessonLearned(int index) {
+  const std::string& topic = kTopics[rng_.Uniform(kTopics.size())];
+  std::string xml;
+  xml += "<document>";
+  xml += "<context>Title</context><content>Lesson " + std::to_string(index) +
+         " regarding " + topic + "</content>";
+  xml += "<context>Lesson</context><content>" + ParagraphText(3) + "</content>";
+  xml += "<context>Recommendations</context><content>" + ParagraphText(2) +
+         "</content>";
+  xml += "</document>";
+  return {"lesson_" + std::to_string(index) + ".xml", xml};
+}
+
+GeneratedDoc CorpusGenerator::RiskMemo(int index) {
+  std::string md;
+  md += "# Risk Assessment\n\n";
+  md += "Memo " + std::to_string(index) + " covering **" + RandomTopicTerm() +
+        "** risks.\n\n" + ParagraphText(2) + "\n\n";
+  md += "## Mitigation\n\n- " + Sentence(8) + "\n- " + Sentence(7) + "\n\n";
+  md += "## Conclusions\n\n" + ParagraphText(2) + "\n";
+  return {"risk_" + std::to_string(index) + ".md", md};
+}
+
+GeneratedDoc CorpusGenerator::BudgetSheet(int index) {
+  std::string csv = "task,division,fy2005,fy2006\n";
+  int rows = 4 + static_cast<int>(rng_.Uniform(8));
+  for (int r = 0; r < rows; ++r) {
+    csv += "task" + std::to_string(index * 100 + r) + "," + rng_.Pick(kDivisions) +
+           "," + std::to_string(100 + rng_.Uniform(900)) + "," +
+           std::to_string(100 + rng_.Uniform(900)) + "\n";
+  }
+  return {"budget_" + std::to_string(index) + ".csv", csv};
+}
+
+std::vector<GeneratedDoc> CorpusGenerator::MixedCorpus(size_t n) {
+  std::vector<GeneratedDoc> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    int index = static_cast<int>(i);
+    switch (i % 6) {
+      case 0: out.push_back(Proposal(index)); break;
+      case 1: out.push_back(TaskPlan(index)); break;
+      case 2: out.push_back(AnomalyReport(index)); break;
+      case 3: out.push_back(LessonLearned(index)); break;
+      case 4: out.push_back(RiskMemo(index)); break;
+      default: out.push_back(BudgetSheet(index)); break;
+    }
+  }
+  return out;
+}
+
+}  // namespace netmark::workload

@@ -1,0 +1,78 @@
+// Synthetic NASA-style corpora (the substitution for the paper's internal
+// document collections; see DESIGN.md §2).
+//
+// Generators are fully deterministic given a seed, emit documents in the
+// source formats the converters ingest (.doc/.pdf as NRT, .txt, .md, .html,
+// .xml, .csv), and embed known section headings and vocabulary so query
+// workloads have verifiable answers.
+
+#ifndef NETMARK_WORKLOAD_CORPUS_H_
+#define NETMARK_WORKLOAD_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace netmark::workload {
+
+/// One generated source document (raw bytes in its native format).
+struct GeneratedDoc {
+  std::string file_name;
+  std::string content;
+};
+
+/// \brief Deterministic document factory.
+class CorpusGenerator {
+ public:
+  explicit CorpusGenerator(uint64_t seed) : rng_(seed) {}
+
+  /// NASA proposal in NRT "Word" format: Title/Abstract/Technical
+  /// Approach/Budget/Management Plan sections, a division, and a requested
+  /// dollar amount (the Proposal Financial Management inputs).
+  GeneratedDoc Proposal(int index);
+
+  /// Task plan in plain text (the thousands of inputs IBPD integrates):
+  /// numbered sections including "Budget Summary" with fiscal-year amounts.
+  GeneratedDoc TaskPlan(int index);
+
+  /// Anomaly tracking record as messy HTML (the web-accessible anomaly
+  /// databases of the Anomaly Tracking application).
+  GeneratedDoc AnomalyReport(int index);
+
+  /// Lessons-learned entry as upmarked XML (the content-search-only server).
+  GeneratedDoc LessonLearned(int index);
+
+  /// Risk assessment memo in Markdown.
+  GeneratedDoc RiskMemo(int index);
+
+  /// Budget spreadsheet in CSV.
+  GeneratedDoc BudgetSheet(int index);
+
+  /// A corpus of `n` documents cycling through all generators/formats.
+  std::vector<GeneratedDoc> MixedCorpus(size_t n);
+
+  /// Section headings the generators emit (targets for context queries).
+  static const std::vector<std::string>& StandardHeadings();
+  /// Topic vocabulary the bodies draw from (targets for content queries).
+  static const std::vector<std::string>& TopicTerms();
+  /// NASA division names used by proposals.
+  static const std::vector<std::string>& Divisions();
+
+  /// A term that appears somewhere in generated bodies (Zipf-skewed pick).
+  std::string RandomTopicTerm();
+  /// A heading from the standard set.
+  std::string RandomHeading();
+
+  netmark::Rng* rng() { return &rng_; }
+
+ private:
+  std::string Sentence(size_t words);
+  std::string ParagraphText(size_t sentences);
+
+  netmark::Rng rng_;
+};
+
+}  // namespace netmark::workload
+
+#endif  // NETMARK_WORKLOAD_CORPUS_H_

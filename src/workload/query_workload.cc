@@ -1,0 +1,57 @@
+#include "workload/query_workload.h"
+
+#include "workload/corpus.h"
+
+namespace netmark::workload {
+
+query::XdbQuery QueryWorkload::Next(double context_only, double content_only) {
+  const auto& headings = CorpusGenerator::StandardHeadings();
+  const auto& topics = CorpusGenerator::TopicTerms();
+  query::XdbQuery q;
+  double dice = rng_.UniformDouble();
+  if (dice < context_only) {
+    q.context = headings[rng_.Zipf(headings.size(), 0.7)];
+  } else if (dice < context_only + content_only) {
+    q.content = topics[rng_.Zipf(topics.size(), 0.8)];
+    if (rng_.Chance(0.25)) q.content += " " + topics[rng_.Uniform(topics.size())];
+  } else {
+    q.context = headings[rng_.Zipf(headings.size(), 0.7)];
+    q.content = topics[rng_.Zipf(topics.size(), 0.8)];
+  }
+  return q;
+}
+
+baseline::RecordSource EmployeeSource(uint64_t seed, const std::string& center,
+                                      size_t n_employees) {
+  netmark::Rng rng(seed);
+  baseline::RecordSource source;
+  source.name = center;
+  // Center-specific schemas: different attribute names and rating systems,
+  // as in the paper's Ames/Johnson/Kennedy example.
+  std::string name_attr, rating_attr;
+  std::vector<std::string> scale;
+  if (center == "Ames") {
+    name_attr = "employee_name";
+    rating_attr = "performance_rating";
+    scale = {"poor", "fair", "good", "excellent"};
+  } else if (center == "Johnson") {
+    name_attr = "person";
+    rating_attr = "score";  // numeric 1 (best) .. 5 (worst)
+    scale = {"1", "2", "3", "4", "5"};
+  } else {
+    name_attr = "staff_member";
+    rating_attr = "rating";
+    scale = {"unsatisfactory", "satisfactory", "very good", "outstanding"};
+  }
+  source.attributes = {name_attr, rating_attr, "division"};
+  for (size_t i = 0; i < n_employees; ++i) {
+    baseline::Record record;
+    record[name_attr] = center + "_employee_" + std::to_string(i);
+    record[rating_attr] = rng.Pick(scale);
+    record["division"] = rng.Pick(CorpusGenerator::Divisions());
+    source.records.push_back(std::move(record));
+  }
+  return source;
+}
+
+}  // namespace netmark::workload

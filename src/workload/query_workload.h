@@ -1,0 +1,39 @@
+// Query workload generation + GAV-side synthetic data (employee records for
+// the paper's "Top Employees of NASA" example).
+
+#ifndef NETMARK_WORKLOAD_QUERY_WORKLOAD_H_
+#define NETMARK_WORKLOAD_QUERY_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "baseline/gav_mediator.h"
+#include "common/rng.h"
+#include "query/xdb_query.h"
+
+namespace netmark::workload {
+
+/// \brief Deterministic stream of XDB queries over the standard corpus
+/// vocabulary: a mix of context-only, content-only, and combined queries.
+class QueryWorkload {
+ public:
+  explicit QueryWorkload(uint64_t seed) : rng_(seed) {}
+
+  /// Next query; `mix` proportions: {context-only, content-only, combined}.
+  query::XdbQuery Next(double context_only = 0.4, double content_only = 0.3);
+
+  netmark::Rng* rng() { return &rng_; }
+
+ private:
+  netmark::Rng rng_;
+};
+
+/// \brief Synthesizes one NASA center's employee source for the GAV
+/// mediator, using center-specific attribute names and rating scales — the
+/// heterogeneity that forces per-source mappings.
+baseline::RecordSource EmployeeSource(uint64_t seed, const std::string& center,
+                                      size_t n_employees);
+
+}  // namespace netmark::workload
+
+#endif  // NETMARK_WORKLOAD_QUERY_WORKLOAD_H_

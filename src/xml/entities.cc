@@ -1,0 +1,149 @@
+#include "xml/entities.h"
+
+#include <cstdint>
+#include <map>
+
+namespace netmark::xml {
+
+namespace {
+
+// UTF-8 encodes a code point (best effort; invalid points become U+FFFD).
+void AppendUtf8(std::string* out, uint32_t cp) {
+  if (cp > 0x10FFFF || (cp >= 0xD800 && cp <= 0xDFFF)) cp = 0xFFFD;
+  if (cp < 0x80) {
+    *out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    *out += static_cast<char>(0xC0 | (cp >> 6));
+    *out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp < 0x10000) {
+    *out += static_cast<char>(0xE0 | (cp >> 12));
+    *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    *out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    *out += static_cast<char>(0xF0 | (cp >> 18));
+    *out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    *out += static_cast<char>(0x80 | (cp & 0x3F));
+  }
+}
+
+const std::map<std::string, uint32_t, std::less<>>& NamedEntities() {
+  static const std::map<std::string, uint32_t, std::less<>> kTable = {
+      {"amp", '&'},      {"lt", '<'},      {"gt", '>'},      {"quot", '"'},
+      {"apos", '\''},    {"nbsp", 0xA0},   {"copy", 0xA9},   {"reg", 0xAE},
+      {"trade", 0x2122}, {"mdash", 0x2014}, {"ndash", 0x2013}, {"hellip", 0x2026},
+      {"lsquo", 0x2018}, {"rsquo", 0x2019}, {"ldquo", 0x201C}, {"rdquo", 0x201D},
+      {"bull", 0x2022},  {"deg", 0xB0},    {"plusmn", 0xB1}, {"times", 0xD7},
+      {"divide", 0xF7},  {"frac12", 0xBD}, {"sect", 0xA7},   {"para", 0xB6},
+      {"middot", 0xB7},  {"laquo", 0xAB},  {"raquo", 0xBB},  {"euro", 0x20AC},
+      {"pound", 0xA3},   {"yen", 0xA5},    {"cent", 0xA2},
+  };
+  return kTable;
+}
+
+}  // namespace
+
+std::string DecodeEntities(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  size_t i = 0;
+  while (i < s.size()) {
+    char c = s[i];
+    if (c != '&') {
+      out += c;
+      ++i;
+      continue;
+    }
+    size_t semi = s.find(';', i + 1);
+    // Tolerate a lone '&' or an unterminated/overlong entity.
+    if (semi == std::string_view::npos || semi - i > 12) {
+      out += '&';
+      ++i;
+      continue;
+    }
+    std::string_view body = s.substr(i + 1, semi - i - 1);
+    if (!body.empty() && body[0] == '#') {
+      uint32_t cp = 0;
+      bool valid = body.size() > 1;
+      if (body.size() > 2 && (body[1] == 'x' || body[1] == 'X')) {
+        for (size_t k = 2; k < body.size() && valid; ++k) {
+          char h = body[k];
+          if (h >= '0' && h <= '9') cp = cp * 16 + static_cast<uint32_t>(h - '0');
+          else if (h >= 'a' && h <= 'f') cp = cp * 16 + static_cast<uint32_t>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') cp = cp * 16 + static_cast<uint32_t>(h - 'A' + 10);
+          else valid = false;
+        }
+        valid = valid && body.size() > 2;
+      } else {
+        for (size_t k = 1; k < body.size() && valid; ++k) {
+          char d = body[k];
+          if (d >= '0' && d <= '9') cp = cp * 10 + static_cast<uint32_t>(d - '0');
+          else valid = false;
+        }
+      }
+      if (valid) {
+        AppendUtf8(&out, cp);
+        i = semi + 1;
+        continue;
+      }
+    } else {
+      auto it = NamedEntities().find(body);
+      if (it != NamedEntities().end()) {
+        AppendUtf8(&out, it->second);
+        i = semi + 1;
+        continue;
+      }
+    }
+    // Unknown entity: pass through verbatim.
+    out += '&';
+    ++i;
+  }
+  return out;
+}
+
+std::string EscapeText(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string EscapeAttribute(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace netmark::xml

@@ -1,0 +1,24 @@
+// Character entity decoding/encoding for the SGML parser and serializer.
+
+#ifndef NETMARK_XML_ENTITIES_H_
+#define NETMARK_XML_ENTITIES_H_
+
+#include <string>
+#include <string_view>
+
+namespace netmark::xml {
+
+/// \brief Decodes character references (&amp;, &#65;, &#x41;, common HTML
+/// named entities). Unknown entities are passed through verbatim — the
+/// parser is tolerant by design.
+std::string DecodeEntities(std::string_view s);
+
+/// \brief Escapes text content for serialization (& < >).
+std::string EscapeText(std::string_view s);
+
+/// \brief Escapes an attribute value for serialization (& < > ").
+std::string EscapeAttribute(std::string_view s);
+
+}  // namespace netmark::xml
+
+#endif  // NETMARK_XML_ENTITIES_H_

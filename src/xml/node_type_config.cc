@@ -1,0 +1,111 @@
+#include "xml/node_type_config.h"
+
+#include "common/string_util.h"
+
+namespace netmark::xml {
+
+std::string_view NetmarkNodeTypeToString(NetmarkNodeType t) {
+  switch (t) {
+    case NetmarkNodeType::kElement:
+      return "ELEMENT";
+    case NetmarkNodeType::kText:
+      return "TEXT";
+    case NetmarkNodeType::kContext:
+      return "CONTEXT";
+    case NetmarkNodeType::kIntense:
+      return "INTENSE";
+    case NetmarkNodeType::kSimulation:
+      return "SIMULATION";
+  }
+  return "?";
+}
+
+Result<NetmarkNodeType> NetmarkNodeTypeFromInt(int32_t v) {
+  if (v < 1 || v > 5) {
+    return Status::Corruption(StringPrintf("bad NODETYPE value %d", v));
+  }
+  return static_cast<NetmarkNodeType>(v);
+}
+
+NodeTypeConfig NodeTypeConfig::Default() {
+  NodeTypeConfig c;
+  for (const char* t : {"h1", "h2", "h3", "h4", "h5", "h6", "title", "context",
+                        "heading", "caption"}) {
+    c.context_tags_.insert(t);
+  }
+  for (const char* t : {"b", "strong", "em", "i", "u", "mark", "intense"}) {
+    c.intense_tags_.insert(t);
+  }
+  for (const char* t : {"netmark:meta", "netmark:file", "netmark:provenance",
+                        "simulation"}) {
+    c.simulation_tags_.insert(t);
+  }
+  return c;
+}
+
+Result<NodeTypeConfig> NodeTypeConfig::FromConfig(const Config& config) {
+  NodeTypeConfig defaults = Default();
+  NodeTypeConfig out;
+  auto load = [&](std::string_view section,
+                  std::set<std::string, std::less<>>* target,
+                  const std::set<std::string, std::less<>>& fallback) {
+    if (!config.HasSection(section)) {
+      *target = fallback;
+      return;
+    }
+    auto tags = config.Get(section, "tags");
+    if (!tags.ok()) {
+      *target = fallback;
+      return;
+    }
+    for (const std::string& tag : SplitAndTrim(*tags, ',')) {
+      target->insert(ToLower(tag));
+    }
+  };
+  load("context", &out.context_tags_, defaults.context_tags_);
+  load("intense", &out.intense_tags_, defaults.intense_tags_);
+  load("simulation", &out.simulation_tags_, defaults.simulation_tags_);
+  return out;
+}
+
+NetmarkNodeType NodeTypeConfig::Classify(const Document& doc, NodeId node) const {
+  switch (doc.kind(node)) {
+    case NodeKind::kText:
+    case NodeKind::kCData:
+      return NetmarkNodeType::kText;
+    case NodeKind::kElement:
+      return ClassifyElementName(doc.name(node));
+    default:
+      return NetmarkNodeType::kElement;
+  }
+}
+
+NetmarkNodeType NodeTypeConfig::ClassifyElementName(std::string_view name) const {
+  std::string lower = ToLower(name);
+  if (context_tags_.count(lower) != 0) return NetmarkNodeType::kContext;
+  if (intense_tags_.count(lower) != 0) return NetmarkNodeType::kIntense;
+  if (simulation_tags_.count(lower) != 0) return NetmarkNodeType::kSimulation;
+  return NetmarkNodeType::kElement;
+}
+
+bool NodeTypeConfig::IsContextTag(std::string_view name) const {
+  return context_tags_.count(ToLower(name)) != 0;
+}
+bool NodeTypeConfig::IsIntenseTag(std::string_view name) const {
+  return intense_tags_.count(ToLower(name)) != 0;
+}
+bool NodeTypeConfig::IsSimulationTag(std::string_view name) const {
+  return simulation_tags_.count(ToLower(name)) != 0;
+}
+
+void NodeTypeConfig::AddContextTag(std::string tag) {
+  context_tags_.insert(ToLower(tag));
+}
+void NodeTypeConfig::AddIntenseTag(std::string tag) {
+  intense_tags_.insert(ToLower(tag));
+}
+void NodeTypeConfig::AddSimulationTag(std::string tag) {
+  simulation_tags_.insert(ToLower(tag));
+}
+
+}  // namespace netmark::xml

@@ -1,0 +1,108 @@
+#include "xml/serializer.h"
+
+#include "xml/entities.h"
+
+namespace netmark::xml {
+
+namespace {
+
+bool HasElementChildrenOnlyLayout(const Document& doc, NodeId node) {
+  // Pretty layout (children on their own lines) only applies when the node
+  // has no text/cdata children, so mixed content is preserved byte-exactly.
+  bool has_child = false;
+  for (NodeId c = doc.first_child(node); c != kInvalidNode; c = doc.next_sibling(c)) {
+    has_child = true;
+    if (doc.kind(c) == NodeKind::kText || doc.kind(c) == NodeKind::kCData) return false;
+  }
+  return has_child;
+}
+
+void SerializeNode(const Document& doc, NodeId node, const SerializeOptions& opts,
+                   int depth, std::string* out) {
+  auto indent = [&](int d) {
+    if (opts.pretty) out->append(static_cast<size_t>(d) * 2, ' ');
+  };
+  switch (doc.kind(node)) {
+    case NodeKind::kDocument: {
+      if (opts.declaration) {
+        *out += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+        if (opts.pretty) *out += '\n';
+      }
+      bool first = true;
+      for (NodeId c = doc.first_child(node); c != kInvalidNode;
+           c = doc.next_sibling(c)) {
+        if (!first && opts.pretty) *out += '\n';
+        first = false;
+        SerializeNode(doc, c, opts, depth, out);
+      }
+      break;
+    }
+    case NodeKind::kElement: {
+      indent(depth);
+      *out += '<';
+      *out += doc.name(node);
+      for (const Attribute& a : doc.attributes(node)) {
+        *out += ' ';
+        *out += a.name;
+        *out += "=\"";
+        *out += EscapeAttribute(a.value);
+        *out += '"';
+      }
+      if (doc.first_child(node) == kInvalidNode) {
+        *out += "/>";
+        break;
+      }
+      *out += '>';
+      bool block = opts.pretty && HasElementChildrenOnlyLayout(doc, node);
+      for (NodeId c = doc.first_child(node); c != kInvalidNode;
+           c = doc.next_sibling(c)) {
+        if (block) *out += '\n';
+        SerializeNode(doc, c, opts, block ? depth + 1 : 0, out);
+      }
+      if (block) {
+        *out += '\n';
+        indent(depth);
+      }
+      *out += "</";
+      *out += doc.name(node);
+      *out += '>';
+      break;
+    }
+    case NodeKind::kText:
+      indent(depth);
+      *out += EscapeText(doc.data(node));
+      break;
+    case NodeKind::kCData:
+      indent(depth);
+      *out += "<![CDATA[";
+      *out += doc.data(node);
+      *out += "]]>";
+      break;
+    case NodeKind::kComment:
+      indent(depth);
+      *out += "<!--";
+      *out += doc.data(node);
+      *out += "-->";
+      break;
+    case NodeKind::kProcessingInstruction:
+      indent(depth);
+      *out += "<?";
+      *out += doc.name(node);
+      if (!doc.data(node).empty()) {
+        *out += ' ';
+        *out += doc.data(node);
+      }
+      *out += "?>";
+      break;
+  }
+}
+
+}  // namespace
+
+std::string Serialize(const Document& doc, NodeId node, const SerializeOptions& options) {
+  std::string out;
+  SerializeNode(doc, node, options, 0, &out);
+  return out;
+}
+
+}  // namespace netmark::xml

@@ -1,0 +1,33 @@
+// XML serialization of DOM (sub)trees.
+
+#ifndef NETMARK_XML_SERIALIZER_H_
+#define NETMARK_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "xml/dom.h"
+
+namespace netmark::xml {
+
+/// Serialization knobs.
+struct SerializeOptions {
+  /// Indent nested elements with two spaces per level and newlines between
+  /// element children. Text content is never re-wrapped.
+  bool pretty = false;
+  /// Emit an `<?xml version="1.0"?>` declaration before the document element.
+  bool declaration = false;
+};
+
+/// \brief Serializes the subtree rooted at `node` (the whole document if
+/// `node` is the root).
+std::string Serialize(const Document& doc, NodeId node,
+                      const SerializeOptions& options = {});
+
+/// \brief Serializes the full document.
+inline std::string Serialize(const Document& doc, const SerializeOptions& options = {}) {
+  return Serialize(doc, doc.root(), options);
+}
+
+}  // namespace netmark::xml
+
+#endif  // NETMARK_XML_SERIALIZER_H_

@@ -1,0 +1,106 @@
+#include "xmlstore/context_walk.h"
+
+#include <algorithm>
+
+namespace netmark::xmlstore {
+
+using storage::IndexKey;
+using storage::RowId;
+using storage::Value;
+
+netmark::Result<RowId> FindGoverningContext(const XmlStore& store, RowId start) {
+  RowId cur = start;
+  // Bounded to the store's node count in principle; use a generous hop cap to
+  // guard against link corruption.
+  for (int hops = 0; hops < 1 << 20; ++hops) {
+    NETMARK_ASSIGN_OR_RETURN(NodeRecord rec, store.GetNode(cur));
+    if (rec.is_context()) return cur;  // includes the case where the hit IS a heading
+    if (rec.prev_rowid.valid()) {
+      cur = rec.prev_rowid;
+    } else if (rec.parent_rowid.valid()) {
+      cur = rec.parent_rowid;
+    } else {
+      return storage::kInvalidRowId;  // ran off the top: no governing context
+    }
+  }
+  return netmark::Status::Corruption("context walk did not terminate (link cycle?)");
+}
+
+netmark::Result<RowId> FindGoverningContextViaIndex(const XmlStore& store,
+                                                    RowId start) {
+  // Identical traversal, but each "previous sibling" / "parent" hop is
+  // resolved by logical ids through secondary indexes: fetch all siblings of
+  // the current node, pick the one with the largest NODEID below ours. This
+  // is what a store without physical links must do.
+  RowId cur = start;
+  for (int hops = 0; hops < 1 << 20; ++hops) {
+    NETMARK_ASSIGN_OR_RETURN(NodeRecord rec, store.GetNode(cur));
+    if (rec.is_context()) return cur;
+    // Find the previous sibling via an index join on the parent's children.
+    RowId prev = storage::kInvalidRowId;
+    if (rec.parent_node_id != 0) {
+      NETMARK_ASSIGN_OR_RETURN(std::vector<RowId> siblings,
+                               store.NodesWithParent(rec.parent_node_id));
+      int64_t best = -1;
+      for (RowId sid : siblings) {
+        NETMARK_ASSIGN_OR_RETURN(NodeRecord s, store.GetNode(sid));
+        if (s.node_id < rec.node_id && s.node_id > best) {
+          best = s.node_id;
+          prev = sid;
+        }
+      }
+    }
+    if (prev.valid()) {
+      cur = prev;
+    } else if (rec.parent_node_id != 0) {
+      // Parent hop resolved logically through the (DOC_ID, NODEID) index.
+      NETMARK_ASSIGN_OR_RETURN(cur,
+                               store.NodeByDocAndId(rec.doc_id, rec.parent_node_id));
+    } else {
+      return storage::kInvalidRowId;
+    }
+  }
+  return netmark::Status::Corruption("context walk did not terminate (link cycle?)");
+}
+
+netmark::Result<std::vector<RowId>> SectionContent(const XmlStore& store,
+                                                   RowId context) {
+  NETMARK_ASSIGN_OR_RETURN(NodeRecord head, store.GetNode(context));
+  if (!head.is_context()) {
+    return netmark::Status::InvalidArgument("SectionContent requires a CONTEXT node");
+  }
+  std::vector<RowId> out;
+  RowId cur = head.sibling_rowid;
+  for (int hops = 0; cur.valid() && hops < 1 << 20; ++hops) {
+    NETMARK_ASSIGN_OR_RETURN(NodeRecord rec, store.GetNode(cur));
+    if (rec.is_context()) break;  // next section begins
+    out.push_back(cur);
+    cur = rec.sibling_rowid;
+  }
+  return out;
+}
+
+netmark::Result<Section> BuildSection(const XmlStore& store, RowId context) {
+  NETMARK_ASSIGN_OR_RETURN(NodeRecord head, store.GetNode(context));
+  Section section;
+  section.context = context;
+  section.doc_id = head.doc_id;
+  NETMARK_ASSIGN_OR_RETURN(section.heading, store.SubtreeText(context));
+  NETMARK_ASSIGN_OR_RETURN(section.content, SectionContent(store, context));
+  return section;
+}
+
+netmark::Result<std::string> SectionText(const XmlStore& store, RowId context) {
+  NETMARK_ASSIGN_OR_RETURN(std::vector<RowId> content, SectionContent(store, context));
+  std::string out;
+  for (RowId id : content) {
+    NETMARK_ASSIGN_OR_RETURN(std::string text, store.SubtreeText(id));
+    if (!text.empty()) {
+      if (!out.empty()) out += ' ';
+      out += text;
+    }
+  }
+  return out;
+}
+
+}  // namespace netmark::xmlstore

@@ -1,0 +1,62 @@
+// Context walks (paper §2.1.4, "Processing Queries Internally").
+//
+// "The processing of the node involves traversing up the tree structure via
+// its parent or sibling node until the first context is found. ... Once a
+// particular CONTEXT is found, traversing back down the tree structure via
+// the sibling node retrieves the corresponding content text."
+//
+// The upward walk hops previous-sibling links, falling back to the parent
+// link when a node is its parent's first child, and stops at the first
+// CONTEXT-typed node — the section heading governing the start node. The
+// downward walk then follows forward-sibling links from the heading,
+// collecting content until the next CONTEXT sibling (the next section) or
+// the end of the sibling run.
+//
+// Every hop is one physical RowId fetch — the paper's Oracle-rowid trick.
+// FindGoverningContextViaIndex is the ablation twin that does the same walk
+// with logical-id index joins instead (bench_ablation_rowid).
+
+#ifndef NETMARK_XMLSTORE_CONTEXT_WALK_H_
+#define NETMARK_XMLSTORE_CONTEXT_WALK_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "xmlstore/xml_store.h"
+
+namespace netmark::xmlstore {
+
+/// A located section: the CONTEXT node plus its content run.
+struct Section {
+  storage::RowId context;                  ///< the heading node
+  std::string heading;                     ///< heading text
+  std::vector<storage::RowId> content;     ///< sibling nodes forming the body
+  int64_t doc_id = 0;
+};
+
+/// \brief Nearest enclosing/preceding CONTEXT node of `start`, or invalid
+/// RowId when the node precedes any heading. Pure RowId-link hops.
+netmark::Result<storage::RowId> FindGoverningContext(const XmlStore& store,
+                                                     storage::RowId start);
+
+/// \brief Same result computed with PARENTNODEID index joins instead of
+/// physical links (ablation baseline; see DESIGN.md Ablation A).
+netmark::Result<storage::RowId> FindGoverningContextViaIndex(const XmlStore& store,
+                                                             storage::RowId start);
+
+/// \brief The content run of a CONTEXT node: following siblings up to (not
+/// including) the next CONTEXT sibling.
+netmark::Result<std::vector<storage::RowId>> SectionContent(const XmlStore& store,
+                                                            storage::RowId context);
+
+/// \brief Materializes a full Section (heading text + content + doc).
+netmark::Result<Section> BuildSection(const XmlStore& store, storage::RowId context);
+
+/// \brief Concatenated text of a section's content run.
+netmark::Result<std::string> SectionText(const XmlStore& store,
+                                         storage::RowId context);
+
+}  // namespace netmark::xmlstore
+
+#endif  // NETMARK_XMLSTORE_CONTEXT_WALK_H_

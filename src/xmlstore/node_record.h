@@ -1,0 +1,81 @@
+// NodeRecord: one row of the XML table (paper Fig 5).
+//
+// Columns follow the published NETMARK-generated schema — NODEID (PK),
+// DOC_ID (FK), PARENTROWID, PARENTNODEID, NODETYPE, NODENAME, NODEDATA,
+// SIBLINGID — plus one addition, PREVROWID (previous sibling). The paper's
+// walk "up the tree structure via its parent or sibling node until the first
+// context is found" (§2.1.4) needs a *preceding*-sibling hop, and the
+// published column list only identifies a single SIBLINGID; we keep SIBLINGID
+// as the forward link (used to walk a section's content) and add the backward
+// link explicitly. See DESIGN.md.
+
+#ifndef NETMARK_XMLSTORE_NODE_RECORD_H_
+#define NETMARK_XMLSTORE_NODE_RECORD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "storage/row_id.h"
+#include "storage/schema.h"
+#include "xml/node_type_config.h"
+
+namespace netmark::xmlstore {
+
+/// \brief Decoded XML-table row.
+struct NodeRecord {
+  int64_t node_id = 0;
+  int64_t doc_id = 0;
+  storage::RowId parent_rowid;   ///< physical address of the parent node row
+  int64_t parent_node_id = -1;   ///< logical id of the parent (for index joins)
+  xml::NetmarkNodeType node_type = xml::NetmarkNodeType::kElement;
+  std::string node_name;         ///< element/PI name ("" for text)
+  std::string node_data;         ///< text payload; attributes blob for elements
+  storage::RowId sibling_rowid;  ///< next sibling (forward walk over content)
+  storage::RowId prev_rowid;     ///< previous sibling (upward context walk)
+
+  /// Schema of the XML table.
+  static storage::TableSchema Schema();
+  /// Column order constants.
+  enum Column : size_t {
+    kNodeId = 0,
+    kDocId = 1,
+    kParentRowId = 2,
+    kParentNodeId = 3,
+    kNodeType = 4,
+    kNodeName = 5,
+    kNodeData = 6,
+    kSiblingId = 7,
+    kPrevRowId = 8,
+  };
+
+  storage::Row ToRow() const;
+  static netmark::Result<NodeRecord> FromRow(const storage::Row& row);
+
+  bool is_context() const { return node_type == xml::NetmarkNodeType::kContext; }
+  bool is_text() const { return node_type == xml::NetmarkNodeType::kText; }
+};
+
+/// \brief Decoded DOC-table row (paper Fig 5: FILE_NAME, FILE_DATE,
+/// FILE_SIZE, DOC_ID).
+struct DocRecord {
+  int64_t doc_id = 0;
+  std::string file_name;
+  int64_t file_date = 0;  ///< seconds since epoch
+  int64_t file_size = 0;  ///< bytes of the original source file
+
+  static storage::TableSchema Schema();
+  enum Column : size_t {
+    kDocId = 0,
+    kFileName = 1,
+    kFileDate = 2,
+    kFileSize = 3,
+  };
+
+  storage::Row ToRow() const;
+  static netmark::Result<DocRecord> FromRow(const storage::Row& row);
+};
+
+}  // namespace netmark::xmlstore
+
+#endif  // NETMARK_XMLSTORE_NODE_RECORD_H_

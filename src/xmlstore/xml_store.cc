@@ -1,0 +1,473 @@
+#include "xmlstore/xml_store.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace netmark::xmlstore {
+
+using storage::IndexKey;
+using storage::Row;
+using storage::RowId;
+using storage::Value;
+
+namespace {
+
+// Sentinel node names for DOM kinds the Fig-5 schema has no column for.
+constexpr std::string_view kCDataName = "#cdata";
+constexpr std::string_view kCommentName = "#comment";
+constexpr char kPiPrefix = '?';
+
+}  // namespace
+
+std::string EncodeAttributes(const std::vector<xml::Attribute>& attrs) {
+  std::string out;
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (i != 0) out += '&';
+    out += netmark::UrlEncode(attrs[i].name);
+    out += '=';
+    out += netmark::UrlEncode(attrs[i].value);
+  }
+  return out;
+}
+
+netmark::Result<std::vector<xml::Attribute>> DecodeAttributes(std::string_view blob) {
+  std::vector<xml::Attribute> out;
+  if (blob.empty()) return out;
+  for (const std::string& pair : netmark::Split(blob, '&')) {
+    size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      return netmark::Status::Corruption("bad attribute blob: " + pair);
+    }
+    xml::Attribute a;
+    NETMARK_ASSIGN_OR_RETURN(a.name, netmark::UrlDecode(pair.substr(0, eq)));
+    NETMARK_ASSIGN_OR_RETURN(a.value, netmark::UrlDecode(pair.substr(eq + 1)));
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+netmark::Result<std::unique_ptr<XmlStore>> XmlStore::Open(
+    const std::string& dir, xml::NodeTypeConfig node_types) {
+  NETMARK_ASSIGN_OR_RETURN(std::unique_ptr<storage::Database> db,
+                           storage::Database::Open(dir));
+  std::unique_ptr<XmlStore> store(new XmlStore(std::move(db), std::move(node_types)));
+  store->snapshot_path_ = (std::filesystem::path(dir) / "textindex.snap").string();
+  NETMARK_RETURN_NOT_OK(store->EnsureTables());
+  // Fast path: a fresh snapshot skips the full rebuild scan. Any doubt —
+  // missing, corrupt, or stale (row counts changed since it was written) —
+  // falls back to rebuilding from the tables, which are the durable truth.
+  auto snapshot =
+      textindex::LoadIndexSnapshot(store->snapshot_path_, store->CurrentToken());
+  if (snapshot.ok()) {
+    store->text_index_ = std::move(snapshot->index);
+    store->next_node_id_ = static_cast<int64_t>(snapshot->token.extra_a);
+    store->next_doc_id_ = static_cast<int64_t>(snapshot->token.extra_b);
+  } else {
+    NETMARK_RETURN_NOT_OK(store->RebuildTextIndex());
+  }
+  return store;
+}
+
+textindex::SnapshotToken XmlStore::CurrentToken() const {
+  textindex::SnapshotToken token;
+  token.a = xml_table_ == nullptr ? 0 : xml_table_->row_count();
+  token.b = doc_table_ == nullptr ? 0 : doc_table_->row_count();
+  token.extra_a = static_cast<uint64_t>(next_node_id_);
+  token.extra_b = static_cast<uint64_t>(next_doc_id_);
+  return token;
+}
+
+netmark::Status XmlStore::EnsureTables() {
+  if (!db_->HasTable("XML")) {
+    // The *only* DDL NETMARK ever issues — independent of what documents
+    // arrive later (the schema-less claim measured in bench_fig5_storage).
+    NETMARK_RETURN_NOT_OK(db_->CreateTable(NodeRecord::Schema()).status());
+    NETMARK_RETURN_NOT_OK(db_->CreateTable(DocRecord::Schema()).status());
+    NETMARK_RETURN_NOT_OK(db_->CreateIndex("XML", "xml_by_doc", {"DOC_ID", "NODEID"}));
+    NETMARK_RETURN_NOT_OK(db_->CreateIndex("XML", "xml_by_parent", {"PARENTNODEID"}));
+    NETMARK_RETURN_NOT_OK(db_->CreateIndex("DOC", "doc_by_id", {"DOC_ID"}));
+  }
+  NETMARK_ASSIGN_OR_RETURN(xml_table_, db_->GetTable("XML"));
+  NETMARK_ASSIGN_OR_RETURN(doc_table_, db_->GetTable("DOC"));
+  return netmark::Status::OK();
+}
+
+netmark::Status XmlStore::RebuildTextIndex() {
+  next_node_id_ = 1;
+  next_doc_id_ = 1;
+  NETMARK_RETURN_NOT_OK(xml_table_->Scan([&](RowId id, const Row& row) -> netmark::Status {
+    NETMARK_ASSIGN_OR_RETURN(NodeRecord rec, NodeRecord::FromRow(row));
+    next_node_id_ = std::max(next_node_id_, rec.node_id + 1);
+    if (rec.is_text()) text_index_.Add(id.Pack(), rec.node_data);
+    return netmark::Status::OK();
+  }));
+  NETMARK_RETURN_NOT_OK(doc_table_->Scan([&](RowId, const Row& row) -> netmark::Status {
+    NETMARK_ASSIGN_OR_RETURN(DocRecord rec, DocRecord::FromRow(row));
+    next_doc_id_ = std::max(next_doc_id_, rec.doc_id + 1);
+    return netmark::Status::OK();
+  }));
+  return netmark::Status::OK();
+}
+
+netmark::Result<int64_t> XmlStore::InsertDocument(const xml::Document& doc,
+                                                  const DocumentInfo& info) {
+  int64_t doc_id = next_doc_id_++;
+  DocRecord doc_rec;
+  doc_rec.doc_id = doc_id;
+  doc_rec.file_name = info.file_name;
+  doc_rec.file_date = info.file_date;
+  doc_rec.file_size = info.file_size;
+  NETMARK_RETURN_NOT_OK(doc_table_->Insert(doc_rec.ToRow()).status());
+
+  // Pass 1: pre-order insert. Parent/prev links are known on the way down;
+  // SIBLINGID (next sibling) is patched in pass 2.
+  struct Inserted {
+    RowId rowid;
+    NodeRecord rec;
+    bool needs_sibling_patch = false;
+  };
+  std::vector<Inserted> inserted;
+
+  struct Frame {
+    xml::NodeId dom_node;
+    RowId parent_rowid;
+    int64_t parent_node_id;
+    size_t prev_index;  // index into `inserted` of the previous sibling; SIZE_MAX if none
+  };
+
+  // Iterative DFS preserving document order.
+  std::vector<Frame> stack;
+  {
+    // Push top-level children in reverse so they pop in order. prev links are
+    // resolved as we go via a per-parent "last inserted child" map.
+    std::vector<xml::NodeId> kids = doc.Children(doc.root());
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back(Frame{*it, storage::kInvalidRowId, 0, SIZE_MAX});
+    }
+  }
+  std::map<int64_t, size_t> last_child_of;  // parent_node_id -> index in `inserted`
+
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    xml::NodeId n = frame.dom_node;
+
+    NodeRecord rec;
+    rec.node_id = next_node_id_++;
+    rec.doc_id = doc_id;
+    rec.parent_rowid = frame.parent_rowid;
+    rec.parent_node_id = frame.parent_node_id;
+    switch (doc.kind(n)) {
+      case xml::NodeKind::kElement:
+        rec.node_name = doc.name(n);
+        rec.node_data = EncodeAttributes(doc.attributes(n));
+        rec.node_type = node_types_.Classify(doc, n);
+        break;
+      case xml::NodeKind::kText:
+        rec.node_data = doc.data(n);
+        rec.node_type = xml::NetmarkNodeType::kText;
+        break;
+      case xml::NodeKind::kCData:
+        rec.node_name = kCDataName;
+        rec.node_data = doc.data(n);
+        rec.node_type = xml::NetmarkNodeType::kText;
+        break;
+      case xml::NodeKind::kComment:
+        rec.node_name = kCommentName;
+        rec.node_data = doc.data(n);
+        rec.node_type = xml::NetmarkNodeType::kElement;
+        break;
+      case xml::NodeKind::kProcessingInstruction:
+        rec.node_name = std::string(1, kPiPrefix) + doc.name(n);
+        rec.node_data = doc.data(n);
+        rec.node_type = xml::NetmarkNodeType::kElement;
+        break;
+      case xml::NodeKind::kDocument:
+        continue;  // never stored
+    }
+
+    // Previous-sibling link.
+    auto last_it = last_child_of.find(frame.parent_node_id);
+    if (last_it != last_child_of.end()) {
+      rec.prev_rowid = inserted[last_it->second].rowid;
+    }
+
+    NETMARK_ASSIGN_OR_RETURN(RowId rowid, xml_table_->Insert(rec.ToRow()));
+    if (last_it != last_child_of.end()) {
+      inserted[last_it->second].rec.sibling_rowid = rowid;
+      inserted[last_it->second].needs_sibling_patch = true;
+    }
+    size_t my_index = inserted.size();
+    inserted.push_back(Inserted{rowid, std::move(rec), false});
+    last_child_of[frame.parent_node_id] = my_index;
+
+    // Descend.
+    std::vector<xml::NodeId> kids = doc.Children(n);
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back(
+          Frame{*it, rowid, inserted[my_index].rec.node_id, SIZE_MAX});
+    }
+  }
+
+  // Pass 2: write back the forward sibling links.
+  for (const Inserted& ins : inserted) {
+    if (ins.needs_sibling_patch) {
+      NETMARK_RETURN_NOT_OK(xml_table_->Update(ins.rowid, ins.rec.ToRow()));
+    }
+  }
+
+  // Index text content under the final rowids.
+  for (const Inserted& ins : inserted) {
+    if (ins.rec.is_text()) text_index_.Add(ins.rowid.Pack(), ins.rec.node_data);
+  }
+  return doc_id;
+}
+
+netmark::Result<std::vector<std::pair<RowId, NodeRecord>>> XmlStore::DocumentNodes(
+    int64_t doc_id) const {
+  NETMARK_ASSIGN_OR_RETURN(
+      std::vector<RowId> rowids,
+      xml_table_->IndexPrefix("xml_by_doc", IndexKey{Value::Int(doc_id)}));
+  std::vector<std::pair<RowId, NodeRecord>> out;
+  out.reserve(rowids.size());
+  for (RowId id : rowids) {
+    NETMARK_ASSIGN_OR_RETURN(Row row, xml_table_->Get(id));
+    NETMARK_ASSIGN_OR_RETURN(NodeRecord rec, NodeRecord::FromRow(row));
+    out.emplace_back(id, std::move(rec));
+  }
+  return out;
+}
+
+netmark::Status XmlStore::DeleteDocument(int64_t doc_id) {
+  NETMARK_ASSIGN_OR_RETURN(auto nodes, DocumentNodes(doc_id));
+  for (const auto& [rowid, rec] : nodes) {
+    if (rec.is_text()) text_index_.Remove(rowid.Pack(), rec.node_data);
+    NETMARK_RETURN_NOT_OK(xml_table_->Delete(rowid));
+  }
+  NETMARK_ASSIGN_OR_RETURN(
+      std::vector<RowId> doc_rows,
+      doc_table_->IndexLookup("doc_by_id", IndexKey{Value::Int(doc_id)}));
+  if (doc_rows.empty()) {
+    return netmark::Status::NotFound(
+        netmark::StringPrintf("no document %lld", static_cast<long long>(doc_id)));
+  }
+  for (RowId id : doc_rows) {
+    NETMARK_RETURN_NOT_OK(doc_table_->Delete(id));
+  }
+  return netmark::Status::OK();
+}
+
+netmark::Result<DocRecord> XmlStore::GetDocumentInfo(int64_t doc_id) const {
+  NETMARK_ASSIGN_OR_RETURN(
+      std::vector<RowId> doc_rows,
+      doc_table_->IndexLookup("doc_by_id", IndexKey{Value::Int(doc_id)}));
+  if (doc_rows.empty()) {
+    return netmark::Status::NotFound(
+        netmark::StringPrintf("no document %lld", static_cast<long long>(doc_id)));
+  }
+  NETMARK_ASSIGN_OR_RETURN(Row row, doc_table_->Get(doc_rows[0]));
+  return DocRecord::FromRow(row);
+}
+
+netmark::Result<std::vector<DocRecord>> XmlStore::ListDocuments() const {
+  std::vector<DocRecord> out;
+  NETMARK_RETURN_NOT_OK(doc_table_->Scan([&](RowId, const Row& row) -> netmark::Status {
+    NETMARK_ASSIGN_OR_RETURN(DocRecord rec, DocRecord::FromRow(row));
+    out.push_back(std::move(rec));
+    return netmark::Status::OK();
+  }));
+  std::sort(out.begin(), out.end(),
+            [](const DocRecord& a, const DocRecord& b) { return a.doc_id < b.doc_id; });
+  return out;
+}
+
+uint64_t XmlStore::document_count() const { return doc_table_->row_count(); }
+uint64_t XmlStore::node_count() const { return xml_table_->row_count(); }
+
+namespace {
+
+// Materializes one stored node into `target` under `parent`.
+xml::NodeId MaterializeNode(const NodeRecord& rec, xml::Document* target,
+                            xml::NodeId parent) {
+  xml::NodeId id;
+  if (rec.node_type == xml::NetmarkNodeType::kText) {
+    if (rec.node_name == kCDataName) {
+      id = target->CreateCData(rec.node_data);
+    } else {
+      id = target->CreateText(rec.node_data);
+    }
+  } else if (rec.node_name == kCommentName) {
+    id = target->CreateComment(rec.node_data);
+  } else if (!rec.node_name.empty() && rec.node_name[0] == kPiPrefix) {
+    id = target->CreateProcessingInstruction(rec.node_name.substr(1), rec.node_data);
+  } else {
+    id = target->CreateElement(rec.node_name);
+    auto attrs = DecodeAttributes(rec.node_data);
+    if (attrs.ok()) {
+      for (xml::Attribute& a : *attrs) {
+        target->AddAttribute(id, std::move(a.name), std::move(a.value));
+      }
+    }
+  }
+  target->AppendChild(parent, id);
+  return id;
+}
+
+}  // namespace
+
+netmark::Result<xml::Document> XmlStore::Reconstruct(int64_t doc_id) const {
+  NETMARK_RETURN_NOT_OK(GetDocumentInfo(doc_id).status());  // existence check
+  NETMARK_ASSIGN_OR_RETURN(auto nodes, DocumentNodes(doc_id));
+  xml::Document out;
+  std::map<int64_t, xml::NodeId> by_node_id;  // stored NODEID -> DOM id
+  // `nodes` is in NODEID (pre-order) order, so parents precede children.
+  for (const auto& [rowid, rec] : nodes) {
+    xml::NodeId parent = out.root();
+    if (rec.parent_node_id != 0) {
+      auto it = by_node_id.find(rec.parent_node_id);
+      if (it == by_node_id.end()) {
+        return netmark::Status::Corruption(netmark::StringPrintf(
+            "node %lld references missing parent %lld",
+            static_cast<long long>(rec.node_id),
+            static_cast<long long>(rec.parent_node_id)));
+      }
+      parent = it->second;
+    }
+    by_node_id[rec.node_id] = MaterializeNode(rec, &out, parent);
+  }
+  return out;
+}
+
+netmark::Result<xml::Document> XmlStore::ReconstructSubtree(RowId node) const {
+  xml::Document out;
+  struct Pending {
+    RowId rowid;
+    xml::NodeId parent;
+  };
+  std::vector<Pending> stack = {{node, out.root()}};
+  while (!stack.empty()) {
+    Pending p = stack.back();
+    stack.pop_back();
+    NETMARK_ASSIGN_OR_RETURN(NodeRecord rec, GetNode(p.rowid));
+    xml::NodeId dom_id = MaterializeNode(rec, &out, p.parent);
+    NETMARK_ASSIGN_OR_RETURN(std::vector<RowId> kids, Children(p.rowid));
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back(Pending{*it, dom_id});
+    }
+  }
+  return out;
+}
+
+netmark::Result<NodeRecord> XmlStore::GetNode(RowId id) const {
+  NETMARK_ASSIGN_OR_RETURN(Row row, xml_table_->Get(id));
+  return NodeRecord::FromRow(row);
+}
+
+netmark::Result<std::vector<RowId>> XmlStore::Children(RowId node) const {
+  NETMARK_ASSIGN_OR_RETURN(NodeRecord rec, GetNode(node));
+  NETMARK_ASSIGN_OR_RETURN(
+      std::vector<RowId> rowids,
+      xml_table_->IndexLookup("xml_by_parent", IndexKey{Value::Int(rec.node_id)}));
+  // Order by NODEID (document order).
+  std::vector<std::pair<int64_t, RowId>> keyed;
+  keyed.reserve(rowids.size());
+  for (RowId id : rowids) {
+    NETMARK_ASSIGN_OR_RETURN(NodeRecord child, GetNode(id));
+    keyed.emplace_back(child.node_id, id);
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<RowId> out;
+  out.reserve(keyed.size());
+  for (const auto& [node_id, id] : keyed) out.push_back(id);
+  return out;
+}
+
+netmark::Result<std::vector<RowId>> XmlStore::NodesWithParent(
+    int64_t parent_node_id) const {
+  return xml_table_->IndexLookup("xml_by_parent", IndexKey{Value::Int(parent_node_id)});
+}
+
+netmark::Result<RowId> XmlStore::NodeByDocAndId(int64_t doc_id, int64_t node_id) const {
+  NETMARK_ASSIGN_OR_RETURN(
+      std::vector<RowId> hits,
+      xml_table_->IndexLookup("xml_by_doc",
+                              IndexKey{Value::Int(doc_id), Value::Int(node_id)}));
+  if (hits.empty()) {
+    return netmark::Status::NotFound(netmark::StringPrintf(
+        "no node %lld in document %lld", static_cast<long long>(node_id),
+        static_cast<long long>(doc_id)));
+  }
+  return hits[0];
+}
+
+netmark::Result<std::string> XmlStore::SubtreeText(RowId node) const {
+  std::string out;
+  std::vector<RowId> stack = {node};
+  while (!stack.empty()) {
+    RowId id = stack.back();
+    stack.pop_back();
+    NETMARK_ASSIGN_OR_RETURN(NodeRecord rec, GetNode(id));
+    if (rec.is_text()) {
+      if (!out.empty()) out += ' ';
+      out += rec.node_data;
+      continue;
+    }
+    NETMARK_ASSIGN_OR_RETURN(std::vector<RowId> kids, Children(id));
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) stack.push_back(*it);
+  }
+  return out;
+}
+
+std::vector<RowId> XmlStore::TextLookup(std::string_view term) const {
+  std::vector<RowId> out;
+  for (textindex::DocKey key : text_index_.LookupTerm(term)) {
+    out.push_back(RowId::Unpack(key));
+  }
+  return out;
+}
+
+netmark::Result<std::vector<RowId>> XmlStore::TextScanLookup(
+    std::string_view term) const {
+  std::string folded = netmark::ToLower(term);
+  std::vector<RowId> out;
+  NETMARK_RETURN_NOT_OK(
+      xml_table_->Scan([&](RowId id, const Row& row) -> netmark::Status {
+        NETMARK_ASSIGN_OR_RETURN(NodeRecord rec, NodeRecord::FromRow(row));
+        if (!rec.is_text()) return netmark::Status::OK();
+        for (const std::string& tok : textindex::TokenizeTerms(rec.node_data)) {
+          if (tok == folded) {
+            out.push_back(id);
+            break;
+          }
+        }
+        return netmark::Status::OK();
+      }));
+  return out;
+}
+
+netmark::Status XmlStore::Flush() {
+  NETMARK_RETURN_NOT_OK(db_->Flush());
+  // Best effort: a failed snapshot write is not fatal (the next Open simply
+  // rebuilds), but surface real I/O errors so operators notice.
+  return textindex::SaveIndexSnapshot(text_index_, CurrentToken(), snapshot_path_);
+}
+
+netmark::Result<std::vector<RowId>> XmlStore::TextScanMatch(
+    const textindex::TextQuery& query) const {
+  std::vector<RowId> out;
+  if (query.empty()) return out;
+  NETMARK_RETURN_NOT_OK(
+      xml_table_->Scan([&](RowId id, const Row& row) -> netmark::Status {
+        NETMARK_ASSIGN_OR_RETURN(NodeRecord rec, NodeRecord::FromRow(row));
+        if (rec.is_text() && textindex::Matches(query, rec.node_data)) {
+          out.push_back(id);
+        }
+        return netmark::Status::OK();
+      }));
+  return out;
+}
+
+}  // namespace netmark::xmlstore

@@ -1,0 +1,146 @@
+// The NETMARK XML Store.
+//
+// Any XML/HTML document — regardless of schema — is decomposed into node
+// rows stored in the same two tables (XML + DOC; paper Fig 5). The store is
+// "schema-less": zero DDL happens per new document type. Parent and sibling
+// links hold *physical RowIds*, reproducing the paper's Oracle-rowid fast
+// traversal.
+
+#ifndef NETMARK_XMLSTORE_XML_STORE_H_
+#define NETMARK_XMLSTORE_XML_STORE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/database.h"
+#include "textindex/inverted_index.h"
+#include "textindex/snapshot.h"
+#include "textindex/text_query.h"
+#include "xml/dom.h"
+#include "xml/node_type_config.h"
+#include "xmlstore/node_record.h"
+
+namespace netmark::xmlstore {
+
+/// Metadata supplied when inserting a document.
+struct DocumentInfo {
+  std::string file_name;
+  int64_t file_date = 0;
+  int64_t file_size = 0;
+};
+
+/// \brief Schema-less document store over the relational engine.
+class XmlStore {
+ public:
+  /// Opens (creating on first use) a store under `dir`. The fixed two-table
+  /// schema is created exactly once; reopening rebuilds the text index from
+  /// the stored nodes.
+  static netmark::Result<std::unique_ptr<XmlStore>> Open(
+      const std::string& dir, xml::NodeTypeConfig node_types = xml::NodeTypeConfig::Default());
+
+  // --- Document lifecycle ---
+
+  /// Decomposes `doc` into node rows and indexes its text. Returns the new
+  /// document id.
+  netmark::Result<int64_t> InsertDocument(const xml::Document& doc,
+                                          const DocumentInfo& info);
+
+  /// Removes a document's rows and index entries.
+  netmark::Status DeleteDocument(int64_t doc_id);
+
+  netmark::Result<DocRecord> GetDocumentInfo(int64_t doc_id) const;
+  netmark::Result<std::vector<DocRecord>> ListDocuments() const;
+  uint64_t document_count() const;
+  uint64_t node_count() const;
+
+  /// Rebuilds the full DOM of a stored document (round-trip fidelity is
+  /// property-tested: store → reconstruct → structural equality).
+  netmark::Result<xml::Document> Reconstruct(int64_t doc_id) const;
+
+  /// Reconstructs only the subtree rooted at `node` (used to render one
+  /// section of a document).
+  netmark::Result<xml::Document> ReconstructSubtree(storage::RowId node) const;
+
+  // --- Node access ---
+
+  /// Fetches one node row by physical address — the O(1) hop everything
+  /// else builds on.
+  netmark::Result<NodeRecord> GetNode(storage::RowId id) const;
+
+  /// RowIds of `node`'s children, in document order (index join on
+  /// PARENTNODEID; the rowid links only cover parent/sibling hops, as in the
+  /// paper).
+  netmark::Result<std::vector<storage::RowId>> Children(storage::RowId node) const;
+
+  /// RowIds of all nodes whose PARENTNODEID equals `parent_node_id`
+  /// (unordered; logical-id join used by the rowid-ablation walk).
+  netmark::Result<std::vector<storage::RowId>> NodesWithParent(
+      int64_t parent_node_id) const;
+
+  /// RowId of the node with the given logical (doc, node) ids.
+  netmark::Result<storage::RowId> NodeByDocAndId(int64_t doc_id,
+                                                 int64_t node_id) const;
+
+  /// Concatenated text of the subtree rooted at `node`.
+  netmark::Result<std::string> SubtreeText(storage::RowId node) const;
+
+  /// All node rows of a document in pre-order (NODEID order).
+  netmark::Result<std::vector<std::pair<storage::RowId, NodeRecord>>> DocumentNodes(
+      int64_t doc_id) const;
+
+  // --- Text index ---
+
+  /// The positional inverted index over TEXT-node contents.
+  const textindex::InvertedIndex& text_index() const { return text_index_; }
+
+  /// All TEXT-node RowIds whose content contains `term`.
+  std::vector<storage::RowId> TextLookup(std::string_view term) const;
+
+  /// Full scan fallback (for the index-ablation benchmark): TEXT-node RowIds
+  /// whose content contains `term`, found without the index.
+  netmark::Result<std::vector<storage::RowId>> TextScanLookup(
+      std::string_view term) const;
+
+  /// Full-scan evaluation of an arbitrary text query (index ablation).
+  netmark::Result<std::vector<storage::RowId>> TextScanMatch(
+      const textindex::TextQuery& query) const;
+
+  const xml::NodeTypeConfig& node_types() const { return node_types_; }
+  storage::Database* database() { return db_.get(); }
+  const storage::Database* database() const { return db_.get(); }
+
+  /// Flushes the tables and writes a text-index snapshot so the next Open
+  /// can skip the rebuild scan.
+  netmark::Status Flush();
+
+ private:
+  XmlStore(std::unique_ptr<storage::Database> db, xml::NodeTypeConfig node_types)
+      : db_(std::move(db)), node_types_(std::move(node_types)) {}
+
+  netmark::Status EnsureTables();
+  netmark::Status RebuildTextIndex();
+  textindex::SnapshotToken CurrentToken() const;
+
+  storage::Table* xml_table() const { return xml_table_; }
+  storage::Table* doc_table() const { return doc_table_; }
+
+  std::unique_ptr<storage::Database> db_;
+  xml::NodeTypeConfig node_types_;
+  storage::Table* xml_table_ = nullptr;
+  storage::Table* doc_table_ = nullptr;
+  textindex::InvertedIndex text_index_;
+  std::string snapshot_path_;
+  int64_t next_doc_id_ = 1;
+  int64_t next_node_id_ = 1;
+};
+
+/// Encodes element attributes into the NODEDATA blob ("k=v&k2=v2",
+/// URL-escaped) and back.
+std::string EncodeAttributes(const std::vector<xml::Attribute>& attrs);
+netmark::Result<std::vector<xml::Attribute>> DecodeAttributes(std::string_view blob);
+
+}  // namespace netmark::xmlstore
+
+#endif  // NETMARK_XMLSTORE_XML_STORE_H_

@@ -1,0 +1,404 @@
+#include "xslt/stylesheet.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "xml/parser.h"
+#include "xslt/xpath.h"
+
+namespace netmark::xslt {
+
+netmark::Result<Stylesheet> Stylesheet::Parse(std::string_view text) {
+  // Whitespace-only text must survive parsing so <xsl:text> </xsl:text> can
+  // emit it; the engine strips it everywhere else (XSLT whitespace rules).
+  xml::ParseOptions opts;
+  opts.keep_whitespace_text = true;
+  NETMARK_ASSIGN_OR_RETURN(xml::Document doc, xml::Parse(text, opts));
+  Stylesheet sheet;
+  sheet.doc_ = std::make_shared<xml::Document>(std::move(doc));
+  const xml::Document& d = *sheet.doc_;
+  xml::NodeId root = d.DocumentElement();
+  if (root == xml::kInvalidNode ||
+      (d.name(root) != "xsl:stylesheet" && d.name(root) != "xsl:transform")) {
+    return netmark::Status::ParseError(
+        "stylesheet root must be xsl:stylesheet or xsl:transform");
+  }
+  int order = 0;
+  for (xml::NodeId child = d.first_child(root); child != xml::kInvalidNode;
+       child = d.next_sibling(child)) {
+    if (d.kind(child) != xml::NodeKind::kElement) continue;
+    if (d.name(child) != "xsl:template") {
+      return netmark::Status::ParseError("unsupported top-level element: " +
+                                         d.name(child));
+    }
+    std::string match(d.GetAttribute(child, "match"));
+    if (match.empty()) {
+      return netmark::Status::ParseError("xsl:template requires match=");
+    }
+    Template t;
+    t.body = child;
+    t.order = order++;
+    if (match == "/") {
+      t.matches_root = true;
+      t.priority = 0.5;
+    } else {
+      for (const std::string& step : netmark::Split(match, '/')) {
+        std::string trimmed = netmark::Trim(step);
+        if (trimmed.empty()) {
+          return netmark::Status::ParseError("bad match pattern: " + match);
+        }
+        t.match_chain.push_back(trimmed);
+      }
+      const std::string& last = t.match_chain.back();
+      if (last == "*" || last == "text()") {
+        t.priority = -0.5;
+      } else {
+        t.priority = static_cast<double>(t.match_chain.size());
+      }
+    }
+    sheet.templates_.push_back(std::move(t));
+  }
+  return sheet;
+}
+
+bool Stylesheet::Matches(const Template& t, const xml::Document& source,
+                         xml::NodeId node) {
+  if (t.matches_root) return node == source.root();
+  // Walk the chain from the node upwards.
+  xml::NodeId cur = node;
+  for (auto it = t.match_chain.rbegin(); it != t.match_chain.rend(); ++it) {
+    if (cur == xml::kInvalidNode) return false;
+    const std::string& test = *it;
+    if (test == "text()") {
+      if (source.kind(cur) != xml::NodeKind::kText &&
+          source.kind(cur) != xml::NodeKind::kCData) {
+        return false;
+      }
+    } else if (test == "*") {
+      if (source.kind(cur) != xml::NodeKind::kElement) return false;
+    } else {
+      if (source.kind(cur) != xml::NodeKind::kElement || source.name(cur) != test) {
+        return false;
+      }
+    }
+    cur = source.parent(cur);
+  }
+  return true;
+}
+
+const Stylesheet::Template* Stylesheet::FindTemplate(const xml::Document& source,
+                                                     xml::NodeId node) const {
+  const Template* best = nullptr;
+  for (const Template& t : templates_) {
+    if (!Matches(t, source, node)) continue;
+    if (best == nullptr || t.priority > best->priority ||
+        (t.priority == best->priority && t.order > best->order)) {
+      best = &t;
+    }
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Transform engine
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Engine {
+ public:
+  Engine(const Stylesheet& sheet, const xml::Document& source)
+      : sheet_(sheet), sdoc_(sheet.doc()), source_(source) {}
+
+  netmark::Result<xml::Document> Run() {
+    ApplyTemplates(source_.root(), out_.root());
+    if (!error_.ok()) return error_;
+    return std::move(out_);
+  }
+
+ private:
+  // Applies template rules to one source node, emitting into `out_parent`.
+  void ApplyTemplates(xml::NodeId src, xml::NodeId out_parent) {
+    const Stylesheet::Template* t = sheet_.FindTemplate(source_, src);
+    if (t != nullptr) {
+      InstantiateChildren(t->body, src, out_parent);
+      return;
+    }
+    // Built-in rules: recurse through elements/root, copy text.
+    switch (source_.kind(src)) {
+      case xml::NodeKind::kDocument:
+      case xml::NodeKind::kElement:
+        for (xml::NodeId c = source_.first_child(src); c != xml::kInvalidNode;
+             c = source_.next_sibling(c)) {
+          ApplyTemplates(c, out_parent);
+        }
+        break;
+      case xml::NodeKind::kText:
+      case xml::NodeKind::kCData:
+        AppendText(out_parent, source_.data(src));
+        break;
+      default:
+        break;
+    }
+  }
+
+  void AppendText(xml::NodeId out_parent, const std::string& text) {
+    if (text.empty()) return;
+    out_.AppendChild(out_parent, out_.CreateText(text));
+  }
+
+  void Fail(netmark::Status status) {
+    if (error_.ok()) error_ = std::move(status);
+  }
+
+  netmark::Result<XPath> CompilePath(std::string_view expr) {
+    auto path = XPath::Parse(expr);
+    if (!path.ok()) Fail(path.status());
+    return path;
+  }
+
+  // Instantiates the children of a stylesheet element against `src`.
+  void InstantiateChildren(xml::NodeId sheet_node, xml::NodeId src,
+                           xml::NodeId out_parent) {
+    for (xml::NodeId c = sdoc_.first_child(sheet_node); c != xml::kInvalidNode;
+         c = sdoc_.next_sibling(c)) {
+      if (!error_.ok()) return;
+      Instantiate(c, src, out_parent);
+    }
+  }
+
+  void Instantiate(xml::NodeId inst, xml::NodeId src, xml::NodeId out_parent) {
+    switch (sdoc_.kind(inst)) {
+      case xml::NodeKind::kText:
+      case xml::NodeKind::kCData:
+        // Whitespace-only text in stylesheet bodies is stripped (XSLT rule);
+        // meaningful whitespace goes through <xsl:text>.
+        if (netmark::TrimView(sdoc_.data(inst)).empty()) return;
+        AppendText(out_parent, sdoc_.data(inst));
+        return;
+      case xml::NodeKind::kElement:
+        break;
+      default:
+        return;  // comments/PIs in stylesheets are ignored
+    }
+    const std::string& name = sdoc_.name(inst);
+    if (!netmark::StartsWith(name, "xsl:")) {
+      LiteralElement(inst, src, out_parent);
+      return;
+    }
+    if (name == "xsl:apply-templates") {
+      std::string select(sdoc_.GetAttribute(inst, "select"));
+      if (select.empty()) {
+        for (xml::NodeId c = source_.first_child(src); c != xml::kInvalidNode;
+             c = source_.next_sibling(c)) {
+          ApplyTemplates(c, out_parent);
+        }
+      } else {
+        auto path = CompilePath(select);
+        if (!path.ok()) return;
+        for (xml::NodeId n : Sorted(inst, path->SelectNodes(source_, src))) {
+          ApplyTemplates(n, out_parent);
+        }
+      }
+      return;
+    }
+    if (name == "xsl:value-of") {
+      auto path = CompilePath(sdoc_.GetAttribute(inst, "select"));
+      if (!path.ok()) return;
+      AppendText(out_parent, path->EvaluateString(source_, src));
+      return;
+    }
+    if (name == "xsl:for-each") {
+      auto path = CompilePath(sdoc_.GetAttribute(inst, "select"));
+      if (!path.ok()) return;
+      for (xml::NodeId n : Sorted(inst, path->SelectNodes(source_, src))) {
+        InstantiateChildren(inst, n, out_parent);
+      }
+      return;
+    }
+    if (name == "xsl:sort") {
+      return;  // handled by Sorted()
+    }
+    if (name == "xsl:if") {
+      if (EvaluateTest(sdoc_.GetAttribute(inst, "test"), src)) {
+        InstantiateChildren(inst, src, out_parent);
+      }
+      return;
+    }
+    if (name == "xsl:choose") {
+      for (xml::NodeId c = sdoc_.first_child(inst); c != xml::kInvalidNode;
+           c = sdoc_.next_sibling(c)) {
+        if (sdoc_.kind(c) != xml::NodeKind::kElement) continue;
+        if (sdoc_.name(c) == "xsl:when") {
+          if (EvaluateTest(sdoc_.GetAttribute(c, "test"), src)) {
+            InstantiateChildren(c, src, out_parent);
+            return;
+          }
+        } else if (sdoc_.name(c) == "xsl:otherwise") {
+          InstantiateChildren(c, src, out_parent);
+          return;
+        }
+      }
+      return;
+    }
+    if (name == "xsl:text") {
+      AppendText(out_parent, sdoc_.TextContent(inst));
+      return;
+    }
+    if (name == "xsl:element") {
+      std::string el_name = ExpandAvt(sdoc_.GetAttribute(inst, "name"), src);
+      if (el_name.empty()) {
+        Fail(netmark::Status::InvalidArgument("xsl:element produced empty name"));
+        return;
+      }
+      xml::NodeId el = out_.CreateElement(el_name);
+      out_.AppendChild(out_parent, el);
+      InstantiateChildren(inst, src, el);
+      return;
+    }
+    if (name == "xsl:attribute") {
+      std::string attr_name(sdoc_.GetAttribute(inst, "name"));
+      // Instantiate the content into a detached scratch element, then take
+      // its text as the attribute value.
+      xml::NodeId tmp = out_.CreateElement("netmark:attr-scratch");
+      InstantiateChildren(inst, src, tmp);
+      out_.SetAttribute(out_parent, attr_name, out_.TextContent(tmp));
+      // tmp stays detached and unreachable.
+      return;
+    }
+    if (name == "xsl:copy-of") {
+      auto path = CompilePath(sdoc_.GetAttribute(inst, "select"));
+      if (!path.ok()) return;
+      for (xml::NodeId n : path->SelectNodes(source_, src)) {
+        out_.AppendChild(out_parent, out_.ImportSubtree(source_, n));
+      }
+      return;
+    }
+    if (name == "xsl:comment") {
+      xml::NodeId tmp = out_.CreateElement("netmark:comment-scratch");
+      InstantiateChildren(inst, src, tmp);
+      out_.AppendChild(out_parent, out_.CreateComment(out_.TextContent(tmp)));
+      return;
+    }
+    Fail(netmark::Status::NotImplemented("unsupported XSLT instruction: " + name));
+  }
+
+  void LiteralElement(xml::NodeId inst, xml::NodeId src, xml::NodeId out_parent) {
+    xml::NodeId el = out_.CreateElement(sdoc_.name(inst));
+    for (const xml::Attribute& a : sdoc_.attributes(inst)) {
+      out_.AddAttribute(el, a.name, ExpandAvt(a.value, src));
+    }
+    out_.AppendChild(out_parent, el);
+    InstantiateChildren(inst, src, el);
+  }
+
+  // Expands {path} attribute value templates.
+  std::string ExpandAvt(std::string_view value, xml::NodeId src) {
+    std::string out;
+    size_t i = 0;
+    while (i < value.size()) {
+      if (value[i] == '{') {
+        size_t close = value.find('}', i);
+        if (close != std::string_view::npos) {
+          auto path = CompilePath(value.substr(i + 1, close - i - 1));
+          if (path.ok()) out += path->EvaluateString(source_, src);
+          i = close + 1;
+          continue;
+        }
+      }
+      out += value[i];
+      ++i;
+    }
+    return out;
+  }
+
+  // test= expressions: path, path='v', path!='v', not(path).
+  bool EvaluateTest(std::string_view expr, xml::NodeId src) {
+    std::string_view t = netmark::TrimView(expr);
+    if (t.empty()) {
+      Fail(netmark::Status::InvalidArgument("empty test expression"));
+      return false;
+    }
+    if (netmark::StartsWith(t, "not(") && t.back() == ')') {
+      return !EvaluateTest(t.substr(4, t.size() - 5), src);
+    }
+    // Find a top-level comparison.
+    size_t eq = t.find("!=");
+    bool negated = eq != std::string_view::npos;
+    if (!negated) eq = t.find('=');
+    if (eq != std::string_view::npos) {
+      std::string_view lhs = netmark::TrimView(t.substr(0, eq));
+      std::string_view rhs = netmark::TrimView(t.substr(eq + (negated ? 2 : 1)));
+      if (rhs.size() >= 2 && (rhs.front() == '\'' || rhs.front() == '"') &&
+          rhs.back() == rhs.front()) {
+        auto path = CompilePath(lhs);
+        if (!path.ok()) return false;
+        std::string value(rhs.substr(1, rhs.size() - 2));
+        // XPath semantics: true if *any* node's string-value compares equal
+        // (or, for !=, any compares unequal).
+        std::vector<std::string> strings = path->EvaluateStrings(source_, src);
+        for (const std::string& s : strings) {
+          if (negated ? s != value : s == value) return true;
+        }
+        return false;
+      }
+    }
+    auto path = CompilePath(t);
+    if (!path.ok()) return false;
+    return path->EvaluateBool(source_, src);
+  }
+
+  // Applies any xsl:sort children of `inst` to a node-set.
+  std::vector<xml::NodeId> Sorted(xml::NodeId inst, std::vector<xml::NodeId> nodes) {
+    xml::NodeId sort = sdoc_.FirstChildElement(inst, "xsl:sort");
+    if (sort == xml::kInvalidNode) return nodes;
+    auto path = CompilePath(sdoc_.GetAttribute(sort, "select"));
+    if (!path.ok()) return nodes;
+    bool descending = sdoc_.GetAttribute(sort, "order") == "descending";
+    bool numeric = sdoc_.GetAttribute(sort, "data-type") == "number";
+    struct Keyed {
+      std::string key;
+      double number;
+      xml::NodeId node;
+    };
+    std::vector<Keyed> keyed;
+    keyed.reserve(nodes.size());
+    for (xml::NodeId n : nodes) {
+      Keyed k;
+      k.node = n;
+      k.key = path->EvaluateString(source_, n);
+      k.number = numeric ? netmark::ParseDouble(k.key).ValueOr(0.0) : 0.0;
+      keyed.push_back(std::move(k));
+    }
+    std::stable_sort(keyed.begin(), keyed.end(), [&](const Keyed& a, const Keyed& b) {
+      bool less = numeric ? a.number < b.number : a.key < b.key;
+      bool greater = numeric ? b.number < a.number : b.key < a.key;
+      return descending ? greater : less;
+    });
+    std::vector<xml::NodeId> out;
+    out.reserve(keyed.size());
+    for (const Keyed& k : keyed) out.push_back(k.node);
+    return out;
+  }
+
+  const Stylesheet& sheet_;
+  const xml::Document& sdoc_;
+  const xml::Document& source_;
+  xml::Document out_;
+  netmark::Status error_;
+};
+
+}  // namespace
+
+netmark::Result<xml::Document> Transform(const Stylesheet& stylesheet,
+                                         const xml::Document& source) {
+  return Engine(stylesheet, source).Run();
+}
+
+netmark::Result<xml::Document> Transform(std::string_view stylesheet_text,
+                                         const xml::Document& source) {
+  NETMARK_ASSIGN_OR_RETURN(Stylesheet sheet, Stylesheet::Parse(stylesheet_text));
+  return Transform(sheet, source);
+}
+
+}  // namespace netmark::xslt

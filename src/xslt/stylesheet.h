@@ -1,0 +1,73 @@
+// XSLT-lite stylesheets.
+//
+// Supported instruction set (the slice of XSLT 1.0 NETMARK result
+// composition uses; the paper runs Xalan):
+//
+//   xsl:template match="pattern"
+//   xsl:apply-templates [select="path"]
+//   xsl:value-of select="path"
+//   xsl:for-each select="path"  (with optional nested xsl:sort)
+//   xsl:sort select="path" [order="ascending|descending"]
+//            [data-type="text|number"]
+//   xsl:if test="expr"
+//   xsl:choose / xsl:when test="expr" / xsl:otherwise
+//   xsl:text
+//   xsl:element name="avt" / xsl:attribute name="name"
+//   xsl:copy-of select="path"
+//
+// Literal result elements are copied through; their attribute values may
+// contain `{path}` value templates. Match patterns support "/", "*",
+// "text()", "name" and parent-qualified chains "a/b/c".
+
+#ifndef NETMARK_XSLT_STYLESHEET_H_
+#define NETMARK_XSLT_STYLESHEET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/dom.h"
+
+namespace netmark::xslt {
+
+/// \brief A compiled stylesheet: the parsed DOM plus its template table.
+class Stylesheet {
+ public:
+  /// Parses stylesheet markup.
+  static netmark::Result<Stylesheet> Parse(std::string_view text);
+
+  /// One template rule.
+  struct Template {
+    std::vector<std::string> match_chain;  ///< pattern steps, outermost first
+    bool matches_root = false;
+    double priority = 0;
+    xml::NodeId body = xml::kInvalidNode;  ///< the xsl:template element
+    int order = 0;                         ///< declaration order (ties)
+  };
+
+  /// Best-matching template for a source node, or nullptr (built-in rules).
+  const Template* FindTemplate(const xml::Document& source, xml::NodeId node) const;
+
+  const xml::Document& doc() const { return *doc_; }
+
+ private:
+  /// True when `node` matches the template's pattern.
+  static bool Matches(const Template& t, const xml::Document& source,
+                      xml::NodeId node);
+
+  std::shared_ptr<xml::Document> doc_;  // shared so Stylesheet is copyable
+  std::vector<Template> templates_;
+};
+
+/// \brief Applies a stylesheet to a source document.
+netmark::Result<xml::Document> Transform(const Stylesheet& stylesheet,
+                                         const xml::Document& source);
+
+/// \brief One-call convenience: parse + transform.
+netmark::Result<xml::Document> Transform(std::string_view stylesheet_text,
+                                         const xml::Document& source);
+
+}  // namespace netmark::xslt
+
+#endif  // NETMARK_XSLT_STYLESHEET_H_

@@ -1,0 +1,296 @@
+#include "xslt/xpath.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace netmark::xslt {
+
+namespace {
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == ':' || c == '.';
+}
+
+}  // namespace
+
+netmark::Result<XPath> XPath::Parse(std::string_view expr) {
+  XPath path;
+  path.expr_ = std::string(netmark::TrimView(expr));
+  std::string_view s = path.expr_;
+  if (s.empty()) {
+    return netmark::Status::ParseError("empty XPath expression");
+  }
+  size_t i = 0;
+  if (s[0] == '/') {
+    path.absolute_ = true;
+    ++i;
+    // A bare leading "//" means descendant from root.
+  }
+  bool pending_descendant = false;
+  if (i < s.size() && s[i] == '/') {
+    pending_descendant = true;
+    ++i;
+  }
+  if (i >= s.size()) {
+    if (path.absolute_ && !pending_descendant) return path;  // "/" = root
+    return netmark::Status::ParseError("dangling '/' in XPath: " + path.expr_);
+  }
+  while (i < s.size()) {
+    Step step;
+    if (pending_descendant) {
+      step.axis = Step::Axis::kDescendant;
+      pending_descendant = false;
+    }
+    if (s.compare(i, 2, "..") == 0) {
+      step.axis = Step::Axis::kParent;
+      step.name = "*";
+      i += 2;
+    } else if (s[i] == '.') {
+      step.axis = Step::Axis::kSelf;
+      step.name = "*";
+      ++i;
+    } else {
+      if (s[i] == '@') {
+        step.axis = Step::Axis::kAttribute;
+        ++i;
+      }
+      if (i < s.size() && s[i] == '*') {
+        step.name = "*";
+        ++i;
+      } else {
+        size_t start = i;
+        while (i < s.size() && IsNameChar(s[i])) ++i;
+        if (i == start) {
+          return netmark::Status::ParseError("expected name in XPath at '" +
+                                             std::string(s.substr(i)) + "'");
+        }
+        step.name = std::string(s.substr(start, i - start));
+        if (i + 1 < s.size() && s[i] == '(' && s[i + 1] == ')') {
+          step.name += "()";
+          i += 2;
+        }
+      }
+    }
+    // Optional predicate.
+    if (i < s.size() && s[i] == '[') {
+      size_t close = s.find(']', i);
+      if (close == std::string_view::npos) {
+        return netmark::Status::ParseError("unterminated predicate in " + path.expr_);
+      }
+      std::string_view body = netmark::TrimView(s.substr(i + 1, close - i - 1));
+      if (body.empty()) {
+        return netmark::Status::ParseError("empty predicate in " + path.expr_);
+      }
+      auto number = netmark::ParseInt64(body);
+      if (number.ok()) {
+        step.pred = Step::PredKind::kIndex;
+        step.index = static_cast<int>(*number);
+        if (step.index < 1) {
+          return netmark::Status::ParseError("positional predicate must be >= 1");
+        }
+      } else {
+        bool attr = false;
+        if (body[0] == '@') {
+          attr = true;
+          body.remove_prefix(1);
+        }
+        size_t eq = body.find('=');
+        if (eq == std::string_view::npos) {
+          step.pred = attr ? Step::PredKind::kAttrExists : Step::PredKind::kChildExists;
+          step.pred_name = netmark::Trim(body);
+        } else {
+          step.pred = attr ? Step::PredKind::kAttrEquals : Step::PredKind::kChildEquals;
+          step.pred_name = netmark::Trim(body.substr(0, eq));
+          std::string_view value = netmark::TrimView(body.substr(eq + 1));
+          if (value.size() < 2 || (value.front() != '\'' && value.front() != '"') ||
+              value.back() != value.front()) {
+            return netmark::Status::ParseError("predicate value must be quoted in " +
+                                               path.expr_);
+          }
+          step.pred_value = std::string(value.substr(1, value.size() - 2));
+        }
+        if (step.pred_name.empty()) {
+          return netmark::Status::ParseError("empty predicate name in " + path.expr_);
+        }
+      }
+      i = close + 1;
+    }
+    path.steps_.push_back(std::move(step));
+    if (i < s.size()) {
+      if (s[i] != '/') {
+        return netmark::Status::ParseError("expected '/' in XPath at '" +
+                                           std::string(s.substr(i)) + "'");
+      }
+      ++i;
+      if (i < s.size() && s[i] == '/') {
+        pending_descendant = true;
+        ++i;
+      }
+      if (i >= s.size()) {
+        return netmark::Status::ParseError("dangling '/' in XPath: " + path.expr_);
+      }
+    }
+  }
+  return path;
+}
+
+bool XPath::PredicateHolds(const xml::Document& doc, xml::NodeId node,
+                           const Step& step) const {
+  switch (step.pred) {
+    case Step::PredKind::kNone:
+    case Step::PredKind::kIndex:  // handled positionally by the caller
+      return true;
+    case Step::PredKind::kAttrExists:
+      return doc.HasAttribute(node, step.pred_name);
+    case Step::PredKind::kAttrEquals:
+      return doc.HasAttribute(node, step.pred_name) &&
+             doc.GetAttribute(node, step.pred_name) == step.pred_value;
+    case Step::PredKind::kChildExists:
+      return doc.FirstChildElement(node, step.pred_name) != xml::kInvalidNode;
+    case Step::PredKind::kChildEquals: {
+      for (xml::NodeId c = doc.first_child(node); c != xml::kInvalidNode;
+           c = doc.next_sibling(c)) {
+        if (doc.kind(c) == xml::NodeKind::kElement && doc.name(c) == step.pred_name &&
+            doc.TextContent(c) == step.pred_value) {
+          return true;
+        }
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+bool NameMatches(const xml::Document& doc, xml::NodeId node, const std::string& test) {
+  if (test == "text()") {
+    return doc.kind(node) == xml::NodeKind::kText ||
+           doc.kind(node) == xml::NodeKind::kCData;
+  }
+  if (doc.kind(node) != xml::NodeKind::kElement) return false;
+  return test == "*" || doc.name(node) == test;
+}
+
+void CollectDescendants(const xml::Document& doc, xml::NodeId node,
+                        std::vector<xml::NodeId>* out) {
+  out->push_back(node);
+  for (xml::NodeId c = doc.first_child(node); c != xml::kInvalidNode;
+       c = doc.next_sibling(c)) {
+    CollectDescendants(doc, c, out);
+  }
+}
+
+}  // namespace
+
+std::vector<xml::NodeId> XPath::Apply(const xml::Document& doc,
+                                      const std::vector<xml::NodeId>& context,
+                                      size_t from) const {
+  std::vector<xml::NodeId> current = context;
+  for (size_t si = from; si < steps_.size(); ++si) {
+    const Step& step = steps_[si];
+    if (step.axis == Step::Axis::kAttribute) {
+      // Attribute steps terminate node selection; SelectNodes yields nothing,
+      // EvaluateStrings handles them separately.
+      return {};
+    }
+    std::vector<xml::NodeId> next;
+    for (xml::NodeId node : current) {
+      std::vector<xml::NodeId> matched;
+      switch (step.axis) {
+        case Step::Axis::kSelf:
+          matched.push_back(node);
+          break;
+        case Step::Axis::kParent: {
+          xml::NodeId p = doc.parent(node);
+          if (p != xml::kInvalidNode) matched.push_back(p);
+          break;
+        }
+        case Step::Axis::kDescendant: {
+          std::vector<xml::NodeId> all;
+          CollectDescendants(doc, node, &all);
+          for (xml::NodeId d : all) {
+            if (NameMatches(doc, d, step.name)) matched.push_back(d);
+          }
+          break;
+        }
+        case Step::Axis::kChild:
+        default: {
+          for (xml::NodeId c = doc.first_child(node); c != xml::kInvalidNode;
+               c = doc.next_sibling(c)) {
+            if (NameMatches(doc, c, step.name)) matched.push_back(c);
+          }
+          break;
+        }
+      }
+      // Predicates filter per context node (XPath positional semantics are
+      // relative to each context node's match list).
+      std::vector<xml::NodeId> kept;
+      int position = 0;
+      for (xml::NodeId m : matched) {
+        if (!PredicateHolds(doc, m, step)) continue;
+        ++position;
+        if (step.pred == Step::PredKind::kIndex && position != step.index) continue;
+        kept.push_back(m);
+      }
+      next.insert(next.end(), kept.begin(), kept.end());
+    }
+    // De-duplicate while keeping document order stability (ids ascend in
+    // creation order which matches document order for parsed docs).
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    current = std::move(next);
+    if (current.empty()) break;
+  }
+  return current;
+}
+
+std::vector<xml::NodeId> XPath::SelectNodes(const xml::Document& doc,
+                                            xml::NodeId context) const {
+  std::vector<xml::NodeId> start = {absolute_ ? doc.root() : context};
+  return Apply(doc, start, 0);
+}
+
+std::vector<std::string> XPath::EvaluateStrings(const xml::Document& doc,
+                                                xml::NodeId context) const {
+  // Attribute-final paths need the node-set up to the last step.
+  if (!steps_.empty() && steps_.back().axis == Step::Axis::kAttribute) {
+    XPath prefix = *this;
+    Step last = prefix.steps_.back();
+    prefix.steps_.pop_back();
+    std::vector<xml::NodeId> nodes = prefix.SelectNodes(doc, context);
+    std::vector<std::string> out;
+    for (xml::NodeId n : nodes) {
+      if (last.name == "*") {
+        for (const xml::Attribute& a : doc.attributes(n)) out.push_back(a.value);
+      } else if (doc.HasAttribute(n, last.name)) {
+        out.emplace_back(doc.GetAttribute(n, last.name));
+      }
+    }
+    return out;
+  }
+  std::vector<std::string> out;
+  for (xml::NodeId n : SelectNodes(doc, context)) {
+    out.push_back(doc.kind(n) == xml::NodeKind::kText ||
+                          doc.kind(n) == xml::NodeKind::kCData
+                      ? doc.data(n)
+                      : doc.TextContent(n));
+  }
+  return out;
+}
+
+std::string XPath::EvaluateString(const xml::Document& doc, xml::NodeId context) const {
+  std::vector<std::string> strings = EvaluateStrings(doc, context);
+  return strings.empty() ? "" : strings.front();
+}
+
+bool XPath::EvaluateBool(const xml::Document& doc, xml::NodeId context) const {
+  if (!steps_.empty() && steps_.back().axis == Step::Axis::kAttribute) {
+    return !EvaluateStrings(doc, context).empty();
+  }
+  return !SelectNodes(doc, context).empty();
+}
+
+}  // namespace netmark::xslt

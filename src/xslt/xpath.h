@@ -1,0 +1,83 @@
+// XPath-lite: the path-expression subset the XSLT-lite engine evaluates.
+//
+// Supported grammar (sufficient for the result-composition stylesheets the
+// paper runs through Xalan):
+//
+//   path      := ('/')? step ('/' step)*  |  '//' step ('/' step)* | '.'
+//   step      := axis? nametest predicate?
+//   axis      := '@'            (attribute)  |  '..'  (parent) | '.' (self)
+//   nametest  := NAME | '*' | 'text()'
+//   predicate := '[' INT ']'                     positional (1-based)
+//              | '[' '@' NAME '=' QUOTED ']'     attribute equality
+//              | '[' NAME '=' QUOTED ']'         child string-value equality
+//              | '[' '@' NAME ']'                attribute existence
+//              | '[' NAME ']'                    child existence
+//
+// '//' as a path prefix (or between steps) selects descendants-or-self.
+
+#ifndef NETMARK_XSLT_XPATH_H_
+#define NETMARK_XSLT_XPATH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/dom.h"
+
+namespace netmark::xslt {
+
+/// \brief Compiled path expression.
+class XPath {
+ public:
+  /// Compiles an expression; syntax errors are reported with the offending
+  /// fragment.
+  static netmark::Result<XPath> Parse(std::string_view expr);
+
+  /// Selects element/text nodes. Paths ending in `@attr` return an empty
+  /// node-set (attributes are not nodes here; use EvaluateStrings).
+  std::vector<xml::NodeId> SelectNodes(const xml::Document& doc,
+                                       xml::NodeId context) const;
+
+  /// String results: for element/text node-sets the string-value of each
+  /// node; for `@attr` endings the attribute values.
+  std::vector<std::string> EvaluateStrings(const xml::Document& doc,
+                                           xml::NodeId context) const;
+
+  /// First string result or "" (XPath string() semantics on a node-set).
+  std::string EvaluateString(const xml::Document& doc, xml::NodeId context) const;
+
+  /// XPath boolean(): true when the selection is non-empty (and, for string
+  /// results, any string is non-empty? no — non-empty node-set suffices).
+  bool EvaluateBool(const xml::Document& doc, xml::NodeId context) const;
+
+  const std::string& expression() const { return expr_; }
+
+ private:
+  friend class XPathParserAccess;
+  struct Step {
+    enum class Axis { kChild, kDescendant, kAttribute, kSelf, kParent };
+    enum class PredKind { kNone, kIndex, kAttrEquals, kChildEquals, kAttrExists,
+                          kChildExists };
+    Axis axis = Axis::kChild;
+    std::string name;  // element name, attribute name, "*", or "text()"
+    PredKind pred = PredKind::kNone;
+    int index = 0;                // kIndex (1-based)
+    std::string pred_name;        // attr/child name for predicates
+    std::string pred_value;       // comparison value
+  };
+
+  // Applies steps [from..end) to the node-set, returning matching nodes.
+  std::vector<xml::NodeId> Apply(const xml::Document& doc,
+                                 const std::vector<xml::NodeId>& context,
+                                 size_t from) const;
+  bool PredicateHolds(const xml::Document& doc, xml::NodeId node,
+                      const Step& step) const;
+
+  std::string expr_;
+  bool absolute_ = false;
+  std::vector<Step> steps_;
+};
+
+}  // namespace netmark::xslt
+
+#endif  // NETMARK_XSLT_XPATH_H_

@@ -1,0 +1,163 @@
+#include "baseline/gav_mediator.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/query_workload.h"
+
+namespace netmark::baseline {
+namespace {
+
+RecordSource SmallSource(const std::string& name, const std::string& attr) {
+  RecordSource s;
+  s.name = name;
+  s.attributes = {attr, "division"};
+  s.records = {{{attr, "v1"}, {"division", "Science"}},
+               {{attr, "v2"}, {"division", "Safety"}}};
+  return s;
+}
+
+TEST(PredicateTest, NumericAndLexicographic) {
+  Record r = {{"score", "10"}, {"name", "beta"}};
+  EXPECT_TRUE((Predicate{"score", Predicate::Op::kEq, "10"}.Eval(r)));
+  EXPECT_FALSE((Predicate{"score", Predicate::Op::kLt, "9.5"}.Eval(r)));
+  EXPECT_TRUE((Predicate{"score", Predicate::Op::kGt, "9.5"}.Eval(r)));
+  EXPECT_TRUE((Predicate{"score", Predicate::Op::kLe, "10"}.Eval(r)));
+  EXPECT_TRUE((Predicate{"name", Predicate::Op::kGe, "alpha"}.Eval(r)));
+  EXPECT_TRUE((Predicate{"name", Predicate::Op::kNe, "gamma"}.Eval(r)));
+  EXPECT_FALSE((Predicate{"missing", Predicate::Op::kEq, "x"}.Eval(r)));
+}
+
+TEST(GavMediatorTest, ArtifactsCountedPerSchemaViewAndMapping) {
+  GavMediator mediator;
+  EXPECT_EQ(mediator.artifacts_authored(), 0u);
+  ASSERT_TRUE(mediator.RegisterSource(SmallSource("s1", "a")).ok());
+  ASSERT_TRUE(mediator.RegisterSource(SmallSource("s2", "b")).ok());
+  EXPECT_EQ(mediator.artifacts_authored(), 2u);
+
+  GlobalView view;
+  view.name = "v";
+  view.attributes = {"x"};
+  view.mappings = {SourceMapping{"s1", {{"x", "a"}}, {}},
+                   SourceMapping{"s2", {{"x", "b"}}, {}}};
+  ASSERT_TRUE(mediator.DefineView(view).ok());
+  EXPECT_EQ(mediator.artifacts_authored(), 5u);  // 2 schemas + 1 view + 2 mappings
+}
+
+TEST(GavMediatorTest, SchemaEnforcement) {
+  GavMediator mediator;
+  RecordSource bad;
+  bad.name = "bad";
+  bad.attributes = {"declared"};
+  bad.records = {{{"undeclared", "x"}}};
+  EXPECT_TRUE(mediator.RegisterSource(bad).IsInvalidArgument());
+
+  RecordSource no_schema;
+  no_schema.name = "empty";
+  EXPECT_TRUE(mediator.RegisterSource(no_schema).IsInvalidArgument());
+
+  ASSERT_TRUE(mediator.RegisterSource(SmallSource("s", "a")).ok());
+  EXPECT_TRUE(mediator.RegisterSource(SmallSource("s", "a")).IsAlreadyExists());
+}
+
+TEST(GavMediatorTest, ViewValidation) {
+  GavMediator mediator;
+  ASSERT_TRUE(mediator.RegisterSource(SmallSource("s", "a")).ok());
+  GlobalView ghost;
+  ghost.name = "g";
+  ghost.attributes = {"x"};
+  ghost.mappings = {SourceMapping{"nosuch", {{"x", "a"}}, {}}};
+  EXPECT_TRUE(mediator.DefineView(ghost).IsNotFound());
+
+  GlobalView unmapped;
+  unmapped.name = "u";
+  unmapped.attributes = {"x"};
+  unmapped.mappings = {SourceMapping{"s", {}, {}}};
+  EXPECT_TRUE(mediator.DefineView(unmapped).IsInvalidArgument());
+
+  GlobalView badattr;
+  badattr.name = "b";
+  badattr.attributes = {"x"};
+  badattr.mappings = {SourceMapping{"s", {{"x", "notdeclared"}}, {}}};
+  EXPECT_TRUE(mediator.DefineView(badattr).IsInvalidArgument());
+}
+
+TEST(GavMediatorTest, TopEmployeesOfNasaExample) {
+  // The paper's §4 walkthrough: three centers with heterogeneous rating
+  // systems unified into one "Top Employees" view.
+  GavMediator mediator;
+  ASSERT_TRUE(
+      mediator.RegisterSource(workload::EmployeeSource(1, "Ames", 50)).ok());
+  ASSERT_TRUE(
+      mediator.RegisterSource(workload::EmployeeSource(2, "Johnson", 50)).ok());
+  ASSERT_TRUE(
+      mediator.RegisterSource(workload::EmployeeSource(3, "Kennedy", 50)).ok());
+
+  GlobalView top;
+  top.name = "TopEmployees";
+  top.attributes = {"name", "division"};
+  top.mappings = {
+      // Ames: performance_rating == excellent.
+      SourceMapping{"Ames",
+                    {{"name", "employee_name"}, {"division", "division"}},
+                    {Predicate{"performance_rating", Predicate::Op::kEq,
+                               "excellent"}}},
+      // Johnson: score of 2 or better (numeric, lower is better).
+      SourceMapping{"Johnson",
+                    {{"name", "person"}, {"division", "division"}},
+                    {Predicate{"score", Predicate::Op::kLe, "2"}}},
+      // Kennedy: very good or better.
+      SourceMapping{"Kennedy",
+                    {{"name", "staff_member"}, {"division", "division"}},
+                    {Predicate{"rating", Predicate::Op::kEq, "very good"},
+                     }},
+  };
+  // Kennedy's "or better" needs a second filter alternative; model it as a
+  // second mapping (GAV views are unions of conjunctive queries).
+  top.mappings.push_back(
+      SourceMapping{"Kennedy",
+                    {{"name", "staff_member"}, {"division", "division"}},
+                    {Predicate{"rating", Predicate::Op::kEq, "outstanding"}}});
+  ASSERT_TRUE(mediator.DefineView(top).ok());
+
+  auto all = mediator.Query("TopEmployees", {});
+  ASSERT_TRUE(all.ok());
+  EXPECT_GT(all->size(), 0u);
+  for (const Record& r : *all) {
+    EXPECT_EQ(r.count("name"), 1u);
+    EXPECT_EQ(r.count("division"), 1u);
+  }
+  // Global predicates unfold onto every source.
+  auto science = mediator.Query(
+      "TopEmployees", {Predicate{"division", Predicate::Op::kEq, "Science"}});
+  ASSERT_TRUE(science.ok());
+  for (const Record& r : *science) {
+    EXPECT_EQ(r.at("division"), "Science");
+  }
+  EXPECT_LT(science->size(), all->size());
+  // The mediation machinery cost: 3 schemas + 1 view + 4 mappings.
+  EXPECT_EQ(mediator.artifacts_authored(), 8u);
+}
+
+TEST(GavMediatorTest, QueryUnknownViewFails) {
+  GavMediator mediator;
+  EXPECT_TRUE(mediator.Query("nope", {}).status().IsNotFound());
+  EXPECT_TRUE(mediator.QuerySource("nope", {}).status().IsNotFound());
+}
+
+TEST(GavMediatorTest, ResultsCarrySourceProvenance) {
+  GavMediator mediator;
+  ASSERT_TRUE(mediator.RegisterSource(SmallSource("s1", "a")).ok());
+  GlobalView view;
+  view.name = "v";
+  view.attributes = {"x"};
+  view.mappings = {SourceMapping{"s1", {{"x", "a"}}, {}}};
+  ASSERT_TRUE(mediator.DefineView(view).ok());
+  auto rows = mediator.Query("v", {});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0].at("_source"), "s1");
+  EXPECT_EQ((*rows)[0].at("x"), "v1");
+}
+
+}  // namespace
+}  // namespace netmark::baseline

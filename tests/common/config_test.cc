@@ -1,0 +1,80 @@
+#include "common/config.h"
+
+#include <gtest/gtest.h>
+
+namespace netmark {
+namespace {
+
+constexpr const char* kSample = R"(
+# top-level comment
+root_key = root value
+
+[Context]
+tags = h1, h2, title
+; semicolon comment
+priority = 3
+
+[intense]
+tags = b, strong
+enabled = yes
+)";
+
+TEST(ConfigTest, ParsesSectionsAndKeys) {
+  auto cfg = Config::Parse(kSample);
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(*cfg->Get("", "root_key"), "root value");
+  EXPECT_EQ(*cfg->Get("context", "tags"), "h1, h2, title");
+  EXPECT_EQ(cfg->GetIntOr("context", "priority", -1), 3);
+}
+
+TEST(ConfigTest, SectionAndKeyLookupIsCaseInsensitive) {
+  auto cfg = Config::Parse(kSample);
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(*cfg->Get("CONTEXT", "TAGS"), "h1, h2, title");
+}
+
+TEST(ConfigTest, MissingEntriesReturnNotFound) {
+  auto cfg = Config::Parse(kSample);
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_TRUE(cfg->Get("context", "nope").status().IsNotFound());
+  EXPECT_TRUE(cfg->Get("nosection", "tags").status().IsNotFound());
+  EXPECT_EQ(cfg->GetOr("nosection", "tags", "fallback"), "fallback");
+}
+
+TEST(ConfigTest, BoolParsing) {
+  auto cfg = Config::Parse(kSample);
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_TRUE(cfg->GetBoolOr("intense", "enabled", false));
+  EXPECT_FALSE(cfg->GetBoolOr("intense", "missing", false));
+  EXPECT_TRUE(cfg->GetBoolOr("intense", "tags", true));  // non-bool -> fallback
+}
+
+TEST(ConfigTest, RejectsMalformedLines) {
+  EXPECT_TRUE(Config::Parse("[unterminated").status().IsParseError());
+  EXPECT_TRUE(Config::Parse("no equals sign").status().IsParseError());
+  EXPECT_TRUE(Config::Parse("= empty key").status().IsParseError());
+}
+
+TEST(ConfigTest, SetOverwritesAndCreates) {
+  Config cfg;
+  cfg.Set("s", "k", "v1");
+  EXPECT_EQ(*cfg.Get("s", "k"), "v1");
+  cfg.Set("s", "k", "v2");
+  EXPECT_EQ(*cfg.Get("s", "k"), "v2");
+  EXPECT_EQ(cfg.Keys("s").size(), 1u);
+}
+
+TEST(ConfigTest, SectionsAndKeysEnumerate) {
+  auto cfg = Config::Parse(kSample);
+  ASSERT_TRUE(cfg.ok());
+  auto sections = cfg->Sections();
+  EXPECT_EQ(sections.size(), 3u);  // "", context, intense
+  EXPECT_TRUE(cfg->HasSection("context"));
+  EXPECT_FALSE(cfg->HasSection("simulation"));
+  auto keys = cfg->Keys("intense");
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "tags");
+}
+
+}  // namespace
+}  // namespace netmark

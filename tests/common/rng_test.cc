@@ -1,0 +1,74 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace netmark {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(1234);
+  Rng b(1234);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceRespectsProbabilityRoughly) {
+  Rng rng(42);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Chance(0.3)) ++hits;
+  }
+  EXPECT_GT(hits, 2500);
+  EXPECT_LT(hits, 3500);
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(11);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 5000; ++i) ++counts[rng.Zipf(100, 1.0)];
+  // Rank 0 should dominate rank 50 heavily under theta=1.
+  EXPECT_GT(counts[0], counts[50] * 3);
+  for (const auto& [rank, count] : counts) EXPECT_LT(rank, 100u);
+}
+
+TEST(RngTest, PickCoversAllElements) {
+  Rng rng(3);
+  std::vector<int> v = {10, 20, 30};
+  std::map<int, int> seen;
+  for (int i = 0; i < 300; ++i) ++seen[rng.Pick(v)];
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+}  // namespace
+}  // namespace netmark

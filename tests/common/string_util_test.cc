@@ -1,0 +1,101 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace netmark {
+namespace {
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  abc \t\n"), "abc");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t "), "");
+  EXPECT_EQ(Trim("a b"), "a b");
+}
+
+TEST(StringUtilTest, CaseFolding) {
+  EXPECT_EQ(ToLower("MiXeD-09"), "mixed-09");
+  EXPECT_EQ(ToUpper("MiXeD-09"), "MIXED-09");
+  EXPECT_TRUE(EqualsIgnoreCase("Shuttle", "sHUTTLE"));
+  EXPECT_FALSE(EqualsIgnoreCase("Shuttle", "Shuttles"));
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("context=abc", "context="));
+  EXPECT_FALSE(StartsWith("ctx", "context"));
+  EXPECT_TRUE(EndsWith("report.xml", ".xml"));
+  EXPECT_FALSE(EndsWith("xml", ".xml"));
+}
+
+TEST(StringUtilTest, SplitPreservesEmptyFields) {
+  auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, SplitAndTrimDropsEmpties) {
+  auto parts = SplitAndTrim(" a , ,b ,", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(StringUtilTest, JoinRoundTrip) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, "::"), "x::y::z");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(ReplaceAll("none here", "xyz", "!"), "none here");
+  EXPECT_EQ(ReplaceAll("ababab", "ab", "a"), "aaa");
+}
+
+TEST(StringUtilTest, ParseInt64) {
+  EXPECT_EQ(*ParseInt64("42"), 42);
+  EXPECT_EQ(*ParseInt64("  -7 "), -7);
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("999999999999999999999999").ok());
+}
+
+TEST(StringUtilTest, ParseDouble) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-1e3"), -1000.0);
+  EXPECT_FALSE(ParseDouble("1.2.3").ok());
+}
+
+TEST(StringUtilTest, UrlCodecRoundTrip) {
+  const std::string original = "Context=Technology Gap&Content=Shrinking/100%";
+  std::string encoded = UrlEncode(original);
+  EXPECT_EQ(encoded.find('&'), std::string::npos);
+  EXPECT_EQ(encoded.find('='), std::string::npos);
+  auto decoded = UrlDecode(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, original);
+}
+
+TEST(StringUtilTest, UrlDecodePlusAndPercent) {
+  EXPECT_EQ(*UrlDecode("a+b"), "a b");
+  EXPECT_EQ(*UrlDecode("a%20b"), "a b");
+  EXPECT_EQ(*UrlDecode("%41%42"), "AB");
+  EXPECT_FALSE(UrlDecode("%4").ok());
+  EXPECT_FALSE(UrlDecode("%GG").ok());
+}
+
+TEST(StringUtilTest, NormalizeWhitespace) {
+  EXPECT_EQ(NormalizeWhitespace("  a \n\t b  c  "), "a b c");
+  EXPECT_EQ(NormalizeWhitespace(""), "");
+  EXPECT_EQ(NormalizeWhitespace(" \n "), "");
+}
+
+TEST(StringUtilTest, StringPrintf) {
+  EXPECT_EQ(StringPrintf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StringPrintf("%s", ""), "");
+}
+
+}  // namespace
+}  // namespace netmark

@@ -1,0 +1,58 @@
+// Property test: EmitCsv ∘ ParseCsv is the identity on arbitrary tables.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "convert/csv_converter.h"
+
+namespace netmark::convert {
+namespace {
+
+std::string RandomField(netmark::Rng* rng) {
+  static const std::string kAlphabet =
+      "abcXYZ089 ,\"\n\r;|'\t-_=%&";
+  size_t len = rng->Uniform(12);
+  std::string out;
+  for (size_t i = 0; i < len; ++i) {
+    out += kAlphabet[rng->Uniform(kAlphabet.size())];
+  }
+  return out;
+}
+
+class CsvRoundTripProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CsvRoundTripProperty, EmitParseIsIdentity) {
+  netmark::Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t n_rows = 1 + rng.Uniform(10);
+    size_t n_cols = 1 + rng.Uniform(6);
+    std::vector<std::vector<std::string>> table(n_rows);
+    for (auto& row : table) {
+      for (size_t c = 0; c < n_cols; ++c) row.push_back(RandomField(&rng));
+      // ParseCsv drops fully-empty rows; ensure at least one non-empty field.
+      if (row.back().empty()) row.back() = "x";
+    }
+    std::string csv = EmitCsv(table);
+    auto parsed = ParseCsv(csv);
+    ASSERT_EQ(parsed.size(), table.size()) << "trial " << trial << "\n" << csv;
+    for (size_t r = 0; r < table.size(); ++r) {
+      ASSERT_EQ(parsed[r].size(), table[r].size()) << "row " << r << "\n" << csv;
+      for (size_t c = 0; c < table[r].size(); ++c) {
+        EXPECT_EQ(parsed[r][c], table[r][c])
+            << "cell (" << r << "," << c << ")\n" << csv;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvRoundTripProperty,
+                         ::testing::Values(1, 17, 23, 99, 4096));
+
+TEST(EmitCsvTest, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(EmitCsv({{"plain", "a,b", "say \"hi\"", "line\nbreak"}}),
+            "plain,\"a,b\",\"say \"\"hi\"\"\",\"line\nbreak\"\n");
+  EXPECT_EQ(EmitCsv({}), "");
+}
+
+}  // namespace
+}  // namespace netmark::convert

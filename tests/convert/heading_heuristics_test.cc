@@ -1,0 +1,47 @@
+#include "convert/heading_heuristics.h"
+
+#include <gtest/gtest.h>
+
+namespace netmark::convert {
+namespace {
+
+TEST(HeadingHeuristicsTest, AllCapsLinesAreHeadings) {
+  EXPECT_TRUE(LooksLikeHeading("TECHNICAL APPROACH"));
+  EXPECT_TRUE(LooksLikeHeading("BUDGET"));
+  EXPECT_TRUE(LooksLikeHeading("  RISK ASSESSMENT  "));
+}
+
+TEST(HeadingHeuristicsTest, NumberedLinesAreHeadings) {
+  EXPECT_TRUE(LooksLikeHeading("1. Introduction"));
+  EXPECT_TRUE(LooksLikeHeading("2.1 Budget Summary"));
+  EXPECT_TRUE(LooksLikeHeading("IV. Conclusions"));
+  EXPECT_TRUE(LooksLikeHeading("A. Scope"));
+}
+
+TEST(HeadingHeuristicsTest, TitleCaseShortLinesAreHeadings) {
+  EXPECT_TRUE(LooksLikeHeading("Technical Approach"));
+  EXPECT_TRUE(LooksLikeHeading("Management Plan"));
+}
+
+TEST(HeadingHeuristicsTest, SentencesAreNotHeadings) {
+  EXPECT_FALSE(LooksLikeHeading("This is a normal sentence that ends here."));
+  EXPECT_FALSE(LooksLikeHeading("the quick brown fox jumps over lazy dogs"));
+  EXPECT_FALSE(LooksLikeHeading(
+      "An Extremely Long Title Case Line That Goes On And On Well Past The "
+      "Reasonable Length Of Any Real Section Heading In A Document"));
+  EXPECT_FALSE(LooksLikeHeading(""));
+  EXPECT_FALSE(LooksLikeHeading("Budget,"));
+  EXPECT_FALSE(LooksLikeHeading("Is this a heading?"));
+}
+
+TEST(HeadingHeuristicsTest, SplitParagraphsOnBlankLines) {
+  auto paras = SplitParagraphs("line one\nline two\n\n\nsecond para\n");
+  ASSERT_EQ(paras.size(), 2u);
+  EXPECT_EQ(paras[0], "line one line two");
+  EXPECT_EQ(paras[1], "second para");
+  EXPECT_TRUE(SplitParagraphs("").empty());
+  EXPECT_TRUE(SplitParagraphs("\n\n \n").empty());
+}
+
+}  // namespace
+}  // namespace netmark::convert

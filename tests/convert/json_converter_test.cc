@@ -1,0 +1,120 @@
+#include "convert/json_converter.h"
+
+#include <gtest/gtest.h>
+
+#include "common/temp_dir.h"
+#include "convert/registry.h"
+#include "query/executor.h"
+#include "xml/serializer.h"
+#include "xmlstore/xml_store.h"
+
+namespace netmark::convert {
+namespace {
+
+// --- JSON parser ---
+
+TEST(JsonParserTest, Scalars) {
+  EXPECT_EQ(ParseJson("null")->kind, JsonValue::Kind::kNull);
+  EXPECT_TRUE(ParseJson("true")->boolean);
+  EXPECT_FALSE(ParseJson("false")->boolean);
+  EXPECT_DOUBLE_EQ(ParseJson("-12.5e2")->number, -1250.0);
+  EXPECT_EQ(ParseJson("\"hi\"")->string, "hi");
+}
+
+TEST(JsonParserTest, NestedStructures) {
+  auto v = ParseJson(R"({"a": [1, {"b": "x"}, null], "c": {}})");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  ASSERT_EQ(v->object.size(), 2u);
+  EXPECT_EQ(v->object[0].first, "a");
+  const JsonValue& arr = v->object[0].second;
+  ASSERT_EQ(arr.array.size(), 3u);
+  EXPECT_DOUBLE_EQ(arr.array[0].number, 1.0);
+  EXPECT_EQ(arr.array[1].object[0].second.string, "x");
+  EXPECT_EQ(arr.array[2].kind, JsonValue::Kind::kNull);
+  EXPECT_TRUE(v->object[1].second.object.empty());
+}
+
+TEST(JsonParserTest, StringEscapes) {
+  EXPECT_EQ(ParseJson(R"("a\"b\\c\/d\n")")->string, "a\"b\\c/d\n");
+  EXPECT_EQ(ParseJson(R"("Aé")")->string, "A\xC3\xA9");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(ParseJson(R"("😀")")->string, "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParserTest, Errors) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("truex").ok());
+  EXPECT_FALSE(ParseJson("{} trailing").ok());
+  EXPECT_FALSE(ParseJson(R"("\q")").ok());
+  EXPECT_FALSE(ParseJson(R"("\ud83dAx)").ok());  // bad low surrogate
+}
+
+// --- Converter ---
+
+ConvertContext Ctx() {
+  ConvertContext ctx;
+  ctx.file_name = "data.json";
+  return ctx;
+}
+
+TEST(JsonConverterTest, ObjectFieldsBecomeElements) {
+  JsonConverter conv;
+  auto doc = conv.Convert(
+      R"({"title": "Engine Report", "status": "green", "fiscal year": 2005,)"
+      R"( "readings": [1, 2]})",
+      Ctx());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  std::string markup = xml::Serialize(*doc);
+  EXPECT_NE(markup.find("<context>Engine Report</context>"), std::string::npos);
+  EXPECT_NE(markup.find("<status>green</status>"), std::string::npos);
+  EXPECT_NE(markup.find("<fiscal_year name=\"fiscal year\">2005</fiscal_year>"),
+            std::string::npos);
+  EXPECT_NE(markup.find("<readings><item>1</item><item>2</item></readings>"),
+            std::string::npos);
+}
+
+TEST(JsonConverterTest, SniffsRealJsonOnly) {
+  JsonConverter conv;
+  EXPECT_TRUE(conv.Sniff(R"({"a": 1})"));
+  EXPECT_TRUE(conv.Sniff("[1, 2, 3]"));
+  EXPECT_FALSE(conv.Sniff("{not json at all"));
+  EXPECT_FALSE(conv.Sniff("plain words"));
+  EXPECT_FALSE(conv.Sniff("<xml/>"));
+}
+
+TEST(JsonConverterTest, RegistryRoutesJson) {
+  ConverterRegistry registry = ConverterRegistry::Default();
+  EXPECT_EQ((*registry.Select("x.json", ""))->format(), "json");
+  EXPECT_EQ((*registry.Select("noext", R"({"k": "v"})"))->format(), "json");
+}
+
+TEST(JsonConverterTest, JsonDocumentsAreQueryable) {
+  auto dir = TempDir::Make("jsonq");
+  ASSERT_TRUE(dir.ok());
+  auto store = xmlstore::XmlStore::Open(dir->str());
+  ASSERT_TRUE(store.ok());
+  ConverterRegistry registry = ConverterRegistry::Default();
+  auto doc = registry.Convert(
+      "anomaly.json",
+      R"({"title": "Valve Anomaly", "description": "unexpected valve chatter",)"
+      R"( "severity": "critical"})");
+  ASSERT_TRUE(doc.ok());
+  xmlstore::DocumentInfo info;
+  info.file_name = "anomaly.json";
+  ASSERT_TRUE((*store)->InsertDocument(*doc, info).ok());
+
+  query::QueryExecutor executor(store->get());
+  auto q = query::ParseXdbQuery("context=Valve+Anomaly&content=chatter");
+  ASSERT_TRUE(q.ok());
+  auto hits = executor.Execute(*q);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*hits)[0].heading, "Valve Anomaly");
+}
+
+}  // namespace
+}  // namespace netmark::convert

@@ -1,0 +1,68 @@
+#include "convert/registry.h"
+
+#include <gtest/gtest.h>
+
+namespace netmark::convert {
+namespace {
+
+TEST(RegistryTest, FileExtensionExtraction) {
+  EXPECT_EQ(FileExtension("report.txt"), "txt");
+  EXPECT_EQ(FileExtension("REPORT.TXT"), "txt");
+  EXPECT_EQ(FileExtension("a/b/c.html"), "html");
+  EXPECT_EQ(FileExtension("noext"), "");
+  EXPECT_EQ(FileExtension("dir.with.dots/noext"), "");
+  EXPECT_EQ(FileExtension("archive.tar.gz"), "gz");
+}
+
+TEST(RegistryTest, SelectsByExtension) {
+  ConverterRegistry registry = ConverterRegistry::Default();
+  auto conv = registry.Select("x.md", "anything");
+  ASSERT_TRUE(conv.ok());
+  EXPECT_EQ((*conv)->format(), "md");
+  EXPECT_EQ((*registry.Select("x.doc", ""))->format(), "nrt");
+  EXPECT_EQ((*registry.Select("x.pdf", ""))->format(), "nrt");
+  EXPECT_EQ((*registry.Select("x.csv", ""))->format(), "csv");
+  EXPECT_EQ((*registry.Select("x.html", ""))->format(), "html");
+  EXPECT_EQ((*registry.Select("x.xml", ""))->format(), "xml");
+}
+
+TEST(RegistryTest, SniffsContentWhenNoExtension) {
+  ConverterRegistry registry = ConverterRegistry::Default();
+  EXPECT_EQ((*registry.Select("data", "<?xml version=\"1.0\"?><r/>"))->format(),
+            "xml");
+  EXPECT_EQ((*registry.Select("page", "<!DOCTYPE html><html></html>"))->format(),
+            "html");
+  EXPECT_EQ((*registry.Select("notes", "# Title\n\n- item\n- item\n"))->format(),
+            "md");
+  EXPECT_EQ((*registry.Select("rich", ".font 16 bold\nHeading\n"))->format(), "nrt");
+  EXPECT_EQ((*registry.Select("sheet", "a,b\n1,2\n3,4\n"))->format(), "csv");
+  EXPECT_EQ((*registry.Select("plain", "just ordinary words"))->format(), "txt");
+}
+
+TEST(RegistryTest, BinaryGarbageRejected) {
+  ConverterRegistry registry = ConverterRegistry::Default();
+  std::string binary("\x7f"
+                     "ELF\0\0\0\0",
+                     8);
+  EXPECT_TRUE(registry.Select("blob", binary).status().IsNotFound());
+}
+
+TEST(RegistryTest, ConvertEndToEnd) {
+  ConverterRegistry registry = ConverterRegistry::Default();
+  auto doc = registry.Convert("r.txt", "OVERVIEW\nThe shuttle flew.\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_NE(doc->TextContent(doc->root()).find("shuttle"), std::string::npos);
+  // Errors carry the file and format context.
+  auto bad = registry.Convert("b.doc", ".font notanumber\nx\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("b.doc"), std::string::npos);
+}
+
+TEST(RegistryTest, SupportedFormatsListsAll) {
+  ConverterRegistry registry = ConverterRegistry::Default();
+  auto formats = registry.SupportedFormats();
+  EXPECT_EQ(formats.size(), 7u);
+}
+
+}  // namespace
+}  // namespace netmark::convert

@@ -1,0 +1,72 @@
+#include "federation/augment.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+
+namespace netmark::federation {
+namespace {
+
+TEST(AugmentTest, ExtractsFlatSections) {
+  auto doc = xml::ParseXml(
+      "<html><h1>One</h1><p>first body</p><p>more</p>"
+      "<h1>Two</h1><p>second body</p></html>");
+  ASSERT_TRUE(doc.ok());
+  auto sections = ExtractSections(*doc);
+  ASSERT_EQ(sections.size(), 2u);
+  EXPECT_EQ(sections[0].heading, "One");
+  EXPECT_EQ(sections[0].text, "first body more");
+  EXPECT_EQ(sections[1].heading, "Two");
+  EXPECT_EQ(sections[1].text, "second body");
+  EXPECT_NE(sections[0].markup.find("<p>first body</p>"), std::string::npos);
+}
+
+TEST(AugmentTest, UpmarkedContextContentPairs) {
+  auto doc = xml::ParseXml(
+      "<document><context>Title</context><content>Engine lesson</content>"
+      "<context>Lesson</context><content>Inspect often.</content></document>");
+  ASSERT_TRUE(doc.ok());
+  auto sections = ExtractSections(*doc);
+  ASSERT_EQ(sections.size(), 2u);
+  EXPECT_EQ(sections[0].heading, "Title");
+  EXPECT_EQ(sections[0].text, "Engine lesson");
+}
+
+TEST(AugmentTest, NestedHeadingsFoundAtAnyDepth) {
+  auto doc = xml::ParseXml(
+      "<html><body><div><h2>Deep</h2><p>deep body</p></div></body></html>");
+  ASSERT_TRUE(doc.ok());
+  auto sections = ExtractSections(*doc);
+  ASSERT_EQ(sections.size(), 1u);
+  EXPECT_EQ(sections[0].heading, "Deep");
+  EXPECT_EQ(sections[0].text, "deep body");
+}
+
+TEST(AugmentTest, NoHeadingsMeansNoSections) {
+  auto doc = xml::ParseXml("<d><p>just text</p></d>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(ExtractSections(*doc).empty());
+}
+
+TEST(AugmentTest, FromMarkupFallsBackToHtml) {
+  // Unbalanced markup rejected by the XML parser goes through HTML parsing.
+  auto sections = ExtractSectionsFromMarkup(
+      "<html><h1>Loose</h1><p>unclosed paragraph</html>");
+  ASSERT_TRUE(sections.ok());
+  ASSERT_EQ(sections->size(), 1u);
+  EXPECT_EQ((*sections)[0].heading, "Loose");
+}
+
+TEST(AugmentTest, CustomNodeTypeConfig) {
+  xml::NodeTypeConfig cfg;  // empty: nothing is a context tag
+  auto doc = xml::ParseXml("<d><h1>Not A Heading Now</h1><p>x</p></d>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(ExtractSections(*doc, cfg).empty());
+  cfg.AddContextTag("p");
+  auto sections = ExtractSections(*doc, cfg);
+  ASSERT_EQ(sections.size(), 1u);
+  EXPECT_EQ(sections[0].heading, "x");
+}
+
+}  // namespace
+}  // namespace netmark::federation

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "common/temp_dir.h"
+#include "federation/content_only_source.h"
+#include "federation/local_source.h"
+#include "federation/remote_source.h"
+#include "xml/parser.h"
+
+namespace netmark::federation {
+namespace {
+
+TEST(ContentOnlySourceTest, IgnoresContextAndMatchesKeywords) {
+  ContentOnlySource source("lessons");
+  auto doc = xml::ParseXml(
+      "<document><context>Title</context><content>turbine wear</content>"
+      "</document>");
+  ASSERT_TRUE(doc.ok());
+  source.AddDocument("l1.xml", *doc);
+  EXPECT_EQ(source.document_count(), 1u);
+
+  query::XdbQuery q;
+  q.content = "turbine";
+  q.context = "Completely Ignored";
+  auto hits = source.Execute(q);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*hits)[0].file_name, "l1.xml");
+  EXPECT_FALSE((*hits)[0].markup.empty());
+
+  // No content key -> nothing (it cannot do context search at all).
+  query::XdbQuery ctx_only;
+  ctx_only.context = "Title";
+  EXPECT_TRUE(source.Execute(ctx_only)->empty());
+}
+
+TEST(ContentOnlySourceTest, PhraseDegradesToConjunction) {
+  ContentOnlySource source("s");
+  auto doc = xml::ParseXml(
+      "<document><content>gap technology report</content></document>");
+  ASSERT_TRUE(doc.ok());
+  source.AddDocument("d.xml", *doc);
+  query::XdbQuery q;
+  q.content = "\"technology gap\"";  // words present but not adjacent
+  auto hits = source.Execute(q);
+  ASSERT_TRUE(hits.ok());
+  // The limited source returns it anyway (false positive by design)...
+  EXPECT_EQ(hits->size(), 1u);
+  // ...and its capabilities say so, which is what tells the router to
+  // re-verify.
+  EXPECT_FALSE(source.capabilities().phrase_search);
+}
+
+TEST(LocalSourceTest, FullCapabilityExecution) {
+  auto dir = netmark::TempDir::Make("localsource");
+  ASSERT_TRUE(dir.ok());
+  auto store = xmlstore::XmlStore::Open(dir->str());
+  ASSERT_TRUE(store.ok());
+  auto doc = xml::ParseXml("<d><h1>Budget</h1><p>amount 100</p></d>");
+  ASSERT_TRUE(doc.ok());
+  xmlstore::DocumentInfo info;
+  info.file_name = "d.xml";
+  ASSERT_TRUE((*store)->InsertDocument(*doc, info).ok());
+
+  LocalStoreSource source("local", store->get());
+  EXPECT_TRUE(source.capabilities().context_search);
+  query::XdbQuery q;
+  q.context = "Budget";
+  auto hits = source.Execute(q);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*hits)[0].heading, "Budget");
+  EXPECT_NE((*hits)[0].markup.find("<h1>Budget</h1>"), std::string::npos);
+}
+
+TEST(RemoteSourceTest, ParsesResultsDocuments) {
+  const char* body =
+      "<results query=\"context=Budget\" count=\"2\">"
+      "<result doc=\"a.xml\" docid=\"1\"><context>Budget</context>"
+      "<content><p>one <b>hundred</b></p></content></result>"
+      "<result doc=\"b.xml\" docid=\"2\"/>"
+      "</results>";
+  auto hits = ParseResultsDocument(body);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 2u);
+  EXPECT_EQ((*hits)[0].file_name, "a.xml");
+  EXPECT_EQ((*hits)[0].doc_id, 1);
+  EXPECT_EQ((*hits)[0].heading, "Budget");
+  EXPECT_EQ((*hits)[0].text, "one hundred");
+  EXPECT_NE((*hits)[0].markup.find("<b>hundred</b>"), std::string::npos);
+  EXPECT_EQ((*hits)[1].file_name, "b.xml");
+  EXPECT_TRUE((*hits)[1].heading.empty());
+}
+
+TEST(RemoteSourceTest, RejectsNonResultsPayload) {
+  EXPECT_FALSE(ParseResultsDocument("<error>boom</error>").ok());
+  EXPECT_FALSE(ParseResultsDocument("not xml at all").ok());
+}
+
+class FakeTransport : public HttpTransport {
+ public:
+  explicit FakeTransport(std::string body) : body_(std::move(body)) {}
+  netmark::Result<std::string> Get(const std::string& path_and_query) override {
+    last_path = path_and_query;
+    return body_;
+  }
+  std::string last_path;
+
+ private:
+  std::string body_;
+};
+
+TEST(RemoteSourceTest, BuildsXdbUrlsAndParses) {
+  auto transport = std::make_unique<FakeTransport>(
+      "<results><result doc=\"r.xml\" docid=\"3\"><context>C</context>"
+      "<content>body</content></result></results>");
+  FakeTransport* raw = transport.get();
+  RemoteSource source("remote", std::move(transport));
+  query::XdbQuery q;
+  q.context = "Technology Gap";
+  auto hits = source.Execute(q);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(raw->last_path, "/xdb?context=Technology+Gap");
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*hits)[0].doc_id, 3);
+}
+
+}  // namespace
+}  // namespace netmark::federation

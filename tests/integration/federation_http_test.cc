@@ -1,0 +1,131 @@
+// Federation over live HTTP: two NETMARK servers + a content-only source
+// behind one databank router (the Anomaly Tracking topology, Fig 8).
+
+#include <gtest/gtest.h>
+
+#include "common/temp_dir.h"
+#include "core/netmark.h"
+#include "federation/content_only_source.h"
+#include "federation/remote_source.h"
+#include "server/http_client.h"
+#include "workload/corpus.h"
+#include "xml/parser.h"
+
+namespace netmark {
+namespace {
+
+class FederationHttpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = TempDir::Make("fedhttp");
+    ASSERT_TRUE(dir.ok());
+    dir_ = std::make_unique<TempDir>(std::move(*dir));
+
+    // Two remote NETMARK instances, each holding anomaly reports.
+    workload::CorpusGenerator gen(555);
+    for (int s = 0; s < 2; ++s) {
+      NetmarkOptions options;
+      options.data_dir = dir_->Sub("remote" + std::to_string(s)).string();
+      auto nm = Netmark::Open(options);
+      ASSERT_TRUE(nm.ok());
+      for (int i = 0; i < 4; ++i) {
+        auto doc = gen.AnomalyReport(s * 100 + i);
+        ASSERT_TRUE((*nm)->IngestContent(doc.file_name, doc.content).ok());
+      }
+      ASSERT_TRUE((*nm)->StartServer().ok());
+      remotes_.push_back(std::move(*nm));
+    }
+
+    // The local coordinator.
+    NetmarkOptions options;
+    options.data_dir = dir_->Sub("local").string();
+    auto nm = Netmark::Open(options);
+    ASSERT_TRUE(nm.ok());
+    local_ = std::move(*nm);
+
+    for (size_t s = 0; s < remotes_.size(); ++s) {
+      ASSERT_TRUE(local_
+                      ->RegisterSource(std::make_shared<federation::RemoteSource>(
+                          "anomaly-db-" + std::to_string(s),
+                          std::make_unique<server::SocketTransport>(
+                              "127.0.0.1", remotes_[s]->server_port())))
+                      .ok());
+    }
+    ASSERT_TRUE(local_->DefineDatabank("anomalies",
+                                       {"anomaly-db-0", "anomaly-db-1"})
+                    .ok());
+  }
+
+  void TearDown() override {
+    for (auto& nm : remotes_) nm->StopServer();
+  }
+
+  std::unique_ptr<TempDir> dir_;
+  std::vector<std::unique_ptr<Netmark>> remotes_;
+  std::unique_ptr<Netmark> local_;
+};
+
+TEST_F(FederationHttpTest, SimultaneousQueryAcrossLiveServers) {
+  // Every anomaly report has an "Anomaly Description" section.
+  auto hits = local_->QueryDatabank("anomalies", "context=Anomaly+Description");
+  ASSERT_TRUE(hits.ok()) << hits.status().ToString();
+  EXPECT_EQ(hits->size(), 8u);
+  size_t from_0 = 0, from_1 = 0;
+  for (const auto& hit : *hits) {
+    if (hit.source == "anomaly-db-0") ++from_0;
+    if (hit.source == "anomaly-db-1") ++from_1;
+    EXPECT_EQ(hit.heading, "Anomaly Description");
+    EXPECT_FALSE(hit.text.empty());
+  }
+  EXPECT_EQ(from_0, 4u);
+  EXPECT_EQ(from_1, 4u);
+}
+
+TEST_F(FederationHttpTest, CombinedQueryOverHttp) {
+  auto hits = local_->QueryDatabank("anomalies",
+                                    "context=Disposition&content=critical");
+  ASSERT_TRUE(hits.ok());
+  for (const auto& hit : *hits) {
+    EXPECT_EQ(hit.heading, "Disposition");
+    EXPECT_NE(hit.text.find("critical"), std::string::npos);
+  }
+  // Sanity: the complementary severity exists too and sets differ.
+  auto minor = local_->QueryDatabank("anomalies",
+                                     "context=Disposition&content=minor");
+  ASSERT_TRUE(minor.ok());
+  EXPECT_EQ(hits->size() + minor->size(), 8u);
+}
+
+TEST_F(FederationHttpTest, DeadSourceDoesNotBreakTheDatabank) {
+  // Register a source pointing at a dead port; the databank keeps serving.
+  ASSERT_TRUE(local_
+                  ->RegisterSource(std::make_shared<federation::RemoteSource>(
+                      "dead",
+                      std::make_unique<server::SocketTransport>("127.0.0.1", 1)))
+                  .ok());
+  ASSERT_TRUE(local_->DefineDatabank(
+                      "with-dead", {"anomaly-db-0", "dead", "anomaly-db-1"})
+                  .ok());
+  auto hits = local_->QueryDatabank("with-dead", "context=Anomaly+Description");
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 8u);
+  EXPECT_EQ(local_->router()->stats().sources_queried, 3u);
+}
+
+TEST_F(FederationHttpTest, DatabankExposedThroughLocalHttpEndpoint) {
+  ASSERT_TRUE(local_->StartServer().ok());
+  server::HttpClient client("127.0.0.1", local_->server_port());
+  auto resp =
+      client.Get("/xdb?context=Corrective+Action&databank=anomalies");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+  auto doc = xml::ParseXml(resp->body);
+  ASSERT_TRUE(doc.ok());
+  xml::NodeId results = doc->DocumentElement();
+  EXPECT_EQ(doc->name(results), "results");
+  EXPECT_EQ(doc->ChildElements(results).size(), 8u);
+  local_->StopServer();
+}
+
+}  // namespace
+}  // namespace netmark

@@ -1,0 +1,196 @@
+#include "query/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/temp_dir.h"
+#include "xml/parser.h"
+
+namespace netmark::query {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = netmark::TempDir::Make("executor");
+    ASSERT_TRUE(dir.ok());
+    dir_ = std::make_unique<netmark::TempDir>(std::move(*dir));
+    auto store = xmlstore::XmlStore::Open(dir_->str());
+    ASSERT_TRUE(store.ok());
+    store_ = std::move(*store);
+
+    Insert("paper.xml",
+           "<doc>"
+           "<h1>Introduction</h1><p>Integration middleware is heavy.</p>"
+           "<h1>Technology Gap</h1><p>The technology gap is shrinking.</p>"
+           "<h1>Conclusions</h1><p>Lean middleware wins.</p>"
+           "</doc>");
+    Insert("report.xml",
+           "<doc>"
+           "<h1>Budget</h1><p>The shuttle program budget is large.</p>"
+           "<h1>Technology Gap</h1><p>Still widening in avionics.</p>"
+           "</doc>");
+    Insert("memo.xml", "<doc><h1>Notes</h1><p>shuttle avionics telemetry</p></doc>");
+  }
+
+  void Insert(const std::string& name, const char* markup) {
+    auto doc = xml::ParseXml(markup);
+    ASSERT_TRUE(doc.ok());
+    xmlstore::DocumentInfo info;
+    info.file_name = name;
+    ASSERT_TRUE(store_->InsertDocument(*doc, info).ok());
+  }
+
+  std::vector<QueryHit> Run(const std::string& query_string,
+                            ExecuteOptions options = {}) {
+    auto q = ParseXdbQuery(query_string);
+    EXPECT_TRUE(q.ok());
+    QueryExecutor executor(store_.get(), options);
+    auto hits = executor.Execute(*q);
+    EXPECT_TRUE(hits.ok()) << hits.status().ToString();
+    return hits.ok() ? *hits : std::vector<QueryHit>{};
+  }
+
+  std::unique_ptr<netmark::TempDir> dir_;
+  std::unique_ptr<xmlstore::XmlStore> store_;
+};
+
+TEST_F(ExecutorTest, ContextSearchReturnsMatchingSectionsAcrossDocs) {
+  auto hits = Run("context=Technology+Gap");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].file_name, "paper.xml");
+  EXPECT_EQ(hits[0].heading, "Technology Gap");
+  EXPECT_NE(hits[0].text.find("shrinking"), std::string::npos);
+  EXPECT_EQ(hits[1].file_name, "report.xml");
+  EXPECT_NE(hits[1].text.find("widening"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, ContextSearchDoesNotMatchBodyMentions) {
+  // "technology" appears in paper.xml body text; only headings qualify.
+  auto hits = Run("context=Introduction");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].heading, "Introduction");
+}
+
+TEST_F(ExecutorTest, ContentSearchReturnsWholeDocuments) {
+  auto hits = Run("content=shuttle");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].file_name, "report.xml");
+  EXPECT_EQ(hits[1].file_name, "memo.xml");
+  EXPECT_FALSE(hits[0].context.valid());
+}
+
+TEST_F(ExecutorTest, ContentHitsCarrySnippets) {
+  auto hits = Run("content=shuttle");
+  ASSERT_EQ(hits.size(), 2u);
+  // The report.xml match sits in its Budget section.
+  EXPECT_EQ(hits[0].heading, "Budget");
+  EXPECT_NE(hits[0].text.find("shuttle program"), std::string::npos);
+  EXPECT_EQ(hits[1].heading, "Notes");
+}
+
+TEST_F(ExecutorTest, MultiTermContentIsDocumentConjunction) {
+  // "shuttle" and "telemetry" co-occur only in memo.xml (different docs
+  // otherwise).
+  auto hits = Run("content=shuttle+telemetry");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].file_name, "memo.xml");
+}
+
+TEST_F(ExecutorTest, CombinedQueryScopesContentToSection) {
+  auto hits = Run("context=Technology+Gap&content=shrinking");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].file_name, "paper.xml");
+  // "budget" is in report.xml's Budget section, not its Technology Gap one.
+  EXPECT_TRUE(Run("context=Technology+Gap&content=budget").empty());
+}
+
+TEST_F(ExecutorTest, PhraseQueries) {
+  auto hits = Run("context=%22Technology+Gap%22");
+  EXPECT_EQ(hits.size(), 2u);
+  EXPECT_TRUE(Run("context=%22Gap+Technology%22").empty());
+}
+
+TEST_F(ExecutorTest, DocScopeFilters) {
+  auto hits = Run("context=Technology+Gap&doc=1");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].doc_id, 1);
+}
+
+TEST_F(ExecutorTest, LimitTruncates) {
+  EXPECT_EQ(Run("context=Technology+Gap&limit=1").size(), 1u);
+}
+
+TEST_F(ExecutorTest, EmptyQueryIsInvalid) {
+  QueryExecutor executor(store_.get());
+  EXPECT_TRUE(executor.Execute(XdbQuery{}).status().IsInvalidArgument());
+}
+
+TEST_F(ExecutorTest, NoMatchesIsEmptyNotError) {
+  EXPECT_TRUE(Run("context=Nonexistent").empty());
+  EXPECT_TRUE(Run("content=zzzzzz").empty());
+}
+
+TEST_F(ExecutorTest, ScanFallbackAgreesWithIndex) {
+  ExecuteOptions scan;
+  scan.use_text_index = false;
+  for (const char* qs :
+       {"context=Technology+Gap", "content=shuttle",
+        "context=Technology+Gap&content=shrinking", "content=shuttle+telemetry"}) {
+    auto indexed = Run(qs);
+    auto scanned = Run(qs, scan);
+    ASSERT_EQ(indexed.size(), scanned.size()) << qs;
+    for (size_t i = 0; i < indexed.size(); ++i) {
+      EXPECT_EQ(indexed[i].doc_id, scanned[i].doc_id) << qs;
+      EXPECT_EQ(indexed[i].heading, scanned[i].heading) << qs;
+    }
+  }
+}
+
+TEST_F(ExecutorTest, IndexJoinWalksAgreeWithRowidWalks) {
+  ExecuteOptions joins;
+  joins.use_index_joins_for_walks = true;
+  for (const char* qs :
+       {"context=Technology+Gap", "context=Budget&content=shuttle"}) {
+    auto rowid_hits = Run(qs);
+    auto join_hits = Run(qs, joins);
+    ASSERT_EQ(rowid_hits.size(), join_hits.size()) << qs;
+    for (size_t i = 0; i < rowid_hits.size(); ++i) {
+      EXPECT_EQ(rowid_hits[i].context, join_hits[i].context) << qs;
+    }
+  }
+}
+
+TEST_F(ExecutorTest, IntenseMarkupBoostsContentRanking) {
+  // Same term frequency, but one document emphasizes the term.
+  Insert("plain.xml", "<doc><h1>A</h1><p>turbopump mentioned casually</p></doc>");
+  Insert("intense.xml", "<doc><h1>A</h1><p><b>turbopump</b> is critical</p></doc>");
+  auto hits = Run("content=turbopump");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].file_name, "intense.xml");  // emphasized match ranks first
+  EXPECT_GT(hits[0].score, hits[1].score);
+  EXPECT_EQ(hits[1].file_name, "plain.xml");
+}
+
+TEST_F(ExecutorTest, HigherTermFrequencyRanksFirst) {
+  Insert("once.xml", "<doc><p>gyroscope</p></doc>");
+  Insert("thrice.xml",
+         "<doc><p>gyroscope</p><p>gyroscope</p><p>gyroscope</p></doc>");
+  auto hits = Run("content=gyroscope");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].file_name, "thrice.xml");
+  EXPECT_EQ(hits[0].score, 3.0);
+  EXPECT_EQ(hits[1].score, 1.0);
+}
+
+TEST_F(ExecutorTest, StatsAreTracked) {
+  QueryExecutor executor(store_.get());
+  auto q = ParseXdbQuery("context=Technology+Gap");
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(executor.Execute(*q).ok());
+  EXPECT_GT(executor.stats().index_probes, 0u);
+  EXPECT_GT(executor.stats().nodes_walked, 0u);
+  EXPECT_EQ(executor.stats().sections_built, 2u);
+}
+
+}  // namespace
+}  // namespace netmark::query

@@ -1,0 +1,74 @@
+#include "query/xdb_query.h"
+
+#include <gtest/gtest.h>
+
+namespace netmark::query {
+namespace {
+
+TEST(XdbQueryParseTest, ContextAndContent) {
+  auto q = ParseXdbQuery("Context=Technology+Gap&Content=Shrinking");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->context, "Technology Gap");
+  EXPECT_EQ(q->content, "Shrinking");
+  EXPECT_TRUE(q->has_context());
+  EXPECT_TRUE(q->has_content());
+}
+
+TEST(XdbQueryParseTest, KeysAreCaseInsensitive) {
+  auto q = ParseXdbQuery("CONTEXT=Budget&content=engine&XSLT=sheet&LIMIT=5");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->context, "Budget");
+  EXPECT_EQ(q->content, "engine");
+  EXPECT_EQ(q->xslt, "sheet");
+  EXPECT_EQ(q->limit, 5u);
+}
+
+TEST(XdbQueryParseTest, PercentEncoding) {
+  auto q = ParseXdbQuery("context=%22technology%20gap%22");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->context, "\"technology gap\"");
+}
+
+TEST(XdbQueryParseTest, DocScope) {
+  auto q = ParseXdbQuery("content=x&doc=42");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->doc_id, 42);
+}
+
+TEST(XdbQueryParseTest, UnknownKeysIgnored) {
+  auto q = ParseXdbQuery("context=a&future_key=whatever&debug=1");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->context, "a");
+}
+
+TEST(XdbQueryParseTest, EmptyQueryIsEmpty) {
+  auto q = ParseXdbQuery("");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->empty());
+}
+
+TEST(XdbQueryParseTest, Errors) {
+  EXPECT_FALSE(ParseXdbQuery("context=%ZZ").ok());
+  EXPECT_FALSE(ParseXdbQuery("limit=abc").ok());
+  EXPECT_FALSE(ParseXdbQuery("limit=-3").ok());
+  EXPECT_FALSE(ParseXdbQuery("doc=xyz").ok());
+}
+
+TEST(XdbQueryParseTest, ToQueryStringRoundTrip) {
+  XdbQuery q;
+  q.context = "Technology Gap";
+  q.content = "shrinking fast";
+  q.doc_id = 7;
+  q.xslt = "report";
+  q.limit = 10;
+  auto parsed = ParseXdbQuery(q.ToQueryString());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->context, q.context);
+  EXPECT_EQ(parsed->content, q.content);
+  EXPECT_EQ(parsed->doc_id, q.doc_id);
+  EXPECT_EQ(parsed->xslt, q.xslt);
+  EXPECT_EQ(parsed->limit, q.limit);
+}
+
+}  // namespace
+}  // namespace netmark::query

@@ -1,0 +1,104 @@
+#include "server/daemon.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "common/temp_dir.h"
+
+namespace netmark::server {
+namespace {
+
+class DaemonTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = netmark::TempDir::Make("daemon");
+    ASSERT_TRUE(dir.ok());
+    dir_ = std::make_unique<netmark::TempDir>(std::move(*dir));
+    auto store = xmlstore::XmlStore::Open(dir_->Sub("store").string());
+    ASSERT_TRUE(store.ok());
+    store_ = std::move(*store);
+    converters_ = convert::ConverterRegistry::Default();
+    options_.drop_dir = dir_->Sub("drop");
+    options_.poll_interval = std::chrono::milliseconds(20);
+    daemon_ = std::make_unique<IngestionDaemon>(store_.get(), &converters_, options_);
+    std::filesystem::create_directories(options_.drop_dir);
+  }
+
+  void Drop(const std::string& name, const std::string& content) {
+    ASSERT_TRUE(netmark::WriteFile(options_.drop_dir / name, content).ok());
+  }
+
+  std::unique_ptr<netmark::TempDir> dir_;
+  std::unique_ptr<xmlstore::XmlStore> store_;
+  convert::ConverterRegistry converters_;
+  DaemonOptions options_;
+  std::unique_ptr<IngestionDaemon> daemon_;
+};
+
+TEST_F(DaemonTest, ProcessOnceIngestsMixedFormats) {
+  Drop("a.txt", "OVERVIEW\nshuttle overview text\n");
+  Drop("b.md", "# Risk\n\nthermal risk memo\n");
+  Drop("c.xml", "<document><context>T</context><content>body</content></document>");
+  auto processed = daemon_->ProcessOnce();
+  ASSERT_TRUE(processed.ok());
+  EXPECT_EQ(*processed, 3);
+  EXPECT_EQ(store_->document_count(), 3u);
+  EXPECT_EQ(daemon_->files_ingested(), 3u);
+  // Queryable immediately.
+  EXPECT_FALSE(store_->TextLookup("shuttle").empty());
+}
+
+TEST_F(DaemonTest, ProcessedFilesAreMovedNotReingested) {
+  Drop("once.txt", "HEADING\nwords\n");
+  ASSERT_EQ(*daemon_->ProcessOnce(), 1);
+  ASSERT_EQ(*daemon_->ProcessOnce(), 0);  // drop dir now empty
+  EXPECT_EQ(store_->document_count(), 1u);
+  EXPECT_TRUE(
+      std::filesystem::exists(options_.drop_dir / "processed" / "once.txt"));
+}
+
+TEST_F(DaemonTest, FailedFilesQuarantined) {
+  std::string binary("\x7f"
+                     "ELF\x00\x01\x02",
+                     7);
+  Drop("garbage.bin", binary);
+  Drop("fine.txt", "OK HEADING\ncontent\n");
+  auto processed = daemon_->ProcessOnce();
+  ASSERT_TRUE(processed.ok());
+  EXPECT_EQ(*processed, 1);
+  EXPECT_EQ(daemon_->files_failed(), 1u);
+  EXPECT_TRUE(
+      std::filesystem::exists(options_.drop_dir / "failed" / "garbage.bin"));
+  EXPECT_EQ(store_->document_count(), 1u);
+}
+
+TEST_F(DaemonTest, HiddenFilesIgnored) {
+  Drop(".hidden.swp", "junk");
+  EXPECT_EQ(*daemon_->ProcessOnce(), 0);
+}
+
+TEST_F(DaemonTest, BackgroundThreadPicksUpDrops) {
+  ASSERT_TRUE(daemon_->Start().ok());
+  Drop("bg.txt", "BACKGROUND HEADING\npicked up asynchronously\n");
+  // Wait for the poll loop (bounded).
+  for (int i = 0; i < 200 && store_->document_count() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  daemon_->Stop();
+  EXPECT_EQ(store_->document_count(), 1u);
+  EXPECT_FALSE(store_->TextLookup("asynchronously").empty());
+}
+
+TEST_F(DaemonTest, DeleteModeRemovesFiles) {
+  options_.keep_processed = false;
+  IngestionDaemon daemon(store_.get(), &converters_, options_);
+  Drop("gone.txt", "HEADING\nbye\n");
+  ASSERT_EQ(*daemon.ProcessOnce(), 1);
+  EXPECT_FALSE(std::filesystem::exists(options_.drop_dir / "gone.txt"));
+  EXPECT_FALSE(std::filesystem::exists(options_.drop_dir / "processed" / "gone.txt"));
+}
+
+}  // namespace
+}  // namespace netmark::server

@@ -1,0 +1,88 @@
+#include "server/http_message.h"
+
+#include <gtest/gtest.h>
+
+namespace netmark::server {
+namespace {
+
+TEST(HttpMessageTest, ParsesRequestLineHeadersBody) {
+  auto req = ParseRequest(
+      "PUT /docs/report.txt?x=1 HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "Content-Type: text/plain\r\n"
+      "Content-Length: 5\r\n"
+      "\r\n"
+      "hello");
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->method, "PUT");
+  EXPECT_EQ(req->target, "/docs/report.txt?x=1");
+  EXPECT_EQ(req->path, "/docs/report.txt");
+  EXPECT_EQ(req->query, "x=1");
+  EXPECT_EQ(req->Header("content-type"), "text/plain");  // case-insensitive
+  EXPECT_EQ(req->Header("HOST"), "localhost");
+  EXPECT_EQ(req->body, "hello");
+}
+
+TEST(HttpMessageTest, PercentEncodedPathDecoded) {
+  auto req = ParseRequest("GET /docs/my%20file.txt HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->path, "/docs/my file.txt");
+}
+
+TEST(HttpMessageTest, RejectsMalformedRequests) {
+  EXPECT_FALSE(ParseRequest("GET /x HTTP/1.1\r\n").ok());  // no blank line
+  EXPECT_FALSE(ParseRequest("GARBAGE\r\n\r\n").ok());
+  EXPECT_FALSE(ParseRequest("GET /x NOTHTTP\r\n\r\n").ok());
+  EXPECT_FALSE(ParseRequest("GET /x HTTP/1.1\r\nBadHeader\r\n\r\n").ok());
+}
+
+TEST(HttpMessageTest, RequestSerializeParseRoundTrip) {
+  HttpRequest req;
+  req.method = "PROPFIND";
+  req.target = "/docs";
+  req.headers["Depth"] = "1";
+  req.body = "body bytes";
+  auto parsed = ParseRequest(req.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->method, "PROPFIND");
+  EXPECT_EQ(parsed->Header("Depth"), "1");
+  EXPECT_EQ(parsed->Header("Content-Length"), "10");
+  EXPECT_EQ(parsed->body, "body bytes");
+}
+
+TEST(HttpMessageTest, ResponseSerializeParseRoundTrip) {
+  HttpResponse resp = HttpResponse::Ok("<r/>", "text/xml");
+  auto parsed = ParseResponse(resp.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->status, 200);
+  EXPECT_EQ(parsed->reason, "OK");
+  EXPECT_EQ(parsed->headers["content-type"], "text/xml");
+  EXPECT_EQ(parsed->body, "<r/>");
+}
+
+TEST(HttpMessageTest, StatusFactories) {
+  EXPECT_EQ(HttpResponse::NotFound("x").status, 404);
+  EXPECT_EQ(HttpResponse::BadRequest("x").status, 400);
+  EXPECT_EQ(HttpResponse::ServerError("x").status, 500);
+  EXPECT_EQ(HttpResponse::Text(207, "").reason, "Multi-Status");
+  EXPECT_EQ(HttpResponse::Text(201, "").reason, "Created");
+}
+
+TEST(HttpMessageTest, ParseResponseErrors) {
+  EXPECT_FALSE(ParseResponse("junk").ok());
+  EXPECT_FALSE(ParseResponse("HTTP/1.1\r\n\r\n").ok());
+  EXPECT_FALSE(ParseResponse("HTTP/1.1 abc OK\r\n\r\n").ok());
+}
+
+TEST(HttpMessageTest, SplitTargetEdgeCases) {
+  std::string path, query;
+  ASSERT_TRUE(SplitTarget("/a", &path, &query).ok());
+  EXPECT_EQ(path, "/a");
+  EXPECT_TRUE(query.empty());
+  ASSERT_TRUE(SplitTarget("/a?b=c&d=e", &path, &query).ok());
+  EXPECT_EQ(query, "b=c&d=e");
+  EXPECT_FALSE(SplitTarget("/bad%zz", &path, &query).ok());
+}
+
+}  // namespace
+}  // namespace netmark::server

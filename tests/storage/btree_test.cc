@@ -1,0 +1,200 @@
+#include "storage/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+
+namespace netmark::storage {
+namespace {
+
+IndexKey K(int64_t v) { return {Value::Int(v)}; }
+IndexKey K(const std::string& s) { return {Value::Str(s)}; }
+IndexKey K2(int64_t a, int64_t b) { return {Value::Int(a), Value::Int(b)}; }
+RowId R(uint32_t n) { return RowId(n, 0); }
+
+TEST(CompareKeysTest, Lexicographic) {
+  EXPECT_LT(CompareKeys(K(1), K(2)), 0);
+  EXPECT_EQ(CompareKeys(K(5), K(5)), 0);
+  EXPECT_LT(CompareKeys(K2(1, 9), K2(2, 0)), 0);
+  EXPECT_LT(CompareKeys(K(1), K2(1, 0)), 0);  // prefix sorts first
+  EXPECT_GT(CompareKeys(K2(1, 0), K(1)), 0);
+}
+
+TEST(BTreeTest, EmptyTree) {
+  BTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.Lookup(K(1)).empty());
+  EXPECT_FALSE(tree.Remove(K(1), R(1)));
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_EQ(tree.height(), 1);
+}
+
+TEST(BTreeTest, InsertLookupSingle) {
+  BTree tree;
+  tree.Insert(K(42), R(7));
+  auto hits = tree.Lookup(K(42));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], R(7));
+  EXPECT_TRUE(tree.Lookup(K(41)).empty());
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BTreeTest, DuplicateKeysKeepAllRowIds) {
+  BTree tree;
+  tree.Insert(K(5), R(1));
+  tree.Insert(K(5), R(2));
+  tree.Insert(K(5), R(3));
+  tree.Insert(K(5), R(2));  // exact duplicate ignored
+  auto hits = tree.Lookup(K(5));
+  EXPECT_EQ(hits.size(), 3u);
+  EXPECT_EQ(tree.size(), 3u);
+}
+
+TEST(BTreeTest, SplitsGrowHeightAndPreserveAll) {
+  BTree tree(8);  // small fanout forces splits early
+  for (int64_t i = 0; i < 1000; ++i) tree.Insert(K(i), R(static_cast<uint32_t>(i)));
+  EXPECT_GT(tree.height(), 2);
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_EQ(tree.size(), 1000u);
+  for (int64_t i = 0; i < 1000; ++i) {
+    auto hits = tree.Lookup(K(i));
+    ASSERT_EQ(hits.size(), 1u) << "key " << i;
+    EXPECT_EQ(hits[0], R(static_cast<uint32_t>(i)));
+  }
+}
+
+TEST(BTreeTest, ReverseAndInterleavedInsertOrders) {
+  BTree rev(8);
+  for (int64_t i = 999; i >= 0; --i) rev.Insert(K(i), R(static_cast<uint32_t>(i)));
+  EXPECT_TRUE(rev.CheckInvariants());
+  EXPECT_EQ(rev.size(), 1000u);
+
+  BTree mix(8);
+  for (int64_t i = 0; i < 500; ++i) {
+    mix.Insert(K(i), R(static_cast<uint32_t>(i)));
+    mix.Insert(K(999 - i), R(static_cast<uint32_t>(999 - i)));
+  }
+  EXPECT_TRUE(mix.CheckInvariants());
+  EXPECT_EQ(mix.size(), 1000u);
+}
+
+TEST(BTreeTest, RangeInclusive) {
+  BTree tree(8);
+  for (int64_t i = 0; i < 100; ++i) tree.Insert(K(i), R(static_cast<uint32_t>(i)));
+  auto hits = tree.Range(K(10), K(20));
+  ASSERT_EQ(hits.size(), 11u);
+  EXPECT_EQ(hits.front(), R(10));
+  EXPECT_EQ(hits.back(), R(20));
+  EXPECT_TRUE(tree.Range(K(200), K(300)).empty());
+  EXPECT_EQ(tree.Range(K(0), K(99)).size(), 100u);
+}
+
+TEST(BTreeTest, PrefixLookupOnCompositeKeys) {
+  BTree tree(8);
+  for (int64_t doc = 1; doc <= 5; ++doc) {
+    for (int64_t node = 0; node < 20; ++node) {
+      tree.Insert(K2(doc, node), R(static_cast<uint32_t>(doc * 100 + node)));
+    }
+  }
+  auto hits = tree.PrefixLookup(K(3));
+  ASSERT_EQ(hits.size(), 20u);
+  // Results come back in key order -> node order.
+  EXPECT_EQ(hits.front(), R(300));
+  EXPECT_EQ(hits.back(), R(319));
+  EXPECT_TRUE(tree.PrefixLookup(K(9)).empty());
+}
+
+TEST(BTreeTest, StringKeys) {
+  BTree tree(8);
+  std::vector<std::string> words = {"shuttle", "engine", "anomaly", "budget", "gap"};
+  for (size_t i = 0; i < words.size(); ++i) {
+    tree.Insert(K(words[i]), R(static_cast<uint32_t>(i)));
+  }
+  EXPECT_EQ(tree.Lookup(K(std::string("budget"))).size(), 1u);
+  auto range = tree.Range(K(std::string("a")), K(std::string("f")));
+  EXPECT_EQ(range.size(), 3u);  // anomaly, budget, engine
+}
+
+TEST(BTreeTest, RemoveExactPairOnly) {
+  BTree tree;
+  tree.Insert(K(1), R(1));
+  tree.Insert(K(1), R(2));
+  EXPECT_FALSE(tree.Remove(K(1), R(3)));
+  EXPECT_TRUE(tree.Remove(K(1), R(1)));
+  EXPECT_FALSE(tree.Remove(K(1), R(1)));  // already gone
+  auto hits = tree.Lookup(K(1));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], R(2));
+}
+
+TEST(BTreeTest, VisitAllIsSorted) {
+  BTree tree(8);
+  netmark::Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    tree.Insert(K(static_cast<int64_t>(rng.Uniform(100))),
+                R(static_cast<uint32_t>(i)));
+  }
+  IndexKey prev;
+  bool first = true;
+  size_t count = 0;
+  tree.VisitAll([&](const IndexKey& key, RowId) {
+    if (!first) EXPECT_LE(CompareKeys(prev, key), 0);
+    prev = key;
+    first = false;
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, tree.size());
+}
+
+TEST(BTreeTest, VisitAllEarlyStop) {
+  BTree tree;
+  for (int64_t i = 0; i < 10; ++i) tree.Insert(K(i), R(static_cast<uint32_t>(i)));
+  size_t count = 0;
+  tree.VisitAll([&](const IndexKey&, RowId) { return ++count < 3; });
+  EXPECT_EQ(count, 3u);
+}
+
+// Property test: random workload must match a reference multimap.
+class BTreePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BTreePropertyTest, MatchesReferenceMultimap) {
+  netmark::Rng rng(GetParam());
+  BTree tree(static_cast<int>(4 + rng.Uniform(60)));
+  // Reference: set of (key, rowid) pairs.
+  std::set<std::pair<int64_t, uint64_t>> ref;
+  for (int step = 0; step < 5000; ++step) {
+    int64_t key = static_cast<int64_t>(rng.Uniform(200));
+    auto rid = R(static_cast<uint32_t>(rng.Uniform(50)));
+    if (rng.Chance(0.7)) {
+      tree.Insert(K(key), rid);
+      ref.insert({key, rid.Pack()});
+    } else {
+      bool removed = tree.Remove(K(key), rid);
+      bool ref_removed = ref.erase({key, rid.Pack()}) > 0;
+      EXPECT_EQ(removed, ref_removed);
+    }
+  }
+  EXPECT_EQ(tree.size(), ref.size());
+  EXPECT_TRUE(tree.CheckInvariants());
+  for (int64_t key = 0; key < 200; ++key) {
+    auto hits = tree.Lookup(K(key));
+    std::set<uint64_t> expected;
+    for (auto it = ref.lower_bound({key, 0}); it != ref.end() && it->first == key; ++it) {
+      expected.insert(it->second);
+    }
+    std::set<uint64_t> actual;
+    for (RowId r : hits) actual.insert(r.Pack());
+    EXPECT_EQ(actual, expected) << "key " << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreePropertyTest,
+                         ::testing::Values(1, 2, 3, 42, 99, 12345));
+
+}  // namespace
+}  // namespace netmark::storage

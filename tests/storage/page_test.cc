@@ -1,0 +1,97 @@
+#include "storage/page.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+
+namespace netmark::storage {
+namespace {
+
+class PageTest : public ::testing::Test {
+ protected:
+  PageTest() : buf_(new uint8_t[kPageSize]), page_(buf_.get()) {
+    std::memset(buf_.get(), 0, kPageSize);
+    page_.Init();
+  }
+  std::unique_ptr<uint8_t[]> buf_;
+  Page page_;
+};
+
+TEST_F(PageTest, FreshPageIsEmpty) {
+  EXPECT_EQ(page_.slot_count(), 0);
+  EXPECT_EQ(page_.free_end(), kPageSize);
+  EXPECT_EQ(page_.FreeSpace(), kPageSize - Page::kHeaderSize);
+}
+
+TEST_F(PageTest, InsertAndGet) {
+  uint16_t s0 = page_.Insert("alpha");
+  uint16_t s1 = page_.Insert("beta");
+  EXPECT_EQ(s0, 0);
+  EXPECT_EQ(s1, 1);
+  EXPECT_EQ(page_.Get(s0), "alpha");
+  EXPECT_EQ(page_.Get(s1), "beta");
+  EXPECT_EQ(page_.slot_count(), 2);
+}
+
+TEST_F(PageTest, GetOutOfRangeIsEmpty) {
+  EXPECT_TRUE(page_.Get(0).empty());
+  page_.Insert("x");
+  EXPECT_TRUE(page_.Get(5).empty());
+}
+
+TEST_F(PageTest, DeleteTombstonesWithoutMovingNeighbors) {
+  uint16_t s0 = page_.Insert("one");
+  uint16_t s1 = page_.Insert("two");
+  uint16_t s2 = page_.Insert("three");
+  page_.Delete(s1);
+  EXPECT_FALSE(page_.IsLive(s1));
+  EXPECT_TRUE(page_.Get(s1).empty());
+  // Neighbours untouched: stable addressing.
+  EXPECT_EQ(page_.Get(s0), "one");
+  EXPECT_EQ(page_.Get(s2), "three");
+}
+
+TEST_F(PageTest, UpdateInPlaceShrinks) {
+  uint16_t s = page_.Insert("long-record-here");
+  page_.UpdateInPlace(s, "short");
+  EXPECT_EQ(page_.Get(s), "short");
+}
+
+TEST_F(PageTest, CanInsertAccountsForSlotOverhead) {
+  size_t free = page_.FreeSpace();
+  EXPECT_TRUE(page_.CanInsert(free - Page::kSlotSize));
+  EXPECT_FALSE(page_.CanInsert(free));
+}
+
+TEST_F(PageTest, FillsToCapacity) {
+  const std::string record(100, 'r');
+  int inserted = 0;
+  while (page_.CanInsert(record.size())) {
+    page_.Insert(record);
+    ++inserted;
+  }
+  // ~ (8192-8) / 104 records.
+  EXPECT_GT(inserted, 70);
+  for (uint16_t s = 0; s < page_.slot_count(); ++s) {
+    EXPECT_EQ(page_.Get(s), record);
+  }
+}
+
+TEST_F(PageTest, MaxInlineRecordFitsExactly) {
+  std::string record(Page::kMaxInlineRecord, 'm');
+  ASSERT_TRUE(page_.CanInsert(record.size()));
+  uint16_t s = page_.Insert(record);
+  EXPECT_EQ(page_.Get(s).size(), Page::kMaxInlineRecord);
+  EXPECT_FALSE(page_.CanInsert(1));
+}
+
+TEST_F(PageTest, BinaryContentSurvives) {
+  std::string record = std::string("\0\xFF\x01binary", 9);
+  uint16_t s = page_.Insert(record);
+  EXPECT_EQ(page_.Get(s), record);
+}
+
+}  // namespace
+}  // namespace netmark::storage

@@ -1,0 +1,145 @@
+#include "storage/pager.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/temp_dir.h"
+
+namespace netmark::storage {
+namespace {
+
+class PagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = TempDir::Make("pager");
+    ASSERT_TRUE(dir.ok());
+    dir_ = std::make_unique<TempDir>(std::move(*dir));
+    path_ = (dir_->path() / "pages.bin").string();
+  }
+  std::unique_ptr<TempDir> dir_;
+  std::string path_;
+};
+
+TEST_F(PagerTest, FreshFileHasNoPages) {
+  auto pager = Pager::Open(path_);
+  ASSERT_TRUE(pager.ok());
+  EXPECT_EQ((*pager)->page_count(), 0u);
+  EXPECT_TRUE((*pager)->Fetch(0).status().IsInvalidArgument());
+}
+
+TEST_F(PagerTest, AllocateInitializesAndFetches) {
+  auto pager = Pager::Open(path_);
+  ASSERT_TRUE(pager.ok());
+  auto id = (*pager)->Allocate();
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 0u);
+  auto page = (*pager)->Fetch(*id);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page->slot_count(), 0);
+  EXPECT_EQ(page->free_end(), kPageSize);
+  EXPECT_EQ((*pager)->page_count(), 1u);
+}
+
+TEST_F(PagerTest, DirtyPagesPersistAcrossReopen) {
+  {
+    auto pager = Pager::Open(path_);
+    ASSERT_TRUE(pager.ok());
+    for (int i = 0; i < 5; ++i) {
+      auto id = (*pager)->Allocate();
+      ASSERT_TRUE(id.ok());
+      auto page = (*pager)->Fetch(*id);
+      ASSERT_TRUE(page.ok());
+      page->Insert("page " + std::to_string(i));
+      (*pager)->MarkDirty(*id);
+    }
+    ASSERT_TRUE((*pager)->Flush().ok());
+  }
+  auto pager = Pager::Open(path_);
+  ASSERT_TRUE(pager.ok());
+  EXPECT_EQ((*pager)->page_count(), 5u);
+  for (PageId i = 0; i < 5; ++i) {
+    auto page = (*pager)->Fetch(i);
+    ASSERT_TRUE(page.ok());
+    EXPECT_EQ(page->Get(0), "page " + std::to_string(i));
+  }
+}
+
+TEST_F(PagerTest, UnflushedChangesWrittenByDestructor) {
+  {
+    auto pager = Pager::Open(path_);
+    ASSERT_TRUE(pager.ok());
+    auto id = (*pager)->Allocate();
+    ASSERT_TRUE(id.ok());
+    auto page = (*pager)->Fetch(*id);
+    page->Insert("auto-flushed");
+    (*pager)->MarkDirty(*id);
+    // no explicit Flush: the destructor must write back
+  }
+  auto pager = Pager::Open(path_);
+  ASSERT_TRUE(pager.ok());
+  auto page = (*pager)->Fetch(0);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page->Get(0), "auto-flushed");
+}
+
+TEST_F(PagerTest, ReadCountsTrackCacheMisses) {
+  {
+    auto pager = Pager::Open(path_);
+    ASSERT_TRUE(pager.ok());
+    for (int i = 0; i < 3; ++i) ASSERT_TRUE((*pager)->Allocate().ok());
+    ASSERT_TRUE((*pager)->Flush().ok());
+    EXPECT_EQ((*pager)->pages_written(), 3u);
+    // Freshly allocated pages are cached: no reads.
+    EXPECT_EQ((*pager)->pages_read(), 0u);
+  }
+  auto pager = Pager::Open(path_);
+  ASSERT_TRUE(pager.ok());
+  ASSERT_TRUE((*pager)->Fetch(1).ok());
+  ASSERT_TRUE((*pager)->Fetch(1).ok());  // second fetch hits the cache
+  EXPECT_EQ((*pager)->pages_read(), 1u);
+}
+
+TEST_F(PagerTest, CorruptSizeRejected) {
+  ASSERT_TRUE(WriteFile(path_, std::string(kPageSize + 17, 'x')).ok());
+  EXPECT_TRUE(Pager::Open(path_).status().IsCorruption());
+}
+
+TEST_F(PagerTest, ManyPagesSurviveRoundTrip) {
+  const int kPages = 300;  // ~2.4 MB file
+  {
+    auto pager = Pager::Open(path_);
+    ASSERT_TRUE(pager.ok());
+    for (int i = 0; i < kPages; ++i) {
+      auto id = (*pager)->Allocate();
+      ASSERT_TRUE(id.ok());
+      auto page = (*pager)->Fetch(*id);
+      std::string payload = "payload-" + std::to_string(i);
+      page->Insert(payload);
+      (*pager)->MarkDirty(*id);
+    }
+    ASSERT_TRUE((*pager)->Flush().ok());
+  }
+  auto pager = Pager::Open(path_);
+  ASSERT_TRUE(pager.ok());
+  ASSERT_EQ((*pager)->page_count(), static_cast<PageId>(kPages));
+  for (int i = 0; i < kPages; i += 37) {
+    auto page = (*pager)->Fetch(static_cast<PageId>(i));
+    ASSERT_TRUE(page.ok());
+    EXPECT_EQ(page->Get(0), "payload-" + std::to_string(i));
+  }
+}
+
+TEST(RowIdTest, PackUnpackRoundTrip) {
+  for (RowId id : {RowId(0, 0), RowId(1, 2), RowId(123456, 65535),
+                   RowId(0xFFFFFFFE, 1)}) {
+    EXPECT_EQ(RowId::Unpack(id.Pack()), id);
+  }
+  EXPECT_FALSE(RowId::Unpack(RowId::kInvalidPacked).valid());
+  EXPECT_EQ(kInvalidRowId.Pack(), RowId::kInvalidPacked);
+  EXPECT_LT(RowId(1, 5), RowId(2, 0));
+  EXPECT_LT(RowId(1, 5), RowId(1, 6));
+}
+
+}  // namespace
+}  // namespace netmark::storage

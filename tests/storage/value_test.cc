@@ -1,0 +1,66 @@
+#include "storage/value.h"
+
+#include <gtest/gtest.h>
+
+namespace netmark::storage {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(7).type(), ValueType::kInt64);
+  EXPECT_EQ(Value::Int(7).AsInt(), 7);
+  EXPECT_EQ(Value::Real(2.5).type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(Value::Real(2.5).AsReal(), 2.5);
+  EXPECT_EQ(Value::Str("x").type(), ValueType::kString);
+  EXPECT_EQ(Value::Str("x").AsStr(), "x");
+}
+
+TEST(ValueTest, NullSortsFirst) {
+  EXPECT_LT(Value::Null().Compare(Value::Int(-100)), 0);
+  EXPECT_LT(Value::Null().Compare(Value::Str("")), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, NumericCrossTypeComparison) {
+  EXPECT_EQ(Value::Int(2).Compare(Value::Real(2.0)), 0);
+  EXPECT_LT(Value::Int(2).Compare(Value::Real(2.5)), 0);
+  EXPECT_GT(Value::Real(3.1).Compare(Value::Int(3)), 0);
+}
+
+TEST(ValueTest, NumbersBeforeStrings) {
+  EXPECT_LT(Value::Int(999).Compare(Value::Str("0")), 0);
+  EXPECT_GT(Value::Str("a").Compare(Value::Real(1e18)), 0);
+}
+
+TEST(ValueTest, StringByteOrder) {
+  EXPECT_LT(Value::Str("abc").Compare(Value::Str("abd")), 0);
+  EXPECT_LT(Value::Str("ab").Compare(Value::Str("abc")), 0);
+  EXPECT_EQ(Value::Str("same").Compare(Value::Str("same")), 0);
+}
+
+TEST(ValueTest, OperatorsAgreeWithCompare) {
+  EXPECT_TRUE(Value::Int(1) < Value::Int(2));
+  EXPECT_TRUE(Value::Int(2) == Value::Real(2.0));
+  EXPECT_TRUE(Value::Str("a") != Value::Str("b"));
+}
+
+TEST(ValueTest, LargeIntegersCompareExactly) {
+  // Values beyond double's 53-bit mantissa must still compare correctly
+  // int-to-int.
+  int64_t big = (1LL << 62) + 1;
+  EXPECT_LT(Value::Int(big).Compare(Value::Int(big + 1)), 0);
+  EXPECT_EQ(Value::Int(big).Compare(Value::Int(big)), 0);
+}
+
+TEST(ValueTest, TypeNamesRoundTrip) {
+  for (ValueType t : {ValueType::kNull, ValueType::kInt64, ValueType::kDouble,
+                      ValueType::kString}) {
+    auto parsed = ValueTypeFromString(ValueTypeToString(t));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, t);
+  }
+  EXPECT_FALSE(ValueTypeFromString("BLOB").ok());
+}
+
+}  // namespace
+}  // namespace netmark::storage

@@ -1,0 +1,158 @@
+#include "textindex/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace netmark::textindex {
+namespace {
+
+TEST(InvertedIndexTest, SingleTermLookup) {
+  InvertedIndex ix;
+  ix.Add(1, "the shuttle engine");
+  ix.Add(2, "budget report");
+  auto hits = ix.LookupTerm("shuttle");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 1u);
+  EXPECT_TRUE(ix.LookupTerm("absent").empty());
+}
+
+TEST(InvertedIndexTest, LookupIsCaseInsensitive) {
+  InvertedIndex ix;
+  ix.Add(1, "Technology Gap");
+  EXPECT_EQ(ix.LookupTerm("TECHNOLOGY").size(), 1u);
+  EXPECT_EQ(ix.LookupTerm("gap").size(), 1u);
+}
+
+TEST(InvertedIndexTest, ResultsSortedByKey) {
+  InvertedIndex ix;
+  ix.Add(30, "common word");
+  ix.Add(10, "common word");
+  ix.Add(20, "common word");
+  auto hits = ix.LookupTerm("common");
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0], 10u);
+  EXPECT_EQ(hits[1], 20u);
+  EXPECT_EQ(hits[2], 30u);
+}
+
+TEST(InvertedIndexTest, MatchAllIntersects) {
+  InvertedIndex ix;
+  ix.Add(1, "shuttle engine anomaly");
+  ix.Add(2, "shuttle budget");
+  ix.Add(3, "engine budget anomaly");
+  auto hits = ix.MatchAll({"shuttle", "anomaly"});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 1u);
+  EXPECT_TRUE(ix.MatchAll({"shuttle", "nonexistent"}).empty());
+  EXPECT_TRUE(ix.MatchAll({}).empty());
+}
+
+TEST(InvertedIndexTest, MatchAnyUnions) {
+  InvertedIndex ix;
+  ix.Add(1, "alpha");
+  ix.Add(2, "beta");
+  ix.Add(3, "alpha beta");
+  auto hits = ix.MatchAny({"alpha", "beta"});
+  EXPECT_EQ(hits.size(), 3u);
+}
+
+TEST(InvertedIndexTest, PhraseRequiresAdjacency) {
+  InvertedIndex ix;
+  ix.Add(1, "the technology gap is shrinking");
+  ix.Add(2, "technology closes the gap");
+  auto hits = ix.MatchPhrase({"technology", "gap"});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 1u);
+}
+
+TEST(InvertedIndexTest, PhraseAcrossThreeWords) {
+  InvertedIndex ix;
+  ix.Add(1, "integrated budget performance document");
+  ix.Add(2, "budget performance review of integrated document");
+  auto hits = ix.MatchPhrase({"budget", "performance", "document"});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 1u);
+}
+
+TEST(InvertedIndexTest, RepeatedWordPhrase) {
+  InvertedIndex ix;
+  ix.Add(1, "very very important");
+  ix.Add(2, "very important");
+  auto hits = ix.MatchPhrase({"very", "very"});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 1u);
+}
+
+TEST(InvertedIndexTest, PrefixMatching) {
+  InvertedIndex ix;
+  ix.Add(1, "engine");
+  ix.Add(2, "engineering");
+  ix.Add(3, "england");
+  auto hits = ix.MatchPrefix("engin");
+  EXPECT_EQ(hits.size(), 2u);
+  EXPECT_EQ(ix.MatchPrefix("eng").size(), 3u);
+  EXPECT_TRUE(ix.MatchPrefix("xyz").empty());
+}
+
+TEST(InvertedIndexTest, RemoveErasesContribution) {
+  InvertedIndex ix;
+  ix.Add(1, "shared unique1");
+  ix.Add(2, "shared unique2");
+  ix.Remove(1, "shared unique1");
+  EXPECT_TRUE(ix.LookupTerm("unique1").empty());
+  auto hits = ix.LookupTerm("shared");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 2u);
+  // Term whose postings became empty is dropped entirely.
+  EXPECT_EQ(ix.num_terms(), 2u);  // "shared", "unique2"
+}
+
+TEST(InvertedIndexTest, CountsTrackAddsAndRemoves) {
+  InvertedIndex ix;
+  EXPECT_EQ(ix.num_terms(), 0u);
+  ix.Add(1, "a b c");
+  EXPECT_EQ(ix.num_terms(), 3u);
+  EXPECT_EQ(ix.num_postings(), 3u);
+  ix.Add(2, "a");
+  EXPECT_EQ(ix.num_postings(), 4u);
+  ix.Remove(2, "a");
+  EXPECT_EQ(ix.num_postings(), 3u);
+}
+
+TEST(InvertedIndexTest, AddRemoveStressMatchesNaiveSearch) {
+  netmark::Rng rng(77);
+  std::vector<std::string> vocab = {"alpha", "beta", "gamma", "delta", "epsilon",
+                                    "zeta",  "eta",  "theta", "iota",  "kappa"};
+  std::map<DocKey, std::string> docs;
+  InvertedIndex ix;
+  for (DocKey k = 1; k <= 200; ++k) {
+    std::string text;
+    size_t len = 3 + rng.Uniform(15);
+    for (size_t i = 0; i < len; ++i) {
+      text += vocab[rng.Uniform(vocab.size())];
+      text += ' ';
+    }
+    docs[k] = text;
+    ix.Add(k, text);
+  }
+  // Remove a random third.
+  for (DocKey k = 1; k <= 200; k += 3) {
+    ix.Remove(k, docs[k]);
+    docs.erase(k);
+  }
+  for (const std::string& word : vocab) {
+    std::vector<DocKey> expected;
+    for (const auto& [k, text] : docs) {
+      // Whole-term match (substring would falsely hit "eta" inside "beta").
+      auto terms = TokenizeTerms(text);
+      if (std::find(terms.begin(), terms.end(), word) != terms.end()) {
+        expected.push_back(k);
+      }
+    }
+    EXPECT_EQ(ix.LookupTerm(word), expected) << word;
+  }
+}
+
+}  // namespace
+}  // namespace netmark::textindex

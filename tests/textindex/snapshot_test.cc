@@ -1,0 +1,144 @@
+#include "textindex/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include "common/temp_dir.h"
+#include "xml/parser.h"
+#include "xmlstore/xml_store.h"
+
+namespace netmark::textindex {
+namespace {
+
+InvertedIndex SampleIndex() {
+  InvertedIndex ix;
+  ix.Add(11, "the technology gap is shrinking");
+  ix.Add(22, "shuttle engine anomaly gap");
+  ix.Add(33, "technology review");
+  return ix;
+}
+
+TEST(SnapshotTest, SaveLoadRoundTrip) {
+  auto dir = TempDir::Make("snap");
+  ASSERT_TRUE(dir.ok());
+  std::string path = dir->Sub("ix.snap").string();
+  InvertedIndex original = SampleIndex();
+  SnapshotToken token{5, 7, 100, 200};
+  ASSERT_TRUE(SaveIndexSnapshot(original, token, path).ok());
+
+  auto loaded = LoadIndexSnapshot(path, token);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->token.extra_a, 100u);
+  EXPECT_EQ(loaded->token.extra_b, 200u);
+  EXPECT_EQ(loaded->index.num_terms(), original.num_terms());
+  EXPECT_EQ(loaded->index.num_postings(), original.num_postings());
+  // Behavioral equivalence across query kinds.
+  EXPECT_EQ(loaded->index.LookupTerm("gap"), original.LookupTerm("gap"));
+  EXPECT_EQ(loaded->index.MatchPhrase({"technology", "gap"}),
+            original.MatchPhrase({"technology", "gap"}));
+  EXPECT_EQ(loaded->index.MatchPrefix("sh"), original.MatchPrefix("sh"));
+}
+
+TEST(SnapshotTest, MissingFileIsNotFound) {
+  EXPECT_TRUE(LoadIndexSnapshot("/nonexistent/ix.snap", SnapshotToken{})
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(SnapshotTest, TokenMismatchIsStale) {
+  auto dir = TempDir::Make("snap");
+  ASSERT_TRUE(dir.ok());
+  std::string path = dir->Sub("ix.snap").string();
+  ASSERT_TRUE(SaveIndexSnapshot(SampleIndex(), SnapshotToken{1, 2, 0, 0}, path).ok());
+  EXPECT_TRUE(
+      LoadIndexSnapshot(path, SnapshotToken{1, 3, 0, 0}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      LoadIndexSnapshot(path, SnapshotToken{9, 2, 0, 0}).status().IsInvalidArgument());
+}
+
+TEST(SnapshotTest, CorruptionDetected) {
+  auto dir = TempDir::Make("snap");
+  ASSERT_TRUE(dir.ok());
+  std::string path = dir->Sub("ix.snap").string();
+  SnapshotToken token{1, 1, 0, 0};
+  ASSERT_TRUE(SaveIndexSnapshot(SampleIndex(), token, path).ok());
+  auto bytes = ReadFile(path);
+  ASSERT_TRUE(bytes.ok());
+  // Truncation.
+  ASSERT_TRUE(WriteFile(path, bytes->substr(0, bytes->size() - 6)).ok());
+  EXPECT_TRUE(LoadIndexSnapshot(path, token).status().IsCorruption());
+  // Bad magic.
+  std::string bad = *bytes;
+  bad[0] = 'X';
+  ASSERT_TRUE(WriteFile(path, bad).ok());
+  EXPECT_TRUE(LoadIndexSnapshot(path, token).status().IsCorruption());
+  // Trailing garbage.
+  ASSERT_TRUE(WriteFile(path, *bytes + "junk").ok());
+  EXPECT_TRUE(LoadIndexSnapshot(path, token).status().IsCorruption());
+}
+
+TEST(SnapshotTest, StoreUsesSnapshotAcrossReopen) {
+  auto dir = TempDir::Make("snapstore");
+  ASSERT_TRUE(dir.ok());
+  int64_t doc_id = 0;
+  {
+    auto store = xmlstore::XmlStore::Open(dir->str());
+    ASSERT_TRUE(store.ok());
+    auto doc = xml::ParseXml("<d><h1>Sec</h1><p>snapshottable words</p></d>");
+    ASSERT_TRUE(doc.ok());
+    xmlstore::DocumentInfo info;
+    info.file_name = "a.xml";
+    doc_id = *(*store)->InsertDocument(*doc, info);
+    ASSERT_TRUE((*store)->Flush().ok());
+    EXPECT_TRUE(std::filesystem::exists(dir->Sub("textindex.snap")));
+  }
+  {
+    auto store = xmlstore::XmlStore::Open(dir->str());
+    ASSERT_TRUE(store.ok());
+    // Index served from the snapshot, behaviorally identical.
+    EXPECT_EQ((*store)->TextLookup("snapshottable").size(), 1u);
+    // Id counters restored: the next document continues the sequence.
+    auto doc = xml::ParseXml("<x/>");
+    xmlstore::DocumentInfo info;
+    info.file_name = "b.xml";
+    EXPECT_EQ(*(*store)->InsertDocument(*doc, info), doc_id + 1);
+  }
+}
+
+TEST(SnapshotTest, StaleSnapshotFallsBackToRebuild) {
+  auto dir = TempDir::Make("snapstale");
+  ASSERT_TRUE(dir.ok());
+  {
+    auto store = xmlstore::XmlStore::Open(dir->str());
+    ASSERT_TRUE(store.ok());
+    auto doc = xml::ParseXml("<d><p>first words</p></d>");
+    xmlstore::DocumentInfo info;
+    info.file_name = "a.xml";
+    ASSERT_TRUE((*store)->InsertDocument(*doc, info).ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+    // More inserts after the snapshot; then "crash" (database flush only).
+    auto doc2 = xml::ParseXml("<d><p>unsnapshotted words</p></d>");
+    xmlstore::DocumentInfo info2;
+    info2.file_name = "b.xml";
+    ASSERT_TRUE((*store)->InsertDocument(*doc2, info2).ok());
+    ASSERT_TRUE((*store)->database()->Flush().ok());  // bypass the snapshot
+  }
+  auto store = xmlstore::XmlStore::Open(dir->str());
+  ASSERT_TRUE(store.ok());
+  // The stale snapshot was rejected and the rebuild found everything.
+  EXPECT_EQ((*store)->TextLookup("unsnapshotted").size(), 1u);
+  EXPECT_EQ((*store)->TextLookup("first").size(), 1u);
+}
+
+TEST(SnapshotTest, EmptyIndexRoundTrips) {
+  auto dir = TempDir::Make("snapempty");
+  ASSERT_TRUE(dir.ok());
+  std::string path = dir->Sub("ix.snap").string();
+  InvertedIndex empty;
+  ASSERT_TRUE(SaveIndexSnapshot(empty, SnapshotToken{0, 0, 1, 1}, path).ok());
+  auto loaded = LoadIndexSnapshot(path, SnapshotToken{0, 0, 0, 0});
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->index.num_terms(), 0u);
+}
+
+}  // namespace
+}  // namespace netmark::textindex

@@ -1,0 +1,108 @@
+#include "textindex/text_query.h"
+
+#include <gtest/gtest.h>
+
+namespace netmark::textindex {
+namespace {
+
+TEST(TextQueryParseTest, PlainTermsAreConjuncts) {
+  TextQuery q = ParseTextQuery("shuttle engine");
+  ASSERT_EQ(q.clauses.size(), 2u);
+  EXPECT_EQ(q.clauses[0].kind, QueryClause::Kind::kTerm);
+  EXPECT_EQ(q.clauses[0].words[0], "shuttle");
+  EXPECT_EQ(q.clauses[1].words[0], "engine");
+}
+
+TEST(TextQueryParseTest, QuotedPhrase) {
+  TextQuery q = ParseTextQuery("\"technology gap\" shrinking");
+  ASSERT_EQ(q.clauses.size(), 2u);
+  EXPECT_EQ(q.clauses[0].kind, QueryClause::Kind::kPhrase);
+  ASSERT_EQ(q.clauses[0].words.size(), 2u);
+  EXPECT_EQ(q.clauses[0].words[0], "technology");
+  EXPECT_EQ(q.clauses[0].words[1], "gap");
+  EXPECT_EQ(q.clauses[1].kind, QueryClause::Kind::kTerm);
+}
+
+TEST(TextQueryParseTest, SingleWordQuoteDegradesToTerm) {
+  TextQuery q = ParseTextQuery("\"shuttle\"");
+  ASSERT_EQ(q.clauses.size(), 1u);
+  EXPECT_EQ(q.clauses[0].kind, QueryClause::Kind::kTerm);
+}
+
+TEST(TextQueryParseTest, PrefixStar) {
+  TextQuery q = ParseTextQuery("eng*");
+  ASSERT_EQ(q.clauses.size(), 1u);
+  EXPECT_EQ(q.clauses[0].kind, QueryClause::Kind::kPrefix);
+  EXPECT_EQ(q.clauses[0].words[0], "eng");
+}
+
+TEST(TextQueryParseTest, HyphenatedWordBecomesPhrase) {
+  TextQuery q = ParseTextQuery("on-the-fly");
+  ASSERT_EQ(q.clauses.size(), 1u);
+  EXPECT_EQ(q.clauses[0].kind, QueryClause::Kind::kPhrase);
+  EXPECT_EQ(q.clauses[0].words.size(), 3u);
+}
+
+TEST(TextQueryParseTest, EmptyAndWhitespaceYieldEmptyQuery) {
+  EXPECT_TRUE(ParseTextQuery("").empty());
+  EXPECT_TRUE(ParseTextQuery("   ").empty());
+  EXPECT_TRUE(ParseTextQuery("...").empty());
+}
+
+TEST(TextQueryParseTest, UnterminatedQuoteIsTolerated) {
+  TextQuery q = ParseTextQuery("\"unclosed phrase here");
+  // Degrades to plain words after the quote.
+  EXPECT_EQ(q.clauses.size(), 3u);
+}
+
+TEST(TextQueryEvaluateTest, ConjunctionAcrossClauseKinds) {
+  InvertedIndex ix;
+  ix.Add(1, "the technology gap is shrinking fast");
+  ix.Add(2, "technology gap widening");
+  ix.Add(3, "gap technology shrinking");
+  TextQuery q = ParseTextQuery("\"technology gap\" shrink*");
+  auto hits = Evaluate(q, ix);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 1u);
+}
+
+TEST(TextQueryEvaluateTest, EmptyQueryReturnsNothing) {
+  InvertedIndex ix;
+  ix.Add(1, "anything");
+  EXPECT_TRUE(Evaluate(TextQuery{}, ix).empty());
+}
+
+TEST(TextQueryMatchesTest, AgreesWithIndexEvaluation) {
+  std::vector<std::string> texts = {
+      "the technology gap is shrinking fast",
+      "technology gap widening",
+      "gap technology shrinking",
+      "engines and engineering",
+      "",
+  };
+  InvertedIndex ix;
+  for (size_t i = 0; i < texts.size(); ++i) ix.Add(i + 1, texts[i]);
+  for (const char* key :
+       {"technology", "\"technology gap\"", "eng*", "gap shrinking",
+        "\"technology gap\" shrinking", "absent"}) {
+    TextQuery q = ParseTextQuery(key);
+    auto hits = Evaluate(q, ix);
+    for (size_t i = 0; i < texts.size(); ++i) {
+      bool in_hits = std::find(hits.begin(), hits.end(), i + 1) != hits.end();
+      EXPECT_EQ(Matches(q, texts[i]), in_hits)
+          << "key=" << key << " text=" << texts[i];
+    }
+  }
+}
+
+TEST(TextQueryMatchesTest, PhraseBoundaries) {
+  TextQuery q = ParseTextQuery("\"a b\"");
+  EXPECT_TRUE(Matches(q, "x a b y"));
+  EXPECT_TRUE(Matches(q, "a b"));
+  EXPECT_FALSE(Matches(q, "a x b"));
+  EXPECT_FALSE(Matches(q, "b a"));
+  EXPECT_FALSE(Matches(q, "a"));
+}
+
+}  // namespace
+}  // namespace netmark::textindex

@@ -1,0 +1,60 @@
+#include "textindex/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace netmark::textindex {
+namespace {
+
+TEST(TokenizerTest, SplitsOnNonAlnum) {
+  auto terms = TokenizeTerms("The Shuttle, engine #3 (anomaly).");
+  ASSERT_EQ(terms.size(), 5u);
+  EXPECT_EQ(terms[0], "the");
+  EXPECT_EQ(terms[1], "shuttle");
+  EXPECT_EQ(terms[2], "engine");
+  EXPECT_EQ(terms[3], "3");
+  EXPECT_EQ(terms[4], "anomaly");
+}
+
+TEST(TokenizerTest, PositionsAreOrdinals) {
+  auto tokens = Tokenize("alpha  beta,gamma");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].position, 0u);
+  EXPECT_EQ(tokens[1].position, 1u);
+  EXPECT_EQ(tokens[2].position, 2u);
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("   ,.;:!?()[]").empty());
+}
+
+TEST(TokenizerTest, CaseFolded) {
+  auto terms = TokenizeTerms("NASA NeTmArK");
+  EXPECT_EQ(terms[0], "nasa");
+  EXPECT_EQ(terms[1], "netmark");
+}
+
+TEST(TokenizerTest, Utf8BytesStayInTerms) {
+  auto terms = TokenizeTerms("caf\xC3\xA9 m\xC3\xBCnchen");
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_EQ(terms[0], "caf\xC3\xA9");
+  EXPECT_EQ(terms[1], "m\xC3\xBCnchen");
+}
+
+TEST(TokenizerTest, HyphenationSplits) {
+  auto terms = TokenizeTerms("on-the-fly schema-less");
+  ASSERT_EQ(terms.size(), 5u);
+  EXPECT_EQ(terms[2], "fly");
+  EXPECT_EQ(terms[3], "schema");
+}
+
+TEST(TokenizerTest, DigitsAndMixedTokens) {
+  auto terms = TokenizeTerms("FY2005 budget is 12.5 million");
+  ASSERT_EQ(terms.size(), 6u);
+  EXPECT_EQ(terms[0], "fy2005");
+  EXPECT_EQ(terms[3], "12");
+  EXPECT_EQ(terms[4], "5");
+}
+
+}  // namespace
+}  // namespace netmark::textindex

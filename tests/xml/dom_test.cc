@@ -1,0 +1,179 @@
+#include "xml/dom.h"
+
+#include <gtest/gtest.h>
+
+namespace netmark::xml {
+namespace {
+
+TEST(DomTest, EmptyDocumentHasOnlyRoot) {
+  Document doc;
+  EXPECT_EQ(doc.size(), 1u);
+  EXPECT_EQ(doc.kind(doc.root()), NodeKind::kDocument);
+  EXPECT_EQ(doc.first_child(doc.root()), kInvalidNode);
+  EXPECT_EQ(doc.DocumentElement(), kInvalidNode);
+}
+
+TEST(DomTest, AppendChildLinksSiblings) {
+  Document doc;
+  NodeId a = doc.CreateElement("a");
+  NodeId b = doc.CreateElement("b");
+  NodeId c = doc.CreateElement("c");
+  doc.AppendChild(doc.root(), a);
+  doc.AppendChild(doc.root(), b);
+  doc.AppendChild(doc.root(), c);
+
+  EXPECT_EQ(doc.first_child(doc.root()), a);
+  EXPECT_EQ(doc.last_child(doc.root()), c);
+  EXPECT_EQ(doc.next_sibling(a), b);
+  EXPECT_EQ(doc.next_sibling(b), c);
+  EXPECT_EQ(doc.next_sibling(c), kInvalidNode);
+  EXPECT_EQ(doc.prev_sibling(c), b);
+  EXPECT_EQ(doc.prev_sibling(a), kInvalidNode);
+  EXPECT_EQ(doc.parent(b), doc.root());
+}
+
+TEST(DomTest, InsertBeforeMaintainsOrder) {
+  Document doc;
+  NodeId a = doc.CreateElement("a");
+  NodeId c = doc.CreateElement("c");
+  doc.AppendChild(doc.root(), a);
+  doc.AppendChild(doc.root(), c);
+  NodeId b = doc.CreateElement("b");
+  doc.InsertBefore(doc.root(), b, c);
+  NodeId front = doc.CreateElement("front");
+  doc.InsertBefore(doc.root(), front, a);
+
+  auto kids = doc.Children(doc.root());
+  ASSERT_EQ(kids.size(), 4u);
+  EXPECT_EQ(doc.name(kids[0]), "front");
+  EXPECT_EQ(doc.name(kids[1]), "a");
+  EXPECT_EQ(doc.name(kids[2]), "b");
+  EXPECT_EQ(doc.name(kids[3]), "c");
+}
+
+TEST(DomTest, DetachUnlinksMiddleChild) {
+  Document doc;
+  NodeId a = doc.CreateElement("a");
+  NodeId b = doc.CreateElement("b");
+  NodeId c = doc.CreateElement("c");
+  doc.AppendChild(doc.root(), a);
+  doc.AppendChild(doc.root(), b);
+  doc.AppendChild(doc.root(), c);
+  doc.Detach(b);
+
+  auto kids = doc.Children(doc.root());
+  ASSERT_EQ(kids.size(), 2u);
+  EXPECT_EQ(doc.next_sibling(a), c);
+  EXPECT_EQ(doc.prev_sibling(c), a);
+  EXPECT_EQ(doc.parent(b), kInvalidNode);
+}
+
+TEST(DomTest, DetachFirstAndLast) {
+  Document doc;
+  NodeId a = doc.CreateElement("a");
+  NodeId b = doc.CreateElement("b");
+  doc.AppendChild(doc.root(), a);
+  doc.AppendChild(doc.root(), b);
+  doc.Detach(a);
+  EXPECT_EQ(doc.first_child(doc.root()), b);
+  doc.Detach(b);
+  EXPECT_EQ(doc.first_child(doc.root()), kInvalidNode);
+  EXPECT_EQ(doc.last_child(doc.root()), kInvalidNode);
+}
+
+TEST(DomTest, AttributesSetGetReplace) {
+  Document doc;
+  NodeId el = doc.CreateElement("e");
+  doc.AddAttribute(el, "id", "1");
+  EXPECT_EQ(doc.GetAttribute(el, "id"), "1");
+  EXPECT_TRUE(doc.HasAttribute(el, "id"));
+  EXPECT_FALSE(doc.HasAttribute(el, "class"));
+  doc.SetAttribute(el, "id", "2");
+  EXPECT_EQ(doc.GetAttribute(el, "id"), "2");
+  EXPECT_EQ(doc.attributes(el).size(), 1u);
+  doc.SetAttribute(el, "class", "x");
+  EXPECT_EQ(doc.attributes(el).size(), 2u);
+  EXPECT_EQ(doc.GetAttribute(el, "missing"), "");
+}
+
+TEST(DomTest, TextContentConcatenatesDescendants) {
+  Document doc;
+  NodeId div = doc.CreateElement("div");
+  doc.AppendChild(doc.root(), div);
+  doc.AppendChild(div, doc.CreateText("Hello "));
+  NodeId b = doc.CreateElement("b");
+  doc.AppendChild(div, b);
+  doc.AppendChild(b, doc.CreateText("bold"));
+  doc.AppendChild(div, doc.CreateText(" world"));
+  doc.AppendChild(div, doc.CreateComment("ignored"));
+  EXPECT_EQ(doc.TextContent(div), "Hello bold world");
+}
+
+TEST(DomTest, DescendantsIsPreOrder) {
+  Document doc;
+  NodeId a = doc.CreateElement("a");
+  NodeId b = doc.CreateElement("b");
+  NodeId c = doc.CreateElement("c");
+  NodeId d = doc.CreateElement("d");
+  doc.AppendChild(doc.root(), a);
+  doc.AppendChild(a, b);
+  doc.AppendChild(b, c);
+  doc.AppendChild(a, d);
+  auto walk = doc.Descendants(a);
+  ASSERT_EQ(walk.size(), 4u);
+  EXPECT_EQ(walk[0], a);
+  EXPECT_EQ(walk[1], b);
+  EXPECT_EQ(walk[2], c);
+  EXPECT_EQ(walk[3], d);
+  EXPECT_EQ(doc.SubtreeSize(a), 4u);
+  EXPECT_EQ(doc.Depth(c), 3);
+}
+
+TEST(DomTest, FirstChildElementSkipsTextAndFindsByName) {
+  Document doc;
+  NodeId parent = doc.CreateElement("p");
+  doc.AppendChild(doc.root(), parent);
+  doc.AppendChild(parent, doc.CreateText("txt"));
+  NodeId x = doc.CreateElement("x");
+  NodeId y = doc.CreateElement("y");
+  doc.AppendChild(parent, x);
+  doc.AppendChild(parent, y);
+  EXPECT_EQ(doc.FirstChildElement(parent, "y"), y);
+  EXPECT_EQ(doc.FirstChildElement(parent, "z"), kInvalidNode);
+  EXPECT_EQ(doc.ChildElements(parent).size(), 2u);
+}
+
+TEST(DomTest, ImportSubtreeDeepCopies) {
+  Document src;
+  NodeId el = src.CreateElement("section");
+  src.AddAttribute(el, "id", "s1");
+  src.AppendChild(src.root(), el);
+  src.AppendChild(el, src.CreateText("body"));
+
+  Document dst;
+  NodeId copy = dst.ImportSubtree(src, el);
+  dst.AppendChild(dst.root(), copy);
+  EXPECT_TRUE(Document::SubtreeEquals(src, el, dst, copy));
+  // Mutating the copy must not affect the source.
+  dst.SetAttribute(copy, "id", "changed");
+  EXPECT_EQ(src.GetAttribute(el, "id"), "s1");
+}
+
+TEST(DomTest, SubtreeEqualsDetectsDifferences) {
+  Document a;
+  NodeId ea = a.CreateElement("x");
+  a.AppendChild(a.root(), ea);
+  a.AppendChild(ea, a.CreateText("t"));
+
+  Document b;
+  NodeId eb = b.CreateElement("x");
+  b.AppendChild(b.root(), eb);
+  b.AppendChild(eb, b.CreateText("t"));
+  EXPECT_TRUE(Document::SubtreeEquals(a, ea, b, eb));
+
+  b.AppendChild(eb, b.CreateText("extra"));
+  EXPECT_FALSE(Document::SubtreeEquals(a, ea, b, eb));
+}
+
+}  // namespace
+}  // namespace netmark::xml

@@ -1,0 +1,58 @@
+#include "xml/entities.h"
+
+#include <gtest/gtest.h>
+
+namespace netmark::xml {
+namespace {
+
+TEST(EntitiesTest, DecodesCoreXmlEntities) {
+  EXPECT_EQ(DecodeEntities("&lt;&gt;&amp;&quot;&apos;"), "<>&\"'");
+}
+
+TEST(EntitiesTest, DecodesNumericReferences) {
+  EXPECT_EQ(DecodeEntities("&#65;&#66;"), "AB");
+  EXPECT_EQ(DecodeEntities("&#x41;&#X42;"), "AB");
+}
+
+TEST(EntitiesTest, DecodesNumericToUtf8) {
+  EXPECT_EQ(DecodeEntities("&#233;"), "\xC3\xA9");       // é
+  EXPECT_EQ(DecodeEntities("&#x20AC;"), "\xE2\x82\xAC");  // €
+  EXPECT_EQ(DecodeEntities("&#x1F600;"), "\xF0\x9F\x98\x80");  // emoji
+}
+
+TEST(EntitiesTest, InvalidCodePointsBecomeReplacementChar) {
+  EXPECT_EQ(DecodeEntities("&#xD800;"), "\xEF\xBF\xBD");
+  EXPECT_EQ(DecodeEntities("&#x110000;"), "\xEF\xBF\xBD");
+}
+
+TEST(EntitiesTest, CommonHtmlNamedEntities) {
+  EXPECT_EQ(DecodeEntities("&nbsp;"), "\xC2\xA0");
+  EXPECT_EQ(DecodeEntities("&mdash;"), "\xE2\x80\x94");
+  EXPECT_EQ(DecodeEntities("&copy;"), "\xC2\xA9");
+}
+
+TEST(EntitiesTest, UnknownAndMalformedPassThrough) {
+  EXPECT_EQ(DecodeEntities("&unknown;"), "&unknown;");
+  EXPECT_EQ(DecodeEntities("a & b"), "a & b");
+  EXPECT_EQ(DecodeEntities("trailing &"), "trailing &");
+  EXPECT_EQ(DecodeEntities("&toolongentityname1234;"), "&toolongentityname1234;");
+  EXPECT_EQ(DecodeEntities("&#;"), "&#;");
+  EXPECT_EQ(DecodeEntities("&#xG;"), "&#xG;");
+}
+
+TEST(EntitiesTest, EscapeTextMinimal) {
+  EXPECT_EQ(EscapeText("a<b>&c\"'"), "a&lt;b&gt;&amp;c\"'");
+}
+
+TEST(EntitiesTest, EscapeAttributeAlsoQuotes) {
+  EXPECT_EQ(EscapeAttribute("a<b>&\"c"), "a&lt;b&gt;&amp;&quot;c");
+}
+
+TEST(EntitiesTest, EscapeDecodeRoundTrip) {
+  const std::string original = "if (a < b && c > d) say \"hi\"";
+  EXPECT_EQ(DecodeEntities(EscapeText(original)), original);
+  EXPECT_EQ(DecodeEntities(EscapeAttribute(original)), original);
+}
+
+}  // namespace
+}  // namespace netmark::xml

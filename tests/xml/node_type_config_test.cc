@@ -1,0 +1,71 @@
+#include "xml/node_type_config.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+
+namespace netmark::xml {
+namespace {
+
+TEST(NodeTypeConfigTest, DefaultClassifiesHtmlConventions) {
+  NodeTypeConfig cfg = NodeTypeConfig::Default();
+  EXPECT_EQ(cfg.ClassifyElementName("h1"), NetmarkNodeType::kContext);
+  EXPECT_EQ(cfg.ClassifyElementName("H2"), NetmarkNodeType::kContext);
+  EXPECT_EQ(cfg.ClassifyElementName("title"), NetmarkNodeType::kContext);
+  EXPECT_EQ(cfg.ClassifyElementName("context"), NetmarkNodeType::kContext);
+  EXPECT_EQ(cfg.ClassifyElementName("b"), NetmarkNodeType::kIntense);
+  EXPECT_EQ(cfg.ClassifyElementName("STRONG"), NetmarkNodeType::kIntense);
+  EXPECT_EQ(cfg.ClassifyElementName("netmark:meta"), NetmarkNodeType::kSimulation);
+  EXPECT_EQ(cfg.ClassifyElementName("p"), NetmarkNodeType::kElement);
+  EXPECT_EQ(cfg.ClassifyElementName("unknown-tag"), NetmarkNodeType::kElement);
+}
+
+TEST(NodeTypeConfigTest, ClassifiesDomNodes) {
+  NodeTypeConfig cfg = NodeTypeConfig::Default();
+  auto doc = ParseXml("<sec><h1>T</h1><p>x</p></sec>");
+  ASSERT_TRUE(doc.ok());
+  NodeId sec = doc->DocumentElement();
+  NodeId h1 = doc->FirstChildElement(sec, "h1");
+  NodeId text = doc->first_child(h1);
+  EXPECT_EQ(cfg.Classify(*doc, sec), NetmarkNodeType::kElement);
+  EXPECT_EQ(cfg.Classify(*doc, h1), NetmarkNodeType::kContext);
+  EXPECT_EQ(cfg.Classify(*doc, text), NetmarkNodeType::kText);
+}
+
+TEST(NodeTypeConfigTest, LoadsFromConfigWithFallbacks) {
+  auto ini = Config::Parse(
+      "[context]\n"
+      "tags = section-title, chapter\n");
+  ASSERT_TRUE(ini.ok());
+  auto cfg = NodeTypeConfig::FromConfig(*ini);
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->ClassifyElementName("section-title"), NetmarkNodeType::kContext);
+  EXPECT_EQ(cfg->ClassifyElementName("chapter"), NetmarkNodeType::kContext);
+  // h1 was *replaced* by the custom [context] section...
+  EXPECT_EQ(cfg->ClassifyElementName("h1"), NetmarkNodeType::kElement);
+  // ...but intense falls back to defaults (no [intense] section given).
+  EXPECT_EQ(cfg->ClassifyElementName("b"), NetmarkNodeType::kIntense);
+}
+
+TEST(NodeTypeConfigTest, AddTagsAtRuntime) {
+  NodeTypeConfig cfg = NodeTypeConfig::Default();
+  cfg.AddContextTag("Rubric");
+  EXPECT_TRUE(cfg.IsContextTag("rubric"));
+  EXPECT_TRUE(cfg.IsContextTag("RUBRIC"));
+  cfg.AddIntenseTag("hot");
+  EXPECT_TRUE(cfg.IsIntenseTag("hot"));
+  cfg.AddSimulationTag("gen");
+  EXPECT_TRUE(cfg.IsSimulationTag("gen"));
+}
+
+TEST(NodeTypeConfigTest, NodeTypeIntConversion) {
+  EXPECT_EQ(*NetmarkNodeTypeFromInt(1), NetmarkNodeType::kElement);
+  EXPECT_EQ(*NetmarkNodeTypeFromInt(3), NetmarkNodeType::kContext);
+  EXPECT_EQ(*NetmarkNodeTypeFromInt(5), NetmarkNodeType::kSimulation);
+  EXPECT_FALSE(NetmarkNodeTypeFromInt(0).ok());
+  EXPECT_FALSE(NetmarkNodeTypeFromInt(6).ok());
+  EXPECT_EQ(NetmarkNodeTypeToString(NetmarkNodeType::kIntense), "INTENSE");
+}
+
+}  // namespace
+}  // namespace netmark::xml

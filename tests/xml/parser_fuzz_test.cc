@@ -1,0 +1,76 @@
+// Fuzz-style robustness for the tolerant SGML parser and entity decoder:
+// arbitrary byte soup must never crash and, in HTML mode, must always yield
+// a document; parse→serialize→parse must then be a fixpoint.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "xml/entities.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace netmark::xml {
+namespace {
+
+std::string RandomMarkupSoup(netmark::Rng* rng, size_t len) {
+  // Bias toward markup-relevant characters so structures actually form.
+  static const std::string kChars =
+      "<><>///!?=\"' abcdefgij&;#xAB0123-_\n\tspanbdivh1h2li&amp;&lt;<!--]]>";
+  std::string out;
+  for (size_t i = 0; i < len; ++i) {
+    out += kChars[rng->Uniform(kChars.size())];
+  }
+  return out;
+}
+
+class ParserFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzzTest, HtmlModeAlwaysProducesADocument) {
+  netmark::Rng rng(GetParam());
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string soup = RandomMarkupSoup(&rng, 1 + rng.Uniform(400));
+    auto doc = ParseHtml(soup);
+    ASSERT_TRUE(doc.ok()) << "html mode must tolerate: " << soup << "\n"
+                          << doc.status().ToString();
+    // And serialization of whatever came out must itself re-parse cleanly.
+    std::string serialized = Serialize(*doc);
+    auto again = ParseXml(serialized);
+    ASSERT_TRUE(again.ok()) << "serialized form must be well-formed XML: "
+                            << serialized;
+    EXPECT_TRUE(Document::SubtreeEquals(*doc, doc->root(), *again, again->root()))
+        << serialized;
+  }
+}
+
+TEST_P(ParserFuzzTest, StrictModeNeverCrashesOnSoup) {
+  netmark::Rng rng(GetParam() * 7 + 1);
+  size_t accepted = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string soup = RandomMarkupSoup(&rng, 1 + rng.Uniform(400));
+    auto doc = ParseXml(soup);  // ok() or clean error; either is fine
+    if (doc.ok()) accepted += doc->size();
+  }
+  // No assertion beyond "did not crash"; keep the work observable.
+  SUCCEED() << accepted;
+}
+
+TEST_P(ParserFuzzTest, EntityDecoderTotalOnRandomBytes) {
+  netmark::Rng rng(GetParam() * 31 + 5);
+  for (int trial = 0; trial < 300; ++trial) {
+    size_t len = rng.Uniform(200);
+    std::string bytes;
+    for (size_t i = 0; i < len; ++i) {
+      bytes += static_cast<char>(rng.Uniform(256));
+    }
+    std::string decoded = DecodeEntities(bytes);
+    EXPECT_LE(decoded.size(), bytes.size() * 4 + 4);
+    // Escape/decode round trip on the same randomness.
+    EXPECT_EQ(DecodeEntities(EscapeText(bytes)), bytes);
+    EXPECT_EQ(DecodeEntities(EscapeAttribute(bytes)), bytes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest, ::testing::Values(3, 33, 333));
+
+}  // namespace
+}  // namespace netmark::xml

@@ -1,0 +1,74 @@
+#include "xml/serializer.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+
+namespace netmark::xml {
+namespace {
+
+TEST(SerializerTest, EmptyElementSelfCloses) {
+  Document doc;
+  doc.AppendChild(doc.root(), doc.CreateElement("e"));
+  EXPECT_EQ(Serialize(doc), "<e/>");
+}
+
+TEST(SerializerTest, EscapesTextAndAttributes) {
+  Document doc;
+  NodeId e = doc.CreateElement("e");
+  doc.AddAttribute(e, "a", "x<y>\"z\"&");
+  doc.AppendChild(doc.root(), e);
+  doc.AppendChild(e, doc.CreateText("1 < 2 & 3 > 0"));
+  EXPECT_EQ(Serialize(doc),
+            "<e a=\"x&lt;y&gt;&quot;z&quot;&amp;\">1 &lt; 2 &amp; 3 &gt; 0</e>");
+}
+
+TEST(SerializerTest, DeclarationOption) {
+  Document doc;
+  doc.AppendChild(doc.root(), doc.CreateElement("r"));
+  SerializeOptions opts;
+  opts.declaration = true;
+  EXPECT_EQ(Serialize(doc, opts), "<?xml version=\"1.0\" encoding=\"UTF-8\"?><r/>");
+}
+
+TEST(SerializerTest, PrettyPrintsElementOnlyContent) {
+  auto doc = ParseXml("<a><b><c/></b><d/></a>");
+  ASSERT_TRUE(doc.ok());
+  SerializeOptions opts;
+  opts.pretty = true;
+  EXPECT_EQ(Serialize(*doc, opts),
+            "<a>\n"
+            "  <b>\n"
+            "    <c/>\n"
+            "  </b>\n"
+            "  <d/>\n"
+            "</a>");
+}
+
+TEST(SerializerTest, PrettyPreservesMixedContentExactly) {
+  auto doc = ParseXml("<p>before<b>bold</b>after</p>");
+  ASSERT_TRUE(doc.ok());
+  SerializeOptions opts;
+  opts.pretty = true;
+  // Mixed content must not gain whitespace.
+  EXPECT_EQ(Serialize(*doc, opts), "<p>before<b>bold</b>after</p>");
+}
+
+TEST(SerializerTest, SerializesSubtreeOnly) {
+  auto doc = ParseXml("<a><b>inner</b><c/></a>");
+  ASSERT_TRUE(doc.ok());
+  NodeId b = doc->FirstChildElement(doc->DocumentElement(), "b");
+  EXPECT_EQ(Serialize(*doc, b), "<b>inner</b>");
+}
+
+TEST(SerializerTest, CDataAndPi) {
+  Document doc;
+  NodeId r = doc.CreateElement("r");
+  doc.AppendChild(doc.root(), r);
+  doc.AppendChild(r, doc.CreateCData("a<b"));
+  doc.AppendChild(doc.root(), doc.CreateProcessingInstruction("target", "data"));
+  EXPECT_EQ(Serialize(doc), "<r><![CDATA[a<b]]></r><?target data?>");
+}
+
+}  // namespace
+}  // namespace netmark::xml

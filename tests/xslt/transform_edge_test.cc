@@ -1,0 +1,118 @@
+// XSLT engine edge cases beyond the core instruction tests.
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xslt/stylesheet.h"
+
+namespace netmark::xslt {
+namespace {
+
+std::string ApplySheet(const char* sheet, const char* source) {
+  auto doc = xml::ParseXml(source);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  auto out = Transform(sheet, *doc);
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  if (!out.ok()) return "";
+  return xml::Serialize(*out);
+}
+
+TEST(TransformEdgeTest, LaterTemplateWinsPriorityTies) {
+  const char* sheet =
+      "<xsl:stylesheet>"
+      "<xsl:template match=\"x\"><first/></xsl:template>"
+      "<xsl:template match=\"x\"><second/></xsl:template>"
+      "</xsl:stylesheet>";
+  EXPECT_EQ(ApplySheet(sheet, "<x/>"), "<second/>");
+}
+
+TEST(TransformEdgeTest, DescendantSelectInForEach) {
+  const char* sheet =
+      "<xsl:stylesheet><xsl:template match=\"/\">"
+      "<xsl:for-each select=\"//leaf\"><l><xsl:value-of select=\".\"/></l>"
+      "</xsl:for-each></xsl:template></xsl:stylesheet>";
+  EXPECT_EQ(ApplySheet(sheet,
+                       "<r><a><leaf>1</leaf></a><b><c><leaf>2</leaf></c></b></r>"),
+            "<l>1</l><l>2</l>");
+}
+
+TEST(TransformEdgeTest, NestedForEachUsesInnerContext) {
+  const char* sheet =
+      "<xsl:stylesheet><xsl:template match=\"/\">"
+      "<xsl:for-each select=\"db/table\">"
+      "<t name=\"{@n}\">"
+      "<xsl:for-each select=\"row\">"
+      "<r><xsl:value-of select=\"@id\"/></r>"
+      "</xsl:for-each>"
+      "</t>"
+      "</xsl:for-each>"
+      "</xsl:template></xsl:stylesheet>";
+  EXPECT_EQ(ApplySheet(sheet,
+                       "<db><table n=\"a\"><row id=\"1\"/><row id=\"2\"/></table>"
+                       "<table n=\"b\"><row id=\"3\"/></table></db>"),
+            "<t name=\"a\"><r>1</r><r>2</r></t><t name=\"b\"><r>3</r></t>");
+}
+
+TEST(TransformEdgeTest, EmptyTemplateSuppressesSubtree) {
+  const char* sheet =
+      "<xsl:stylesheet>"
+      "<xsl:template match=\"secret\"/>"
+      "</xsl:stylesheet>";
+  EXPECT_EQ(ApplySheet(sheet, "<d>keep<secret>drop</secret>also</d>"), "keepalso");
+}
+
+TEST(TransformEdgeTest, RecursiveApplyTemplatesOnNestedStructure) {
+  const char* sheet =
+      "<xsl:stylesheet>"
+      "<xsl:template match=\"folder\">"
+      "<dir name=\"{@name}\"><xsl:apply-templates/></dir>"
+      "</xsl:template>"
+      "<xsl:template match=\"file\"><f><xsl:value-of select=\"@name\"/></f>"
+      "</xsl:template>"
+      "</xsl:stylesheet>";
+  EXPECT_EQ(ApplySheet(sheet,
+                       "<folder name=\"root\"><file name=\"a\"/>"
+                       "<folder name=\"sub\"><file name=\"b\"/></folder></folder>"),
+            "<dir name=\"root\"><f>a</f><dir name=\"sub\"><f>b</f></dir></dir>");
+}
+
+TEST(TransformEdgeTest, ValueOfTakesFirstNodeOnly) {
+  const char* sheet =
+      "<xsl:stylesheet><xsl:template match=\"/\">"
+      "<v><xsl:value-of select=\"r/x\"/></v>"
+      "</xsl:template></xsl:stylesheet>";
+  EXPECT_EQ(ApplySheet(sheet, "<r><x>first</x><x>second</x></r>"), "<v>first</v>");
+}
+
+TEST(TransformEdgeTest, ChooseWithNoMatchingBranchEmitsNothing) {
+  const char* sheet =
+      "<xsl:stylesheet><xsl:template match=\"r\">"
+      "<out><xsl:choose><xsl:when test=\"@missing\"><bad/></xsl:when>"
+      "</xsl:choose></out>"
+      "</xsl:template></xsl:stylesheet>";
+  EXPECT_EQ(ApplySheet(sheet, "<r/>"), "<out/>");
+}
+
+TEST(TransformEdgeTest, AttributeValueTemplateWithMultipleBraces) {
+  const char* sheet =
+      "<xsl:stylesheet><xsl:template match=\"e\">"
+      "<o id=\"{@a}-{@b}\" literal=\"plain\"/>"
+      "</xsl:template></xsl:stylesheet>";
+  EXPECT_EQ(ApplySheet(sheet, "<e a=\"1\" b=\"2\"/>"),
+            "<o id=\"1-2\" literal=\"plain\"/>");
+}
+
+TEST(TransformEdgeTest, SortIsStableForEqualKeys) {
+  const char* sheet =
+      "<xsl:stylesheet><xsl:template match=\"/\">"
+      "<xsl:for-each select=\"l/e\"><xsl:sort select=\"@k\"/>"
+      "<v><xsl:value-of select=\".\"/></v></xsl:for-each>"
+      "</xsl:template></xsl:stylesheet>";
+  EXPECT_EQ(ApplySheet(sheet,
+                       "<l><e k=\"b\">3</e><e k=\"a\">1</e><e k=\"a\">2</e></l>"),
+            "<v>1</v><v>2</v><v>3</v>");
+}
+
+}  // namespace
+}  // namespace netmark::xslt

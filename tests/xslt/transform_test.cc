@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xslt/stylesheet.h"
+
+namespace netmark::xslt {
+namespace {
+
+std::string ApplySheet(const char* sheet, const char* source) {
+  auto doc = xml::ParseXml(source);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  auto out = Transform(sheet, *doc);
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  if (!out.ok()) return "";
+  return xml::Serialize(*out);
+}
+
+TEST(TransformTest, BuiltInRulesCopyTextThroughElements) {
+  EXPECT_EQ(ApplySheet("<xsl:stylesheet></xsl:stylesheet>", "<a><b>hi</b> there</a>"),
+            "hi there");
+}
+
+TEST(TransformTest, RootTemplateAndValueOf) {
+  const char* sheet =
+      "<xsl:stylesheet>"
+      "<xsl:template match=\"/\">"
+      "<out><xsl:value-of select=\"doc/title\"/></out>"
+      "</xsl:template>"
+      "</xsl:stylesheet>";
+  EXPECT_EQ(ApplySheet(sheet, "<doc><title>T</title><body>B</body></doc>"),
+            "<out>T</out>");
+}
+
+TEST(TransformTest, ApplyTemplatesWithMatchRules) {
+  const char* sheet =
+      "<xsl:stylesheet>"
+      "<xsl:template match=\"/\"><report><xsl:apply-templates/></report>"
+      "</xsl:template>"
+      "<xsl:template match=\"section\">"
+      "<sec name=\"{title}\"><xsl:apply-templates select=\"body\"/></sec>"
+      "</xsl:template>"
+      "<xsl:template match=\"title\"/>"
+      "</xsl:stylesheet>";
+  std::string out = ApplySheet(sheet,
+                        "<doc>"
+                        "<section><title>One</title><body>first</body></section>"
+                        "<section><title>Two</title><body>second</body></section>"
+                        "</doc>");
+  EXPECT_EQ(out,
+            "<report><sec name=\"One\">first</sec>"
+            "<sec name=\"Two\">second</sec></report>");
+}
+
+TEST(TransformTest, SpecificTemplateBeatsWildcard) {
+  const char* sheet =
+      "<xsl:stylesheet>"
+      "<xsl:template match=\"*\"><any/></xsl:template>"
+      "<xsl:template match=\"b\"><bee/></xsl:template>"
+      "</xsl:stylesheet>";
+  EXPECT_EQ(ApplySheet(sheet, "<a/>"), "<any/>");
+  EXPECT_EQ(ApplySheet(sheet, "<b/>"), "<bee/>");
+}
+
+TEST(TransformTest, ParentQualifiedPatternWins) {
+  const char* sheet =
+      "<xsl:stylesheet>"
+      "<xsl:template match=\"title\"><t/></xsl:template>"
+      "<xsl:template match=\"book/title\"><bt/></xsl:template>"
+      "</xsl:stylesheet>";
+  EXPECT_EQ(ApplySheet(sheet, "<book><title>x</title></book>"), "<bt/>");
+  EXPECT_EQ(ApplySheet(sheet, "<film><title>x</title></film>"), "<t/>");
+}
+
+TEST(TransformTest, ForEachIteratesInOrder) {
+  const char* sheet =
+      "<xsl:stylesheet>"
+      "<xsl:template match=\"/\">"
+      "<ul><xsl:for-each select=\"list/item\">"
+      "<li><xsl:value-of select=\".\"/></li>"
+      "</xsl:for-each></ul>"
+      "</xsl:template>"
+      "</xsl:stylesheet>";
+  EXPECT_EQ(ApplySheet(sheet, "<list><item>a</item><item>b</item><item>c</item></list>"),
+            "<ul><li>a</li><li>b</li><li>c</li></ul>");
+}
+
+TEST(TransformTest, SortAscendingDescendingNumeric) {
+  const char* source =
+      "<list><e k=\"banana\" n=\"10\"/><e k=\"apple\" n=\"2\"/>"
+      "<e k=\"cherry\" n=\"1\"/></list>";
+  const char* text_sort =
+      "<xsl:stylesheet><xsl:template match=\"/\">"
+      "<xsl:for-each select=\"list/e\"><xsl:sort select=\"@k\"/>"
+      "<v><xsl:value-of select=\"@k\"/></v></xsl:for-each>"
+      "</xsl:template></xsl:stylesheet>";
+  EXPECT_EQ(ApplySheet(text_sort, source), "<v>apple</v><v>banana</v><v>cherry</v>");
+  const char* num_desc =
+      "<xsl:stylesheet><xsl:template match=\"/\">"
+      "<xsl:for-each select=\"list/e\">"
+      "<xsl:sort select=\"@n\" data-type=\"number\" order=\"descending\"/>"
+      "<v><xsl:value-of select=\"@n\"/></v></xsl:for-each>"
+      "</xsl:template></xsl:stylesheet>";
+  EXPECT_EQ(ApplySheet(num_desc, source), "<v>10</v><v>2</v><v>1</v>");
+  // Text sort of the numbers would give 1,10,2 — verify numeric differs.
+  const char* num_asc =
+      "<xsl:stylesheet><xsl:template match=\"/\">"
+      "<xsl:for-each select=\"list/e\"><xsl:sort select=\"@n\"/>"
+      "<v><xsl:value-of select=\"@n\"/></v></xsl:for-each>"
+      "</xsl:template></xsl:stylesheet>";
+  EXPECT_EQ(ApplySheet(num_asc, source), "<v>1</v><v>10</v><v>2</v>");
+}
+
+TEST(TransformTest, IfAndChoose) {
+  const char* sheet =
+      "<xsl:stylesheet>"
+      "<xsl:template match=\"item\">"
+      "<xsl:if test=\"@keep='yes'\"><kept><xsl:value-of select=\".\"/></kept>"
+      "</xsl:if>"
+      "<xsl:choose>"
+      "<xsl:when test=\"@kind='a'\"><a/></xsl:when>"
+      "<xsl:when test=\"@kind='b'\"><b/></xsl:when>"
+      "<xsl:otherwise><other/></xsl:otherwise>"
+      "</xsl:choose>"
+      "</xsl:template>"
+      "</xsl:stylesheet>";
+  EXPECT_EQ(ApplySheet(sheet, "<item keep=\"yes\" kind=\"a\">x</item>"),
+            "<kept>x</kept><a/>");
+  EXPECT_EQ(ApplySheet(sheet, "<item kind=\"b\">x</item>"), "<b/>");
+  EXPECT_EQ(ApplySheet(sheet, "<item kind=\"z\">x</item>"), "<other/>");
+}
+
+TEST(TransformTest, TestExpressions) {
+  const char* sheet =
+      "<xsl:stylesheet>"
+      "<xsl:template match=\"r\">"
+      "<xsl:if test=\"child\"><has-child/></xsl:if>"
+      "<xsl:if test=\"not(child)\"><no-child/></xsl:if>"
+      "<xsl:if test=\"name!='x'\"><name-not-x/></xsl:if>"
+      "</xsl:template>"
+      "</xsl:stylesheet>";
+  EXPECT_EQ(ApplySheet(sheet, "<r><child/><name>y</name></r>"),
+            "<has-child/><name-not-x/>");
+  EXPECT_EQ(ApplySheet(sheet, "<r><name>x</name></r>"), "<no-child/>");
+}
+
+TEST(TransformTest, ElementAttributeTextCopyOf) {
+  const char* sheet =
+      "<xsl:stylesheet>"
+      "<xsl:template match=\"/\">"
+      "<xsl:element name=\"dyn-{root/@kind}\">"
+      "<xsl:attribute name=\"computed\"><xsl:value-of select=\"root/v\"/>"
+      "</xsl:attribute>"
+      "<xsl:text>literal </xsl:text>"
+      "<xsl:copy-of select=\"root/deep\"/>"
+      "</xsl:element>"
+      "</xsl:template>"
+      "</xsl:stylesheet>";
+  EXPECT_EQ(ApplySheet(sheet, "<root kind=\"r\"><v>42</v><deep><x a=\"1\">t</x></deep></root>"),
+            "<dyn-r computed=\"42\">literal <deep><x a=\"1\">t</x></deep></dyn-r>");
+}
+
+TEST(TransformTest, XslTextPreservesWhitespace) {
+  const char* sheet =
+      "<xsl:stylesheet><xsl:template match=\"/\">"
+      "<o><xsl:value-of select=\"a/x\"/><xsl:text> </xsl:text>"
+      "<xsl:value-of select=\"a/y\"/></o>"
+      "</xsl:template></xsl:stylesheet>";
+  EXPECT_EQ(ApplySheet(sheet, "<a><x>1</x><y>2</y></a>"), "<o>1 2</o>");
+}
+
+TEST(TransformTest, TemplateMatchingTextNodes) {
+  const char* sheet =
+      "<xsl:stylesheet>"
+      "<xsl:template match=\"text()\"><t/></xsl:template>"
+      "</xsl:stylesheet>";
+  EXPECT_EQ(ApplySheet(sheet, "<a>one<b>two</b></a>"), "<t/><t/>");
+}
+
+TEST(TransformTest, ErrorsPropagate) {
+  auto doc = xml::ParseXml("<a/>");
+  ASSERT_TRUE(doc.ok());
+  // Not a stylesheet.
+  EXPECT_FALSE(Transform("<not-a-sheet/>", *doc).ok());
+  // Template without match.
+  EXPECT_FALSE(
+      Transform("<xsl:stylesheet><xsl:template/></xsl:stylesheet>", *doc).ok());
+  // Unknown instruction.
+  auto bad = Transform(
+      "<xsl:stylesheet><xsl:template match=\"/\"><xsl:unknown/></xsl:template>"
+      "</xsl:stylesheet>",
+      *doc);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsNotImplemented());
+  // Bad XPath inside value-of.
+  EXPECT_FALSE(Transform(
+                   "<xsl:stylesheet><xsl:template match=\"/\">"
+                   "<xsl:value-of select=\"a[\"/></xsl:template></xsl:stylesheet>",
+                   *doc)
+                   .ok());
+}
+
+TEST(TransformTest, PaperStyleResultComposition) {
+  // The Fig-7 flow: a <results> document rendered into a new integrated
+  // report document.
+  const char* sheet =
+      "<xsl:stylesheet>"
+      "<xsl:template match=\"/\">"
+      "<integrated-report title=\"Budget sections\">"
+      "<xsl:for-each select=\"results/result\">"
+      "<xsl:sort select=\"@doc\"/>"
+      "<entry from=\"{@doc}\">"
+      "<heading><xsl:value-of select=\"context\"/></heading>"
+      "<body><xsl:value-of select=\"content\"/></body>"
+      "</entry>"
+      "</xsl:for-each>"
+      "</integrated-report>"
+      "</xsl:template>"
+      "</xsl:stylesheet>";
+  const char* results =
+      "<results query=\"context=Budget\" count=\"2\">"
+      "<result doc=\"b.xml\" docid=\"2\"><context>Budget</context>"
+      "<content>two hundred</content></result>"
+      "<result doc=\"a.xml\" docid=\"1\"><context>Budget</context>"
+      "<content>one hundred</content></result>"
+      "</results>";
+  EXPECT_EQ(ApplySheet(sheet, results),
+            "<integrated-report title=\"Budget sections\">"
+            "<entry from=\"a.xml\"><heading>Budget</heading>"
+            "<body>one hundred</body></entry>"
+            "<entry from=\"b.xml\"><heading>Budget</heading>"
+            "<body>two hundred</body></entry>"
+            "</integrated-report>");
+}
+
+}  // namespace
+}  // namespace netmark::xslt

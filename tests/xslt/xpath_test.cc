@@ -1,0 +1,145 @@
+#include "xslt/xpath.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+
+namespace netmark::xslt {
+namespace {
+
+class XPathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto doc = xml::ParseXml(
+        "<catalog>"
+        "<book id=\"b1\" lang=\"en\"><title>Alpha</title><price>10</price></book>"
+        "<book id=\"b2\"><title>Beta</title><price>20</price></book>"
+        "<journal id=\"j1\"><title>Gamma</title></journal>"
+        "<note>standalone text</note>"
+        "</catalog>");
+    ASSERT_TRUE(doc.ok());
+    doc_ = std::make_unique<xml::Document>(std::move(*doc));
+  }
+
+  std::vector<std::string> Strings(const std::string& expr, xml::NodeId ctx = -2) {
+    auto path = XPath::Parse(expr);
+    EXPECT_TRUE(path.ok()) << path.status().ToString();
+    if (!path.ok()) return {};
+    return path->EvaluateStrings(*doc_, ctx == -2 ? doc_->root() : ctx);
+  }
+
+  size_t Count(const std::string& expr) {
+    auto path = XPath::Parse(expr);
+    EXPECT_TRUE(path.ok()) << path.status().ToString();
+    if (!path.ok()) return 0;
+    return path->SelectNodes(*doc_, doc_->root()).size();
+  }
+
+  std::unique_ptr<xml::Document> doc_;
+};
+
+TEST_F(XPathTest, ChildSteps) {
+  EXPECT_EQ(Count("catalog"), 1u);
+  EXPECT_EQ(Count("catalog/book"), 2u);
+  EXPECT_EQ(Count("catalog/book/title"), 2u);
+  EXPECT_EQ(Count("catalog/missing"), 0u);
+}
+
+TEST_F(XPathTest, AbsoluteVsRelative) {
+  auto path = XPath::Parse("/catalog/book");
+  ASSERT_TRUE(path.ok());
+  // Absolute paths ignore the context node.
+  xml::NodeId book = doc_->FirstChildElement(doc_->DocumentElement(), "book");
+  EXPECT_EQ(path->SelectNodes(*doc_, book).size(), 2u);
+}
+
+TEST_F(XPathTest, Wildcard) {
+  EXPECT_EQ(Count("catalog/*"), 4u);
+  EXPECT_EQ(Count("catalog/*/title"), 3u);
+}
+
+TEST_F(XPathTest, DescendantAxis) {
+  EXPECT_EQ(Count("//title"), 3u);
+  EXPECT_EQ(Count("//book/title"), 2u);
+  EXPECT_EQ(Count("catalog//price"), 2u);
+}
+
+TEST_F(XPathTest, TextNodes) {
+  auto strings = Strings("catalog/note/text()");
+  ASSERT_EQ(strings.size(), 1u);
+  EXPECT_EQ(strings[0], "standalone text");
+}
+
+TEST_F(XPathTest, AttributeValues) {
+  auto ids = Strings("catalog/book/@id");
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], "b1");
+  EXPECT_EQ(ids[1], "b2");
+  // Missing attribute on one node yields fewer strings.
+  EXPECT_EQ(Strings("catalog/book/@lang").size(), 1u);
+  EXPECT_EQ(Strings("catalog/*/@id").size(), 3u);
+}
+
+TEST_F(XPathTest, PositionalPredicate) {
+  auto strings = Strings("catalog/book[2]/title");
+  ASSERT_EQ(strings.size(), 1u);
+  EXPECT_EQ(strings[0], "Beta");
+  EXPECT_EQ(Count("catalog/book[3]"), 0u);
+}
+
+TEST_F(XPathTest, AttributePredicates) {
+  EXPECT_EQ(Count("catalog/book[@id='b2']"), 1u);
+  EXPECT_EQ(Count("catalog/book[@lang]"), 1u);
+  EXPECT_EQ(Count("catalog/book[@id='nope']"), 0u);
+}
+
+TEST_F(XPathTest, ChildPredicates) {
+  EXPECT_EQ(Count("catalog/book[title='Alpha']"), 1u);
+  EXPECT_EQ(Count("catalog/*[title]"), 3u);
+  EXPECT_EQ(Count("catalog/book[title='Gamma']"), 0u);
+}
+
+TEST_F(XPathTest, SelfAndParent) {
+  xml::NodeId book = doc_->FirstChildElement(doc_->DocumentElement(), "book");
+  auto self = XPath::Parse(".");
+  ASSERT_TRUE(self.ok());
+  auto nodes = self->SelectNodes(*doc_, book);
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(nodes[0], book);
+
+  auto parent = XPath::Parse("../journal");
+  ASSERT_TRUE(parent.ok());
+  EXPECT_EQ(parent->SelectNodes(*doc_, book).size(), 1u);
+}
+
+TEST_F(XPathTest, StringAndBoolCoercion) {
+  auto path = XPath::Parse("catalog/book/title");
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path->EvaluateString(*doc_, doc_->root()), "Alpha");
+  EXPECT_TRUE(path->EvaluateBool(*doc_, doc_->root()));
+  auto missing = XPath::Parse("catalog/nothing");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->EvaluateString(*doc_, doc_->root()), "");
+  EXPECT_FALSE(missing->EvaluateBool(*doc_, doc_->root()));
+}
+
+TEST_F(XPathTest, RootPath) {
+  auto path = XPath::Parse("/");
+  ASSERT_TRUE(path.ok());
+  auto nodes = path->SelectNodes(*doc_, doc_->DocumentElement());
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(nodes[0], doc_->root());
+}
+
+TEST_F(XPathTest, ParseErrors) {
+  EXPECT_FALSE(XPath::Parse("").ok());
+  EXPECT_FALSE(XPath::Parse("a/").ok());
+  EXPECT_FALSE(XPath::Parse("a[").ok());
+  EXPECT_FALSE(XPath::Parse("a[]").ok());
+  EXPECT_FALSE(XPath::Parse("a[@x=unquoted]").ok());
+  EXPECT_FALSE(XPath::Parse("a[0]").ok());
+  EXPECT_FALSE(XPath::Parse("a b").ok());
+}
+
+}  // namespace
+}  // namespace netmark::xslt

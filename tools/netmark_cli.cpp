@@ -1,0 +1,234 @@
+// netmark — the command-line front end.
+//
+//   netmark ingest  --data DIR FILE...              ingest documents
+//   netmark ls      --data DIR                      list stored documents
+//   netmark get     --data DIR DOCID                print reconstructed XML
+//   netmark rm      --data DIR DOCID                delete a document
+//   netmark query   --data DIR QUERY [--xslt FILE]  run an XDB query
+//   netmark serve   --data DIR [--port N] [--drop DIR] [--databanks FILE]
+//                                                   run the HTTP server
+//   netmark remote  --host H --port P QUERY         query a running server
+//
+// QUERY is an XDB query string, e.g. "context=Budget&content=engine".
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/string_util.h"
+#include "common/temp_dir.h"
+#include "core/netmark.h"
+#include "federation/databank_config.h"
+#include "server/http_client.h"
+#include "server/source_factory.h"
+
+namespace {
+
+using namespace netmark;
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "netmark: %s\n", message.c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  netmark ingest --data DIR FILE...\n"
+               "  netmark ls     --data DIR\n"
+               "  netmark get    --data DIR DOCID\n"
+               "  netmark rm     --data DIR DOCID\n"
+               "  netmark query  --data DIR QUERY [--xslt FILE]\n"
+               "  netmark serve  --data DIR [--port N] [--drop DIR] "
+               "[--databanks FILE]\n"
+               "  netmark remote --host H --port P QUERY\n");
+  return 2;
+}
+
+// Minimal flag parsing: --key value pairs plus positional arguments.
+struct Args {
+  std::map<std::string, std::string> flags;
+  std::vector<std::string> positional;
+};
+
+Args ParseArgs(int argc, char** argv, int start) {
+  Args args;
+  for (int i = start; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
+      args.flags[arg.substr(2)] = argv[++i];
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+Result<std::unique_ptr<Netmark>> OpenFromArgs(const Args& args) {
+  auto it = args.flags.find("data");
+  if (it == args.flags.end()) {
+    return Status::InvalidArgument("--data DIR is required");
+  }
+  NetmarkOptions options;
+  options.data_dir = it->second;
+  return Netmark::Open(options);
+}
+
+int CmdIngest(const Args& args) {
+  auto nm = OpenFromArgs(args);
+  if (!nm.ok()) return Fail(nm.status().ToString());
+  if (args.positional.empty()) return Fail("no files given");
+  for (const std::string& file : args.positional) {
+    auto id = (*nm)->IngestFile(file);
+    if (!id.ok()) return Fail(file + ": " + id.status().ToString());
+    std::printf("%s -> doc %lld\n", file.c_str(), static_cast<long long>(*id));
+  }
+  Status st = (*nm)->store()->Flush();
+  if (!st.ok()) return Fail(st.ToString());
+  return 0;
+}
+
+int CmdLs(const Args& args) {
+  auto nm = OpenFromArgs(args);
+  if (!nm.ok()) return Fail(nm.status().ToString());
+  auto docs = (*nm)->ListDocuments();
+  if (!docs.ok()) return Fail(docs.status().ToString());
+  std::printf("%6s %10s %s\n", "id", "bytes", "name");
+  for (const auto& doc : *docs) {
+    std::printf("%6lld %10lld %s\n", static_cast<long long>(doc.doc_id),
+                static_cast<long long>(doc.file_size), doc.file_name.c_str());
+  }
+  return 0;
+}
+
+int CmdGet(const Args& args) {
+  auto nm = OpenFromArgs(args);
+  if (!nm.ok()) return Fail(nm.status().ToString());
+  if (args.positional.size() != 1) return Fail("expected one DOCID");
+  auto id = ParseInt64(args.positional[0]);
+  if (!id.ok()) return Fail("bad document id: " + args.positional[0]);
+  auto xml = (*nm)->GetDocumentXml(*id);
+  if (!xml.ok()) return Fail(xml.status().ToString());
+  std::printf("%s\n", xml->c_str());
+  return 0;
+}
+
+int CmdRm(const Args& args) {
+  auto nm = OpenFromArgs(args);
+  if (!nm.ok()) return Fail(nm.status().ToString());
+  if (args.positional.size() != 1) return Fail("expected one DOCID");
+  auto id = ParseInt64(args.positional[0]);
+  if (!id.ok()) return Fail("bad document id: " + args.positional[0]);
+  Status st = (*nm)->DeleteDocument(*id);
+  if (!st.ok()) return Fail(st.ToString());
+  st = (*nm)->store()->Flush();
+  if (!st.ok()) return Fail(st.ToString());
+  std::printf("deleted doc %lld\n", static_cast<long long>(*id));
+  return 0;
+}
+
+int CmdQuery(const Args& args) {
+  auto nm = OpenFromArgs(args);
+  if (!nm.ok()) return Fail(nm.status().ToString());
+  if (args.positional.size() != 1) return Fail("expected one QUERY string");
+  auto xslt_flag = args.flags.find("xslt");
+  if (xslt_flag != args.flags.end()) {
+    auto sheet = ReadFile(xslt_flag->second);
+    if (!sheet.ok()) return Fail(sheet.status().ToString());
+    auto out = (*nm)->QueryAndTransform(args.positional[0], *sheet);
+    if (!out.ok()) return Fail(out.status().ToString());
+    std::printf("%s\n", out->c_str());
+    return 0;
+  }
+  auto out = (*nm)->QueryToXml(args.positional[0]);
+  if (!out.ok()) return Fail(out.status().ToString());
+  std::printf("%s\n", out->c_str());
+  return 0;
+}
+
+int CmdServe(const Args& args) {
+  auto nm = OpenFromArgs(args);
+  if (!nm.ok()) return Fail(nm.status().ToString());
+
+  auto banks = args.flags.find("databanks");
+  if (banks != args.flags.end()) {
+    auto text = ReadFile(banks->second);
+    if (!text.ok()) return Fail(text.status().ToString());
+    auto config = federation::ParseDatabankConfig(*text);
+    if (!config.ok()) return Fail(config.status().ToString());
+    Status st = federation::ApplyDatabankConfig(
+        *config, server::DefaultSourceFactory(), (*nm)->router());
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("loaded %zu sources, %zu databanks from %s\n",
+                config->sources.size(), config->databanks.size(),
+                banks->second.c_str());
+  }
+
+  auto drop = args.flags.find("drop");
+  if (drop != args.flags.end()) {
+    Status st = (*nm)->StartDaemon(drop->second);
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("watching drop folder %s\n", drop->second.c_str());
+  }
+
+  uint16_t port = 0;
+  auto port_flag = args.flags.find("port");
+  if (port_flag != args.flags.end()) {
+    auto parsed = ParseInt64(port_flag->second);
+    if (!parsed.ok() || *parsed < 0 || *parsed > 65535) {
+      return Fail("bad --port value");
+    }
+    port = static_cast<uint16_t>(*parsed);
+  }
+  Status st = (*nm)->StartServer(port);
+  if (!st.ok()) return Fail(st.ToString());
+  std::printf("NETMARK serving on http://127.0.0.1:%u  (Ctrl-C to stop)\n",
+              (*nm)->server_port());
+
+  static volatile std::sig_atomic_t stop_requested = 0;
+  std::signal(SIGINT, [](int) { stop_requested = 1; });
+  std::signal(SIGTERM, [](int) { stop_requested = 1; });
+  while (stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  std::printf("\nshutting down\n");
+  (*nm)->StopServer();
+  (*nm)->StopDaemon();
+  return 0;
+}
+
+int CmdRemote(const Args& args) {
+  auto host = args.flags.count("host") ? args.flags.at("host") : "127.0.0.1";
+  if (args.flags.count("port") == 0) return Fail("--port is required");
+  auto port = ParseInt64(args.flags.at("port"));
+  if (!port.ok() || *port <= 0 || *port > 65535) return Fail("bad --port value");
+  if (args.positional.size() != 1) return Fail("expected one QUERY string");
+  server::HttpClient client(host, static_cast<uint16_t>(*port));
+  auto resp = client.Get("/xdb?" + args.positional[0]);
+  if (!resp.ok()) return Fail(resp.status().ToString());
+  if (resp->status != 200) {
+    return Fail("HTTP " + std::to_string(resp->status) + ": " + resp->body);
+  }
+  std::printf("%s\n", resp->body.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  Args args = ParseArgs(argc, argv, 2);
+  if (command == "ingest") return CmdIngest(args);
+  if (command == "ls") return CmdLs(args);
+  if (command == "get") return CmdGet(args);
+  if (command == "rm") return CmdRm(args);
+  if (command == "query") return CmdQuery(args);
+  if (command == "serve") return CmdServe(args);
+  if (command == "remote") return CmdRemote(args);
+  return Usage();
+}
