@@ -1,6 +1,7 @@
 // Fig 3 — the NETMARK system pipeline: daemon -> SGML parser / converters ->
 // XML Store. Measures drag-and-drop ingestion throughput end to end (file in
-// drop folder to queryable nodes) across document formats.
+// drop folder to queryable nodes) across document formats, and the staged
+// parallel pipeline's scaling across upmark/parse worker counts.
 
 #include <benchmark/benchmark.h>
 
@@ -14,6 +15,15 @@
 namespace {
 
 using namespace netmark;
+
+server::DaemonOptions SweepOptions(const std::filesystem::path& drop, int workers) {
+  server::DaemonOptions opts;
+  opts.drop_dir = drop;
+  opts.worker_threads = workers;
+  // Benchmarks pre-write every file; skip the still-being-written deferral.
+  opts.stable_age = std::chrono::milliseconds(0);
+  return opts;
+}
 
 // Full daemon path: k mixed-format files dropped, one sweep.
 void BM_DaemonSweep(benchmark::State& state) {
@@ -32,15 +42,15 @@ void BM_DaemonSweep(benchmark::State& state) {
     for (const auto& doc : corpus) {
       bench::Check(WriteFile(drop / doc.file_name, doc.content), "write");
     }
-    bench::Check(nm->StartDaemon(drop), "daemon");
+    server::IngestionDaemon daemon(nm->store(), &nm->converters(),
+                                   SweepOptions(drop, 0));
     state.ResumeTiming();
 
-    int processed = bench::Unwrap(nm->ProcessDropFolderOnce(), "sweep");
+    int processed = bench::Unwrap(daemon.ProcessOnce(), "sweep");
     benchmark::DoNotOptimize(processed);
 
     state.PauseTiming();
     nodes = nm->store()->node_count();
-    nm->StopDaemon();
     state.ResumeTiming();
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(k));
@@ -51,6 +61,42 @@ void BM_DaemonSweep(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_DaemonSweep)->Arg(16)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+// Worker-count scaling of one sweep over a fixed mixed corpus (the tentpole
+// measurement: parallel upmark/parse feeding the single writer).
+void BM_DaemonSweepWorkers(benchmark::State& state) {
+  const size_t kDocs = 200;
+  int workers = static_cast<int>(state.range(0));
+  workload::CorpusGenerator gen(99);
+  auto corpus = gen.MixedCorpus(kDocs);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto dir = bench::Unwrap(TempDir::Make("ingestw"), "dir");
+    NetmarkOptions options;
+    options.data_dir = dir.Sub("data").string();
+    auto nm = bench::Unwrap(Netmark::Open(options), "open");
+    std::filesystem::path drop = dir.Sub("drop");
+    std::filesystem::create_directories(drop);
+    for (const auto& doc : corpus) {
+      bench::Check(WriteFile(drop / doc.file_name, doc.content), "write");
+    }
+    server::IngestionDaemon daemon(nm->store(), &nm->converters(),
+                                   SweepOptions(drop, workers));
+    state.ResumeTiming();
+
+    int processed = bench::Unwrap(daemon.ProcessOnce(), "sweep");
+    benchmark::DoNotOptimize(processed);
+
+    state.PauseTiming();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(kDocs));
+  state.counters["workers"] = static_cast<double>(workers);
+  state.counters["docs_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * static_cast<int64_t>(kDocs)),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DaemonSweepWorkers)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
 // Per-format conversion+store cost (which converter dominates the pipeline?).
 void BM_IngestOneFormat(benchmark::State& state, int kind) {
@@ -93,6 +139,7 @@ void PrintPipelineReport() {
   bench::ReportHeader("Fig 3: ingestion pipeline (daemon -> parser -> store)",
                       "any document format dropped into a folder becomes "
                       "queryable nodes with no per-format setup");
+  bench::JsonLines json("fig3_ingestion");
   auto dir = bench::Unwrap(TempDir::Make("fig3"), "dir");
   NetmarkOptions options;
   options.data_dir = dir.Sub("data").string();
@@ -104,19 +151,58 @@ void PrintPipelineReport() {
   for (const auto& doc : gen.MixedCorpus(kDocs)) {
     bench::Check(WriteFile(drop / doc.file_name, doc.content), "write");
   }
-  bench::Check(nm->StartDaemon(drop), "daemon");
+  server::IngestionDaemon daemon(nm->store(), &nm->converters(),
+                                 SweepOptions(drop, 0));
   Stopwatch watch;
-  int processed = bench::Unwrap(nm->ProcessDropFolderOnce(), "sweep");
+  int processed = bench::Unwrap(daemon.ProcessOnce(), "sweep");
   double seconds = watch.ElapsedSeconds();
-  nm->StopDaemon();
   std::printf("%10s %10s %12s %14s %16s\n", "docs", "ok", "nodes", "docs/sec",
               "index terms");
   std::printf("%10d %10d %12llu %14.0f %16zu\n", static_cast<int>(kDocs), processed,
               static_cast<unsigned long long>(nm->store()->node_count()),
               static_cast<double>(processed) / seconds,
               nm->store()->text_index().num_terms());
+  json.Emit("daemon_sweep", static_cast<double>(kDocs),
+            seconds * 1e9 / static_cast<double>(processed),
+            static_cast<double>(processed) / seconds, "docs/sec");
   std::printf("shape check: all %zu mixed-format documents ingested by one "
               "sweep, zero DDL.\n", kDocs);
+
+  // Thread-count sweep over a fresh >= 200-file mixed corpus per worker
+  // count: the speedup is measured, not asserted.
+  std::printf("\n-- parallel pipeline: upmark/parse workers -> single writer --\n");
+  std::printf("%8s %10s %14s %12s %14s %14s\n", "workers", "docs", "docs/sec",
+              "speedup", "convert_ms", "insert_ms");
+  const size_t kSweepDocs = 240;
+  auto sweep_corpus = workload::CorpusGenerator(77).MixedCorpus(kSweepDocs);
+  double base_rate = 0;
+  for (int workers : {1, 2, 4, 8}) {
+    auto wdir = bench::Unwrap(TempDir::Make("fig3w"), "dir");
+    NetmarkOptions wopts;
+    wopts.data_dir = wdir.Sub("data").string();
+    auto wnm = bench::Unwrap(Netmark::Open(wopts), "open");
+    std::filesystem::path wdrop = wdir.Sub("drop");
+    std::filesystem::create_directories(wdrop);
+    for (const auto& doc : sweep_corpus) {
+      bench::Check(WriteFile(wdrop / doc.file_name, doc.content), "write");
+    }
+    server::IngestionDaemon wdaemon(wnm->store(), &wnm->converters(),
+                                    SweepOptions(wdrop, workers));
+    Stopwatch wwatch;
+    int ok = bench::Unwrap(wdaemon.ProcessOnce(), "sweep");
+    double wsec = wwatch.ElapsedSeconds();
+    server::DaemonCounters counters = wdaemon.counters();
+    double rate = static_cast<double>(ok) / wsec;
+    if (workers == 1) base_rate = rate;
+    std::printf("%8d %10d %14.0f %11.2fx %14.1f %14.1f\n", workers, ok, rate,
+                base_rate > 0 ? rate / base_rate : 1.0,
+                static_cast<double>(counters.convert_ns) * 1e-6,
+                static_cast<double>(counters.insert_ns) * 1e-6);
+    json.Emit("thread_sweep", static_cast<double>(workers),
+              wsec * 1e9 / static_cast<double>(ok), rate, "docs/sec");
+  }
+  std::printf("shape check: identical doc-id assignment at every worker count "
+              "(writer commits in sorted-filename order).\n");
 }
 
 }  // namespace

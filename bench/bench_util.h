@@ -53,6 +53,52 @@ inline void ReportHeader(const char* experiment, const char* claim) {
   std::printf("paper claim: %s\n", claim);
 }
 
+/// \brief Machine-readable results sink: one JSON object per line, written to
+/// `BENCH_<bench>.json` (in $NETMARK_BENCH_JSON_DIR, default cwd) and echoed
+/// to stdout — so per-PR trajectory tracking can diff the files while humans
+/// still read the table.
+class JsonLines {
+ public:
+  explicit JsonLines(const std::string& bench) : bench_(bench) {
+    const char* dir = std::getenv("NETMARK_BENCH_JSON_DIR");
+    path_ = (dir != nullptr && *dir != '\0' ? std::string(dir) + "/" : std::string()) +
+            "BENCH_" + bench + ".json";
+    file_ = std::fopen(path_.c_str(), "w");  // fresh file per run
+    if (file_ == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s (results still on stdout)\n",
+                   path_.c_str());
+    }
+  }
+  ~JsonLines() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  JsonLines(const JsonLines&) = delete;
+  JsonLines& operator=(const JsonLines&) = delete;
+
+  /// Emits {"bench","name","param","ns_per_op","throughput","unit"}.
+  void Emit(const std::string& name, double param, double ns_per_op,
+            double throughput, const std::string& unit) {
+    char line[512];
+    std::snprintf(line, sizeof(line),
+                  "{\"bench\":\"%s\",\"name\":\"%s\",\"param\":%.6g,"
+                  "\"ns_per_op\":%.6g,\"throughput\":%.6g,\"unit\":\"%s\"}",
+                  bench_.c_str(), name.c_str(), param, ns_per_op, throughput,
+                  unit.c_str());
+    std::printf("JSONL %s\n", line);
+    if (file_ != nullptr) {
+      std::fprintf(file_, "%s\n", line);
+      std::fflush(file_);
+    }
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string bench_;
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
 }  // namespace netmark::bench
 
 #endif  // NETMARK_BENCH_BENCH_UTIL_H_

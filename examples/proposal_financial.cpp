@@ -52,7 +52,10 @@ int main(int argc, char** argv) {
     auto doc = gen.Proposal(i);
     Check(netmark::WriteFile(drop / doc.file_name, doc.content), "write proposal");
   }
-  Check(nm->StartDaemon(drop), "start daemon");
+  netmark::server::DaemonOptions daemon_opts;
+  daemon_opts.drop_dir = drop;
+  daemon_opts.stable_age = std::chrono::milliseconds(0);  // inbox is pre-written
+  Check(nm->StartDaemon(daemon_opts), "start daemon");
   int ingested = Unwrap(nm->ProcessDropFolderOnce(), "sweep inbox");
   nm->StopDaemon();
   std::printf("ingested %d proposals from the inbox\n\n", ingested);

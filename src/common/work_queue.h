@@ -1,0 +1,102 @@
+// Bounded multi-producer / multi-consumer work queue.
+//
+// The building block of the staged ingestion pipeline (DESIGN.md §"Parallel
+// ingestion"): producers enumerate work, N workers pull items, and a closed
+// queue drains cleanly so every stage shuts down without sentinel values.
+// Blocking semantics give natural backpressure — a slow consumer stalls the
+// producer instead of growing an unbounded buffer.
+
+#ifndef NETMARK_COMMON_WORK_QUEUE_H_
+#define NETMARK_COMMON_WORK_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace netmark {
+
+/// \brief Bounded blocking MPMC FIFO queue.
+///
+/// All operations are thread-safe. After Close(), Push is rejected and Pop
+/// drains the remaining items before returning std::nullopt to every waiter.
+template <typename T>
+class WorkQueue {
+ public:
+  /// `capacity` must be >= 1; Push blocks while the queue holds that many.
+  explicit WorkQueue(size_t capacity) : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  WorkQueue(const WorkQueue&) = delete;
+  WorkQueue& operator=(const WorkQueue&) = delete;
+
+  /// Blocks until there is room (or the queue is closed). Returns false —
+  /// and drops `item` — iff the queue was closed.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available. Returns std::nullopt once the queue
+  /// is closed *and* drained — the consumer's termination signal.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop; std::nullopt when empty (regardless of closed state).
+  std::optional<T> TryPop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Rejects future pushes and wakes every blocked producer and consumer.
+  /// Idempotent; already-queued items remain poppable.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  const size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace netmark
+
+#endif  // NETMARK_COMMON_WORK_QUEUE_H_

@@ -122,11 +122,18 @@ Status Netmark::RegisterStylesheet(const std::string& name, std::string_view tex
 }
 
 Status Netmark::StartDaemon(const std::filesystem::path& drop_dir) {
-  if (daemon_ != nullptr) return Status::AlreadyExists("daemon already started");
   server::DaemonOptions opts;
   opts.drop_dir = drop_dir;
-  daemon_ =
-      std::make_unique<server::IngestionDaemon>(store_.get(), &converters_, opts);
+  return StartDaemon(std::move(opts));
+}
+
+Status Netmark::StartDaemon(server::DaemonOptions opts) {
+  if (daemon_ != nullptr) return Status::AlreadyExists("daemon already started");
+  if (opts.drop_dir.empty()) {
+    return Status::InvalidArgument("DaemonOptions.drop_dir must be set");
+  }
+  daemon_ = std::make_unique<server::IngestionDaemon>(store_.get(), &converters_,
+                                                      std::move(opts));
   Status st = daemon_->Start();
   if (!st.ok()) daemon_.reset();
   return st;

@@ -91,11 +91,17 @@ class Netmark {
   /// Registers a named stylesheet for `xslt=` query parameters.
   Status RegisterStylesheet(const std::string& name, std::string_view text);
 
-  /// Starts the drop-folder ingestion daemon.
+  /// Starts the drop-folder ingestion daemon with default options.
   Status StartDaemon(const std::filesystem::path& drop_dir);
+  /// Starts the daemon with full control over polling, worker threads and
+  /// drop-stability behaviour (opts.drop_dir must be set).
+  Status StartDaemon(server::DaemonOptions opts);
   void StopDaemon();
   /// Synchronous single sweep (deterministic ingestion without the thread).
   Result<int> ProcessDropFolderOnce();
+  /// The running daemon (per-stage counters live here); null until
+  /// StartDaemon.
+  server::IngestionDaemon* daemon() { return daemon_.get(); }
 
   // --- Accessors ---
 

@@ -1,12 +1,27 @@
 #include "server/daemon.h"
 
+#include <algorithm>
+#include <condition_variable>
+#include <optional>
+
 #include "common/clock.h"
 #include "common/logging.h"
 #include "common/temp_dir.h"
+#include "common/work_queue.h"
 
 namespace netmark::server {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+inline uint64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now() - start)
+                                   .count());
+}
+
+}  // namespace
 
 netmark::Status IngestionDaemon::Start() {
   if (running_.load()) return netmark::Status::AlreadyExists("daemon already running");
@@ -35,51 +50,182 @@ void IngestionDaemon::Loop() {
   }
 }
 
-netmark::Result<int> IngestionDaemon::ProcessOnce() {
-  std::lock_guard<std::mutex> lock(sweep_mu_);
+DaemonCounters IngestionDaemon::counters() const {
+  DaemonCounters c;
+  c.queued = queued_.load();
+  c.converted = converted_.load();
+  c.inserted = files_ingested_.load();
+  c.failed = files_failed_.load();
+  c.deferred = deferred_.load();
+  c.convert_ns = convert_ns_.load();
+  c.insert_ns = insert_ns_.load();
+  return c;
+}
+
+int IngestionDaemon::EffectiveWorkers() const {
+  if (options_.worker_threads > 0) return options_.worker_threads;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::vector<fs::path> IngestionDaemon::CollectStable() {
   std::error_code ec;
-  if (!fs::exists(options_.drop_dir, ec)) return 0;
-  int count = 0;
-  std::vector<fs::path> pending;
+  std::vector<fs::path> eligible;
+  if (!fs::exists(options_.drop_dir, ec)) return eligible;
+  std::chrono::milliseconds stable_age =
+      options_.stable_age.count() < 0 ? options_.poll_interval : options_.stable_age;
+  auto now = fs::file_time_type::clock::now();
+  std::map<fs::path, FileSig> still_unstable;
   for (const auto& entry : fs::directory_iterator(options_.drop_dir, ec)) {
     if (ec) break;
     if (!entry.is_regular_file()) continue;
     std::string name = entry.path().filename().string();
     if (name.empty() || name[0] == '.') continue;  // editors' temp files
-    pending.push_back(entry.path());
-  }
-  std::sort(pending.begin(), pending.end());  // deterministic order
-  for (const fs::path& path : pending) {
-    netmark::Status st = IngestFile(path);
-    fs::path target_dir =
-        options_.drop_dir / (st.ok() ? "processed" : "failed");
-    if (st.ok()) {
-      ++count;
-      files_ingested_.fetch_add(1);
-    } else {
-      files_failed_.fetch_add(1);
-      NETMARK_LOG(Warning) << "failed to ingest " << path.string() << ": " << st;
+    if (stable_age.count() == 0) {
+      eligible.push_back(entry.path());
+      continue;
     }
-    if (options_.keep_processed) {
-      fs::create_directories(target_dir, ec);
-      fs::rename(path, target_dir / path.filename(), ec);
-      if (ec) fs::remove(path, ec);
-    } else {
-      fs::remove(path, ec);
+    FileSig sig;
+    std::error_code stat_ec;
+    sig.size = entry.file_size(stat_ec);
+    if (!stat_ec) sig.mtime = entry.last_write_time(stat_ec);
+    if (stat_ec) continue;  // vanished mid-scan; next sweep decides
+    if (now - sig.mtime >= stable_age) {
+      // Old enough that no writer is plausibly mid-copy.
+      eligible.push_back(entry.path());
+      continue;
     }
+    auto it = unstable_.find(entry.path());
+    if (it != unstable_.end() && it->second.size == sig.size &&
+        it->second.mtime == sig.mtime) {
+      // Unchanged since the previous sweep: size-stable across two polls.
+      eligible.push_back(entry.path());
+      continue;
+    }
+    still_unstable.emplace(entry.path(), sig);
+    deferred_.fetch_add(1);
   }
-  return count;
+  // Forget files that were ingested or removed; remember fresh signatures.
+  unstable_ = std::move(still_unstable);
+  std::sort(eligible.begin(), eligible.end());  // deterministic order
+  return eligible;
 }
 
-netmark::Status IngestionDaemon::IngestFile(const fs::path& path) {
-  NETMARK_ASSIGN_OR_RETURN(std::string content, netmark::ReadFile(path));
-  NETMARK_ASSIGN_OR_RETURN(xml::Document doc,
-                           converters_->Convert(path.filename().string(), content));
-  xmlstore::DocumentInfo info;
-  info.file_name = path.filename().string();
-  info.file_date = netmark::WallSeconds();
-  info.file_size = static_cast<int64_t>(content.size());
-  return store_->InsertDocument(doc, info).status();
+IngestionDaemon::PreparedFile IngestionDaemon::PrepareFile(const fs::path& path) {
+  PreparedFile out;
+  auto start = std::chrono::steady_clock::now();
+  auto prepare = [&]() -> netmark::Status {
+    NETMARK_ASSIGN_OR_RETURN(std::string content, netmark::ReadFile(path));
+    NETMARK_ASSIGN_OR_RETURN(
+        xml::Document doc, converters_->Convert(path.filename().string(), content));
+    xmlstore::DocumentInfo info;
+    info.file_name = path.filename().string();
+    info.file_date = netmark::WallSeconds();
+    info.file_size = static_cast<int64_t>(content.size());
+    out.prepared = xmlstore::PrepareDocument(doc, info, store_->node_types());
+    return netmark::Status::OK();
+  };
+  out.status = prepare();
+  convert_ns_.fetch_add(ElapsedNs(start));
+  if (out.status.ok()) converted_.fetch_add(1);
+  return out;
+}
+
+bool IngestionDaemon::CommitFile(const fs::path& path, PreparedFile result) {
+  netmark::Status st = result.status;
+  if (st.ok()) {
+    auto start = std::chrono::steady_clock::now();
+    st = store_->InsertPrepared(result.prepared).status();
+    insert_ns_.fetch_add(ElapsedNs(start));
+  }
+  if (st.ok()) {
+    files_ingested_.fetch_add(1);
+  } else {
+    files_failed_.fetch_add(1);
+    NETMARK_LOG(Warning) << "failed to ingest " << path.string() << ": " << st;
+  }
+  std::error_code ec;
+  if (options_.keep_processed) {
+    fs::path target_dir = options_.drop_dir / (st.ok() ? "processed" : "failed");
+    fs::create_directories(target_dir, ec);
+    fs::rename(path, target_dir / path.filename(), ec);
+    if (ec) fs::remove(path, ec);
+  } else {
+    fs::remove(path, ec);
+  }
+  return st.ok();
+}
+
+netmark::Result<int> IngestionDaemon::ProcessOnce() {
+  std::lock_guard<std::mutex> lock(sweep_mu_);
+  std::vector<fs::path> pending = CollectStable();
+  if (pending.empty()) return 0;
+  queued_.fetch_add(pending.size());
+
+  const size_t n = pending.size();
+  const int workers = std::min<int>(EffectiveWorkers(), static_cast<int>(n));
+  int count = 0;
+
+  if (workers <= 1) {
+    // Inline pipeline: same prepare/commit stages, no threads. Byte-identical
+    // output to the threaded path because commits happen in `pending` order
+    // either way.
+    for (const fs::path& path : pending) {
+      if (CommitFile(path, PrepareFile(path))) ++count;
+    }
+    return count;
+  }
+
+  struct WorkItem {
+    size_t seq;
+    fs::path path;
+  };
+  // Bounded: backpressure keeps at most ~2 batches of read file contents and
+  // prepared documents in flight per worker.
+  WorkQueue<WorkItem> queue(static_cast<size_t>(workers) * 2);
+
+  // Reorder buffer: workers finish in arbitrary order; the writer commits
+  // strictly in sequence so doc ids follow sorted-filename order.
+  std::mutex results_mu;
+  std::condition_variable results_cv;
+  std::map<size_t, PreparedFile> results;
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(workers) + 1);
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      while (std::optional<WorkItem> item = queue.Pop()) {
+        PreparedFile result = PrepareFile(item->path);
+        {
+          std::lock_guard<std::mutex> results_lock(results_mu);
+          results.emplace(item->seq, std::move(result));
+        }
+        results_cv.notify_all();
+      }
+    });
+  }
+  // Feeding the bounded queue would block once it fills, so it runs on its
+  // own thread while this thread drains results as the writer.
+  pool.emplace_back([&] {
+    for (size_t i = 0; i < n; ++i) {
+      if (!queue.Push(WorkItem{i, pending[i]})) break;
+    }
+    queue.Close();
+  });
+
+  for (size_t seq = 0; seq < n; ++seq) {
+    PreparedFile result;
+    {
+      std::unique_lock<std::mutex> results_lock(results_mu);
+      results_cv.wait(results_lock, [&] { return results.count(seq) > 0; });
+      auto it = results.find(seq);
+      result = std::move(it->second);
+      results.erase(it);
+    }
+    if (CommitFile(pending[seq], std::move(result))) ++count;
+  }
+  for (std::thread& t : pool) t.join();
+  return count;
 }
 
 }  // namespace netmark::server

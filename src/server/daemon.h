@@ -1,15 +1,29 @@
 // The NETMARK DAEMON (paper Fig 3): watches a drop folder, runs the SGML
 // parser / upmark converters on new files, and inserts them into the XML
 // Store — the drag-and-drop ingestion path.
+//
+// Ingestion is a staged pipeline (DESIGN.md §"Parallel ingestion"):
+//
+//   enumerate (sorted) -> bounded work queue -> N upmark/parse workers
+//     -> reorder buffer -> single writer -> XML Store + text index
+//
+// Workers do the CPU-heavy, state-free half (read file, convert, flatten,
+// tokenize: xmlstore::PrepareDocument); the sweep thread is the only one
+// that touches the store (XmlStore::InsertPrepared), committing results in
+// sorted-filename order so doc-id assignment is deterministic regardless of
+// worker count or completion order.
 
 #ifndef NETMARK_SERVER_DAEMON_H_
 #define NETMARK_SERVER_DAEMON_H_
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <filesystem>
+#include <map>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "common/result.h"
 #include "convert/registry.h"
@@ -25,6 +39,27 @@ struct DaemonOptions {
   /// Move ingested files into drop_dir/processed (failures to drop_dir/failed)
   /// instead of deleting them.
   bool keep_processed = true;
+  /// Upmark/parse worker threads per sweep. 0 = hardware_concurrency.
+  /// 1 runs the same prepare/commit code inline (no threads) — output is
+  /// identical either way.
+  int worker_threads = 0;
+  /// Half-copied drop protection: a file whose mtime is younger than this is
+  /// deferred (neither ingested nor failed) until a later sweep observes the
+  /// same size+mtime — i.e. size-stable across two polls. Negative = use
+  /// poll_interval; zero disables the check (every file is taken as-is,
+  /// which is what single-sweep tests and benchmarks want).
+  std::chrono::milliseconds stable_age{-1};
+};
+
+/// Per-stage pipeline counters (cumulative since construction).
+struct DaemonCounters {
+  uint64_t queued = 0;     ///< files handed to the worker stage
+  uint64_t converted = 0;  ///< files successfully upmarked + prepared
+  uint64_t inserted = 0;   ///< documents committed by the writer stage
+  uint64_t failed = 0;     ///< files that failed conversion or insert
+  uint64_t deferred = 0;   ///< files skipped as possibly still being written
+  uint64_t convert_ns = 0; ///< summed worker wall time (read+convert+prepare)
+  uint64_t insert_ns = 0;  ///< summed writer wall time (store+index commit)
 };
 
 /// \brief Folder-watching ingestion daemon.
@@ -47,18 +82,47 @@ class IngestionDaemon {
 
   uint64_t files_ingested() const { return files_ingested_.load(); }
   uint64_t files_failed() const { return files_failed_.load(); }
+  DaemonCounters counters() const;
 
  private:
-  netmark::Status IngestFile(const std::filesystem::path& path);
+  /// Worker-stage product for one file, awaiting its turn at the writer.
+  struct PreparedFile {
+    netmark::Status status = netmark::Status::OK();
+    xmlstore::PreparedDocument prepared;
+  };
+
+  /// Resolved worker count (>= 1).
+  int EffectiveWorkers() const;
+  /// Enumerates the drop folder and applies the stability filter; returns
+  /// eligible paths sorted by filename.
+  std::vector<std::filesystem::path> CollectStable();
+  /// Read + convert + flatten + tokenize one file (runs on workers).
+  PreparedFile PrepareFile(const std::filesystem::path& path);
+  /// Commits one worker result and moves the source file (writer stage).
+  bool CommitFile(const std::filesystem::path& path, PreparedFile result);
   void Loop();
 
   xmlstore::XmlStore* store_;
   const convert::ConverterRegistry* converters_;
   DaemonOptions options_;
   std::mutex sweep_mu_;  // serializes ProcessOnce vs the polling thread
+
+  // Signature of a possibly-still-being-written file seen last sweep
+  // (guarded by sweep_mu_).
+  struct FileSig {
+    uintmax_t size = 0;
+    std::filesystem::file_time_type mtime;
+  };
+  std::map<std::filesystem::path, FileSig> unstable_;
+
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> files_ingested_{0};
   std::atomic<uint64_t> files_failed_{0};
+  std::atomic<uint64_t> queued_{0};
+  std::atomic<uint64_t> converted_{0};
+  std::atomic<uint64_t> deferred_{0};
+  std::atomic<uint64_t> convert_ns_{0};
+  std::atomic<uint64_t> insert_ns_{0};
   std::thread thread_;
 };
 

@@ -52,8 +52,15 @@ netmark::Status Table::Update(RowId id, const Row& row) {
   NETMARK_RETURN_NOT_OK(schema_.Validate(row));
   NETMARK_ASSIGN_OR_RETURN(Row old_row, Get(id));
   NETMARK_RETURN_NOT_OK(heap_->Update(id, EncodeRow(row)));
-  NETMARK_RETURN_NOT_OK(IndexRemove(old_row, id));
-  NETMARK_RETURN_NOT_OK(IndexInsert(row, id));
+  // Only touch B-trees whose key actually changed — updates to unindexed
+  // columns (e.g. the XML store's sibling-link patches) skip all index work.
+  for (auto& [name, index] : indexes_) {
+    IndexKey old_key = ExtractKey(index, old_row);
+    IndexKey new_key = ExtractKey(index, row);
+    if (old_key == new_key) continue;
+    index.tree.Remove(old_key, id);
+    index.tree.Insert(std::move(new_key), id);
+  }
   return netmark::Status::OK();
 }
 

@@ -4,14 +4,28 @@
 
 namespace netmark::textindex {
 
-void InvertedIndex::Add(DocKey key, std::string_view text) {
-  // Group positions per term first so each term's postings list is touched
-  // once.
+PreparedPostings PreparePostings(std::string_view text) {
+  // Group positions per term so each term's postings list is touched once at
+  // commit time. Tokenize emits positions in ascending order, so each group's
+  // position list is already sorted and unique.
   std::map<std::string, std::vector<uint32_t>, std::less<>> grouped;
   for (Token& tok : Tokenize(text)) {
     grouped[std::move(tok.term)].push_back(tok.position);
   }
+  PreparedPostings out;
+  out.terms.reserve(grouped.size());
   for (auto& [term, positions] : grouped) {
+    out.terms.emplace_back(term, std::move(positions));
+  }
+  return out;
+}
+
+void InvertedIndex::Add(DocKey key, std::string_view text) {
+  AddPrepared(key, PreparePostings(text));
+}
+
+void InvertedIndex::AddPrepared(DocKey key, const PreparedPostings& prepared) {
+  for (const auto& [term, positions] : prepared.terms) {
     std::vector<Posting>& list = postings_[term];
     auto it = std::lower_bound(list.begin(), list.end(), key,
                                [](const Posting& p, DocKey k) { return p.key < k; });
@@ -22,7 +36,7 @@ void InvertedIndex::Add(DocKey key, std::string_view text) {
       it->positions.erase(std::unique(it->positions.begin(), it->positions.end()),
                           it->positions.end());
     } else {
-      list.insert(it, Posting{key, std::move(positions)});
+      list.insert(it, Posting{key, positions});
       ++num_postings_;
     }
   }

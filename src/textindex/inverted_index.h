@@ -30,6 +30,20 @@ struct Posting {
   std::vector<uint32_t> positions;
 };
 
+/// Tokenized-and-grouped text of one indexed unit, computed away from the
+/// index (e.g. on an ingestion worker thread) so the single-writer index
+/// commit skips re-tokenization. Terms are sorted; positions are sorted and
+/// deduplicated per term.
+struct PreparedPostings {
+  std::vector<std::pair<std::string, std::vector<uint32_t>>> terms;
+
+  bool empty() const { return terms.empty(); }
+};
+
+/// \brief Tokenizes `text` into the grouped form AddPrepared consumes.
+/// Pure function — safe to call concurrently from many threads.
+PreparedPostings PreparePostings(std::string_view text);
+
 /// \brief In-memory positional inverted index with incremental add/remove.
 ///
 /// At store open the index is loaded from a token-validated snapshot
@@ -40,6 +54,11 @@ class InvertedIndex {
   /// Indexes `text` under `key`. A key may be added once; re-adding merges
   /// (used when node text is updated: Remove then Add).
   void Add(DocKey key, std::string_view text);
+
+  /// Indexes pre-tokenized text under `key` — the bulk ingestion path.
+  /// Equivalent to Add(key, text) when `prepared` came from
+  /// PreparePostings(text), but does no tokenization or grouping work.
+  void AddPrepared(DocKey key, const PreparedPostings& prepared);
 
   /// Removes `key`'s contribution; `text` must be the text it was added
   /// with (the index stores no forward map, by design — the store has it).

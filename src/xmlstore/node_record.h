@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "common/result.h"
 #include "storage/row_id.h"
@@ -21,6 +22,12 @@
 #include "xml/node_type_config.h"
 
 namespace netmark::xmlstore {
+
+// Sentinel node names for DOM kinds the Fig-5 schema has no column for
+// (shared between document flattening and reconstruction).
+inline constexpr std::string_view kCDataName = "#cdata";
+inline constexpr std::string_view kCommentName = "#comment";
+inline constexpr char kPiPrefix = '?';
 
 /// \brief Decoded XML-table row.
 struct NodeRecord {

@@ -1,0 +1,77 @@
+#include "xmlstore/prepared_document.h"
+
+#include "xmlstore/node_record.h"
+#include "xmlstore/xml_store.h"
+
+namespace netmark::xmlstore {
+
+PreparedDocument PrepareDocument(const xml::Document& doc, const DocumentInfo& info,
+                                 const xml::NodeTypeConfig& node_types) {
+  PreparedDocument out;
+  out.info = info;
+
+  // Iterative DFS in document order — the same traversal the serial insert
+  // path used, so prepared commits are byte-identical to direct inserts.
+  struct Frame {
+    xml::NodeId dom_node;
+    size_t parent;  // index into out.nodes; PreparedNode::kNoParent for top level
+  };
+  std::vector<Frame> stack;
+  {
+    // Push top-level children in reverse so they pop in order.
+    std::vector<xml::NodeId> kids = doc.Children(doc.root());
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back(Frame{*it, PreparedNode::kNoParent});
+    }
+  }
+
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    xml::NodeId n = frame.dom_node;
+
+    PreparedNode node;
+    node.parent = frame.parent;
+    switch (doc.kind(n)) {
+      case xml::NodeKind::kElement:
+        node.node_name = doc.name(n);
+        node.node_data = EncodeAttributes(doc.attributes(n));
+        node.node_type = node_types.Classify(doc, n);
+        break;
+      case xml::NodeKind::kText:
+        node.node_data = doc.data(n);
+        node.node_type = xml::NetmarkNodeType::kText;
+        break;
+      case xml::NodeKind::kCData:
+        node.node_name = kCDataName;
+        node.node_data = doc.data(n);
+        node.node_type = xml::NetmarkNodeType::kText;
+        break;
+      case xml::NodeKind::kComment:
+        node.node_name = kCommentName;
+        node.node_data = doc.data(n);
+        node.node_type = xml::NetmarkNodeType::kElement;
+        break;
+      case xml::NodeKind::kProcessingInstruction:
+        node.node_name = std::string(1, kPiPrefix) + doc.name(n);
+        node.node_data = doc.data(n);
+        node.node_type = xml::NetmarkNodeType::kElement;
+        break;
+      case xml::NodeKind::kDocument:
+        continue;  // never stored
+    }
+    if (node.is_text()) node.postings = textindex::PreparePostings(node.node_data);
+
+    size_t my_index = out.nodes.size();
+    out.nodes.push_back(std::move(node));
+
+    // Descend.
+    std::vector<xml::NodeId> kids = doc.Children(n);
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back(Frame{*it, my_index});
+    }
+  }
+  return out;
+}
+
+}  // namespace netmark::xmlstore

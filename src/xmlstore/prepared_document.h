@@ -1,0 +1,62 @@
+// PreparedDocument: a DOM flattened into insert-ready node rows plus
+// pre-tokenized text postings.
+//
+// Preparation is the CPU-heavy half of ingestion (DFS flattening, node-type
+// classification, attribute encoding, tokenization) and touches no store
+// state, so it can run on many worker threads concurrently. The cheap half —
+// assigning doc/node ids, writing rows, patching sibling RowId links, and
+// merging postings into the text index — stays on the single writer
+// (XmlStore::InsertPrepared), preserving the store's single-writer invariant.
+
+#ifndef NETMARK_XMLSTORE_PREPARED_DOCUMENT_H_
+#define NETMARK_XMLSTORE_PREPARED_DOCUMENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "textindex/inverted_index.h"
+#include "xml/dom.h"
+#include "xml/node_type_config.h"
+
+namespace netmark::xmlstore {
+
+/// Metadata supplied when inserting a document.
+struct DocumentInfo {
+  std::string file_name;
+  int64_t file_date = 0;
+  int64_t file_size = 0;
+};
+
+/// One flattened node, stripped of everything the writer assigns (ids,
+/// RowId links). `parent` is an index into PreparedDocument::nodes.
+struct PreparedNode {
+  static constexpr size_t kNoParent = static_cast<size_t>(-1);
+
+  size_t parent = kNoParent;  ///< index of parent node; kNoParent = top level
+  xml::NetmarkNodeType node_type = xml::NetmarkNodeType::kElement;
+  std::string node_name;  ///< element/PI name ("" for text)
+  std::string node_data;  ///< text payload; attributes blob for elements
+  /// Pre-tokenized postings (text nodes only; empty otherwise).
+  textindex::PreparedPostings postings;
+
+  bool is_text() const { return node_type == xml::NetmarkNodeType::kText; }
+};
+
+/// \brief A document ready for a single-writer commit: nodes in pre-order
+/// (parents precede children) with tokenization already done.
+struct PreparedDocument {
+  DocumentInfo info;
+  std::vector<PreparedNode> nodes;
+};
+
+/// \brief Flattens `doc` into pre-order node rows and tokenizes its text.
+/// Pure function over its inputs (NodeTypeConfig::Classify is const and
+/// lock-free), so worker threads may call it concurrently.
+PreparedDocument PrepareDocument(const xml::Document& doc, const DocumentInfo& info,
+                                 const xml::NodeTypeConfig& node_types);
+
+}  // namespace netmark::xmlstore
+
+#endif  // NETMARK_XMLSTORE_PREPARED_DOCUMENT_H_

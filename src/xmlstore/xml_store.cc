@@ -13,15 +13,6 @@ using storage::Row;
 using storage::RowId;
 using storage::Value;
 
-namespace {
-
-// Sentinel node names for DOM kinds the Fig-5 schema has no column for.
-constexpr std::string_view kCDataName = "#cdata";
-constexpr std::string_view kCommentName = "#comment";
-constexpr char kPiPrefix = '?';
-
-}  // namespace
-
 std::string EncodeAttributes(const std::vector<xml::Attribute>& attrs) {
   std::string out;
   for (size_t i = 0; i < attrs.size(); ++i) {
@@ -114,83 +105,47 @@ netmark::Status XmlStore::RebuildTextIndex() {
 
 netmark::Result<int64_t> XmlStore::InsertDocument(const xml::Document& doc,
                                                   const DocumentInfo& info) {
+  return InsertPrepared(PrepareDocument(doc, info, node_types_));
+}
+
+netmark::Result<int64_t> XmlStore::InsertPrepared(const PreparedDocument& prepared) {
   int64_t doc_id = next_doc_id_++;
   DocRecord doc_rec;
   doc_rec.doc_id = doc_id;
-  doc_rec.file_name = info.file_name;
-  doc_rec.file_date = info.file_date;
-  doc_rec.file_size = info.file_size;
+  doc_rec.file_name = prepared.info.file_name;
+  doc_rec.file_date = prepared.info.file_date;
+  doc_rec.file_size = prepared.info.file_size;
   NETMARK_RETURN_NOT_OK(doc_table_->Insert(doc_rec.ToRow()).status());
 
-  // Pass 1: pre-order insert. Parent/prev links are known on the way down;
-  // SIBLINGID (next sibling) is patched in pass 2.
+  // Pass 1: pre-order insert (`prepared.nodes` is in document order, parents
+  // before children). Parent/prev links are known on the way down; SIBLINGID
+  // (next sibling) is patched in pass 2.
   struct Inserted {
     RowId rowid;
     NodeRecord rec;
     bool needs_sibling_patch = false;
   };
   std::vector<Inserted> inserted;
-
-  struct Frame {
-    xml::NodeId dom_node;
-    RowId parent_rowid;
-    int64_t parent_node_id;
-    size_t prev_index;  // index into `inserted` of the previous sibling; SIZE_MAX if none
-  };
-
-  // Iterative DFS preserving document order.
-  std::vector<Frame> stack;
-  {
-    // Push top-level children in reverse so they pop in order. prev links are
-    // resolved as we go via a per-parent "last inserted child" map.
-    std::vector<xml::NodeId> kids = doc.Children(doc.root());
-    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
-      stack.push_back(Frame{*it, storage::kInvalidRowId, 0, SIZE_MAX});
-    }
-  }
+  inserted.reserve(prepared.nodes.size());
   std::map<int64_t, size_t> last_child_of;  // parent_node_id -> index in `inserted`
 
-  while (!stack.empty()) {
-    Frame frame = stack.back();
-    stack.pop_back();
-    xml::NodeId n = frame.dom_node;
-
+  for (const PreparedNode& node : prepared.nodes) {
     NodeRecord rec;
     rec.node_id = next_node_id_++;
     rec.doc_id = doc_id;
-    rec.parent_rowid = frame.parent_rowid;
-    rec.parent_node_id = frame.parent_node_id;
-    switch (doc.kind(n)) {
-      case xml::NodeKind::kElement:
-        rec.node_name = doc.name(n);
-        rec.node_data = EncodeAttributes(doc.attributes(n));
-        rec.node_type = node_types_.Classify(doc, n);
-        break;
-      case xml::NodeKind::kText:
-        rec.node_data = doc.data(n);
-        rec.node_type = xml::NetmarkNodeType::kText;
-        break;
-      case xml::NodeKind::kCData:
-        rec.node_name = kCDataName;
-        rec.node_data = doc.data(n);
-        rec.node_type = xml::NetmarkNodeType::kText;
-        break;
-      case xml::NodeKind::kComment:
-        rec.node_name = kCommentName;
-        rec.node_data = doc.data(n);
-        rec.node_type = xml::NetmarkNodeType::kElement;
-        break;
-      case xml::NodeKind::kProcessingInstruction:
-        rec.node_name = std::string(1, kPiPrefix) + doc.name(n);
-        rec.node_data = doc.data(n);
-        rec.node_type = xml::NetmarkNodeType::kElement;
-        break;
-      case xml::NodeKind::kDocument:
-        continue;  // never stored
+    rec.node_type = node.node_type;
+    rec.node_name = node.node_name;
+    rec.node_data = node.node_data;
+    if (node.parent == PreparedNode::kNoParent) {
+      rec.parent_rowid = storage::kInvalidRowId;
+      rec.parent_node_id = 0;
+    } else {
+      rec.parent_rowid = inserted[node.parent].rowid;
+      rec.parent_node_id = inserted[node.parent].rec.node_id;
     }
 
     // Previous-sibling link.
-    auto last_it = last_child_of.find(frame.parent_node_id);
+    auto last_it = last_child_of.find(rec.parent_node_id);
     if (last_it != last_child_of.end()) {
       rec.prev_rowid = inserted[last_it->second].rowid;
     }
@@ -201,15 +156,9 @@ netmark::Result<int64_t> XmlStore::InsertDocument(const xml::Document& doc,
       inserted[last_it->second].needs_sibling_patch = true;
     }
     size_t my_index = inserted.size();
+    int64_t parent_node_id = rec.parent_node_id;
     inserted.push_back(Inserted{rowid, std::move(rec), false});
-    last_child_of[frame.parent_node_id] = my_index;
-
-    // Descend.
-    std::vector<xml::NodeId> kids = doc.Children(n);
-    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
-      stack.push_back(
-          Frame{*it, rowid, inserted[my_index].rec.node_id, SIZE_MAX});
-    }
+    last_child_of[parent_node_id] = my_index;
   }
 
   // Pass 2: write back the forward sibling links.
@@ -219,9 +168,12 @@ netmark::Result<int64_t> XmlStore::InsertDocument(const xml::Document& doc,
     }
   }
 
-  // Index text content under the final rowids.
-  for (const Inserted& ins : inserted) {
-    if (ins.rec.is_text()) text_index_.Add(ins.rowid.Pack(), ins.rec.node_data);
+  // Index text content under the final rowids, from the pre-tokenized
+  // postings (no re-tokenization on the writer).
+  for (size_t i = 0; i < prepared.nodes.size(); ++i) {
+    if (prepared.nodes[i].is_text()) {
+      text_index_.AddPrepared(inserted[i].rowid.Pack(), prepared.nodes[i].postings);
+    }
   }
   return doc_id;
 }

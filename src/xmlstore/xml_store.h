@@ -21,15 +21,9 @@
 #include "xml/dom.h"
 #include "xml/node_type_config.h"
 #include "xmlstore/node_record.h"
+#include "xmlstore/prepared_document.h"
 
 namespace netmark::xmlstore {
-
-/// Metadata supplied when inserting a document.
-struct DocumentInfo {
-  std::string file_name;
-  int64_t file_date = 0;
-  int64_t file_size = 0;
-};
 
 /// \brief Schema-less document store over the relational engine.
 class XmlStore {
@@ -43,9 +37,16 @@ class XmlStore {
   // --- Document lifecycle ---
 
   /// Decomposes `doc` into node rows and indexes its text. Returns the new
-  /// document id.
+  /// document id. Equivalent to InsertPrepared(PrepareDocument(...)).
   netmark::Result<int64_t> InsertDocument(const xml::Document& doc,
                                           const DocumentInfo& info);
+
+  /// Commits a worker-prepared document: assigns doc/node ids, writes rows,
+  /// patches sibling RowId links, and bulk-merges the pre-tokenized postings
+  /// into the text index. This is the single-writer half of the parallel
+  /// ingestion pipeline; like every mutator it must be called from one
+  /// thread at a time.
+  netmark::Result<int64_t> InsertPrepared(const PreparedDocument& prepared);
 
   /// Removes a document's rows and index entries.
   netmark::Status DeleteDocument(int64_t doc_id);

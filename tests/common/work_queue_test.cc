@@ -1,0 +1,90 @@
+#include "common/work_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace netmark {
+namespace {
+
+TEST(WorkQueueTest, FifoWithinCapacity) {
+  WorkQueue<int> q(4);
+  EXPECT_TRUE(q.Push(1));
+  EXPECT_TRUE(q.Push(2));
+  EXPECT_TRUE(q.Push(3));
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.Pop(), 1);
+  EXPECT_EQ(q.Pop(), 2);
+  EXPECT_EQ(q.Pop(), 3);
+  EXPECT_EQ(q.TryPop(), std::nullopt);
+}
+
+TEST(WorkQueueTest, CloseDrainsThenSignalsDone) {
+  WorkQueue<int> q(4);
+  ASSERT_TRUE(q.Push(7));
+  q.Close();
+  EXPECT_FALSE(q.Push(8));       // rejected after close
+  EXPECT_EQ(q.Pop(), 7);         // queued item still delivered
+  EXPECT_EQ(q.Pop(), std::nullopt);  // then the termination signal
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(WorkQueueTest, PushBlocksUntilConsumerMakesRoom) {
+  WorkQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.Push(2));  // blocks: queue is full
+    second_pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_pushed.load());
+  EXPECT_EQ(q.Pop(), 1);  // frees a slot
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+  EXPECT_EQ(q.Pop(), 2);
+}
+
+TEST(WorkQueueTest, ManyProducersManyConsumersDeliverEverythingOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 250;
+  WorkQueue<int> q(8);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        EXPECT_TRUE(q.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::mutex mu;
+  std::multiset<int> received;
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto item = q.Pop()) {
+        std::lock_guard<std::mutex> lock(mu);
+        received.insert(*item);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+
+  ASSERT_EQ(received.size(), static_cast<size_t>(kProducers * kPerProducer));
+  // Exactly once: no value delivered twice, none lost.
+  int expected = 0;
+  for (int v : received) EXPECT_EQ(v, expected++);
+}
+
+}  // namespace
+}  // namespace netmark

@@ -37,12 +37,17 @@ TEST_F(EndToEndTest, CorpusThroughDaemonThroughQueries) {
   for (const auto& doc : corpus) {
     ASSERT_TRUE(WriteFile(drop / doc.file_name, doc.content).ok());
   }
-  ASSERT_TRUE(nm_->StartDaemon(drop).ok());
+  server::DaemonOptions daemon_opts;
+  daemon_opts.drop_dir = drop;
+  daemon_opts.stable_age = std::chrono::milliseconds(0);  // files fully written
+  ASSERT_TRUE(nm_->StartDaemon(daemon_opts).ok());
   auto processed = nm_->ProcessDropFolderOnce();
   ASSERT_TRUE(processed.ok());
   // The daemon thread may have taken some already; together they got all 30.
-  EXPECT_EQ(nm_->store()->document_count(), 30u);
+  // Stop before reading the store: it is single-writer, not reader-safe
+  // while the poll thread may still be committing.
   nm_->StopDaemon();
+  EXPECT_EQ(nm_->store()->document_count(), 30u);
 
   // Context search is keyword-based (paper §2.1.4), so "Budget" matches the
   // proposals' "Budget" headings, the task plans' "3. Budget Summary" and the

@@ -22,6 +22,9 @@ class DaemonTest : public ::testing::Test {
     converters_ = convert::ConverterRegistry::Default();
     options_.drop_dir = dir_->Sub("drop");
     options_.poll_interval = std::chrono::milliseconds(20);
+    // Tests drop fully-written files and sweep immediately; disable the
+    // still-being-written deferral except where a test opts back in.
+    options_.stable_age = std::chrono::milliseconds(0);
     daemon_ = std::make_unique<IngestionDaemon>(store_.get(), &converters_, options_);
     std::filesystem::create_directories(options_.drop_dir);
   }
@@ -82,13 +85,63 @@ TEST_F(DaemonTest, HiddenFilesIgnored) {
 TEST_F(DaemonTest, BackgroundThreadPicksUpDrops) {
   ASSERT_TRUE(daemon_->Start().ok());
   Drop("bg.txt", "BACKGROUND HEADING\npicked up asynchronously\n");
-  // Wait for the poll loop (bounded).
-  for (int i = 0; i < 200 && store_->document_count() == 0; ++i) {
+  // Wait for the poll loop (bounded). Poll the daemon's atomic counter, not
+  // the store — the store is single-writer and only safe to read once the
+  // daemon thread has stopped.
+  for (int i = 0; i < 200 && daemon_->files_ingested() == 0; ++i) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   daemon_->Stop();
   EXPECT_EQ(store_->document_count(), 1u);
   EXPECT_FALSE(store_->TextLookup("asynchronously").empty());
+}
+
+TEST_F(DaemonTest, FreshFileDeferredUntilSizeStable) {
+  // Opt back into the half-copied-drop protection with a window so large
+  // that only the cross-sweep size-stability rule can admit a file.
+  options_.stable_age = std::chrono::hours(1);
+  IngestionDaemon daemon(store_.get(), &converters_, options_);
+  Drop("slow_copy.txt", "HEADING\npartial");
+  EXPECT_EQ(*daemon.ProcessOnce(), 0);  // first sight: defer, don't fail
+  EXPECT_EQ(daemon.files_failed(), 0u);
+  EXPECT_TRUE(std::filesystem::exists(options_.drop_dir / "slow_copy.txt"));
+
+  // The copy "continues": the signature changed, so it defers again.
+  Drop("slow_copy.txt", "HEADING\npartial plus the rest of the file\n");
+  EXPECT_EQ(*daemon.ProcessOnce(), 0);
+
+  // Unchanged across two sweeps: ingested into processed/, not failed/.
+  EXPECT_EQ(*daemon.ProcessOnce(), 1);
+  EXPECT_EQ(daemon.files_failed(), 0u);
+  EXPECT_TRUE(std::filesystem::exists(options_.drop_dir / "processed" /
+                                      "slow_copy.txt"));
+  EXPECT_GE(daemon.counters().deferred, 2u);
+}
+
+TEST_F(DaemonTest, QuietOldFilesIngestedOnFirstSweep) {
+  options_.stable_age = std::chrono::milliseconds(30);
+  IngestionDaemon daemon(store_.get(), &converters_, options_);
+  Drop("settled.txt", "HEADING\nwritten a while ago\n");
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_EQ(*daemon.ProcessOnce(), 1);  // mtime older than the window
+}
+
+TEST_F(DaemonTest, PerStageCountersTrackThePipeline) {
+  Drop("one.txt", "HEADING\nfirst\n");
+  Drop("two.md", "# Title\n\nsecond\n");
+  std::string binary("\x7f"
+                     "ELF\x00\x01\x02",
+                     7);
+  Drop("bad.bin", binary);
+  ASSERT_EQ(*daemon_->ProcessOnce(), 2);
+  DaemonCounters c = daemon_->counters();
+  EXPECT_EQ(c.queued, 3u);
+  EXPECT_EQ(c.converted, 2u);
+  EXPECT_EQ(c.inserted, 2u);
+  EXPECT_EQ(c.failed, 1u);
+  EXPECT_EQ(c.deferred, 0u);
+  EXPECT_GT(c.convert_ns, 0u);
+  EXPECT_GT(c.insert_ns, 0u);
 }
 
 TEST_F(DaemonTest, DeleteModeRemovesFiles) {

@@ -1,0 +1,79 @@
+// Round-trip edge cases for the NODEDATA attribute blob codec
+// ("k=v&k2=v2", URL-escaped): the separators themselves, empty values,
+// unicode, and corrupt blobs.
+
+#include <gtest/gtest.h>
+
+#include "xml/dom.h"
+#include "xmlstore/xml_store.h"
+
+namespace netmark::xmlstore {
+namespace {
+
+std::vector<xml::Attribute> Attrs(
+    std::initializer_list<std::pair<std::string, std::string>> pairs) {
+  std::vector<xml::Attribute> out;
+  for (const auto& [name, value] : pairs) {
+    out.push_back(xml::Attribute{name, value});
+  }
+  return out;
+}
+
+void ExpectRoundTrip(const std::vector<xml::Attribute>& attrs) {
+  std::string blob = EncodeAttributes(attrs);
+  auto decoded = DecodeAttributes(blob);
+  ASSERT_TRUE(decoded.ok()) << "blob: " << blob;
+  ASSERT_EQ(decoded->size(), attrs.size()) << "blob: " << blob;
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    EXPECT_EQ((*decoded)[i].name, attrs[i].name) << "blob: " << blob;
+    EXPECT_EQ((*decoded)[i].value, attrs[i].value) << "blob: " << blob;
+  }
+}
+
+TEST(AttributeBlobTest, EmptyListYieldsEmptyBlob) {
+  EXPECT_EQ(EncodeAttributes({}), "");
+  auto decoded = DecodeAttributes("");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(AttributeBlobTest, EmptyValues) {
+  ExpectRoundTrip(Attrs({{"checked", ""}, {"id", "x"}, {"alt", ""}}));
+}
+
+TEST(AttributeBlobTest, SeparatorCharactersInValues) {
+  ExpectRoundTrip(Attrs({{"href", "http://x/?a=1&b=2"},
+                         {"query", "k=v&k2=v2"},
+                         {"pct", "100%&rising"}}));
+}
+
+TEST(AttributeBlobTest, SeparatorCharactersInKeys) {
+  ExpectRoundTrip(Attrs({{"a&b", "1"}, {"c=d", "2"}, {"e%f", "3"}, {"g h", "4"}}));
+}
+
+TEST(AttributeBlobTest, PercentEscapesSurviveDoubleMeaning) {
+  // Values that *look* like escapes must not be decoded twice.
+  ExpectRoundTrip(Attrs({{"v", "%20"}, {"w", "%%"}, {"x", "a%2Bb"}}));
+}
+
+TEST(AttributeBlobTest, UnicodeKeysAndValues) {
+  ExpectRoundTrip(Attrs({{"título", "naïve café ☕"},
+                         {"日本語", "名前"},
+                         {"emoji", "🚀 liftoff"}}));
+}
+
+TEST(AttributeBlobTest, NewlinesTabsAndQuotes) {
+  ExpectRoundTrip(Attrs({{"text", "line1\nline2\tend"}, {"q", "she said \"hi\""}}));
+}
+
+TEST(AttributeBlobTest, RepeatedNamesPreserveOrder) {
+  ExpectRoundTrip(Attrs({{"class", "a"}, {"class", "b"}, {"class", "c"}}));
+}
+
+TEST(AttributeBlobTest, CorruptBlobWithoutEqualsRejected) {
+  EXPECT_FALSE(DecodeAttributes("justakey").ok());
+  EXPECT_FALSE(DecodeAttributes("a=1&nokey").ok());
+}
+
+}  // namespace
+}  // namespace netmark::xmlstore
