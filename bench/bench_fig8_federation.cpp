@@ -47,8 +47,8 @@ std::unique_ptr<Fleet> MakeStoreFleet(int n, size_t docs_each) {
 }
 
 // Builds a databank of `n` content-only sources (forces augmentation).
-federation::Router MakeContentOnlyFleet(int n, int docs_each) {
-  federation::Router router;
+std::unique_ptr<federation::Router> MakeContentOnlyFleet(int n, int docs_each) {
+  auto router = std::make_unique<federation::Router>();
   workload::CorpusGenerator gen(55);
   std::vector<std::string> names;
   for (int i = 0; i < n; ++i) {
@@ -60,10 +60,10 @@ federation::Router MakeContentOnlyFleet(int n, int docs_each) {
       bench::Check(parsed.status(), "parse");
       source->AddDocument(doc.file_name, *parsed);
     }
-    bench::Check(router.RegisterSource(source), "register");
+    bench::Check(router->RegisterSource(source), "register");
     names.push_back("c" + std::to_string(i));
   }
-  bench::Check(router.DefineDatabank("bank", names), "databank");
+  bench::Check(router->DefineDatabank("bank", names), "databank");
   return router;
 }
 
@@ -86,17 +86,16 @@ BENCHMARK(BM_FanOut)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
     ->Unit(benchmark::kMicrosecond);
 
 void BM_AugmentedFanOut(benchmark::State& state) {
-  federation::Router router =
-      MakeContentOnlyFleet(static_cast<int>(state.range(0)), 40);
+  auto router = MakeContentOnlyFleet(static_cast<int>(state.range(0)), 40);
   query::XdbQuery q;
   q.context = "Lesson";
   q.content = "engine";
   size_t augmented = 0;
   for (auto _ : state) {
-    auto hits = router.Query("bank", q);
+    auto hits = router->QueryFederated("bank", q);
     bench::Check(hits.status(), "query");
-    augmented = router.stats().augmented;
-    benchmark::DoNotOptimize(hits->size());
+    augmented = hits->stats.augmented;
+    benchmark::DoNotOptimize(hits->hits.size());
   }
   state.SetItemsProcessed(state.iterations());
   state.counters["sources"] = static_cast<double>(state.range(0));

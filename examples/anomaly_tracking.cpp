@@ -100,28 +100,37 @@ int main() {
   // Query 1: every critical disposition, across both centers at once.
   std::printf("== Context=Disposition & Content=critical (both centers) ==\n");
   auto critical = Unwrap(
-      app->QueryDatabank("anomalies", "context=Disposition&content=critical"),
+      app->QueryDatabankFederated("anomalies",
+                                  "context=Disposition&content=critical"),
       "federated query");
-  for (const auto& hit : critical) {
+  for (const auto& hit : critical.hits) {
     std::printf("  [%s] %s: %.70s\n", hit.source.c_str(), hit.file_name.c_str(),
                 hit.text.c_str());
   }
-  auto stats = app->router()->stats();
-  std::printf("  (%zu sources queried, %zu full push-down, %zu augmented)\n\n",
-              stats.sources_queried, stats.pushed_down_full, stats.augmented);
+  std::printf("  (%zu sources queried, %zu full push-down, %zu augmented,"
+              " complete=%s)\n\n",
+              critical.stats.sources_queried, critical.stats.pushed_down_full,
+              critical.stats.augmented, critical.complete() ? "yes" : "no");
 
   // Query 2: the paper's augmentation walkthrough — Context=Title against
   // the lessons server, which can only run the Content part itself.
   std::printf("== Context=Title & Content=engine (lessons server augmented) ==\n");
   auto lessons_hits = Unwrap(
-      app->QueryDatabank("anomalies", "context=Title&content=engine"),
+      app->QueryDatabankFederated("anomalies", "context=Title&content=engine"),
       "augmented query");
-  for (const auto& hit : lessons_hits) {
+  for (const auto& hit : lessons_hits.hits) {
     std::printf("  [%s] %s -> %s\n", hit.source.c_str(), hit.file_name.c_str(),
                 hit.text.c_str());
   }
-  stats = app->router()->stats();
-  std::printf("  (%zu sources needed client-side augmentation)\n", stats.augmented);
+  std::printf("  (%zu sources needed client-side augmentation)\n",
+              lessons_hits.stats.augmented);
+  for (const auto& outcome : lessons_hits.sources) {
+    std::printf("  source %-18s %s after %d attempt(s)\n",
+                outcome.source.c_str(),
+                std::string(netmark::federation::SourceStateToString(outcome.state))
+                    .c_str(),
+                outcome.attempts);
+  }
 
   for (auto& nm : centers) nm->StopServer();
   return 0;

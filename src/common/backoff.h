@@ -1,0 +1,52 @@
+// Exponential backoff with jitter for retrying transient failures.
+//
+// The schedule is deterministic given an Rng seed, so retry-heavy chaos
+// tests reproduce exactly: delay(attempt) = min(max_ms, initial_ms *
+// multiplier^attempt), of which a `jitter` fraction is re-randomized
+// uniformly. Jitter de-synchronizes retry storms across sources without
+// sacrificing reproducibility.
+
+#ifndef NETMARK_COMMON_BACKOFF_H_
+#define NETMARK_COMMON_BACKOFF_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace netmark {
+
+/// Parameters of an exponential backoff schedule.
+struct BackoffPolicy {
+  int64_t initial_ms = 50;   ///< delay before the first retry
+  double multiplier = 2.0;   ///< growth factor per further retry
+  int64_t max_ms = 2000;     ///< cap on any single delay
+  double jitter = 0.5;       ///< fraction of the delay that is randomized
+
+  static BackoffPolicy None() { return {0, 1.0, 0, 0.0}; }
+};
+
+/// \brief Delay in milliseconds before retry number `attempt` (0-based).
+///
+/// With jitter j, the result lies in [base*(1-j), base*(1-j) + base*j] where
+/// base is the capped exponential term; j = 0 gives the exact schedule.
+inline int64_t BackoffDelayMs(const BackoffPolicy& policy, int attempt, Rng* rng) {
+  if (policy.initial_ms <= 0) return 0;
+  double base = static_cast<double>(policy.initial_ms);
+  for (int i = 0; i < attempt; ++i) {
+    base *= policy.multiplier;
+    if (base >= static_cast<double>(policy.max_ms)) break;
+  }
+  if (base > static_cast<double>(policy.max_ms)) {
+    base = static_cast<double>(policy.max_ms);
+  }
+  double fixed = base * (1.0 - policy.jitter);
+  double random = rng != nullptr && policy.jitter > 0.0
+                      ? rng->UniformDouble() * base * policy.jitter
+                      : 0.0;
+  int64_t delay = static_cast<int64_t>(fixed + random);
+  return delay < 0 ? 0 : delay;
+}
+
+}  // namespace netmark
+
+#endif  // NETMARK_COMMON_BACKOFF_H_

@@ -28,6 +28,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Timeout";
     case StatusCode::kInternal:
       return "Internal error";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
   }
   return "Unknown";
 }

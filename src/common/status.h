@@ -29,6 +29,7 @@ enum class StatusCode : int {
   kUnavailable = 9,
   kTimeout = 10,
   kInternal = 11,
+  kDeadlineExceeded = 12,
 };
 
 /// \brief Human-readable name of a StatusCode ("Invalid argument", ...).
@@ -95,6 +96,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -114,6 +118,7 @@ class Status {
   bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
   bool IsTimeout() const { return code() == StatusCode::kTimeout; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsDeadlineExceeded() const { return code() == StatusCode::kDeadlineExceeded; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -1,0 +1,88 @@
+// ThreadReaper: owns short-lived worker threads whose results may be
+// abandoned by their spawner.
+//
+// The federation router's concurrent fan-out must return at its deadline
+// even while a slow source is still executing. Detaching such threads is
+// unsafe (they may outlive main and race static destruction), so workers are
+// parked here instead: finished threads are joined opportunistically on the
+// next Launch, and the destructor joins whatever is left. Callers guarantee
+// every launched function terminates eventually (all source calls are
+// deadline-bounded), so destruction is bounded too.
+
+#ifndef NETMARK_COMMON_THREAD_REAPER_H_
+#define NETMARK_COMMON_THREAD_REAPER_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace netmark {
+
+/// \brief Join-on-destruction pool for abandonable worker threads.
+class ThreadReaper {
+ public:
+  ThreadReaper() = default;
+  ThreadReaper(const ThreadReaper&) = delete;
+  ThreadReaper& operator=(const ThreadReaper&) = delete;
+
+  ~ThreadReaper() { JoinAll(); }
+
+  /// Starts `fn` on a new thread. Also reaps any already-finished threads.
+  void Launch(std::function<void()> fn) {
+    auto finished = std::make_shared<std::atomic<bool>>(false);
+    std::thread t([fn = std::move(fn), finished] {
+      fn();
+      finished->store(true, std::memory_order_release);
+    });
+    std::lock_guard<std::mutex> lock(mu_);
+    ReapLocked();
+    threads_.emplace_back(std::move(t), std::move(finished));
+  }
+
+  /// Joins every thread that has already finished; never blocks on live ones.
+  void Reap() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ReapLocked();
+  }
+
+  /// Blocks until every launched thread has terminated.
+  void JoinAll() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [thread, finished] : threads_) {
+      if (thread.joinable()) thread.join();
+    }
+    threads_.clear();
+  }
+
+  size_t live_threads() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t live = 0;
+    for (const auto& [thread, finished] : threads_) {
+      if (!finished->load(std::memory_order_acquire)) ++live;
+    }
+    return live;
+  }
+
+ private:
+  void ReapLocked() {
+    for (auto it = threads_.begin(); it != threads_.end();) {
+      if (it->second->load(std::memory_order_acquire)) {
+        if (it->first.joinable()) it->first.join();
+        it = threads_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::thread, std::shared_ptr<std::atomic<bool>>>> threads_;
+};
+
+}  // namespace netmark
+
+#endif  // NETMARK_COMMON_THREAD_REAPER_H_

@@ -97,6 +97,12 @@ Result<std::vector<federation::FederatedHit>> Netmark::QueryDatabank(
   return router_.Query(databank, q);
 }
 
+Result<federation::FederatedResult> Netmark::QueryDatabankFederated(
+    const std::string& databank, const std::string& query_string) {
+  NETMARK_ASSIGN_OR_RETURN(query::XdbQuery q, query::ParseXdbQuery(query_string));
+  return router_.QueryFederated(databank, q);
+}
+
 Status Netmark::StartServer(uint16_t port) {
   if (http_server_ != nullptr) return Status::AlreadyExists("server already started");
   http_server_ = std::make_unique<server::HttpServer>(

@@ -37,6 +37,8 @@ struct NetmarkOptions {
   std::string data_dir;
   /// Node-type rules for the SGML parser (CONTEXT/INTENSE/SIMULATION tags).
   xml::NodeTypeConfig node_types = xml::NodeTypeConfig::Default();
+  /// Federation resilience knobs (deadlines, retries, breakers, fan-out).
+  federation::RouterOptions router;
 };
 
 /// \brief One NETMARK instance.
@@ -81,6 +83,10 @@ class Netmark {
   /// Queries a databank through the thin router.
   Result<std::vector<federation::FederatedHit>> QueryDatabank(
       const std::string& databank, const std::string& query_string);
+  /// Queries a databank, returning hits plus the per-source outcome report
+  /// and per-query stats (partial-result semantics).
+  Result<federation::FederatedResult> QueryDatabankFederated(
+      const std::string& databank, const std::string& query_string);
 
   // --- Services ---
 
@@ -112,7 +118,8 @@ class Netmark {
   server::NetmarkService* service() { return service_.get(); }
 
  private:
-  explicit Netmark(NetmarkOptions options) : options_(std::move(options)) {}
+  explicit Netmark(NetmarkOptions options)
+      : options_(std::move(options)), router_(options_.router) {}
 
   NetmarkOptions options_;
   std::unique_ptr<xmlstore::XmlStore> store_;

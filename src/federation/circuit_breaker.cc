@@ -1,0 +1,83 @@
+#include "federation/circuit_breaker.h"
+
+namespace netmark::federation {
+
+CircuitBreaker::State CircuitBreaker::StateLocked(int64_t now_micros) const {
+  if (state_ == State::kOpen &&
+      now_micros - opened_at_micros_ >= config_.cooldown_ms * 1000) {
+    return State::kHalfOpen;
+  }
+  return state_;
+}
+
+bool CircuitBreaker::Allow(int64_t now_micros) {
+  if (!config_.enabled()) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (StateLocked(now_micros)) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      return false;
+    case State::kHalfOpen:
+      if (state_ == State::kOpen) {
+        // Cooldown elapsed right now: commit the transition.
+        state_ = State::kHalfOpen;
+        probe_in_flight_ = false;
+        half_open_successes_ = 0;
+      }
+      if (probe_in_flight_) return false;  // one probe at a time
+      probe_in_flight_ = true;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess(int64_t now_micros) {
+  if (!config_.enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  (void)now_micros;
+  consecutive_failures_ = 0;
+  if (state_ == State::kHalfOpen) {
+    probe_in_flight_ = false;
+    if (++half_open_successes_ >= config_.half_open_successes) {
+      state_ = State::kClosed;
+      half_open_successes_ = 0;
+    }
+  }
+}
+
+void CircuitBreaker::RecordFailure(int64_t now_micros) {
+  if (!config_.enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kHalfOpen) {
+    // The probe failed: reopen and restart the cooldown.
+    state_ = State::kOpen;
+    probe_in_flight_ = false;
+    opened_at_micros_ = now_micros;
+    return;
+  }
+  if (++consecutive_failures_ >= config_.failure_threshold &&
+      state_ == State::kClosed) {
+    state_ = State::kOpen;
+    opened_at_micros_ = now_micros;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state(int64_t now_micros) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return StateLocked(now_micros);
+}
+
+std::string_view CircuitStateToString(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+}  // namespace netmark::federation

@@ -1,0 +1,78 @@
+// Per-source circuit breaker: a dead source is skipped cheaply instead of
+// being re-probed (and re-timed-out) on every databank query.
+//
+// Classic three-state machine:
+//
+//   closed ──(failure_threshold consecutive failures)──> open
+//   open   ──(cooldown elapses)──> half-open
+//   half-open ──(probe succeeds half_open_successes times)──> closed
+//   half-open ──(probe fails)──> open (cooldown restarts)
+//
+// Time is passed in explicitly (MonotonicMicros in production, a fake
+// counter in tests) so the state machine is fully deterministic.
+
+#ifndef NETMARK_FEDERATION_CIRCUIT_BREAKER_H_
+#define NETMARK_FEDERATION_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+
+namespace netmark::federation {
+
+/// Tunable thresholds of one breaker.
+struct CircuitBreakerConfig {
+  /// Consecutive failures (across queries) that trip the breaker open.
+  int failure_threshold = 5;
+  /// How long an open breaker rejects before admitting a half-open probe.
+  int64_t cooldown_ms = 10000;
+  /// Probe successes required in half-open before closing again.
+  int half_open_successes = 1;
+
+  /// A breaker that never opens (failure_threshold <= 0 disables it).
+  static CircuitBreakerConfig Disabled() { return {0, 0, 1}; }
+  bool enabled() const { return failure_threshold > 0; }
+};
+
+/// \brief Thread-safe closed/open/half-open breaker with injected time.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(CircuitBreakerConfig config) : config_(config) {}
+
+  /// True if a call may proceed at `now_micros`. An open breaker whose
+  /// cooldown has elapsed transitions to half-open and admits exactly one
+  /// in-flight probe at a time.
+  bool Allow(int64_t now_micros);
+
+  /// Reports the result of a call previously admitted by Allow().
+  void RecordSuccess(int64_t now_micros);
+  void RecordFailure(int64_t now_micros);
+
+  /// Current state, advancing open -> half-open if the cooldown elapsed.
+  State state(int64_t now_micros) const;
+
+  int consecutive_failures() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return consecutive_failures_;
+  }
+
+ private:
+  State StateLocked(int64_t now_micros) const;
+
+  const CircuitBreakerConfig config_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_successes_ = 0;
+  bool probe_in_flight_ = false;
+  int64_t opened_at_micros_ = 0;
+};
+
+/// \brief Human-readable state name ("closed", "open", "half-open").
+std::string_view CircuitStateToString(CircuitBreaker::State state);
+
+}  // namespace netmark::federation
+
+#endif  // NETMARK_FEDERATION_CIRCUIT_BREAKER_H_

@@ -23,7 +23,11 @@ void ContentOnlySource::AddDocument(const std::string& file_name,
 }
 
 netmark::Result<std::vector<FederatedHit>> ContentOnlySource::Execute(
-    const query::XdbQuery& query) {
+    const query::XdbQuery& query, const CallContext& ctx) {
+  if (ctx.expired()) {
+    return netmark::Status::DeadlineExceeded("content-only source " + name_ +
+                                             ": deadline expired");
+  }
   // A content-only server ignores any context clause entirely; it matches
   // keywords (no phrase support: phrases degrade to their words — the router
   // re-verifies after augmentation).

@@ -29,8 +29,9 @@ class ContentOnlySource : public Source {
 
   const std::string& name() const override { return name_; }
   Capabilities capabilities() const override { return Capabilities::ContentOnly(); }
+  using Source::Execute;
   netmark::Result<std::vector<FederatedHit>> Execute(
-      const query::XdbQuery& query) override;
+      const query::XdbQuery& query, const CallContext& ctx) override;
 
   size_t document_count() const { return docs_.size(); }
 

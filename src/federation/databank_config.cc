@@ -45,6 +45,48 @@ netmark::Result<DatabankConfig> ParseDatabankConfig(std::string_view text) {
         return netmark::Status::ParseError("source " + decl.name +
                                            " has unknown capabilities '" + caps + "'");
       }
+      // Resilience knobs (all optional; router defaults apply when absent).
+      const bool has_timeout = ini.Get(section, "timeout_ms").ok();
+      const bool has_retries = ini.Get(section, "max_retries").ok();
+      const bool has_breaker_failures = ini.Get(section, "breaker_failures").ok();
+      const bool has_breaker_cooldown =
+          ini.Get(section, "breaker_cooldown_ms").ok();
+      if (has_timeout) {
+        auto v = ini.GetInt(section, "timeout_ms");
+        if (!v.ok() || *v < 0) {
+          return netmark::Status::ParseError("source " + decl.name +
+                                             " has bad timeout_ms");
+        }
+        decl.policy.timeout_ms = *v;
+      }
+      if (has_retries) {
+        auto v = ini.GetInt(section, "max_retries");
+        if (!v.ok() || *v < 0) {
+          return netmark::Status::ParseError("source " + decl.name +
+                                             " has bad max_retries");
+        }
+        decl.policy.max_retries = static_cast<int>(*v);
+      }
+      if (has_breaker_failures || has_breaker_cooldown) {
+        CircuitBreakerConfig breaker;
+        if (has_breaker_failures) {
+          auto v = ini.GetInt(section, "breaker_failures");
+          if (!v.ok() || *v < 0) {
+            return netmark::Status::ParseError("source " + decl.name +
+                                               " has bad breaker_failures");
+          }
+          breaker.failure_threshold = static_cast<int>(*v);
+        }
+        if (has_breaker_cooldown) {
+          auto v = ini.GetInt(section, "breaker_cooldown_ms");
+          if (!v.ok() || *v < 0) {
+            return netmark::Status::ParseError("source " + decl.name +
+                                               " has bad breaker_cooldown_ms");
+          }
+          breaker.cooldown_ms = *v;
+        }
+        decl.policy.breaker = breaker;
+      }
       config.sources.push_back(std::move(decl));
     } else if (netmark::StartsWith(section, "databank:")) {
       DatabankDecl decl;
@@ -90,7 +132,7 @@ netmark::Status ApplyDatabankConfig(const DatabankConfig& config,
       return netmark::Status::Internal("source factory returned null for " +
                                        decl.name);
     }
-    NETMARK_RETURN_NOT_OK(router->RegisterSource(std::move(source)));
+    NETMARK_RETURN_NOT_OK(router->RegisterSource(std::move(source), decl.policy));
   }
   for (const DatabankDecl& bank : config.databanks) {
     // Resolve to the canonical (lower-cased) names registered above.

@@ -12,6 +12,11 @@
 //   host = 127.0.0.1
 //   port = 8080
 //   capabilities = content  ; optional: full (default) | content
+//   timeout_ms = 2000       ; optional: per-attempt budget for this source
+//   max_retries = 1         ; optional: retries beyond the first attempt
+//   breaker_failures = 3    ; optional: consecutive failures that trip the
+//                           ;   circuit breaker (0 disables it)
+//   breaker_cooldown_ms = 5000  ; optional: open -> half-open cool-down
 //
 //   [databank:anomalies]
 //   sources = ames-store, lessons
@@ -38,6 +43,8 @@ struct SourceDecl {
   std::string host;  ///< remote
   uint16_t port = 0;
   Capabilities capabilities = Capabilities::Full();
+  /// Resilience overrides (timeout_ms / max_retries / breaker_* keys).
+  SourcePolicy policy;
 };
 
 /// Parsed declaration of one databank.

@@ -1,0 +1,78 @@
+#include "federation/fault_injection.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/clock.h"
+
+namespace netmark::federation {
+
+FaultInjectingTransport::Fault FaultInjectingTransport::Roll() {
+  if (remaining_forced_failures_ < 0) {
+    remaining_forced_failures_ = spec_.fail_first_n;
+  }
+  if (remaining_forced_failures_ > 0) {
+    --remaining_forced_failures_;
+    return Fault::kError;
+  }
+  // One roll decides the fault; rate bands are evaluated in declaration
+  // order so the decision sequence is reproducible from the seed alone.
+  double roll = rng_.UniformDouble();
+  double band = spec_.error_rate;
+  if (roll < band) return Fault::kError;
+  band += spec_.http_500_rate;
+  if (roll < band) return Fault::kHttp500;
+  band += spec_.truncate_rate;
+  if (roll < band) return Fault::kTruncate;
+  band += spec_.malformed_rate;
+  if (roll < band) return Fault::kMalformed;
+  band += spec_.hang_rate;
+  if (roll < band) return Fault::kHang;
+  return Fault::kNone;
+}
+
+netmark::Result<std::string> FaultInjectingTransport::Get(
+    const std::string& path_and_query, const CallContext& ctx) {
+  Fault fault;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++calls_;
+    fault = Roll();
+  }
+  switch (fault) {
+    case Fault::kError:
+      return netmark::Status::Unavailable("injected fault: connection refused");
+    case Fault::kHttp500:
+      return netmark::Status::Unavailable("injected fault: remote returned HTTP 500");
+    case Fault::kTruncate:
+      return netmark::Status::IOError("injected fault: truncated body");
+    case Fault::kMalformed:
+      // Cut mid-tag: arrives "successfully" but is unparseable.
+      return std::string("<results><result docid=\"1\"");
+    case Fault::kHang: {
+      // Sleep the caller's remaining budget away (plus a hair, so the caller
+      // observes expiry), or a fixed hang when unbounded.
+      int64_t sleep_ms = ctx.bounded()
+                             ? std::max<int64_t>(ctx.remaining_ms() + 5, 0)
+                             : spec_.hang_ms;
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      return netmark::Status::DeadlineExceeded("injected fault: hang (" +
+                                               std::to_string(sleep_ms) + "ms)");
+    }
+    case Fault::kNone:
+      break;
+  }
+  if (spec_.latency_ms > 0) {
+    if (ctx.bounded() && ctx.remaining_ms() < spec_.latency_ms) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(std::max<int64_t>(ctx.remaining_ms(), 0) + 5));
+      return netmark::Status::DeadlineExceeded(
+          "injected latency outlived the deadline");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(spec_.latency_ms));
+  }
+  return inner_->Get(path_and_query, ctx);
+}
+
+}  // namespace netmark::federation

@@ -1,0 +1,91 @@
+// FaultInjectingTransport: a chaos-engineering wrapper over any HttpTransport.
+//
+// Injects seeded, reproducible faults — connection errors, HTTP 5xx-style
+// failures, added latency, hangs that burn the caller's whole deadline, and
+// truncated or malformed response bodies. The deterministic chaos-test suite
+// drives the federation router through this wrapper to prove the resilience
+// layer (deadlines, retries, breakers, partial results) under every failure
+// mode the paper's "databank keeps serving" claim implies.
+
+#ifndef NETMARK_FEDERATION_FAULT_INJECTION_H_
+#define NETMARK_FEDERATION_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/rng.h"
+#include "federation/remote_source.h"
+
+namespace netmark::federation {
+
+/// Probabilities and shapes of the injected faults. All rates are in [0, 1]
+/// and evaluated in the order they are declared; at most one fault fires per
+/// call.
+struct FaultSpec {
+  /// Fail the first N calls unconditionally with Unavailable("connection
+  /// refused") — the flaky-then-healthy recovery scenario.
+  int fail_first_n = 0;
+  /// Connection-level failure (refused / reset): retryable Unavailable.
+  double error_rate = 0.0;
+  /// Server-side failure: retryable Unavailable carrying "HTTP 500".
+  double http_500_rate = 0.0;
+  /// Body cut off mid-stream: retryable IOError("truncated body").
+  double truncate_rate = 0.0;
+  /// Body replaced with non-XML garbage: surfaces as a ParseError upstream
+  /// (never retried).
+  double malformed_rate = 0.0;
+  /// Hang until the caller's deadline expires (DeadlineExceeded); with no
+  /// deadline, hang for `hang_ms` and then fail.
+  double hang_rate = 0.0;
+  int64_t hang_ms = 100;
+  /// Fixed latency added to every call that reaches the inner transport.
+  int64_t latency_ms = 0;
+
+  static FaultSpec Healthy() { return FaultSpec{}; }
+};
+
+/// \brief HttpTransport decorator injecting seeded faults.
+///
+/// Thread-safe: concurrent fan-out may issue overlapping calls; the fault
+/// dice and counters are mutex-guarded. The sequence of fault decisions is a
+/// pure function of (seed, call order), so single-threaded chaos tests replay
+/// exactly.
+class FaultInjectingTransport : public HttpTransport {
+ public:
+  FaultInjectingTransport(std::unique_ptr<HttpTransport> inner, FaultSpec spec,
+                          uint64_t seed)
+      : inner_(std::move(inner)), spec_(spec), rng_(seed) {}
+
+  using HttpTransport::Get;
+  netmark::Result<std::string> Get(const std::string& path_and_query,
+                                   const CallContext& ctx) override;
+
+  /// Total calls observed (including faulted ones).
+  int calls() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return calls_;
+  }
+
+  /// Re-arms the fail-first-N counter (e.g. to re-break a recovered source).
+  void FailNext(int n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    remaining_forced_failures_ = n;
+  }
+
+ private:
+  enum class Fault { kNone, kError, kHttp500, kTruncate, kMalformed, kHang };
+  Fault Roll();  // consumes rng under mu_
+
+  std::unique_ptr<HttpTransport> inner_;
+  const FaultSpec spec_;
+  mutable std::mutex mu_;
+  netmark::Rng rng_;
+  int calls_ = 0;
+  int remaining_forced_failures_ = -1;  // -1: use spec_.fail_first_n
+};
+
+}  // namespace netmark::federation
+
+#endif  // NETMARK_FEDERATION_FAULT_INJECTION_H_

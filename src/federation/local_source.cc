@@ -13,7 +13,11 @@ netmark::Result<std::shared_ptr<LocalStoreSource>> LocalStoreSource::OpenOwned(
 }
 
 netmark::Result<std::vector<FederatedHit>> LocalStoreSource::Execute(
-    const query::XdbQuery& query) {
+    const query::XdbQuery& query, const CallContext& ctx) {
+  if (ctx.expired()) {
+    return netmark::Status::DeadlineExceeded("local source " + name_ +
+                                             ": deadline expired");
+  }
   NETMARK_ASSIGN_OR_RETURN(std::vector<query::QueryHit> hits,
                            executor_.Execute(query));
   std::vector<FederatedHit> out;

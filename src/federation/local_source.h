@@ -26,8 +26,9 @@ class LocalStoreSource : public Source {
 
   const std::string& name() const override { return name_; }
   Capabilities capabilities() const override { return Capabilities::Full(); }
+  using Source::Execute;
   netmark::Result<std::vector<FederatedHit>> Execute(
-      const query::XdbQuery& query) override;
+      const query::XdbQuery& query, const CallContext& ctx) override;
 
  private:
   LocalStoreSource(std::string name, std::unique_ptr<xmlstore::XmlStore> owned)

@@ -41,9 +41,22 @@ netmark::Result<std::vector<FederatedHit>> ParseResultsDocument(
 }
 
 netmark::Result<std::vector<FederatedHit>> RemoteSource::Execute(
-    const query::XdbQuery& query) {
-  std::string path = "/xdb?" + query.ToQueryString();
-  NETMARK_ASSIGN_OR_RETURN(std::string body, transport_->Get(path));
+    const query::XdbQuery& query, const CallContext& ctx) {
+  if (ctx.expired()) {
+    return netmark::Status::DeadlineExceeded("remote source " + name_ +
+                                             ": deadline expired before send");
+  }
+  // Deadline propagation: tell the remote how much budget is left so it can
+  // bound its own fan-out instead of answering a query nobody is waiting for.
+  query::XdbQuery pushed = query;
+  if (ctx.bounded()) {
+    int64_t remaining = ctx.remaining_ms();
+    if (pushed.timeout_ms == 0 || remaining < pushed.timeout_ms) {
+      pushed.timeout_ms = remaining > 0 ? remaining : 1;
+    }
+  }
+  std::string path = "/xdb?" + pushed.ToQueryString();
+  NETMARK_ASSIGN_OR_RETURN(std::string body, transport_->Get(path, ctx));
   auto hits = ParseResultsDocument(body);
   if (!hits.ok()) {
     return hits.status().WithContext("remote source " + name_);

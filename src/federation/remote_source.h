@@ -19,7 +19,15 @@ class HttpTransport {
  public:
   virtual ~HttpTransport() = default;
   /// Fetches `path_and_query` ("/xdb?context=..."), returning the body.
-  virtual netmark::Result<std::string> Get(const std::string& path_and_query) = 0;
+  /// Implementations must give up with Status::DeadlineExceeded once
+  /// `ctx.deadline_micros` passes instead of blocking indefinitely.
+  virtual netmark::Result<std::string> Get(const std::string& path_and_query,
+                                           const CallContext& ctx) = 0;
+
+  /// Convenience: fetch with no deadline.
+  netmark::Result<std::string> Get(const std::string& path_and_query) {
+    return Get(path_and_query, CallContext::Unbounded());
+  }
 };
 
 /// \brief Federated source proxied over HTTP to a remote NETMARK instance.
@@ -33,8 +41,9 @@ class RemoteSource : public Source {
 
   const std::string& name() const override { return name_; }
   Capabilities capabilities() const override { return capabilities_; }
+  using Source::Execute;
   netmark::Result<std::vector<FederatedHit>> Execute(
-      const query::XdbQuery& query) override;
+      const query::XdbQuery& query, const CallContext& ctx) override;
 
  private:
   std::string name_;

@@ -1,57 +1,30 @@
 #include "federation/router.h"
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
 
+#include "common/clock.h"
+#include "common/work_queue.h"
 #include "textindex/text_query.h"
 
 namespace netmark::federation {
 
-netmark::Status Router::RegisterSource(std::shared_ptr<Source> source) {
-  const std::string& name = source->name();
-  if (sources_.count(name) != 0) {
-    return netmark::Status::AlreadyExists("source " + name + " already registered");
-  }
-  sources_[name] = std::move(source);
-  return netmark::Status::OK();
+namespace {
+
+void DefaultSleepMs(int64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
 }
 
-netmark::Status Router::DefineDatabank(const std::string& name,
-                                       std::vector<std::string> source_names) {
-  if (databanks_.count(name) != 0) {
-    return netmark::Status::AlreadyExists("databank " + name + " already defined");
-  }
-  if (source_names.empty()) {
-    return netmark::Status::InvalidArgument("databank " + name + " needs sources");
-  }
-  for (const std::string& src : source_names) {
-    if (sources_.count(src) == 0) {
-      return netmark::Status::NotFound("databank " + name +
-                                       " references unknown source " + src);
-    }
-  }
-  databanks_[name] = Databank{name, std::move(source_names)};
-  return netmark::Status::OK();
-}
-
-std::vector<std::string> Router::DatabankNames() const {
-  std::vector<std::string> out;
-  for (const auto& [name, bank] : databanks_) out.push_back(name);
-  return out;
-}
-
-std::vector<std::string> Router::SourceNames() const {
-  std::vector<std::string> out;
-  for (const auto& [name, src] : sources_) out.push_back(name);
-  return out;
-}
-
-Source* Router::GetSource(const std::string& name) {
-  auto it = sources_.find(name);
-  return it == sources_.end() ? nullptr : it->second.get();
-}
-
-netmark::Result<std::vector<FederatedHit>> Router::QueryOneSource(
-    Source* source, const query::XdbQuery& query) {
+/// Decomposes `query` per `source` capability: full push-down when the source
+/// can evaluate everything, otherwise push the supported sub-query and
+/// augment the remainder locally (the paper's Context=Title&Content=Engine
+/// walk-through against the Lessons Learned server).
+netmark::Result<std::vector<FederatedHit>> ExecuteSubQuery(
+    Source* source, const query::XdbQuery& query, const CallContext& ctx,
+    QueryStats* stats) {
   Capabilities caps = source->capabilities();
   const bool needs_context = !query.context.empty();
   bool needs_phrase = false;
@@ -66,16 +39,16 @@ netmark::Result<std::vector<FederatedHit>> Router::QueryOneSource(
       (query.content.empty() || caps.content_search) &&
       (!needs_phrase || caps.phrase_search)) {
     // Full push-down.
-    ++stats_.pushed_down_full;
-    NETMARK_ASSIGN_OR_RETURN(std::vector<FederatedHit> hits, source->Execute(query));
-    stats_.raw_hits += hits.size();
+    ++stats->pushed_down_full;
+    NETMARK_ASSIGN_OR_RETURN(std::vector<FederatedHit> hits,
+                             source->Execute(query, ctx));
+    stats->raw_hits += hits.size();
     return hits;
   }
 
   // Capability-limited source: push down the supported sub-query, augment
-  // the remainder locally (the paper's Context=Title&Content=Engine walk-
-  // through against the Lessons Learned server).
-  ++stats_.augmented;
+  // the remainder locally.
+  ++stats->augmented;
   query::XdbQuery pushed;
   pushed.limit = 0;  // fetch everything; we filter locally
   if (caps.content_search) {
@@ -87,8 +60,9 @@ netmark::Result<std::vector<FederatedHit>> Router::QueryOneSource(
     return netmark::Status::Unavailable("source " + source->name() +
                                         " supports no usable search capability");
   }
-  NETMARK_ASSIGN_OR_RETURN(std::vector<FederatedHit> raw, source->Execute(pushed));
-  stats_.raw_hits += raw.size();
+  NETMARK_ASSIGN_OR_RETURN(std::vector<FederatedHit> raw,
+                           source->Execute(pushed, ctx));
+  stats->raw_hits += raw.size();
 
   textindex::TextQuery context_query = textindex::ParseTextQuery(query.context);
   textindex::TextQuery content_query = textindex::ParseTextQuery(query.content);
@@ -125,33 +99,378 @@ netmark::Result<std::vector<FederatedHit>> Router::QueryOneSource(
   return out;
 }
 
-netmark::Result<std::vector<FederatedHit>> Router::Query(
+/// One fan-out unit: everything a worker needs, with shared ownership of the
+/// source and breaker so a straggler outliving its query stays safe.
+struct Job {
+  size_t index = 0;
+  std::shared_ptr<Source> source;
+  SourcePolicy policy;  // resolved: max_retries >= 0
+  netmark::BackoffPolicy backoff;
+  std::shared_ptr<CircuitBreaker> breaker;
+  uint64_t rng_seed = 0;
+};
+
+struct Slot {
+  bool done = false;
+  int attempts_started = 0;  // updated as attempts begin (for timeout reports)
+  SourceOutcome outcome;
+  std::vector<FederatedHit> hits;
+  QueryStats stats;  // this source's contribution
+};
+
+/// State shared between the query thread and its workers. Outlives the query
+/// via shared_ptr when a deadline abandons stragglers.
+struct FanOutState {
+  explicit FanOutState(size_t n, size_t queue_capacity)
+      : slots(n), queue(queue_capacity) {}
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t done = 0;
+  std::vector<Slot> slots;
+  netmark::WorkQueue<Job> queue;
+};
+
+bool IsRetryable(const netmark::Status& status) {
+  // Transient: connection refused/reset (Unavailable, which also carries
+  // HTTP 5xx) and truncated bodies (IOError). Never parse errors — the
+  // payload arrived and is simply bad — and never the query deadline.
+  return status.IsUnavailable() || status.IsIOError();
+}
+
+/// Runs one source to completion (retry loop) and publishes its slot.
+void RunJob(Job job, const query::XdbQuery& query, const CallContext& ctx,
+            const std::function<void(int64_t)>& sleep_ms,
+            const std::shared_ptr<FanOutState>& state,
+            const std::shared_ptr<void>& cumulative_keepalive,
+            const std::function<void(const Slot&)>& add_cumulative) {
+  const int64_t start = netmark::MonotonicMicros();
+  netmark::Rng rng(job.rng_seed);
+  Slot local;
+  local.outcome.source = job.source->name();
+  netmark::Status last = netmark::Status::OK();
+  bool ok = false;
+
+  const int max_attempts = job.policy.max_retries + 1;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    {
+      // Publish the attempt count so a deadline report can say how far the
+      // source got.
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->slots[job.index].attempts_started = attempt + 1;
+    }
+    local.outcome.attempts = attempt + 1;
+    if (ctx.expired()) {
+      last = netmark::Status::DeadlineExceeded("query deadline expired");
+      break;
+    }
+    if (attempt > 0) ++local.stats.retries;
+    CallContext attempt_ctx = ctx.Tightened(job.policy.timeout_ms);
+    auto result = ExecuteSubQuery(job.source.get(), query, attempt_ctx,
+                                  &local.stats);
+    const int64_t now = netmark::MonotonicMicros();
+    if (result.ok()) {
+      job.breaker->RecordSuccess(now);
+      local.hits = std::move(*result);
+      ok = true;
+      break;
+    }
+    last = result.status();
+    job.breaker->RecordFailure(now);
+    bool retryable = IsRetryable(last);
+    // A per-attempt timeout (tighter than the query deadline) is transient
+    // too, as long as overall budget remains.
+    if (last.IsDeadlineExceeded() && job.policy.timeout_ms > 0 && !ctx.expired()) {
+      retryable = true;
+    }
+    if (!retryable || attempt + 1 >= max_attempts) break;
+    int64_t delay = BackoffDelayMs(job.backoff, attempt, &rng);
+    if (ctx.bounded() && ctx.remaining_ms() <= delay) {
+      // Not enough budget left to wait out the backoff and try again.
+      last = netmark::Status::DeadlineExceeded(
+          "deadline precludes retry after: " + last.ToString());
+      break;
+    }
+    if (delay > 0) sleep_ms(delay);
+  }
+
+  if (ok) {
+    local.outcome.state = SourceState::kOk;
+  } else if (last.IsDeadlineExceeded() || ctx.expired()) {
+    local.outcome.state = SourceState::kTimedOut;
+    local.stats.source_timeouts = 1;
+    local.outcome.error = last.ToString();
+  } else {
+    local.outcome.state = SourceState::kFailed;
+    local.stats.source_failures = 1;
+    local.outcome.error = last.ToString();
+  }
+  local.outcome.hits = local.hits.size();
+  local.outcome.latency_micros = netmark::MonotonicMicros() - start;
+  local.done = true;
+
+  add_cumulative(local);
+  (void)cumulative_keepalive;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    Slot& slot = state->slots[job.index];
+    int started = slot.attempts_started;
+    slot = std::move(local);
+    slot.attempts_started = started;
+    ++state->done;
+  }
+  state->cv.notify_all();
+}
+
+}  // namespace
+
+std::string_view SourceStateToString(SourceState state) {
+  switch (state) {
+    case SourceState::kOk:
+      return "ok";
+    case SourceState::kTimedOut:
+      return "timed-out";
+    case SourceState::kFailed:
+      return "failed";
+    case SourceState::kBreakerOpen:
+      return "breaker-open";
+  }
+  return "unknown";
+}
+
+netmark::Status Router::RegisterSource(std::shared_ptr<Source> source) {
+  return RegisterSource(std::move(source), SourcePolicy{});
+}
+
+netmark::Status Router::RegisterSource(std::shared_ptr<Source> source,
+                                       const SourcePolicy& policy) {
+  const std::string& name = source->name();
+  if (sources_.count(name) != 0) {
+    return netmark::Status::AlreadyExists("source " + name + " already registered");
+  }
+  Entry entry;
+  entry.policy = policy;
+  entry.breaker = std::make_shared<CircuitBreaker>(
+      policy.breaker.has_value() ? *policy.breaker : options_.breaker);
+  entry.source = std::move(source);
+  sources_[name] = std::move(entry);
+  return netmark::Status::OK();
+}
+
+netmark::Status Router::DefineDatabank(const std::string& name,
+                                       std::vector<std::string> source_names) {
+  if (databanks_.count(name) != 0) {
+    return netmark::Status::AlreadyExists("databank " + name + " already defined");
+  }
+  if (source_names.empty()) {
+    return netmark::Status::InvalidArgument("databank " + name + " needs sources");
+  }
+  for (const std::string& src : source_names) {
+    if (sources_.count(src) == 0) {
+      return netmark::Status::NotFound("databank " + name +
+                                       " references unknown source " + src);
+    }
+  }
+  databanks_[name] = Databank{name, std::move(source_names)};
+  return netmark::Status::OK();
+}
+
+std::vector<std::string> Router::DatabankNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, bank] : databanks_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> Router::SourceNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, src] : sources_) out.push_back(name);
+  return out;
+}
+
+Source* Router::GetSource(const std::string& name) {
+  auto it = sources_.find(name);
+  return it == sources_.end() ? nullptr : it->second.source.get();
+}
+
+CircuitBreaker* Router::GetBreaker(const std::string& name) {
+  auto it = sources_.find(name);
+  return it == sources_.end() ? nullptr : it->second.breaker.get();
+}
+
+netmark::Result<FederatedResult> Router::QueryFederated(
     const std::string& databank, const query::XdbQuery& query) {
-  stats_ = Stats{};
   auto bank_it = databanks_.find(databank);
   if (bank_it == databanks_.end()) {
     return netmark::Status::NotFound("no databank " + databank);
   }
-  std::vector<FederatedHit> merged;
-  for (const std::string& source_name : bank_it->second.source_names) {
-    Source* source = sources_.at(source_name).get();
-    ++stats_.sources_queried;
-    auto hits = QueryOneSource(source, query);
-    if (!hits.ok()) {
-      // A failing source must not take down the whole databank query; the
-      // paper's applications keep serving from the remaining sources.
+  const std::vector<std::string>& names = bank_it->second.source_names;
+  const uint64_t query_id = query_counter_.fetch_add(1, std::memory_order_relaxed);
+
+  const int64_t timeout_ms =
+      query.timeout_ms != 0 ? query.timeout_ms : options_.default_timeout_ms;
+  const CallContext ctx = timeout_ms > 0 ? CallContext::WithTimeoutMs(timeout_ms)
+                                         : CallContext::Unbounded();
+
+  auto state = std::make_shared<FanOutState>(names.size(),
+                                             names.size() == 0 ? 1 : names.size());
+  std::vector<Job> jobs;
+  jobs.reserve(names.size());
+  size_t breaker_skips = 0;
+  for (size_t i = 0; i < names.size(); ++i) {
+    const Entry& entry = sources_.at(names[i]);
+    Slot& slot = state->slots[i];
+    slot.outcome.source = names[i];
+    if (!entry.breaker->Allow(netmark::MonotonicMicros())) {
+      slot.outcome.state = SourceState::kBreakerOpen;
+      slot.outcome.error = "circuit breaker open (cooling down)";
+      slot.stats.breaker_skips = 1;
+      slot.done = true;
+      ++state->done;
+      ++breaker_skips;
       continue;
     }
-    for (FederatedHit& hit : *hits) {
-      hit.source = source_name;
-      merged.push_back(std::move(hit));
+    Job job;
+    job.index = i;
+    job.source = entry.source;
+    job.policy = entry.policy;
+    if (job.policy.max_retries < 0) job.policy.max_retries = options_.max_retries;
+    if (job.policy.max_retries < 0) job.policy.max_retries = 0;
+    job.backoff = options_.backoff;
+    job.breaker = entry.breaker;
+    // Distinct, reproducible jitter stream per (query, source).
+    job.rng_seed = options_.rng_seed ^ (query_id * 0x9E3779B97F4A7C15ULL) ^
+                   (static_cast<uint64_t>(i) << 17);
+    jobs.push_back(std::move(job));
+  }
+
+  cumulative_->sources_queried.fetch_add(names.size(), std::memory_order_relaxed);
+  cumulative_->breaker_skips.fetch_add(breaker_skips, std::memory_order_relaxed);
+
+  if (!jobs.empty()) {
+    for (Job& job : jobs) state->queue.Push(std::move(job));
+    state->queue.Close();
+
+    std::function<void(int64_t)> sleep_ms =
+        options_.sleep_ms ? options_.sleep_ms : DefaultSleepMs;
+    auto cumulative = cumulative_;
+    auto add_cumulative = [cumulative](const Slot& slot) {
+      cumulative->pushed_down_full.fetch_add(slot.stats.pushed_down_full,
+                                             std::memory_order_relaxed);
+      cumulative->augmented.fetch_add(slot.stats.augmented,
+                                      std::memory_order_relaxed);
+      cumulative->raw_hits.fetch_add(slot.stats.raw_hits,
+                                     std::memory_order_relaxed);
+      cumulative->retries.fetch_add(slot.stats.retries, std::memory_order_relaxed);
+      cumulative->source_failures.fetch_add(slot.stats.source_failures,
+                                            std::memory_order_relaxed);
+      cumulative->source_timeouts.fetch_add(slot.stats.source_timeouts,
+                                            std::memory_order_relaxed);
+    };
+    const size_t workers = std::min<size_t>(
+        jobs.size(), static_cast<size_t>(std::max(options_.max_parallel_sources, 1)));
+    const query::XdbQuery query_copy = query;
+    for (size_t w = 0; w < workers; ++w) {
+      reaper_.Launch([state, ctx, query_copy, sleep_ms, cumulative, add_cumulative] {
+        while (auto job = state->queue.Pop()) {
+          RunJob(std::move(*job), query_copy, ctx, sleep_ms, state, cumulative,
+                 add_cumulative);
+        }
+      });
     }
   }
-  if (query.limit != 0 && merged.size() > query.limit) {
-    merged.resize(query.limit);
+
+  // Wait for all sources — or the deadline, whichever is first. Stragglers
+  // keep running on reaper threads and report into the cumulative counters
+  // (and the breaker) when they finish; this query stops paying for them.
+  FederatedResult result;
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    auto all_done = [&] { return state->done == state->slots.size(); };
+    if (ctx.bounded()) {
+      std::chrono::steady_clock::time_point deadline{
+          std::chrono::microseconds(ctx.deadline_micros)};
+      state->cv.wait_until(lock, deadline, all_done);
+    } else {
+      state->cv.wait(lock, all_done);
+    }
+    result.sources.reserve(state->slots.size());
+    for (Slot& slot : state->slots) {
+      if (slot.done) {
+        result.stats.pushed_down_full += slot.stats.pushed_down_full;
+        result.stats.augmented += slot.stats.augmented;
+        result.stats.raw_hits += slot.stats.raw_hits;
+        result.stats.retries += slot.stats.retries;
+        result.stats.source_failures += slot.stats.source_failures;
+        result.stats.source_timeouts += slot.stats.source_timeouts;
+        result.stats.breaker_skips += slot.stats.breaker_skips;
+        result.sources.push_back(slot.outcome);
+        if (slot.outcome.state == SourceState::kOk) {
+          // Hits are merged below in declaration order; move them out while
+          // the lock protects the slot.
+          std::vector<FederatedHit> hits = std::move(slot.hits);
+          slot.hits.clear();
+          for (FederatedHit& hit : hits) {
+            hit.source = slot.outcome.source;
+            result.hits.push_back(std::move(hit));
+          }
+        }
+      } else {
+        // Deadline fired with this source still in flight.
+        SourceOutcome timed_out;
+        timed_out.source = slot.outcome.source;
+        timed_out.state = SourceState::kTimedOut;
+        timed_out.attempts = slot.attempts_started;
+        timed_out.latency_micros = timeout_ms * 1000;
+        timed_out.error = "deadline exceeded before source responded";
+        result.sources.push_back(std::move(timed_out));
+        ++result.stats.source_timeouts;
+      }
+    }
   }
-  stats_.final_hits = merged.size();
-  return merged;
+  result.stats.sources_queried = names.size();
+
+  // Deterministic merge: hits were appended in declaration order (slots are
+  // scanned in order), so a stable sort by doc_id within each source block is
+  // equivalent to ordering by (declaration index, doc_id).
+  {
+    std::map<std::string, size_t> decl_order;
+    for (size_t i = 0; i < names.size(); ++i) decl_order.emplace(names[i], i);
+    std::stable_sort(result.hits.begin(), result.hits.end(),
+                     [&decl_order](const FederatedHit& a, const FederatedHit& b) {
+                       size_t oa = decl_order.at(a.source);
+                       size_t ob = decl_order.at(b.source);
+                       if (oa != ob) return oa < ob;
+                       return a.doc_id < b.doc_id;
+                     });
+  }
+  if (query.limit != 0 && result.hits.size() > query.limit) {
+    result.hits.resize(query.limit);
+  }
+  result.stats.final_hits = result.hits.size();
+  cumulative_->final_hits.fetch_add(result.hits.size(), std::memory_order_relaxed);
+
+  // Opportunistically join workers that already finished.
+  reaper_.Reap();
+  return result;
+}
+
+netmark::Result<std::vector<FederatedHit>> Router::Query(
+    const std::string& databank, const query::XdbQuery& query) {
+  NETMARK_ASSIGN_OR_RETURN(FederatedResult result, QueryFederated(databank, query));
+  return std::move(result.hits);
+}
+
+Router::Stats Router::stats() const {
+  Stats out;
+  out.sources_queried = cumulative_->sources_queried.load(std::memory_order_relaxed);
+  out.pushed_down_full = cumulative_->pushed_down_full.load(std::memory_order_relaxed);
+  out.augmented = cumulative_->augmented.load(std::memory_order_relaxed);
+  out.raw_hits = cumulative_->raw_hits.load(std::memory_order_relaxed);
+  out.final_hits = cumulative_->final_hits.load(std::memory_order_relaxed);
+  out.retries = cumulative_->retries.load(std::memory_order_relaxed);
+  out.source_failures = cumulative_->source_failures.load(std::memory_order_relaxed);
+  out.source_timeouts = cumulative_->source_timeouts.load(std::memory_order_relaxed);
+  out.breaker_skips = cumulative_->breaker_skips.load(std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace netmark::federation

@@ -7,16 +7,31 @@
 // A databank is a named list of sources created by a *declarative* step —
 // no schemas, no views, no mappings. The router decomposes each query per
 // source capability, pushes down the supported part, and augments the rest.
+//
+// Resilience layer (DESIGN.md §"Failure semantics"): sources are fanned out
+// concurrently under one per-query deadline; transient failures are retried
+// with jittered exponential backoff; persistently dead sources are isolated
+// behind per-source circuit breakers; and every query returns partial
+// results — the hits that arrived plus a per-source outcome report — because
+// "a failing source must not take down the whole databank query".
 
 #ifndef NETMARK_FEDERATION_ROUTER_H_
 #define NETMARK_FEDERATION_ROUTER_H_
 
+#include <atomic>
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/backoff.h"
+#include "common/thread_reaper.h"
 #include "federation/augment.h"
+#include "federation/circuit_breaker.h"
 #include "federation/source.h"
 
 namespace netmark::federation {
@@ -27,11 +42,95 @@ struct Databank {
   std::vector<std::string> source_names;
 };
 
+/// Router-wide resilience defaults (overridable per source).
+struct RouterOptions {
+  /// Worker threads per federated query (clamped to the source count).
+  int max_parallel_sources = 4;
+  /// Query deadline when the query carries no timeout (0 = unbounded).
+  int64_t default_timeout_ms = 30000;
+  /// Retries per source beyond the first attempt.
+  int max_retries = 2;
+  /// Backoff schedule between retries.
+  netmark::BackoffPolicy backoff;
+  /// Default breaker thresholds for every source.
+  CircuitBreakerConfig breaker;
+  /// Seed for the backoff jitter (per-source streams are derived from it, so
+  /// chaos tests replay identically).
+  uint64_t rng_seed = 0x6E65746D61726BULL;
+  /// Injectable sleep for deterministic tests (default: real sleep).
+  std::function<void(int64_t)> sleep_ms;
+};
+
+/// Per-source overrides from the databank configuration.
+struct SourcePolicy {
+  /// Cap on any single attempt against this source (0 = query deadline only).
+  int64_t timeout_ms = 0;
+  /// Retries beyond the first attempt (-1 = RouterOptions.max_retries).
+  int max_retries = -1;
+  /// Breaker thresholds (unset = RouterOptions.breaker).
+  std::optional<CircuitBreakerConfig> breaker;
+};
+
+/// Terminal state of one source within one federated query.
+enum class SourceState {
+  kOk,           ///< answered (possibly after retries)
+  kTimedOut,     ///< deadline expired before an answer arrived
+  kFailed,       ///< all attempts failed (or a non-retryable error)
+  kBreakerOpen,  ///< skipped without a call: breaker is open
+};
+
+/// \brief Human-readable state name ("ok", "timed-out", ...).
+std::string_view SourceStateToString(SourceState state);
+
+/// How one source fared in one query — the partial-result annotation.
+struct SourceOutcome {
+  std::string source;
+  SourceState state = SourceState::kOk;
+  int attempts = 0;             ///< calls issued (0 when breaker-skipped)
+  int64_t latency_micros = 0;   ///< wall time spent on this source
+  size_t hits = 0;              ///< hits this source contributed
+  std::string error;            ///< last error when state != kOk
+};
+
+/// Per-query accounting (also kept cumulatively; benches use this).
+struct QueryStats {
+  size_t sources_queried = 0;
+  size_t pushed_down_full = 0;   ///< sources that ran the whole query
+  size_t augmented = 0;          ///< sources whose results needed local work
+  size_t raw_hits = 0;           ///< hits fetched from sources
+  size_t final_hits = 0;         ///< hits after augmentation/merging
+  size_t retries = 0;            ///< attempts beyond the first, all sources
+  size_t source_failures = 0;    ///< sources ending kFailed
+  size_t source_timeouts = 0;    ///< sources ending kTimedOut
+  size_t breaker_skips = 0;      ///< sources ending kBreakerOpen
+};
+
+/// What a federated query returns: merged hits *plus* the per-source report.
+/// `complete()` distinguishes a full answer from a degraded one.
+struct FederatedResult {
+  std::vector<FederatedHit> hits;
+  std::vector<SourceOutcome> sources;  ///< in databank declaration order
+  QueryStats stats;                    ///< this query only
+
+  bool complete() const {
+    for (const SourceOutcome& s : sources) {
+      if (s.state != SourceState::kOk) return false;
+    }
+    return true;
+  }
+};
+
 /// \brief Registry of sources + databanks, and the fan-out query engine.
 class Router {
  public:
-  /// Registers a source (owned by the router).
+  Router() = default;
+  explicit Router(RouterOptions options) : options_(std::move(options)) {}
+
+  /// Registers a source (owned by the router) with default resilience policy.
   netmark::Status RegisterSource(std::shared_ptr<Source> source);
+  /// Registers a source with per-source resilience overrides.
+  netmark::Status RegisterSource(std::shared_ptr<Source> source,
+                                 const SourcePolicy& policy);
   /// Declares a databank over registered sources.
   netmark::Status DefineDatabank(const std::string& name,
                                  std::vector<std::string> source_names);
@@ -42,29 +141,52 @@ class Router {
   std::vector<std::string> DatabankNames() const;
   std::vector<std::string> SourceNames() const;
   Source* GetSource(const std::string& name);
+  /// The breaker guarding `name` (null for unknown sources).
+  CircuitBreaker* GetBreaker(const std::string& name);
 
-  /// Runs `query` against every source of `databank`, augmenting
-  /// capability-limited sources, and merges the results.
+  /// Runs `query` against every source of `databank` concurrently under one
+  /// deadline, retrying transient failures, and merges the results in
+  /// (declaration order, doc_id) order. Errors only on an unknown databank —
+  /// source failures degrade to a partial result instead.
+  netmark::Result<FederatedResult> QueryFederated(const std::string& databank,
+                                                  const query::XdbQuery& query);
+
+  /// Compatibility wrapper: QueryFederated, keeping only the merged hits.
   netmark::Result<std::vector<FederatedHit>> Query(const std::string& databank,
                                                    const query::XdbQuery& query);
 
-  /// Per-query accounting (read after Query; benches use this).
-  struct Stats {
-    size_t sources_queried = 0;
-    size_t pushed_down_full = 0;   ///< sources that ran the whole query
-    size_t augmented = 0;          ///< sources whose results needed local work
-    size_t raw_hits = 0;           ///< hits fetched from sources
-    size_t final_hits = 0;         ///< hits after augmentation/merging
-  };
-  const Stats& stats() const { return stats_; }
+  using Stats = QueryStats;
+  /// Cumulative counters across all queries on this router (atomics; late
+  /// stragglers of timed-out queries still report in when they finish).
+  Stats stats() const;
 
  private:
-  netmark::Result<std::vector<FederatedHit>> QueryOneSource(
-      Source* source, const query::XdbQuery& query);
+  struct Entry {
+    std::shared_ptr<Source> source;
+    SourcePolicy policy;
+    std::shared_ptr<CircuitBreaker> breaker;
+  };
 
-  std::map<std::string, std::shared_ptr<Source>> sources_;
+  /// Atomic mirror of QueryStats shared with in-flight workers.
+  struct CumulativeStats {
+    std::atomic<size_t> sources_queried{0};
+    std::atomic<size_t> pushed_down_full{0};
+    std::atomic<size_t> augmented{0};
+    std::atomic<size_t> raw_hits{0};
+    std::atomic<size_t> final_hits{0};
+    std::atomic<size_t> retries{0};
+    std::atomic<size_t> source_failures{0};
+    std::atomic<size_t> source_timeouts{0};
+    std::atomic<size_t> breaker_skips{0};
+  };
+
+  RouterOptions options_;
+  std::map<std::string, Entry> sources_;
   std::map<std::string, Databank> databanks_;
-  Stats stats_;
+  std::shared_ptr<CumulativeStats> cumulative_ =
+      std::make_shared<CumulativeStats>();
+  std::atomic<uint64_t> query_counter_{0};
+  netmark::ThreadReaper reaper_;
 };
 
 }  // namespace netmark::federation

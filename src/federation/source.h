@@ -8,13 +8,52 @@
 #ifndef NETMARK_FEDERATION_SOURCE_H_
 #define NETMARK_FEDERATION_SOURCE_H_
 
+#include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/result.h"
 #include "query/xdb_query.h"
 
 namespace netmark::federation {
+
+/// \brief Per-call deadline threaded from the query entry point down to every
+/// source attempt ("a slow remote costs its budget and nothing more").
+struct CallContext {
+  /// Absolute deadline in MonotonicMicros() time; 0 = unbounded.
+  int64_t deadline_micros = 0;
+
+  static CallContext Unbounded() { return CallContext{}; }
+  static CallContext WithTimeoutMs(int64_t timeout_ms) {
+    return CallContext{netmark::MonotonicMicros() + timeout_ms * 1000};
+  }
+
+  bool bounded() const { return deadline_micros != 0; }
+  bool expired() const {
+    return bounded() && netmark::MonotonicMicros() >= deadline_micros;
+  }
+  /// Remaining budget in microseconds (max() when unbounded, <= 0 when
+  /// expired).
+  int64_t remaining_micros() const {
+    if (!bounded()) return std::numeric_limits<int64_t>::max();
+    return deadline_micros - netmark::MonotonicMicros();
+  }
+  int64_t remaining_ms() const {
+    int64_t us = remaining_micros();
+    if (us == std::numeric_limits<int64_t>::max()) return us;
+    return us / 1000;
+  }
+  /// The tighter of this deadline and `now + timeout_ms` (timeout_ms <= 0
+  /// leaves the context unchanged).
+  CallContext Tightened(int64_t timeout_ms) const {
+    if (timeout_ms <= 0) return *this;
+    int64_t candidate = netmark::MonotonicMicros() + timeout_ms * 1000;
+    if (!bounded() || candidate < deadline_micros) return CallContext{candidate};
+    return *this;
+  }
+};
 
 /// What a source can evaluate natively. The router pushes down the largest
 /// supported sub-query and augments the remainder itself.
@@ -47,8 +86,15 @@ class Source {
 
   /// Executes the *supported subset* of `query` (the router guarantees it
   /// only sends what `capabilities()` advertises) and returns raw hits.
+  /// Implementations should honour `ctx.deadline_micros` and return
+  /// Status::DeadlineExceeded once the budget is spent.
   virtual netmark::Result<std::vector<FederatedHit>> Execute(
-      const query::XdbQuery& query) = 0;
+      const query::XdbQuery& query, const CallContext& ctx) = 0;
+
+  /// Convenience: execute with no deadline.
+  netmark::Result<std::vector<FederatedHit>> Execute(const query::XdbQuery& query) {
+    return Execute(query, CallContext::Unbounded());
+  }
 };
 
 }  // namespace netmark::federation

@@ -30,6 +30,11 @@ netmark::Result<XdbQuery> ParseXdbQuery(std::string_view query_string) {
         return netmark::Status::InvalidArgument("limit must be non-negative");
       }
       query.limit = static_cast<size_t>(limit);
+    } else if (key == "timeout") {
+      NETMARK_ASSIGN_OR_RETURN(query.timeout_ms, netmark::ParseInt64(value));
+      if (query.timeout_ms < 0) {
+        return netmark::Status::InvalidArgument("timeout must be non-negative");
+      }
     }
     // Unknown keys ignored.
   }
@@ -51,6 +56,7 @@ std::string XdbQuery::ToQueryString() const {
   if (doc_id != 0) append("doc", std::to_string(doc_id));
   append("xslt", xslt);
   if (limit != 0) append("limit", std::to_string(limit));
+  if (timeout_ms != 0) append("timeout", std::to_string(timeout_ms));
   return out;
 }
 

@@ -38,6 +38,10 @@ struct XdbQuery {
   std::string xslt;
   /// Maximum hits to return (0 = unlimited).
   size_t limit = 0;
+  /// Per-query deadline budget in milliseconds (0 = server default). Honoured
+  /// by the databank fan-out path and propagated to remote sources, which
+  /// receive only the budget remaining when they are called.
+  int64_t timeout_ms = 0;
 
   bool has_context() const { return !context.empty(); }
   bool has_content() const { return !content.empty(); }

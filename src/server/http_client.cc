@@ -1,59 +1,139 @@
 #include "server/http_client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
+#include "common/clock.h"
+
 namespace netmark::server {
 
-netmark::Result<HttpResponse> HttpClient::Send(const HttpRequest& request) const {
+namespace {
+
+/// RAII socket closer.
+struct FdGuard {
+  int fd;
+  ~FdGuard() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+/// Waits until `fd` is ready for `events` or `deadline_micros` passes.
+/// OK on ready; DeadlineExceeded on timeout; IOError on poll failure.
+netmark::Status PollUntil(int fd, short events, int64_t deadline_micros,
+                          const char* what) {
+  while (true) {
+    int64_t remaining_ms = (deadline_micros - netmark::MonotonicMicros()) / 1000;
+    if (remaining_ms <= 0) {
+      return netmark::Status::DeadlineExceeded(std::string(what) + " timed out");
+    }
+    pollfd pfd{fd, events, 0};
+    int rc = ::poll(&pfd, 1, static_cast<int>(std::min<int64_t>(remaining_ms,
+                                                                 60 * 1000)));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return netmark::Status::IOError(std::string("poll: ") + std::strerror(errno));
+    }
+    if (rc > 0) return netmark::Status::OK();
+    // rc == 0: poll slice elapsed; loop re-checks the deadline.
+  }
+}
+
+}  // namespace
+
+netmark::Result<HttpResponse> HttpClient::Send(const HttpRequest& request,
+                                               int64_t deadline_micros) const {
+  const int64_t now = netmark::MonotonicMicros();
+  // The effective deadline is the tightest of: caller deadline, total
+  // timeout. Connect additionally honours its own (shorter) budget.
+  int64_t deadline = deadline_micros;
+  if (options_.total_timeout_ms > 0) {
+    int64_t total = now + options_.total_timeout_ms * 1000;
+    if (deadline == 0 || total < deadline) deadline = total;
+  }
+  if (deadline == 0) {
+    // Belt and braces: never run truly unbounded.
+    deadline = now + int64_t{24} * 3600 * 1000 * 1000;
+  }
+  int64_t connect_deadline = deadline;
+  if (options_.connect_timeout_ms > 0) {
+    connect_deadline =
+        std::min(deadline, now + options_.connect_timeout_ms * 1000);
+  }
+
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return netmark::Status::IOError(std::string("socket: ") + std::strerror(errno));
   }
+  FdGuard guard{fd};
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return netmark::Status::IOError(std::string("fcntl: ") + std::strerror(errno));
+  }
+
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port_);
   if (::inet_pton(AF_INET, host_ == "localhost" ? "127.0.0.1" : host_.c_str(),
                   &addr.sin_addr) != 1) {
-    ::close(fd);
     return netmark::Status::InvalidArgument("bad host address: " + host_);
   }
+
+  // Non-blocking connect raced against the connect deadline.
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    ::close(fd);
-    return netmark::Status::Unavailable("connect " + host_ + ":" +
-                                        std::to_string(port_) + ": " +
-                                        std::strerror(errno));
+    if (errno != EINPROGRESS) {
+      return netmark::Status::Unavailable("connect " + host_ + ":" +
+                                          std::to_string(port_) + ": " +
+                                          std::strerror(errno));
+    }
+    NETMARK_RETURN_NOT_OK(PollUntil(fd, POLLOUT, connect_deadline, "connect"));
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      return netmark::Status::Unavailable("connect " + host_ + ":" +
+                                          std::to_string(port_) + ": " +
+                                          std::strerror(err != 0 ? err : errno));
+    }
   }
+
   std::string wire = request.Serialize();
   size_t sent = 0;
   while (sent < wire.size()) {
     ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      ::close(fd);
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        NETMARK_RETURN_NOT_OK(PollUntil(fd, POLLOUT, deadline, "send"));
+        continue;
+      }
       return netmark::Status::IOError(std::string("send: ") + std::strerror(errno));
     }
     sent += static_cast<size_t>(n);
   }
-  // Server closes after the response; read to EOF.
+
+  // Server closes after the response; read to EOF under the deadline.
   std::string raw;
   char chunk[4096];
   while (true) {
     ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
-      ::close(fd);
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        NETMARK_RETURN_NOT_OK(PollUntil(fd, POLLIN, deadline, "recv"));
+        continue;
+      }
       return netmark::Status::IOError(std::string("recv: ") + std::strerror(errno));
     }
     if (n == 0) break;
     raw.append(chunk, static_cast<size_t>(n));
   }
-  ::close(fd);
   return ParseResponse(raw);
 }
 
@@ -90,11 +170,21 @@ netmark::Result<HttpResponse> HttpClient::Propfind(const std::string& target) co
   return Send(req);
 }
 
-netmark::Result<std::string> SocketTransport::Get(const std::string& path_and_query) {
-  NETMARK_ASSIGN_OR_RETURN(HttpResponse resp, client_.Get(path_and_query));
-  if (resp.status != 200) {
+netmark::Result<std::string> SocketTransport::Get(
+    const std::string& path_and_query, const federation::CallContext& ctx) {
+  HttpRequest req;
+  req.method = "GET";
+  req.target = path_and_query;
+  NETMARK_ASSIGN_OR_RETURN(HttpResponse resp,
+                           client_.Send(req, ctx.deadline_micros));
+  if (resp.status >= 500) {
     return netmark::Status::Unavailable("remote returned HTTP " +
                                         std::to_string(resp.status) + ": " + resp.body);
+  }
+  if (resp.status != 200) {
+    return netmark::Status::InvalidArgument("remote returned HTTP " +
+                                            std::to_string(resp.status) + ": " +
+                                            resp.body);
   }
   return resp.body;
 }

@@ -1,9 +1,15 @@
-// Blocking HTTP/1.1 client (loopback-oriented) plus the federation transport
-// adapter.
+// Deadline-bounded HTTP/1.1 client (loopback-oriented) plus the federation
+// transport adapter.
+//
+// Every call is bounded: non-blocking connect raced against a connect
+// timeout, then poll()-gated send/recv loops raced against a total-request
+// deadline. No caller can block indefinitely — the conservative defaults
+// apply even when no explicit deadline is given.
 
 #ifndef NETMARK_SERVER_HTTP_CLIENT_H_
 #define NETMARK_SERVER_HTTP_CLIENT_H_
 
+#include <cstdint>
 #include <string>
 
 #include "common/result.h"
@@ -12,13 +18,23 @@
 
 namespace netmark::server {
 
-/// \brief One-request-per-connection HTTP client.
+/// Client-side timeout knobs. A zero disables that bound (not recommended).
+struct HttpClientOptions {
+  int64_t connect_timeout_ms = 5000;  ///< TCP connect budget
+  int64_t total_timeout_ms = 30000;   ///< whole request (connect+send+recv)
+};
+
+/// \brief One-request-per-connection HTTP client with deadlines.
 class HttpClient {
  public:
-  HttpClient(std::string host, uint16_t port)
-      : host_(std::move(host)), port_(port) {}
+  HttpClient(std::string host, uint16_t port, HttpClientOptions options = {})
+      : host_(std::move(host)), port_(port), options_(options) {}
 
-  netmark::Result<HttpResponse> Send(const HttpRequest& request) const;
+  /// Sends one request. `deadline_micros` (MonotonicMicros time, 0 = none)
+  /// further tightens the option timeouts; on expiry the call returns
+  /// Status::DeadlineExceeded.
+  netmark::Result<HttpResponse> Send(const HttpRequest& request,
+                                     int64_t deadline_micros = 0) const;
 
   netmark::Result<HttpResponse> Get(const std::string& target) const;
   netmark::Result<HttpResponse> Put(const std::string& target,
@@ -29,20 +45,25 @@ class HttpClient {
 
   const std::string& host() const { return host_; }
   uint16_t port() const { return port_; }
+  const HttpClientOptions& options() const { return options_; }
 
  private:
   std::string host_;
   uint16_t port_;
+  HttpClientOptions options_;
 };
 
 /// \brief federation::HttpTransport over HttpClient — wires RemoteSource to
-/// real sockets.
+/// real sockets. Maps HTTP 5xx to retryable Unavailable and 4xx to
+/// non-retryable InvalidArgument.
 class SocketTransport : public federation::HttpTransport {
  public:
-  SocketTransport(std::string host, uint16_t port)
-      : client_(std::move(host), port) {}
+  SocketTransport(std::string host, uint16_t port, HttpClientOptions options = {})
+      : client_(std::move(host), port, options) {}
 
-  netmark::Result<std::string> Get(const std::string& path_and_query) override;
+  using federation::HttpTransport::Get;
+  netmark::Result<std::string> Get(const std::string& path_and_query,
+                                   const federation::CallContext& ctx) override;
 
  private:
   HttpClient client_;

@@ -71,9 +71,11 @@ HttpResponse NetmarkService::HandleXdb(const HttpRequest& request) {
     if (router_ == nullptr) {
       return HttpResponse::BadRequest("this instance has no databank router");
     }
-    auto hits = router_->Query(databank, *query);
-    if (!hits.ok()) return HttpResponse::ServerError(hits.status().ToString());
-    results = ComposeFederatedResults(*query, *hits);
+    auto federated = router_->QueryFederated(databank, *query);
+    if (!federated.ok()) {
+      return HttpResponse::ServerError(federated.status().ToString());
+    }
+    results = ComposeFederatedResults(*query, *federated);
   } else {
     auto hits = executor_.Execute(*query);
     if (!hits.ok()) {
@@ -191,15 +193,31 @@ HttpResponse NetmarkService::HandleStatus() {
   return HttpResponse::Ok(std::move(body));
 }
 
-xml::Document ComposeFederatedResults(
-    const query::XdbQuery& query,
-    const std::vector<federation::FederatedHit>& hits) {
+xml::Document ComposeFederatedResults(const query::XdbQuery& query,
+                                      const federation::FederatedResult& result) {
   xml::Document out;
   xml::NodeId results = out.CreateElement("results");
   out.AddAttribute(results, "query", query.ToQueryString());
-  out.AddAttribute(results, "count", std::to_string(hits.size()));
+  out.AddAttribute(results, "count", std::to_string(result.hits.size()));
+  out.AddAttribute(results, "complete", result.complete() ? "true" : "false");
   out.AppendChild(out.root(), results);
-  for (const federation::FederatedHit& hit : hits) {
+  // Per-source outcome report: which sources answered, which were missing
+  // and why — so a partial answer is never mistaken for a full one.
+  xml::NodeId sources = out.CreateElement("sources");
+  out.AppendChild(results, sources);
+  for (const federation::SourceOutcome& outcome : result.sources) {
+    xml::NodeId src = out.CreateElement("source");
+    out.AddAttribute(src, "name", outcome.source);
+    out.AddAttribute(src, "outcome",
+                     std::string(federation::SourceStateToString(outcome.state)));
+    out.AddAttribute(src, "attempts", std::to_string(outcome.attempts));
+    out.AddAttribute(src, "latency_ms",
+                     std::to_string(outcome.latency_micros / 1000));
+    out.AddAttribute(src, "hits", std::to_string(outcome.hits));
+    if (!outcome.error.empty()) out.AddAttribute(src, "error", outcome.error);
+    out.AppendChild(sources, src);
+  }
+  for (const federation::FederatedHit& hit : result.hits) {
     xml::NodeId result = out.CreateElement("result");
     out.AddAttribute(result, "doc", hit.file_name);
     out.AddAttribute(result, "docid", std::to_string(hit.doc_id));

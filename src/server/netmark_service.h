@@ -67,11 +67,13 @@ class NetmarkService {
   std::map<std::string, xslt::Stylesheet> stylesheets_;
 };
 
-/// \brief Builds a `<results>` document from federated hits (mirror of
-/// query::ComposeResults for the databank path).
-xml::Document ComposeFederatedResults(
-    const query::XdbQuery& query,
-    const std::vector<federation::FederatedHit>& hits);
+/// \brief Builds a `<results>` document from a federated query (mirror of
+/// query::ComposeResults for the databank path). Alongside the `<result>`
+/// elements it emits a `<sources>` annotation reporting each source's
+/// outcome (ok / timed-out / failed / breaker-open), attempts and latency —
+/// the partial-result contract: callers always learn what they did NOT get.
+xml::Document ComposeFederatedResults(const query::XdbQuery& query,
+                                      const federation::FederatedResult& result);
 
 }  // namespace netmark::server
 

@@ -1,5 +1,7 @@
 #include "server/source_factory.h"
 
+#include <algorithm>
+
 #include "federation/local_source.h"
 #include "federation/remote_source.h"
 #include "server/http_client.h"
@@ -16,9 +18,17 @@ federation::SourceFactory DefaultSourceFactory() {
       return std::shared_ptr<federation::Source>(std::move(source));
     }
     if (decl.kind == "remote") {
+      HttpClientOptions options;
+      if (decl.policy.timeout_ms > 0) {
+        // The declared per-attempt budget also caps the socket-level work.
+        options.total_timeout_ms = decl.policy.timeout_ms;
+        options.connect_timeout_ms =
+            std::min(options.connect_timeout_ms, decl.policy.timeout_ms);
+      }
       return std::shared_ptr<federation::Source>(
           std::make_shared<federation::RemoteSource>(
-              decl.name, std::make_unique<SocketTransport>(decl.host, decl.port),
+              decl.name,
+              std::make_unique<SocketTransport>(decl.host, decl.port, options),
               decl.capabilities));
     }
     return netmark::Status::InvalidArgument("unknown source kind: " + decl.kind);

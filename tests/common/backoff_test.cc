@@ -1,0 +1,69 @@
+#include "common/backoff.h"
+
+#include <gtest/gtest.h>
+
+namespace netmark {
+namespace {
+
+TEST(BackoffTest, ExactScheduleWithoutJitter) {
+  BackoffPolicy policy;
+  policy.initial_ms = 50;
+  policy.multiplier = 2.0;
+  policy.max_ms = 1000;
+  policy.jitter = 0.0;
+  EXPECT_EQ(BackoffDelayMs(policy, 0, nullptr), 50);
+  EXPECT_EQ(BackoffDelayMs(policy, 1, nullptr), 100);
+  EXPECT_EQ(BackoffDelayMs(policy, 2, nullptr), 200);
+  EXPECT_EQ(BackoffDelayMs(policy, 3, nullptr), 400);
+  EXPECT_EQ(BackoffDelayMs(policy, 4, nullptr), 800);
+  // Capped from here on.
+  EXPECT_EQ(BackoffDelayMs(policy, 5, nullptr), 1000);
+  EXPECT_EQ(BackoffDelayMs(policy, 20, nullptr), 1000);
+}
+
+TEST(BackoffTest, JitterStaysWithinBand) {
+  BackoffPolicy policy;
+  policy.initial_ms = 100;
+  policy.multiplier = 2.0;
+  policy.max_ms = 10000;
+  policy.jitter = 0.5;
+  Rng rng(42);
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    int64_t base = 100ll << attempt;
+    for (int i = 0; i < 100; ++i) {
+      int64_t d = BackoffDelayMs(policy, attempt, &rng);
+      EXPECT_GE(d, base / 2) << "attempt " << attempt;
+      EXPECT_LE(d, base) << "attempt " << attempt;
+    }
+  }
+}
+
+TEST(BackoffTest, SameSeedSameSchedule) {
+  BackoffPolicy policy;
+  policy.jitter = 1.0;
+  Rng a(7), b(7);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    EXPECT_EQ(BackoffDelayMs(policy, attempt, &a),
+              BackoffDelayMs(policy, attempt, &b));
+  }
+}
+
+TEST(BackoffTest, NonePolicyNeverWaits) {
+  BackoffPolicy policy = BackoffPolicy::None();
+  Rng rng(1);
+  EXPECT_EQ(BackoffDelayMs(policy, 0, &rng), 0);
+  EXPECT_EQ(BackoffDelayMs(policy, 9, &rng), 0);
+}
+
+TEST(BackoffTest, HugeAttemptDoesNotOverflow) {
+  BackoffPolicy policy;
+  policy.initial_ms = 1;
+  policy.multiplier = 10.0;
+  policy.max_ms = 30000;
+  policy.jitter = 0.0;
+  // 10^1000 would overflow any integer; the cap must short-circuit.
+  EXPECT_EQ(BackoffDelayMs(policy, 1000, nullptr), 30000);
+}
+
+}  // namespace
+}  // namespace netmark

@@ -33,7 +33,15 @@ TEST(StatusTest, EveryFactoryMapsToItsPredicate) {
   EXPECT_TRUE(Status::CapacityExceeded("x").IsCapacityExceeded());
   EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
   EXPECT_TRUE(Status::Timeout("x").IsTimeout());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, DeadlineExceededFormatsItsName) {
+  Status st = Status::DeadlineExceeded("query budget spent");
+  EXPECT_NE(st.ToString().find("Deadline exceeded"), std::string::npos);
+  EXPECT_NE(st.ToString().find("query budget spent"), std::string::npos);
+  EXPECT_FALSE(st.IsTimeout()) << "distinct from the I/O-level Timeout code";
 }
 
 TEST(StatusTest, CopyPreservesState) {

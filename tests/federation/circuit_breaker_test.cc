@@ -1,0 +1,112 @@
+#include "federation/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+namespace netmark::federation {
+namespace {
+
+constexpr int64_t kMs = 1000;  // micros per milli
+
+CircuitBreakerConfig SmallConfig() {
+  CircuitBreakerConfig config;
+  config.failure_threshold = 3;
+  config.cooldown_ms = 100;
+  config.half_open_successes = 1;
+  return config;
+}
+
+TEST(CircuitBreakerTest, StartsClosedAndAllows) {
+  CircuitBreaker breaker(SmallConfig());
+  EXPECT_EQ(breaker.state(0), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.Allow(0));
+}
+
+TEST(CircuitBreakerTest, OpensAfterConsecutiveFailures) {
+  CircuitBreaker breaker(SmallConfig());
+  breaker.RecordFailure(1 * kMs);
+  breaker.RecordFailure(2 * kMs);
+  EXPECT_EQ(breaker.state(2 * kMs), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.Allow(2 * kMs));
+  breaker.RecordFailure(3 * kMs);  // third consecutive: trips
+  EXPECT_EQ(breaker.state(3 * kMs), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.Allow(4 * kMs));
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheFailureStreak) {
+  CircuitBreaker breaker(SmallConfig());
+  breaker.RecordFailure(1 * kMs);
+  breaker.RecordFailure(2 * kMs);
+  breaker.RecordSuccess(3 * kMs);
+  breaker.RecordFailure(4 * kMs);
+  breaker.RecordFailure(5 * kMs);
+  // Streak was broken: still closed after 2 more failures.
+  EXPECT_EQ(breaker.state(5 * kMs), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure(6 * kMs);
+  EXPECT_EQ(breaker.state(6 * kMs), CircuitBreaker::State::kOpen);
+}
+
+TEST(CircuitBreakerTest, CooldownAdmitsOneHalfOpenProbe) {
+  CircuitBreaker breaker(SmallConfig());
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure(10 * kMs);
+  EXPECT_FALSE(breaker.Allow(10 * kMs));
+  // Before the cooldown: still open.
+  EXPECT_FALSE(breaker.Allow(10 * kMs + 99 * kMs));
+  // After the cooldown: half-open, exactly one probe admitted.
+  int64_t t = 10 * kMs + 101 * kMs;
+  EXPECT_EQ(breaker.state(t), CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(breaker.Allow(t));
+  EXPECT_FALSE(breaker.Allow(t)) << "second concurrent probe must be rejected";
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeSuccessCloses) {
+  CircuitBreaker breaker(SmallConfig());
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure(0);
+  int64_t t = 200 * kMs;
+  ASSERT_TRUE(breaker.Allow(t));
+  breaker.RecordSuccess(t + kMs);
+  EXPECT_EQ(breaker.state(t + kMs), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.Allow(t + 2 * kMs));
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeFailureReopensAndRestartsCooldown) {
+  CircuitBreaker breaker(SmallConfig());
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure(0);
+  int64_t t = 200 * kMs;
+  ASSERT_TRUE(breaker.Allow(t));
+  breaker.RecordFailure(t + kMs);
+  EXPECT_EQ(breaker.state(t + kMs), CircuitBreaker::State::kOpen);
+  // The cooldown restarted at the probe failure, not the original trip.
+  EXPECT_FALSE(breaker.Allow(t + 50 * kMs));
+  EXPECT_TRUE(breaker.Allow(t + kMs + 101 * kMs));
+}
+
+TEST(CircuitBreakerTest, MultipleHalfOpenSuccessesRequired) {
+  CircuitBreakerConfig config = SmallConfig();
+  config.half_open_successes = 2;
+  CircuitBreaker breaker(config);
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure(0);
+  int64_t t = 200 * kMs;
+  ASSERT_TRUE(breaker.Allow(t));
+  breaker.RecordSuccess(t);
+  EXPECT_EQ(breaker.state(t), CircuitBreaker::State::kHalfOpen);
+  ASSERT_TRUE(breaker.Allow(t + kMs));
+  breaker.RecordSuccess(t + kMs);
+  EXPECT_EQ(breaker.state(t + kMs), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, DisabledBreakerNeverOpens) {
+  CircuitBreaker breaker(CircuitBreakerConfig::Disabled());
+  for (int i = 0; i < 100; ++i) breaker.RecordFailure(i);
+  EXPECT_TRUE(breaker.Allow(1000));
+  EXPECT_EQ(breaker.state(1000), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, StateNames) {
+  EXPECT_EQ(CircuitStateToString(CircuitBreaker::State::kClosed), "closed");
+  EXPECT_EQ(CircuitStateToString(CircuitBreaker::State::kOpen), "open");
+  EXPECT_EQ(CircuitStateToString(CircuitBreaker::State::kHalfOpen), "half-open");
+}
+
+}  // namespace
+}  // namespace netmark::federation

@@ -43,6 +43,49 @@ TEST(DatabankConfigTest, ParsesSourcesAndDatabanks) {
   EXPECT_EQ(config->databanks[0].sources.size(), 2u);
 }
 
+TEST(DatabankConfigTest, ParsesResilienceKnobs) {
+  auto config = ParseDatabankConfig(R"(
+[source:tuned]
+kind = remote
+host = 10.0.0.9
+port = 8080
+timeout_ms = 1500
+max_retries = 4
+breaker_failures = 3
+breaker_cooldown_ms = 250
+
+[source:defaults]
+kind = remote
+port = 8081
+)");
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  ASSERT_EQ(config->sources.size(), 2u);
+  const SourcePolicy& tuned = config->sources[0].policy;
+  EXPECT_EQ(tuned.timeout_ms, 1500);
+  EXPECT_EQ(tuned.max_retries, 4);
+  ASSERT_TRUE(tuned.breaker.has_value());
+  EXPECT_EQ(tuned.breaker->failure_threshold, 3);
+  EXPECT_EQ(tuned.breaker->cooldown_ms, 250);
+  // Absent knobs leave the router defaults in force.
+  const SourcePolicy& defaults = config->sources[1].policy;
+  EXPECT_EQ(defaults.timeout_ms, 0);
+  EXPECT_EQ(defaults.max_retries, -1);
+  EXPECT_FALSE(defaults.breaker.has_value());
+}
+
+TEST(DatabankConfigTest, RejectsBadResilienceKnobs) {
+  const char* bad[] = {
+      "[source:x]\nkind=local\npath=/p\ntimeout_ms=-5\n",
+      "[source:x]\nkind=local\npath=/p\ntimeout_ms=soon\n",
+      "[source:x]\nkind=local\npath=/p\nmax_retries=-1\n",
+      "[source:x]\nkind=local\npath=/p\nbreaker_failures=-2\n",
+      "[source:x]\nkind=local\npath=/p\nbreaker_cooldown_ms=never\n",
+  };
+  for (const char* text : bad) {
+    EXPECT_TRUE(ParseDatabankConfig(text).status().IsParseError()) << text;
+  }
+}
+
 TEST(DatabankConfigTest, ValidationErrors) {
   EXPECT_TRUE(ParseDatabankConfig("[source:x]\nkind=ftp\n").status().IsParseError());
   EXPECT_TRUE(ParseDatabankConfig("[source:x]\nkind=local\n").status().IsParseError());

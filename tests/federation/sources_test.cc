@@ -99,7 +99,10 @@ TEST(RemoteSourceTest, RejectsNonResultsPayload) {
 class FakeTransport : public HttpTransport {
  public:
   explicit FakeTransport(std::string body) : body_(std::move(body)) {}
-  netmark::Result<std::string> Get(const std::string& path_and_query) override {
+  using HttpTransport::Get;
+  netmark::Result<std::string> Get(const std::string& path_and_query,
+                                   const CallContext& ctx) override {
+    (void)ctx;
     last_path = path_and_query;
     return body_;
   }

@@ -123,7 +123,18 @@ TEST_F(FederationHttpTest, DatabankExposedThroughLocalHttpEndpoint) {
   ASSERT_TRUE(doc.ok());
   xml::NodeId results = doc->DocumentElement();
   EXPECT_EQ(doc->name(results), "results");
-  EXPECT_EQ(doc->ChildElements(results).size(), 8u);
+  // 8 <result> elements plus the <sources> outcome annotation.
+  size_t result_count = 0;
+  for (xml::NodeId child : doc->ChildElements(results)) {
+    if (doc->name(child) == "result") ++result_count;
+  }
+  EXPECT_EQ(result_count, 8u);
+  xml::NodeId sources = doc->FirstChildElement(results, "sources");
+  ASSERT_NE(sources, xml::kInvalidNode);
+  EXPECT_EQ(doc->ChildElements(sources).size(), 2u);
+  for (xml::NodeId src : doc->ChildElements(sources)) {
+    EXPECT_EQ(doc->GetAttribute(src, "outcome"), "ok");
+  }
   local_->StopServer();
 }
 

@@ -1,0 +1,140 @@
+// HttpClient deadline behaviour: a silent or slow server must cost the caller
+// its configured budget, never an indefinite hang (the pre-resilience client
+// blocked forever on recv()).
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "common/clock.h"
+#include "server/http_client.h"
+#include "server/http_server.h"
+
+namespace netmark::server {
+namespace {
+
+/// A TCP endpoint that accepts connections (kernel backlog) but never reads
+/// or writes — the classic "server went silent" hang.
+class SilentServer {
+ public:
+  SilentServer() {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;  // ephemeral
+    EXPECT_EQ(::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    EXPECT_EQ(::listen(fd_, 8), 0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+    port_ = ntohs(addr.sin_port);
+  }
+  ~SilentServer() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  uint16_t port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+TEST(HttpClientTimeoutTest, SilentServerHitsTotalTimeout) {
+  SilentServer silent;
+  HttpClientOptions options;
+  options.total_timeout_ms = 200;
+  HttpClient client("127.0.0.1", silent.port(), options);
+
+  const int64_t start = netmark::MonotonicMicros();
+  auto resp = client.Get("/never-answers");
+  const int64_t elapsed_ms = (netmark::MonotonicMicros() - start) / 1000;
+
+  ASSERT_FALSE(resp.ok());
+  EXPECT_TRUE(resp.status().IsDeadlineExceeded()) << resp.status().ToString();
+  EXPECT_GE(elapsed_ms, 150);
+  EXPECT_LT(elapsed_ms, 5000) << "must give up near the budget, not hang";
+}
+
+TEST(HttpClientTimeoutTest, CallerDeadlineTightensTheDefaults) {
+  SilentServer silent;
+  // Default options carry a 30s total timeout; the per-call deadline must win.
+  HttpClient client("127.0.0.1", silent.port());
+  HttpRequest req;
+  req.method = "GET";
+  req.target = "/slow";
+
+  const int64_t start = netmark::MonotonicMicros();
+  auto resp = client.Send(req, /*deadline_micros=*/start + 150 * 1000);
+  const int64_t elapsed_ms = (netmark::MonotonicMicros() - start) / 1000;
+
+  ASSERT_FALSE(resp.ok());
+  EXPECT_TRUE(resp.status().IsDeadlineExceeded());
+  EXPECT_LT(elapsed_ms, 5000);
+}
+
+TEST(HttpClientTimeoutTest, HealthyServerUnaffectedByTightTimeouts) {
+  HttpServer server([](const HttpRequest&) { return HttpResponse::Ok("fast"); });
+  ASSERT_TRUE(server.Start().ok());
+  HttpClientOptions options;
+  options.connect_timeout_ms = 1000;
+  options.total_timeout_ms = 2000;
+  HttpClient client("127.0.0.1", server.port(), options);
+  auto resp = client.Get("/quick");
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(resp->body, "fast");
+}
+
+TEST(SocketTransportTest, DeadPortMapsToRetryableUnavailable) {
+  // Nothing listens on the silent server's port once it closes.
+  uint16_t dead_port;
+  {
+    SilentServer scratch;
+    dead_port = scratch.port();
+  }
+  SocketTransport transport("127.0.0.1", dead_port);
+  auto body = transport.Get("/xdb?content=x");
+  ASSERT_FALSE(body.ok());
+  EXPECT_TRUE(body.status().IsUnavailable()) << body.status().ToString();
+}
+
+TEST(SocketTransportTest, ServerErrorsMapToRetryableUnavailable) {
+  HttpServer server(
+      [](const HttpRequest&) { return HttpResponse::ServerError("boom"); });
+  ASSERT_TRUE(server.Start().ok());
+  SocketTransport transport("127.0.0.1", server.port());
+  auto body = transport.Get("/xdb?content=x");
+  ASSERT_FALSE(body.ok());
+  EXPECT_TRUE(body.status().IsUnavailable()) << body.status().ToString();
+  EXPECT_NE(body.status().ToString().find("500"), std::string::npos);
+}
+
+TEST(SocketTransportTest, ClientErrorsAreNotRetryable) {
+  HttpServer server(
+      [](const HttpRequest&) { return HttpResponse::BadRequest("nope"); });
+  ASSERT_TRUE(server.Start().ok());
+  SocketTransport transport("127.0.0.1", server.port());
+  auto body = transport.Get("/xdb?content=x");
+  ASSERT_FALSE(body.ok());
+  EXPECT_TRUE(body.status().IsInvalidArgument()) << body.status().ToString();
+}
+
+TEST(SocketTransportTest, ExpiredContextShortCircuits) {
+  HttpServer server([](const HttpRequest&) { return HttpResponse::Ok("late"); });
+  ASSERT_TRUE(server.Start().ok());
+  SocketTransport transport("127.0.0.1", server.port());
+  federation::CallContext expired;
+  expired.deadline_micros = netmark::MonotonicMicros() - 1000;
+  auto body = transport.Get("/xdb?content=x", expired);
+  ASSERT_FALSE(body.ok());
+  EXPECT_TRUE(body.status().IsDeadlineExceeded()) << body.status().ToString();
+}
+
+}  // namespace
+}  // namespace netmark::server
