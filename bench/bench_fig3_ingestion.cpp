@@ -203,6 +203,10 @@ void PrintPipelineReport() {
   }
   std::printf("shape check: identical doc-id assignment at every worker count "
               "(writer commits in sorted-filename order).\n");
+
+  // Final snapshot of the first sweep's daemon registry (ingest counters +
+  // prepare/insert histograms) into BENCH_fig3_ingestion.json.
+  json.EmitMetrics(*daemon.metrics());
 }
 
 }  // namespace

@@ -111,6 +111,7 @@ void PrintScalingTable() {
                       "factor per limited source");
   std::printf("%10s %18s %14s %22s\n", "sources", "fan-out (ms)", "hits",
               "ms per source");
+  bench::JsonLines json("fig8_federation");
   query::XdbQuery q;
   q.context = "Budget";
   for (int n : {1, 2, 4, 8, 16, 32}) {
@@ -125,6 +126,13 @@ void PrintScalingTable() {
     }
     double ms = w.ElapsedSeconds() * 1000 / kReps;
     std::printf("%10d %18.3f %14zu %22.3f\n", n, ms, hits_count, ms / n);
+    json.Emit("fan_out", static_cast<double>(n), ms * 1e6,
+              static_cast<double>(hits_count), "hits");
+    if (n == 32) {
+      // Widest fan-out: dump the router registry (federation counters,
+      // per-source latency histograms, breaker-state gauges).
+      json.EmitMetrics(*fleet->router.metrics());
+    }
   }
   std::printf("shape check: 'ms per source' stays ~flat -> the router adds no\n"
               "super-linear coordination cost; hits scale with sources.\n");

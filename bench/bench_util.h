@@ -91,6 +91,57 @@ class JsonLines {
     }
   }
 
+  /// Dumps a final metrics-registry snapshot: one line per counter/gauge
+  /// ({"bench","metric","labels","value"}) and per histogram
+  /// ({...,"count","sum","p50","p95","p99"}). Written at the end of a run so
+  /// the JSONL file carries the instance's internal counters alongside the
+  /// measured figures.
+  void EmitMetrics(const observability::MetricsRegistry& registry) {
+    observability::MetricsSnapshot snap = registry.Collect();
+    auto label_str = [](const observability::Labels& labels) {
+      std::string out;
+      for (const auto& [k, v] : labels) {
+        if (!out.empty()) out += ",";
+        out += k + "=" + v;
+      }
+      return out;
+    };
+    auto write = [this](const char* line) {
+      std::printf("JSONL %s\n", line);
+      if (file_ != nullptr) {
+        std::fprintf(file_, "%s\n", line);
+        std::fflush(file_);
+      }
+    };
+    char line[768];
+    for (const auto& c : snap.counters) {
+      std::snprintf(line, sizeof(line),
+                    "{\"bench\":\"%s\",\"metric\":\"%s\",\"labels\":\"%s\","
+                    "\"value\":%llu}",
+                    bench_.c_str(), c.name.c_str(), label_str(c.labels).c_str(),
+                    static_cast<unsigned long long>(c.value));
+      write(line);
+    }
+    for (const auto& g : snap.gauges) {
+      std::snprintf(line, sizeof(line),
+                    "{\"bench\":\"%s\",\"metric\":\"%s\",\"labels\":\"%s\","
+                    "\"value\":%.6g}",
+                    bench_.c_str(), g.name.c_str(), label_str(g.labels).c_str(),
+                    g.value);
+      write(line);
+    }
+    for (const auto& h : snap.histograms) {
+      std::snprintf(line, sizeof(line),
+                    "{\"bench\":\"%s\",\"metric\":\"%s\",\"labels\":\"%s\","
+                    "\"count\":%llu,\"sum\":%lld,\"p50\":%.6g,\"p95\":%.6g,"
+                    "\"p99\":%.6g}",
+                    bench_.c_str(), h.name.c_str(), label_str(h.labels).c_str(),
+                    static_cast<unsigned long long>(h.count),
+                    static_cast<long long>(h.sum), h.p50, h.p95, h.p99);
+      write(line);
+    }
+  }
+
   const std::string& path() const { return path_; }
 
  private:

@@ -1,15 +1,14 @@
 #include "common/logging.h"
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 
 namespace netmark {
 
-Logger& Logger::Instance() {
-  static Logger logger;
-  return logger;
-}
-
 namespace {
+
 const char* LevelName(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
@@ -25,18 +24,138 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+bool EqualsIgnoreCaseAscii(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    char ca = a[i], cb = b[i];
+    if (ca >= 'A' && ca <= 'Z') ca = static_cast<char>(ca - 'A' + 'a');
+    if (cb >= 'A' && cb <= 'Z') cb = static_cast<char>(cb - 'A' + 'a');
+    if (ca != cb) return false;
+  }
+  return true;
+}
+
+int64_t WallMicrosNow() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
+
+LogLevel ParseLogLevel(const char* text, LogLevel fallback) {
+  if (text == nullptr) return fallback;
+  std::string_view v(text);
+  if (EqualsIgnoreCaseAscii(v, "debug")) return LogLevel::kDebug;
+  if (EqualsIgnoreCaseAscii(v, "info")) return LogLevel::kInfo;
+  if (EqualsIgnoreCaseAscii(v, "warning") || EqualsIgnoreCaseAscii(v, "warn")) {
+    return LogLevel::kWarning;
+  }
+  if (EqualsIgnoreCaseAscii(v, "error")) return LogLevel::kError;
+  if (EqualsIgnoreCaseAscii(v, "off") || EqualsIgnoreCaseAscii(v, "none")) {
+    return LogLevel::kOff;
+  }
+  return fallback;
+}
+
+std::string FormatIso8601Millis(int64_t wall_micros) {
+  const std::time_t seconds = static_cast<std::time_t>(wall_micros / 1000000);
+  const int millis = static_cast<int>((wall_micros % 1000000) / 1000);
+  std::tm tm_utc{};
+  gmtime_r(&seconds, &tm_utc);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec, millis);
+  return buf;
+}
+
+Logger::Logger() {
+  SetLevel(ParseLogLevel(std::getenv("NETMARK_LOG_LEVEL"), LogLevel::kWarning));
+}
+
+Logger& Logger::Instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::SetSink(std::function<void(const std::string&)> sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
+}
 
 void Logger::Log(LogLevel level, const char* file, int line,
                  const std::string& message) {
-  std::lock_guard<std::mutex> lock(mu_);
   // Strip directories from __FILE__ for terse output.
   const char* base = file;
   for (const char* p = file; *p; ++p) {
     if (*p == '/') base = p + 1;
   }
-  std::fprintf(stderr, "[%s] %s:%d %s\n", LevelName(level), base, line,
-               message.c_str());
+  std::string out = FormatIso8601Millis(WallMicrosNow());
+  out += " [";
+  out += LevelName(level);
+  out += "] ";
+  out += base;
+  out += ':';
+  out += std::to_string(line);
+  out += ' ';
+  out += message;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_) {
+    sink_(out);
+  } else {
+    std::fprintf(stderr, "%s\n", out.c_str());
+  }
 }
+
+namespace internal {
+
+namespace {
+
+bool NeedsQuoting(std::string_view value) {
+  if (value.empty()) return true;
+  for (char c : value) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\n' || c == '\t') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+StructuredMessage::StructuredMessage(LogLevel level, const char* file, int line,
+                                     std::string_view event)
+    : level_(level), file_(file), line_(line) {
+  line_text_ = "event=";
+  line_text_ += event;
+}
+
+StructuredMessage& StructuredMessage::Field(std::string_view key,
+                                            std::string_view value) {
+  line_text_ += ' ';
+  line_text_ += key;
+  line_text_ += '=';
+  if (NeedsQuoting(value)) {
+    line_text_ += '"';
+    for (char c : value) {
+      if (c == '"' || c == '\\') line_text_ += '\\';
+      if (c == '\n') {
+        line_text_ += "\\n";
+        continue;
+      }
+      line_text_ += c;
+    }
+    line_text_ += '"';
+  } else {
+    line_text_ += value;
+  }
+  return *this;
+}
+
+StructuredMessage::~StructuredMessage() {
+  Logger::Instance().Log(level_, file_, line_, line_text_);
+}
+
+}  // namespace internal
 
 }  // namespace netmark

@@ -1,34 +1,66 @@
 // Minimal leveled logger. Thread-safe; writes to stderr by default.
+//
+// Two front ends:
+//   NETMARK_LOG(Warning)  << "free text";            // stream style
+//   NETMARK_SLOG(Warning, "breaker_transition")      // structured style:
+//       .Field("source", name).Field("cooldown_ms", 5000);
+//
+// Every line carries an ISO-8601 UTC timestamp. The structured form emits
+// `event=<name> key=value ...` with values quoted when they contain spaces,
+// so the slow-query log (and any other machine-read line) stays one
+// grep/awk-able record. The level is initialized from the NETMARK_LOG_LEVEL
+// environment variable (debug|info|warning|error|off) and can be overridden
+// programmatically (e.g. from an INI [server] log_level key).
 
 #ifndef NETMARK_COMMON_LOGGING_H_
 #define NETMARK_COMMON_LOGGING_H_
 
+#include <atomic>
+#include <cstdint>
+#include <functional>
 #include <mutex>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <type_traits>
 
 namespace netmark {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// \brief Parses "debug"/"info"/"warning"/"warn"/"error"/"off" (case
+/// insensitive); returns `fallback` for anything else (including null).
+LogLevel ParseLogLevel(const char* text, LogLevel fallback);
 
 /// \brief Process-wide logging configuration.
 class Logger {
  public:
   static Logger& Instance();
 
-  void SetLevel(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
+  void SetLevel(LogLevel level) {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
 
-  /// \brief Emits one formatted line ("[LEVEL] file:line message").
+  /// \brief Emits one formatted line
+  /// ("2026-08-06T12:00:00.000Z [LEVEL] file:line message").
   void Log(LogLevel level, const char* file, int line, const std::string& message);
 
+  /// Redirects output (tests); null restores stderr. The sink receives the
+  /// fully formatted line without the trailing newline.
+  void SetSink(std::function<void(const std::string&)> sink);
+
  private:
-  Logger() = default;
-  LogLevel level_ = LogLevel::kWarning;
+  Logger();
+  std::atomic<int> level_{static_cast<int>(LogLevel::kWarning)};
   std::mutex mu_;
+  std::function<void(const std::string&)> sink_;  // guarded by mu_
 };
 
 namespace internal {
+
 /// Stream-collecting helper behind the NETMARK_LOG macro.
 class LogMessage {
  public:
@@ -43,7 +75,42 @@ class LogMessage {
   int line_;
   std::ostringstream stream_;
 };
+
+/// key=value collecting helper behind the NETMARK_SLOG macro. Values with
+/// spaces, quotes or '=' are double-quoted (inner quotes escaped).
+class StructuredMessage {
+ public:
+  StructuredMessage(LogLevel level, const char* file, int line,
+                    std::string_view event);
+  ~StructuredMessage();
+
+  StructuredMessage& Field(std::string_view key, std::string_view value);
+  StructuredMessage& Field(std::string_view key, const char* value) {
+    return Field(key, std::string_view(value));
+  }
+  StructuredMessage& Field(std::string_view key, const std::string& value) {
+    return Field(key, std::string_view(value));
+  }
+  template <typename T,
+            typename = std::enable_if_t<std::is_arithmetic_v<T>>>
+  StructuredMessage& Field(std::string_view key, T value) {
+    std::ostringstream os;
+    os << value;
+    return Field(key, std::string_view(os.str()));
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::string line_text_;
+};
+
 }  // namespace internal
+
+/// \brief Formats `micros`-resolution wall time as ISO-8601 UTC
+/// ("2026-08-06T12:00:00.000Z", millisecond precision).
+std::string FormatIso8601Millis(int64_t wall_micros);
 
 }  // namespace netmark
 
@@ -55,5 +122,13 @@ class LogMessage {
     ::netmark::internal::LogMessage(::netmark::LogLevel::k##severity, __FILE__, \
                                     __LINE__)                                   \
         .stream()
+
+#define NETMARK_SLOG(severity, event)                                       \
+  if (static_cast<int>(::netmark::LogLevel::k##severity) <                   \
+      static_cast<int>(::netmark::Logger::Instance().level()))               \
+    ;                                                                        \
+  else                                                                       \
+    ::netmark::internal::StructuredMessage(                                  \
+        ::netmark::LogLevel::k##severity, __FILE__, __LINE__, (event))
 
 #endif  // NETMARK_COMMON_LOGGING_H_

@@ -14,8 +14,13 @@ Result<std::unique_ptr<Netmark>> Netmark::Open(const NetmarkOptions& options) {
   std::unique_ptr<Netmark> nm(new Netmark(options));
   NETMARK_ASSIGN_OR_RETURN(nm->store_,
                            xmlstore::XmlStore::Open(options.data_dir, options.node_types));
+  // One registry for the whole instance: router, service, executor and
+  // daemon all re-home their metrics here, so GET /metrics sees everything.
+  nm->router_.BindMetrics(nm->metrics_.get());
   nm->service_ = std::make_unique<server::NetmarkService>(nm->store_.get());
   nm->service_->set_router(&nm->router_);
+  nm->service_->BindMetrics(nm->metrics_.get());
+  nm->service_->set_slow_query_ms(options.slow_query_ms);
   return nm;
 }
 
@@ -42,12 +47,14 @@ Result<int64_t> Netmark::IngestContent(const std::string& file_name,
 Result<std::vector<query::QueryHit>> Netmark::Query(const std::string& query_string) {
   NETMARK_ASSIGN_OR_RETURN(query::XdbQuery q, query::ParseXdbQuery(query_string));
   query::QueryExecutor executor(store_.get());
+  executor.BindMetrics(metrics_.get());
   return executor.Execute(q);
 }
 
 Result<std::string> Netmark::QueryToXml(const std::string& query_string) {
   NETMARK_ASSIGN_OR_RETURN(query::XdbQuery q, query::ParseXdbQuery(query_string));
   query::QueryExecutor executor(store_.get());
+  executor.BindMetrics(metrics_.get());
   NETMARK_ASSIGN_OR_RETURN(std::vector<query::QueryHit> hits, executor.Execute(q));
   NETMARK_ASSIGN_OR_RETURN(xml::Document results,
                            query::ComposeResults(*store_, q, hits));
@@ -58,6 +65,7 @@ Result<std::string> Netmark::QueryAndTransform(const std::string& query_string,
                                                std::string_view stylesheet_text) {
   NETMARK_ASSIGN_OR_RETURN(query::XdbQuery q, query::ParseXdbQuery(query_string));
   query::QueryExecutor executor(store_.get());
+  executor.BindMetrics(metrics_.get());
   NETMARK_ASSIGN_OR_RETURN(std::vector<query::QueryHit> hits, executor.Execute(q));
   NETMARK_ASSIGN_OR_RETURN(xml::Document results,
                            query::ComposeResults(*store_, q, hits));
@@ -78,8 +86,10 @@ Result<std::vector<xmlstore::DocRecord>> Netmark::ListDocuments() const {
 }
 
 Status Netmark::RegisterSelfAsSource(const std::string& source_name) {
-  return router_.RegisterSource(
-      std::make_shared<federation::LocalStoreSource>(source_name, store_.get()));
+  auto source =
+      std::make_shared<federation::LocalStoreSource>(source_name, store_.get());
+  source->BindMetrics(metrics_.get());
+  return router_.RegisterSource(std::move(source));
 }
 
 Status Netmark::RegisterSource(std::shared_ptr<federation::Source> source) {
@@ -140,14 +150,20 @@ Status Netmark::StartDaemon(server::DaemonOptions opts) {
   }
   daemon_ = std::make_unique<server::IngestionDaemon>(store_.get(), &converters_,
                                                       std::move(opts));
+  daemon_->BindMetrics(metrics_.get());
+  service_->set_daemon(daemon_.get());
   Status st = daemon_->Start();
-  if (!st.ok()) daemon_.reset();
+  if (!st.ok()) {
+    service_->set_daemon(nullptr);
+    daemon_.reset();
+  }
   return st;
 }
 
 void Netmark::StopDaemon() {
   if (daemon_ != nullptr) {
     daemon_->Stop();
+    if (service_ != nullptr) service_->set_daemon(nullptr);
     daemon_.reset();
   }
 }

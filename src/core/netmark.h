@@ -21,6 +21,8 @@
 #include "common/result.h"
 #include "convert/registry.h"
 #include "federation/router.h"
+#include "observability/metrics.h"
+#include "observability/slow_log.h"
 #include "query/compose.h"
 #include "query/executor.h"
 #include "server/daemon.h"
@@ -39,6 +41,9 @@ struct NetmarkOptions {
   xml::NodeTypeConfig node_types = xml::NodeTypeConfig::Default();
   /// Federation resilience knobs (deadlines, retries, breakers, fan-out).
   federation::RouterOptions router;
+  /// Slow-query log threshold (ms; 0 disables). The NETMARK_SLOW_QUERY_MS
+  /// env var always wins.
+  int64_t slow_query_ms = observability::kDefaultSlowQueryMs;
 };
 
 /// \brief One NETMARK instance.
@@ -116,6 +121,9 @@ class Netmark {
   federation::Router* router() { return &router_; }
   const convert::ConverterRegistry& converters() const { return converters_; }
   server::NetmarkService* service() { return service_.get(); }
+  /// The instance-wide metrics registry (what GET /metrics renders): router,
+  /// daemon, executor and HTTP metrics are all re-homed onto it at Open().
+  observability::MetricsRegistry* metrics() { return metrics_.get(); }
 
  private:
   explicit Netmark(NetmarkOptions options)
@@ -124,6 +132,10 @@ class Netmark {
   NetmarkOptions options_;
   std::unique_ptr<xmlstore::XmlStore> store_;
   convert::ConverterRegistry converters_ = convert::ConverterRegistry::Default();
+  /// Declared before router_ (and the rest): components keep raw handles
+  /// into the registry, so it must outlive them all.
+  std::unique_ptr<observability::MetricsRegistry> metrics_ =
+      std::make_unique<observability::MetricsRegistry>();
   federation::Router router_;
   std::unique_ptr<server::NetmarkService> service_;
   std::unique_ptr<server::HttpServer> http_server_;

@@ -1,5 +1,7 @@
 #include "federation/circuit_breaker.h"
 
+#include "common/logging.h"
+
 namespace netmark::federation {
 
 CircuitBreaker::State CircuitBreaker::StateLocked(int64_t now_micros) const {
@@ -8,6 +10,18 @@ CircuitBreaker::State CircuitBreaker::StateLocked(int64_t now_micros) const {
     return State::kHalfOpen;
   }
   return state_;
+}
+
+void CircuitBreaker::TransitionLocked(State to) {
+  if (state_ == to) return;
+  NETMARK_SLOG(Warning, "breaker_transition")
+      .Field("source", name_.empty() ? "?" : name_)
+      .Field("from", CircuitStateToString(state_))
+      .Field("to", CircuitStateToString(to))
+      .Field("consecutive_failures", consecutive_failures_)
+      .Field("cooldown_ms", config_.cooldown_ms);
+  state_ = to;
+  ++transitions_;
 }
 
 bool CircuitBreaker::Allow(int64_t now_micros) {
@@ -21,7 +35,7 @@ bool CircuitBreaker::Allow(int64_t now_micros) {
     case State::kHalfOpen:
       if (state_ == State::kOpen) {
         // Cooldown elapsed right now: commit the transition.
-        state_ = State::kHalfOpen;
+        TransitionLocked(State::kHalfOpen);
         probe_in_flight_ = false;
         half_open_successes_ = 0;
       }
@@ -40,7 +54,7 @@ void CircuitBreaker::RecordSuccess(int64_t now_micros) {
   if (state_ == State::kHalfOpen) {
     probe_in_flight_ = false;
     if (++half_open_successes_ >= config_.half_open_successes) {
-      state_ = State::kClosed;
+      TransitionLocked(State::kClosed);
       half_open_successes_ = 0;
     }
   }
@@ -51,14 +65,14 @@ void CircuitBreaker::RecordFailure(int64_t now_micros) {
   std::lock_guard<std::mutex> lock(mu_);
   if (state_ == State::kHalfOpen) {
     // The probe failed: reopen and restart the cooldown.
-    state_ = State::kOpen;
+    TransitionLocked(State::kOpen);
     probe_in_flight_ = false;
     opened_at_micros_ = now_micros;
     return;
   }
   if (++consecutive_failures_ >= config_.failure_threshold &&
       state_ == State::kClosed) {
-    state_ = State::kOpen;
+    TransitionLocked(State::kOpen);
     opened_at_micros_ = now_micros;
   }
 }

@@ -35,11 +35,23 @@ struct CircuitBreakerConfig {
 };
 
 /// \brief Thread-safe closed/open/half-open breaker with injected time.
+///
+/// Every committed state transition is logged at Warning with the source
+/// name and cooldown (`event=breaker_transition source=... from=... to=...`)
+/// — breakers silently isolating a source were invisible in operation
+/// before; now each flip leaves a record and bumps `transitions()`.
 class CircuitBreaker {
  public:
   enum class State { kClosed, kOpen, kHalfOpen };
 
-  explicit CircuitBreaker(CircuitBreakerConfig config) : config_(config) {}
+  explicit CircuitBreaker(CircuitBreakerConfig config, std::string name = "")
+      : config_(config), name_(std::move(name)) {}
+
+  /// Source name used in transition logs (set by the router at registration).
+  void set_name(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    name_ = name;
+  }
 
   /// True if a call may proceed at `now_micros`. An open breaker whose
   /// cooldown has elapsed transitions to half-open and admits exactly one
@@ -58,16 +70,26 @@ class CircuitBreaker {
     return consecutive_failures_;
   }
 
+  /// Committed state transitions since construction.
+  uint64_t transitions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return transitions_;
+  }
+
  private:
   State StateLocked(int64_t now_micros) const;
+  /// Commits state_ = to, logging and counting the transition.
+  void TransitionLocked(State to);
 
   const CircuitBreakerConfig config_;
   mutable std::mutex mu_;
+  std::string name_;
   State state_ = State::kClosed;
   int consecutive_failures_ = 0;
   int half_open_successes_ = 0;
   bool probe_in_flight_ = false;
   int64_t opened_at_micros_ = 0;
+  uint64_t transitions_ = 0;
 };
 
 /// \brief Human-readable state name ("closed", "open", "half-open").

@@ -26,6 +26,13 @@ class LocalStoreSource : public Source {
 
   const std::string& name() const override { return name_; }
   Capabilities capabilities() const override { return Capabilities::Full(); }
+
+  /// Instruments the inner executor (netmark_xdb_* metrics); call before
+  /// traffic.
+  void BindMetrics(observability::MetricsRegistry* registry) {
+    executor_.BindMetrics(registry);
+  }
+
   using Source::Execute;
   netmark::Result<std::vector<FederatedHit>> Execute(
       const query::XdbQuery& query, const CallContext& ctx) override;

@@ -100,7 +100,7 @@ netmark::Result<std::vector<FederatedHit>> ExecuteSubQuery(
 }
 
 /// One fan-out unit: everything a worker needs, with shared ownership of the
-/// source and breaker so a straggler outliving its query stays safe.
+/// source, breaker, and trace so a straggler outliving its query stays safe.
 struct Job {
   size_t index = 0;
   std::shared_ptr<Source> source;
@@ -108,6 +108,9 @@ struct Job {
   netmark::BackoffPolicy backoff;
   std::shared_ptr<CircuitBreaker> breaker;
   uint64_t rng_seed = 0;
+  std::shared_ptr<observability::Trace> trace;  // null = untraced
+  int parent_span = -1;
+  observability::Histogram* latency_hist = nullptr;  // per-source latency
 };
 
 struct Slot {
@@ -141,9 +144,12 @@ bool IsRetryable(const netmark::Status& status) {
 void RunJob(Job job, const query::XdbQuery& query, const CallContext& ctx,
             const std::function<void(int64_t)>& sleep_ms,
             const std::shared_ptr<FanOutState>& state,
-            const std::shared_ptr<void>& cumulative_keepalive,
             const std::function<void(const Slot&)>& add_cumulative) {
   const int64_t start = netmark::MonotonicMicros();
+  observability::ScopedSpan span(job.trace.get(),
+                                 "source:" + job.source->name(),
+                                 job.parent_span);
+  const CallContext traced_ctx = ctx.WithSpan(job.trace.get(), span.id());
   netmark::Rng rng(job.rng_seed);
   Slot local;
   local.outcome.source = job.source->name();
@@ -159,12 +165,12 @@ void RunJob(Job job, const query::XdbQuery& query, const CallContext& ctx,
       state->slots[job.index].attempts_started = attempt + 1;
     }
     local.outcome.attempts = attempt + 1;
-    if (ctx.expired()) {
+    if (traced_ctx.expired()) {
       last = netmark::Status::DeadlineExceeded("query deadline expired");
       break;
     }
     if (attempt > 0) ++local.stats.retries;
-    CallContext attempt_ctx = ctx.Tightened(job.policy.timeout_ms);
+    CallContext attempt_ctx = traced_ctx.Tightened(job.policy.timeout_ms);
     auto result = ExecuteSubQuery(job.source.get(), query, attempt_ctx,
                                   &local.stats);
     const int64_t now = netmark::MonotonicMicros();
@@ -179,12 +185,13 @@ void RunJob(Job job, const query::XdbQuery& query, const CallContext& ctx,
     bool retryable = IsRetryable(last);
     // A per-attempt timeout (tighter than the query deadline) is transient
     // too, as long as overall budget remains.
-    if (last.IsDeadlineExceeded() && job.policy.timeout_ms > 0 && !ctx.expired()) {
+    if (last.IsDeadlineExceeded() && job.policy.timeout_ms > 0 &&
+        !traced_ctx.expired()) {
       retryable = true;
     }
     if (!retryable || attempt + 1 >= max_attempts) break;
     int64_t delay = BackoffDelayMs(job.backoff, attempt, &rng);
-    if (ctx.bounded() && ctx.remaining_ms() <= delay) {
+    if (traced_ctx.bounded() && traced_ctx.remaining_ms() <= delay) {
       // Not enough budget left to wait out the backoff and try again.
       last = netmark::Status::DeadlineExceeded(
           "deadline precludes retry after: " + last.ToString());
@@ -195,7 +202,7 @@ void RunJob(Job job, const query::XdbQuery& query, const CallContext& ctx,
 
   if (ok) {
     local.outcome.state = SourceState::kOk;
-  } else if (last.IsDeadlineExceeded() || ctx.expired()) {
+  } else if (last.IsDeadlineExceeded() || traced_ctx.expired()) {
     local.outcome.state = SourceState::kTimedOut;
     local.stats.source_timeouts = 1;
     local.outcome.error = last.ToString();
@@ -208,8 +215,15 @@ void RunJob(Job job, const query::XdbQuery& query, const CallContext& ctx,
   local.outcome.latency_micros = netmark::MonotonicMicros() - start;
   local.done = true;
 
+  if (job.latency_hist != nullptr) {
+    job.latency_hist->Observe(local.outcome.latency_micros);
+  }
+  span.Annotate("attempts", std::to_string(local.outcome.attempts));
+  span.Annotate("hits", std::to_string(local.outcome.hits));
+  span.Annotate("state", std::string(SourceStateToString(local.outcome.state)));
+  span.End(ok, ok ? "" : local.outcome.error);
+
   add_cumulative(local);
-  (void)cumulative_keepalive;
   {
     std::lock_guard<std::mutex> lock(state->mu);
     Slot& slot = state->slots[job.index];
@@ -237,6 +251,63 @@ std::string_view SourceStateToString(SourceState state) {
   return "unknown";
 }
 
+Router::Router(RouterOptions options) : options_(std::move(options)) {
+  owned_metrics_ = std::make_unique<observability::MetricsRegistry>();
+  metrics_ = owned_metrics_.get();
+  BindHandles();
+}
+
+void Router::BindHandles() {
+  auto handles = std::make_shared<MetricHandles>();
+  handles->queries = metrics_->GetCounter("netmark_federation_queries_total");
+  handles->sources_queried =
+      metrics_->GetCounter("netmark_federation_sources_queried_total");
+  handles->pushed_down_full =
+      metrics_->GetCounter("netmark_federation_pushed_down_full_total");
+  handles->augmented = metrics_->GetCounter("netmark_federation_augmented_total");
+  handles->raw_hits = metrics_->GetCounter("netmark_federation_raw_hits_total");
+  handles->final_hits = metrics_->GetCounter("netmark_federation_final_hits_total");
+  handles->retries = metrics_->GetCounter("netmark_federation_retries_total");
+  handles->source_failures =
+      metrics_->GetCounter("netmark_federation_source_failures_total");
+  handles->source_timeouts =
+      metrics_->GetCounter("netmark_federation_source_timeouts_total");
+  handles->breaker_skips =
+      metrics_->GetCounter("netmark_federation_breaker_skips_total");
+  handles->query_micros =
+      metrics_->GetHistogram("netmark_federation_query_micros");
+  handles_ = std::move(handles);
+}
+
+void Router::BindSourceMetrics(Entry& entry, const std::string& name) {
+  entry.latency = metrics_->GetHistogram("netmark_federation_source_micros",
+                                         {{"source", name}});
+  // Callback holds shared breaker ownership: safe even if the source set
+  // ever changed while the registry outlived this entry.
+  std::shared_ptr<CircuitBreaker> breaker = entry.breaker;
+  metrics_->SetCallbackGauge(
+      "netmark_breaker_state", {{"source", name}}, [breaker]() -> double {
+        switch (breaker->state(netmark::MonotonicMicros())) {
+          case CircuitBreaker::State::kClosed:
+            return 0;
+          case CircuitBreaker::State::kHalfOpen:
+            return 1;
+          case CircuitBreaker::State::kOpen:
+            return 2;
+        }
+        return -1;
+      });
+}
+
+void Router::BindMetrics(observability::MetricsRegistry* registry) {
+  if (registry == nullptr || registry == metrics_) return;
+  // owned_metrics_ stays alive: in-flight workers hold the old handle block
+  // (shared_ptr) whose pointers live in the old registry.
+  metrics_ = registry;
+  BindHandles();
+  for (auto& [name, entry] : sources_) BindSourceMetrics(entry, name);
+}
+
 netmark::Status Router::RegisterSource(std::shared_ptr<Source> source) {
   return RegisterSource(std::move(source), SourcePolicy{});
 }
@@ -250,8 +321,9 @@ netmark::Status Router::RegisterSource(std::shared_ptr<Source> source,
   Entry entry;
   entry.policy = policy;
   entry.breaker = std::make_shared<CircuitBreaker>(
-      policy.breaker.has_value() ? *policy.breaker : options_.breaker);
+      policy.breaker.has_value() ? *policy.breaker : options_.breaker, name);
   entry.source = std::move(source);
+  BindSourceMetrics(entry, name);
   sources_[name] = std::move(entry);
   return netmark::Status::OK();
 }
@@ -298,12 +370,23 @@ CircuitBreaker* Router::GetBreaker(const std::string& name) {
 
 netmark::Result<FederatedResult> Router::QueryFederated(
     const std::string& databank, const query::XdbQuery& query) {
+  return QueryFederated(databank, query, nullptr, -1);
+}
+
+netmark::Result<FederatedResult> Router::QueryFederated(
+    const std::string& databank, const query::XdbQuery& query,
+    std::shared_ptr<observability::Trace> trace, int parent_span) {
   auto bank_it = databanks_.find(databank);
   if (bank_it == databanks_.end()) {
     return netmark::Status::NotFound("no databank " + databank);
   }
   const std::vector<std::string>& names = bank_it->second.source_names;
   const uint64_t query_id = query_counter_.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<MetricHandles> handles = handles_;
+  handles->queries->Increment();
+  observability::ScopedTimer query_timer(handles->query_micros);
+  observability::ScopedSpan fed_span(trace.get(), "federated", parent_span);
+  fed_span.Annotate("databank", databank);
 
   const int64_t timeout_ms =
       query.timeout_ms != 0 ? query.timeout_ms : options_.default_timeout_ms;
@@ -339,11 +422,14 @@ netmark::Result<FederatedResult> Router::QueryFederated(
     // Distinct, reproducible jitter stream per (query, source).
     job.rng_seed = options_.rng_seed ^ (query_id * 0x9E3779B97F4A7C15ULL) ^
                    (static_cast<uint64_t>(i) << 17);
+    job.trace = trace;
+    job.parent_span = fed_span.id();
+    job.latency_hist = entry.latency;
     jobs.push_back(std::move(job));
   }
 
-  cumulative_->sources_queried.fetch_add(names.size(), std::memory_order_relaxed);
-  cumulative_->breaker_skips.fetch_add(breaker_skips, std::memory_order_relaxed);
+  handles->sources_queried->Increment(names.size());
+  handles->breaker_skips->Increment(breaker_skips);
 
   if (!jobs.empty()) {
     for (Job& job : jobs) state->queue.Push(std::move(job));
@@ -351,27 +437,21 @@ netmark::Result<FederatedResult> Router::QueryFederated(
 
     std::function<void(int64_t)> sleep_ms =
         options_.sleep_ms ? options_.sleep_ms : DefaultSleepMs;
-    auto cumulative = cumulative_;
-    auto add_cumulative = [cumulative](const Slot& slot) {
-      cumulative->pushed_down_full.fetch_add(slot.stats.pushed_down_full,
-                                             std::memory_order_relaxed);
-      cumulative->augmented.fetch_add(slot.stats.augmented,
-                                      std::memory_order_relaxed);
-      cumulative->raw_hits.fetch_add(slot.stats.raw_hits,
-                                     std::memory_order_relaxed);
-      cumulative->retries.fetch_add(slot.stats.retries, std::memory_order_relaxed);
-      cumulative->source_failures.fetch_add(slot.stats.source_failures,
-                                            std::memory_order_relaxed);
-      cumulative->source_timeouts.fetch_add(slot.stats.source_timeouts,
-                                            std::memory_order_relaxed);
+    auto add_cumulative = [handles](const Slot& slot) {
+      handles->pushed_down_full->Increment(slot.stats.pushed_down_full);
+      handles->augmented->Increment(slot.stats.augmented);
+      handles->raw_hits->Increment(slot.stats.raw_hits);
+      handles->retries->Increment(slot.stats.retries);
+      handles->source_failures->Increment(slot.stats.source_failures);
+      handles->source_timeouts->Increment(slot.stats.source_timeouts);
     };
     const size_t workers = std::min<size_t>(
         jobs.size(), static_cast<size_t>(std::max(options_.max_parallel_sources, 1)));
     const query::XdbQuery query_copy = query;
     for (size_t w = 0; w < workers; ++w) {
-      reaper_.Launch([state, ctx, query_copy, sleep_ms, cumulative, add_cumulative] {
+      reaper_.Launch([state, ctx, query_copy, sleep_ms, add_cumulative] {
         while (auto job = state->queue.Pop()) {
-          RunJob(std::move(*job), query_copy, ctx, sleep_ms, state, cumulative,
+          RunJob(std::move(*job), query_copy, ctx, sleep_ms, state,
                  add_cumulative);
         }
       });
@@ -446,7 +526,12 @@ netmark::Result<FederatedResult> Router::QueryFederated(
     result.hits.resize(query.limit);
   }
   result.stats.final_hits = result.hits.size();
-  cumulative_->final_hits.fetch_add(result.hits.size(), std::memory_order_relaxed);
+  handles->final_hits->Increment(result.hits.size());
+
+  fed_span.Annotate("sources", std::to_string(names.size()));
+  fed_span.Annotate("hits", std::to_string(result.hits.size()));
+  fed_span.End(result.complete(),
+               result.complete() ? "" : "partial (degraded sources)");
 
   // Opportunistically join workers that already finished.
   reaper_.Reap();
@@ -460,16 +545,17 @@ netmark::Result<std::vector<FederatedHit>> Router::Query(
 }
 
 Router::Stats Router::stats() const {
+  std::shared_ptr<MetricHandles> handles = handles_;
   Stats out;
-  out.sources_queried = cumulative_->sources_queried.load(std::memory_order_relaxed);
-  out.pushed_down_full = cumulative_->pushed_down_full.load(std::memory_order_relaxed);
-  out.augmented = cumulative_->augmented.load(std::memory_order_relaxed);
-  out.raw_hits = cumulative_->raw_hits.load(std::memory_order_relaxed);
-  out.final_hits = cumulative_->final_hits.load(std::memory_order_relaxed);
-  out.retries = cumulative_->retries.load(std::memory_order_relaxed);
-  out.source_failures = cumulative_->source_failures.load(std::memory_order_relaxed);
-  out.source_timeouts = cumulative_->source_timeouts.load(std::memory_order_relaxed);
-  out.breaker_skips = cumulative_->breaker_skips.load(std::memory_order_relaxed);
+  out.sources_queried = handles->sources_queried->value();
+  out.pushed_down_full = handles->pushed_down_full->value();
+  out.augmented = handles->augmented->value();
+  out.raw_hits = handles->raw_hits->value();
+  out.final_hits = handles->final_hits->value();
+  out.retries = handles->retries->value();
+  out.source_failures = handles->source_failures->value();
+  out.source_timeouts = handles->source_timeouts->value();
+  out.breaker_skips = handles->breaker_skips->value();
   return out;
 }
 

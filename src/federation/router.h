@@ -33,6 +33,8 @@
 #include "federation/augment.h"
 #include "federation/circuit_breaker.h"
 #include "federation/source.h"
+#include "observability/metrics.h"
+#include "observability/trace.h"
 
 namespace netmark::federation {
 
@@ -123,8 +125,17 @@ struct FederatedResult {
 /// \brief Registry of sources + databanks, and the fan-out query engine.
 class Router {
  public:
-  Router() = default;
-  explicit Router(RouterOptions options) : options_(std::move(options)) {}
+  Router() : Router(RouterOptions{}) {}
+  explicit Router(RouterOptions options);
+
+  /// Re-homes the router's metrics (cumulative query counters, per-source
+  /// latency histograms, breaker-state gauges) onto `registry` — the Netmark
+  /// facade calls this so one registry serves /metrics for the whole
+  /// instance. Must be called before traffic; counts recorded earlier stay
+  /// in the private registry and are not carried over. A standalone router
+  /// keeps its private registry, so stats() works either way.
+  void BindMetrics(observability::MetricsRegistry* registry);
+  observability::MetricsRegistry* metrics() const { return metrics_; }
 
   /// Registers a source (owned by the router) with default resilience policy.
   netmark::Status RegisterSource(std::shared_ptr<Source> source);
@@ -151,6 +162,14 @@ class Router {
   netmark::Result<FederatedResult> QueryFederated(const std::string& databank,
                                                   const query::XdbQuery& query);
 
+  /// Traced variant: per-source spans ("source:NAME") are parented under
+  /// `parent_span`. Fan-out jobs take shared ownership of `trace` because a
+  /// deadline-abandoned straggler may finish (and end its span) after the
+  /// query returns. `trace` may be null (equivalent to the plain overload).
+  netmark::Result<FederatedResult> QueryFederated(
+      const std::string& databank, const query::XdbQuery& query,
+      std::shared_ptr<observability::Trace> trace, int parent_span);
+
   /// Compatibility wrapper: QueryFederated, keeping only the merged hits.
   netmark::Result<std::vector<FederatedHit>> Query(const std::string& databank,
                                                    const query::XdbQuery& query);
@@ -165,27 +184,43 @@ class Router {
     std::shared_ptr<Source> source;
     SourcePolicy policy;
     std::shared_ptr<CircuitBreaker> breaker;
+    /// Per-source call latency (netmark_federation_source_micros{source=}).
+    observability::Histogram* latency = nullptr;
   };
 
-  /// Atomic mirror of QueryStats shared with in-flight workers.
-  struct CumulativeStats {
-    std::atomic<size_t> sources_queried{0};
-    std::atomic<size_t> pushed_down_full{0};
-    std::atomic<size_t> augmented{0};
-    std::atomic<size_t> raw_hits{0};
-    std::atomic<size_t> final_hits{0};
-    std::atomic<size_t> retries{0};
-    std::atomic<size_t> source_failures{0};
-    std::atomic<size_t> source_timeouts{0};
-    std::atomic<size_t> breaker_skips{0};
+  /// Registry handles behind Router::Stats — the registry is the single
+  /// source of truth; stats() is a thin view over these counters. Shared
+  /// with in-flight workers so late stragglers of timed-out queries still
+  /// report in when they finish, even after a BindMetrics rebind.
+  struct MetricHandles {
+    observability::Counter* queries = nullptr;
+    observability::Counter* sources_queried = nullptr;
+    observability::Counter* pushed_down_full = nullptr;
+    observability::Counter* augmented = nullptr;
+    observability::Counter* raw_hits = nullptr;
+    observability::Counter* final_hits = nullptr;
+    observability::Counter* retries = nullptr;
+    observability::Counter* source_failures = nullptr;
+    observability::Counter* source_timeouts = nullptr;
+    observability::Counter* breaker_skips = nullptr;
+    observability::Histogram* query_micros = nullptr;
   };
+
+  /// (Re-)resolves every metric handle against metrics_.
+  void BindHandles();
+  /// Registers the per-source latency histogram + breaker-state gauge.
+  void BindSourceMetrics(Entry& entry, const std::string& name);
 
   RouterOptions options_;
   std::map<std::string, Entry> sources_;
   std::map<std::string, Databank> databanks_;
-  std::shared_ptr<CumulativeStats> cumulative_ =
-      std::make_shared<CumulativeStats>();
+  /// Private fallback registry so a standalone Router works unwired; the
+  /// facade rebinds onto its own registry via BindMetrics().
+  std::unique_ptr<observability::MetricsRegistry> owned_metrics_;
+  observability::MetricsRegistry* metrics_ = nullptr;
+  std::shared_ptr<MetricHandles> handles_;
   std::atomic<uint64_t> query_counter_{0};
+  // Last member: joins straggler threads before the registries above die.
   netmark::ThreadReaper reaper_;
 };
 

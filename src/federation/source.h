@@ -17,17 +17,35 @@
 #include "common/result.h"
 #include "query/xdb_query.h"
 
+namespace netmark::observability {
+class Trace;
+}  // namespace netmark::observability
+
 namespace netmark::federation {
 
 /// \brief Per-call deadline threaded from the query entry point down to every
-/// source attempt ("a slow remote costs its budget and nothing more").
+/// source attempt ("a slow remote costs its budget and nothing more"), plus
+/// the request's trace so transports can hang their spans under the calling
+/// source's span. The trace pointer is valid for the duration of the call
+/// (the router's fan-out jobs hold shared ownership of the trace).
 struct CallContext {
   /// Absolute deadline in MonotonicMicros() time; 0 = unbounded.
   int64_t deadline_micros = 0;
+  /// Request trace (null = untraced call) and the span to parent under.
+  observability::Trace* trace = nullptr;
+  int span = -1;
 
   static CallContext Unbounded() { return CallContext{}; }
   static CallContext WithTimeoutMs(int64_t timeout_ms) {
     return CallContext{netmark::MonotonicMicros() + timeout_ms * 1000};
+  }
+
+  /// Copy of this context re-parented under `span` of `trace`.
+  CallContext WithSpan(observability::Trace* new_trace, int new_span) const {
+    CallContext out = *this;
+    out.trace = new_trace;
+    out.span = new_span;
+    return out;
   }
 
   bool bounded() const { return deadline_micros != 0; }
@@ -46,11 +64,15 @@ struct CallContext {
     return us / 1000;
   }
   /// The tighter of this deadline and `now + timeout_ms` (timeout_ms <= 0
-  /// leaves the context unchanged).
+  /// leaves the context unchanged). Trace attribution is preserved.
   CallContext Tightened(int64_t timeout_ms) const {
     if (timeout_ms <= 0) return *this;
     int64_t candidate = netmark::MonotonicMicros() + timeout_ms * 1000;
-    if (!bounded() || candidate < deadline_micros) return CallContext{candidate};
+    if (!bounded() || candidate < deadline_micros) {
+      CallContext out = *this;
+      out.deadline_micros = candidate;
+      return out;
+    }
     return *this;
   }
 };

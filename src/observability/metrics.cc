@@ -1,0 +1,257 @@
+#include "observability/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace netmark::observability {
+
+namespace {
+
+/// Escapes a label value for the exposition format (\, ", \n).
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Renders `{k1="v1",k2="v2"}` (empty string for no labels). `extra` lets the
+/// histogram renderer splice in its `le` label.
+std::string RenderLabels(const Labels& labels, const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key + "=\"" + EscapeLabelValue(value) + "\"";
+  }
+  if (!extra.empty()) {
+    if (!first) out += ',';
+    out += extra;
+  }
+  out += '}';
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+// --- Histogram ---
+
+const std::vector<int64_t>& Histogram::LatencyBucketsMicros() {
+  // ~exponential (x2..x2.5) from 50us to 60s: fine resolution where
+  // interactive queries live, coarse tail for timeouts.
+  static const std::vector<int64_t> kBounds = {
+      50,      100,     250,      500,      1000,     2500,     5000,
+      10000,   25000,   50000,    100000,   250000,   500000,   1000000,
+      2500000, 5000000, 10000000, 30000000, 60000000};
+  return kBounds;
+}
+
+Histogram::Histogram(const std::atomic<bool>* enabled, std::vector<int64_t> bounds)
+    : enabled_(enabled), bounds_(std::move(bounds)) {
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(int64_t value) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  size_t idx = std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+               bounds_.begin();  // first bound >= value; bounds_.size() = overflow
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::Quantile(double q) const {
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const std::vector<uint64_t> counts = BucketCounts();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0;
+  // Rank of the target sample (1-based); ceil keeps q=1 inside the data.
+  const double target = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const uint64_t before = cumulative;
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    if (i == bounds_.size()) {
+      // Overflow bucket: no upper bound to interpolate toward; report the
+      // last finite bound as a saturated floor.
+      return static_cast<double>(bounds_.back());
+    }
+    const double lower = i == 0 ? 0.0 : static_cast<double>(bounds_[i - 1]);
+    const double upper = static_cast<double>(bounds_[i]);
+    const double within = (target - static_cast<double>(before)) /
+                          static_cast<double>(counts[i]);
+    return lower + (upper - lower) * within;
+  }
+  return static_cast<double>(bounds_.back());
+}
+
+// --- MetricsRegistry ---
+
+MetricsRegistry::MetricsRegistry() {
+  const char* disabled = std::getenv("NETMARK_METRICS_DISABLED");
+  if (disabled != nullptr && disabled[0] == '1') enabled_.store(false);
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name, const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = metrics_.try_emplace(Key{name, labels});
+  if (inserted) {
+    it->second.kind = Kind::kCounter;
+    it->second.counter.reset(new Counter(&enabled_));
+  } else if (it->second.kind != Kind::kCounter) {
+    std::fprintf(stderr, "metrics: %s re-registered with a different kind\n",
+                 name.c_str());
+    std::abort();
+  }
+  return it->second.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = metrics_.try_emplace(Key{name, labels});
+  if (inserted) {
+    it->second.kind = Kind::kGauge;
+    it->second.gauge.reset(new Gauge(&enabled_));
+  } else if (it->second.kind != Kind::kGauge) {
+    std::fprintf(stderr, "metrics: %s re-registered with a different kind\n",
+                 name.c_str());
+    std::abort();
+  }
+  return it->second.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const Labels& labels,
+                                         const std::vector<int64_t>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = metrics_.try_emplace(Key{name, labels});
+  if (inserted) {
+    it->second.kind = Kind::kHistogram;
+    it->second.histogram.reset(new Histogram(&enabled_, bounds));
+  } else if (it->second.kind != Kind::kHistogram) {
+    std::fprintf(stderr, "metrics: %s re-registered with a different kind\n",
+                 name.c_str());
+    std::abort();
+  }
+  return it->second.histogram.get();
+}
+
+void MetricsRegistry::SetCallbackGauge(const std::string& name, const Labels& labels,
+                                       std::function<double()> callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = metrics_[Key{name, labels}];
+  entry.kind = Kind::kCallbackGauge;
+  entry.callback = std::move(callback);
+}
+
+MetricsSnapshot MetricsRegistry::Collect() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, entry] : metrics_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        snap.counters.push_back({key.name, key.labels, entry.counter->value()});
+        break;
+      case Kind::kGauge:
+        snap.gauges.push_back(
+            {key.name, key.labels, static_cast<double>(entry.gauge->value())});
+        break;
+      case Kind::kCallbackGauge:
+        snap.gauges.push_back({key.name, key.labels, entry.callback()});
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        HistogramSample sample;
+        sample.name = key.name;
+        sample.labels = key.labels;
+        sample.count = h.count();
+        sample.sum = h.sum();
+        sample.p50 = h.Quantile(0.50);
+        sample.p95 = h.Quantile(0.95);
+        sample.p99 = h.Quantile(0.99);
+        std::vector<uint64_t> counts = h.BucketCounts();
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < h.bounds().size(); ++i) {
+          cumulative += counts[i];
+          sample.buckets.emplace_back(h.bounds()[i], cumulative);
+        }
+        cumulative += counts.back();
+        sample.buckets.emplace_back(std::numeric_limits<int64_t>::max(), cumulative);
+        snap.histograms.push_back(std::move(sample));
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  const MetricsSnapshot snap = Collect();
+  std::string out;
+  out.reserve(4096);
+  std::string last_type_line;  // emit one # TYPE per family
+  auto type_line = [&out, &last_type_line](const std::string& name,
+                                           const char* type) {
+    std::string line = "# TYPE " + name + " " + type + "\n";
+    if (line != last_type_line) {
+      out += line;
+      last_type_line = line;
+    }
+  };
+  for (const CounterSample& c : snap.counters) {
+    type_line(c.name, "counter");
+    out += c.name + RenderLabels(c.labels) + " " + std::to_string(c.value) + "\n";
+  }
+  for (const GaugeSample& g : snap.gauges) {
+    type_line(g.name, "gauge");
+    out += g.name + RenderLabels(g.labels) + " " + FormatDouble(g.value) + "\n";
+  }
+  for (const HistogramSample& h : snap.histograms) {
+    type_line(h.name, "histogram");
+    for (const auto& [bound, cumulative] : h.buckets) {
+      std::string le = bound == std::numeric_limits<int64_t>::max()
+                           ? std::string("+Inf")
+                           : std::to_string(bound);
+      out += h.name + "_bucket" + RenderLabels(h.labels, "le=\"" + le + "\"") +
+             " " + std::to_string(cumulative) + "\n";
+    }
+    out += h.name + "_sum" + RenderLabels(h.labels) + " " + std::to_string(h.sum) + "\n";
+    out += h.name + "_count" + RenderLabels(h.labels) + " " +
+           std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace netmark::observability

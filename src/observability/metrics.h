@@ -1,0 +1,218 @@
+// Lock-cheap metrics registry: named counters, gauges, and fixed-bucket
+// latency histograms, with Prometheus text exposition (served at GET
+// /metrics) and structured snapshots (served at GET /healthz, dumped into
+// BENCH_*.json).
+//
+// Design (DESIGN.md §"Observability"):
+//   - Registration is rare and takes a mutex; the hot path (Increment /
+//     Observe) is a handful of relaxed atomic ops on a stable handle.
+//   - Handles returned by the registry stay valid for the registry's
+//     lifetime; components fetch them once at construction, never per event.
+//   - Quantiles (p50/p95/p99) are derived from cumulative bucket counts by
+//     linear interpolation inside the winning bucket — no per-sample storage.
+//   - A registry can be disabled (NETMARK_METRICS_DISABLED=1 or
+//     set_enabled(false)): every recording call degrades to one relaxed
+//     atomic load, which is how the <3%-overhead acceptance bound is checked.
+
+#ifndef NETMARK_OBSERVABILITY_METRICS_H_
+#define NETMARK_OBSERVABILITY_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace netmark::observability {
+
+/// Metric labels: ordered key=value pairs (order is part of the identity).
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// \brief Monotonic counter.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  const std::atomic<bool>* enabled_;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Settable gauge (current value, not a rate).
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void Add(int64_t d) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.fetch_add(d, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  const std::atomic<bool>* enabled_;
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Fixed-bucket histogram over int64 samples (convention:
+/// microseconds for latencies). Buckets are cumulative-upper-bound style
+/// (Prometheus `le`); an implicit overflow bucket catches everything above
+/// the last bound.
+class Histogram {
+ public:
+  /// Default latency buckets: ~exponential from 50us to 60s.
+  static const std::vector<int64_t>& LatencyBucketsMicros();
+
+  void Observe(int64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Quantile estimate (q in [0,1]) by linear interpolation inside the
+  /// bucket containing the q-th sample. Samples in the overflow bucket
+  /// report the last finite bound (a floor, clearly marked by saturation).
+  /// Returns 0 for an empty histogram.
+  double Quantile(double q) const;
+
+  const std::vector<int64_t>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; size = bounds().size() + 1, the
+  /// last entry being the overflow bucket.
+  std::vector<uint64_t> BucketCounts() const;
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(const std::atomic<bool>* enabled, std::vector<int64_t> bounds);
+
+  const std::atomic<bool>* enabled_;
+  std::vector<int64_t> bounds_;  // sorted, strictly increasing upper bounds
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+/// \brief RAII timer observing elapsed wall time (microseconds) into a
+/// histogram at scope exit. Null histogram = inert.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram)
+      : histogram_(histogram), start_(netmark::MonotonicMicros()) {}
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) {
+      histogram_->Observe(netmark::MonotonicMicros() - start_);
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  int64_t elapsed_micros() const { return netmark::MonotonicMicros() - start_; }
+
+ private:
+  Histogram* histogram_;
+  int64_t start_;
+};
+
+/// One rendered sample of each kind (snapshot API: /healthz, bench dumps).
+struct CounterSample {
+  std::string name;
+  Labels labels;
+  uint64_t value = 0;
+};
+struct GaugeSample {
+  std::string name;
+  Labels labels;
+  double value = 0;
+};
+struct HistogramSample {
+  std::string name;
+  Labels labels;
+  uint64_t count = 0;
+  int64_t sum = 0;
+  double p50 = 0, p95 = 0, p99 = 0;
+  /// (upper bound, cumulative count) pairs; the final entry is (+inf ≡
+  /// INT64_MAX, total count).
+  std::vector<std::pair<int64_t, uint64_t>> buckets;
+};
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
+/// \brief Named metric registry; one per NETMARK instance (components
+/// standing alone fall back to a private one so their accessors keep
+/// working).
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the metric registered under (name, labels), creating it on
+  /// first use. Repeated calls return the same handle; a name registered as
+  /// one kind cannot be re-registered as another (returns the existing
+  /// handle of the right kind or aborts the program on a kind clash — a
+  /// programming error, caught in tests).
+  Counter* GetCounter(const std::string& name, const Labels& labels = {});
+  Gauge* GetGauge(const std::string& name, const Labels& labels = {});
+  Histogram* GetHistogram(const std::string& name, const Labels& labels = {},
+                          const std::vector<int64_t>& bounds =
+                              Histogram::LatencyBucketsMicros());
+
+  /// Registers a gauge whose value is computed at collection time (breaker
+  /// states, store sizes). Re-registering the same (name, labels) replaces
+  /// the callback.
+  void SetCallbackGauge(const std::string& name, const Labels& labels,
+                        std::function<double()> callback);
+
+  /// Recording on/off switch (collection still works when disabled).
+  void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Structured snapshot of every metric, sorted by (name, labels).
+  MetricsSnapshot Collect() const;
+
+  /// Prometheus text exposition format (version 0.0.4).
+  std::string RenderPrometheus() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram, kCallbackGauge };
+  struct Key {
+    std::string name;
+    Labels labels;
+    bool operator<(const Key& other) const {
+      if (name != other.name) return name < other.name;
+      return labels < other.labels;
+    }
+  };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::function<double()> callback;
+  };
+
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex mu_;
+  std::map<Key, Entry> metrics_;
+};
+
+}  // namespace netmark::observability
+
+#endif  // NETMARK_OBSERVABILITY_METRICS_H_

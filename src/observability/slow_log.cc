@@ -1,0 +1,80 @@
+#include "observability/slow_log.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/result.h"
+#include "common/string_util.h"
+
+namespace netmark::observability {
+
+int64_t ResolveSlowQueryThresholdMs(int64_t configured_ms) {
+  const char* env = std::getenv("NETMARK_SLOW_QUERY_MS");
+  if (env != nullptr && *env != '\0') {
+    auto parsed = netmark::ParseInt64(env);
+    if (parsed.ok() && *parsed >= 0) return *parsed;
+  }
+  return configured_ms;
+}
+
+namespace {
+
+std::string SpanPath(const std::vector<SpanData>& spans, int id) {
+  std::string path;
+  // Walk to the root; spans reference earlier indices only, so this
+  // terminates. Guard against malformed parents anyway.
+  int hops = 0;
+  for (int cur = id; cur >= 0 && cur < static_cast<int>(spans.size()) && hops < 64;
+       cur = spans[static_cast<size_t>(cur)].parent, ++hops) {
+    const std::string& name = spans[static_cast<size_t>(cur)].name;
+    path = path.empty() ? name : name + "/" + path;
+  }
+  return path;
+}
+
+std::string FormatMs(int64_t micros) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", static_cast<double>(micros) / 1000.0);
+  return buf;
+}
+
+}  // namespace
+
+std::string FormatSpansCompact(const std::vector<SpanData>& spans) {
+  std::string out;
+  for (const SpanData& span : spans) {
+    if (!out.empty()) out += "; ";
+    out += SpanPath(spans, span.id);
+    out += ':';
+    out += span.finished() ? FormatMs(span.duration_micros()) + "ms" : "...";
+    out += span.ok ? " ok" : " err";
+    if (!span.note.empty()) out += "(" + span.note + ")";
+    if (!span.annotations.empty()) {
+      out += " [";
+      bool first = true;
+      for (const auto& [key, value] : span.annotations) {
+        if (!first) out += ' ';
+        first = false;
+        out += key + "=" + value;
+      }
+      out += ']';
+    }
+  }
+  return out;
+}
+
+void MaybeLogSlowQuery(std::string_view endpoint, const std::string& query_string,
+                       int64_t total_micros, int64_t threshold_ms,
+                       const Trace& trace) {
+  if (threshold_ms <= 0) return;
+  if (total_micros < threshold_ms * 1000) return;
+  NETMARK_SLOG(Warning, "slow_query")
+      .Field("endpoint", endpoint)
+      .Field("query", query_string)
+      .Field("total_ms", FormatMs(total_micros))
+      .Field("threshold_ms", threshold_ms)
+      .Field("spans", FormatSpansCompact(trace.Snapshot()));
+}
+
+}  // namespace netmark::observability

@@ -1,0 +1,40 @@
+// Slow-query log: one structured line per request over a configurable
+// threshold, carrying the query spec, per-span timings and per-source
+// outcomes — enough to diagnose the slow request without re-running it.
+//
+// Threshold resolution order: NETMARK_SLOW_QUERY_MS env var, then the
+// configured value (INI [server] slow_query_ms via the CLI, or
+// NetmarkOptions.slow_query_ms), then the 500ms default. 0 disables.
+
+#ifndef NETMARK_OBSERVABILITY_SLOW_LOG_H_
+#define NETMARK_OBSERVABILITY_SLOW_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "observability/trace.h"
+
+namespace netmark::observability {
+
+/// Default threshold when nothing is configured.
+inline constexpr int64_t kDefaultSlowQueryMs = 500;
+
+/// \brief Applies the NETMARK_SLOW_QUERY_MS env override to a configured
+/// threshold (returns `configured_ms` when the env var is unset or invalid).
+int64_t ResolveSlowQueryThresholdMs(int64_t configured_ms);
+
+/// \brief Renders the span tree as one compact field value:
+/// "xdb:12.3ms ok; xdb/federated:10.1ms ok [sources=2]; ...". Paths are
+/// parent-joined names; unfinished spans render as "...".
+std::string FormatSpansCompact(const std::vector<SpanData>& spans);
+
+/// \brief Emits the slow-query line (Warning level) when `total_micros`
+/// crosses `threshold_ms`. No-op when threshold_ms <= 0.
+void MaybeLogSlowQuery(std::string_view endpoint, const std::string& query_string,
+                       int64_t total_micros, int64_t threshold_ms,
+                       const Trace& trace);
+
+}  // namespace netmark::observability
+
+#endif  // NETMARK_OBSERVABILITY_SLOW_LOG_H_

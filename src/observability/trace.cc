@@ -1,0 +1,46 @@
+#include "observability/trace.h"
+
+namespace netmark::observability {
+
+int Trace::StartSpan(std::string name, int parent) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanData span;
+  span.id = static_cast<int>(spans_.size());
+  span.parent = parent >= 0 && parent < span.id ? parent : -1;
+  span.name = std::move(name);
+  span.start_micros = netmark::MonotonicMicros();
+  spans_.push_back(std::move(span));
+  return static_cast<int>(spans_.size()) - 1;
+}
+
+void Trace::EndSpan(int id, bool ok, std::string note) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || id >= static_cast<int>(spans_.size())) return;
+  SpanData& span = spans_[static_cast<size_t>(id)];
+  if (span.end_micros != 0) return;  // already ended
+  span.end_micros = netmark::MonotonicMicros();
+  span.ok = ok;
+  span.note = std::move(note);
+}
+
+void Trace::Annotate(int id, std::string key, std::string value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || id >= static_cast<int>(spans_.size())) return;
+  spans_[static_cast<size_t>(id)].annotations.emplace_back(std::move(key),
+                                                           std::move(value));
+}
+
+std::vector<SpanData> Trace::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+int64_t Trace::RootDurationMicros() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.empty()) return 0;
+  const SpanData& root = spans_.front();
+  if (root.end_micros != 0) return root.end_micros - root.start_micros;
+  return netmark::MonotonicMicros() - root.start_micros;
+}
+
+}  // namespace netmark::observability

@@ -1,0 +1,111 @@
+// Request-scoped tracing: a thread-safe tree of timed spans carried through
+// the query path (NetmarkService -> XdbQuery -> Router -> Source ->
+// HttpTransport) and the ingestion pipeline (watch -> upmark/parse ->
+// insert).
+//
+// A Trace lives for one request (or one daemon sweep). Spans record wall
+// time, an ok/error outcome, and key=value annotations; the tree is
+// assembled from parent ids so concurrent fan-out workers can append spans
+// without coordinating beyond the Trace mutex. Consumers take a Snapshot()
+// and render it — as an XML <trace> annotation (`trace=1` XDB queries) or a
+// structured slow-query log line.
+
+#ifndef NETMARK_OBSERVABILITY_TRACE_H_
+#define NETMARK_OBSERVABILITY_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace netmark::observability {
+
+/// One finished (or in-flight) span. Ids are indices into the trace's span
+/// list; parent == -1 marks a root.
+struct SpanData {
+  int id = -1;
+  int parent = -1;
+  std::string name;
+  int64_t start_micros = 0;  ///< MonotonicMicros at StartSpan
+  int64_t end_micros = 0;    ///< 0 while the span is still open
+  bool ok = true;
+  std::string note;  ///< error message (or extra detail) set at EndSpan
+  std::vector<std::pair<std::string, std::string>> annotations;
+
+  int64_t duration_micros() const {
+    return end_micros == 0 ? 0 : end_micros - start_micros;
+  }
+  bool finished() const { return end_micros != 0; }
+};
+
+/// \brief One request's span tree. Thread-safe; shared with fan-out workers
+/// via shared_ptr so a straggler outliving its query can still finish its
+/// span (the snapshot taken at response time simply shows it unfinished).
+class Trace {
+ public:
+  Trace() = default;
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  /// Opens a span; returns its id. parent = -1 for a root span.
+  int StartSpan(std::string name, int parent = -1);
+  /// Closes a span. `note` carries the error message when !ok.
+  void EndSpan(int id, bool ok = true, std::string note = "");
+  /// Attaches a key=value annotation to an open or closed span.
+  void Annotate(int id, std::string key, std::string value);
+
+  /// Copy of all spans recorded so far (ids == indices).
+  std::vector<SpanData> Snapshot() const;
+
+  /// Duration of span 0 (the conventional root) — the whole request when the
+  /// root has ended, else time since it started.
+  int64_t RootDurationMicros() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SpanData> spans_;
+};
+
+/// \brief RAII span: starts on construction, ends (ok) at scope exit unless
+/// explicitly ended first. A null trace makes every operation a no-op, so
+/// call sites need no branching.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;  // inert
+  ScopedSpan(Trace* trace, std::string name, int parent = -1)
+      : trace_(trace) {
+    if (trace_ != nullptr) id_ = trace_->StartSpan(std::move(name), parent);
+  }
+  ~ScopedSpan() { End(); }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Span id for parenting children (-1 when inert).
+  int id() const { return id_; }
+
+  void Annotate(std::string key, std::string value) {
+    if (trace_ != nullptr && !ended_) {
+      trace_->Annotate(id_, std::move(key), std::move(value));
+    }
+  }
+
+  /// Ends the span now (idempotent); the destructor then does nothing.
+  void End(bool ok = true, std::string note = "") {
+    if (trace_ != nullptr && !ended_) {
+      trace_->EndSpan(id_, ok, std::move(note));
+      ended_ = true;
+    }
+  }
+
+ private:
+  Trace* trace_ = nullptr;
+  int id_ = -1;
+  bool ended_ = false;
+};
+
+}  // namespace netmark::observability
+
+#endif  // NETMARK_OBSERVABILITY_TRACE_H_

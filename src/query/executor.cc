@@ -235,9 +235,23 @@ netmark::Result<std::vector<QueryHit>> QueryExecutor::XPathQuery(
   return hits;
 }
 
+void QueryExecutor::BindMetrics(observability::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    handles_ = MetricHandles{};
+    return;
+  }
+  handles_.executes = registry->GetCounter("netmark_xdb_executes_total");
+  handles_.index_probes = registry->GetCounter("netmark_xdb_index_probes_total");
+  handles_.nodes_walked = registry->GetCounter("netmark_xdb_nodes_walked_total");
+  handles_.sections_built =
+      registry->GetCounter("netmark_xdb_sections_built_total");
+  handles_.execute_micros = registry->GetHistogram("netmark_xdb_execute_micros");
+}
+
 netmark::Result<std::vector<QueryHit>> QueryExecutor::Execute(
     const XdbQuery& query) const {
   stats_ = Stats{};
+  observability::ScopedTimer timer(handles_.execute_micros);
   if (query.empty()) {
     return netmark::Status::InvalidArgument(
         "XDB query needs a Context, Content or XPath key");
@@ -257,6 +271,12 @@ netmark::Result<std::vector<QueryHit>> QueryExecutor::Execute(
   }
   if (query.limit != 0 && hits.size() > query.limit) {
     hits.resize(query.limit);
+  }
+  if (handles_.executes != nullptr) {
+    handles_.executes->Increment();
+    handles_.index_probes->Increment(stats_.index_probes);
+    handles_.nodes_walked->Increment(stats_.nodes_walked);
+    handles_.sections_built->Increment(stats_.sections_built);
   }
   return hits;
 }

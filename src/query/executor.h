@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "observability/metrics.h"
 #include "query/xdb_query.h"
 #include "xmlstore/context_walk.h"
 #include "xmlstore/xml_store.h"
@@ -51,6 +52,12 @@ class QueryExecutor {
                          ExecuteOptions options = {})
       : store_(store), options_(options) {}
 
+  /// Opts into cumulative instrumentation: every Execute then also bumps
+  /// netmark_xdb_* counters and observes netmark_xdb_execute_micros on
+  /// `registry` (null = back to uninstrumented). The per-Execute stats()
+  /// view is unaffected.
+  void BindMetrics(observability::MetricsRegistry* registry);
+
   /// Runs the query; hits are ordered by (doc_id, position).
   netmark::Result<std::vector<QueryHit>> Execute(const XdbQuery& query) const;
 
@@ -72,9 +79,20 @@ class QueryExecutor {
   netmark::Result<std::vector<QueryHit>> XPathQuery(const XdbQuery& query) const;
   netmark::Result<storage::RowId> Walk(storage::RowId start) const;
 
+  /// Registry handles (all null when unbound): cumulative mirrors of Stats
+  /// plus the execute latency histogram.
+  struct MetricHandles {
+    observability::Counter* executes = nullptr;
+    observability::Counter* index_probes = nullptr;
+    observability::Counter* nodes_walked = nullptr;
+    observability::Counter* sections_built = nullptr;
+    observability::Histogram* execute_micros = nullptr;
+  };
+
   const xmlstore::XmlStore* store_;
   ExecuteOptions options_;
   mutable Stats stats_;
+  MetricHandles handles_;
 };
 
 }  // namespace netmark::query

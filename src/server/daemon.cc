@@ -13,15 +13,33 @@ namespace netmark::server {
 
 namespace fs = std::filesystem;
 
-namespace {
-
-inline uint64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
-  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                                   std::chrono::steady_clock::now() - start)
-                                   .count());
+IngestionDaemon::IngestionDaemon(xmlstore::XmlStore* store,
+                                 const convert::ConverterRegistry* converters,
+                                 DaemonOptions options)
+    : store_(store), converters_(converters), options_(std::move(options)) {
+  owned_metrics_ = std::make_unique<observability::MetricsRegistry>();
+  metrics_ = owned_metrics_.get();
+  BindHandles();
 }
 
-}  // namespace
+void IngestionDaemon::BindHandles() {
+  handles_.queued = metrics_->GetCounter("netmark_ingest_queued_total");
+  handles_.converted = metrics_->GetCounter("netmark_ingest_converted_total");
+  handles_.inserted = metrics_->GetCounter("netmark_ingest_inserted_total");
+  handles_.failed = metrics_->GetCounter("netmark_ingest_failed_total");
+  handles_.deferred = metrics_->GetCounter("netmark_ingest_deferred_total");
+  handles_.prepare_micros =
+      metrics_->GetHistogram("netmark_ingest_prepare_micros");
+  handles_.insert_micros = metrics_->GetHistogram("netmark_ingest_insert_micros");
+}
+
+void IngestionDaemon::BindMetrics(observability::MetricsRegistry* registry) {
+  if (registry == nullptr || registry == metrics_) return;
+  // owned_metrics_ stays alive so counts recorded before the rebind remain
+  // readable there (they are not carried over).
+  metrics_ = registry;
+  BindHandles();
+}
 
 netmark::Status IngestionDaemon::Start() {
   if (running_.load()) return netmark::Status::AlreadyExists("daemon already running");
@@ -52,13 +70,14 @@ void IngestionDaemon::Loop() {
 
 DaemonCounters IngestionDaemon::counters() const {
   DaemonCounters c;
-  c.queued = queued_.load();
-  c.converted = converted_.load();
-  c.inserted = files_ingested_.load();
-  c.failed = files_failed_.load();
-  c.deferred = deferred_.load();
-  c.convert_ns = convert_ns_.load();
-  c.insert_ns = insert_ns_.load();
+  c.queued = handles_.queued->value();
+  c.converted = handles_.converted->value();
+  c.inserted = handles_.inserted->value();
+  c.failed = handles_.failed->value();
+  c.deferred = handles_.deferred->value();
+  // Stage wall time is kept in the histograms (microsecond samples).
+  c.convert_ns = static_cast<uint64_t>(handles_.prepare_micros->sum()) * 1000;
+  c.insert_ns = static_cast<uint64_t>(handles_.insert_micros->sum()) * 1000;
   return c;
 }
 
@@ -103,7 +122,7 @@ std::vector<fs::path> IngestionDaemon::CollectStable() {
       continue;
     }
     still_unstable.emplace(entry.path(), sig);
-    deferred_.fetch_add(1);
+    handles_.deferred->Increment();
   }
   // Forget files that were ingested or removed; remember fresh signatures.
   unstable_ = std::move(still_unstable);
@@ -111,9 +130,12 @@ std::vector<fs::path> IngestionDaemon::CollectStable() {
   return eligible;
 }
 
-IngestionDaemon::PreparedFile IngestionDaemon::PrepareFile(const fs::path& path) {
+IngestionDaemon::PreparedFile IngestionDaemon::PrepareFile(
+    const fs::path& path, observability::Trace* trace, int parent_span) {
   PreparedFile out;
-  auto start = std::chrono::steady_clock::now();
+  observability::ScopedSpan span(trace, "prepare", parent_span);
+  span.Annotate("file", path.filename().string());
+  observability::ScopedTimer timer(handles_.prepare_micros);
   auto prepare = [&]() -> netmark::Status {
     NETMARK_ASSIGN_OR_RETURN(std::string content, netmark::ReadFile(path));
     NETMARK_ASSIGN_OR_RETURN(
@@ -126,22 +148,25 @@ IngestionDaemon::PreparedFile IngestionDaemon::PrepareFile(const fs::path& path)
     return netmark::Status::OK();
   };
   out.status = prepare();
-  convert_ns_.fetch_add(ElapsedNs(start));
-  if (out.status.ok()) converted_.fetch_add(1);
+  if (out.status.ok()) handles_.converted->Increment();
+  span.End(out.status.ok(), out.status.ok() ? "" : out.status.ToString());
   return out;
 }
 
-bool IngestionDaemon::CommitFile(const fs::path& path, PreparedFile result) {
+bool IngestionDaemon::CommitFile(const fs::path& path, PreparedFile result,
+                                 observability::Trace* trace, int parent_span) {
   netmark::Status st = result.status;
   if (st.ok()) {
-    auto start = std::chrono::steady_clock::now();
+    observability::ScopedSpan span(trace, "insert", parent_span);
+    span.Annotate("file", path.filename().string());
+    observability::ScopedTimer timer(handles_.insert_micros);
     st = store_->InsertPrepared(result.prepared).status();
-    insert_ns_.fetch_add(ElapsedNs(start));
+    span.End(st.ok(), st.ok() ? "" : st.ToString());
   }
   if (st.ok()) {
-    files_ingested_.fetch_add(1);
+    handles_.inserted->Increment();
   } else {
-    files_failed_.fetch_add(1);
+    handles_.failed->Increment();
     NETMARK_LOG(Warning) << "failed to ingest " << path.string() << ": " << st;
   }
   std::error_code ec;
@@ -156,11 +181,14 @@ bool IngestionDaemon::CommitFile(const fs::path& path, PreparedFile result) {
   return st.ok();
 }
 
-netmark::Result<int> IngestionDaemon::ProcessOnce() {
+netmark::Result<int> IngestionDaemon::ProcessOnce(observability::Trace* trace,
+                                                  int parent_span) {
   std::lock_guard<std::mutex> lock(sweep_mu_);
+  observability::ScopedSpan sweep(trace, "sweep", parent_span);
   std::vector<fs::path> pending = CollectStable();
+  sweep.Annotate("files", std::to_string(pending.size()));
   if (pending.empty()) return 0;
-  queued_.fetch_add(pending.size());
+  handles_.queued->Increment(pending.size());
 
   const size_t n = pending.size();
   const int workers = std::min<int>(EffectiveWorkers(), static_cast<int>(n));
@@ -171,8 +199,12 @@ netmark::Result<int> IngestionDaemon::ProcessOnce() {
     // output to the threaded path because commits happen in `pending` order
     // either way.
     for (const fs::path& path : pending) {
-      if (CommitFile(path, PrepareFile(path))) ++count;
+      if (CommitFile(path, PrepareFile(path, trace, sweep.id()), trace,
+                     sweep.id())) {
+        ++count;
+      }
     }
+    sweep.Annotate("ingested", std::to_string(count));
     return count;
   }
 
@@ -193,9 +225,9 @@ netmark::Result<int> IngestionDaemon::ProcessOnce() {
   std::vector<std::thread> pool;
   pool.reserve(static_cast<size_t>(workers) + 1);
   for (int w = 0; w < workers; ++w) {
-    pool.emplace_back([&] {
+    pool.emplace_back([&, trace, sweep_id = sweep.id()] {
       while (std::optional<WorkItem> item = queue.Pop()) {
-        PreparedFile result = PrepareFile(item->path);
+        PreparedFile result = PrepareFile(item->path, trace, sweep_id);
         {
           std::lock_guard<std::mutex> results_lock(results_mu);
           results.emplace(item->seq, std::move(result));
@@ -222,9 +254,10 @@ netmark::Result<int> IngestionDaemon::ProcessOnce() {
       result = std::move(it->second);
       results.erase(it);
     }
-    if (CommitFile(pending[seq], std::move(result))) ++count;
+    if (CommitFile(pending[seq], std::move(result), trace, sweep.id())) ++count;
   }
   for (std::thread& t : pool) t.join();
+  sweep.Annotate("ingested", std::to_string(count));
   return count;
 }
 

@@ -12,6 +12,10 @@
 // that touches the store (XmlStore::InsertPrepared), committing results in
 // sorted-filename order so doc-id assignment is deterministic regardless of
 // worker count or completion order.
+//
+// Pipeline counters and per-stage latency histograms live on a
+// MetricsRegistry (netmark_ingest_* — see docs/observability.md);
+// DaemonCounters is a thin view over those handles.
 
 #ifndef NETMARK_SERVER_DAEMON_H_
 #define NETMARK_SERVER_DAEMON_H_
@@ -21,12 +25,15 @@
 #include <cstdint>
 #include <filesystem>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/result.h"
 #include "convert/registry.h"
+#include "observability/metrics.h"
+#include "observability/trace.h"
 #include "xmlstore/xml_store.h"
 
 namespace netmark::server {
@@ -51,7 +58,8 @@ struct DaemonOptions {
   std::chrono::milliseconds stable_age{-1};
 };
 
-/// Per-stage pipeline counters (cumulative since construction).
+/// Per-stage pipeline counters (cumulative since construction). A snapshot
+/// of the registry counters — the registry is the source of truth.
 struct DaemonCounters {
   uint64_t queued = 0;     ///< files handed to the worker stage
   uint64_t converted = 0;  ///< files successfully upmarked + prepared
@@ -67,9 +75,14 @@ class IngestionDaemon {
  public:
   IngestionDaemon(xmlstore::XmlStore* store,
                   const convert::ConverterRegistry* converters,
-                  DaemonOptions options)
-      : store_(store), converters_(converters), options_(std::move(options)) {}
+                  DaemonOptions options);
   ~IngestionDaemon() { Stop(); }
+
+  /// Re-homes the daemon's metrics (netmark_ingest_* counters and stage
+  /// histograms) onto `registry`. Must be called before Start()/ProcessOnce()
+  /// — counts recorded earlier stay in the private fallback registry.
+  void BindMetrics(observability::MetricsRegistry* registry);
+  observability::MetricsRegistry* metrics() const { return metrics_; }
 
   /// Creates the folder structure and starts the polling thread.
   netmark::Status Start();
@@ -78,10 +91,16 @@ class IngestionDaemon {
 
   /// One synchronous sweep of the drop folder; returns the number of files
   /// ingested. Usable without Start() for deterministic tests/benchmarks.
-  netmark::Result<int> ProcessOnce();
+  netmark::Result<int> ProcessOnce() { return ProcessOnce(nullptr, -1); }
 
-  uint64_t files_ingested() const { return files_ingested_.load(); }
-  uint64_t files_failed() const { return files_failed_.load(); }
+  /// Traced sweep: stage spans (sweep -> prepare/insert per file) are
+  /// parented under `parent_span`. `trace` may be null. Thread-safe Trace:
+  /// prepare spans are recorded from worker threads.
+  netmark::Result<int> ProcessOnce(observability::Trace* trace, int parent_span);
+
+  uint64_t files_ingested() const { return handles_.inserted->value(); }
+  uint64_t files_failed() const { return handles_.failed->value(); }
+  bool running() const { return running_.load(); }
   DaemonCounters counters() const;
 
  private:
@@ -91,15 +110,30 @@ class IngestionDaemon {
     xmlstore::PreparedDocument prepared;
   };
 
+  /// Registry handles behind DaemonCounters (single source of truth).
+  struct MetricHandles {
+    observability::Counter* queued = nullptr;
+    observability::Counter* converted = nullptr;
+    observability::Counter* inserted = nullptr;
+    observability::Counter* failed = nullptr;
+    observability::Counter* deferred = nullptr;
+    observability::Histogram* prepare_micros = nullptr;
+    observability::Histogram* insert_micros = nullptr;
+  };
+
+  /// (Re-)resolves every metric handle against metrics_.
+  void BindHandles();
   /// Resolved worker count (>= 1).
   int EffectiveWorkers() const;
   /// Enumerates the drop folder and applies the stability filter; returns
   /// eligible paths sorted by filename.
   std::vector<std::filesystem::path> CollectStable();
   /// Read + convert + flatten + tokenize one file (runs on workers).
-  PreparedFile PrepareFile(const std::filesystem::path& path);
+  PreparedFile PrepareFile(const std::filesystem::path& path,
+                           observability::Trace* trace, int parent_span);
   /// Commits one worker result and moves the source file (writer stage).
-  bool CommitFile(const std::filesystem::path& path, PreparedFile result);
+  bool CommitFile(const std::filesystem::path& path, PreparedFile result,
+                  observability::Trace* trace, int parent_span);
   void Loop();
 
   xmlstore::XmlStore* store_;
@@ -115,14 +149,13 @@ class IngestionDaemon {
   };
   std::map<std::filesystem::path, FileSig> unstable_;
 
+  /// Private fallback registry so a standalone daemon works unwired; the
+  /// facade rebinds onto its own registry via BindMetrics().
+  std::unique_ptr<observability::MetricsRegistry> owned_metrics_;
+  observability::MetricsRegistry* metrics_ = nullptr;
+  MetricHandles handles_;
+
   std::atomic<bool> running_{false};
-  std::atomic<uint64_t> files_ingested_{0};
-  std::atomic<uint64_t> files_failed_{0};
-  std::atomic<uint64_t> queued_{0};
-  std::atomic<uint64_t> converted_{0};
-  std::atomic<uint64_t> deferred_{0};
-  std::atomic<uint64_t> convert_ns_{0};
-  std::atomic<uint64_t> insert_ns_{0};
   std::thread thread_;
 };
 

@@ -12,6 +12,7 @@
 #include <cstring>
 
 #include "common/clock.h"
+#include "observability/trace.h"
 
 namespace netmark::server {
 
@@ -172,11 +173,20 @@ netmark::Result<HttpResponse> HttpClient::Propfind(const std::string& target) co
 
 netmark::Result<std::string> SocketTransport::Get(
     const std::string& path_and_query, const federation::CallContext& ctx) {
+  observability::ScopedSpan span(ctx.trace, "http_get", ctx.span);
+  span.Annotate("target", path_and_query);
   HttpRequest req;
   req.method = "GET";
   req.target = path_and_query;
-  NETMARK_ASSIGN_OR_RETURN(HttpResponse resp,
-                           client_.Send(req, ctx.deadline_micros));
+  auto sent = client_.Send(req, ctx.deadline_micros);
+  if (!sent.ok()) {
+    span.End(false, sent.status().ToString());
+    return sent.status();
+  }
+  HttpResponse resp = std::move(*sent);
+  span.Annotate("status", std::to_string(resp.status));
+  span.End(resp.status == 200,
+           resp.status == 200 ? "" : "HTTP " + std::to_string(resp.status));
   if (resp.status >= 500) {
     return netmark::Status::Unavailable("remote returned HTTP " +
                                         std::to_string(resp.status) + ": " + resp.body);

@@ -1,12 +1,93 @@
 #include "server/netmark_service.h"
 
+#include <algorithm>
+#include <cstdio>
+
 #include "common/clock.h"
 #include "common/string_util.h"
+#include "server/daemon.h"
 #include "xml/entities.h"
 #include "xml/parser.h"
 #include "xml/serializer.h"
 
 namespace netmark::server {
+
+namespace {
+
+/// Minimal JSON string escaping for /healthz values.
+std::string EscapeJson(std::string_view in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+NetmarkService::NetmarkService(xmlstore::XmlStore* store)
+    : store_(store),
+      executor_(store),
+      converters_(convert::ConverterRegistry::Default()),
+      slow_query_ms_(observability::ResolveSlowQueryThresholdMs(
+          observability::kDefaultSlowQueryMs)) {
+  owned_metrics_ = std::make_unique<observability::MetricsRegistry>();
+  metrics_ = owned_metrics_.get();
+  BindHandles();
+}
+
+void NetmarkService::BindHandles() {
+  request_micros_ = metrics_->GetHistogram("netmark_http_request_micros");
+  query_latency_micros_ = metrics_->GetHistogram("netmark_query_latency_micros");
+  route_counters_.clear();
+  for (const char* route :
+       {"/xdb", "/status", "/docs", "/metrics", "/healthz", "other"}) {
+    route_counters_[route] = metrics_->GetCounter("netmark_http_requests_total",
+                                                  {{"route", route}});
+  }
+  executor_.BindMetrics(metrics_);
+}
+
+void NetmarkService::BindMetrics(observability::MetricsRegistry* registry) {
+  if (registry == nullptr || registry == metrics_) return;
+  metrics_ = registry;
+  BindHandles();
+}
+
+observability::Counter* NetmarkService::RouteCounter(
+    const std::string& path) const {
+  std::string route = "other";
+  if (path == "/xdb" || path == "/status" || path == "/metrics" ||
+      path == "/healthz") {
+    route = path;
+  } else if (path == "/docs" || netmark::StartsWith(path, "/docs/")) {
+    route = "/docs";
+  }
+  auto it = route_counters_.find(route);
+  return it == route_counters_.end() ? nullptr : it->second;
+}
 
 netmark::Status NetmarkService::RegisterStylesheet(const std::string& name,
                                                    std::string_view stylesheet_text) {
@@ -17,6 +98,14 @@ netmark::Status NetmarkService::RegisterStylesheet(const std::string& name,
 }
 
 HttpResponse NetmarkService::Handle(const HttpRequest& request) {
+  observability::ScopedTimer timer(request_micros_);
+  if (observability::Counter* counter = RouteCounter(request.path)) {
+    counter->Increment();
+  }
+  return Dispatch(request);
+}
+
+HttpResponse NetmarkService::Dispatch(const HttpRequest& request) {
   const std::string& path = request.path;
   if (path == "/xdb") {
     if (request.method != "GET") return HttpResponse::Text(405, "GET only");
@@ -25,6 +114,14 @@ HttpResponse NetmarkService::Handle(const HttpRequest& request) {
   if (path == "/status") {
     if (request.method != "GET") return HttpResponse::Text(405, "GET only");
     return HandleStatus();
+  }
+  if (path == "/metrics") {
+    if (request.method != "GET") return HttpResponse::Text(405, "GET only");
+    return HandleMetrics();
+  }
+  if (path == "/healthz") {
+    if (request.method != "GET") return HttpResponse::Text(405, "GET only");
+    return HandleHealthz();
   }
   if (path == "/docs" || path == "/docs/") {
     if (request.method == "GET") return HandleListDocuments(/*webdav=*/false);
@@ -55,43 +152,132 @@ HttpResponse NetmarkService::HandleXdb(const HttpRequest& request) {
   auto query = query::ParseXdbQuery(request.query);
   if (!query.ok()) return HttpResponse::BadRequest(query.status().ToString());
 
-  // Databank fan-out takes priority when requested.
+  // Service-level parameters the XDB parser does not consume: `databank`
+  // routes through the federation fan-out, `trace=1` appends the span tree.
   std::string databank;
+  bool want_trace = false;
   for (const std::string& pair : netmark::Split(request.query, '&')) {
     size_t eq = pair.find('=');
-    if (eq != std::string::npos &&
-        netmark::EqualsIgnoreCase(pair.substr(0, eq), "databank")) {
-      auto value = netmark::UrlDecode(pair.substr(eq + 1));
-      if (value.ok()) databank = *value;
+    if (eq == std::string::npos) continue;
+    std::string key = pair.substr(0, eq);
+    auto value = netmark::UrlDecode(pair.substr(eq + 1));
+    if (!value.ok()) continue;
+    if (netmark::EqualsIgnoreCase(key, "databank")) {
+      databank = *value;
+    } else if (netmark::EqualsIgnoreCase(key, "trace")) {
+      want_trace = (*value == "1" || netmark::EqualsIgnoreCase(*value, "true"));
     }
   }
+
+  // One trace serves both consumers: the trace=1 response annotation and
+  // the slow-query log (which needs the spans to be worth reading).
+  std::shared_ptr<observability::Trace> trace;
+  if (want_trace || slow_query_ms_ > 0) {
+    trace = std::make_shared<observability::Trace>();
+  }
+  observability::ScopedTimer latency_timer(query_latency_micros_);
+  observability::ScopedSpan root(trace.get(), "xdb");
+  root.Annotate("query", request.query);
 
   xml::Document results;
   if (!databank.empty()) {
     if (router_ == nullptr) {
       return HttpResponse::BadRequest("this instance has no databank router");
     }
-    auto federated = router_->QueryFederated(databank, *query);
+    auto federated = router_->QueryFederated(databank, *query, trace, root.id());
     if (!federated.ok()) {
+      root.End(false, federated.status().ToString());
       return HttpResponse::ServerError(federated.status().ToString());
     }
+    root.Annotate("hits", std::to_string(federated->hits.size()));
     results = ComposeFederatedResults(*query, *federated);
   } else {
+    observability::ScopedSpan exec_span(trace.get(), "execute", root.id());
     auto hits = executor_.Execute(*query);
     if (!hits.ok()) {
+      exec_span.End(false, hits.status().ToString());
+      root.End(false, hits.status().ToString());
       if (hits.status().IsInvalidArgument()) {
         return HttpResponse::BadRequest(hits.status().ToString());
       }
       return HttpResponse::ServerError(hits.status().ToString());
     }
+    exec_span.Annotate("hits", std::to_string(hits->size()));
+    exec_span.End();
+    root.Annotate("hits", std::to_string(hits->size()));
     auto composed = query::ComposeResults(*store_, *query, *hits);
     if (!composed.ok()) return HttpResponse::ServerError(composed.status().ToString());
     results = std::move(*composed);
   }
 
+  root.End();
+  if (want_trace && trace != nullptr) {
+    xml::NodeId results_el = results.DocumentElement();
+    if (results_el != xml::kInvalidNode) {
+      AppendTraceElement(results, results_el, trace->Snapshot());
+    }
+  }
+
   auto body = RenderResults(results, query->xslt);
   if (!body.ok()) return HttpResponse::ServerError(body.status().ToString());
+  if (trace != nullptr) {
+    observability::MaybeLogSlowQuery("/xdb", request.query,
+                                     latency_timer.elapsed_micros(),
+                                     slow_query_ms_, *trace);
+  }
   return HttpResponse::Ok(std::move(*body));
+}
+
+HttpResponse NetmarkService::HandleMetrics() {
+  return HttpResponse::Ok(metrics_->RenderPrometheus(),
+                          "text/plain; version=0.0.4; charset=utf-8");
+}
+
+HttpResponse NetmarkService::HandleHealthz() {
+  // Degraded = any open breaker: the instance answers, but a federated
+  // source is being skipped. Still HTTP 200 — the instance itself is up;
+  // "status" carries the nuance.
+  bool degraded = false;
+  std::string breakers = "[";
+  if (router_ != nullptr) {
+    bool first = true;
+    for (const std::string& name : router_->SourceNames()) {
+      federation::CircuitBreaker* breaker = router_->GetBreaker(name);
+      if (breaker == nullptr) continue;
+      auto state = breaker->state(netmark::MonotonicMicros());
+      if (state == federation::CircuitBreaker::State::kOpen) degraded = true;
+      if (!first) breakers += ",";
+      first = false;
+      breakers += "{\"source\":\"" + EscapeJson(name) + "\",\"state\":\"" +
+                  std::string(federation::CircuitStateToString(state)) +
+                  "\",\"consecutive_failures\":" +
+                  std::to_string(breaker->consecutive_failures()) + "}";
+    }
+  }
+  breakers += "]";
+
+  std::string daemon_json = "null";
+  if (daemon_ != nullptr) {
+    DaemonCounters c = daemon_->counters();
+    daemon_json = std::string("{\"running\":") +
+                  (daemon_->running() ? "true" : "false") +
+                  ",\"queued\":" + std::to_string(c.queued) +
+                  ",\"converted\":" + std::to_string(c.converted) +
+                  ",\"inserted\":" + std::to_string(c.inserted) +
+                  ",\"failed\":" + std::to_string(c.failed) +
+                  ",\"deferred\":" + std::to_string(c.deferred) + "}";
+  }
+
+  std::string body = std::string("{\"status\":\"") +
+                     (degraded ? "degraded" : "ok") + "\"," +
+                     "\"store\":{\"documents\":" +
+                     std::to_string(store_->document_count()) +
+                     ",\"nodes\":" + std::to_string(store_->node_count()) +
+                     ",\"terms\":" +
+                     std::to_string(store_->text_index().num_terms()) + "}," +
+                     "\"daemon\":" + daemon_json + "," +
+                     "\"breakers\":" + breakers + "}";
+  return HttpResponse::Ok(std::move(body), "application/json");
 }
 
 netmark::Result<std::string> NetmarkService::RenderResults(
@@ -191,6 +377,42 @@ HttpResponse NetmarkService::HandleStatus() {
                      std::to_string(store_->text_index().num_terms()) + "</terms>" +
                      "</status>";
   return HttpResponse::Ok(std::move(body));
+}
+
+void AppendTraceElement(xml::Document& doc, xml::NodeId parent,
+                        const std::vector<observability::SpanData>& spans) {
+  xml::NodeId trace_el = doc.CreateElement("trace");
+  if (!spans.empty()) {
+    doc.AddAttribute(trace_el, "total_us",
+                     std::to_string(spans[0].duration_micros()));
+  }
+  doc.AppendChild(parent, trace_el);
+  // Span ids are indices and parents always precede children, so one pass
+  // rebuilds the nesting.
+  std::vector<xml::NodeId> span_els(spans.size(), xml::kInvalidNode);
+  for (const observability::SpanData& span : spans) {
+    xml::NodeId el = doc.CreateElement("span");
+    doc.AddAttribute(el, "name", span.name);
+    doc.AddAttribute(el, "us", std::to_string(span.duration_micros()));
+    doc.AddAttribute(el, "ok", span.ok ? "true" : "false");
+    if (!span.finished()) doc.AddAttribute(el, "unfinished", "true");
+    if (!span.note.empty()) doc.AddAttribute(el, "note", span.note);
+    for (const auto& [key, value] : span.annotations) {
+      xml::NodeId ann = doc.CreateElement("annotation");
+      doc.AddAttribute(ann, "key", key);
+      doc.AddAttribute(ann, "value", value);
+      doc.AppendChild(el, ann);
+    }
+    xml::NodeId parent_el =
+        (span.parent >= 0 && static_cast<size_t>(span.parent) < spans.size())
+            ? span_els[span.parent]
+            : trace_el;
+    if (parent_el == xml::kInvalidNode) parent_el = trace_el;
+    doc.AppendChild(parent_el, el);
+    if (span.id >= 0 && static_cast<size_t>(span.id) < span_els.size()) {
+      span_els[span.id] = el;
+    }
+  }
 }
 
 xml::Document ComposeFederatedResults(const query::XdbQuery& query,

@@ -3,22 +3,36 @@
 //
 // Routes:
 //   GET      /xdb?Context=..&Content=..[&xslt=name][&databank=name][&limit=n]
+//                                       [&trace=1]  append the span tree
 //   PUT      /docs/<file-name>          ingest a document (any format)
 //   GET      /docs/<doc-id>             reconstructed document XML
 //   DELETE   /docs/<doc-id>
 //   GET      /docs                      document listing (XML)
 //   PROPFIND /docs                      WebDAV-style multistatus listing
 //   GET      /status                    store statistics
+//   GET      /metrics                   Prometheus text exposition
+//   GET      /healthz                   JSON health (store/daemon/breakers)
+//
+// Observability (docs/observability.md): every request bumps
+// netmark_http_requests_total{route=} and observes
+// netmark_http_request_micros; /xdb additionally observes
+// netmark_query_latency_micros and — when the request exceeds the slow-query
+// threshold — emits one structured slow_query log line with per-span
+// timings.
 
 #ifndef NETMARK_SERVER_NETMARK_SERVICE_H_
 #define NETMARK_SERVER_NETMARK_SERVICE_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
 
 #include "convert/registry.h"
 #include "federation/router.h"
+#include "observability/metrics.h"
+#include "observability/slow_log.h"
+#include "observability/trace.h"
 #include "query/compose.h"
 #include "query/executor.h"
 #include "server/http_message.h"
@@ -27,16 +41,30 @@
 
 namespace netmark::server {
 
+class IngestionDaemon;
+
 /// \brief Request router for one NETMARK instance.
 class NetmarkService {
  public:
-  explicit NetmarkService(xmlstore::XmlStore* store)
-      : store_(store),
-        executor_(store),
-        converters_(convert::ConverterRegistry::Default()) {}
+  explicit NetmarkService(xmlstore::XmlStore* store);
 
   /// Optional: enable `databank=` fan-out queries.
   void set_router(federation::Router* router) { router_ = router; }
+  /// Optional: report the ingestion daemon's state on /healthz.
+  void set_daemon(IngestionDaemon* daemon) { daemon_ = daemon; }
+
+  /// Re-homes the service's metrics (request counters, latency histograms)
+  /// onto `registry` — which is then also what GET /metrics renders. Must be
+  /// called before traffic. Also instruments the local query executor.
+  void BindMetrics(observability::MetricsRegistry* registry);
+  observability::MetricsRegistry* metrics() const { return metrics_; }
+
+  /// Configures the slow-query threshold (ms; 0 disables). The
+  /// NETMARK_SLOW_QUERY_MS env var always wins over this value.
+  void set_slow_query_ms(int64_t ms) {
+    slow_query_ms_ = observability::ResolveSlowQueryThresholdMs(ms);
+  }
+  int64_t slow_query_ms() const { return slow_query_ms_; }
 
   /// Registers a stylesheet for `xslt=` result composition.
   netmark::Status RegisterStylesheet(const std::string& name,
@@ -48,6 +76,7 @@ class NetmarkService {
   xmlstore::XmlStore* store() { return store_; }
 
  private:
+  HttpResponse Dispatch(const HttpRequest& request);
   HttpResponse HandleXdb(const HttpRequest& request);
   HttpResponse HandlePutDocument(const HttpRequest& request,
                                  const std::string& file_name);
@@ -55,16 +84,33 @@ class NetmarkService {
   HttpResponse HandleDeleteDocument(int64_t doc_id);
   HttpResponse HandleListDocuments(bool webdav);
   HttpResponse HandleStatus();
+  HttpResponse HandleMetrics();
+  HttpResponse HandleHealthz();
 
   /// Applies the named stylesheet (if any) and serializes.
   netmark::Result<std::string> RenderResults(const xml::Document& results,
                                              const std::string& xslt_name);
 
+  /// (Re-)resolves metric handles against metrics_.
+  void BindHandles();
+  /// The pre-registered request counter for `path` ("other" if unknown).
+  observability::Counter* RouteCounter(const std::string& path) const;
+
   xmlstore::XmlStore* store_;
   query::QueryExecutor executor_;
   convert::ConverterRegistry converters_;
   federation::Router* router_ = nullptr;
+  IngestionDaemon* daemon_ = nullptr;
   std::map<std::string, xslt::Stylesheet> stylesheets_;
+
+  /// Private fallback registry (BindMetrics re-homes onto the facade's).
+  std::unique_ptr<observability::MetricsRegistry> owned_metrics_;
+  observability::MetricsRegistry* metrics_ = nullptr;
+  observability::Histogram* request_micros_ = nullptr;
+  observability::Histogram* query_latency_micros_ = nullptr;
+  /// Pre-registered per-route request counters (read-only after bind).
+  std::map<std::string, observability::Counter*> route_counters_;
+  int64_t slow_query_ms_ = 0;
 };
 
 /// \brief Builds a `<results>` document from a federated query (mirror of
@@ -74,6 +120,12 @@ class NetmarkService {
 /// the partial-result contract: callers always learn what they did NOT get.
 xml::Document ComposeFederatedResults(const query::XdbQuery& query,
                                       const federation::FederatedResult& result);
+
+/// \brief Appends a `<trace>` element (nested `<span>` tree with `us`
+/// wall-time, `ok` outcome and `<annotation>` children) under `parent` —
+/// the `trace=1` response annotation, mirroring the `<sources>` block.
+void AppendTraceElement(xml::Document& doc, xml::NodeId parent,
+                        const std::vector<observability::SpanData>& spans);
 
 }  // namespace netmark::server
 

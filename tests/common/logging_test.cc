@@ -1,0 +1,116 @@
+// Leveled + structured logging: sink capture, ISO-8601 timestamps, level
+// filtering, NETMARK_SLOG key=value quoting, and ParseLogLevel.
+
+#include "common/logging.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace netmark {
+namespace {
+
+/// Captures log lines for the duration of a test and restores stderr +
+/// the previous level afterwards.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_level_ = Logger::Instance().level();
+    Logger::Instance().SetLevel(LogLevel::kDebug);
+    Logger::Instance().SetSink(
+        [this](const std::string& line) { lines_.push_back(line); });
+  }
+  void TearDown() override {
+    Logger::Instance().SetSink(nullptr);
+    Logger::Instance().SetLevel(saved_level_);
+  }
+
+  std::vector<std::string> lines_;
+  LogLevel saved_level_ = LogLevel::kWarning;
+};
+
+TEST_F(LoggingTest, StreamStyleReachesSink) {
+  NETMARK_LOG(Info) << "hello " << 42;
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_NE(lines_[0].find("[INFO]"), std::string::npos);
+  EXPECT_NE(lines_[0].find("hello 42"), std::string::npos);
+  EXPECT_NE(lines_[0].find("logging_test.cc"), std::string::npos);
+}
+
+TEST_F(LoggingTest, LevelFiltersLowSeverity) {
+  Logger::Instance().SetLevel(LogLevel::kWarning);
+  NETMARK_LOG(Debug) << "dropped";
+  NETMARK_LOG(Info) << "dropped";
+  NETMARK_LOG(Warning) << "kept";
+  NETMARK_LOG(Error) << "kept";
+  ASSERT_EQ(lines_.size(), 2u);
+  Logger::Instance().SetLevel(LogLevel::kOff);
+  NETMARK_LOG(Error) << "dropped";
+  EXPECT_EQ(lines_.size(), 2u);
+}
+
+TEST_F(LoggingTest, EveryLineCarriesIso8601UtcTimestamp) {
+  NETMARK_LOG(Info) << "stamped";
+  ASSERT_EQ(lines_.size(), 1u);
+  // "2026-08-06T12:00:00.000Z ..." — fixed-width prefix, millisecond
+  // precision, Zulu suffix.
+  const std::string& line = lines_[0];
+  ASSERT_GE(line.size(), 24u);
+  EXPECT_EQ(line[4], '-');
+  EXPECT_EQ(line[7], '-');
+  EXPECT_EQ(line[10], 'T');
+  EXPECT_EQ(line[13], ':');
+  EXPECT_EQ(line[16], ':');
+  EXPECT_EQ(line[19], '.');
+  EXPECT_EQ(line[23], 'Z');
+}
+
+TEST(FormatIso8601Test, KnownInstant) {
+  // 2026-08-06T00:00:00Z == 1785974400 seconds since epoch.
+  EXPECT_EQ(FormatIso8601Millis(1785974400LL * 1000000 + 123456),
+            "2026-08-06T00:00:00.123Z");
+  EXPECT_EQ(FormatIso8601Millis(0), "1970-01-01T00:00:00.000Z");
+}
+
+TEST_F(LoggingTest, StructuredFieldsAndQuoting) {
+  NETMARK_SLOG(Warning, "breaker_transition")
+      .Field("source", "archive")
+      .Field("cooldown_ms", 5000)
+      .Field("detail", "has spaces")
+      .Field("query", "context=a");
+  ASSERT_EQ(lines_.size(), 1u);
+  const std::string& line = lines_[0];
+  EXPECT_NE(line.find("event=breaker_transition"), std::string::npos);
+  EXPECT_NE(line.find("source=archive"), std::string::npos);
+  EXPECT_NE(line.find("cooldown_ms=5000"), std::string::npos);
+  // Spaces and '=' force double quotes so the record stays one-line parseable.
+  EXPECT_NE(line.find("detail=\"has spaces\""), std::string::npos);
+  EXPECT_NE(line.find("query=\"context=a\""), std::string::npos);
+}
+
+TEST_F(LoggingTest, StructuredQuotesEscapeInnerQuotes) {
+  NETMARK_SLOG(Warning, "test").Field("msg", "say \"hi\"");
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_NE(lines_[0].find("msg=\"say \\\"hi\\\"\""), std::string::npos);
+}
+
+TEST_F(LoggingTest, StructuredRespectsLevel) {
+  Logger::Instance().SetLevel(LogLevel::kError);
+  NETMARK_SLOG(Warning, "dropped").Field("k", "v");
+  EXPECT_TRUE(lines_.empty());
+}
+
+TEST(ParseLogLevelTest, AllSpellings) {
+  EXPECT_EQ(ParseLogLevel("debug", LogLevel::kOff), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("INFO", LogLevel::kOff), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("Warning", LogLevel::kOff), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("warn", LogLevel::kOff), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("error", LogLevel::kOff), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("off", LogLevel::kDebug), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel("bogus", LogLevel::kInfo), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel(nullptr, LogLevel::kError), LogLevel::kError);
+}
+
+}  // namespace
+}  // namespace netmark

@@ -1,0 +1,213 @@
+// Metrics registry: bucket math, quantile interpolation edges, overflow
+// behaviour, handle identity, disabled-registry short-circuit, Prometheus
+// exposition format, and concurrent increments (run under TSan in CI).
+
+#include "observability/metrics.h"
+
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace netmark::observability {
+namespace {
+
+TEST(CounterTest, IncrementAndValue) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("netmark_test_total");
+  EXPECT_EQ(c->value(), 0u);
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->value(), 42u);
+}
+
+TEST(CounterTest, HandleIsStableAcrossLookups) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("netmark_test_total");
+  Counter* b = registry.GetCounter("netmark_test_total");
+  EXPECT_EQ(a, b) << "same (name, labels) must return the same handle";
+  Counter* labeled = registry.GetCounter("netmark_test_total", {{"k", "v"}});
+  EXPECT_NE(a, labeled) << "labels are part of the identity";
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("netmark_test_gauge");
+  g->Set(10);
+  g->Add(-3);
+  EXPECT_EQ(g->value(), 7);
+}
+
+TEST(HistogramTest, BucketAssignment) {
+  MetricsRegistry registry;
+  // Bounds are cumulative upper bounds (Prometheus `le`): a sample goes in
+  // the first bucket whose bound >= value.
+  Histogram* h = registry.GetHistogram("netmark_test_micros", {}, {10, 100, 1000});
+  h->Observe(5);     // <= 10
+  h->Observe(10);    // <= 10 (boundary is inclusive)
+  h->Observe(11);    // <= 100
+  h->Observe(1000);  // <= 1000
+  h->Observe(5000);  // overflow
+  std::vector<uint64_t> counts = h->BucketCounts();
+  ASSERT_EQ(counts.size(), 4u) << "bounds + 1 overflow bucket";
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h->count(), 5u);
+  EXPECT_EQ(h->sum(), 5 + 10 + 11 + 1000 + 5000);
+}
+
+TEST(HistogramTest, QuantileEmptyIsZero) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("netmark_test_micros");
+  EXPECT_EQ(h->Quantile(0.5), 0.0);
+  EXPECT_EQ(h->Quantile(0.99), 0.0);
+}
+
+TEST(HistogramTest, QuantileInterpolatesInsideBucket) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("netmark_test_micros", {}, {100, 200});
+  // 100 samples all landing in the (100, 200] bucket: quantiles interpolate
+  // linearly between the previous bound and the winning bound.
+  for (int i = 0; i < 100; ++i) h->Observe(150);
+  double p50 = h->Quantile(0.5);
+  EXPECT_GT(p50, 100.0);
+  EXPECT_LE(p50, 200.0);
+  EXPECT_LT(h->Quantile(0.01), h->Quantile(0.99));
+}
+
+TEST(HistogramTest, QuantileClampsAtExtremes) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("netmark_test_micros", {}, {100});
+  h->Observe(50);
+  EXPECT_LE(h->Quantile(0.0), 100.0);
+  EXPECT_LE(h->Quantile(1.0), 100.0);
+}
+
+TEST(HistogramTest, OverflowSamplesReportLastFiniteBound) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("netmark_test_micros", {}, {10, 100});
+  for (int i = 0; i < 10; ++i) h->Observe(100000);  // all overflow
+  // The estimate saturates at the last finite bound rather than inventing a
+  // number beyond what the buckets can resolve.
+  EXPECT_EQ(h->Quantile(0.5), 100.0);
+  EXPECT_EQ(h->Quantile(0.99), 100.0);
+}
+
+TEST(HistogramTest, DefaultLatencyBucketsAreSortedAndStrictlyIncreasing) {
+  const std::vector<int64_t>& bounds = Histogram::LatencyBucketsMicros();
+  ASSERT_FALSE(bounds.empty());
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(RegistryTest, DisabledRegistryDropsRecordings) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("netmark_test_total");
+  Histogram* h = registry.GetHistogram("netmark_test_micros");
+  registry.set_enabled(false);
+  c->Increment(100);
+  h->Observe(42);
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(h->count(), 0u);
+  registry.set_enabled(true);
+  c->Increment();
+  EXPECT_EQ(c->value(), 1u);
+}
+
+TEST(RegistryTest, CallbackGaugeEvaluatesAtCollect) {
+  MetricsRegistry registry;
+  int state = 1;
+  registry.SetCallbackGauge("netmark_test_state", {{"source", "a"}},
+                            [&state] { return static_cast<double>(state); });
+  state = 2;
+  MetricsSnapshot snap = registry.Collect();
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].value, 2.0);
+  EXPECT_EQ(snap.gauges[0].labels.size(), 1u);
+}
+
+TEST(RegistryTest, CollectIsSortedByNameThenLabels) {
+  MetricsRegistry registry;
+  registry.GetCounter("netmark_b_total");
+  registry.GetCounter("netmark_a_total", {{"x", "2"}});
+  registry.GetCounter("netmark_a_total", {{"x", "1"}});
+  MetricsSnapshot snap = registry.Collect();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].name, "netmark_a_total");
+  EXPECT_EQ(snap.counters[0].labels[0].second, "1");
+  EXPECT_EQ(snap.counters[1].labels[0].second, "2");
+  EXPECT_EQ(snap.counters[2].name, "netmark_b_total");
+}
+
+TEST(RegistryTest, PrometheusExpositionFormat) {
+  MetricsRegistry registry;
+  registry.GetCounter("netmark_requests_total", {{"route", "/xdb"}})->Increment(3);
+  registry.GetGauge("netmark_queue_depth")->Set(7);
+  Histogram* h = registry.GetHistogram("netmark_latency_micros", {}, {10, 100});
+  h->Observe(5);
+  h->Observe(50);
+  h->Observe(500);
+  std::string text = registry.RenderPrometheus();
+
+  // Counter: TYPE line plus labeled sample.
+  EXPECT_NE(text.find("# TYPE netmark_requests_total counter"), std::string::npos);
+  EXPECT_NE(text.find("netmark_requests_total{route=\"/xdb\"} 3"), std::string::npos);
+  // Gauge.
+  EXPECT_NE(text.find("# TYPE netmark_queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("netmark_queue_depth 7"), std::string::npos);
+  // Histogram: cumulative buckets, +Inf, _sum and _count series.
+  EXPECT_NE(text.find("# TYPE netmark_latency_micros histogram"), std::string::npos);
+  EXPECT_NE(text.find("netmark_latency_micros_bucket{le=\"10\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("netmark_latency_micros_bucket{le=\"100\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("netmark_latency_micros_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("netmark_latency_micros_sum 555"), std::string::npos);
+  EXPECT_NE(text.find("netmark_latency_micros_count 3"), std::string::npos);
+  // Every line ends in \n (the format requires a trailing newline).
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+}
+
+// Concurrency: N threads hammering the same counter and histogram. Exact
+// totals prove atomicity; TSan (CI job) proves data-race freedom.
+TEST(RegistryTest, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("netmark_test_total");
+  Histogram* h = registry.GetHistogram("netmark_test_micros", {}, {100, 10000});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Increment();
+        h->Observe((t * kPerThread + i) % 200);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(c->value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h->count(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(RegistryTest, ConcurrentRegistrationReturnsOneHandle) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<Counter*> handles(kThreads, nullptr);
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      handles[t] = registry.GetCounter("netmark_shared_total");
+      handles[t]->Increment();
+    });
+  }
+  for (auto& th : pool) th.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(handles[t], handles[0]);
+  EXPECT_EQ(handles[0]->value(), static_cast<uint64_t>(kThreads));
+}
+
+}  // namespace
+}  // namespace netmark::observability

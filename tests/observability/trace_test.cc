@@ -1,0 +1,189 @@
+// Trace/span tree assembly, ScopedSpan RAII semantics (including the inert
+// null-trace form every call site relies on), concurrent span appends, and
+// the slow-query log built on top of traces.
+
+#include "observability/trace.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "observability/slow_log.h"
+
+namespace netmark::observability {
+namespace {
+
+TEST(TraceTest, SpanTreeAssembly) {
+  Trace trace;
+  int root = trace.StartSpan("xdb");
+  int fed = trace.StartSpan("federated", root);
+  int s0 = trace.StartSpan("source:a", fed);
+  int s1 = trace.StartSpan("source:b", fed);
+  trace.EndSpan(s0);
+  trace.EndSpan(s1, /*ok=*/false, "HTTP 500");
+  trace.EndSpan(fed);
+  trace.EndSpan(root);
+
+  std::vector<SpanData> spans = trace.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  // Ids are indices; parents always precede children.
+  EXPECT_EQ(spans[root].parent, -1);
+  EXPECT_EQ(spans[fed].parent, root);
+  EXPECT_EQ(spans[s0].parent, fed);
+  EXPECT_EQ(spans[s1].parent, fed);
+  EXPECT_EQ(spans[s1].name, "source:b");
+  EXPECT_FALSE(spans[s1].ok);
+  EXPECT_EQ(spans[s1].note, "HTTP 500");
+  for (const SpanData& s : spans) {
+    EXPECT_TRUE(s.finished());
+    EXPECT_GE(s.duration_micros(), 0);
+  }
+}
+
+TEST(TraceTest, UnfinishedSpanShowsInSnapshot) {
+  Trace trace;
+  int root = trace.StartSpan("xdb");
+  int straggler = trace.StartSpan("source:slow", root);
+  trace.EndSpan(root);
+  std::vector<SpanData> spans = trace.Snapshot();
+  EXPECT_TRUE(spans[root].finished());
+  EXPECT_FALSE(spans[straggler].finished());
+  EXPECT_EQ(spans[straggler].duration_micros(), 0);
+}
+
+TEST(TraceTest, Annotations) {
+  Trace trace;
+  int id = trace.StartSpan("federated");
+  trace.Annotate(id, "databank", "bank");
+  trace.Annotate(id, "sources", "3");
+  trace.EndSpan(id);
+  std::vector<SpanData> spans = trace.Snapshot();
+  ASSERT_EQ(spans[0].annotations.size(), 2u);
+  EXPECT_EQ(spans[0].annotations[0].first, "databank");
+  EXPECT_EQ(spans[0].annotations[0].second, "bank");
+}
+
+TEST(TraceTest, RootDurationTracksSpanZero) {
+  Trace trace;
+  int root = trace.StartSpan("xdb");
+  trace.EndSpan(root);
+  std::vector<SpanData> spans = trace.Snapshot();
+  EXPECT_EQ(trace.RootDurationMicros(), spans[0].duration_micros());
+}
+
+TEST(TraceTest, ConcurrentSpanAppends) {
+  Trace trace;
+  int root = trace.StartSpan("sweep");
+  constexpr int kThreads = 8;
+  constexpr int kSpansEach = 200;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&trace, root, t] {
+      for (int i = 0; i < kSpansEach; ++i) {
+        int id = trace.StartSpan("prepare", root);
+        trace.Annotate(id, "worker", std::to_string(t));
+        trace.EndSpan(id);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  trace.EndSpan(root);
+  std::vector<SpanData> spans = trace.Snapshot();
+  ASSERT_EQ(spans.size(), 1u + kThreads * kSpansEach);
+  for (size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].parent, root);
+    EXPECT_TRUE(spans[i].finished());
+  }
+}
+
+TEST(ScopedSpanTest, EndsAtScopeExit) {
+  Trace trace;
+  {
+    ScopedSpan span(&trace, "xdb");
+    span.Annotate("query", "context=a");
+  }
+  std::vector<SpanData> spans = trace.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_TRUE(spans[0].finished());
+  EXPECT_TRUE(spans[0].ok);
+}
+
+TEST(ScopedSpanTest, ExplicitEndWinsOverDestructor) {
+  Trace trace;
+  {
+    ScopedSpan span(&trace, "execute");
+    span.End(/*ok=*/false, "parse error");
+    // Destructor must not overwrite the explicit outcome.
+  }
+  std::vector<SpanData> spans = trace.Snapshot();
+  EXPECT_FALSE(spans[0].ok);
+  EXPECT_EQ(spans[0].note, "parse error");
+}
+
+TEST(ScopedSpanTest, NullTraceIsInert) {
+  ScopedSpan span(nullptr, "anything");
+  EXPECT_EQ(span.id(), -1);
+  span.Annotate("k", "v");  // must not crash
+  span.End(false, "err");
+  ScopedSpan defaulted;  // the default-constructed form, equally inert
+  EXPECT_EQ(defaulted.id(), -1);
+}
+
+TEST(SlowLogTest, ThresholdEnvOverride) {
+  unsetenv("NETMARK_SLOW_QUERY_MS");
+  EXPECT_EQ(ResolveSlowQueryThresholdMs(250), 250);
+  setenv("NETMARK_SLOW_QUERY_MS", "75", 1);
+  EXPECT_EQ(ResolveSlowQueryThresholdMs(250), 75);
+  setenv("NETMARK_SLOW_QUERY_MS", "not-a-number", 1);
+  EXPECT_EQ(ResolveSlowQueryThresholdMs(250), 250);
+  unsetenv("NETMARK_SLOW_QUERY_MS");
+}
+
+TEST(SlowLogTest, FormatSpansCompactJoinsParentPaths) {
+  Trace trace;
+  int root = trace.StartSpan("xdb");
+  int fed = trace.StartSpan("federated", root);
+  int src = trace.StartSpan("source:a", fed);
+  trace.EndSpan(src);
+  trace.EndSpan(fed);
+  trace.EndSpan(root);
+  std::string compact = FormatSpansCompact(trace.Snapshot());
+  EXPECT_NE(compact.find("xdb"), std::string::npos);
+  EXPECT_NE(compact.find("xdb/federated"), std::string::npos);
+  EXPECT_NE(compact.find("xdb/federated/source:a"), std::string::npos);
+}
+
+TEST(SlowLogTest, LogsOnlyOverThreshold) {
+  std::vector<std::string> lines;
+  Logger::Instance().SetSink([&lines](const std::string& line) {
+    lines.push_back(line);
+  });
+  LogLevel saved = Logger::Instance().level();
+  Logger::Instance().SetLevel(LogLevel::kWarning);
+
+  Trace trace;
+  int root = trace.StartSpan("xdb");
+  trace.EndSpan(root);
+  // 5ms request, 10ms threshold: silent.
+  MaybeLogSlowQuery("/xdb", "context=a", 5000, 10, trace);
+  EXPECT_TRUE(lines.empty());
+  // 50ms request, 10ms threshold: one structured line.
+  MaybeLogSlowQuery("/xdb", "context=a", 50000, 10, trace);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("event=slow_query"), std::string::npos);
+  EXPECT_NE(lines[0].find("endpoint=/xdb"), std::string::npos);
+  // '=' in the value forces quoting, keeping the line one awk-able record.
+  EXPECT_NE(lines[0].find("query=\"context=a\""), std::string::npos);
+  // Threshold 0 disables entirely.
+  MaybeLogSlowQuery("/xdb", "context=a", 50000, 0, trace);
+  EXPECT_EQ(lines.size(), 1u);
+
+  Logger::Instance().SetLevel(saved);
+  Logger::Instance().SetSink(nullptr);
+}
+
+}  // namespace
+}  // namespace netmark::observability

@@ -1,0 +1,172 @@
+// The observability HTTP surface end to end through NetmarkService::Handle:
+// GET /metrics (Prometheus exposition), GET /healthz (ok + degraded with an
+// open breaker), and trace=1 XDB queries returning a consistent span tree.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/temp_dir.h"
+#include "core/netmark.h"
+#include "federation/circuit_breaker.h"
+#include "federation/source.h"
+
+namespace netmark {
+namespace {
+
+using server::HttpRequest;
+using server::HttpResponse;
+
+HttpRequest Get(const std::string& path, const std::string& query = "") {
+  HttpRequest req;
+  req.method = "GET";
+  req.path = path;
+  req.query = query;
+  req.target = query.empty() ? path : path + "?" + query;
+  return req;
+}
+
+/// A source that always refuses the connection — opens its breaker fast.
+class FailingSource : public federation::Source {
+ public:
+  explicit FailingSource(std::string name) : name_(std::move(name)) {}
+  const std::string& name() const override { return name_; }
+  federation::Capabilities capabilities() const override {
+    return federation::Capabilities::Full();
+  }
+  using federation::Source::Execute;
+  Result<std::vector<federation::FederatedHit>> Execute(
+      const query::XdbQuery& query, const federation::CallContext& ctx) override {
+    (void)query;
+    (void)ctx;
+    return Status::Unavailable("connection refused");
+  }
+
+ private:
+  std::string name_;
+};
+
+class ObservabilityHttpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = TempDir::Make("obs_http");
+    ASSERT_TRUE(dir.ok());
+    dir_ = std::make_unique<TempDir>(std::move(*dir));
+    NetmarkOptions options;
+    options.data_dir = dir_->Sub("data").string();
+    // One failure trips a source's breaker; no retries, no backoff sleeps.
+    options.router.breaker.failure_threshold = 1;
+    options.router.breaker.cooldown_ms = 60000;
+    options.router.max_retries = 0;
+    options.router.backoff = BackoffPolicy::None();
+    options.router.sleep_ms = [](int64_t) {};
+    auto nm = Netmark::Open(options);
+    ASSERT_TRUE(nm.ok());
+    nm_ = std::move(*nm);
+    ASSERT_TRUE(
+        nm_->IngestContent("memo.txt", "OVERVIEW\nengine status green\n").ok());
+  }
+
+  HttpResponse Handle(const HttpRequest& req) { return nm_->service()->Handle(req); }
+
+  std::unique_ptr<TempDir> dir_;
+  std::unique_ptr<Netmark> nm_;
+};
+
+TEST_F(ObservabilityHttpTest, MetricsEndpointExposesRegistry) {
+  // Drive a query first so the counters are nonzero.
+  HttpResponse query = Handle(Get("/xdb", "context=Overview"));
+  ASSERT_EQ(query.status, 200);
+
+  HttpResponse resp = Handle(Get("/metrics"));
+  ASSERT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.headers["Content-Type"], "text/plain; version=0.0.4; charset=utf-8");
+  // Request accounting: the /xdb hit above is already visible.
+  EXPECT_NE(resp.body.find("# TYPE netmark_http_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(resp.body.find("netmark_http_requests_total{route=\"/xdb\"} 1"),
+            std::string::npos);
+  // Query-latency histogram series.
+  EXPECT_NE(resp.body.find("# TYPE netmark_query_latency_micros histogram"),
+            std::string::npos);
+  EXPECT_NE(resp.body.find("netmark_query_latency_micros_count 1"),
+            std::string::npos);
+  // Executor metrics re-homed onto the instance registry.
+  EXPECT_NE(resp.body.find("netmark_xdb_executes_total 1"), std::string::npos);
+  // Ingestion histograms are registered (by the facade wiring) even before a
+  // daemon runs.
+  EXPECT_NE(resp.body.find("netmark_federation_queries_total"), std::string::npos);
+  // /metrics counts itself (the increment lands before the render).
+  EXPECT_NE(resp.body.find("netmark_http_requests_total{route=\"/metrics\"} 1"),
+            std::string::npos);
+  HttpResponse again = Handle(Get("/metrics"));
+  EXPECT_NE(again.body.find("netmark_http_requests_total{route=\"/metrics\"} 2"),
+            std::string::npos);
+}
+
+TEST_F(ObservabilityHttpTest, HealthzReportsOkWithStoreCounts) {
+  HttpResponse resp = Handle(Get("/healthz"));
+  ASSERT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.headers["Content-Type"], "application/json");
+  EXPECT_NE(resp.body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(resp.body.find("\"documents\":1"), std::string::npos);
+  EXPECT_NE(resp.body.find("\"daemon\":null"), std::string::npos);
+  EXPECT_NE(resp.body.find("\"breakers\":[]"), std::string::npos);
+}
+
+TEST_F(ObservabilityHttpTest, HealthzDegradedWhenBreakerOpens) {
+  ASSERT_TRUE(nm_->RegisterSource(std::make_shared<FailingSource>("flaky")).ok());
+  ASSERT_TRUE(nm_->DefineDatabank("bank", {"flaky"}).ok());
+
+  // The failing fan-out trips the breaker (threshold 1, no retries).
+  HttpResponse query = Handle(Get("/xdb", "databank=bank&content=engine"));
+  ASSERT_EQ(query.status, 200) << "partial results still answer: " << query.body;
+
+  HttpResponse resp = Handle(Get("/healthz"));
+  ASSERT_EQ(resp.status, 200) << "degraded is a status field, not an HTTP error";
+  EXPECT_NE(resp.body.find("\"status\":\"degraded\""), std::string::npos)
+      << resp.body;
+  EXPECT_NE(resp.body.find("\"source\":\"flaky\""), std::string::npos);
+  EXPECT_NE(resp.body.find("\"state\":\"open\""), std::string::npos);
+
+  // The breaker-state gauge mirrors it on /metrics (closed=0 half-open=1
+  // open=2).
+  HttpResponse metrics = Handle(Get("/metrics"));
+  EXPECT_NE(metrics.body.find("netmark_breaker_state{source=\"flaky\"} 2"),
+            std::string::npos)
+      << metrics.body;
+}
+
+TEST_F(ObservabilityHttpTest, TraceParamAppendsSpanTree) {
+  HttpResponse resp = Handle(Get("/xdb", "context=Overview&trace=1"));
+  ASSERT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("<trace total_us="), std::string::npos) << resp.body;
+  EXPECT_NE(resp.body.find("name=\"xdb\""), std::string::npos);
+  EXPECT_NE(resp.body.find("name=\"execute\""), std::string::npos);
+  EXPECT_NE(resp.body.find("<annotation key=\"hits\" value=\"1\""),
+            std::string::npos)
+      << resp.body;
+
+  // Without the flag the response is unchanged.
+  HttpResponse plain = Handle(Get("/xdb", "context=Overview"));
+  EXPECT_EQ(plain.body.find("<trace"), std::string::npos);
+}
+
+TEST_F(ObservabilityHttpTest, FederatedTraceCoversFanOut) {
+  ASSERT_TRUE(nm_->RegisterSelfAsSource("self").ok());
+  ASSERT_TRUE(nm_->DefineDatabank("bank", {"self"}).ok());
+
+  HttpResponse resp = Handle(Get("/xdb", "databank=bank&content=engine&trace=1"));
+  ASSERT_EQ(resp.status, 200);
+  // The span tree mirrors the fan-out: xdb -> federated -> source:self.
+  EXPECT_NE(resp.body.find("name=\"xdb\""), std::string::npos) << resp.body;
+  EXPECT_NE(resp.body.find("name=\"federated\""), std::string::npos);
+  EXPECT_NE(resp.body.find("name=\"source:self\""), std::string::npos);
+  EXPECT_NE(resp.body.find("<annotation key=\"databank\" value=\"bank\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace netmark

@@ -13,12 +13,15 @@
 
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/config.h"
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "common/temp_dir.h"
 #include "core/netmark.h"
@@ -44,7 +47,7 @@ int Usage() {
                "  netmark rm     --data DIR DOCID\n"
                "  netmark query  --data DIR QUERY [--xslt FILE]\n"
                "  netmark serve  --data DIR [--port N] [--drop DIR] "
-               "[--databanks FILE]\n"
+               "[--databanks FILE] [--config FILE]\n"
                "  netmark remote --host H --port P QUERY\n");
   return 2;
 }
@@ -153,6 +156,25 @@ int CmdQuery(const Args& args) {
 int CmdServe(const Args& args) {
   auto nm = OpenFromArgs(args);
   if (!nm.ok()) return Fail(nm.status().ToString());
+
+  // Server INI: [server] log_level / slow_query_ms. Matching env vars
+  // (NETMARK_LOG_LEVEL, NETMARK_SLOW_QUERY_MS) always win over the file.
+  auto config_flag = args.flags.find("config");
+  if (config_flag != args.flags.end()) {
+    auto config = Config::Load(config_flag->second);
+    if (!config.ok()) return Fail(config.status().ToString());
+    auto level = config->Get("server", "log_level");
+    if (level.ok() && std::getenv("NETMARK_LOG_LEVEL") == nullptr) {
+      Logger::Instance().SetLevel(
+          ParseLogLevel(level->c_str(), Logger::Instance().level()));
+    }
+    int64_t slow_ms = config->GetIntOr("server", "slow_query_ms",
+                                       (*nm)->service()->slow_query_ms());
+    (*nm)->service()->set_slow_query_ms(slow_ms);
+    std::printf("loaded server config from %s (slow_query_ms=%lld)\n",
+                config_flag->second.c_str(),
+                static_cast<long long>((*nm)->service()->slow_query_ms()));
+  }
 
   auto banks = args.flags.find("databanks");
   if (banks != args.flags.end()) {

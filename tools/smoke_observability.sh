@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Observability smoke test: start a real server, ingest through the drop
+# folder, run a traced federated-path query, then assert that /metrics and
+# /healthz answer well-formed with nonzero counters. Exercises the full
+# wiring (CLI -> facade -> registry -> exposition) that unit tests stub.
+#
+# Usage: tools/smoke_observability.sh [path/to/netmark] [port]
+set -euo pipefail
+
+BIN="${1:-./build/tools/netmark}"
+PORT="${2:-18099}"
+BASE="http://127.0.0.1:${PORT}"
+WORK="$(mktemp -d)"
+SERVER_PID=""
+
+cleanup() {
+  [[ -n "${SERVER_PID}" ]] && kill "${SERVER_PID}" 2>/dev/null || true
+  [[ -n "${SERVER_PID}" ]] && wait "${SERVER_PID}" 2>/dev/null || true
+  rm -rf "${WORK}"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "SMOKE FAIL: $*" >&2
+  echo "--- server log ---" >&2
+  cat "${WORK}/serve.log" >&2 || true
+  exit 1
+}
+
+mkdir -p "${WORK}/data" "${WORK}/drop"
+printf 'OVERVIEW\nsmoke engine nominal\n' > "${WORK}/drop/memo.txt"
+
+"${BIN}" serve --data "${WORK}/data" --port "${PORT}" --drop "${WORK}/drop" \
+  > "${WORK}/serve.log" 2>&1 &
+SERVER_PID=$!
+
+# Wait for the server to come up AND the drop sweep to ingest the memo.
+up=""
+for _ in $(seq 1 100); do
+  if curl -fsS "${BASE}/healthz" > "${WORK}/healthz.json" 2>/dev/null &&
+     grep -q '"documents":1' "${WORK}/healthz.json"; then
+    up=1
+    break
+  fi
+  sleep 0.2
+done
+[[ -n "${up}" ]] || fail "server did not ingest the dropped file in time"
+
+echo "== /healthz =="
+cat "${WORK}/healthz.json"; echo
+grep -q '"status":"ok"' "${WORK}/healthz.json" || fail "healthz status not ok"
+grep -q '"running":true' "${WORK}/healthz.json" || fail "daemon not reported running"
+grep -q '"inserted":1' "${WORK}/healthz.json" || fail "daemon inserted count wrong"
+
+echo "== traced query =="
+curl -fsS "${BASE}/xdb?context=Overview&trace=1" > "${WORK}/query.xml" ||
+  fail "traced query failed"
+cat "${WORK}/query.xml"; echo
+grep -q 'smoke engine nominal' "${WORK}/query.xml" || fail "query missing hit content"
+grep -q '<trace total_us=' "${WORK}/query.xml" || fail "trace=1 did not append span tree"
+grep -q 'name="xdb"' "${WORK}/query.xml" || fail "trace missing root span"
+
+echo "== /metrics =="
+curl -fsSD "${WORK}/metrics.headers" "${BASE}/metrics" > "${WORK}/metrics.txt" ||
+  fail "metrics scrape failed"
+grep -qi 'content-type: text/plain; version=0.0.4' "${WORK}/metrics.headers" ||
+  fail "metrics content type wrong"
+# Exposition shape: TYPE lines + the counters this session must have moved.
+grep -q '^# TYPE netmark_http_requests_total counter' "${WORK}/metrics.txt" ||
+  fail "missing http request counter TYPE line"
+grep -q 'netmark_http_requests_total{route="/xdb"} 1' "${WORK}/metrics.txt" ||
+  fail "xdb route counter not 1"
+grep -q 'netmark_ingest_inserted_total 1' "${WORK}/metrics.txt" ||
+  fail "ingest counter not on the instance registry"
+grep -q '^# TYPE netmark_query_latency_micros histogram' "${WORK}/metrics.txt" ||
+  fail "missing query latency histogram"
+grep -q 'netmark_query_latency_micros_count 1' "${WORK}/metrics.txt" ||
+  fail "query latency histogram did not observe the query"
+grep -q 'netmark_ingest_prepare_micros_bucket{le="+Inf"} 1' "${WORK}/metrics.txt" ||
+  fail "ingestion-stage histogram missing"
+
+echo "SMOKE PASS"
