@@ -75,6 +75,21 @@ class JsonLines {
   JsonLines(const JsonLines&) = delete;
   JsonLines& operator=(const JsonLines&) = delete;
 
+  /// Emits a {"bench","config"} marker describing the setup that produced
+  /// this file. The regression gate (tools/check_bench_regression.py) only
+  /// compares runs whose markers match, so a deliberate configuration change
+  /// resets the baseline instead of tripping the gate.
+  void EmitConfig(const std::string& config) {
+    char line[512];
+    std::snprintf(line, sizeof(line), "{\"bench\":\"%s\",\"config\":\"%s\"}",
+                  bench_.c_str(), config.c_str());
+    std::printf("JSONL %s\n", line);
+    if (file_ != nullptr) {
+      std::fprintf(file_, "%s\n", line);
+      std::fflush(file_);
+    }
+  }
+
   /// Emits {"bench","name","param","ns_per_op","throughput","unit"}.
   void Emit(const std::string& name, double param, double ns_per_op,
             double throughput, const std::string& unit) {

@@ -1,0 +1,39 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace netmark {
+
+namespace {
+
+// Table for the Castagnoli polynomial 0x1EDC6F41 (reflected: 0x82F63B78).
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t len) {
+  const auto& table = Table();
+  const auto* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace netmark

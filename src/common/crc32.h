@@ -1,0 +1,25 @@
+// CRC-32C (Castagnoli polynomial, software slice-by-one) — used to frame
+// write-ahead-log records so a torn or bit-rotted tail is detected instead
+// of replayed.
+
+#ifndef NETMARK_COMMON_CRC32_H_
+#define NETMARK_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace netmark {
+
+/// Extends a running CRC-32C with `len` bytes. Start from `crc = 0`.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t len);
+
+/// CRC-32C of one buffer.
+inline uint32_t Crc32c(const void* data, size_t len) {
+  return Crc32cExtend(0, data, len);
+}
+inline uint32_t Crc32c(std::string_view s) { return Crc32c(s.data(), s.size()); }
+
+}  // namespace netmark
+
+#endif  // NETMARK_COMMON_CRC32_H_

@@ -1,5 +1,10 @@
 #include "common/temp_dir.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <random>
 #include <sstream>
@@ -31,6 +36,45 @@ Status WriteFile(const std::filesystem::path& path, std::string_view content) {
   if (!out) return Status::IOError("cannot open for write: " + path.string());
   out.write(content.data(), static_cast<std::streamsize>(content.size()));
   if (!out) return Status::IOError("write failed: " + path.string());
+  return Status::OK();
+}
+
+Status WriteFileAtomic(const std::filesystem::path& path, std::string_view content) {
+  std::error_code ec;
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path(), ec);
+  }
+  std::filesystem::path tmp = path;
+  tmp += ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot open for write: " + tmp.string() + ": " +
+                           std::strerror(errno));
+  }
+  size_t off = 0;
+  while (off < content.size()) {
+    ssize_t n = ::write(fd, content.data() + off, content.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int saved = errno;
+      ::close(fd);
+      return Status::IOError("write failed: " + tmp.string() + ": " +
+                             std::strerror(saved));
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    int saved = errno;
+    ::close(fd);
+    return Status::IOError("fsync failed: " + tmp.string() + ": " +
+                           std::strerror(saved));
+  }
+  ::close(fd);
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::IOError("rename " + tmp.string() + " -> " + path.string() +
+                           ": " + ec.message());
+  }
   return Status::OK();
 }
 

@@ -50,6 +50,10 @@ class TempDir {
 
 /// \brief Writes `content` to `path`, creating parent directories.
 Status WriteFile(const std::filesystem::path& path, std::string_view content);
+/// \brief Crash-safe write: writes to a sibling temp file, fsyncs it, then
+/// renames over `path` (readers see the old or the new content, never a
+/// torn mix).
+Status WriteFileAtomic(const std::filesystem::path& path, std::string_view content);
 /// \brief Reads an entire file.
 Result<std::string> ReadFile(const std::filesystem::path& path);
 

@@ -13,9 +13,12 @@ Result<std::unique_ptr<Netmark>> Netmark::Open(const NetmarkOptions& options) {
   }
   std::unique_ptr<Netmark> nm(new Netmark(options));
   NETMARK_ASSIGN_OR_RETURN(nm->store_,
-                           xmlstore::XmlStore::Open(options.data_dir, options.node_types));
-  // One registry for the whole instance: router, service, executor and
-  // daemon all re-home their metrics here, so GET /metrics sees everything.
+                           xmlstore::XmlStore::Open(options.data_dir, options.node_types,
+                                                    options.storage));
+  // One registry for the whole instance: store, router, service, executor
+  // and daemon all re-home their metrics here, so GET /metrics sees
+  // everything.
+  nm->store_->BindMetrics(nm->metrics_.get());
   nm->router_.BindMetrics(nm->metrics_.get());
   nm->service_ = std::make_unique<server::NetmarkService>(nm->store_.get());
   nm->service_->set_router(&nm->router_);

@@ -28,6 +28,7 @@
 #include "server/daemon.h"
 #include "server/http_server.h"
 #include "server/netmark_service.h"
+#include "storage/database.h"
 #include "xmlstore/xml_store.h"
 #include "xslt/stylesheet.h"
 
@@ -39,6 +40,9 @@ struct NetmarkOptions {
   std::string data_dir;
   /// Node-type rules for the SGML parser (CONTEXT/INTENSE/SIMULATION tags).
   xml::NodeTypeConfig node_types = xml::NodeTypeConfig::Default();
+  /// Durability knobs: write-ahead log, fsync policy, checkpoint trigger
+  /// (the `[storage]` INI section).
+  storage::StorageOptions storage;
   /// Federation resilience knobs (deadlines, retries, breakers, fan-out).
   federation::RouterOptions router;
   /// Slow-query log threshold (ms; 0 disables). The NETMARK_SLOW_QUERY_MS

@@ -134,6 +134,9 @@ class IngestionDaemon {
   /// Commits one worker result and moves the source file (writer stage).
   bool CommitFile(const std::filesystem::path& path, PreparedFile result,
                   observability::Trace* trace, int parent_span);
+  /// End-of-sweep group commit: one WAL fsync covering every transaction the
+  /// sweep committed (only does I/O under `wal_fsync = batch`).
+  void FinishSweep(int committed);
   void Loop();
 
   xmlstore::XmlStore* store_;

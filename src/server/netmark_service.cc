@@ -268,6 +268,24 @@ HttpResponse NetmarkService::HandleHealthz() {
                   ",\"deferred\":" + std::to_string(c.deferred) + "}";
   }
 
+  const storage::Database* db = store_->database();
+  const storage::Wal* wal = db->wal();
+  const storage::RecoveryStats& rec = db->recovery_stats();
+  std::string storage_json =
+      std::string("{\"wal_enabled\":") + (wal != nullptr ? "true" : "false") +
+      ",\"wal_fsync\":\"" +
+      std::string(storage::WalFsyncPolicyName(db->options().wal_fsync)) +
+      "\",\"wal_size_bytes\":" +
+      std::to_string(wal != nullptr ? wal->size_bytes() : 0) +
+      ",\"last_checkpoint_lsn\":" + std::to_string(db->last_checkpoint_lsn()) +
+      ",\"checkpoints\":" + std::to_string(db->checkpoints()) +
+      ",\"recovery\":{\"performed\":" + (rec.performed ? "true" : "false") +
+      ",\"committed_txns\":" + std::to_string(rec.committed_txns) +
+      ",\"uncommitted_txns\":" + std::to_string(rec.uncommitted_txns) +
+      ",\"pages_applied\":" + std::to_string(rec.pages_applied) +
+      ",\"torn_tail\":" + (rec.torn_tail ? "true" : "false") +
+      ",\"micros\":" + std::to_string(rec.micros) + "}}";
+
   std::string body = std::string("{\"status\":\"") +
                      (degraded ? "degraded" : "ok") + "\"," +
                      "\"store\":{\"documents\":" +
@@ -275,6 +293,7 @@ HttpResponse NetmarkService::HandleHealthz() {
                      ",\"nodes\":" + std::to_string(store_->node_count()) +
                      ",\"terms\":" +
                      std::to_string(store_->text_index().num_terms()) + "}," +
+                     "\"storage\":" + storage_json + "," +
                      "\"daemon\":" + daemon_json + "," +
                      "\"breakers\":" + breakers + "}";
   return HttpResponse::Ok(std::move(body), "application/json");

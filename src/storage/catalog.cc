@@ -53,7 +53,8 @@ netmark::Status Catalog::Save(const std::string& path) const {
       out += '\n';
     }
   }
-  return netmark::WriteFile(path, out);
+  // Atomic replace: a crash mid-save must leave the old catalog readable.
+  return netmark::WriteFileAtomic(path, out);
 }
 
 TableDef* Catalog::Find(std::string_view table_name) {

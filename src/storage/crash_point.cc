@@ -1,0 +1,54 @@
+#include "storage/crash_point.h"
+
+#include <csignal>
+#include <cstdlib>
+#include <string>
+
+#include <atomic>
+
+#include <unistd.h>
+
+namespace netmark::storage {
+
+namespace {
+
+struct CrashConfig {
+  bool configured = false;
+  std::string point;
+  long after = 1;
+};
+
+const CrashConfig& Config() {
+  static const CrashConfig config = [] {
+    CrashConfig c;
+    const char* point = std::getenv("NETMARK_CRASH_POINT");
+    if (point == nullptr || point[0] == '\0') return c;
+    c.configured = true;
+    c.point = point;
+    const char* after = std::getenv("NETMARK_CRASH_AFTER");
+    if (after != nullptr) {
+      c.after = std::strtol(after, nullptr, 10);
+      if (c.after < 1) c.after = 1;
+    }
+    return c;
+  }();
+  return config;
+}
+
+std::atomic<long> g_hits{0};
+
+}  // namespace
+
+void MaybeCrashPoint(std::string_view point) {
+  const CrashConfig& config = Config();
+  if (!config.configured || config.point != point) return;
+  if (g_hits.fetch_add(1, std::memory_order_relaxed) + 1 >= config.after) {
+    // SIGKILL, not abort(): no atexit handlers, no stream flush — the same
+    // torn state a power cut would leave.
+    ::kill(::getpid(), SIGKILL);
+  }
+}
+
+bool CrashInjectionConfigured() { return Config().configured; }
+
+}  // namespace netmark::storage

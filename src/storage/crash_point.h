@@ -1,0 +1,30 @@
+// Deterministic crash injection for the crash-torture harness.
+//
+// A process run with
+//
+//   NETMARK_CRASH_POINT=<name>  NETMARK_CRASH_AFTER=<n>
+//
+// SIGKILLs itself the <n>-th time execution passes the crash point named
+// <name> — no destructors, no flush, exactly like a power cut at that spot.
+// Points are compiled into the durability-critical paths (WAL append, commit
+// fsync, checkpoint page write, WAL truncate) so tools/crash_torture.sh can
+// aim kills at every interesting state transition. With the env vars unset
+// the check is one branch on an already-loaded atomic.
+
+#ifndef NETMARK_STORAGE_CRASH_POINT_H_
+#define NETMARK_STORAGE_CRASH_POINT_H_
+
+#include <string_view>
+
+namespace netmark::storage {
+
+/// Dies via SIGKILL when this call is the configured crash point's n-th hit.
+/// No-op (fast) when crash injection is not configured.
+void MaybeCrashPoint(std::string_view point);
+
+/// True when NETMARK_CRASH_POINT is set (used by tools to log the plan).
+bool CrashInjectionConfigured();
+
+}  // namespace netmark::storage
+
+#endif  // NETMARK_STORAGE_CRASH_POINT_H_

@@ -4,25 +4,40 @@
 
 #include "common/string_util.h"
 #include "common/temp_dir.h"
+#include "storage/crash_point.h"
 
 namespace netmark::storage {
 
 namespace fs = std::filesystem;
 
-netmark::Result<std::unique_ptr<Database>> Database::Open(const std::string& dir) {
+netmark::Result<std::unique_ptr<Database>> Database::Open(
+    const std::string& dir, const StorageOptions& options) {
   std::error_code ec;
   fs::create_directories(dir, ec);
   if (ec) {
     return netmark::Status::IOError("cannot create database directory " + dir + ": " +
                                     ec.message());
   }
-  std::unique_ptr<Database> db(new Database(dir));
+  std::unique_ptr<Database> db(new Database(dir, options));
+  if (options.wal_enabled) {
+    // Replay a crashed predecessor's committed transactions into the heap
+    // files BEFORE any table is opened (Table::Open scans pages to rebuild
+    // its B-trees, so it must see post-recovery bytes).
+    NETMARK_ASSIGN_OR_RETURN(db->recovery_,
+                             RecoverDatabase(dir, db->WalPath()));
+    NETMARK_ASSIGN_OR_RETURN(db->wal_, Wal::Open(db->WalPath(), options.wal_fsync));
+  }
   NETMARK_ASSIGN_OR_RETURN(db->catalog_, Catalog::Load(db->CatalogPath()));
   for (const TableDef& def : db->catalog_.tables()) {
     NETMARK_ASSIGN_OR_RETURN(
         std::unique_ptr<Table> table,
         Table::Open(def.schema, db->TableFilePath(def.schema.name()), def.indexes));
     db->tables_[def.schema.name()] = std::move(table);
+  }
+  // Opening a table marks pages dirty while rebuilding (none, normally) —
+  // clear the capture sets so the first transaction logs only its own pages.
+  for (auto& [name, table] : db->tables_) {
+    (void)table->mutable_pager()->TakeDirtySinceMark();
   }
   // DDL counter survives restarts so assembly-cost benchmarks can account
   // full lifetimes.
@@ -44,6 +59,9 @@ std::string Database::CatalogPath() const {
 }
 std::string Database::DdlCounterPath() const {
   return (fs::path(dir_) / "ddl_count.nmk").string();
+}
+std::string Database::WalPath() const {
+  return (fs::path(dir_) / "wal.nmk").string();
 }
 
 netmark::Result<Table*> Database::CreateTable(TableSchema schema) {
@@ -98,12 +116,80 @@ std::vector<std::string> Database::TableNames() const {
   return out;
 }
 
+netmark::Status Database::BeginTransaction() {
+  if (wal_ == nullptr) return netmark::Status::OK();
+  if (in_txn_) {
+    return netmark::Status::Internal("transaction already open");
+  }
+  in_txn_ = true;
+  return netmark::Status::OK();
+}
+
+netmark::Status Database::CommitTransaction() {
+  if (wal_ == nullptr) return netmark::Status::OK();
+  if (!in_txn_) {
+    return netmark::Status::Internal("no transaction open");
+  }
+  in_txn_ = false;
+  uint64_t txn = next_txn_id_++;
+  for (auto& [name, table] : tables_) {
+    Pager* pager = table->mutable_pager();
+    for (PageId id : pager->TakeDirtySinceMark()) {
+      NETMARK_ASSIGN_OR_RETURN(Page page, pager->Fetch(id));
+      wal_->StagePageImage(txn, name, id, page.raw());
+    }
+  }
+  return wal_->AppendCommit(txn);
+}
+
+void Database::AbandonTransaction() {
+  if (wal_ == nullptr) return;
+  in_txn_ = false;
+  wal_->DiscardStaged();
+  // Dirty-since-mark state intentionally survives: the abandoned pages hold
+  // in-memory junk that must still be logged with the next commit, or a
+  // later in-place write to those pages would be replayed over stale bytes.
+}
+
+bool Database::ShouldCheckpoint() const {
+  return wal_ != nullptr && wal_->size_bytes() >= options_.checkpoint_bytes;
+}
+
+netmark::Status Database::Checkpoint() {
+  if (wal_ == nullptr) return Flush();
+  if (in_txn_) {
+    return netmark::Status::Internal(
+        "checkpoint refused: transaction open");
+  }
+  // Order matters: heap writes + fsync BEFORE the log shrinks, so a crash
+  // anywhere in between still replays from the intact log.
+  for (auto& [name, table] : tables_) {
+    NETMARK_RETURN_NOT_OK(table->Flush());
+    MaybeCrashPoint("checkpoint_after_flush");
+    NETMARK_RETURN_NOT_OK(table->mutable_pager()->SyncToDisk());
+  }
+  NETMARK_RETURN_NOT_OK(catalog_.Save(CatalogPath()));
+  NETMARK_RETURN_NOT_OK(
+      netmark::WriteFileAtomic(DdlCounterPath(), std::to_string(ddl_statements_)));
+  MaybeCrashPoint("checkpoint_before_truncate");
+  NETMARK_RETURN_NOT_OK(wal_->TruncateAll());
+  last_checkpoint_lsn_ = wal_->last_lsn();
+  ++checkpoints_;
+  return netmark::Status::OK();
+}
+
+netmark::Status Database::SyncWal() {
+  if (wal_ == nullptr) return netmark::Status::OK();
+  return wal_->BatchSync();
+}
+
 netmark::Status Database::Flush() {
+  if (wal_ != nullptr && !in_txn_) return Checkpoint();
   for (auto& [name, table] : tables_) {
     NETMARK_RETURN_NOT_OK(table->Flush());
   }
   NETMARK_RETURN_NOT_OK(catalog_.Save(CatalogPath()));
-  return netmark::WriteFile(DdlCounterPath(), std::to_string(ddl_statements_));
+  return netmark::WriteFileAtomic(DdlCounterPath(), std::to_string(ddl_statements_));
 }
 
 }  // namespace netmark::storage

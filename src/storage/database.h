@@ -4,6 +4,12 @@
 // paper's economic argument is that NETMARK needs a *constant* amount of DDL
 // regardless of what documents arrive, while schema-centric stores pay DDL
 // per document type. Benchmarks read this counter.
+//
+// Durability (docs/durability.md): with the write-ahead log enabled
+// (default), mutations bracketed by Begin/CommitTransaction become crash
+// atomic — commit stages every dirty page image on the log before any heap
+// write, Checkpoint() flushes + fsyncs the heap files and truncates the log,
+// and Open() replays committed log records automatically after a crash.
 
 #ifndef NETMARK_STORAGE_DATABASE_H_
 #define NETMARK_STORAGE_DATABASE_H_
@@ -15,16 +21,34 @@
 
 #include "common/result.h"
 #include "storage/catalog.h"
+#include "storage/recovery.h"
 #include "storage/table.h"
+#include "storage/wal.h"
 
 namespace netmark::storage {
 
+/// Durability knobs (the `[storage]` INI section maps onto this).
+struct StorageOptions {
+  /// Write-ahead logging + crash recovery. Off = the pre-WAL behavior:
+  /// pages persist only on Flush/close, a crash can tear the tables.
+  bool wal_enabled = true;
+  /// When the log is fsynced (commit | batch | none).
+  WalFsyncPolicy wal_fsync = WalFsyncPolicy::kCommit;
+  /// Log size that triggers an automatic checkpoint (bytes).
+  uint64_t checkpoint_bytes = 64ull << 20;
+};
+
 /// \brief A set of tables persisted under one directory.
+///
+/// Not thread-safe; callers serialize mutations (the XML store holds a write
+/// mutex across transaction scopes and checkpoints).
 class Database {
  public:
   /// Opens (creating if needed) the database at `dir`. Existing tables are
-  /// loaded and their indexes rebuilt.
-  static netmark::Result<std::unique_ptr<Database>> Open(const std::string& dir);
+  /// loaded and their indexes rebuilt. A non-empty write-ahead log from a
+  /// crashed predecessor is recovered first (see recovery_stats()).
+  static netmark::Result<std::unique_ptr<Database>> Open(
+      const std::string& dir, const StorageOptions& options = {});
 
   ~Database();
   Database(const Database&) = delete;
@@ -43,25 +67,68 @@ class Database {
 
   std::vector<std::string> TableNames() const;
 
+  // --- Transactions (crash atomicity; no-ops when the WAL is disabled) ---
+
+  /// Opens a commit scope. Mutations until CommitTransaction() become
+  /// durable atomically. Fails if a transaction is already open.
+  netmark::Status BeginTransaction();
+  /// Stages every page dirtied during the transaction on the log, appends a
+  /// commit record, and fsyncs per the configured policy.
+  netmark::Status CommitTransaction();
+  /// Abandons the open transaction: nothing reaches the log. In-memory
+  /// mutations are NOT rolled back (redo-only log); the abandoned rows are
+  /// unreferenced and will be logged with the next committed transaction.
+  void AbandonTransaction();
+  bool in_transaction() const { return in_txn_; }
+
+  /// True when the log has grown past StorageOptions::checkpoint_bytes.
+  bool ShouldCheckpoint() const;
+  /// Flushes + fsyncs all heap files and the catalog, then truncates the
+  /// log. Refused while a transaction is open.
+  netmark::Status Checkpoint();
+  /// Group commit: fsyncs the log if the policy is kBatch (the ingestion
+  /// daemon calls this once per sweep).
+  netmark::Status SyncWal();
+
+  /// The log (null when disabled) — metrics and tests read its counters.
+  const Wal* wal() const { return wal_.get(); }
+  /// What recovery did at Open() (all zeros when the log was empty).
+  const RecoveryStats& recovery_stats() const { return recovery_; }
+  /// LSN the log had been truncated at during the last checkpoint.
+  uint64_t last_checkpoint_lsn() const { return last_checkpoint_lsn_; }
+  uint64_t checkpoints() const { return checkpoints_; }
+  const StorageOptions& options() const { return options_; }
+
   /// Number of DDL statements executed over this database's lifetime
   /// (persisted in the catalog directory; see Fig 5 benchmark).
   uint64_t ddl_statements() const { return ddl_statements_; }
 
-  /// Flushes all tables and the catalog.
+  /// Flushes all tables and the catalog. With the WAL enabled this is a full
+  /// Checkpoint() so close never strands log-only data.
   netmark::Status Flush();
 
   const std::string& dir() const { return dir_; }
 
  private:
-  explicit Database(std::string dir) : dir_(std::move(dir)) {}
+  explicit Database(std::string dir, StorageOptions options)
+      : dir_(std::move(dir)), options_(options) {}
   std::string TableFilePath(std::string_view table) const;
   std::string CatalogPath() const;
   std::string DdlCounterPath() const;
+  std::string WalPath() const;
 
   std::string dir_;
+  StorageOptions options_;
   Catalog catalog_;
   std::map<std::string, std::unique_ptr<Table>, std::less<>> tables_;
   uint64_t ddl_statements_ = 0;
+
+  std::unique_ptr<Wal> wal_;  // null when wal_enabled is false
+  RecoveryStats recovery_;
+  uint64_t next_txn_id_ = 1;
+  bool in_txn_ = false;
+  uint64_t last_checkpoint_lsn_ = 0;
+  uint64_t checkpoints_ = 0;
 };
 
 }  // namespace netmark::storage

@@ -45,6 +45,7 @@ netmark::Result<PageId> Pager::Allocate() {
   Page(buf.get()).Init();
   cache_[id] = std::move(buf);
   dirty_[id] = true;
+  dirty_since_mark_.insert(id);
   return id;
 }
 
@@ -73,21 +74,50 @@ netmark::Result<Page> Pager::Fetch(PageId id) {
   return Page(buf);
 }
 
-void Pager::MarkDirty(PageId id) { dirty_[id] = true; }
+void Pager::MarkDirty(PageId id) {
+  dirty_[id] = true;
+  dirty_since_mark_.insert(id);
+}
+
+std::vector<PageId> Pager::TakeDirtySinceMark() {
+  std::vector<PageId> out(dirty_since_mark_.begin(), dirty_since_mark_.end());
+  dirty_since_mark_.clear();
+  return out;
+}
 
 netmark::Status Pager::Flush() {
+  // Attempt every dirty page even after a failure so one bad write doesn't
+  // strand the rest; the failing page stays dirty (it will be retried by the
+  // next Flush) and the first error is propagated.
+  netmark::Status first_error = netmark::Status::OK();
   for (auto& [id, is_dirty] : dirty_) {
     if (!is_dirty) continue;
     auto it = cache_.find(id);
     if (it == cache_.end()) continue;
-    ssize_t n = ::pwrite(fd_, it->second.get(), kPageSize,
-                         static_cast<off_t>(id) * static_cast<off_t>(kPageSize));
+    off_t offset = static_cast<off_t>(id) * static_cast<off_t>(kPageSize);
+    ssize_t n = write_fn_ ? write_fn_(fd_, it->second.get(), kPageSize, offset)
+                          : ::pwrite(fd_, it->second.get(), kPageSize, offset);
     if (n != static_cast<ssize_t>(kPageSize)) {
-      return netmark::Status::IOError(
-          netmark::StringPrintf("short write of page %u to %s", id, path_.c_str()));
+      netmark::Status err =
+          n < 0 ? netmark::Status::IOError(
+                      netmark::StringPrintf("write of page %u to %s: %s", id,
+                                            path_.c_str(), std::strerror(errno)))
+                : netmark::Status::IOError(netmark::StringPrintf(
+                      "short write of page %u to %s (%zd of %zu bytes)", id,
+                      path_.c_str(), n, kPageSize));
+      if (first_error.ok()) first_error = std::move(err);
+      continue;  // page stays dirty
     }
     is_dirty = false;
     ++pages_written_;
+  }
+  return first_error;
+}
+
+netmark::Status Pager::SyncToDisk() {
+  if (::fdatasync(fd_) != 0) {
+    return netmark::Status::IOError(
+        netmark::StringPrintf("fsync %s: %s", path_.c_str(), std::strerror(errno)));
   }
   return netmark::Status::OK();
 }

@@ -4,11 +4,19 @@
 // This favors the NETMARK workload (bulk document ingest, read-mostly
 // querying) over strict memory bounds; an eviction policy could be added
 // behind the same interface.
+//
+// Durability (docs/durability.md): the pager additionally tracks which pages
+// were dirtied since the last TakeDirtySinceMark() call so the database's
+// commit path can stage their images on the write-ahead log *before* any
+// heap write. Flush never marks a page clean unless its bytes reached the
+// file, and SyncToDisk() makes a completed flush durable.
 
 #ifndef NETMARK_STORAGE_PAGER_H_
 #define NETMARK_STORAGE_PAGER_H_
 
+#include <functional>
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -42,12 +50,27 @@ class Pager {
   /// Marks a page dirty so Flush persists it.
   void MarkDirty(PageId id);
 
-  /// Writes all dirty pages (and the page count) to disk.
+  /// Writes all dirty pages to disk. Every page is attempted even after a
+  /// failure; a page whose write fails (error or partial write) stays dirty
+  /// for the next Flush, and the first error is returned.
   netmark::Status Flush();
+
+  /// fdatasyncs the page file (call after a successful Flush to make a
+  /// checkpoint durable).
+  netmark::Status SyncToDisk();
+
+  /// Pages dirtied since the previous call (sorted; cleared by the call).
+  /// The commit path uses this to stage write-ahead-log images.
+  std::vector<PageId> TakeDirtySinceMark();
 
   /// Count of pages read from disk (cache misses), for benchmarks.
   uint64_t pages_read() const { return pages_read_; }
   uint64_t pages_written() const { return pages_written_; }
+
+  /// Test hook: replaces pwrite so tests can inject partial/failed writes.
+  /// Signature matches pwrite(fd, buf, count, offset).
+  using WriteFn = std::function<ssize_t(int, const void*, size_t, off_t)>;
+  void set_write_fn_for_test(WriteFn fn) { write_fn_ = std::move(fn); }
 
  private:
   Pager(std::string path, int fd, PageId page_count)
@@ -60,8 +83,10 @@ class Pager {
   PageId page_count_ = 0;
   std::unordered_map<PageId, std::unique_ptr<uint8_t[]>> cache_;
   std::unordered_map<PageId, bool> dirty_;
+  std::set<PageId> dirty_since_mark_;
   uint64_t pages_read_ = 0;
   uint64_t pages_written_ = 0;
+  WriteFn write_fn_;
 };
 
 }  // namespace netmark::storage

@@ -1,0 +1,35 @@
+// Redo recovery: replays committed write-ahead-log transactions into the
+// heap files. Database::Open runs this automatically before opening tables
+// whenever it finds a non-empty log.
+
+#ifndef NETMARK_STORAGE_RECOVERY_H_
+#define NETMARK_STORAGE_RECOVERY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace netmark::storage {
+
+struct RecoveryStats {
+  bool performed = false;       ///< a non-empty log was found and replayed
+  uint64_t records_scanned = 0;
+  uint64_t committed_txns = 0;
+  uint64_t uncommitted_txns = 0;  ///< trailing txns dropped (never committed)
+  uint64_t pages_applied = 0;
+  bool torn_tail = false;         ///< log ended in a torn/CRC-bad record
+  uint64_t last_lsn = 0;          ///< highest replayed LSN
+  int64_t micros = 0;             ///< wall time of the recovery pass
+};
+
+/// Replays every committed transaction of `wal_path` into the `<table>.heap`
+/// files under `dir`, fsyncs them, then truncates the log. Idempotent:
+/// running it twice (e.g. a crash during recovery itself) converges to the
+/// same state, because replay writes full page images in LSN order.
+netmark::Result<RecoveryStats> RecoverDatabase(const std::string& dir,
+                                               const std::string& wal_path);
+
+}  // namespace netmark::storage
+
+#endif  // NETMARK_STORAGE_RECOVERY_H_

@@ -66,6 +66,9 @@ class Table {
 
   netmark::Status Flush() { return pager_->Flush(); }
   const Pager& pager() const { return *pager_; }
+  /// Mutable pager access (the database's commit/checkpoint paths capture
+  /// dirty pages for the write-ahead log and fsync the heap file).
+  Pager* mutable_pager() { return pager_.get(); }
 
  private:
   struct Index {

@@ -41,10 +41,14 @@ netmark::Result<std::vector<xml::Attribute>> DecodeAttributes(std::string_view b
 }
 
 netmark::Result<std::unique_ptr<XmlStore>> XmlStore::Open(
-    const std::string& dir, xml::NodeTypeConfig node_types) {
+    const std::string& dir, xml::NodeTypeConfig node_types,
+    const storage::StorageOptions& storage_options) {
   NETMARK_ASSIGN_OR_RETURN(std::unique_ptr<storage::Database> db,
-                           storage::Database::Open(dir));
+                           storage::Database::Open(dir, storage_options));
   std::unique_ptr<XmlStore> store(new XmlStore(std::move(db), std::move(node_types)));
+  store->owned_metrics_ = std::make_unique<observability::MetricsRegistry>();
+  store->metrics_ = store->owned_metrics_.get();
+  store->BindHandles();
   store->snapshot_path_ = (std::filesystem::path(dir) / "textindex.snap").string();
   NETMARK_RETURN_NOT_OK(store->EnsureTables());
   // Fast path: a fresh snapshot skips the full rebuild scan. Any doubt —
@@ -109,6 +113,18 @@ netmark::Result<int64_t> XmlStore::InsertDocument(const xml::Document& doc,
 }
 
 netmark::Result<int64_t> XmlStore::InsertPrepared(const PreparedDocument& prepared) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  NETMARK_RETURN_NOT_OK(db_->BeginTransaction());
+  netmark::Result<int64_t> doc_id = InsertPreparedLocked(prepared);
+  if (!doc_id.ok()) {
+    db_->AbandonTransaction();
+    return doc_id;
+  }
+  NETMARK_RETURN_NOT_OK(CommitTransactionLocked());
+  return doc_id;
+}
+
+netmark::Result<int64_t> XmlStore::InsertPreparedLocked(const PreparedDocument& prepared) {
   int64_t doc_id = next_doc_id_++;
   DocRecord doc_rec;
   doc_rec.doc_id = doc_id;
@@ -194,6 +210,17 @@ netmark::Result<std::vector<std::pair<RowId, NodeRecord>>> XmlStore::DocumentNod
 }
 
 netmark::Status XmlStore::DeleteDocument(int64_t doc_id) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  NETMARK_RETURN_NOT_OK(db_->BeginTransaction());
+  netmark::Status st = DeleteDocumentLocked(doc_id);
+  if (!st.ok()) {
+    db_->AbandonTransaction();
+    return st;
+  }
+  return CommitTransactionLocked();
+}
+
+netmark::Status XmlStore::DeleteDocumentLocked(int64_t doc_id) {
   NETMARK_ASSIGN_OR_RETURN(auto nodes, DocumentNodes(doc_id));
   for (const auto& [rowid, rec] : nodes) {
     if (rec.is_text()) text_index_.Remove(rowid.Pack(), rec.node_data);
@@ -401,10 +428,90 @@ netmark::Result<std::vector<RowId>> XmlStore::TextScanLookup(
 }
 
 netmark::Status XmlStore::Flush() {
-  NETMARK_RETURN_NOT_OK(db_->Flush());
+  std::lock_guard<std::mutex> lock(write_mu_);
+  return CheckpointLocked();
+}
+
+netmark::Status XmlStore::Checkpoint() {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  return CheckpointLocked();
+}
+
+netmark::Status XmlStore::CheckpointLocked() {
+  observability::ScopedTimer timer(handles_.checkpoint_micros);
+  NETMARK_RETURN_NOT_OK(db_->Flush());  // full checkpoint when the WAL is on
+  handles_.checkpoints->Increment();
+  PublishWalCounters();
   // Best effort: a failed snapshot write is not fatal (the next Open simply
   // rebuilds), but surface real I/O errors so operators notice.
   return textindex::SaveIndexSnapshot(text_index_, CurrentToken(), snapshot_path_);
+}
+
+netmark::Status XmlStore::CommitTransactionLocked() {
+  {
+    observability::ScopedTimer timer(handles_.commit_micros);
+    NETMARK_RETURN_NOT_OK(db_->CommitTransaction());
+  }
+  PublishWalCounters();
+  // Size-triggered checkpoint: bounds both log growth and recovery time.
+  if (db_->ShouldCheckpoint()) return CheckpointLocked();
+  return netmark::Status::OK();
+}
+
+netmark::Status XmlStore::SyncWal() {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  netmark::Status st = db_->SyncWal();
+  PublishWalCounters();
+  return st;
+}
+
+void XmlStore::BindMetrics(observability::MetricsRegistry* registry) {
+  if (registry == nullptr || registry == metrics_) return;
+  metrics_ = registry;
+  BindHandles();
+}
+
+void XmlStore::BindHandles() {
+  handles_.wal_bytes = metrics_->GetCounter("netmark_wal_bytes_appended_total");
+  handles_.wal_records = metrics_->GetCounter("netmark_wal_records_total");
+  handles_.wal_fsyncs = metrics_->GetCounter("netmark_wal_fsyncs_total");
+  handles_.wal_commits = metrics_->GetCounter("netmark_wal_commits_total");
+  handles_.checkpoints = metrics_->GetCounter("netmark_checkpoints_total");
+  handles_.commit_micros = metrics_->GetHistogram("netmark_wal_commit_micros");
+  handles_.checkpoint_micros =
+      metrics_->GetHistogram("netmark_checkpoint_micros");
+  metrics_->SetCallbackGauge("netmark_wal_size_bytes", {}, [this] {
+    const storage::Wal* wal = db_->wal();
+    return wal == nullptr ? 0.0 : static_cast<double>(wal->size_bytes());
+  });
+  metrics_->SetCallbackGauge("netmark_wal_last_checkpoint_lsn", {}, [this] {
+    return static_cast<double>(db_->last_checkpoint_lsn());
+  });
+  metrics_->SetCallbackGauge("netmark_storage_recovery_performed", {}, [this] {
+    return db_->recovery_stats().performed ? 1.0 : 0.0;
+  });
+  metrics_->SetCallbackGauge("netmark_storage_recovery_micros", {}, [this] {
+    return static_cast<double>(db_->recovery_stats().micros);
+  });
+  metrics_->SetCallbackGauge("netmark_storage_recovery_pages_applied", {}, [this] {
+    return static_cast<double>(db_->recovery_stats().pages_applied);
+  });
+}
+
+void XmlStore::PublishWalCounters() {
+  const storage::Wal* wal = db_->wal();
+  if (wal == nullptr) return;
+  // Single-writer deltas: wal counters only advance under write_mu_, which
+  // the caller holds.
+  uint64_t bytes = wal->bytes_appended();
+  uint64_t records = wal->records_appended();
+  uint64_t fsyncs = wal->fsyncs();
+  uint64_t commits = wal->commits();
+  handles_.wal_bytes->Increment(bytes - wal_seen_.bytes);
+  handles_.wal_records->Increment(records - wal_seen_.records);
+  handles_.wal_fsyncs->Increment(fsyncs - wal_seen_.fsyncs);
+  handles_.wal_commits->Increment(commits - wal_seen_.commits);
+  wal_seen_ = {bytes, records, fsyncs, commits};
 }
 
 netmark::Result<std::vector<RowId>> XmlStore::TextScanMatch(

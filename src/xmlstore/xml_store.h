@@ -10,10 +10,12 @@
 #define NETMARK_XMLSTORE_XML_STORE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "observability/metrics.h"
 #include "storage/database.h"
 #include "textindex/inverted_index.h"
 #include "textindex/snapshot.h"
@@ -26,13 +28,22 @@
 namespace netmark::xmlstore {
 
 /// \brief Schema-less document store over the relational engine.
+///
+/// Mutators (InsertDocument / InsertPrepared / DeleteDocument / Flush /
+/// Checkpoint) are serialized on an internal write mutex, so the HTTP PUT
+/// path, the ingestion daemon's writer stage, and a checkpointer may run
+/// concurrently. Each document mutation is one write-ahead-log transaction:
+/// its XML + DOC rows (and therefore the text-index postings, which are
+/// rebuilt from those rows after a crash) land atomically or not at all.
 class XmlStore {
  public:
   /// Opens (creating on first use) a store under `dir`. The fixed two-table
   /// schema is created exactly once; reopening rebuilds the text index from
-  /// the stored nodes.
+  /// the stored nodes. `storage` selects the durability mode (WAL on by
+  /// default; crash recovery runs inside storage::Database::Open).
   static netmark::Result<std::unique_ptr<XmlStore>> Open(
-      const std::string& dir, xml::NodeTypeConfig node_types = xml::NodeTypeConfig::Default());
+      const std::string& dir, xml::NodeTypeConfig node_types = xml::NodeTypeConfig::Default(),
+      const storage::StorageOptions& storage = {});
 
   // --- Document lifecycle ---
 
@@ -113,8 +124,23 @@ class XmlStore {
   const storage::Database* database() const { return db_.get(); }
 
   /// Flushes the tables and writes a text-index snapshot so the next Open
-  /// can skip the rebuild scan.
+  /// can skip the rebuild scan. With the WAL enabled this is a full
+  /// checkpoint (heap fsync + log truncation).
   netmark::Status Flush();
+
+  /// Explicit checkpoint: Flush() plus wal/checkpoint metric accounting.
+  /// Triggered automatically when the log passes `checkpoint_bytes`, by the
+  /// daemon's idle sweep, and at close.
+  netmark::Status Checkpoint();
+
+  /// Group commit: fsyncs the log once for a whole ingestion batch (no-op
+  /// unless `wal_fsync = batch`). The daemon calls this at sweep end.
+  netmark::Status SyncWal();
+
+  /// Re-homes the store's durability metrics (netmark_wal_* /
+  /// netmark_checkpoint_* / recovery gauges) onto `registry`.
+  void BindMetrics(observability::MetricsRegistry* registry);
+  observability::MetricsRegistry* metrics() const { return metrics_; }
 
  private:
   XmlStore(std::unique_ptr<storage::Database> db, xml::NodeTypeConfig node_types)
@@ -123,9 +149,23 @@ class XmlStore {
   netmark::Status EnsureTables();
   netmark::Status RebuildTextIndex();
   textindex::SnapshotToken CurrentToken() const;
+  /// Insert body (write_mu_ held, transaction open).
+  netmark::Result<int64_t> InsertPreparedLocked(const PreparedDocument& prepared);
+  /// Delete body (write_mu_ held, transaction open).
+  netmark::Status DeleteDocumentLocked(int64_t doc_id);
+  /// Commit + metric deltas + size-triggered checkpoint (write_mu_ held).
+  netmark::Status CommitTransactionLocked();
+  netmark::Status CheckpointLocked();
+  void BindHandles();
+  void PublishWalCounters();
 
   storage::Table* xml_table() const { return xml_table_; }
   storage::Table* doc_table() const { return doc_table_; }
+
+  /// Serializes mutators and checkpoints (readers are unsynchronized, as
+  /// before — NETMARK's read paths run against a quiesced or single-writer
+  /// store).
+  mutable std::mutex write_mu_;
 
   std::unique_ptr<storage::Database> db_;
   xml::NodeTypeConfig node_types_;
@@ -135,6 +175,25 @@ class XmlStore {
   std::string snapshot_path_;
   int64_t next_doc_id_ = 1;
   int64_t next_node_id_ = 1;
+
+  /// Private fallback registry so a standalone store works unwired; the
+  /// facade rebinds onto its own registry via BindMetrics().
+  std::unique_ptr<observability::MetricsRegistry> owned_metrics_;
+  observability::MetricsRegistry* metrics_ = nullptr;
+  struct MetricHandles {
+    observability::Counter* wal_bytes = nullptr;
+    observability::Counter* wal_records = nullptr;
+    observability::Counter* wal_fsyncs = nullptr;
+    observability::Counter* wal_commits = nullptr;
+    observability::Counter* checkpoints = nullptr;
+    observability::Histogram* commit_micros = nullptr;
+    observability::Histogram* checkpoint_micros = nullptr;
+  } handles_;
+  // Last-published cumulative wal counter values (write_mu_ held when
+  // updated): the registry counters advance by deltas.
+  struct WalSeen {
+    uint64_t bytes = 0, records = 0, fsyncs = 0, commits = 0;
+  } wal_seen_;
 };
 
 /// Encodes element attributes into the NODEDATA blob ("k=v&k2=v2",

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstring>
 
 #include "common/temp_dir.h"
@@ -128,6 +131,90 @@ TEST_F(PagerTest, ManyPagesSurviveRoundTrip) {
     ASSERT_TRUE(page.ok());
     EXPECT_EQ(page->Get(0), "payload-" + std::to_string(i));
   }
+}
+
+TEST_F(PagerTest, FlushPropagatesWriteErrorAndKeepsPageDirty) {
+  auto pager = Pager::Open(path_);
+  ASSERT_TRUE(pager.ok());
+  for (int i = 0; i < 3; ++i) {
+    auto id = (*pager)->Allocate();
+    ASSERT_TRUE(id.ok());
+    auto page = (*pager)->Fetch(*id);
+    page->Insert("page " + std::to_string(i));
+    (*pager)->MarkDirty(*id);
+  }
+  // Page 1's write fails with EIO; pages 0 and 2 must still be attempted.
+  int failures = 0;
+  (*pager)->set_write_fn_for_test(
+      [&failures](int fd, const void* buf, size_t count, off_t offset) -> ssize_t {
+        if (offset == static_cast<off_t>(1) * kPageSize) {
+          ++failures;
+          errno = EIO;
+          return -1;
+        }
+        return ::pwrite(fd, buf, count, offset);
+      });
+  netmark::Status st = (*pager)->Flush();
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  EXPECT_EQ(failures, 1);
+  EXPECT_EQ((*pager)->pages_written(), 2u);
+
+  // The failed page stayed dirty: an unimpeded retry completes the flush.
+  (*pager)->set_write_fn_for_test(nullptr);
+  ASSERT_TRUE((*pager)->Flush().ok());
+  EXPECT_EQ((*pager)->pages_written(), 3u);
+  pager->reset();
+
+  auto reopened = Pager::Open(path_);
+  ASSERT_TRUE(reopened.ok());
+  for (PageId i = 0; i < 3; ++i) {
+    auto page = (*reopened)->Fetch(i);
+    ASSERT_TRUE(page.ok());
+    EXPECT_EQ(page->Get(0), "page " + std::to_string(i));
+  }
+}
+
+TEST_F(PagerTest, PartialWriteIsAnErrorNotSilentSuccess) {
+  auto pager = Pager::Open(path_);
+  ASSERT_TRUE(pager.ok());
+  auto id = (*pager)->Allocate();
+  ASSERT_TRUE(id.ok());
+  auto page = (*pager)->Fetch(*id);
+  page->Insert("short write victim");
+  (*pager)->MarkDirty(*id);
+  // First attempt writes only half the page (e.g. ENOSPC mid-page).
+  bool first = true;
+  (*pager)->set_write_fn_for_test(
+      [&first](int fd, const void* buf, size_t count, off_t offset) -> ssize_t {
+        if (first) {
+          first = false;
+          return ::pwrite(fd, buf, count / 2, offset);
+        }
+        return ::pwrite(fd, buf, count, offset);
+      });
+  netmark::Status st = (*pager)->Flush();
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  EXPECT_EQ((*pager)->pages_written(), 0u);
+  // Retry rewrites the whole page, not just the missing tail.
+  ASSERT_TRUE((*pager)->Flush().ok());
+  EXPECT_EQ((*pager)->pages_written(), 1u);
+}
+
+TEST_F(PagerTest, TakeDirtySinceMarkTracksAllocationsAndDirties) {
+  auto pager = Pager::Open(path_);
+  ASSERT_TRUE(pager.ok());
+  EXPECT_TRUE((*pager)->TakeDirtySinceMark().empty());
+  auto a = (*pager)->Allocate();
+  auto b = (*pager)->Allocate();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  (*pager)->MarkDirty(*a);
+  std::vector<PageId> taken = (*pager)->TakeDirtySinceMark();
+  EXPECT_EQ(taken, (std::vector<PageId>{*a, *b}));  // sorted, deduplicated
+  // The call clears the mark; flushing does not repopulate it.
+  EXPECT_TRUE((*pager)->TakeDirtySinceMark().empty());
+  (*pager)->MarkDirty(*b);
+  EXPECT_EQ((*pager)->TakeDirtySinceMark(), (std::vector<PageId>{*b}));
 }
 
 TEST(RowIdTest, PackUnpackRoundTrip) {

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compares the p50 insert latency in a fresh
+BENCH_fig3_ingestion.json against the previous run's artifact.
+
+usage: check_bench_regression.py BASELINE_JSON CURRENT_JSON [--threshold PCT]
+
+Exit codes: 0 = ok (or no comparable baseline), 1 = regression, 2 = usage.
+
+Tolerant by design: a missing baseline file, an empty file, a baseline
+without the metric, or a baseline produced under a different storage
+configuration (no/mismatched "config" marker line) all SKIP the check with a
+note instead of failing — the first run after a bench-format change must not
+brick CI. Only a like-for-like comparison that exceeds the threshold fails.
+"""
+
+import json
+import sys
+
+METRIC = "netmark_ingest_insert_micros"
+
+
+def load_lines(path):
+    """Parses a JSONL file; returns [] if the file is missing/unreadable."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            out = []
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    out.append(json.loads(line))
+                except json.JSONDecodeError:
+                    pass  # half-written tail line; ignore
+            return out
+    except OSError:
+        return []
+
+
+def find_config(lines):
+    for obj in lines:
+        if "config" in obj:
+            return obj["config"]
+    return None
+
+
+def find_p50(lines):
+    for obj in lines:
+        if obj.get("metric") == METRIC and "p50" in obj:
+            return float(obj["p50"])
+    return None
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    baseline_path, current_path = argv[1], argv[2]
+    threshold = 15.0
+    if len(argv) >= 5 and argv[3] == "--threshold":
+        threshold = float(argv[4])
+
+    current = load_lines(current_path)
+    if not current:
+        print(f"bench-regression: no current results at {current_path}; skipping")
+        return 0
+    baseline = load_lines(baseline_path)
+    if not baseline:
+        print(f"bench-regression: no baseline at {baseline_path}; skipping "
+              "(first run or expired artifact)")
+        return 0
+
+    base_config, cur_config = find_config(baseline), find_config(current)
+    if base_config != cur_config:
+        print(f"bench-regression: baseline config {base_config!r} != current "
+              f"{cur_config!r}; storage setup changed, skipping comparison")
+        return 0
+
+    base_p50, cur_p50 = find_p50(baseline), find_p50(current)
+    if base_p50 is None or cur_p50 is None:
+        print(f"bench-regression: metric {METRIC} missing "
+              f"(baseline={base_p50}, current={cur_p50}); skipping")
+        return 0
+    if base_p50 <= 0:
+        print(f"bench-regression: degenerate baseline p50={base_p50}; skipping")
+        return 0
+
+    delta_pct = (cur_p50 - base_p50) / base_p50 * 100.0
+    print(f"bench-regression: {METRIC} p50 baseline={base_p50:.1f}us "
+          f"current={cur_p50:.1f}us delta={delta_pct:+.1f}% "
+          f"(threshold +{threshold:.0f}%)")
+    if delta_pct > threshold:
+        print(f"bench-regression: FAIL — p50 insert latency regressed "
+              f"{delta_pct:.1f}% > {threshold:.0f}%", file=sys.stderr)
+        return 1
+    print("bench-regression: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

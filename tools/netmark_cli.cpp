@@ -28,6 +28,8 @@
 #include "federation/databank_config.h"
 #include "server/http_client.h"
 #include "server/source_factory.h"
+#include "workload/corpus.h"
+#include "xml/serializer.h"
 
 namespace {
 
@@ -48,7 +50,14 @@ int Usage() {
                "  netmark query  --data DIR QUERY [--xslt FILE]\n"
                "  netmark serve  --data DIR [--port N] [--drop DIR] "
                "[--databanks FILE] [--config FILE]\n"
-               "  netmark remote --host H --port P QUERY\n");
+               "  netmark remote --host H --port P QUERY\n"
+               "  netmark torture-gen    --drop DIR --count N [--seed S]\n"
+               "  netmark torture-ingest --data DIR --drop DIR [--workers N]\n"
+               "  netmark torture-verify --data DIR --drop DIR\n"
+               "\n"
+               "storage flags (any command taking --data; also the [storage]\n"
+               "INI section via --config): --wal on|off, --fsync\n"
+               "commit|batch|none, --checkpoint-bytes N\n");
   return 2;
 }
 
@@ -71,6 +80,42 @@ Args ParseArgs(int argc, char** argv, int start) {
   return args;
 }
 
+// Durability knobs, lowest to highest precedence: defaults, the [storage]
+// INI section of --config, then direct --wal/--fsync/--checkpoint-bytes
+// flags. Resolved BEFORE Netmark::Open — recovery and the fsync policy are
+// fixed at open time.
+Status ApplyStorageFlags(const Args& args, storage::StorageOptions* storage) {
+  auto config_flag = args.flags.find("config");
+  if (config_flag != args.flags.end()) {
+    NETMARK_ASSIGN_OR_RETURN(Config config, Config::Load(config_flag->second));
+    auto wal = config.Get("storage", "wal_enabled");
+    if (wal.ok()) storage->wal_enabled = (*wal != "off" && *wal != "false" && *wal != "0");
+    auto fsync = config.Get("storage", "wal_fsync");
+    if (fsync.ok()) {
+      NETMARK_ASSIGN_OR_RETURN(storage->wal_fsync,
+                               storage::ParseWalFsyncPolicy(*fsync));
+    }
+    storage->checkpoint_bytes = static_cast<uint64_t>(config.GetIntOr(
+        "storage", "checkpoint_bytes",
+        static_cast<int64_t>(storage->checkpoint_bytes)));
+  }
+  auto wal_flag = args.flags.find("wal");
+  if (wal_flag != args.flags.end()) {
+    storage->wal_enabled = (wal_flag->second != "off" && wal_flag->second != "false");
+  }
+  auto fsync_flag = args.flags.find("fsync");
+  if (fsync_flag != args.flags.end()) {
+    NETMARK_ASSIGN_OR_RETURN(storage->wal_fsync,
+                             storage::ParseWalFsyncPolicy(fsync_flag->second));
+  }
+  auto ckpt_flag = args.flags.find("checkpoint-bytes");
+  if (ckpt_flag != args.flags.end()) {
+    NETMARK_ASSIGN_OR_RETURN(int64_t bytes, ParseInt64(ckpt_flag->second));
+    storage->checkpoint_bytes = static_cast<uint64_t>(bytes);
+  }
+  return Status::OK();
+}
+
 Result<std::unique_ptr<Netmark>> OpenFromArgs(const Args& args) {
   auto it = args.flags.find("data");
   if (it == args.flags.end()) {
@@ -78,6 +123,7 @@ Result<std::unique_ptr<Netmark>> OpenFromArgs(const Args& args) {
   }
   NetmarkOptions options;
   options.data_dir = it->second;
+  NETMARK_RETURN_NOT_OK(ApplyStorageFlags(args, &options.storage));
   return Netmark::Open(options);
 }
 
@@ -223,6 +269,176 @@ int CmdServe(const Args& args) {
   return 0;
 }
 
+// --- Crash-torture harness (tools/crash_torture.sh drives these) ---
+
+// Deterministically fills a drop folder with a seeded mixed-format corpus.
+int CmdTortureGen(const Args& args) {
+  auto drop_it = args.flags.find("drop");
+  if (drop_it == args.flags.end()) return Fail("--drop DIR is required");
+  auto count_it = args.flags.find("count");
+  if (count_it == args.flags.end()) return Fail("--count N is required");
+  auto count = ParseInt64(count_it->second);
+  if (!count.ok() || *count <= 0) return Fail("bad --count value");
+  uint64_t seed = 42;
+  auto seed_it = args.flags.find("seed");
+  if (seed_it != args.flags.end()) {
+    auto parsed = ParseInt64(seed_it->second);
+    if (!parsed.ok()) return Fail("bad --seed value");
+    seed = static_cast<uint64_t>(*parsed);
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(drop_it->second, ec);
+  if (ec) return Fail("cannot create drop dir: " + ec.message());
+  workload::CorpusGenerator gen(seed);
+  for (const workload::GeneratedDoc& doc :
+       gen.MixedCorpus(static_cast<size_t>(*count))) {
+    // Two-step write: the daemon's stability filter is off during torture
+    // (stable_age=0), so a plain write suffices — files land before sweeps.
+    Status st = WriteFileAtomic(
+        (std::filesystem::path(drop_it->second) / doc.file_name).string(),
+        doc.content);
+    if (!st.ok()) return Fail(st.ToString());
+  }
+  std::printf("generated %lld files (seed %llu) into %s\n",
+              static_cast<long long>(*count),
+              static_cast<unsigned long long>(seed), drop_it->second.c_str());
+  return 0;
+}
+
+// Sweeps the drop folder until drained. Run under NETMARK_CRASH_POINT /
+// NETMARK_CRASH_AFTER this process SIGKILLs itself mid-commit — that is the
+// point.
+int CmdTortureIngest(const Args& args) {
+  auto drop_it = args.flags.find("drop");
+  if (drop_it == args.flags.end()) return Fail("--drop DIR is required");
+  auto nm = OpenFromArgs(args);
+  if (!nm.ok()) return Fail(nm.status().ToString());
+  server::DaemonOptions dopts;
+  dopts.drop_dir = drop_it->second;
+  dopts.stable_age = std::chrono::milliseconds(0);  // take files as-is
+  dopts.keep_processed = true;  // processed/ is the ack ledger verify reads
+  auto workers_it = args.flags.find("workers");
+  if (workers_it != args.flags.end()) {
+    auto parsed = ParseInt64(workers_it->second);
+    if (!parsed.ok() || *parsed < 0) return Fail("bad --workers value");
+    dopts.worker_threads = static_cast<int>(*parsed);
+  }
+  // Direct daemon, no polling thread: ProcessOnce is synchronous, so kill
+  // points fire at deterministic pipeline stages.
+  server::IngestionDaemon daemon((*nm)->store(), &(*nm)->converters(), dopts);
+  int total = 0;
+  for (;;) {
+    auto swept = daemon.ProcessOnce();
+    if (!swept.ok()) return Fail(swept.status().ToString());
+    total += *swept;
+    bool drained = true;
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(drop_it->second, ec)) {
+      if (entry.is_regular_file() &&
+          entry.path().filename().string()[0] != '.') {
+        drained = false;
+        break;
+      }
+    }
+    if (drained) break;
+  }
+  std::printf("{\"ingested\":%d,\"failed\":%llu}\n", total,
+              static_cast<unsigned long long>(daemon.files_failed()));
+  return 0;
+}
+
+// Post-crash referee: reopening the store ran recovery; now every stored
+// document must reconstruct, and every acked file (drop/processed) must
+// reconstruct byte-identical to a fresh conversion of its source bytes.
+int CmdTortureVerify(const Args& args) {
+  auto drop_it = args.flags.find("drop");
+  if (drop_it == args.flags.end()) return Fail("--drop DIR is required");
+  auto nm = OpenFromArgs(args);
+  if (!nm.ok()) return Fail(nm.status().ToString());
+
+  auto docs = (*nm)->ListDocuments();
+  if (!docs.ok()) return Fail(docs.status().ToString());
+
+  uint64_t torn = 0, mismatches = 0, missing = 0, verified = 0, rejected = 0;
+
+  // Every row-complete document must rebuild into a DOM: a torn (partially
+  // committed) insert would surface here as a reconstruction failure.
+  std::map<std::string, std::vector<std::string>> stored_by_name;
+  for (const auto& doc : *docs) {
+    auto xml = (*nm)->GetDocumentXml(doc.doc_id);
+    if (!xml.ok()) {
+      std::fprintf(stderr, "torn doc %lld (%s): %s\n",
+                   static_cast<long long>(doc.doc_id), doc.file_name.c_str(),
+                   xml.status().ToString().c_str());
+      ++torn;
+      continue;
+    }
+    stored_by_name[doc.file_name].push_back(std::move(*xml));
+  }
+
+  // Acked = moved to processed/. At-least-once: a crash after commit but
+  // before the move re-ingests the file (duplicate doc rows are fine), but
+  // an acked file must never be absent or differ from its source.
+  std::error_code ec;
+  std::filesystem::path processed =
+      std::filesystem::path(drop_it->second) / "processed";
+  if (std::filesystem::exists(processed, ec)) {
+    for (const auto& entry : std::filesystem::directory_iterator(processed, ec)) {
+      if (!entry.is_regular_file()) continue;
+      std::string name = entry.path().filename().string();
+      auto content = ReadFile(entry.path());
+      if (!content.ok()) return Fail(content.status().ToString());
+      auto doc = (*nm)->converters().Convert(name, *content);
+      if (!doc.ok()) return Fail(name + ": " + doc.status().ToString());
+      std::string expect = xml::Serialize(*doc);
+      auto it = stored_by_name.find(name);
+      if (it == stored_by_name.end()) {
+        std::fprintf(stderr, "acked file %s has no stored document\n", name.c_str());
+        ++missing;
+        continue;
+      }
+      bool matched = false;
+      for (const std::string& got : it->second) {
+        if (got == expect) { matched = true; break; }
+      }
+      if (matched) {
+        ++verified;
+      } else {
+        std::fprintf(stderr, "acked file %s reconstructs differently\n", name.c_str());
+        ++mismatches;
+      }
+    }
+  }
+
+  // The torture corpus always converts; anything in failed/ is a harness bug.
+  std::filesystem::path failed_dir =
+      std::filesystem::path(drop_it->second) / "failed";
+  if (std::filesystem::exists(failed_dir, ec)) {
+    for (const auto& entry : std::filesystem::directory_iterator(failed_dir, ec)) {
+      if (entry.is_regular_file()) ++rejected;
+    }
+  }
+
+  const storage::RecoveryStats& rec =
+      (*nm)->store()->database()->recovery_stats();
+  std::printf(
+      "{\"docs\":%zu,\"acked_verified\":%llu,\"torn\":%llu,"
+      "\"mismatches\":%llu,\"missing\":%llu,\"rejected\":%llu,"
+      "\"recovery\":{\"performed\":%s,\"committed_txns\":%llu,"
+      "\"pages_applied\":%llu,\"torn_tail\":%s,\"micros\":%lld}}\n",
+      docs->size(), static_cast<unsigned long long>(verified),
+      static_cast<unsigned long long>(torn),
+      static_cast<unsigned long long>(mismatches),
+      static_cast<unsigned long long>(missing),
+      static_cast<unsigned long long>(rejected),
+      rec.performed ? "true" : "false",
+      static_cast<unsigned long long>(rec.committed_txns),
+      static_cast<unsigned long long>(rec.pages_applied),
+      rec.torn_tail ? "true" : "false", static_cast<long long>(rec.micros));
+  return (torn + mismatches + missing + rejected) == 0 ? 0 : 1;
+}
+
 int CmdRemote(const Args& args) {
   auto host = args.flags.count("host") ? args.flags.at("host") : "127.0.0.1";
   if (args.flags.count("port") == 0) return Fail("--port is required");
@@ -252,5 +468,8 @@ int main(int argc, char** argv) {
   if (command == "query") return CmdQuery(args);
   if (command == "serve") return CmdServe(args);
   if (command == "remote") return CmdRemote(args);
+  if (command == "torture-gen") return CmdTortureGen(args);
+  if (command == "torture-ingest") return CmdTortureIngest(args);
+  if (command == "torture-verify") return CmdTortureVerify(args);
   return Usage();
 }
