@@ -1,0 +1,170 @@
+// Serving-path benchmark: closed-loop loopback clients against the
+// worker-pool HTTP server, mixed GET /docs/<id> + /xdb traffic, with a
+// concurrent ingestion writer mutating the store the whole time.
+//
+// Sweeps client-thread counts and compares keep-alive against
+// Connection: close (the per-request reconnect tax keep-alive removes).
+// Emits JSONL figures plus the instance metrics snapshot, so the CI
+// regression gate can watch the netmark_http_request_micros p50.
+//
+// Knobs: NETMARK_BENCH_SERVING_SECONDS (per config point, default 1).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "server/http_client.h"
+
+namespace netmark {
+namespace {
+
+constexpr size_t kCorpusSize = 120;
+
+struct RunResult {
+  double ops_per_sec = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  uint64_t ops = 0;
+  uint64_t failures = 0;
+};
+
+double Percentile(std::vector<double>& latencies, double q) {
+  if (latencies.empty()) return 0;
+  size_t idx = std::min(latencies.size() - 1,
+                        static_cast<size_t>(q * static_cast<double>(latencies.size())));
+  std::nth_element(latencies.begin(), latencies.begin() + static_cast<ptrdiff_t>(idx),
+                   latencies.end());
+  return latencies[idx];
+}
+
+/// Closed loop: each client thread issues the next request as soon as the
+/// previous response arrives, alternating document fetches and XDB queries.
+RunResult RunClosedLoop(uint16_t port, int threads, bool keepalive,
+                        double seconds, const std::vector<int64_t>& doc_ids) {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> failures{0};
+  std::vector<std::vector<double>> latencies(static_cast<size_t>(threads));
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      server::HttpClientOptions copts;
+      copts.reuse_connections = keepalive;
+      server::HttpClient client("127.0.0.1", port, copts);
+      size_t i = static_cast<size_t>(t);  // desync the request mix per thread
+      while (!stop.load(std::memory_order_relaxed)) {
+        int64_t start = MonotonicMicros();
+        auto response =
+            (i % 2 == 0)
+                ? client.Get("/docs/" + std::to_string(doc_ids[i % doc_ids.size()]))
+                : client.Get("/xdb?context=Budget&limit=10");
+        int64_t micros = MonotonicMicros() - start;
+        if (response.ok() && response->status == 200) {
+          latencies[static_cast<size_t>(t)].push_back(static_cast<double>(micros));
+        } else {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        ++i;
+      }
+    });
+  }
+  int64_t t0 = MonotonicMicros();
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  for (std::thread& c : clients) c.join();
+  double elapsed = static_cast<double>(MonotonicMicros() - t0) / 1e6;
+
+  RunResult result;
+  std::vector<double> all;
+  for (std::vector<double>& per_thread : latencies) {
+    all.insert(all.end(), per_thread.begin(), per_thread.end());
+  }
+  result.ops = all.size();
+  result.failures = failures.load();
+  result.ops_per_sec = elapsed > 0 ? static_cast<double>(all.size()) / elapsed : 0;
+  result.p50_us = Percentile(all, 0.5);
+  result.p99_us = Percentile(all, 0.99);
+  return result;
+}
+
+}  // namespace
+}  // namespace netmark
+
+int main() {
+  using namespace netmark;
+
+  double seconds = 1.0;
+  if (const char* env = std::getenv("NETMARK_BENCH_SERVING_SECONDS")) {
+    double parsed = std::atof(env);
+    if (parsed > 0) seconds = parsed;
+  }
+
+  bench::LoadedInstance inst = bench::MakeLoadedInstance(kCorpusSize);
+  bench::Check(inst.nm->StartServer(0), "start server");
+  uint16_t port = inst.nm->server_port();
+  auto docs = bench::Unwrap(inst.nm->ListDocuments(), "list docs");
+  std::vector<int64_t> doc_ids;
+  doc_ids.reserve(docs.size());
+  for (const auto& doc : docs) doc_ids.push_back(doc.doc_id);
+
+  // Background ingestion writer: keeps commits (exclusive lock holds)
+  // flowing while the readers measure, so the figures reflect the
+  // contended reader/writer path, not an idle store.
+  std::atomic<bool> stop_writer{false};
+  std::thread writer([&] {
+    workload::CorpusGenerator gen(7);
+    size_t i = 0;
+    while (!stop_writer.load(std::memory_order_relaxed)) {
+      auto doc = gen.MixedCorpus(1);
+      bench::Check(inst.nm
+                       ->IngestContent("bench-writer-" + std::to_string(i++) + ".txt",
+                                       doc[0].content)
+                       .status(),
+                   "writer ingest");
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+
+  bench::ReportHeader("Serving path (worker pool, keep-alive)",
+                      "simple HTTP requests stay fast under concurrent "
+                      "clients and live ingestion");
+  bench::JsonLines jsonl("serving");
+  char config[160];
+  std::snprintf(config, sizeof(config),
+                "corpus=%zu,workers=%d,mix=docs+xdb,writer=50ops/s,seconds=%g",
+                kCorpusSize, server::HttpServerOptions{}.worker_threads, seconds);
+  jsonl.EmitConfig(config);
+
+  std::printf("%-22s %8s %12s %10s %10s %8s\n", "config", "threads", "ops/s",
+              "p50_us", "p99_us", "errors");
+  for (int threads : {1, 2, 4}) {
+    RunResult r = RunClosedLoop(port, threads, /*keepalive=*/true, seconds, doc_ids);
+    std::printf("%-22s %8d %12.0f %10.0f %10.0f %8llu\n", "keep-alive", threads,
+                r.ops_per_sec, r.p50_us, r.p99_us,
+                static_cast<unsigned long long>(r.failures));
+    jsonl.Emit("mixed_keepalive", threads, r.p50_us * 1000.0, r.ops_per_sec,
+               "ops/s");
+    jsonl.Emit("mixed_keepalive_p99", threads, r.p99_us * 1000.0, r.ops_per_sec,
+               "ops/s");
+  }
+  {
+    // Connection: close comparison — the reconnect tax keep-alive removes.
+    RunResult r = RunClosedLoop(port, 1, /*keepalive=*/false, seconds, doc_ids);
+    std::printf("%-22s %8d %12.0f %10.0f %10.0f %8llu\n", "connection-close", 1,
+                r.ops_per_sec, r.p50_us, r.p99_us,
+                static_cast<unsigned long long>(r.failures));
+    jsonl.Emit("mixed_close", 1, r.p50_us * 1000.0, r.ops_per_sec, "ops/s");
+  }
+
+  stop_writer.store(true);
+  writer.join();
+  jsonl.EmitMetrics(*inst.nm->metrics());
+  inst.nm->StopServer();
+  std::printf("results: %s\n", jsonl.path().c_str());
+  return 0;
+}

@@ -56,6 +56,18 @@ class WorkQueue {
     return item;
   }
 
+  /// Non-blocking push; returns false — and drops `item` — when the queue is
+  /// full or closed. The accept path uses this for load shedding: a full
+  /// queue turns into an immediate 503 instead of backpressure on accept.
+  bool TryPush(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
   /// Non-blocking pop; std::nullopt when empty (regardless of closed state).
   std::optional<T> TryPop() {
     std::unique_lock<std::mutex> lock(mu_);

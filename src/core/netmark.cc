@@ -58,7 +58,10 @@ Result<std::string> Netmark::QueryToXml(const std::string& query_string) {
   NETMARK_ASSIGN_OR_RETURN(query::XdbQuery q, query::ParseXdbQuery(query_string));
   query::QueryExecutor executor(store_.get());
   executor.BindMetrics(metrics_.get());
-  NETMARK_ASSIGN_OR_RETURN(std::vector<query::QueryHit> hits, executor.Execute(q));
+  // One snapshot spans execute + compose (same consistent view).
+  xmlstore::XmlStore::ReadSnapshot snapshot = store_->BeginRead();
+  NETMARK_ASSIGN_OR_RETURN(std::vector<query::QueryHit> hits,
+                           executor.Execute(q, snapshot));
   NETMARK_ASSIGN_OR_RETURN(xml::Document results,
                            query::ComposeResults(*store_, q, hits));
   return xml::Serialize(results);
@@ -69,9 +72,14 @@ Result<std::string> Netmark::QueryAndTransform(const std::string& query_string,
   NETMARK_ASSIGN_OR_RETURN(query::XdbQuery q, query::ParseXdbQuery(query_string));
   query::QueryExecutor executor(store_.get());
   executor.BindMetrics(metrics_.get());
-  NETMARK_ASSIGN_OR_RETURN(std::vector<query::QueryHit> hits, executor.Execute(q));
-  NETMARK_ASSIGN_OR_RETURN(xml::Document results,
-                           query::ComposeResults(*store_, q, hits));
+  xml::Document results;
+  {
+    // One snapshot spans execute + compose (same consistent view).
+    xmlstore::XmlStore::ReadSnapshot snapshot = store_->BeginRead();
+    NETMARK_ASSIGN_OR_RETURN(std::vector<query::QueryHit> hits,
+                             executor.Execute(q, snapshot));
+    NETMARK_ASSIGN_OR_RETURN(results, query::ComposeResults(*store_, q, hits));
+  }
   NETMARK_ASSIGN_OR_RETURN(xml::Document transformed,
                            xslt::Transform(stylesheet_text, results));
   return xml::Serialize(transformed);
@@ -119,7 +127,9 @@ Result<federation::FederatedResult> Netmark::QueryDatabankFederated(
 Status Netmark::StartServer(uint16_t port) {
   if (http_server_ != nullptr) return Status::AlreadyExists("server already started");
   http_server_ = std::make_unique<server::HttpServer>(
-      [this](const server::HttpRequest& req) { return service_->Handle(req); });
+      [this](const server::HttpRequest& req) { return service_->Handle(req); },
+      options_.http_server);
+  http_server_->BindMetrics(metrics_.get());
   Status st = http_server_->Start(port);
   if (!st.ok()) http_server_.reset();
   return st;

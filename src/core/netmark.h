@@ -45,6 +45,9 @@ struct NetmarkOptions {
   storage::StorageOptions storage;
   /// Federation resilience knobs (deadlines, retries, breakers, fan-out).
   federation::RouterOptions router;
+  /// Serving knobs: worker-pool size, accept-queue capacity, keep-alive
+  /// limits and timeouts for StartServer.
+  server::HttpServerOptions http_server;
   /// Slow-query log threshold (ms; 0 disables). The NETMARK_SLOW_QUERY_MS
   /// env var always wins.
   int64_t slow_query_ms = observability::kDefaultSlowQueryMs;

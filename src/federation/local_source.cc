@@ -18,8 +18,11 @@ netmark::Result<std::vector<FederatedHit>> LocalStoreSource::Execute(
     return netmark::Status::DeadlineExceeded("local source " + name_ +
                                              ": deadline expired");
   }
+  // One snapshot spans the query and the per-hit markup reconstruction so
+  // the fragments match the hits even under concurrent ingestion.
+  xmlstore::XmlStore::ReadSnapshot snapshot = store_->BeginRead();
   NETMARK_ASSIGN_OR_RETURN(std::vector<query::QueryHit> hits,
-                           executor_.Execute(query));
+                           executor_.Execute(query, snapshot));
   std::vector<FederatedHit> out;
   out.reserve(hits.size());
   for (const query::QueryHit& hit : hits) {

@@ -15,8 +15,8 @@ using textindex::TextQuery;
 using xmlstore::NodeRecord;
 
 netmark::Result<std::vector<RowId>> QueryExecutor::ClauseNodes(
-    const QueryClause& clause) const {
-  ++stats_.index_probes;
+    const QueryClause& clause, Stats& stats) const {
+  ++stats.index_probes;
   if (!options_.use_text_index) {
     TextQuery single;
     single.clauses.push_back(clause);
@@ -40,8 +40,8 @@ netmark::Result<std::vector<RowId>> QueryExecutor::ClauseNodes(
   return out;
 }
 
-netmark::Result<RowId> QueryExecutor::Walk(RowId start) const {
-  ++stats_.nodes_walked;
+netmark::Result<RowId> QueryExecutor::Walk(RowId start, Stats& stats) const {
+  ++stats.nodes_walked;
   if (options_.use_index_joins_for_walks) {
     return xmlstore::FindGoverningContextViaIndex(*store_, start);
   }
@@ -63,7 +63,7 @@ netmark::Result<bool> QueryExecutor::InsideIntense(RowId node) const {
 }
 
 netmark::Result<std::vector<QueryHit>> QueryExecutor::ContentOnly(
-    const XdbQuery& query) const {
+    const XdbQuery& query, Stats& stats) const {
   TextQuery content = textindex::ParseTextQuery(query.content);
   if (content.empty()) return std::vector<QueryHit>{};
 
@@ -76,7 +76,7 @@ netmark::Result<std::vector<QueryHit>> QueryExecutor::ContentOnly(
   std::map<int64_t, RowId> first_match;  // snippet anchor per document
   bool first = true;
   for (const QueryClause& clause : content.clauses) {
-    NETMARK_ASSIGN_OR_RETURN(std::vector<RowId> nodes, ClauseNodes(clause));
+    NETMARK_ASSIGN_OR_RETURN(std::vector<RowId> nodes, ClauseNodes(clause, stats));
     std::set<int64_t> clause_docs;
     for (RowId id : nodes) {
       NETMARK_ASSIGN_OR_RETURN(NodeRecord rec, store_->GetNode(id));
@@ -109,7 +109,7 @@ netmark::Result<std::vector<QueryHit>> QueryExecutor::ContentOnly(
     // truncated slice of the matching node's text — enough for a result list.
     auto anchor = first_match.find(doc_id);
     if (anchor != first_match.end()) {
-      NETMARK_ASSIGN_OR_RETURN(RowId ctx, Walk(anchor->second));
+      NETMARK_ASSIGN_OR_RETURN(RowId ctx, Walk(anchor->second, stats));
       if (ctx.valid()) {
         NETMARK_ASSIGN_OR_RETURN(hit.heading, store_->SubtreeText(ctx));
       }
@@ -127,7 +127,7 @@ netmark::Result<std::vector<QueryHit>> QueryExecutor::ContentOnly(
 }
 
 netmark::Result<std::vector<QueryHit>> QueryExecutor::SectionQuery(
-    const XdbQuery& query) const {
+    const XdbQuery& query, Stats& stats) const {
   TextQuery context_query = textindex::ParseTextQuery(query.context);
   if (context_query.empty()) return std::vector<QueryHit>{};
 
@@ -140,12 +140,12 @@ netmark::Result<std::vector<QueryHit>> QueryExecutor::SectionQuery(
 
   bool first = true;
   for (const QueryClause& clause : seed.clauses) {
-    NETMARK_ASSIGN_OR_RETURN(std::vector<RowId> nodes, ClauseNodes(clause));
+    NETMARK_ASSIGN_OR_RETURN(std::vector<RowId> nodes, ClauseNodes(clause, stats));
     std::set<uint64_t> clause_contexts;
     for (RowId node : nodes) {
       NETMARK_ASSIGN_OR_RETURN(NodeRecord rec, store_->GetNode(node));
       if (query.doc_id != 0 && rec.doc_id != query.doc_id) continue;
-      NETMARK_ASSIGN_OR_RETURN(RowId ctx, Walk(node));
+      NETMARK_ASSIGN_OR_RETURN(RowId ctx, Walk(node, stats));
       if (ctx.valid()) clause_contexts.insert(ctx.Pack());
     }
     if (first) {
@@ -175,7 +175,7 @@ netmark::Result<std::vector<QueryHit>> QueryExecutor::SectionQuery(
       std::string scope = section.heading + " " + body;
       if (!textindex::Matches(content_query, scope)) continue;
     }
-    ++stats_.sections_built;
+    ++stats.sections_built;
     NETMARK_ASSIGN_OR_RETURN(xmlstore::DocRecord info,
                              store_->GetDocumentInfo(section.doc_id));
     NETMARK_ASSIGN_OR_RETURN(NodeRecord head, store_->GetNode(ctx));
@@ -196,7 +196,7 @@ netmark::Result<std::vector<QueryHit>> QueryExecutor::SectionQuery(
 }
 
 netmark::Result<std::vector<QueryHit>> QueryExecutor::XPathQuery(
-    const XdbQuery& query) const {
+    const XdbQuery& query, Stats& stats) const {
   NETMARK_ASSIGN_OR_RETURN(xslt::XPath path, xslt::XPath::Parse(query.xpath));
   // Candidate documents: content-key pre-selection when given, else the doc
   // scope, else the whole collection (XPath has no index; the content key is
@@ -207,7 +207,7 @@ netmark::Result<std::vector<QueryHit>> QueryExecutor::XPathQuery(
     content_only.content = query.content;
     content_only.doc_id = query.doc_id;
     NETMARK_ASSIGN_OR_RETURN(std::vector<QueryHit> doc_hits,
-                             ContentOnly(content_only));
+                             ContentOnly(content_only, stats));
     for (const QueryHit& hit : doc_hits) docs.push_back(hit.doc_id);
     std::sort(docs.begin(), docs.end());
   } else if (query.doc_id != 0) {
@@ -249,8 +249,24 @@ void QueryExecutor::BindMetrics(observability::MetricsRegistry* registry) {
 }
 
 netmark::Result<std::vector<QueryHit>> QueryExecutor::Execute(
-    const XdbQuery& query) const {
-  stats_ = Stats{};
+    const XdbQuery& query, Stats* stats) const {
+  xmlstore::XmlStore::ReadSnapshot snapshot = store_->BeginRead();
+  return ExecuteUnderSnapshot(query, stats);
+}
+
+netmark::Result<std::vector<QueryHit>> QueryExecutor::Execute(
+    const XdbQuery& query, const xmlstore::XmlStore::ReadSnapshot& snapshot,
+    Stats* stats) const {
+  // The caller's snapshot already pins the view; nothing to acquire. Taking
+  // the parameter (rather than a bare flag) makes "I hold a snapshot" a
+  // compile-time claim at every call site.
+  (void)snapshot;
+  return ExecuteUnderSnapshot(query, stats);
+}
+
+netmark::Result<std::vector<QueryHit>> QueryExecutor::ExecuteUnderSnapshot(
+    const XdbQuery& query, Stats* stats) const {
+  Stats local;
   observability::ScopedTimer timer(handles_.execute_micros);
   if (query.empty()) {
     return netmark::Status::InvalidArgument(
@@ -263,21 +279,22 @@ netmark::Result<std::vector<QueryHit>> QueryExecutor::Execute(
           "XPath and Context keys cannot be combined (use Content to "
           "pre-select documents)");
     }
-    NETMARK_ASSIGN_OR_RETURN(hits, XPathQuery(query));
+    NETMARK_ASSIGN_OR_RETURN(hits, XPathQuery(query, local));
   } else if (query.has_context()) {
-    NETMARK_ASSIGN_OR_RETURN(hits, SectionQuery(query));
+    NETMARK_ASSIGN_OR_RETURN(hits, SectionQuery(query, local));
   } else {
-    NETMARK_ASSIGN_OR_RETURN(hits, ContentOnly(query));
+    NETMARK_ASSIGN_OR_RETURN(hits, ContentOnly(query, local));
   }
   if (query.limit != 0 && hits.size() > query.limit) {
     hits.resize(query.limit);
   }
   if (handles_.executes != nullptr) {
     handles_.executes->Increment();
-    handles_.index_probes->Increment(stats_.index_probes);
-    handles_.nodes_walked->Increment(stats_.nodes_walked);
-    handles_.sections_built->Increment(stats_.sections_built);
+    handles_.index_probes->Increment(local.index_probes);
+    handles_.nodes_walked->Increment(local.nodes_walked);
+    handles_.sections_built->Increment(local.sections_built);
   }
+  if (stats != nullptr) *stats = local;
   return hits;
 }
 

@@ -46,38 +46,57 @@ struct ExecuteOptions {
 };
 
 /// \brief Evaluates XDB queries against one store.
+///
+/// Execute is const and carries no per-call state, so one executor instance
+/// serves many threads concurrently (the worker-pool serving path). Each
+/// call runs under a store ReadSnapshot — taken internally, or passed in by
+/// a caller that needs the same consistent view across execute + compose.
 class QueryExecutor {
  public:
   explicit QueryExecutor(const xmlstore::XmlStore* store,
                          ExecuteOptions options = {})
       : store_(store), options_(options) {}
 
-  /// Opts into cumulative instrumentation: every Execute then also bumps
-  /// netmark_xdb_* counters and observes netmark_xdb_execute_micros on
-  /// `registry` (null = back to uninstrumented). The per-Execute stats()
-  /// view is unaffected.
-  void BindMetrics(observability::MetricsRegistry* registry);
-
-  /// Runs the query; hits are ordered by (doc_id, position).
-  netmark::Result<std::vector<QueryHit>> Execute(const XdbQuery& query) const;
-
-  /// Statistics from the most recent Execute (not thread safe; benches only).
+  /// Per-call statistics, returned through the optional `stats` out-param
+  /// (never stored on the executor — Execute stays thread-safe).
   struct Stats {
     size_t index_probes = 0;
     size_t nodes_walked = 0;
     size_t sections_built = 0;
   };
-  const Stats& stats() const { return stats_; }
+
+  /// Opts into cumulative instrumentation: every Execute then also bumps
+  /// netmark_xdb_* counters and observes netmark_xdb_execute_micros on
+  /// `registry` (null = back to uninstrumented). Call before concurrent
+  /// traffic; the handles are read-only afterwards.
+  void BindMetrics(observability::MetricsRegistry* registry);
+
+  /// Runs the query under a self-acquired ReadSnapshot; hits are ordered by
+  /// (doc_id, position). Do not call while already holding a snapshot on
+  /// this thread — use the snapshot overload instead.
+  netmark::Result<std::vector<QueryHit>> Execute(const XdbQuery& query,
+                                                 Stats* stats = nullptr) const;
+
+  /// Runs the query under a snapshot the caller already holds (so the same
+  /// consistent view spans execute + result composition).
+  netmark::Result<std::vector<QueryHit>> Execute(
+      const XdbQuery& query, const xmlstore::XmlStore::ReadSnapshot& snapshot,
+      Stats* stats = nullptr) const;
 
  private:
+  netmark::Result<std::vector<QueryHit>> ExecuteUnderSnapshot(
+      const XdbQuery& query, Stats* stats) const;
   netmark::Result<std::vector<storage::RowId>> ClauseNodes(
-      const textindex::QueryClause& clause) const;
+      const textindex::QueryClause& clause, Stats& stats) const;
   /// True when `node` sits under INTENSE markup (emphasis-boosted scoring).
   netmark::Result<bool> InsideIntense(storage::RowId node) const;
-  netmark::Result<std::vector<QueryHit>> ContentOnly(const XdbQuery& query) const;
-  netmark::Result<std::vector<QueryHit>> SectionQuery(const XdbQuery& query) const;
-  netmark::Result<std::vector<QueryHit>> XPathQuery(const XdbQuery& query) const;
-  netmark::Result<storage::RowId> Walk(storage::RowId start) const;
+  netmark::Result<std::vector<QueryHit>> ContentOnly(const XdbQuery& query,
+                                                     Stats& stats) const;
+  netmark::Result<std::vector<QueryHit>> SectionQuery(const XdbQuery& query,
+                                                      Stats& stats) const;
+  netmark::Result<std::vector<QueryHit>> XPathQuery(const XdbQuery& query,
+                                                    Stats& stats) const;
+  netmark::Result<storage::RowId> Walk(storage::RowId start, Stats& stats) const;
 
   /// Registry handles (all null when unbound): cumulative mirrors of Stats
   /// plus the execute latency histogram.
@@ -91,7 +110,6 @@ class QueryExecutor {
 
   const xmlstore::XmlStore* store_;
   ExecuteOptions options_;
-  mutable Stats stats_;
   MetricHandles handles_;
 };
 

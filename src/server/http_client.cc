@@ -12,6 +12,7 @@
 #include <cstring>
 
 #include "common/clock.h"
+#include "common/string_util.h"
 #include "observability/trace.h"
 
 namespace netmark::server {
@@ -23,6 +24,11 @@ struct FdGuard {
   int fd;
   ~FdGuard() {
     if (fd >= 0) ::close(fd);
+  }
+  int Release() {
+    int out = fd;
+    fd = -1;
+    return out;
   }
 };
 
@@ -47,28 +53,46 @@ netmark::Status PollUntil(int fd, short events, int64_t deadline_micros,
   }
 }
 
+/// Content-Length from a raw head (bytes [0, head_end)); -1 when absent.
+int64_t HeadContentLength(const std::string& raw, size_t head_end) {
+  std::string head = netmark::ToLower(raw.substr(0, head_end));
+  size_t cl = head.find("content-length:");
+  if (cl == std::string::npos) return -1;
+  size_t eol = head.find("\r\n", cl);
+  auto value = netmark::ParseInt64(head.substr(
+      cl + 15, eol == std::string::npos ? std::string::npos : eol - cl - 15));
+  if (value.ok() && *value >= 0) return *value;
+  return -1;
+}
+
 }  // namespace
 
-netmark::Result<HttpResponse> HttpClient::Send(const HttpRequest& request,
-                                               int64_t deadline_micros) const {
-  const int64_t now = netmark::MonotonicMicros();
-  // The effective deadline is the tightest of: caller deadline, total
-  // timeout. Connect additionally honours its own (shorter) budget.
-  int64_t deadline = deadline_micros;
-  if (options_.total_timeout_ms > 0) {
-    int64_t total = now + options_.total_timeout_ms * 1000;
-    if (deadline == 0 || total < deadline) deadline = total;
-  }
-  if (deadline == 0) {
-    // Belt and braces: never run truly unbounded.
-    deadline = now + int64_t{24} * 3600 * 1000 * 1000;
-  }
-  int64_t connect_deadline = deadline;
-  if (options_.connect_timeout_ms > 0) {
-    connect_deadline =
-        std::min(deadline, now + options_.connect_timeout_ms * 1000);
-  }
+HttpClient::~HttpClient() {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  for (int fd : idle_) ::close(fd);
+  idle_.clear();
+}
 
+int HttpClient::PopIdle() const {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (idle_.empty()) return -1;
+  int fd = idle_.back();
+  idle_.pop_back();
+  return fd;
+}
+
+void HttpClient::ReturnIdle(int fd) const {
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    if (idle_.size() < options_.max_idle_connections) {
+      idle_.push_back(fd);
+      return;
+    }
+  }
+  ::close(fd);
+}
+
+netmark::Result<int> HttpClient::Connect(int64_t connect_deadline) const {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return netmark::Status::IOError(std::string("socket: ") + std::strerror(errno));
@@ -103,8 +127,17 @@ netmark::Result<HttpResponse> HttpClient::Send(const HttpRequest& request,
                                           std::strerror(err != 0 ? err : errno));
     }
   }
+  opened_.fetch_add(1);
+  return guard.Release();
+}
 
-  std::string wire = request.Serialize();
+netmark::Result<HttpResponse> HttpClient::Exchange(int fd,
+                                                   const std::string& wire,
+                                                   int64_t deadline,
+                                                   bool* reusable,
+                                                   bool* stale) const {
+  *reusable = false;
+  *stale = false;
   size_t sent = 0;
   while (sent < wire.size()) {
     ssize_t n = ::send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
@@ -114,15 +147,33 @@ netmark::Result<HttpResponse> HttpClient::Send(const HttpRequest& request,
         NETMARK_RETURN_NOT_OK(PollUntil(fd, POLLOUT, deadline, "send"));
         continue;
       }
+      // EPIPE/ECONNRESET on a pooled socket means the server closed it
+      // between requests; the caller retries on a fresh connection.
+      *stale = (errno == EPIPE || errno == ECONNRESET);
       return netmark::Status::IOError(std::string("send: ") + std::strerror(errno));
     }
     sent += static_cast<size_t>(n);
   }
 
-  // Server closes after the response; read to EOF under the deadline.
+  // Read the head, then exactly Content-Length body bytes — keep-alive
+  // servers do not close after the response, so read-to-EOF would hang
+  // until the idle timeout. Responses without Content-Length fall back to
+  // EOF-delimited reads and mark the socket non-reusable.
   std::string raw;
   char chunk[4096];
+  size_t head_end = std::string::npos;
+  int64_t body_len = -1;
   while (true) {
+    if (head_end == std::string::npos) {
+      head_end = raw.find("\r\n\r\n");
+      if (head_end != std::string::npos) {
+        body_len = HeadContentLength(raw, head_end);
+      }
+    }
+    if (head_end != std::string::npos && body_len >= 0 &&
+        raw.size() >= head_end + 4 + static_cast<size_t>(body_len)) {
+      break;  // complete framed response
+    }
     ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -130,12 +181,91 @@ netmark::Result<HttpResponse> HttpClient::Send(const HttpRequest& request,
         NETMARK_RETURN_NOT_OK(PollUntil(fd, POLLIN, deadline, "recv"));
         continue;
       }
+      *stale = raw.empty() && (errno == ECONNRESET || errno == EPIPE);
       return netmark::Status::IOError(std::string("recv: ") + std::strerror(errno));
     }
-    if (n == 0) break;
+    if (n == 0) {
+      if (raw.empty()) {
+        // EOF before any response byte: a pooled socket the server had
+        // already closed. Retryable on a fresh connection.
+        *stale = true;
+        return netmark::Status::Unavailable("connection closed before response");
+      }
+      if (head_end != std::string::npos && body_len < 0) break;  // EOF-framed
+      if (head_end != std::string::npos && body_len >= 0) {
+        return netmark::Status::IOError("connection closed mid-response");
+      }
+      return netmark::Status::ParseError("incomplete HTTP response head");
+    }
     raw.append(chunk, static_cast<size_t>(n));
   }
-  return ParseResponse(raw);
+
+  auto response = ParseResponse(raw);
+  if (response.ok()) {
+    *reusable = body_len >= 0 &&
+                !netmark::EqualsIgnoreCase(response->Header("Connection"), "close");
+  }
+  return response;
+}
+
+netmark::Result<HttpResponse> HttpClient::Send(const HttpRequest& request,
+                                               int64_t deadline_micros) const {
+  const int64_t now = netmark::MonotonicMicros();
+  // The effective deadline is the tightest of: caller deadline, total
+  // timeout. Connect additionally honours its own (shorter) budget.
+  int64_t deadline = deadline_micros;
+  if (options_.total_timeout_ms > 0) {
+    int64_t total = now + options_.total_timeout_ms * 1000;
+    if (deadline == 0 || total < deadline) deadline = total;
+  }
+  if (deadline == 0) {
+    // Belt and braces: never run truly unbounded.
+    deadline = now + int64_t{24} * 3600 * 1000 * 1000;
+  }
+  int64_t connect_deadline = deadline;
+  if (options_.connect_timeout_ms > 0) {
+    connect_deadline =
+        std::min(deadline, now + options_.connect_timeout_ms * 1000);
+  }
+
+  std::string wire;
+  if (options_.reuse_connections &&
+      request.headers.find("Connection") == request.headers.end()) {
+    HttpRequest keep = request;
+    keep.headers["Connection"] = "keep-alive";
+    wire = keep.Serialize();
+  } else {
+    wire = request.Serialize();
+  }
+
+  bool reusable = false;
+  bool stale = false;
+  if (options_.reuse_connections) {
+    int pooled = PopIdle();
+    if (pooled >= 0) {
+      FdGuard guard{pooled};
+      auto response = Exchange(pooled, wire, deadline, &reusable, &stale);
+      if (response.ok() || !stale) {
+        if (response.ok()) reused_.fetch_add(1);
+        if (response.ok() && reusable) ReturnIdle(guard.Release());
+        return response;
+      }
+      // Stale pooled socket: fall through to a fresh connection.
+    }
+  }
+
+  NETMARK_ASSIGN_OR_RETURN(int fd, Connect(connect_deadline));
+  FdGuard guard{fd};
+  auto response = Exchange(fd, wire, deadline, &reusable, &stale);
+  if (response.ok() && reusable && options_.reuse_connections) {
+    ReturnIdle(guard.Release());
+  }
+  if (!response.ok() && stale) {
+    // A fresh connection that died before any response byte is a server
+    // restart/crash — surface it as retryable for the PR 2 backoff rules.
+    return netmark::Status::Unavailable(response.status().ToString());
+  }
+  return response;
 }
 
 netmark::Result<HttpResponse> HttpClient::Get(const std::string& target) const {

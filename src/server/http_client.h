@@ -5,12 +5,22 @@
 // timeout, then poll()-gated send/recv loops raced against a total-request
 // deadline. No caller can block indefinitely — the conservative defaults
 // apply even when no explicit deadline is given.
+//
+// Connections are pooled per client (so per federation source): after a
+// keep-alive response the socket returns to a small idle pool and the next
+// Send reuses it, skipping the TCP handshake. A pooled socket the server
+// closed in the meantime is detected (failure before any response byte) and
+// retried once on a fresh connection, so reuse is transparent to callers —
+// including the PR 2 retry/backoff machinery above SocketTransport.
 
 #ifndef NETMARK_SERVER_HTTP_CLIENT_H_
 #define NETMARK_SERVER_HTTP_CLIENT_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "federation/remote_source.h"
@@ -22,17 +32,26 @@ namespace netmark::server {
 struct HttpClientOptions {
   int64_t connect_timeout_ms = 5000;  ///< TCP connect budget
   int64_t total_timeout_ms = 30000;   ///< whole request (connect+send+recv)
+  /// Keep-alive: pool connections across Send calls. When false every
+  /// request opens (and closes) its own socket — the pre-pooling behavior.
+  bool reuse_connections = true;
+  /// Idle sockets kept per client; excess connections close after use.
+  size_t max_idle_connections = 4;
 };
 
-/// \brief One-request-per-connection HTTP client with deadlines.
+/// \brief Pooled keep-alive HTTP client with deadlines. Thread-safe.
 class HttpClient {
  public:
   HttpClient(std::string host, uint16_t port, HttpClientOptions options = {})
       : host_(std::move(host)), port_(port), options_(options) {}
+  ~HttpClient();
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
 
   /// Sends one request. `deadline_micros` (MonotonicMicros time, 0 = none)
   /// further tightens the option timeouts; on expiry the call returns
-  /// Status::DeadlineExceeded.
+  /// Status::DeadlineExceeded. Reuses a pooled connection when available; a
+  /// stale pooled socket is retried once on a fresh one.
   netmark::Result<HttpResponse> Send(const HttpRequest& request,
                                      int64_t deadline_micros = 0) const;
 
@@ -47,15 +66,39 @@ class HttpClient {
   uint16_t port() const { return port_; }
   const HttpClientOptions& options() const { return options_; }
 
+  // --- Pooling counters (tests/benchmarks) ---
+  uint64_t connections_opened() const { return opened_.load(); }
+  uint64_t connections_reused() const { return reused_.load(); }
+
  private:
+  /// Opens a fresh non-blocking connection, racing `connect_deadline`.
+  netmark::Result<int> Connect(int64_t connect_deadline) const;
+  /// One request/response exchange on an open socket. `*reusable` reports
+  /// whether the socket can serve another request; `*stale` is set when the
+  /// failure happened before any response byte arrived (pooled socket the
+  /// server had already closed — safe to retry on a fresh connection).
+  netmark::Result<HttpResponse> Exchange(int fd, const std::string& wire,
+                                         int64_t deadline, bool* reusable,
+                                         bool* stale) const;
+  /// Pops an idle pooled socket (-1 when none).
+  int PopIdle() const;
+  /// Returns `fd` to the pool, or closes it when the pool is full.
+  void ReturnIdle(int fd) const;
+
   std::string host_;
   uint16_t port_;
   HttpClientOptions options_;
+
+  mutable std::mutex pool_mu_;
+  mutable std::vector<int> idle_;  ///< guarded by pool_mu_
+  mutable std::atomic<uint64_t> opened_{0};
+  mutable std::atomic<uint64_t> reused_{0};
 };
 
 /// \brief federation::HttpTransport over HttpClient — wires RemoteSource to
 /// real sockets. Maps HTTP 5xx to retryable Unavailable and 4xx to
-/// non-retryable InvalidArgument.
+/// non-retryable InvalidArgument. Connection pooling in the underlying
+/// client makes reuse per-source automatically.
 class SocketTransport : public federation::HttpTransport {
  public:
   SocketTransport(std::string host, uint16_t port, HttpClientOptions options = {})
@@ -64,6 +107,8 @@ class SocketTransport : public federation::HttpTransport {
   using federation::HttpTransport::Get;
   netmark::Result<std::string> Get(const std::string& path_and_query,
                                    const federation::CallContext& ctx) override;
+
+  const HttpClient& client() const { return client_; }
 
  private:
   HttpClient client_;

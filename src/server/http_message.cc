@@ -120,7 +120,10 @@ std::string HttpResponse::Serialize() const {
   std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason + "\r\n";
   HeaderMap all = headers;
   all["Content-Length"] = std::to_string(body.size());
-  all["Connection"] = "close";
+  // Keep-alive negotiation: the server sets Connection explicitly per
+  // request; a response without one (handler-constructed) closes, matching
+  // the pre-keep-alive behavior.
+  if (all.find("Connection") == all.end()) all["Connection"] = "close";
   if (all.find("Content-Type") == all.end()) {
     all["Content-Type"] = "text/plain";
   }
@@ -153,7 +156,9 @@ HttpResponse HttpResponse::Text(int status, std::string message) {
     case 400: resp.reason = "Bad Request"; break;
     case 404: resp.reason = "Not Found"; break;
     case 405: resp.reason = "Method Not Allowed"; break;
+    case 408: resp.reason = "Request Timeout"; break;
     case 500: resp.reason = "Internal Server Error"; break;
+    case 503: resp.reason = "Service Unavailable"; break;
     default: resp.reason = "Status"; break;
   }
   resp.body = std::move(message);

@@ -48,6 +48,10 @@ struct HttpResponse {
   static HttpResponse BadRequest(std::string message);
   static HttpResponse ServerError(std::string message);
 
+  std::string_view Header(const std::string& name) const {
+    auto it = headers.find(name);
+    return it == headers.end() ? std::string_view{} : std::string_view(it->second);
+  }
   /// Serializes to wire format (server side); sets Content-Length.
   std::string Serialize() const;
 };

@@ -4,11 +4,15 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
+#include "common/clock.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 
@@ -16,53 +20,11 @@ namespace netmark::server {
 
 namespace {
 
-// Reads one full HTTP message from a socket: head until CRLFCRLF, then
-// Content-Length body bytes.
-netmark::Result<std::string> ReadHttpMessage(int fd) {
-  std::string buffer;
-  char chunk[4096];
-  size_t head_end = std::string::npos;
-  while (head_end == std::string::npos) {
-    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return netmark::Status::IOError(std::string("recv: ") + std::strerror(errno));
-    }
-    if (n == 0) {
-      return netmark::Status::IOError("connection closed mid-request");
-    }
-    buffer.append(chunk, static_cast<size_t>(n));
-    head_end = buffer.find("\r\n\r\n");
-    if (buffer.size() > 64 * 1024 * 1024) {
-      return netmark::Status::CapacityExceeded("HTTP head too large");
-    }
-  }
-  // Parse Content-Length out of the head.
-  size_t body_have = buffer.size() - (head_end + 4);
-  size_t body_want = 0;
-  {
-    std::string head = netmark::ToLower(buffer.substr(0, head_end));
-    size_t cl = head.find("content-length:");
-    if (cl != std::string::npos) {
-      size_t eol = head.find("\r\n", cl);
-      auto value = netmark::ParseInt64(
-          head.substr(cl + 15, eol == std::string::npos ? std::string::npos
-                                                        : eol - cl - 15));
-      if (value.ok() && *value >= 0) body_want = static_cast<size_t>(*value);
-    }
-  }
-  while (body_have < body_want) {
-    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return netmark::Status::IOError(std::string("recv body: ") + std::strerror(errno));
-    }
-    if (n == 0) break;
-    buffer.append(chunk, static_cast<size_t>(n));
-    body_have += static_cast<size_t>(n);
-  }
-  return buffer;
-}
+constexpr size_t kMaxMessageBytes = 64 * 1024 * 1024;
+/// Poll slice so blocked reads re-check draining_ promptly.
+constexpr int kPollSliceMs = 100;
+/// Once draining, any in-progress read gets at most this much longer.
+constexpr int64_t kDrainGraceMicros = 200 * 1000;
 
 netmark::Status WriteAll(int fd, std::string_view data) {
   size_t sent = 0;
@@ -70,6 +32,10 @@ netmark::Status WriteAll(int fd, std::string_view data) {
     ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        pollfd pfd{fd, POLLOUT, 0};
+        if (::poll(&pfd, 1, kPollSliceMs) >= 0) continue;
+      }
       return netmark::Status::IOError(std::string("send: ") + std::strerror(errno));
     }
     sent += static_cast<size_t>(n);
@@ -77,7 +43,138 @@ netmark::Status WriteAll(int fd, std::string_view data) {
   return netmark::Status::OK();
 }
 
+/// Parses Content-Length out of a raw head (bytes [0, head_end)).
+size_t ParseContentLength(const std::string& buffer, size_t head_end) {
+  std::string head = netmark::ToLower(buffer.substr(0, head_end));
+  size_t cl = head.find("content-length:");
+  if (cl == std::string::npos) return 0;
+  size_t eol = head.find("\r\n", cl);
+  auto value = netmark::ParseInt64(head.substr(
+      cl + 15, eol == std::string::npos ? std::string::npos : eol - cl - 15));
+  if (value.ok() && *value >= 0) return static_cast<size_t>(*value);
+  return 0;
+}
+
+enum class ReadOutcome {
+  kMessage,     ///< one complete request extracted into *message
+  kIdleClose,   ///< no request started before the idle deadline (quiet reap)
+  kTimeout,     ///< request started but stalled past the read deadline
+  kPeerClosed,  ///< clean EOF at a request boundary (client went away)
+  kError,       ///< mid-request EOF or socket error (close quietly)
+};
+
+/// Reads one full HTTP message (head + Content-Length body) from `fd` into
+/// `*message`. `buffer` carries leftover bytes between calls, so pipelined
+/// requests on a keep-alive connection are handled. The idle deadline
+/// applies while waiting for the request's first byte, the (fresher) read
+/// deadline from then on; `draining` cuts both short so Stop() never waits
+/// a full idle timeout.
+ReadOutcome ReadOneMessage(int fd, std::string& buffer,
+                           const HttpServerOptions& options,
+                           const std::atomic<bool>& draining,
+                           std::string* message) {
+  const int64_t start = netmark::MonotonicMicros();
+  const int64_t idle_deadline = start + int64_t{options.idle_timeout_ms} * 1000;
+  int64_t read_deadline = 0;  // set once the request's first byte is in
+  int64_t drain_deadline = 0;
+  size_t head_end = buffer.find("\r\n\r\n");
+  bool message_started = !buffer.empty();
+  if (message_started) {
+    read_deadline = start + int64_t{options.read_timeout_ms} * 1000;
+  }
+
+  char chunk[4096];
+  while (true) {
+    if (head_end != std::string::npos) {
+      size_t total = head_end + 4 + ParseContentLength(buffer, head_end);
+      if (buffer.size() >= total) {
+        message->assign(buffer, 0, total);
+        buffer.erase(0, total);
+        return ReadOutcome::kMessage;
+      }
+    }
+    if (buffer.size() > kMaxMessageBytes) return ReadOutcome::kError;
+
+    int64_t now = netmark::MonotonicMicros();
+    int64_t deadline = message_started ? read_deadline : idle_deadline;
+    if (draining.load(std::memory_order_relaxed)) {
+      if (drain_deadline == 0) drain_deadline = now + kDrainGraceMicros;
+      deadline = std::min(deadline, drain_deadline);
+    }
+    if (now >= deadline) {
+      return message_started ? ReadOutcome::kTimeout : ReadOutcome::kIdleClose;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    int slice = static_cast<int>(
+        std::min<int64_t>((deadline - now) / 1000 + 1, kPollSliceMs));
+    int ready = ::poll(&pfd, 1, slice);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return ReadOutcome::kError;
+    }
+    if (ready == 0) continue;  // slice elapsed; loop re-checks deadlines
+
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return ReadOutcome::kError;
+    }
+    if (n == 0) {
+      return message_started ? ReadOutcome::kError : ReadOutcome::kPeerClosed;
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    if (!message_started) {
+      message_started = true;
+      read_deadline =
+          netmark::MonotonicMicros() + int64_t{options.read_timeout_ms} * 1000;
+    }
+    if (head_end == std::string::npos) head_end = buffer.find("\r\n\r\n");
+  }
+}
+
 }  // namespace
+
+HttpServer::HttpServer(Handler handler, HttpServerOptions options)
+    : handler_(std::move(handler)), options_(options) {
+  options_.worker_threads = std::max(1, options_.worker_threads);
+  options_.accept_queue_capacity = std::max<size_t>(1, options_.accept_queue_capacity);
+  options_.max_requests_per_connection =
+      std::max(1, options_.max_requests_per_connection);
+  options_.idle_timeout_ms = std::max(1, options_.idle_timeout_ms);
+  options_.read_timeout_ms = std::max(1, options_.read_timeout_ms);
+  owned_metrics_ = std::make_unique<observability::MetricsRegistry>();
+  metrics_ = owned_metrics_.get();
+  BindHandles();
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::BindMetrics(observability::MetricsRegistry* registry) {
+  if (registry == nullptr || registry == metrics_) return;
+  metrics_ = registry;
+  BindHandles();
+}
+
+void HttpServer::BindHandles() {
+  handles_.requests = metrics_->GetCounter("netmark_http_server_requests_total");
+  handles_.shed = metrics_->GetCounter("netmark_http_shed_total");
+  handles_.accept_errors =
+      metrics_->GetCounter("netmark_http_accept_errors_total");
+  handles_.read_timeouts =
+      metrics_->GetCounter("netmark_http_read_timeouts_total");
+  handles_.keepalive_reuses =
+      metrics_->GetCounter("netmark_http_keepalive_reuses_total");
+  metrics_->SetCallbackGauge("netmark_http_pool_threads", {}, [this] {
+    return static_cast<double>(options_.worker_threads);
+  });
+  metrics_->SetCallbackGauge("netmark_http_queue_depth", {}, [this] {
+    return static_cast<double>(queue_depth_.load(std::memory_order_relaxed));
+  });
+  metrics_->SetCallbackGauge("netmark_http_active_connections", {}, [this] {
+    return static_cast<double>(
+        active_connections_.load(std::memory_order_relaxed));
+  });
+}
 
 netmark::Status HttpServer::Start(uint16_t port) {
   if (running_.load()) return netmark::Status::AlreadyExists("server already running");
@@ -104,47 +201,138 @@ netmark::Status HttpServer::Start(uint16_t port) {
   socklen_t len = sizeof(addr);
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
+
+  queue_ = std::make_unique<WorkQueue<int>>(options_.accept_queue_capacity);
+  queue_depth_.store(0);
+  draining_.store(false);
   running_.store(true);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  workers_.reserve(static_cast<size_t>(options_.worker_threads));
+  for (int i = 0; i < options_.worker_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
   return netmark::Status::OK();
 }
 
 void HttpServer::Stop() {
   if (!running_.exchange(false)) return;
+  // Drain: stop accepting first, then let workers finish the queued and
+  // in-flight connections (their responses switch to Connection: close).
+  draining_.store(true);
   if (accept_thread_.joinable()) accept_thread_.join();
+  if (queue_ != nullptr) queue_->Close();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
+  draining_.store(false);
 }
 
 void HttpServer::AcceptLoop() {
   while (running_.load()) {
     pollfd pfd{listen_fd_, POLLIN, 0};
-    int ready = ::poll(&pfd, 1, 100 /* ms */);
+    int ready = ::poll(&pfd, 1, kPollSliceMs);
     if (ready <= 0) continue;  // timeout/EINTR: re-check running_
     int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;
-    HandleConnection(fd);
-    ::close(fd);
+    if (fd < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+          errno == ECONNABORTED) {
+        continue;
+      }
+      // Real accept failures (EMFILE and friends) used to vanish silently;
+      // count them, log them, and back off so the loop cannot spin hot.
+      accept_errors_.fetch_add(1);
+      handles_.accept_errors->Increment();
+      NETMARK_LOG(Warning) << "accept: " << std::strerror(errno);
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      continue;
+    }
+    connections_accepted_.fetch_add(1);
+    if (queue_->TryPush(fd)) {
+      queue_depth_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // Queue full (or closing): shed immediately with a 503 instead of
+      // queueing unboundedly behind slow requests.
+      connections_shed_.fetch_add(1);
+      handles_.shed->Increment();
+      HttpResponse resp =
+          HttpResponse::Text(503, "server overloaded, retry shortly");
+      resp.headers["Connection"] = "close";
+      resp.headers["Retry-After"] = "1";
+      (void)WriteAll(fd, resp.Serialize());
+      ::close(fd);
+    }
   }
 }
 
-void HttpServer::HandleConnection(int fd) {
-  auto raw = ReadHttpMessage(fd);
-  if (!raw.ok()) {
-    NETMARK_LOG(Debug) << "bad connection: " << raw.status();
-    return;
+void HttpServer::WorkerLoop() {
+  while (true) {
+    std::optional<int> fd = queue_->Pop();
+    if (!fd.has_value()) return;  // closed and drained
+    queue_depth_.fetch_sub(1, std::memory_order_relaxed);
+    ServeConnection(*fd);
   }
-  HttpResponse response;
-  auto request = ParseRequest(*raw);
-  if (!request.ok()) {
-    response = HttpResponse::BadRequest(request.status().ToString());
-  } else {
-    response = handler_(*request);
+}
+
+void HttpServer::ServeConnection(int fd) {
+  active_connections_.fetch_add(1);
+  // Belt and braces under the poll-based deadlines: a kernel-level receive/
+  // send timeout so no syscall can block a worker unboundedly.
+  timeval tv{};
+  tv.tv_sec = options_.read_timeout_ms / 1000;
+  tv.tv_usec = (options_.read_timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  std::string buffer;  // leftover bytes between keep-alive requests
+  int served = 0;
+  while (true) {
+    std::string raw;
+    ReadOutcome outcome =
+        ReadOneMessage(fd, buffer, options_, draining_, &raw);
+    if (outcome == ReadOutcome::kTimeout) {
+      read_timeouts_.fetch_add(1);
+      handles_.read_timeouts->Increment();
+      HttpResponse resp = HttpResponse::Text(408, "request read timed out");
+      resp.headers["Connection"] = "close";
+      (void)WriteAll(fd, resp.Serialize());
+      break;
+    }
+    if (outcome != ReadOutcome::kMessage) break;  // idle reap / EOF / error
+
+    HttpResponse response;
+    bool parsed = false;
+    bool client_close = false;
+    auto request = ParseRequest(raw);
+    if (!request.ok()) {
+      NETMARK_LOG(Debug) << "bad request: " << request.status();
+      response = HttpResponse::BadRequest(request.status().ToString());
+    } else {
+      parsed = true;
+      client_close =
+          netmark::EqualsIgnoreCase(request->Header("Connection"), "close");
+      response = handler_(*request);
+    }
+    ++served;
+    requests_served_.fetch_add(1);
+    handles_.requests->Increment();
+    if (served > 1) {
+      keepalive_reuses_.fetch_add(1);
+      handles_.keepalive_reuses->Increment();
+    }
+    bool keep = parsed && !client_close &&
+                served < options_.max_requests_per_connection &&
+                !draining_.load(std::memory_order_relaxed);
+    response.headers["Connection"] = keep ? "keep-alive" : "close";
+    if (!WriteAll(fd, response.Serialize()).ok()) break;
+    if (!keep) break;
   }
-  requests_served_.fetch_add(1);
-  (void)WriteAll(fd, response.Serialize());
+  ::close(fd);
+  active_connections_.fetch_sub(1);
 }
 
 }  // namespace netmark::server

@@ -1,57 +1,136 @@
-// Minimal HTTP/1.1 server over POSIX sockets.
+// HTTP/1.1 server over POSIX sockets: listener thread + fixed worker pool.
 //
-// Connection model: accept loop on a background thread, one request per
-// connection (Connection: close) handled by a small worker pool. This is
-// deliberately lean — NETMARK's thesis is that the middleware tier should be
-// thin — while still exercising a real network round trip in tests and
-// benchmarks.
+// Connection model (docs/serving.md): a single accept thread polls the
+// listen socket and pushes accepted connections into a bounded queue; when
+// the queue is full the connection is shed immediately with a 503 instead of
+// stacking up behind slow requests. N pool workers pop connections and serve
+// them with HTTP/1.1 keep-alive — many requests per connection, bounded by
+// `max_requests_per_connection`, an idle timeout between requests, and a
+// read timeout mid-request (a stalled client can no longer block the accept
+// path, and slow-loris bodies get cut off). Stop() drains gracefully:
+// accepting stops, queued connections are served, in-flight requests finish,
+// and draining responses carry `Connection: close`.
+//
+// The tier stays lean — NETMARK's thesis — but the front door now overlaps
+// in-flight queries, which the snapshot-isolated read path (XmlStore::
+// BeginRead) makes safe end-to-end.
 
 #ifndef NETMARK_SERVER_HTTP_SERVER_H_
 #define NETMARK_SERVER_HTTP_SERVER_H_
 
 #include <atomic>
+#include <cstddef>
 #include <functional>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "common/result.h"
+#include "common/work_queue.h"
+#include "observability/metrics.h"
 #include "server/http_message.h"
 
 namespace netmark::server {
 
-/// Request handler: pure function of the request.
+/// Request handler: pure function of the request. Must be thread-safe — the
+/// pool invokes it from `worker_threads` threads concurrently.
 using Handler = std::function<HttpResponse(const HttpRequest&)>;
 
-/// \brief Loopback HTTP server.
+/// Serving knobs. The defaults suit loopback tests; a production front end
+/// would raise the pool and queue sizes.
+struct HttpServerOptions {
+  /// Pool workers serving connections (>= 1).
+  int worker_threads = 4;
+  /// Accepted connections waiting for a worker before 503 shedding kicks in.
+  size_t accept_queue_capacity = 64;
+  /// Keep-alive requests served per connection before the server closes it
+  /// (bounds per-client resource capture; 0 = one request, Connection:
+  /// close semantics).
+  int max_requests_per_connection = 100;
+  /// How long a keep-alive connection may sit idle between requests (ms)
+  /// before the server reaps it quietly.
+  int idle_timeout_ms = 5000;
+  /// Budget for reading one request once its first byte arrived (ms); on
+  /// expiry the connection is closed and netmark_http_read_timeouts_total
+  /// bumps — a stalled client costs one worker at most this long.
+  int read_timeout_ms = 5000;
+};
+
+/// \brief Loopback HTTP server with a fixed worker pool.
 class HttpServer {
  public:
-  explicit HttpServer(Handler handler) : handler_(std::move(handler)) {}
-  ~HttpServer() { Stop(); }
+  explicit HttpServer(Handler handler, HttpServerOptions options = {});
+  ~HttpServer();
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts serving.
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept thread
+  /// plus the worker pool.
   netmark::Status Start(uint16_t port = 0);
-  /// Stops accepting and joins all threads. Idempotent.
+  /// Graceful drain: stops accepting, serves already-queued connections,
+  /// lets in-flight requests finish, then joins all threads. Idempotent.
   void Stop();
+
+  /// Re-homes the server's metrics (netmark_http_* pool/queue/shed/timeout
+  /// series) onto `registry`. Call before Start.
+  void BindMetrics(observability::MetricsRegistry* registry);
 
   /// Bound port (valid after Start).
   uint16_t port() const { return port_; }
   bool running() const { return running_.load(); }
 
-  /// Requests served since Start (benchmarks).
+  const HttpServerOptions& options() const { return options_; }
+
+  // --- Counters (tests/benchmarks; mirrored as metrics) ---
   uint64_t requests_served() const { return requests_served_.load(); }
+  uint64_t connections_accepted() const { return connections_accepted_.load(); }
+  uint64_t connections_shed() const { return connections_shed_.load(); }
+  uint64_t accept_errors() const { return accept_errors_.load(); }
+  uint64_t read_timeouts() const { return read_timeouts_.load(); }
+  uint64_t keepalive_reuses() const { return keepalive_reuses_.load(); }
+  int64_t active_connections() const { return active_connections_.load(); }
 
  private:
   void AcceptLoop();
-  void HandleConnection(int fd);
+  void WorkerLoop();
+  /// Serves one connection's keep-alive request loop, then closes it.
+  void ServeConnection(int fd);
+  void BindHandles();
 
   Handler handler_;
+  HttpServerOptions options_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::atomic<bool> running_{false};
+  /// Set at the start of Stop(): responses switch to Connection: close and
+  /// idle waits cut short so the drain completes promptly.
+  std::atomic<bool> draining_{false};
+
   std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_shed_{0};
+  std::atomic<uint64_t> accept_errors_{0};
+  std::atomic<uint64_t> read_timeouts_{0};
+  std::atomic<uint64_t> keepalive_reuses_{0};
+  std::atomic<int64_t> active_connections_{0};
+  /// Mirrors queue_->size() without touching the queue from gauge callbacks
+  /// (the queue object is recreated per Start).
+  std::atomic<int64_t> queue_depth_{0};
+
+  std::unique_ptr<WorkQueue<int>> queue_;
   std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  /// Private fallback registry (BindMetrics re-homes onto the facade's).
+  std::unique_ptr<observability::MetricsRegistry> owned_metrics_;
+  observability::MetricsRegistry* metrics_ = nullptr;
+  struct MetricHandles {
+    observability::Counter* requests = nullptr;
+    observability::Counter* shed = nullptr;
+    observability::Counter* accept_errors = nullptr;
+    observability::Counter* read_timeouts = nullptr;
+    observability::Counter* keepalive_reuses = nullptr;
+  } handles_;
 };
 
 }  // namespace netmark::server

@@ -193,7 +193,11 @@ HttpResponse NetmarkService::HandleXdb(const HttpRequest& request) {
     results = ComposeFederatedResults(*query, *federated);
   } else {
     observability::ScopedSpan exec_span(trace.get(), "execute", root.id());
-    auto hits = executor_.Execute(*query);
+    // One snapshot spans execute + compose, so the hits and the section
+    // bodies composed from them come from the same committed state even
+    // with ingestion running concurrently.
+    xmlstore::XmlStore::ReadSnapshot snapshot = store_->BeginRead();
+    auto hits = executor_.Execute(*query, snapshot);
     if (!hits.ok()) {
       exec_span.End(false, hits.status().ToString());
       root.End(false, hits.status().ToString());
@@ -234,6 +238,9 @@ HttpResponse NetmarkService::HandleMetrics() {
 }
 
 HttpResponse NetmarkService::HandleHealthz() {
+  // Snapshot for the store/storage figures below (counts, WAL size) so a
+  // concurrent commit or checkpoint cannot be observed half-applied.
+  xmlstore::XmlStore::ReadSnapshot snapshot = store_->BeginRead();
   // Degraded = any open breaker: the instance answers, but a federated
   // source is being skipped. Still HTTP 200 — the instance itself is up;
   // "status" carries the nuance.
@@ -320,11 +327,17 @@ HttpResponse NetmarkService::HandlePutDocument(const HttpRequest& request,
   // WebDAV PUT semantics ("collaboratively edit and manage files", paper
   // §2.1.2): putting to an existing name replaces that document.
   bool replaced = false;
-  auto existing = store_->ListDocuments();
+  auto existing = ([this] {
+    xmlstore::XmlStore::ReadSnapshot snapshot = store_->BeginRead();
+    return store_->ListDocuments();
+  })();
   if (existing.ok()) {
     for (const xmlstore::DocRecord& rec : *existing) {
       if (rec.file_name == file_name) {
         netmark::Status st = store_->DeleteDocument(rec.doc_id);
+        // A concurrent PUT/DELETE may have removed it between the listing
+        // and now; the replace still proceeds.
+        if (st.IsNotFound()) continue;
         if (!st.ok()) return HttpResponse::ServerError(st.ToString());
         replaced = true;
       }
@@ -343,6 +356,7 @@ HttpResponse NetmarkService::HandlePutDocument(const HttpRequest& request,
 }
 
 HttpResponse NetmarkService::HandleGetDocument(int64_t doc_id) {
+  xmlstore::XmlStore::ReadSnapshot snapshot = store_->BeginRead();
   auto doc = store_->Reconstruct(doc_id);
   if (!doc.ok()) {
     if (doc.status().IsNotFound()) return HttpResponse::NotFound(doc.status().message());
@@ -361,6 +375,7 @@ HttpResponse NetmarkService::HandleDeleteDocument(int64_t doc_id) {
 }
 
 HttpResponse NetmarkService::HandleListDocuments(bool webdav) {
+  xmlstore::XmlStore::ReadSnapshot snapshot = store_->BeginRead();
   auto docs = store_->ListDocuments();
   if (!docs.ok()) return HttpResponse::ServerError(docs.status().ToString());
   std::string body;
@@ -390,6 +405,7 @@ HttpResponse NetmarkService::HandleListDocuments(bool webdav) {
 }
 
 HttpResponse NetmarkService::HandleStatus() {
+  xmlstore::XmlStore::ReadSnapshot snapshot = store_->BeginRead();
   std::string body = "<status><documents>" + std::to_string(store_->document_count()) +
                      "</documents><nodes>" + std::to_string(store_->node_count()) +
                      "</nodes><terms>" +

@@ -70,7 +70,12 @@ class NetmarkService {
   netmark::Status RegisterStylesheet(const std::string& name,
                                      std::string_view stylesheet_text);
 
-  /// Dispatches one request.
+  /// Dispatches one request. Thread-safe for concurrent requests (the
+  /// worker-pool server calls it from many threads): store reads run under
+  /// an XmlStore::ReadSnapshot, so every response reflects one committed
+  /// state even with ingestion or checkpointing in flight. Configuration
+  /// (set_router, RegisterStylesheet, BindMetrics, ...) must still finish
+  /// before traffic starts.
   HttpResponse Handle(const HttpRequest& request);
 
   xmlstore::XmlStore* store() { return store_; }

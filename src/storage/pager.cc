@@ -36,25 +36,34 @@ Pager::~Pager() {
 }
 
 netmark::Result<PageId> Pager::Allocate() {
-  if (page_count_ == kInvalidPage) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PageId count = page_count_.load(std::memory_order_relaxed);
+  if (count == kInvalidPage) {
     return netmark::Status::CapacityExceeded("page file full");
   }
-  PageId id = page_count_++;
+  PageId id = count;
   auto buf = std::make_unique<uint8_t[]>(kPageSize);
   std::memset(buf.get(), 0, kPageSize);
   Page(buf.get()).Init();
   cache_[id] = std::move(buf);
   dirty_[id] = true;
   dirty_since_mark_.insert(id);
+  page_count_.store(count + 1, std::memory_order_release);
   return id;
 }
 
 netmark::Result<uint8_t*> Pager::Buffer(PageId id) {
+  // The lock covers the cache probe and (on a miss) the pread + insert. A
+  // miss therefore serializes concurrent readers briefly, but buffers are
+  // never evicted so the common case — cache hit — is one map lookup, and
+  // the returned pointer stays stable after the lock is released.
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(id);
   if (it != cache_.end()) return it->second.get();
-  if (id >= page_count_) {
+  PageId count = page_count_.load(std::memory_order_relaxed);
+  if (id >= count) {
     return netmark::Status::InvalidArgument(
-        netmark::StringPrintf("page %u out of range (%u pages)", id, page_count_));
+        netmark::StringPrintf("page %u out of range (%u pages)", id, count));
   }
   auto buf = std::make_unique<uint8_t[]>(kPageSize);
   ssize_t n = ::pread(fd_, buf.get(), kPageSize,
@@ -63,7 +72,7 @@ netmark::Result<uint8_t*> Pager::Buffer(PageId id) {
     return netmark::Status::IOError(
         netmark::StringPrintf("short read of page %u from %s", id, path_.c_str()));
   }
-  ++pages_read_;
+  pages_read_.fetch_add(1, std::memory_order_relaxed);
   uint8_t* raw = buf.get();
   cache_[id] = std::move(buf);
   return raw;
@@ -75,11 +84,13 @@ netmark::Result<Page> Pager::Fetch(PageId id) {
 }
 
 void Pager::MarkDirty(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   dirty_[id] = true;
   dirty_since_mark_.insert(id);
 }
 
 std::vector<PageId> Pager::TakeDirtySinceMark() {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<PageId> out(dirty_since_mark_.begin(), dirty_since_mark_.end());
   dirty_since_mark_.clear();
   return out;
@@ -90,6 +101,7 @@ netmark::Status Pager::Flush() {
   // strand the rest; the failing page stays dirty (it will be retried by the
   // next Flush) and the first error is propagated.
   netmark::Status first_error = netmark::Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [id, is_dirty] : dirty_) {
     if (!is_dirty) continue;
     auto it = cache_.find(id);
@@ -109,7 +121,7 @@ netmark::Status Pager::Flush() {
       continue;  // page stays dirty
     }
     is_dirty = false;
-    ++pages_written_;
+    pages_written_.fetch_add(1, std::memory_order_relaxed);
   }
   return first_error;
 }

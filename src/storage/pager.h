@@ -14,8 +14,10 @@
 #ifndef NETMARK_STORAGE_PAGER_H_
 #define NETMARK_STORAGE_PAGER_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -28,6 +30,14 @@
 namespace netmark::storage {
 
 /// \brief Owns the page file: allocation, fetch, write-back.
+///
+/// Thread safety: Fetch() may be called concurrently from many reader
+/// threads (the concurrent serving path); the internal mutex guards the
+/// cache map and dirty bookkeeping. Returned page pointers stay valid
+/// without the lock because buffers are never evicted. Mutators (Allocate /
+/// MarkDirty / Flush / TakeDirtySinceMark) are additionally serialized by
+/// the store-level writer lock, so they never race each other — but they do
+/// share the cache map with readers, hence the mutex.
 class Pager {
  public:
   /// Opens (creating if absent) the page file at `path`.
@@ -38,7 +48,7 @@ class Pager {
   Pager& operator=(const Pager&) = delete;
 
   /// Number of pages in the file.
-  PageId page_count() const { return page_count_; }
+  PageId page_count() const { return page_count_.load(std::memory_order_acquire); }
 
   /// Allocates a fresh, zero-initialized page and returns its id.
   netmark::Result<PageId> Allocate();
@@ -64,8 +74,10 @@ class Pager {
   std::vector<PageId> TakeDirtySinceMark();
 
   /// Count of pages read from disk (cache misses), for benchmarks.
-  uint64_t pages_read() const { return pages_read_; }
-  uint64_t pages_written() const { return pages_written_; }
+  uint64_t pages_read() const { return pages_read_.load(std::memory_order_relaxed); }
+  uint64_t pages_written() const {
+    return pages_written_.load(std::memory_order_relaxed);
+  }
 
   /// Test hook: replaces pwrite so tests can inject partial/failed writes.
   /// Signature matches pwrite(fd, buf, count, offset).
@@ -80,12 +92,14 @@ class Pager {
 
   std::string path_;
   int fd_;
-  PageId page_count_ = 0;
+  std::atomic<PageId> page_count_{0};
+  /// Guards cache_/dirty_/dirty_since_mark_ against concurrent readers.
+  mutable std::mutex mu_;
   std::unordered_map<PageId, std::unique_ptr<uint8_t[]>> cache_;
   std::unordered_map<PageId, bool> dirty_;
   std::set<PageId> dirty_since_mark_;
-  uint64_t pages_read_ = 0;
-  uint64_t pages_written_ = 0;
+  std::atomic<uint64_t> pages_read_{0};
+  std::atomic<uint64_t> pages_written_{0};
   WriteFn write_fn_;
 };
 

@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <map>
 
+#include "common/clock.h"
 #include "common/string_util.h"
 
 namespace netmark::xmlstore {
@@ -63,7 +64,24 @@ netmark::Result<std::unique_ptr<XmlStore>> XmlStore::Open(
   } else {
     NETMARK_RETURN_NOT_OK(store->RebuildTextIndex());
   }
+  store->last_commit_micros_.store(netmark::MonotonicMicros(),
+                                   std::memory_order_relaxed);
   return store;
+}
+
+XmlStore::ReadSnapshot XmlStore::BeginRead() const {
+  std::shared_lock<std::shared_mutex> lock(commit_mu_);
+  active_readers_.fetch_add(1, std::memory_order_relaxed);
+  return ReadSnapshot(this, std::move(lock),
+                      commit_epoch_.load(std::memory_order_acquire));
+}
+
+void XmlStore::ReadSnapshot::Release() {
+  if (store_ != nullptr) {
+    store_->active_readers_.fetch_sub(1, std::memory_order_relaxed);
+    store_ = nullptr;
+  }
+  if (lock_.owns_lock()) lock_.unlock();
 }
 
 textindex::SnapshotToken XmlStore::CurrentToken() const {
@@ -113,7 +131,7 @@ netmark::Result<int64_t> XmlStore::InsertDocument(const xml::Document& doc,
 }
 
 netmark::Result<int64_t> XmlStore::InsertPrepared(const PreparedDocument& prepared) {
-  std::lock_guard<std::mutex> lock(write_mu_);
+  std::lock_guard<std::shared_mutex> lock(commit_mu_);
   NETMARK_RETURN_NOT_OK(db_->BeginTransaction());
   netmark::Result<int64_t> doc_id = InsertPreparedLocked(prepared);
   if (!doc_id.ok()) {
@@ -210,7 +228,7 @@ netmark::Result<std::vector<std::pair<RowId, NodeRecord>>> XmlStore::DocumentNod
 }
 
 netmark::Status XmlStore::DeleteDocument(int64_t doc_id) {
-  std::lock_guard<std::mutex> lock(write_mu_);
+  std::lock_guard<std::shared_mutex> lock(commit_mu_);
   NETMARK_RETURN_NOT_OK(db_->BeginTransaction());
   netmark::Status st = DeleteDocumentLocked(doc_id);
   if (!st.ok()) {
@@ -428,12 +446,12 @@ netmark::Result<std::vector<RowId>> XmlStore::TextScanLookup(
 }
 
 netmark::Status XmlStore::Flush() {
-  std::lock_guard<std::mutex> lock(write_mu_);
+  std::lock_guard<std::shared_mutex> lock(commit_mu_);
   return CheckpointLocked();
 }
 
 netmark::Status XmlStore::Checkpoint() {
-  std::lock_guard<std::mutex> lock(write_mu_);
+  std::lock_guard<std::shared_mutex> lock(commit_mu_);
   return CheckpointLocked();
 }
 
@@ -452,6 +470,10 @@ netmark::Status XmlStore::CommitTransactionLocked() {
     observability::ScopedTimer timer(handles_.commit_micros);
     NETMARK_RETURN_NOT_OK(db_->CommitTransaction());
   }
+  // Publish the new consistent view: snapshots taken from here on observe
+  // this mutation, and the snapshot-age gauge restarts from now.
+  commit_epoch_.fetch_add(1, std::memory_order_release);
+  last_commit_micros_.store(netmark::MonotonicMicros(), std::memory_order_relaxed);
   PublishWalCounters();
   // Size-triggered checkpoint: bounds both log growth and recovery time.
   if (db_->ShouldCheckpoint()) return CheckpointLocked();
@@ -459,7 +481,7 @@ netmark::Status XmlStore::CommitTransactionLocked() {
 }
 
 netmark::Status XmlStore::SyncWal() {
-  std::lock_guard<std::mutex> lock(write_mu_);
+  std::lock_guard<std::shared_mutex> lock(commit_mu_);
   netmark::Status st = db_->SyncWal();
   PublishWalCounters();
   return st;
@@ -495,6 +517,18 @@ void XmlStore::BindHandles() {
   });
   metrics_->SetCallbackGauge("netmark_storage_recovery_pages_applied", {}, [this] {
     return static_cast<double>(db_->recovery_stats().pages_applied);
+  });
+  // Snapshot-isolation view of the serving path (docs/serving.md).
+  metrics_->SetCallbackGauge("netmark_snapshot_epoch", {}, [this] {
+    return static_cast<double>(commit_epoch_.load(std::memory_order_relaxed));
+  });
+  metrics_->SetCallbackGauge("netmark_snapshot_active_readers", {}, [this] {
+    return static_cast<double>(active_readers_.load(std::memory_order_relaxed));
+  });
+  metrics_->SetCallbackGauge("netmark_snapshot_age_seconds", {}, [this] {
+    int64_t last = last_commit_micros_.load(std::memory_order_relaxed);
+    if (last == 0) return 0.0;
+    return static_cast<double>(netmark::MonotonicMicros() - last) / 1e6;
   });
 }
 

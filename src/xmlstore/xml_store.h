@@ -9,9 +9,12 @@
 #ifndef NETMARK_XMLSTORE_XML_STORE_H_
 #define NETMARK_XMLSTORE_XML_STORE_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -30,13 +33,72 @@ namespace netmark::xmlstore {
 /// \brief Schema-less document store over the relational engine.
 ///
 /// Mutators (InsertDocument / InsertPrepared / DeleteDocument / Flush /
-/// Checkpoint) are serialized on an internal write mutex, so the HTTP PUT
-/// path, the ingestion daemon's writer stage, and a checkpointer may run
-/// concurrently. Each document mutation is one write-ahead-log transaction:
-/// its XML + DOC rows (and therefore the text-index postings, which are
-/// rebuilt from those rows after a crash) land atomically or not at all.
+/// Checkpoint) take the commit lock exclusively, so the HTTP PUT path, the
+/// ingestion daemon's writer stage, and a checkpointer may run concurrently.
+/// Each document mutation is one write-ahead-log transaction: its XML + DOC
+/// rows (and therefore the text-index postings, which are rebuilt from those
+/// rows after a crash) land atomically or not at all.
+///
+/// Readers pin a consistent view with BeginRead(): the returned ReadSnapshot
+/// holds the commit lock shared, so many queries overlap each other freely
+/// while mutations and checkpoints wait — queries never observe a
+/// half-committed document or race a checkpoint (the serving path's snapshot
+/// isolation; see docs/serving.md).
 class XmlStore {
  public:
+  /// \brief RAII token pinning a consistent read view of the store.
+  ///
+  /// While alive, no mutation or checkpoint can commit (shared commit lock);
+  /// every read issued through the owning store observes the same epoch.
+  /// Movable, not copyable; cheap to take (one shared-mutex acquisition).
+  /// Do NOT call BeginRead() again while already holding one on the same
+  /// thread — recursive shared_mutex acquisition is undefined; pass the
+  /// snapshot down instead.
+  class ReadSnapshot {
+   public:
+    ReadSnapshot() = default;
+    ReadSnapshot(ReadSnapshot&& other) noexcept
+        : store_(std::exchange(other.store_, nullptr)),
+          lock_(std::move(other.lock_)),
+          epoch_(other.epoch_) {}
+    ReadSnapshot& operator=(ReadSnapshot&& other) noexcept {
+      if (this != &other) {
+        Release();
+        store_ = std::exchange(other.store_, nullptr);
+        lock_ = std::move(other.lock_);
+        epoch_ = other.epoch_;
+      }
+      return *this;
+    }
+    ReadSnapshot(const ReadSnapshot&) = delete;
+    ReadSnapshot& operator=(const ReadSnapshot&) = delete;
+    ~ReadSnapshot() { Release(); }
+
+    bool valid() const { return store_ != nullptr; }
+    /// Commit epoch this snapshot pinned (advances once per committed
+    /// mutation; two snapshots with equal epochs observed identical data).
+    uint64_t epoch() const { return epoch_; }
+
+   private:
+    friend class XmlStore;
+    ReadSnapshot(const XmlStore* store, std::shared_lock<std::shared_mutex> lock,
+                 uint64_t epoch)
+        : store_(store), lock_(std::move(lock)), epoch_(epoch) {}
+    void Release();
+
+    const XmlStore* store_ = nullptr;
+    std::shared_lock<std::shared_mutex> lock_;
+    uint64_t epoch_ = 0;
+  };
+
+  /// Pins a consistent view for a batch of reads (see ReadSnapshot).
+  ReadSnapshot BeginRead() const;
+
+  /// Commit epoch: bumped once per committed insert/delete. A reader that
+  /// sees the same epoch across two snapshots saw identical store contents.
+  uint64_t commit_epoch() const {
+    return commit_epoch_.load(std::memory_order_acquire);
+  }
   /// Opens (creating on first use) a store under `dir`. The fixed two-table
   /// schema is created exactly once; reopening rebuilds the text index from
   /// the stored nodes. `storage` selects the durability mode (WAL on by
@@ -149,11 +211,11 @@ class XmlStore {
   netmark::Status EnsureTables();
   netmark::Status RebuildTextIndex();
   textindex::SnapshotToken CurrentToken() const;
-  /// Insert body (write_mu_ held, transaction open).
+  /// Insert body (commit_mu_ held exclusively, transaction open).
   netmark::Result<int64_t> InsertPreparedLocked(const PreparedDocument& prepared);
-  /// Delete body (write_mu_ held, transaction open).
+  /// Delete body (commit_mu_ held exclusively, transaction open).
   netmark::Status DeleteDocumentLocked(int64_t doc_id);
-  /// Commit + metric deltas + size-triggered checkpoint (write_mu_ held).
+  /// Commit + metric deltas + size-triggered checkpoint (commit_mu_ held).
   netmark::Status CommitTransactionLocked();
   netmark::Status CheckpointLocked();
   void BindHandles();
@@ -162,10 +224,16 @@ class XmlStore {
   storage::Table* xml_table() const { return xml_table_; }
   storage::Table* doc_table() const { return doc_table_; }
 
-  /// Serializes mutators and checkpoints (readers are unsynchronized, as
-  /// before — NETMARK's read paths run against a quiesced or single-writer
-  /// store).
-  mutable std::mutex write_mu_;
+  /// Reader-writer commit lock: mutators and checkpoints hold it exclusive,
+  /// ReadSnapshot holders hold it shared. Readers that skip BeginRead() get
+  /// the old single-writer semantics (safe only against a quiesced store).
+  mutable std::shared_mutex commit_mu_;
+  /// Bumped once per committed mutation (under exclusive commit_mu_).
+  std::atomic<uint64_t> commit_epoch_{0};
+  /// MonotonicMicros of the last commit (or Open) — the snapshot-age gauge.
+  std::atomic<int64_t> last_commit_micros_{0};
+  /// Live ReadSnapshot count (netmark_snapshot_active_readers gauge).
+  mutable std::atomic<int64_t> active_readers_{0};
 
   std::unique_ptr<storage::Database> db_;
   xml::NodeTypeConfig node_types_;

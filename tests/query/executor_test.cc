@@ -182,14 +182,26 @@ TEST_F(ExecutorTest, HigherTermFrequencyRanksFirst) {
   EXPECT_EQ(hits[1].score, 1.0);
 }
 
-TEST_F(ExecutorTest, StatsAreTracked) {
+TEST_F(ExecutorTest, StatsAreReturnedPerCall) {
   QueryExecutor executor(store_.get());
   auto q = ParseXdbQuery("context=Technology+Gap");
   ASSERT_TRUE(q.ok());
-  ASSERT_TRUE(executor.Execute(*q).ok());
-  EXPECT_GT(executor.stats().index_probes, 0u);
-  EXPECT_GT(executor.stats().nodes_walked, 0u);
-  EXPECT_EQ(executor.stats().sections_built, 2u);
+  QueryExecutor::Stats stats;
+  ASSERT_TRUE(executor.Execute(*q, &stats).ok());
+  EXPECT_GT(stats.index_probes, 0u);
+  EXPECT_GT(stats.nodes_walked, 0u);
+  EXPECT_EQ(stats.sections_built, 2u);
+}
+
+TEST_F(ExecutorTest, ExecuteAcceptsCallerSnapshot) {
+  QueryExecutor executor(store_.get());
+  auto q = ParseXdbQuery("context=Technology+Gap");
+  ASSERT_TRUE(q.ok());
+  xmlstore::XmlStore::ReadSnapshot snapshot = store_->BeginRead();
+  auto hits = executor.Execute(*q, snapshot);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_FALSE(hits->empty());
+  EXPECT_TRUE(snapshot.valid());
 }
 
 }  // namespace

@@ -1,0 +1,408 @@
+// Concurrent serving-path tests: the worker-pool server under parallel
+// clients, keep-alive reuse, shedding, slow-client timeouts, graceful
+// drain, and — the core isolation claim — snapshot-consistent reads while
+// ingestion and checkpointing mutate the store. Run under TSan in CI
+// (serving-stress job); thread counts stay modest for 1-2 core runners.
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/temp_dir.h"
+#include "core/netmark.h"
+#include "server/http_client.h"
+#include "server/http_server.h"
+
+namespace netmark::server {
+namespace {
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  int64_t parsed = std::atoll(value);
+  return parsed > 0 ? parsed : fallback;
+}
+
+/// The beacon documents the stress writer publishes: body carries matching
+/// BEGIN<k>/END<k> markers, so any reader that observes a half-committed
+/// replace would see mismatched (or missing) marker numbers.
+std::string BeaconDoc(int k) {
+  return "<doc><h1>Stress</h1><p>beacon BEGIN" + std::to_string(k) +
+         " payload payload payload END" + std::to_string(k) + "</p></doc>";
+}
+
+/// Extracts the integer following `tag` in `body` (-1 when absent).
+int MarkerAfter(const std::string& body, const std::string& tag) {
+  size_t pos = body.find(tag);
+  if (pos == std::string::npos) return -1;
+  pos += tag.size();
+  size_t end = pos;
+  while (end < body.size() && std::isdigit(static_cast<unsigned char>(body[end]))) {
+    ++end;
+  }
+  if (end == pos) return -1;
+  return std::atoi(body.substr(pos, end - pos).c_str());
+}
+
+TEST(ConcurrentServingTest, SnapshotReadsStayConsistentUnderIngestion) {
+  auto dir = TempDir::Make("serving_stress");
+  ASSERT_TRUE(dir.ok());
+  NetmarkOptions options;
+  options.data_dir = dir->Sub("data").string();
+  options.http_server.worker_threads = 4;
+  auto nm = Netmark::Open(options);
+  ASSERT_TRUE(nm.ok());
+  ASSERT_TRUE((*nm)->StartServer().ok());
+  uint16_t port = (*nm)->server_port();
+
+  // Seed one beacon so readers never start with an empty store.
+  HttpClient seed_client("127.0.0.1", port);
+  auto seeded = seed_client.Put("/docs/stress.xml", BeaconDoc(0), "text/xml");
+  ASSERT_TRUE(seeded.ok());
+  ASSERT_EQ(seeded->status, 201);
+
+  const int64_t duration_ms = EnvInt("NETMARK_SERVING_STRESS_MS", 1500);
+  const unsigned seed =
+      static_cast<unsigned>(EnvInt("NETMARK_SERVING_SEED", 42));
+  std::atomic<bool> stop{false};
+  std::atomic<int> inconsistencies{0};
+  std::atomic<uint64_t> reads_ok{0};
+
+  // Writer: replaces the beacon document (delete + insert inside one
+  // commit each) and checkpoints periodically — both exclusive lock holds
+  // the readers' snapshots must serialize against.
+  std::thread writer([&] {
+    HttpClient client("127.0.0.1", port);
+    int k = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto put = client.Put("/docs/stress.xml", BeaconDoc(k), "text/xml");
+      ASSERT_TRUE(put.ok()) << put.status().ToString();
+      EXPECT_TRUE(put->status == 201 || put->status == 204) << put->status;
+      if (k % 10 == 0) {
+        ASSERT_TRUE((*nm)->store()->Checkpoint().ok());
+      }
+      ++k;
+    }
+  });
+
+  // Readers: XDB section queries plus raw document GETs. Every 200 body
+  // that mentions the beacon must carry matching BEGIN/END markers — the
+  // byte-consistency claim.
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      HttpClient client("127.0.0.1", port);
+      unsigned rng = seed + static_cast<unsigned>(r);
+      while (!stop.load(std::memory_order_relaxed)) {
+        rng = rng * 1664525u + 1013904223u;
+        std::string target;
+        switch (rng % 3) {
+          case 0: target = "/xdb?context=Stress"; break;
+          case 1: target = "/xdb?content=beacon"; break;
+          default: target = "/docs"; break;
+        }
+        auto resp = client.Get(target);
+        if (!resp.ok()) continue;  // drain/timeout races are fine
+        if (resp->status != 200) continue;
+        reads_ok.fetch_add(1, std::memory_order_relaxed);
+        const std::string& body = resp->body;
+        int begin = MarkerAfter(body, "BEGIN");
+        int end = MarkerAfter(body, "END");
+        if (begin != end) {
+          inconsistencies.fetch_add(1);
+          ADD_FAILURE() << "torn read: BEGIN" << begin << " vs END" << end
+                        << " in " << target;
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop.store(true);
+  writer.join();
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(inconsistencies.load(), 0);
+  EXPECT_GT(reads_ok.load(), 0u);
+  (*nm)->StopServer();
+}
+
+TEST(ConcurrentServingTest, ShedsWith503WhenAcceptQueueIsFull) {
+  HttpServerOptions options;
+  options.worker_threads = 1;
+  options.accept_queue_capacity = 1;
+  std::atomic<bool> release{false};
+  HttpServer server(
+      [&](const HttpRequest&) {
+        while (!release.load()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        return HttpResponse::Ok("done");
+      },
+      options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // First request occupies the lone worker...
+  std::vector<std::thread> blocked;
+  std::atomic<int> ok_count{0};
+  auto spawn_blocked = [&] {
+    blocked.emplace_back([&] {
+      HttpClient client("127.0.0.1", server.port());
+      auto resp = client.Get("/slow");
+      if (resp.ok() && resp->status == 200) ok_count.fetch_add(1);
+    });
+  };
+  spawn_blocked();
+  for (int i = 0; i < 400 && server.active_connections() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(server.active_connections(), 1);
+  // ...then the second parks in the (capacity-1) queue.
+  spawn_blocked();
+  for (int i = 0; i < 400 && server.connections_accepted() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_GE(server.connections_accepted(), 2u);
+
+  // Further connections must be shed with 503 + Retry-After, not queued.
+  HttpClient client("127.0.0.1", server.port());
+  int shed_seen = 0;
+  for (int i = 0; i < 5; ++i) {
+    auto resp = client.Get("/extra");
+    if (resp.ok() && resp->status == 503) {
+      ++shed_seen;
+      EXPECT_EQ(resp->Header("Retry-After"), "1");
+    }
+  }
+  EXPECT_GT(shed_seen, 0);
+  EXPECT_GT(server.connections_shed(), 0u);
+
+  release.store(true);
+  for (std::thread& t : blocked) t.join();
+  EXPECT_EQ(ok_count.load(), 2);
+  server.Stop();
+}
+
+TEST(ConcurrentServingTest, SlowClientGets408NotAHungWorker) {
+  HttpServerOptions options;
+  options.read_timeout_ms = 150;
+  options.idle_timeout_ms = 400;
+  HttpServer server([](const HttpRequest&) { return HttpResponse::Ok("x"); },
+                    options);
+  ASSERT_TRUE(server.Start().ok());
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  // Half a request head, then stall: the read deadline must fire.
+  const char partial[] = "GET /stalled HTTP/1.1\r\n";
+  ASSERT_GT(::send(fd, partial, sizeof(partial) - 1, 0), 0);
+
+  std::string raw;
+  char chunk[1024];
+  while (true) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    raw.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(raw.find("408"), std::string::npos) << raw;
+  EXPECT_EQ(server.read_timeouts(), 1u);
+  server.Stop();
+}
+
+TEST(ConcurrentServingTest, IdleConnectionIsReapedQuietly) {
+  HttpServerOptions options;
+  options.idle_timeout_ms = 120;
+  HttpServer server([](const HttpRequest&) { return HttpResponse::Ok("x"); },
+                    options);
+  ASSERT_TRUE(server.Start().ok());
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  // Send nothing: the server must close (EOF) without writing a response.
+  char chunk[64];
+  ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+  EXPECT_EQ(n, 0);
+  ::close(fd);
+  EXPECT_EQ(server.read_timeouts(), 0u);
+  server.Stop();
+}
+
+TEST(ConcurrentServingTest, KeepAliveServesManyRequestsOnOneConnection) {
+  HttpServer server([](const HttpRequest& req) {
+    return HttpResponse::Ok(std::string(req.query));
+  });
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client("127.0.0.1", server.port());
+  for (int i = 0; i < 10; ++i) {
+    auto resp = client.Get("/q?n=" + std::to_string(i));
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    EXPECT_EQ(resp->body, "n=" + std::to_string(i));
+    EXPECT_EQ(resp->Header("Connection"), "keep-alive");
+  }
+  EXPECT_EQ(client.connections_opened(), 1u);
+  EXPECT_EQ(client.connections_reused(), 9u);
+  EXPECT_EQ(server.connections_accepted(), 1u);
+  EXPECT_EQ(server.keepalive_reuses(), 9u);
+  EXPECT_EQ(server.requests_served(), 10u);
+  server.Stop();
+}
+
+TEST(ConcurrentServingTest, MaxRequestsPerConnectionRotatesConnections) {
+  HttpServerOptions options;
+  options.max_requests_per_connection = 3;
+  HttpServer server([](const HttpRequest&) { return HttpResponse::Ok("x"); },
+                    options);
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client("127.0.0.1", server.port());
+  for (int i = 0; i < 7; ++i) {
+    auto resp = client.Get("/r");
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    EXPECT_EQ(resp->status, 200);
+  }
+  // Every 3rd response closes the connection, so 7 requests need 3 sockets.
+  EXPECT_EQ(client.connections_opened(), 3u);
+  EXPECT_EQ(server.connections_accepted(), 3u);
+  server.Stop();
+}
+
+TEST(ConcurrentServingTest, ClientHonorsExplicitConnectionClose) {
+  HttpServer server([](const HttpRequest&) { return HttpResponse::Ok("x"); });
+  ASSERT_TRUE(server.Start().ok());
+  HttpClientOptions copts;
+  copts.reuse_connections = false;
+  HttpClient client("127.0.0.1", server.port(), copts);
+  for (int i = 0; i < 4; ++i) {
+    auto resp = client.Get("/r");
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp->Header("Connection"), "close");
+  }
+  EXPECT_EQ(client.connections_opened(), 4u);
+  EXPECT_EQ(client.connections_reused(), 0u);
+  EXPECT_EQ(server.keepalive_reuses(), 0u);
+  server.Stop();
+}
+
+TEST(ConcurrentServingTest, GracefulDrainFinishesInFlightRequests) {
+  std::atomic<bool> handler_entered{false};
+  HttpServer server([&](const HttpRequest&) {
+    handler_entered.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    return HttpResponse::Ok("finished");
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  std::thread in_flight([&, port = server.port()] {
+    HttpClient client("127.0.0.1", port);
+    auto resp = client.Get("/slow");
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    EXPECT_EQ(resp->status, 200);
+    EXPECT_EQ(resp->body, "finished");
+    // Draining responses must close, not invite another request.
+    EXPECT_EQ(resp->Header("Connection"), "close");
+  });
+  while (!handler_entered.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  server.Stop();  // must wait for the in-flight response
+  in_flight.join();
+  EXPECT_EQ(server.requests_served(), 1u);
+}
+
+TEST(ConcurrentServingTest, ConcurrentClientsThroughThePool) {
+  std::atomic<int> peak{0};
+  std::atomic<int> current{0};
+  HttpServer server([&](const HttpRequest&) {
+    int now = current.fetch_add(1) + 1;
+    int prev = peak.load();
+    while (now > prev && !peak.compare_exchange_weak(prev, now)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    current.fetch_sub(1);
+    return HttpResponse::Ok("x");
+  });
+  ASSERT_TRUE(server.Start().ok());
+  std::vector<std::thread> clients;
+  std::atomic<int> ok_count{0};
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&] {
+      HttpClient client("127.0.0.1", server.port());
+      for (int i = 0; i < 10; ++i) {
+        auto resp = client.Get("/c");
+        if (resp.ok() && resp->status == 200) ok_count.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(ok_count.load(), 40);
+  // With 4 workers and 4 closed-loop clients the pool must actually
+  // overlap requests (the old serial server would report peak == 1).
+  EXPECT_GT(peak.load(), 1);
+  server.Stop();
+}
+
+TEST(HttpClientKeepAliveTest, ServerRestartMidStreamIsRetriedTransparently) {
+  auto make_server = [] {
+    return std::make_unique<HttpServer>(
+        [](const HttpRequest&) { return HttpResponse::Ok("pong"); });
+  };
+  auto server = make_server();
+  ASSERT_TRUE(server->Start().ok());
+  uint16_t port = server->port();
+
+  HttpClient client("127.0.0.1", port);
+  auto first = client.Get("/ping");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(client.connections_opened(), 1u);
+
+  // Restart on the same port: the pooled socket is now dead. The next Send
+  // must detect the stale connection and retry on a fresh one — invisible
+  // to the caller (and to the PR 2 retry machinery above it).
+  server->Stop();
+  server = make_server();
+  ASSERT_TRUE(server->Start(port).ok());
+
+  auto second = client.Get("/ping");
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->body, "pong");
+  EXPECT_EQ(client.connections_opened(), 2u);
+  server->Stop();
+}
+
+TEST(HttpClientKeepAliveTest, DownServerAfterRestartStillMapsToUnavailable) {
+  auto server = std::make_unique<HttpServer>(
+      [](const HttpRequest&) { return HttpResponse::Ok("pong"); });
+  ASSERT_TRUE(server->Start().ok());
+  uint16_t port = server->port();
+  HttpClient client("127.0.0.1", port);
+  ASSERT_TRUE(client.Get("/ping").ok());
+
+  // Server gone for good: the stale-retry reconnect must surface the
+  // retryable Unavailable the PR 2 backoff rules key on.
+  server->Stop();
+  server.reset();
+  auto resp = client.Get("/ping");
+  EXPECT_TRUE(resp.status().IsUnavailable()) << resp.status().ToString();
+}
+
+}  // namespace
+}  // namespace netmark::server

@@ -1,22 +1,28 @@
 #!/usr/bin/env python3
-"""Bench-regression gate: compares the p50 insert latency in a fresh
-BENCH_fig3_ingestion.json against the previous run's artifact.
+"""Bench-regression gate: compares a histogram metric's p50 in a fresh
+BENCH_*.json against the previous run's artifact.
 
-usage: check_bench_regression.py BASELINE_JSON CURRENT_JSON [--threshold PCT]
+usage: check_bench_regression.py BASELINE_JSON CURRENT_JSON
+           [--threshold PCT] [--metric NAME]
+
+Defaults to the ingestion insert latency (netmark_ingest_insert_micros);
+pass --metric to gate another bench (e.g. netmark_http_request_micros for
+bench_serving).
 
 Exit codes: 0 = ok (or no comparable baseline), 1 = regression, 2 = usage.
 
 Tolerant by design: a missing baseline file, an empty file, a baseline
-without the metric, or a baseline produced under a different storage
-configuration (no/mismatched "config" marker line) all SKIP the check with a
-note instead of failing — the first run after a bench-format change must not
-brick CI. Only a like-for-like comparison that exceeds the threshold fails.
+without the metric, or a baseline produced under a different configuration
+(no/mismatched "config" marker line) all SKIP the check with a note instead
+of failing — the first run after a bench-format change must not brick CI.
+Only a like-for-like comparison that exceeds the threshold fails.
 """
 
+import argparse
 import json
 import sys
 
-METRIC = "netmark_ingest_insert_micros"
+DEFAULT_METRIC = "netmark_ingest_insert_micros"
 
 
 def load_lines(path):
@@ -44,41 +50,48 @@ def find_config(lines):
     return None
 
 
-def find_p50(lines):
+def find_p50(lines, metric):
     for obj in lines:
-        if obj.get("metric") == METRIC and "p50" in obj:
+        if obj.get("metric") == metric and "p50" in obj:
             return float(obj["p50"])
     return None
 
 
 def main(argv):
-    if len(argv) < 3:
-        print(__doc__.strip(), file=sys.stderr)
+    parser = argparse.ArgumentParser(
+        description="Compare a bench JSONL metric p50 against a baseline.")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=15.0,
+                        help="allowed p50 increase in percent (default 15)")
+    parser.add_argument("--metric", default=DEFAULT_METRIC,
+                        help=f"histogram metric to gate (default {DEFAULT_METRIC})")
+    try:
+        args = parser.parse_args(argv[1:])
+    except SystemExit:
         return 2
-    baseline_path, current_path = argv[1], argv[2]
-    threshold = 15.0
-    if len(argv) >= 5 and argv[3] == "--threshold":
-        threshold = float(argv[4])
+    metric = args.metric
+    threshold = args.threshold
 
-    current = load_lines(current_path)
+    current = load_lines(args.current)
     if not current:
-        print(f"bench-regression: no current results at {current_path}; skipping")
+        print(f"bench-regression: no current results at {args.current}; skipping")
         return 0
-    baseline = load_lines(baseline_path)
+    baseline = load_lines(args.baseline)
     if not baseline:
-        print(f"bench-regression: no baseline at {baseline_path}; skipping "
+        print(f"bench-regression: no baseline at {args.baseline}; skipping "
               "(first run or expired artifact)")
         return 0
 
     base_config, cur_config = find_config(baseline), find_config(current)
     if base_config != cur_config:
         print(f"bench-regression: baseline config {base_config!r} != current "
-              f"{cur_config!r}; storage setup changed, skipping comparison")
+              f"{cur_config!r}; bench setup changed, skipping comparison")
         return 0
 
-    base_p50, cur_p50 = find_p50(baseline), find_p50(current)
+    base_p50, cur_p50 = find_p50(baseline, metric), find_p50(current, metric)
     if base_p50 is None or cur_p50 is None:
-        print(f"bench-regression: metric {METRIC} missing "
+        print(f"bench-regression: metric {metric} missing "
               f"(baseline={base_p50}, current={cur_p50}); skipping")
         return 0
     if base_p50 <= 0:
@@ -86,11 +99,11 @@ def main(argv):
         return 0
 
     delta_pct = (cur_p50 - base_p50) / base_p50 * 100.0
-    print(f"bench-regression: {METRIC} p50 baseline={base_p50:.1f}us "
+    print(f"bench-regression: {metric} p50 baseline={base_p50:.1f}us "
           f"current={cur_p50:.1f}us delta={delta_pct:+.1f}% "
           f"(threshold +{threshold:.0f}%)")
     if delta_pct > threshold:
-        print(f"bench-regression: FAIL — p50 insert latency regressed "
+        print(f"bench-regression: FAIL — {metric} p50 regressed "
               f"{delta_pct:.1f}% > {threshold:.0f}%", file=sys.stderr)
         return 1
     print("bench-regression: ok")
