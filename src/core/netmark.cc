@@ -24,6 +24,7 @@ Result<std::unique_ptr<Netmark>> Netmark::Open(const NetmarkOptions& options) {
   nm->service_->set_router(&nm->router_);
   nm->service_->BindMetrics(nm->metrics_.get());
   nm->service_->set_slow_query_ms(options.slow_query_ms);
+  nm->service_->ConfigureQueryCache(options.query_cache, options.plan_cache);
   return nm;
 }
 
@@ -51,6 +52,10 @@ Result<std::vector<query::QueryHit>> Netmark::Query(const std::string& query_str
   NETMARK_ASSIGN_OR_RETURN(query::XdbQuery q, query::ParseXdbQuery(query_string));
   query::QueryExecutor executor(store_.get());
   executor.BindMetrics(metrics_.get());
+  // The ad-hoc executor shares the service's caches (same store, so the
+  // epoch-keyed result cache is valid here too).
+  executor.set_result_cache(service_->result_cache());
+  executor.set_plan_cache(service_->plan_cache());
   return executor.Execute(q);
 }
 
@@ -58,6 +63,8 @@ Result<std::string> Netmark::QueryToXml(const std::string& query_string) {
   NETMARK_ASSIGN_OR_RETURN(query::XdbQuery q, query::ParseXdbQuery(query_string));
   query::QueryExecutor executor(store_.get());
   executor.BindMetrics(metrics_.get());
+  executor.set_result_cache(service_->result_cache());
+  executor.set_plan_cache(service_->plan_cache());
   // One snapshot spans execute + compose (same consistent view).
   xmlstore::XmlStore::ReadSnapshot snapshot = store_->BeginRead();
   NETMARK_ASSIGN_OR_RETURN(std::vector<query::QueryHit> hits,
@@ -72,6 +79,8 @@ Result<std::string> Netmark::QueryAndTransform(const std::string& query_string,
   NETMARK_ASSIGN_OR_RETURN(query::XdbQuery q, query::ParseXdbQuery(query_string));
   query::QueryExecutor executor(store_.get());
   executor.BindMetrics(metrics_.get());
+  executor.set_result_cache(service_->result_cache());
+  executor.set_plan_cache(service_->plan_cache());
   xml::Document results;
   {
     // One snapshot spans execute + compose (same consistent view).
@@ -100,6 +109,10 @@ Status Netmark::RegisterSelfAsSource(const std::string& source_name) {
   auto source =
       std::make_shared<federation::LocalStoreSource>(source_name, store_.get());
   source->BindMetrics(metrics_.get());
+  // The self-source wraps the same store, so sharing the service's
+  // epoch-keyed result cache is safe (and lets /xdb and databank queries
+  // feed one another's entries).
+  source->set_caches(service_->result_cache(), service_->plan_cache());
   return router_.RegisterSource(std::move(source));
 }
 

@@ -51,6 +51,12 @@ struct NetmarkOptions {
   /// Slow-query log threshold (ms; 0 disables). The NETMARK_SLOW_QUERY_MS
   /// env var always wins.
   int64_t slow_query_ms = observability::kDefaultSlowQueryMs;
+  /// Result-cache sizing (the `[query]` INI section: cache_enabled /
+  /// cache_entries / cache_bytes). Entries are keyed by (canonical query,
+  /// commit epoch) — see docs/query_cache.md.
+  query::ResultCacheOptions query_cache;
+  /// Compiled-plan cache sizing (`[query] plan_entries`).
+  query::QueryPlanCache::Options plan_cache;
 };
 
 /// \brief One NETMARK instance.

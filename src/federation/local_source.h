@@ -8,6 +8,8 @@
 
 #include "federation/source.h"
 #include "query/executor.h"
+#include "query/plan.h"
+#include "query/result_cache.h"
 #include "xmlstore/xml_store.h"
 
 namespace netmark::federation {
@@ -31,6 +33,17 @@ class LocalStoreSource : public Source {
   /// traffic.
   void BindMetrics(observability::MetricsRegistry* registry) {
     executor_.BindMetrics(registry);
+  }
+
+  /// Shares read-path caches with the inner executor; call before traffic.
+  /// `results` MUST belong to the same store this source wraps (its keys
+  /// carry that store's commit epochs) — the facade wires its service's
+  /// caches into the self-registered source here. `plans` is
+  /// store-independent and always safe to share.
+  void set_caches(query::QueryResultCache* results,
+                  query::QueryPlanCache* plans) {
+    executor_.set_result_cache(results);
+    executor_.set_plan_cache(plans);
   }
 
   using Source::Execute;

@@ -4,6 +4,8 @@
 #include <map>
 #include <set>
 
+#include "query/plan.h"
+#include "query/result_cache.h"
 #include "xml/serializer.h"
 #include "xslt/xpath.h"
 
@@ -63,8 +65,7 @@ netmark::Result<bool> QueryExecutor::InsideIntense(RowId node) const {
 }
 
 netmark::Result<std::vector<QueryHit>> QueryExecutor::ContentOnly(
-    const XdbQuery& query, Stats& stats) const {
-  TextQuery content = textindex::ParseTextQuery(query.content);
+    const TextQuery& content, int64_t doc_scope, Stats& stats) const {
   if (content.empty()) return std::vector<QueryHit>{};
 
   // Per clause: matched nodes -> the documents containing them; then AND
@@ -80,7 +81,7 @@ netmark::Result<std::vector<QueryHit>> QueryExecutor::ContentOnly(
     std::set<int64_t> clause_docs;
     for (RowId id : nodes) {
       NETMARK_ASSIGN_OR_RETURN(NodeRecord rec, store_->GetNode(id));
-      if (query.doc_id != 0 && rec.doc_id != query.doc_id) continue;
+      if (doc_scope != 0 && rec.doc_id != doc_scope) continue;
       clause_docs.insert(rec.doc_id);
       first_match.emplace(rec.doc_id, id);
       NETMARK_ASSIGN_OR_RETURN(bool intense, InsideIntense(id));
@@ -127,15 +128,15 @@ netmark::Result<std::vector<QueryHit>> QueryExecutor::ContentOnly(
 }
 
 netmark::Result<std::vector<QueryHit>> QueryExecutor::SectionQuery(
-    const XdbQuery& query, Stats& stats) const {
-  TextQuery context_query = textindex::ParseTextQuery(query.context);
+    const QueryPlan& plan, const XdbQuery& query, Stats& stats) const {
+  const TextQuery& context_query = plan.context_query;
   if (context_query.empty()) return std::vector<QueryHit>{};
 
   // Candidate contexts: sections whose governing heading we must verify.
   // With a content key, candidates come from content hits; otherwise from
   // hits on the heading text itself.
   std::set<uint64_t> candidates;  // packed context RowIds
-  TextQuery content_query = textindex::ParseTextQuery(query.content);
+  const TextQuery& content_query = plan.content_query;
   const TextQuery& seed = query.has_content() ? content_query : context_query;
 
   bool first = true;
@@ -168,10 +169,10 @@ netmark::Result<std::vector<QueryHit>> QueryExecutor::SectionQuery(
     NETMARK_ASSIGN_OR_RETURN(xmlstore::Section section,
                              xmlstore::BuildSection(*store_, ctx));
     if (!textindex::Matches(context_query, section.heading)) continue;
+    NETMARK_ASSIGN_OR_RETURN(std::string body,
+                             xmlstore::SectionText(*store_, ctx));
     // With a content key, the *section body* (or heading) must satisfy it.
     if (query.has_content()) {
-      NETMARK_ASSIGN_OR_RETURN(std::string body,
-                               xmlstore::SectionText(*store_, ctx));
       std::string scope = section.heading + " " + body;
       if (!textindex::Matches(content_query, scope)) continue;
     }
@@ -183,7 +184,68 @@ netmark::Result<std::vector<QueryHit>> QueryExecutor::SectionQuery(
     hit.doc_id = section.doc_id;
     hit.file_name = info.file_name;
     hit.context = ctx;
-    hit.heading = section.heading;
+    hit.heading = std::move(section.heading);
+    hit.text = std::move(body);
+    ordered.push_back({{section.doc_id, head.node_id}, std::move(hit)});
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<QueryHit> hits;
+  hits.reserve(ordered.size());
+  for (auto& [key, hit] : ordered) hits.push_back(std::move(hit));
+  return hits;
+}
+
+netmark::Result<std::vector<QueryHit>> QueryExecutor::SectionQuerySpecialized(
+    const QueryPlan& plan, const XdbQuery& query, Stats& stats) const {
+  if (plan.context_query.empty()) return std::vector<QueryHit>{};
+
+  // One loop per content term: postings probe -> RowId walk to the
+  // governing CONTEXT -> intersect at section granularity. A section that
+  // survives the intersection contains every content term (in its heading
+  // or body), so the content predicate is already proven — no second
+  // full-text pass over the section body.
+  std::set<uint64_t> candidates;  // packed context RowIds
+  bool first = true;
+  for (const QueryClause& clause : plan.content_query.clauses) {
+    NETMARK_ASSIGN_OR_RETURN(std::vector<RowId> nodes, ClauseNodes(clause, stats));
+    std::set<uint64_t> clause_contexts;
+    for (RowId node : nodes) {
+      NETMARK_ASSIGN_OR_RETURN(NodeRecord rec, store_->GetNode(node));
+      if (query.doc_id != 0 && rec.doc_id != query.doc_id) continue;
+      NETMARK_ASSIGN_OR_RETURN(RowId ctx, Walk(node, stats));
+      if (ctx.valid()) clause_contexts.insert(ctx.Pack());
+    }
+    if (first) {
+      candidates = std::move(clause_contexts);
+      first = false;
+    } else {
+      std::set<uint64_t> merged;
+      std::set_intersection(candidates.begin(), candidates.end(),
+                            clause_contexts.begin(), clause_contexts.end(),
+                            std::inserter(merged, merged.end()));
+      candidates = std::move(merged);
+    }
+    if (candidates.empty()) return std::vector<QueryHit>{};
+  }
+
+  // Heading-only verification + section assembly (body text built once,
+  // straight into the hit).
+  std::vector<std::pair<std::pair<int64_t, int64_t>, QueryHit>> ordered;
+  for (uint64_t packed : candidates) {
+    RowId ctx = RowId::Unpack(packed);
+    NETMARK_ASSIGN_OR_RETURN(xmlstore::Section section,
+                             xmlstore::BuildSection(*store_, ctx));
+    if (!textindex::Matches(plan.context_query, section.heading)) continue;
+    ++stats.sections_built;
+    NETMARK_ASSIGN_OR_RETURN(xmlstore::DocRecord info,
+                             store_->GetDocumentInfo(section.doc_id));
+    NETMARK_ASSIGN_OR_RETURN(NodeRecord head, store_->GetNode(ctx));
+    QueryHit hit;
+    hit.doc_id = section.doc_id;
+    hit.file_name = info.file_name;
+    hit.context = ctx;
+    hit.heading = std::move(section.heading);
     NETMARK_ASSIGN_OR_RETURN(hit.text, xmlstore::SectionText(*store_, ctx));
     ordered.push_back({{section.doc_id, head.node_id}, std::move(hit)});
   }
@@ -196,18 +258,15 @@ netmark::Result<std::vector<QueryHit>> QueryExecutor::SectionQuery(
 }
 
 netmark::Result<std::vector<QueryHit>> QueryExecutor::XPathQuery(
-    const XdbQuery& query, Stats& stats) const {
-  NETMARK_ASSIGN_OR_RETURN(xslt::XPath path, xslt::XPath::Parse(query.xpath));
+    const QueryPlan& plan, const XdbQuery& query, Stats& stats) const {
   // Candidate documents: content-key pre-selection when given, else the doc
   // scope, else the whole collection (XPath has no index; the content key is
   // how users keep this selective).
   std::vector<int64_t> docs;
   if (query.has_content()) {
-    XdbQuery content_only;
-    content_only.content = query.content;
-    content_only.doc_id = query.doc_id;
-    NETMARK_ASSIGN_OR_RETURN(std::vector<QueryHit> doc_hits,
-                             ContentOnly(content_only, stats));
+    NETMARK_ASSIGN_OR_RETURN(
+        std::vector<QueryHit> doc_hits,
+        ContentOnly(plan.content_query, query.doc_id, stats));
     for (const QueryHit& hit : doc_hits) docs.push_back(hit.doc_id);
     std::sort(docs.begin(), docs.end());
   } else if (query.doc_id != 0) {
@@ -223,7 +282,7 @@ netmark::Result<std::vector<QueryHit>> QueryExecutor::XPathQuery(
     NETMARK_ASSIGN_OR_RETURN(xmlstore::DocRecord info,
                              store_->GetDocumentInfo(doc_id));
     NETMARK_ASSIGN_OR_RETURN(xml::Document doc, store_->Reconstruct(doc_id));
-    for (xml::NodeId node : path.SelectNodes(doc, doc.root())) {
+    for (xml::NodeId node : plan.xpath->SelectNodes(doc, doc.root())) {
       QueryHit hit;
       hit.doc_id = doc_id;
       hit.file_name = info.file_name;
@@ -251,42 +310,89 @@ void QueryExecutor::BindMetrics(observability::MetricsRegistry* registry) {
 netmark::Result<std::vector<QueryHit>> QueryExecutor::Execute(
     const XdbQuery& query, Stats* stats) const {
   xmlstore::XmlStore::ReadSnapshot snapshot = store_->BeginRead();
-  return ExecuteUnderSnapshot(query, stats);
+  return ExecuteUnderSnapshot(query, snapshot.epoch(), stats);
 }
 
 netmark::Result<std::vector<QueryHit>> QueryExecutor::Execute(
     const XdbQuery& query, const xmlstore::XmlStore::ReadSnapshot& snapshot,
     Stats* stats) const {
-  // The caller's snapshot already pins the view; nothing to acquire. Taking
-  // the parameter (rather than a bare flag) makes "I hold a snapshot" a
+  // The caller's snapshot already pins the view (and supplies the commit
+  // epoch the result cache keys on); nothing to acquire. Taking the
+  // parameter (rather than a bare flag) makes "I hold a snapshot" a
   // compile-time claim at every call site.
-  (void)snapshot;
-  return ExecuteUnderSnapshot(query, stats);
+  return ExecuteUnderSnapshot(query, snapshot.epoch(), stats);
+}
+
+netmark::Result<std::shared_ptr<const QueryPlan>> QueryExecutor::GetPlan(
+    const XdbQuery& query, Stats& stats) const {
+  if (plan_cache_ == nullptr) return BuildQueryPlan(query);
+  std::string shape = QueryPlanShapeKey(query);
+  if (std::shared_ptr<const QueryPlan> plan = plan_cache_->Lookup(shape)) {
+    stats.plan_cache_hits = 1;
+    return plan;
+  }
+  NETMARK_ASSIGN_OR_RETURN(std::shared_ptr<const QueryPlan> plan,
+                           BuildQueryPlan(query));
+  plan_cache_->Insert(shape, plan);
+  return plan;
+}
+
+netmark::Result<std::vector<QueryHit>> QueryExecutor::RunPlan(
+    const QueryPlan& plan, const XdbQuery& query, Stats& stats) const {
+  switch (plan.kind) {
+    case QueryPlan::Kind::kXPath:
+      return XPathQuery(plan, query, stats);
+    case QueryPlan::Kind::kSectionSpecialized:
+      // The specialized plan carries the same parsed queries, so the
+      // generic path can run it too (the ablation/equivalence knob).
+      if (!options_.use_specialized_section_plan) {
+        return SectionQuery(plan, query, stats);
+      }
+      return SectionQuerySpecialized(plan, query, stats);
+    case QueryPlan::Kind::kSection:
+      return SectionQuery(plan, query, stats);
+    case QueryPlan::Kind::kContentOnly:
+      break;
+  }
+  return ContentOnly(plan.content_query, query.doc_id, stats);
 }
 
 netmark::Result<std::vector<QueryHit>> QueryExecutor::ExecuteUnderSnapshot(
-    const XdbQuery& query, Stats* stats) const {
+    const XdbQuery& query, uint64_t epoch, Stats* stats) const {
   Stats local;
   observability::ScopedTimer timer(handles_.execute_micros);
   if (query.empty()) {
     return netmark::Status::InvalidArgument(
         "XDB query needs a Context, Content or XPath key");
   }
-  std::vector<QueryHit> hits;
-  if (query.has_xpath()) {
-    if (query.has_context()) {
-      return netmark::Status::InvalidArgument(
-          "XPath and Context keys cannot be combined (use Content to "
-          "pre-select documents)");
+
+  // Result-cache consult: the canonical query string + the snapshot's
+  // commit epoch identify the answer exactly (a commit bumps the epoch, so
+  // stale entries can never be reached — no invalidation locking).
+  std::string cache_key;
+  const bool use_cache = result_cache_ != nullptr && result_cache_->enabled();
+  if (use_cache) {
+    cache_key = query.ToQueryString();
+    if (QueryResultCache::HitsPtr cached =
+            result_cache_->Lookup(cache_key, epoch)) {
+      local.cache_hits = 1;
+      if (handles_.executes != nullptr) handles_.executes->Increment();
+      if (stats != nullptr) *stats = local;
+      return *cached;
     }
-    NETMARK_ASSIGN_OR_RETURN(hits, XPathQuery(query, local));
-  } else if (query.has_context()) {
-    NETMARK_ASSIGN_OR_RETURN(hits, SectionQuery(query, local));
-  } else {
-    NETMARK_ASSIGN_OR_RETURN(hits, ContentOnly(query, local));
   }
+
+  NETMARK_ASSIGN_OR_RETURN(std::shared_ptr<const QueryPlan> plan,
+                           GetPlan(query, local));
+  NETMARK_ASSIGN_OR_RETURN(std::vector<QueryHit> hits,
+                           RunPlan(*plan, query, local));
   if (query.limit != 0 && hits.size() > query.limit) {
     hits.resize(query.limit);
+  }
+  if (use_cache) {
+    result_cache_->Insert(
+        cache_key, epoch,
+        std::make_shared<const std::vector<QueryHit>>(hits));
   }
   if (handles_.executes != nullptr) {
     handles_.executes->Increment();

@@ -1,39 +1,37 @@
 // XDB query execution over an XmlStore (paper §2.1.4).
 //
-// Pipeline: text-index probe -> RowId context walks -> heading filter ->
-// section assembly. Content-only queries return whole documents; context
-// queries (with or without content) return sections.
+// Pipeline: plan lookup/compile -> (result-cache consult) -> text-index
+// probe -> RowId context walks -> heading filter -> section assembly.
+// Content-only queries return whole documents; context queries (with or
+// without content) return sections.
+//
+// Two read-path accelerators hook in here (both optional, both shared
+// across executors over the same store):
+//   - QueryResultCache: memoizes whole hit lists keyed by canonical query
+//     string + commit epoch (docs/query_cache.md).
+//   - QueryPlanCache: memoizes parsed/compiled plans keyed by query shape,
+//     including the specialized postings-intersection plan for the dominant
+//     context+content shape.
 
 #ifndef NETMARK_QUERY_EXECUTOR_H_
 #define NETMARK_QUERY_EXECUTOR_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "observability/metrics.h"
+#include "query/query_hit.h"
 #include "query/xdb_query.h"
 #include "xmlstore/context_walk.h"
 #include "xmlstore/xml_store.h"
 
 namespace netmark::query {
 
-/// One query hit. Context/combined queries produce one hit per matched
-/// section; content-only queries one hit per matched document (with an
-/// invalid context RowId).
-struct QueryHit {
-  int64_t doc_id = 0;
-  std::string file_name;
-  storage::RowId context;  ///< heading node; invalid for document-level hits
-  std::string heading;     ///< section heading ("" for document-level hits)
-  std::string text;        ///< section body text (or "" for document hits)
-  std::string markup;      ///< serialized fragment (XPath hits only)
-  /// Relevance score for content searches: matching nodes count 1 each,
-  /// doubled when the match sits inside INTENSE (emphasis) markup — the use
-  /// NETMARK's INTENSE node type exists for. Document-level hits are ordered
-  /// by descending score, then doc id.
-  double score = 0;
-};
+struct QueryPlan;
+class QueryPlanCache;
+class QueryResultCache;
 
 /// Execution knobs.
 struct ExecuteOptions {
@@ -43,6 +41,11 @@ struct ExecuteOptions {
   /// Resolve context walks through logical-id index joins instead of RowId
   /// links — the ablation path for bench_ablation_rowid.
   bool use_index_joins_for_walks = false;
+  /// Run context+content term queries through the specialized
+  /// postings-intersection plan (default). When false they execute through
+  /// the generic seed + verify path — the equivalence/ablation knob for
+  /// tests and bench_query_cache.
+  bool use_specialized_section_plan = true;
 };
 
 /// \brief Evaluates XDB queries against one store.
@@ -63,6 +66,11 @@ class QueryExecutor {
     size_t index_probes = 0;
     size_t nodes_walked = 0;
     size_t sections_built = 0;
+    /// 1 when this call was answered from the result cache (all other
+    /// counters then stay 0 — no execution happened).
+    size_t cache_hits = 0;
+    /// 1 when the plan came from the plan cache instead of being compiled.
+    size_t plan_cache_hits = 0;
   };
 
   /// Opts into cumulative instrumentation: every Execute then also bumps
@@ -70,6 +78,17 @@ class QueryExecutor {
   /// `registry` (null = back to uninstrumented). Call before concurrent
   /// traffic; the handles are read-only afterwards.
   void BindMetrics(observability::MetricsRegistry* registry);
+
+  /// Consults/fills `cache` around execution (null = no result caching).
+  /// The cache MUST be dedicated to this executor's store: keys carry the
+  /// store's commit epoch, and epochs of different stores alias. Call
+  /// before concurrent traffic.
+  void set_result_cache(QueryResultCache* cache) { result_cache_ = cache; }
+
+  /// Reuses compiled plans from `cache` (null = compile per call). Plans
+  /// are store-independent, so any executors may share one. Call before
+  /// concurrent traffic.
+  void set_plan_cache(QueryPlanCache* cache) { plan_cache_ = cache; }
 
   /// Runs the query under a self-acquired ReadSnapshot; hits are ordered by
   /// (doc_id, position). Do not call while already holding a snapshot on
@@ -85,16 +104,30 @@ class QueryExecutor {
 
  private:
   netmark::Result<std::vector<QueryHit>> ExecuteUnderSnapshot(
-      const XdbQuery& query, Stats* stats) const;
+      const XdbQuery& query, uint64_t epoch, Stats* stats) const;
+  /// Plan lookup/compile (the parse half of the split Execute).
+  netmark::Result<std::shared_ptr<const QueryPlan>> GetPlan(
+      const XdbQuery& query, Stats& stats) const;
+  /// Strategy dispatch (the run half).
+  netmark::Result<std::vector<QueryHit>> RunPlan(const QueryPlan& plan,
+                                                 const XdbQuery& query,
+                                                 Stats& stats) const;
   netmark::Result<std::vector<storage::RowId>> ClauseNodes(
       const textindex::QueryClause& clause, Stats& stats) const;
   /// True when `node` sits under INTENSE markup (emphasis-boosted scoring).
   netmark::Result<bool> InsideIntense(storage::RowId node) const;
-  netmark::Result<std::vector<QueryHit>> ContentOnly(const XdbQuery& query,
-                                                     Stats& stats) const;
-  netmark::Result<std::vector<QueryHit>> SectionQuery(const XdbQuery& query,
+  netmark::Result<std::vector<QueryHit>> ContentOnly(
+      const textindex::TextQuery& content, int64_t doc_scope,
+      Stats& stats) const;
+  netmark::Result<std::vector<QueryHit>> SectionQuery(const QueryPlan& plan,
+                                                      const XdbQuery& query,
                                                       Stats& stats) const;
-  netmark::Result<std::vector<QueryHit>> XPathQuery(const XdbQuery& query,
+  /// The compiled context+content fast path: one postings-intersection +
+  /// RowId-walk loop at section granularity, heading-only verification.
+  netmark::Result<std::vector<QueryHit>> SectionQuerySpecialized(
+      const QueryPlan& plan, const XdbQuery& query, Stats& stats) const;
+  netmark::Result<std::vector<QueryHit>> XPathQuery(const QueryPlan& plan,
+                                                    const XdbQuery& query,
                                                     Stats& stats) const;
   netmark::Result<storage::RowId> Walk(storage::RowId start, Stats& stats) const;
 
@@ -111,6 +144,8 @@ class QueryExecutor {
   const xmlstore::XmlStore* store_;
   ExecuteOptions options_;
   MetricHandles handles_;
+  QueryResultCache* result_cache_ = nullptr;
+  QueryPlanCache* plan_cache_ = nullptr;
 };
 
 }  // namespace netmark::query

@@ -1,0 +1,42 @@
+// QueryHit: the result unit every XDB read-path component exchanges.
+//
+// Lives in its own header so the result cache can speak in hits without
+// pulling in the executor (and vice versa).
+
+#ifndef NETMARK_QUERY_QUERY_HIT_H_
+#define NETMARK_QUERY_QUERY_HIT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "storage/row_id.h"
+
+namespace netmark::query {
+
+/// One query hit. Context/combined queries produce one hit per matched
+/// section; content-only queries one hit per matched document (with an
+/// invalid context RowId).
+struct QueryHit {
+  int64_t doc_id = 0;
+  std::string file_name;
+  storage::RowId context;  ///< heading node; invalid for document-level hits
+  std::string heading;     ///< section heading ("" for document-level hits)
+  std::string text;        ///< section body text (or "" for document hits)
+  std::string markup;      ///< serialized fragment (XPath hits only)
+  /// Relevance score for content searches: matching nodes count 1 each,
+  /// doubled when the match sits inside INTENSE (emphasis) markup — the use
+  /// NETMARK's INTENSE node type exists for. Document-level hits are ordered
+  /// by descending score, then doc id.
+  double score = 0;
+
+  /// Approximate heap + struct footprint — the unit of the result cache's
+  /// byte accounting.
+  size_t ApproxBytes() const {
+    return sizeof(QueryHit) + file_name.size() + heading.size() + text.size() +
+           markup.size();
+  }
+};
+
+}  // namespace netmark::query
+
+#endif  // NETMARK_QUERY_QUERY_HIT_H_

@@ -15,9 +15,13 @@ netmark::Result<XdbQuery> ParseXdbQuery(std::string_view query_string) {
     std::string raw_value = eq == std::string::npos ? "" : pair.substr(eq + 1);
     NETMARK_ASSIGN_OR_RETURN(std::string value, netmark::UrlDecode(raw_value));
     if (key == "context") {
-      query.context = netmark::Trim(value);
+      // Search keys normalize hard (whitespace runs collapse) so every
+      // spelling of a query — `Context=Technology+Gap`,
+      // `context=Technology%20Gap`, `CONTEXT=Technology++Gap` — parses to
+      // one canonical form and shares one result-cache entry.
+      query.context = netmark::NormalizeWhitespace(value);
     } else if (key == "content") {
-      query.content = netmark::Trim(value);
+      query.content = netmark::NormalizeWhitespace(value);
     } else if (key == "doc" || key == "docid") {
       NETMARK_ASSIGN_OR_RETURN(query.doc_id, netmark::ParseInt64(value));
     } else if (key == "xpath") {

@@ -48,7 +48,11 @@ struct XdbQuery {
   bool has_xpath() const { return !xpath.empty(); }
   bool empty() const { return !has_context() && !has_content() && !has_xpath(); }
 
-  /// Re-encodes the query as a URL query string (canonical ordering).
+  /// Re-encodes the query as a URL query string (canonical ordering,
+  /// lower-case keys, `+` for spaces). Stable under re-parsing —
+  /// ParseXdbQuery(q.ToQueryString()) == q — which is what makes it the
+  /// result-cache key: any two spellings of the same query canonicalize to
+  /// one string (see docs/query_cache.md).
   std::string ToQueryString() const;
 };
 

@@ -53,6 +53,8 @@ NetmarkService::NetmarkService(xmlstore::XmlStore* store)
       converters_(convert::ConverterRegistry::Default()),
       slow_query_ms_(observability::ResolveSlowQueryThresholdMs(
           observability::kDefaultSlowQueryMs)) {
+  executor_.set_result_cache(&result_cache_);
+  executor_.set_plan_cache(&plan_cache_);
   owned_metrics_ = std::make_unique<observability::MetricsRegistry>();
   metrics_ = owned_metrics_.get();
   BindHandles();
@@ -68,6 +70,8 @@ void NetmarkService::BindHandles() {
                                                   {{"route", route}});
   }
   executor_.BindMetrics(metrics_);
+  result_cache_.BindMetrics(metrics_);
+  plan_cache_.BindMetrics(metrics_);
 }
 
 void NetmarkService::BindMetrics(observability::MetricsRegistry* registry) {
@@ -197,7 +201,11 @@ HttpResponse NetmarkService::HandleXdb(const HttpRequest& request) {
     // bodies composed from them come from the same committed state even
     // with ingestion running concurrently.
     xmlstore::XmlStore::ReadSnapshot snapshot = store_->BeginRead();
-    auto hits = executor_.Execute(*query, snapshot);
+    query::QueryExecutor::Stats exec_stats;
+    auto hits = executor_.Execute(*query, snapshot, &exec_stats);
+    // Tag the trace (and thereby any slow-query log line) with the cache
+    // outcome, so a slow miss is attributable at a glance.
+    root.Annotate("cache", exec_stats.cache_hits > 0 ? "hit" : "miss");
     if (!hits.ok()) {
       exec_span.End(false, hits.status().ToString());
       root.End(false, hits.status().ToString());
@@ -293,6 +301,22 @@ HttpResponse NetmarkService::HandleHealthz() {
       ",\"torn_tail\":" + (rec.torn_tail ? "true" : "false") +
       ",\"micros\":" + std::to_string(rec.micros) + "}}";
 
+  query::QueryResultCache::Snapshot cache = result_cache_.snapshot();
+  query::QueryPlanCache::Snapshot plans = plan_cache_.snapshot();
+  char ratio[32];
+  std::snprintf(ratio, sizeof(ratio), "%.4f", cache.hit_ratio);
+  std::string cache_json =
+      std::string("{\"enabled\":") + (result_cache_.enabled() ? "true" : "false") +
+      ",\"entries\":" + std::to_string(cache.entries) +
+      ",\"bytes\":" + std::to_string(cache.bytes) +
+      ",\"hits\":" + std::to_string(cache.hits) +
+      ",\"misses\":" + std::to_string(cache.misses) +
+      ",\"evictions\":" + std::to_string(cache.evictions) +
+      ",\"hit_ratio\":" + ratio +
+      ",\"plan_entries\":" + std::to_string(plans.entries) +
+      ",\"plan_hits\":" + std::to_string(plans.hits) +
+      ",\"plan_misses\":" + std::to_string(plans.misses) + "}";
+
   std::string body = std::string("{\"status\":\"") +
                      (degraded ? "degraded" : "ok") + "\"," +
                      "\"store\":{\"documents\":" +
@@ -300,6 +324,7 @@ HttpResponse NetmarkService::HandleHealthz() {
                      ",\"nodes\":" + std::to_string(store_->node_count()) +
                      ",\"terms\":" +
                      std::to_string(store_->text_index().num_terms()) + "}," +
+                     "\"query_cache\":" + cache_json + "," +
                      "\"storage\":" + storage_json + "," +
                      "\"daemon\":" + daemon_json + "," +
                      "\"breakers\":" + breakers + "}";

@@ -35,6 +35,8 @@
 #include "observability/trace.h"
 #include "query/compose.h"
 #include "query/executor.h"
+#include "query/plan.h"
+#include "query/result_cache.h"
 #include "server/http_message.h"
 #include "xmlstore/xml_store.h"
 #include "xslt/stylesheet.h"
@@ -70,6 +72,21 @@ class NetmarkService {
   netmark::Status RegisterStylesheet(const std::string& name,
                                      std::string_view stylesheet_text);
 
+  /// The service-owned read-path caches (docs/query_cache.md). The facade
+  /// shares these with its ad-hoc executors and the self-registered
+  /// federation source; /healthz reports their state. The result cache is
+  /// bound to this service's store — never share it with another store.
+  query::QueryResultCache* result_cache() { return &result_cache_; }
+  query::QueryPlanCache* plan_cache() { return &plan_cache_; }
+
+  /// Applies the `[query]` INI knobs (cache_entries / cache_bytes /
+  /// cache_enabled). Clears both caches; call before traffic.
+  void ConfigureQueryCache(const query::ResultCacheOptions& results,
+                           const query::QueryPlanCache::Options& plans) {
+    result_cache_.Configure(results);
+    plan_cache_.Configure(plans);
+  }
+
   /// Dispatches one request. Thread-safe for concurrent requests (the
   /// worker-pool server calls it from many threads): store reads run under
   /// an XmlStore::ReadSnapshot, so every response reflects one committed
@@ -102,6 +119,9 @@ class NetmarkService {
   observability::Counter* RouteCounter(const std::string& path) const;
 
   xmlstore::XmlStore* store_;
+  /// Declared before executor_ (which holds raw pointers into both).
+  query::QueryResultCache result_cache_;
+  query::QueryPlanCache plan_cache_;
   query::QueryExecutor executor_;
   convert::ConverterRegistry converters_;
   federation::Router* router_ = nullptr;

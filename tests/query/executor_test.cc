@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "common/temp_dir.h"
+#include "query/plan.h"
+#include "query/result_cache.h"
 #include "xml/parser.h"
 
 namespace netmark::query {
@@ -191,6 +193,40 @@ TEST_F(ExecutorTest, StatsAreReturnedPerCall) {
   EXPECT_GT(stats.index_probes, 0u);
   EXPECT_GT(stats.nodes_walked, 0u);
   EXPECT_EQ(stats.sections_built, 2u);
+  // No caches attached: both cache counters stay zero.
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.plan_cache_hits, 0u);
+}
+
+TEST_F(ExecutorTest, StatsReportCacheAndPlanCacheHits) {
+  QueryResultCache cache;
+  QueryPlanCache plans;
+  QueryExecutor executor(store_.get());
+  executor.set_result_cache(&cache);
+  executor.set_plan_cache(&plans);
+  auto q = ParseXdbQuery("context=Technology+Gap");
+  ASSERT_TRUE(q.ok());
+
+  QueryExecutor::Stats cold;
+  ASSERT_TRUE(executor.Execute(*q, &cold).ok());
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(cold.plan_cache_hits, 0u);
+  EXPECT_GT(cold.sections_built, 0u);
+
+  QueryExecutor::Stats warm;
+  ASSERT_TRUE(executor.Execute(*q, &warm).ok());
+  EXPECT_EQ(warm.cache_hits, 1u);
+  // A result-cache hit short-circuits execution entirely.
+  EXPECT_EQ(warm.index_probes, 0u);
+  EXPECT_EQ(warm.sections_built, 0u);
+
+  // Same shape, different limit: result cache misses, plan cache hits.
+  auto limited = ParseXdbQuery("context=Technology+Gap&limit=1");
+  ASSERT_TRUE(limited.ok());
+  QueryExecutor::Stats replanned;
+  ASSERT_TRUE(executor.Execute(*limited, &replanned).ok());
+  EXPECT_EQ(replanned.cache_hits, 0u);
+  EXPECT_EQ(replanned.plan_cache_hits, 1u);
 }
 
 TEST_F(ExecutorTest, ExecuteAcceptsCallerSnapshot) {

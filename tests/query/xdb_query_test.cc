@@ -54,6 +54,57 @@ TEST(XdbQueryParseTest, Errors) {
   EXPECT_FALSE(ParseXdbQuery("doc=xyz").ok());
 }
 
+TEST(XdbQueryParseTest, SearchKeysNormalizeWhitespace) {
+  // Every spelling of "Technology Gap" — plus-encoded, percent-encoded,
+  // doubled separators, stray tabs — parses to one canonical value, so all
+  // of them share one result-cache entry.
+  const char* spellings[] = {
+      "Context=Technology+Gap",     "context=Technology%20Gap",
+      "CONTEXT=Technology++Gap",    "context=%20Technology+Gap%20",
+      "context=Technology%09Gap",
+  };
+  for (const char* qs : spellings) {
+    auto q = ParseXdbQuery(qs);
+    ASSERT_TRUE(q.ok()) << qs;
+    EXPECT_EQ(q->context, "Technology Gap") << qs;
+  }
+}
+
+TEST(XdbQueryParseTest, EquivalentSpellingsShareOneCanonicalString) {
+  const char* spellings[] = {
+      "Context=Technology+Gap&Content=Shrinking",
+      "content=Shrinking&CONTEXT=Technology%20Gap",
+      "Content=%20Shrinking&context=Technology++Gap&debug=1",
+  };
+  auto first = ParseXdbQuery(spellings[0]);
+  ASSERT_TRUE(first.ok());
+  for (const char* qs : spellings) {
+    auto q = ParseXdbQuery(qs);
+    ASSERT_TRUE(q.ok()) << qs;
+    EXPECT_EQ(q->ToQueryString(), first->ToQueryString()) << qs;
+  }
+}
+
+TEST(XdbQueryParseTest, ToQueryStringIsAFixpoint) {
+  // Property: parsing the canonical string reproduces it exactly — the
+  // result-cache key is stable however many times it round-trips.
+  const char* inputs[] = {
+      "Context=Technology+Gap&Content=Shrinking&limit=5",
+      "content=%22technology%20gap%22",
+      "xpath=//h1&content=engine",
+      "context=Budget&doc=7&xslt=report&timeout=250",
+      "context=a+b+c",
+  };
+  for (const char* qs : inputs) {
+    auto q = ParseXdbQuery(qs);
+    ASSERT_TRUE(q.ok()) << qs;
+    std::string canonical = q->ToQueryString();
+    auto reparsed = ParseXdbQuery(canonical);
+    ASSERT_TRUE(reparsed.ok()) << canonical;
+    EXPECT_EQ(reparsed->ToQueryString(), canonical) << qs;
+  }
+}
+
 TEST(XdbQueryParseTest, ToQueryStringRoundTrip) {
   XdbQuery q;
   q.context = "Technology Gap";

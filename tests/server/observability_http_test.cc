@@ -116,6 +116,49 @@ TEST_F(ObservabilityHttpTest, HealthzReportsOkWithStoreCounts) {
   EXPECT_NE(resp.body.find("\"breakers\":[]"), std::string::npos);
 }
 
+TEST_F(ObservabilityHttpTest, HealthzReportsQueryCacheState) {
+  // Cold cache: one miss from the first query, then a hit on the repeat.
+  ASSERT_EQ(Handle(Get("/xdb", "context=Overview")).status, 200);
+  ASSERT_EQ(Handle(Get("/xdb", "context=Overview")).status, 200);
+
+  HttpResponse resp = Handle(Get("/healthz"));
+  ASSERT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("\"query_cache\":{\"enabled\":true"),
+            std::string::npos)
+      << resp.body;
+  EXPECT_NE(resp.body.find("\"entries\":1"), std::string::npos) << resp.body;
+  EXPECT_NE(resp.body.find("\"hits\":1"), std::string::npos);
+  EXPECT_NE(resp.body.find("\"misses\":1"), std::string::npos);
+  EXPECT_NE(resp.body.find("\"hit_ratio\":0.5000"), std::string::npos);
+  EXPECT_NE(resp.body.find("\"plan_entries\":1"), std::string::npos);
+
+  // The cache counters are also on /metrics.
+  HttpResponse metrics = Handle(Get("/metrics"));
+  EXPECT_NE(metrics.body.find("netmark_query_cache_hits_total 1"),
+            std::string::npos)
+      << metrics.body;
+  EXPECT_NE(metrics.body.find("netmark_query_cache_misses_total 1"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("netmark_query_cache_entries 1"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("netmark_query_plan_cache_entries 1"),
+            std::string::npos);
+}
+
+TEST_F(ObservabilityHttpTest, TraceAnnotatesCacheOutcome) {
+  // The same annotation feeds slow-query log lines (they render the span
+  // tree), so `cache=hit|miss` is asserted here through the trace surface.
+  HttpResponse cold = Handle(Get("/xdb", "context=Overview&trace=1"));
+  ASSERT_EQ(cold.status, 200);
+  EXPECT_NE(cold.body.find("<annotation key=\"cache\" value=\"miss\""),
+            std::string::npos)
+      << cold.body;
+  HttpResponse warm = Handle(Get("/xdb", "context=Overview&trace=1"));
+  EXPECT_NE(warm.body.find("<annotation key=\"cache\" value=\"hit\""),
+            std::string::npos)
+      << warm.body;
+}
+
 TEST_F(ObservabilityHttpTest, HealthzDegradedWhenBreakerOpens) {
   ASSERT_TRUE(nm_->RegisterSource(std::make_shared<FailingSource>("flaky")).ok());
   ASSERT_TRUE(nm_->DefineDatabank("bank", {"flaky"}).ok());

@@ -57,7 +57,10 @@ int Usage() {
                "\n"
                "storage flags (any command taking --data; also the [storage]\n"
                "INI section via --config): --wal on|off, --fsync\n"
-               "commit|batch|none, --checkpoint-bytes N\n");
+               "commit|batch|none, --checkpoint-bytes N\n"
+               "query cache knobs ([query] INI section via --config):\n"
+               "cache_enabled on|off, cache_entries N, cache_bytes N,\n"
+               "plan_entries N (docs/query_cache.md)\n");
   return 2;
 }
 
@@ -116,6 +119,32 @@ Status ApplyStorageFlags(const Args& args, storage::StorageOptions* storage) {
   return Status::OK();
 }
 
+// Read-path cache knobs ([query] INI section via --config): cache_enabled
+// on|off, cache_entries / cache_bytes for the result cache, plan_entries for
+// the compiled-plan cache. Resolved before Open — the caches are configured
+// once, before any traffic (docs/query_cache.md).
+Status ApplyQueryFlags(const Args& args, NetmarkOptions* options) {
+  auto config_flag = args.flags.find("config");
+  if (config_flag == args.flags.end()) return Status::OK();
+  NETMARK_ASSIGN_OR_RETURN(Config config, Config::Load(config_flag->second));
+  auto enabled = config.Get("query", "cache_enabled");
+  if (enabled.ok()) {
+    options->query_cache.enabled =
+        (*enabled != "off" && *enabled != "false" && *enabled != "0");
+  }
+  options->query_cache.max_entries = static_cast<size_t>(config.GetIntOr(
+      "query", "cache_entries",
+      static_cast<int64_t>(options->query_cache.max_entries)));
+  options->query_cache.max_bytes = static_cast<size_t>(config.GetIntOr(
+      "query", "cache_bytes",
+      static_cast<int64_t>(options->query_cache.max_bytes)));
+  options->plan_cache.max_entries = static_cast<size_t>(config.GetIntOr(
+      "query", "plan_entries",
+      static_cast<int64_t>(options->plan_cache.max_entries)));
+  options->plan_cache.enabled = options->query_cache.enabled;
+  return Status::OK();
+}
+
 Result<std::unique_ptr<Netmark>> OpenFromArgs(const Args& args) {
   auto it = args.flags.find("data");
   if (it == args.flags.end()) {
@@ -124,6 +153,7 @@ Result<std::unique_ptr<Netmark>> OpenFromArgs(const Args& args) {
   NetmarkOptions options;
   options.data_dir = it->second;
   NETMARK_RETURN_NOT_OK(ApplyStorageFlags(args, &options.storage));
+  NETMARK_RETURN_NOT_OK(ApplyQueryFlags(args, &options));
   return Netmark::Open(options);
 }
 
