@@ -1,0 +1,140 @@
+// Env: the storage I/O boundary.
+//
+// Every byte the storage layer moves to or from disk goes through an Env —
+// `Env::Default()` is thin POSIX (open/pread/pwrite/fdatasync/ftruncate with
+// EINTR retries and path-qualified errors), while FaultInjectingEnv wraps any
+// Env and fails the Nth operation with EIO, ENOSPC, a short write, a failed
+// fsync, or a torn page, so disk-fault handling is testable without real bad
+// media. Pager, Wal, Recovery, and Catalog all take an Env; production code
+// passes nullptr and gets the default.
+
+#ifndef NETMARK_COMMON_ENV_H_
+#define NETMARK_COMMON_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace netmark {
+
+namespace internal {
+struct FaultCounters;
+}  // namespace internal
+
+/// \brief A positioned-I/O handle to one open file.
+///
+/// Read and Write are full-length or error: short transfers and EINTR are
+/// retried internally, ENOSPC surfaces as CapacityExceeded, and every error
+/// message carries the file path plus the errno text. Thread-compatible the
+/// same way a file descriptor is: concurrent positioned reads are fine,
+/// callers serialize writes against reads of the same range themselves.
+class File {
+ public:
+  virtual ~File() = default;
+
+  /// Reads exactly `len` bytes at `offset` into `buf`.
+  /// Hitting EOF before `len` bytes is an IOError ("short read").
+  virtual Status Read(uint64_t offset, size_t len, void* buf) = 0;
+
+  /// Writes exactly `len` bytes from `buf` at `offset`.
+  virtual Status Write(uint64_t offset, const void* buf, size_t len) = 0;
+
+  /// Flushes written data to stable storage (fdatasync).
+  virtual Status Sync() = 0;
+
+  /// Truncates (or extends) the file to `size` bytes.
+  virtual Status Truncate(uint64_t size) = 0;
+
+  /// Current file size in bytes.
+  virtual Result<uint64_t> Size() = 0;
+
+  virtual const std::string& path() const = 0;
+};
+
+/// \brief Factory for File handles plus whole-file convenience operations.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// The production POSIX environment (process-lifetime singleton).
+  static Env* Default();
+
+  /// Opens `path` read-write; creates it when `create` is true.
+  virtual Result<std::unique_ptr<File>> OpenFile(const std::string& path,
+                                                 bool create) = 0;
+
+  /// Reads the entire file into a string.
+  virtual Result<std::string> ReadFileToString(const std::string& path) = 0;
+
+  /// Durably replaces `path` with `contents` (write temp + fsync + rename).
+  virtual Status WriteFileAtomic(const std::string& path,
+                                 std::string_view contents) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+};
+
+/// \brief One injected fault: which operation kind fails, and when.
+struct FaultSpec {
+  enum class Kind {
+    kNone,
+    kReadEio,      ///< the Nth read fails with EIO (one-shot)
+    kWriteEio,     ///< writes fail with EIO from the Nth on (sticky)
+    kWriteEnospc,  ///< writes fail with ENOSPC from the Nth on (sticky)
+    kWriteShort,   ///< the Nth write lands as two partial writes (one-shot;
+                   ///< transparent to callers — exercises the retry contract)
+    kWriteTorn,    ///< the Nth write persists only a garbled prefix, then the
+                   ///< process _exit()s — simulated power loss mid-write
+    kFsyncFail,    ///< Sync() fails with EIO from the Nth on (sticky)
+  };
+
+  Kind kind = Kind::kNone;
+  /// 1-based index of the triggering operation, counted per kind category
+  /// (reads / writes / syncs) across all files of the env.
+  uint64_t nth = 1;
+  /// Sticky faults keep failing every subsequent operation; one-shot faults
+  /// fire once. Defaults match the semantics noted on each kind.
+  bool sticky = false;
+
+  /// Parses "kind:nth", e.g. "write_enospc:7" (the NETMARK_DISK_FAULT
+  /// format). Sticky-by-default kinds come back sticky.
+  static Result<FaultSpec> Parse(std::string_view text);
+};
+
+/// \brief Env wrapper that injects one configured fault, deterministically.
+///
+/// Operation counters are env-wide (spanning every file opened through it),
+/// so "fail the 7th write" means the 7th write the storage layer issues, no
+/// matter which file it targets. Thread-safe.
+class FaultInjectingEnv : public Env {
+ public:
+  explicit FaultInjectingEnv(FaultSpec spec, Env* base = nullptr);
+
+  Result<std::unique_ptr<File>> OpenFile(const std::string& path,
+                                         bool create) override;
+  Result<std::string> ReadFileToString(const std::string& path) override;
+  Status WriteFileAtomic(const std::string& path,
+                         std::string_view contents) override;
+  bool FileExists(const std::string& path) override;
+
+  uint64_t reads() const;
+  uint64_t writes() const;
+  uint64_t syncs() const;
+  uint64_t faults_injected() const;
+
+ private:
+  FaultSpec spec_;
+  Env* base_;
+  std::shared_ptr<internal::FaultCounters> counters_;
+};
+
+/// \brief Builds a FaultInjectingEnv from the NETMARK_DISK_FAULT environment
+/// variable ("kind:nth"), or returns nullptr when it is unset or malformed.
+std::unique_ptr<Env> MaybeFaultInjectingEnvFromEnvironment();
+
+}  // namespace netmark
+
+#endif  // NETMARK_COMMON_ENV_H_

@@ -30,6 +30,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Internal error";
     case StatusCode::kDeadlineExceeded:
       return "Deadline exceeded";
+    case StatusCode::kDataLoss:
+      return "Data loss";
   }
   return "Unknown";
 }

@@ -30,6 +30,7 @@ enum class StatusCode : int {
   kTimeout = 10,
   kInternal = 11,
   kDeadlineExceeded = 12,
+  kDataLoss = 13,
 };
 
 /// \brief Human-readable name of a StatusCode ("Invalid argument", ...).
@@ -99,6 +100,9 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -119,6 +123,7 @@ class Status {
   bool IsTimeout() const { return code() == StatusCode::kTimeout; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsDeadlineExceeded() const { return code() == StatusCode::kDeadlineExceeded; }
+  bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -12,14 +12,45 @@ netmark::Result<xml::Document> ComposeResults(const xmlstore::XmlStore& store,
   xml::Document out;
   xml::NodeId results = out.CreateElement("results");
   out.AddAttribute(results, "query", query.ToQueryString());
-  out.AddAttribute(results, "count", std::to_string(hits.size()));
   out.AppendChild(out.root(), results);
 
+  size_t emitted = 0;
+  size_t quarantined = 0;
   for (const QueryHit& hit : hits) {
+    // Read the section body BEFORE emitting the <result> element: a hit
+    // whose section touches a quarantined (checksum-failed) page is dropped
+    // whole — never a silently truncated section — and the result set is
+    // marked partial below.
+    std::vector<xml::Document> fragments;
+    if (hit.context.valid() && options.include_markup) {
+      bool data_loss = false;
+      auto body = xmlstore::SectionContent(store, hit.context);
+      if (!body.ok()) {
+        if (!body.status().IsDataLoss()) return body.status();
+        data_loss = true;
+      } else {
+        for (storage::RowId node : *body) {
+          auto fragment = store.ReconstructSubtree(node);
+          if (!fragment.ok()) {
+            if (!fragment.status().IsDataLoss()) return fragment.status();
+            data_loss = true;
+            break;
+          }
+          fragments.push_back(std::move(*fragment));
+        }
+      }
+      if (data_loss) {
+        ++quarantined;
+        store.NoteQuarantinedDoc(hit.doc_id);
+        continue;
+      }
+    }
+
     xml::NodeId result = out.CreateElement("result");
     out.AddAttribute(result, "doc", hit.file_name);
     out.AddAttribute(result, "docid", std::to_string(hit.doc_id));
     out.AppendChild(results, result);
+    ++emitted;
 
     if (!hit.context.valid()) {
       if (!hit.markup.empty()) {
@@ -55,11 +86,7 @@ netmark::Result<xml::Document> ComposeResults(const xmlstore::XmlStore& store,
     xml::NodeId content = out.CreateElement("content");
     out.AppendChild(result, content);
     if (options.include_markup) {
-      NETMARK_ASSIGN_OR_RETURN(std::vector<storage::RowId> body,
-                               xmlstore::SectionContent(store, hit.context));
-      for (storage::RowId node : body) {
-        NETMARK_ASSIGN_OR_RETURN(xml::Document fragment,
-                                 store.ReconstructSubtree(node));
+      for (const xml::Document& fragment : fragments) {
         for (xml::NodeId child = fragment.first_child(fragment.root());
              child != xml::kInvalidNode; child = fragment.next_sibling(child)) {
           out.AppendChild(content, out.ImportSubtree(fragment, child));
@@ -68,6 +95,13 @@ netmark::Result<xml::Document> ComposeResults(const xmlstore::XmlStore& store,
     } else {
       out.AppendChild(content, out.CreateText(hit.text));
     }
+  }
+  out.AddAttribute(results, "count", std::to_string(emitted));
+  if (quarantined > 0) {
+    // Same contract as federated partial results: the caller always learns
+    // what it did NOT get (here: sections lost to disk corruption).
+    out.AddAttribute(results, "complete", "false");
+    out.AddAttribute(results, "quarantined", std::to_string(quarantined));
   }
   return out;
 }

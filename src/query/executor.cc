@@ -16,6 +16,23 @@ using textindex::QueryClause;
 using textindex::TextQuery;
 using xmlstore::NodeRecord;
 
+// Quarantine containment: a read that lands on a checksum-failed page
+// returns Status::DataLoss. Query execution skips the affected node or
+// document (counting it in Stats::quarantined_skips, so the HTTP layer can
+// mark the result partial) instead of failing the whole query; any other
+// error still propagates. `on_skip` must exit the enclosing scope
+// (continue/break).
+#define NETMARK_SKIP_ON_DATALOSS(lhs, expr, stats, on_skip) \
+  auto lhs##_or = (expr);                                   \
+  if (!lhs##_or.ok()) {                                     \
+    if (lhs##_or.status().IsDataLoss()) {                   \
+      ++(stats).quarantined_skips;                          \
+      on_skip;                                              \
+    }                                                       \
+    return lhs##_or.status();                               \
+  }                                                         \
+  auto lhs = std::move(*lhs##_or);
+
 netmark::Result<std::vector<RowId>> QueryExecutor::ClauseNodes(
     const QueryClause& clause, Stats& stats) const {
   ++stats.index_probes;
@@ -80,11 +97,17 @@ netmark::Result<std::vector<QueryHit>> QueryExecutor::ContentOnly(
     NETMARK_ASSIGN_OR_RETURN(std::vector<RowId> nodes, ClauseNodes(clause, stats));
     std::set<int64_t> clause_docs;
     for (RowId id : nodes) {
-      NETMARK_ASSIGN_OR_RETURN(NodeRecord rec, store_->GetNode(id));
+      NETMARK_SKIP_ON_DATALOSS(rec, store_->GetNode(id), stats, continue);
       if (doc_scope != 0 && rec.doc_id != doc_scope) continue;
       clause_docs.insert(rec.doc_id);
       first_match.emplace(rec.doc_id, id);
-      NETMARK_ASSIGN_OR_RETURN(bool intense, InsideIntense(id));
+      bool intense = false;
+      auto intense_or = InsideIntense(id);
+      if (intense_or.ok()) {
+        intense = *intense_or;
+      } else if (!intense_or.status().IsDataLoss()) {
+        return intense_or.status();
+      }  // quarantined ancestor: score without the emphasis boost
       scores[rec.doc_id] += intense ? 2.0 : 1.0;
     }
     if (first) {
@@ -101,22 +124,42 @@ netmark::Result<std::vector<QueryHit>> QueryExecutor::ContentOnly(
 
   std::vector<QueryHit> hits;
   for (int64_t doc_id : docs) {
-    NETMARK_ASSIGN_OR_RETURN(xmlstore::DocRecord info, store_->GetDocumentInfo(doc_id));
+    NETMARK_SKIP_ON_DATALOSS(info, store_->GetDocumentInfo(doc_id), stats, {
+      store_->NoteQuarantinedDoc(doc_id);
+      continue;
+    });
     QueryHit hit;
     hit.doc_id = doc_id;
     hit.file_name = info.file_name;
     hit.score = scores[doc_id];
     // Snippet: the heading of the section the (first) match sits in, plus a
-    // truncated slice of the matching node's text — enough for a result list.
+    // truncated slice of the matching node's text — enough for a result
+    // list. Assembly is best-effort: a quarantined page costs the snippet,
+    // not the hit.
     auto anchor = first_match.find(doc_id);
     if (anchor != first_match.end()) {
-      NETMARK_ASSIGN_OR_RETURN(RowId ctx, Walk(anchor->second, stats));
-      if (ctx.valid()) {
-        NETMARK_ASSIGN_OR_RETURN(hit.heading, store_->SubtreeText(ctx));
+      bool snippet_loss = false;
+      auto ctx = Walk(anchor->second, stats);
+      if (!ctx.ok() && !ctx.status().IsDataLoss()) return ctx.status();
+      if (ctx.ok() && ctx->valid()) {
+        auto heading = store_->SubtreeText(*ctx);
+        if (!heading.ok() && !heading.status().IsDataLoss()) {
+          return heading.status();
+        }
+        if (heading.ok()) hit.heading = std::move(*heading);
+        snippet_loss |= !heading.ok();
       }
-      NETMARK_ASSIGN_OR_RETURN(NodeRecord rec, store_->GetNode(anchor->second));
-      constexpr size_t kSnippetChars = 160;
-      hit.text = rec.node_data.substr(0, kSnippetChars);
+      auto rec = store_->GetNode(anchor->second);
+      if (!rec.ok() && !rec.status().IsDataLoss()) return rec.status();
+      if (rec.ok()) {
+        constexpr size_t kSnippetChars = 160;
+        hit.text = rec->node_data.substr(0, kSnippetChars);
+      }
+      snippet_loss |= !ctx.ok() || !rec.ok();
+      if (snippet_loss) {
+        ++stats.quarantined_skips;
+        store_->NoteQuarantinedDoc(doc_id);
+      }
     }
     hits.push_back(std::move(hit));
   }
@@ -144,9 +187,9 @@ netmark::Result<std::vector<QueryHit>> QueryExecutor::SectionQuery(
     NETMARK_ASSIGN_OR_RETURN(std::vector<RowId> nodes, ClauseNodes(clause, stats));
     std::set<uint64_t> clause_contexts;
     for (RowId node : nodes) {
-      NETMARK_ASSIGN_OR_RETURN(NodeRecord rec, store_->GetNode(node));
+      NETMARK_SKIP_ON_DATALOSS(rec, store_->GetNode(node), stats, continue);
       if (query.doc_id != 0 && rec.doc_id != query.doc_id) continue;
-      NETMARK_ASSIGN_OR_RETURN(RowId ctx, Walk(node, stats));
+      NETMARK_SKIP_ON_DATALOSS(ctx, Walk(node, stats), stats, continue);
       if (ctx.valid()) clause_contexts.insert(ctx.Pack());
     }
     if (first) {
@@ -166,20 +209,28 @@ netmark::Result<std::vector<QueryHit>> QueryExecutor::SectionQuery(
   std::vector<std::pair<std::pair<int64_t, int64_t>, QueryHit>> ordered;
   for (uint64_t packed : candidates) {
     RowId ctx = RowId::Unpack(packed);
-    NETMARK_ASSIGN_OR_RETURN(xmlstore::Section section,
-                             xmlstore::BuildSection(*store_, ctx));
+    NETMARK_SKIP_ON_DATALOSS(section, xmlstore::BuildSection(*store_, ctx),
+                             stats, continue);
     if (!textindex::Matches(context_query, section.heading)) continue;
-    NETMARK_ASSIGN_OR_RETURN(std::string body,
-                             xmlstore::SectionText(*store_, ctx));
+    NETMARK_SKIP_ON_DATALOSS(body, xmlstore::SectionText(*store_, ctx), stats, {
+      store_->NoteQuarantinedDoc(section.doc_id);
+      continue;
+    });
     // With a content key, the *section body* (or heading) must satisfy it.
     if (query.has_content()) {
       std::string scope = section.heading + " " + body;
       if (!textindex::Matches(content_query, scope)) continue;
     }
     ++stats.sections_built;
-    NETMARK_ASSIGN_OR_RETURN(xmlstore::DocRecord info,
-                             store_->GetDocumentInfo(section.doc_id));
-    NETMARK_ASSIGN_OR_RETURN(NodeRecord head, store_->GetNode(ctx));
+    NETMARK_SKIP_ON_DATALOSS(info, store_->GetDocumentInfo(section.doc_id),
+                             stats, {
+                               store_->NoteQuarantinedDoc(section.doc_id);
+                               continue;
+                             });
+    NETMARK_SKIP_ON_DATALOSS(head, store_->GetNode(ctx), stats, {
+      store_->NoteQuarantinedDoc(section.doc_id);
+      continue;
+    });
     QueryHit hit;
     hit.doc_id = section.doc_id;
     hit.file_name = info.file_name;
@@ -211,9 +262,9 @@ netmark::Result<std::vector<QueryHit>> QueryExecutor::SectionQuerySpecialized(
     NETMARK_ASSIGN_OR_RETURN(std::vector<RowId> nodes, ClauseNodes(clause, stats));
     std::set<uint64_t> clause_contexts;
     for (RowId node : nodes) {
-      NETMARK_ASSIGN_OR_RETURN(NodeRecord rec, store_->GetNode(node));
+      NETMARK_SKIP_ON_DATALOSS(rec, store_->GetNode(node), stats, continue);
       if (query.doc_id != 0 && rec.doc_id != query.doc_id) continue;
-      NETMARK_ASSIGN_OR_RETURN(RowId ctx, Walk(node, stats));
+      NETMARK_SKIP_ON_DATALOSS(ctx, Walk(node, stats), stats, continue);
       if (ctx.valid()) clause_contexts.insert(ctx.Pack());
     }
     if (first) {
@@ -234,19 +285,29 @@ netmark::Result<std::vector<QueryHit>> QueryExecutor::SectionQuerySpecialized(
   std::vector<std::pair<std::pair<int64_t, int64_t>, QueryHit>> ordered;
   for (uint64_t packed : candidates) {
     RowId ctx = RowId::Unpack(packed);
-    NETMARK_ASSIGN_OR_RETURN(xmlstore::Section section,
-                             xmlstore::BuildSection(*store_, ctx));
+    NETMARK_SKIP_ON_DATALOSS(section, xmlstore::BuildSection(*store_, ctx),
+                             stats, continue);
     if (!textindex::Matches(plan.context_query, section.heading)) continue;
     ++stats.sections_built;
-    NETMARK_ASSIGN_OR_RETURN(xmlstore::DocRecord info,
-                             store_->GetDocumentInfo(section.doc_id));
-    NETMARK_ASSIGN_OR_RETURN(NodeRecord head, store_->GetNode(ctx));
+    NETMARK_SKIP_ON_DATALOSS(info, store_->GetDocumentInfo(section.doc_id),
+                             stats, {
+                               store_->NoteQuarantinedDoc(section.doc_id);
+                               continue;
+                             });
+    NETMARK_SKIP_ON_DATALOSS(head, store_->GetNode(ctx), stats, {
+      store_->NoteQuarantinedDoc(section.doc_id);
+      continue;
+    });
+    NETMARK_SKIP_ON_DATALOSS(body, xmlstore::SectionText(*store_, ctx), stats, {
+      store_->NoteQuarantinedDoc(section.doc_id);
+      continue;
+    });
     QueryHit hit;
     hit.doc_id = section.doc_id;
     hit.file_name = info.file_name;
     hit.context = ctx;
     hit.heading = std::move(section.heading);
-    NETMARK_ASSIGN_OR_RETURN(hit.text, xmlstore::SectionText(*store_, ctx));
+    hit.text = std::move(body);
     ordered.push_back({{section.doc_id, head.node_id}, std::move(hit)});
   }
   std::sort(ordered.begin(), ordered.end(),
@@ -279,9 +340,14 @@ netmark::Result<std::vector<QueryHit>> QueryExecutor::XPathQuery(
 
   std::vector<QueryHit> hits;
   for (int64_t doc_id : docs) {
-    NETMARK_ASSIGN_OR_RETURN(xmlstore::DocRecord info,
-                             store_->GetDocumentInfo(doc_id));
-    NETMARK_ASSIGN_OR_RETURN(xml::Document doc, store_->Reconstruct(doc_id));
+    NETMARK_SKIP_ON_DATALOSS(info, store_->GetDocumentInfo(doc_id), stats, {
+      store_->NoteQuarantinedDoc(doc_id);
+      continue;
+    });
+    NETMARK_SKIP_ON_DATALOSS(doc, store_->Reconstruct(doc_id), stats, {
+      store_->NoteQuarantinedDoc(doc_id);
+      continue;
+    });
     for (xml::NodeId node : plan.xpath->SelectNodes(doc, doc.root())) {
       QueryHit hit;
       hit.doc_id = doc_id;

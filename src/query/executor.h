@@ -71,6 +71,9 @@ class QueryExecutor {
     size_t cache_hits = 0;
     /// 1 when the plan came from the plan cache instead of being compiled.
     size_t plan_cache_hits = 0;
+    /// Reads that hit a quarantined (checksum-failed) page and were skipped
+    /// instead of failing the query; >0 means the answer may be partial.
+    size_t quarantined_skips = 0;
   };
 
   /// Opts into cumulative instrumentation: every Execute then also bumps

@@ -66,8 +66,10 @@ void IngestionDaemon::Loop() {
     } else if (*processed == 0) {
       // Idle sweep: fold outstanding log into a checkpoint so a later crash
       // recovers instantly and the log does not sit un-truncated overnight.
+      // A degraded (read-only) store cannot checkpoint; retrying every poll
+      // would only spam the log, so wait for an operator restart instead.
       const storage::Wal* wal = store_->database()->wal();
-      if (wal != nullptr && wal->size_bytes() > 0) {
+      if (wal != nullptr && wal->size_bytes() > 0 && !store_->degraded()) {
         netmark::Status st = store_->Checkpoint();
         if (!st.ok()) {
           NETMARK_LOG(Warning) << "idle checkpoint failed: " << st;
@@ -175,6 +177,14 @@ bool IngestionDaemon::CommitFile(const fs::path& path, PreparedFile result,
   }
   if (st.ok()) {
     handles_.inserted->Increment();
+  } else if (st.IsUnavailable() || st.IsCapacityExceeded() || st.IsIOError()) {
+    // Storage-level failure (degraded read-only store, full disk, transient
+    // I/O): the file itself is fine, so leave it in the drop dir — a later
+    // sweep retries it once the operator restores the disk. Moving it to
+    // failed/ would misfile good input as bad.
+    handles_.deferred->Increment();
+    NETMARK_LOG(Warning) << "deferring ingest of " << path.string() << ": " << st;
+    return false;
   } else {
     handles_.failed->Increment();
     NETMARK_LOG(Warning) << "failed to ingest " << path.string() << ": " << st;

@@ -45,6 +45,31 @@ std::string EscapeJson(std::string_view in) {
   return out;
 }
 
+/// Maps storage-layer failures onto HTTP statuses (docs/durability.md): a
+/// full disk is 507 Insufficient Storage, a degraded (read-only) store is
+/// 503 + Retry-After, and detected corruption is a 500 that carries the
+/// DataLoss detail so operators can tell rot from a plain server error.
+HttpResponse StorageErrorResponse(const netmark::Status& status) {
+  if (status.IsCapacityExceeded()) {
+    HttpResponse resp = HttpResponse::Text(507, status.ToString());
+    resp.reason = "Insufficient Storage";
+    resp.headers["Retry-After"] = "30";
+    return resp;
+  }
+  if (status.IsUnavailable()) {
+    HttpResponse resp = HttpResponse::Text(503, status.ToString());
+    resp.reason = "Service Unavailable";
+    resp.headers["Retry-After"] = "10";
+    return resp;
+  }
+  if (status.IsDataLoss()) {
+    HttpResponse resp = HttpResponse::ServerError(status.ToString());
+    resp.headers["X-Netmark-Data-Loss"] = "true";
+    return resp;
+  }
+  return HttpResponse::ServerError(status.ToString());
+}
+
 }  // namespace
 
 NetmarkService::NetmarkService(xmlstore::XmlStore* store)
@@ -212,13 +237,13 @@ HttpResponse NetmarkService::HandleXdb(const HttpRequest& request) {
       if (hits.status().IsInvalidArgument()) {
         return HttpResponse::BadRequest(hits.status().ToString());
       }
-      return HttpResponse::ServerError(hits.status().ToString());
+      return StorageErrorResponse(hits.status());
     }
     exec_span.Annotate("hits", std::to_string(hits->size()));
     exec_span.End();
     root.Annotate("hits", std::to_string(hits->size()));
     auto composed = query::ComposeResults(*store_, *query, *hits);
-    if (!composed.ok()) return HttpResponse::ServerError(composed.status().ToString());
+    if (!composed.ok()) return StorageErrorResponse(composed.status());
     results = std::move(*composed);
   }
 
@@ -249,9 +274,9 @@ HttpResponse NetmarkService::HandleHealthz() {
   // Snapshot for the store/storage figures below (counts, WAL size) so a
   // concurrent commit or checkpoint cannot be observed half-applied.
   xmlstore::XmlStore::ReadSnapshot snapshot = store_->BeginRead();
-  // Degraded = any open breaker: the instance answers, but a federated
-  // source is being skipped. Still HTTP 200 — the instance itself is up;
-  // "status" carries the nuance.
+  // Degraded = any open breaker (a federated source is being skipped) or a
+  // read-only store (a disk fault stopped mutations). Still HTTP 200 — the
+  // instance itself answers; "status" carries the nuance.
   bool degraded = false;
   std::string breakers = "[";
   if (router_ != nullptr) {
@@ -286,6 +311,16 @@ HttpResponse NetmarkService::HandleHealthz() {
   const storage::Database* db = store_->database();
   const storage::Wal* wal = db->wal();
   const storage::RecoveryStats& rec = db->recovery_stats();
+  // Disk-fault posture: read-only degradation and the quarantine inventory
+  // (checksum-failed pages and the documents they took with them).
+  bool store_degraded = store_->degraded();
+  if (store_degraded) degraded = true;
+  std::string quarantine_json =
+      std::string("{\"pages\":") + std::to_string(store_->quarantined_pages()) +
+      ",\"docs\":" + std::to_string(store_->quarantined_doc_count()) +
+      ",\"scrub_pages_scanned\":" + std::to_string(store_->scrub_pages_scanned()) +
+      ",\"scrub_errors_found\":" + std::to_string(store_->scrub_errors_found()) +
+      ",\"scrub_passes\":" + std::to_string(store_->scrub_passes()) + "}";
   std::string storage_json =
       std::string("{\"wal_enabled\":") + (wal != nullptr ? "true" : "false") +
       ",\"wal_fsync\":\"" +
@@ -294,6 +329,9 @@ HttpResponse NetmarkService::HandleHealthz() {
       std::to_string(wal != nullptr ? wal->size_bytes() : 0) +
       ",\"last_checkpoint_lsn\":" + std::to_string(db->last_checkpoint_lsn()) +
       ",\"checkpoints\":" + std::to_string(db->checkpoints()) +
+      ",\"degraded\":" + (store_degraded ? "true" : "false") +
+      ",\"degraded_reason\":\"" + EscapeJson(store_->degraded_reason()) + "\"" +
+      ",\"quarantine\":" + quarantine_json +
       ",\"recovery\":{\"performed\":" + (rec.performed ? "true" : "false") +
       ",\"committed_txns\":" + std::to_string(rec.committed_txns) +
       ",\"uncommitted_txns\":" + std::to_string(rec.uncommitted_txns) +
@@ -363,7 +401,7 @@ HttpResponse NetmarkService::HandlePutDocument(const HttpRequest& request,
         // A concurrent PUT/DELETE may have removed it between the listing
         // and now; the replace still proceeds.
         if (st.IsNotFound()) continue;
-        if (!st.ok()) return HttpResponse::ServerError(st.ToString());
+        if (!st.ok()) return StorageErrorResponse(st);
         replaced = true;
       }
     }
@@ -373,7 +411,7 @@ HttpResponse NetmarkService::HandlePutDocument(const HttpRequest& request,
   info.file_date = netmark::WallSeconds();
   info.file_size = static_cast<int64_t>(request.body.size());
   auto doc_id = store_->InsertDocument(*doc, info);
-  if (!doc_id.ok()) return HttpResponse::ServerError(doc_id.status().ToString());
+  if (!doc_id.ok()) return StorageErrorResponse(doc_id.status());
   HttpResponse resp =
       replaced ? HttpResponse::Text(204, "") : HttpResponse::Text(201, std::to_string(*doc_id));
   resp.headers["Location"] = "/docs/" + std::to_string(*doc_id);
@@ -385,7 +423,8 @@ HttpResponse NetmarkService::HandleGetDocument(int64_t doc_id) {
   auto doc = store_->Reconstruct(doc_id);
   if (!doc.ok()) {
     if (doc.status().IsNotFound()) return HttpResponse::NotFound(doc.status().message());
-    return HttpResponse::ServerError(doc.status().ToString());
+    if (doc.status().IsDataLoss()) store_->NoteQuarantinedDoc(doc_id);
+    return StorageErrorResponse(doc.status());
   }
   xml::SerializeOptions opts;
   opts.declaration = true;
@@ -395,7 +434,7 @@ HttpResponse NetmarkService::HandleGetDocument(int64_t doc_id) {
 HttpResponse NetmarkService::HandleDeleteDocument(int64_t doc_id) {
   netmark::Status st = store_->DeleteDocument(doc_id);
   if (st.IsNotFound()) return HttpResponse::NotFound(st.message());
-  if (!st.ok()) return HttpResponse::ServerError(st.ToString());
+  if (!st.ok()) return StorageErrorResponse(st);
   return HttpResponse::Text(204, "");
 }
 

@@ -7,10 +7,12 @@
 
 namespace netmark::storage {
 
-netmark::Result<Catalog> Catalog::Load(const std::string& path) {
+netmark::Result<Catalog> Catalog::Load(const std::string& path,
+                                       netmark::Env* env) {
+  if (env == nullptr) env = netmark::Env::Default();
   Catalog catalog;
-  if (!std::filesystem::exists(path)) return catalog;  // fresh database
-  NETMARK_ASSIGN_OR_RETURN(std::string text, netmark::ReadFile(path));
+  if (!env->FileExists(path)) return catalog;  // fresh database
+  NETMARK_ASSIGN_OR_RETURN(std::string text, env->ReadFileToString(path));
   size_t line_no = 0;
   for (const std::string& raw : netmark::Split(text, '\n')) {
     ++line_no;
@@ -37,7 +39,8 @@ netmark::Result<Catalog> Catalog::Load(const std::string& path) {
   return catalog;
 }
 
-netmark::Status Catalog::Save(const std::string& path) const {
+netmark::Status Catalog::Save(const std::string& path, netmark::Env* env) const {
+  if (env == nullptr) env = netmark::Env::Default();
   std::string out = "# NETMARK catalog\n";
   for (const TableDef& t : tables_) {
     out += "table ";
@@ -54,7 +57,7 @@ netmark::Status Catalog::Save(const std::string& path) const {
     }
   }
   // Atomic replace: a crash mid-save must leave the old catalog readable.
-  return netmark::WriteFileAtomic(path, out);
+  return env->WriteFileAtomic(path, out);
 }
 
 TableDef* Catalog::Find(std::string_view table_name) {

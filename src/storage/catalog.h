@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "common/result.h"
 #include "storage/schema.h"
 #include "storage/table.h"
@@ -26,8 +27,10 @@ struct TableDef {
 /// \brief In-memory catalog with load/save.
 class Catalog {
  public:
-  static netmark::Result<Catalog> Load(const std::string& path);
-  netmark::Status Save(const std::string& path) const;
+  /// `env` defaults to Env::Default() in both calls.
+  static netmark::Result<Catalog> Load(const std::string& path,
+                                       netmark::Env* env = nullptr);
+  netmark::Status Save(const std::string& path, netmark::Env* env = nullptr) const;
 
   const std::vector<TableDef>& tables() const { return tables_; }
   TableDef* Find(std::string_view table_name);

@@ -1,9 +1,10 @@
 #include "storage/database.h"
 
+#include <unistd.h>
+
 #include <filesystem>
 
 #include "common/string_util.h"
-#include "common/temp_dir.h"
 #include "storage/crash_point.h"
 
 namespace netmark::storage {
@@ -24,14 +25,17 @@ netmark::Result<std::unique_ptr<Database>> Database::Open(
     // files BEFORE any table is opened (Table::Open scans pages to rebuild
     // its B-trees, so it must see post-recovery bytes).
     NETMARK_ASSIGN_OR_RETURN(db->recovery_,
-                             RecoverDatabase(dir, db->WalPath()));
-    NETMARK_ASSIGN_OR_RETURN(db->wal_, Wal::Open(db->WalPath(), options.wal_fsync));
+                             RecoverDatabase(dir, db->WalPath(), options.env));
+    NETMARK_ASSIGN_OR_RETURN(
+        db->wal_, Wal::Open(db->WalPath(), options.wal_fsync, options.env));
   }
-  NETMARK_ASSIGN_OR_RETURN(db->catalog_, Catalog::Load(db->CatalogPath()));
+  NETMARK_ASSIGN_OR_RETURN(db->catalog_,
+                           Catalog::Load(db->CatalogPath(), options.env));
   for (const TableDef& def : db->catalog_.tables()) {
     NETMARK_ASSIGN_OR_RETURN(
         std::unique_ptr<Table> table,
-        Table::Open(def.schema, db->TableFilePath(def.schema.name()), def.indexes));
+        Table::Open(def.schema, db->TableFilePath(def.schema.name()), def.indexes,
+                    db->MakePagerOptions()));
     db->tables_[def.schema.name()] = std::move(table);
   }
   // Opening a table marks pages dirty while rebuilding (none, normally) —
@@ -41,7 +45,8 @@ netmark::Result<std::unique_ptr<Database>> Database::Open(
   }
   // DDL counter survives restarts so assembly-cost benchmarks can account
   // full lifetimes.
-  auto counter = netmark::ReadFile(db->DdlCounterPath());
+  netmark::Env* env = options.env != nullptr ? options.env : netmark::Env::Default();
+  auto counter = env->ReadFileToString(db->DdlCounterPath());
   if (counter.ok()) {
     auto v = netmark::ParseInt64(*counter);
     if (v.ok()) db->ddl_statements_ = static_cast<uint64_t>(*v);
@@ -70,12 +75,13 @@ netmark::Result<Table*> Database::CreateTable(TableSchema schema) {
   }
   std::string name = schema.name();
   NETMARK_RETURN_NOT_OK(catalog_.AddTable(schema));
-  NETMARK_ASSIGN_OR_RETURN(std::unique_ptr<Table> table,
-                           Table::Open(std::move(schema), TableFilePath(name)));
+  NETMARK_ASSIGN_OR_RETURN(
+      std::unique_ptr<Table> table,
+      Table::Open(std::move(schema), TableFilePath(name), {}, MakePagerOptions()));
   Table* raw = table.get();
   tables_[name] = std::move(table);
   ++ddl_statements_;
-  NETMARK_RETURN_NOT_OK(catalog_.Save(CatalogPath()));
+  NETMARK_RETURN_NOT_OK(catalog_.Save(CatalogPath(), options_.env));
   return raw;
 }
 
@@ -94,7 +100,7 @@ netmark::Status Database::CreateIndex(std::string_view table,
   NETMARK_RETURN_NOT_OK(t->CreateIndex(index_name, columns));
   NETMARK_RETURN_NOT_OK(catalog_.AddIndex(table, IndexDef{index_name, columns}));
   ++ddl_statements_;
-  return catalog_.Save(CatalogPath());
+  return catalog_.Save(CatalogPath(), options_.env);
 }
 
 netmark::Status Database::DropTable(std::string_view name) {
@@ -107,7 +113,7 @@ netmark::Status Database::DropTable(std::string_view name) {
   std::error_code ec;
   fs::remove(TableFilePath(name), ec);
   ++ddl_statements_;
-  return catalog_.Save(CatalogPath());
+  return catalog_.Save(CatalogPath(), options_.env);
 }
 
 std::vector<std::string> Database::TableNames() const {
@@ -116,7 +122,34 @@ std::vector<std::string> Database::TableNames() const {
   return out;
 }
 
+std::string Database::degraded_reason() const {
+  std::lock_guard<std::mutex> lock(degraded_mu_);
+  return degraded_reason_;
+}
+
+netmark::Status Database::DegradedError() const {
+  std::lock_guard<std::mutex> lock(degraded_mu_);
+  std::string msg = "store is read-only (degraded): " + degraded_reason_;
+  return degraded_capacity_ ? netmark::Status::CapacityExceeded(std::move(msg))
+                            : netmark::Status::Unavailable(std::move(msg));
+}
+
+void Database::MarkDegraded(const netmark::Status& cause) {
+  if (options_.abort_on_fsync_error) {
+    // Fail-stop policy: die before any state that contradicts the failed
+    // write can be observed. _exit, not abort — no atexit flushing.
+    ::_exit(42);
+  }
+  std::lock_guard<std::mutex> lock(degraded_mu_);
+  if (!degraded_.load(std::memory_order_relaxed)) {
+    degraded_reason_ = cause.ToString();
+    degraded_capacity_ = cause.IsCapacityExceeded();
+    degraded_.store(true, std::memory_order_release);
+  }
+}
+
 netmark::Status Database::BeginTransaction() {
+  if (degraded()) return DegradedError();
   if (wal_ == nullptr) return netmark::Status::OK();
   if (in_txn_) {
     return netmark::Status::Internal("transaction already open");
@@ -126,7 +159,7 @@ netmark::Status Database::BeginTransaction() {
 }
 
 netmark::Status Database::CommitTransaction() {
-  if (wal_ == nullptr) return netmark::Status::OK();
+  if (wal_ == nullptr) return degraded() ? DegradedError() : netmark::Status::OK();
   if (!in_txn_) {
     return netmark::Status::Internal("no transaction open");
   }
@@ -136,10 +169,19 @@ netmark::Status Database::CommitTransaction() {
     Pager* pager = table->mutable_pager();
     for (PageId id : pager->TakeDirtySinceMark()) {
       NETMARK_ASSIGN_OR_RETURN(Page page, pager->Fetch(id));
+      // Stamp before staging so recovery replays images whose CRC already
+      // matches their contents (Flush would stamp the same bytes again).
+      PageStampChecksum(page.raw());
       wal_->StagePageImage(txn, name, id, page.raw());
     }
   }
-  return wal_->AppendCommit(txn);
+  netmark::Status st = wal_->AppendCommit(txn);
+  if (!st.ok()) {
+    // The commit may or may not be on disk — nothing is acknowledged, and no
+    // further mutation can be either: go read-only.
+    MarkDegraded(st);
+  }
+  return st;
 }
 
 void Database::AbandonTransaction() {
@@ -155,24 +197,70 @@ bool Database::ShouldCheckpoint() const {
   return wal_ != nullptr && wal_->size_bytes() >= options_.checkpoint_bytes;
 }
 
+netmark::Status Database::StagePendingAndUpgrades() {
+  // One v0→v1 format scan per open: pages with spare trailer room are
+  // upgraded in place and marked dirty so this checkpoint persists them.
+  if (!upgrade_scan_done_) {
+    upgrade_scan_done_ = true;
+    for (auto& [name, table] : tables_) {
+      Pager* pager = table->mutable_pager();
+      for (PageId id = 0; id < pager->page_count(); ++id) {
+        auto page = pager->Fetch(id);
+        if (!page.ok()) continue;  // quarantined/unreadable: leave as is
+        if (PageTryUpgradeV1(page->raw())) pager->MarkDirty(id);
+      }
+    }
+  }
+  // Stage every pending dirty-since-mark image (format upgrades plus junk
+  // pages left by abandoned transactions) on the log before the heap flush
+  // below: a crash mid-flush must find these images replayable, or a torn
+  // heap write of an upgraded page would be unrecoverable.
+  uint64_t txn = next_txn_id_++;
+  uint64_t staged = 0;
+  for (auto& [name, table] : tables_) {
+    Pager* pager = table->mutable_pager();
+    for (PageId id : pager->TakeDirtySinceMark()) {
+      auto page = pager->Fetch(id);
+      if (!page.ok()) continue;
+      PageStampChecksum(page->raw());
+      wal_->StagePageImage(txn, name, id, page->raw());
+      ++staged;
+    }
+  }
+  if (staged == 0) return netmark::Status::OK();
+  return wal_->AppendCommit(txn);
+}
+
 netmark::Status Database::Checkpoint() {
   if (wal_ == nullptr) return Flush();
+  if (degraded()) return DegradedError();
   if (in_txn_) {
     return netmark::Status::Internal(
         "checkpoint refused: transaction open");
   }
+  auto fail = [this](netmark::Status st) {
+    MarkDegraded(st);
+    return st;
+  };
+  netmark::Status st = StagePendingAndUpgrades();
+  if (!st.ok()) return fail(std::move(st));
   // Order matters: heap writes + fsync BEFORE the log shrinks, so a crash
   // anywhere in between still replays from the intact log.
   for (auto& [name, table] : tables_) {
-    NETMARK_RETURN_NOT_OK(table->Flush());
+    st = table->Flush();
+    if (!st.ok()) return fail(std::move(st));
     MaybeCrashPoint("checkpoint_after_flush");
-    NETMARK_RETURN_NOT_OK(table->mutable_pager()->SyncToDisk());
+    st = table->mutable_pager()->SyncToDisk();
+    if (!st.ok()) return fail(std::move(st));
   }
-  NETMARK_RETURN_NOT_OK(catalog_.Save(CatalogPath()));
-  NETMARK_RETURN_NOT_OK(
-      netmark::WriteFileAtomic(DdlCounterPath(), std::to_string(ddl_statements_)));
+  st = catalog_.Save(CatalogPath(), options_.env);
+  if (!st.ok()) return fail(std::move(st));
+  netmark::Env* env = options_.env != nullptr ? options_.env : netmark::Env::Default();
+  st = env->WriteFileAtomic(DdlCounterPath(), std::to_string(ddl_statements_));
+  if (!st.ok()) return fail(std::move(st));
   MaybeCrashPoint("checkpoint_before_truncate");
-  NETMARK_RETURN_NOT_OK(wal_->TruncateAll());
+  st = wal_->TruncateAll();
+  if (!st.ok()) return fail(std::move(st));
   last_checkpoint_lsn_ = wal_->last_lsn();
   ++checkpoints_;
   return netmark::Status::OK();
@@ -180,7 +268,10 @@ netmark::Status Database::Checkpoint() {
 
 netmark::Status Database::SyncWal() {
   if (wal_ == nullptr) return netmark::Status::OK();
-  return wal_->BatchSync();
+  if (degraded()) return DegradedError();
+  netmark::Status st = wal_->BatchSync();
+  if (!st.ok()) MarkDegraded(st);
+  return st;
 }
 
 netmark::Status Database::Flush() {
@@ -188,8 +279,9 @@ netmark::Status Database::Flush() {
   for (auto& [name, table] : tables_) {
     NETMARK_RETURN_NOT_OK(table->Flush());
   }
-  NETMARK_RETURN_NOT_OK(catalog_.Save(CatalogPath()));
-  return netmark::WriteFileAtomic(DdlCounterPath(), std::to_string(ddl_statements_));
+  NETMARK_RETURN_NOT_OK(catalog_.Save(CatalogPath(), options_.env));
+  netmark::Env* env = options_.env != nullptr ? options_.env : netmark::Env::Default();
+  return env->WriteFileAtomic(DdlCounterPath(), std::to_string(ddl_statements_));
 }
 
 }  // namespace netmark::storage

@@ -14,11 +14,14 @@
 #ifndef NETMARK_STORAGE_DATABASE_H_
 #define NETMARK_STORAGE_DATABASE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "common/result.h"
 #include "storage/catalog.h"
 #include "storage/recovery.h"
@@ -36,6 +39,21 @@ struct StorageOptions {
   WalFsyncPolicy wal_fsync = WalFsyncPolicy::kCommit;
   /// Log size that triggers an automatic checkpoint (bytes).
   uint64_t checkpoint_bytes = 64ull << 20;
+  /// File I/O environment for every storage file (heap, log, catalog);
+  /// nullptr means Env::Default(). Tests and the disk-fault torture harness
+  /// pass a FaultInjectingEnv.
+  netmark::Env* env = nullptr;
+  /// Verify each heap page's CRC32C trailer on read miss; mismatches
+  /// quarantine the page (Status::DataLoss). Stamping on flush always
+  /// happens, so this knob can be toggled freely across restarts.
+  bool page_checksums = true;
+  /// Background CRC scrub rate (pages/second; 0 disables the scrubber).
+  /// Enforced by the XML store, which owns the scrubber thread.
+  int scrub_pages_per_sec = 0;
+  /// `[storage] on_fsync_error = abort`: _exit the process on the first
+  /// failed WAL/heap fsync instead of degrading to read-only (fail-stop for
+  /// operators who prefer a supervisor restart over a limping store).
+  bool abort_on_fsync_error = false;
 };
 
 /// \brief A set of tables persisted under one directory.
@@ -90,6 +108,20 @@ class Database {
   /// daemon calls this once per sweep).
   netmark::Status SyncWal();
 
+  // --- Degraded (read-only) mode -----------------------------------------
+  //
+  // After a failed WAL append/fsync or a failed checkpoint write, the store
+  // stops accepting mutations: Begin/CommitTransaction and Checkpoint return
+  // the degradation status (CapacityExceeded when the cause was a full disk,
+  // Unavailable otherwise) while reads keep serving the last good state. No
+  // acknowledgement is ever emitted after a failed fsync.
+
+  bool degraded() const { return degraded_.load(std::memory_order_acquire); }
+  /// Human-readable cause of the degradation (empty when healthy).
+  std::string degraded_reason() const;
+  /// The status mutations are rejected with while degraded.
+  netmark::Status DegradedError() const;
+
   /// The log (null when disabled) — metrics and tests read its counters.
   const Wal* wal() const { return wal_.get(); }
   /// What recovery did at Open() (all zeros when the log was empty).
@@ -116,6 +148,15 @@ class Database {
   std::string CatalogPath() const;
   std::string DdlCounterPath() const;
   std::string WalPath() const;
+  PagerOptions MakePagerOptions() const {
+    return PagerOptions{options_.env, options_.page_checksums};
+  }
+  /// Records the first failure that forces read-only mode (or aborts, per
+  /// the on_fsync_error policy).
+  void MarkDegraded(const netmark::Status& cause);
+  /// One-time v0→v1 page format upgrade pass + WAL staging of all pending
+  /// dirty-since-mark images, run at the start of a checkpoint.
+  netmark::Status StagePendingAndUpgrades();
 
   std::string dir_;
   StorageOptions options_;
@@ -129,6 +170,12 @@ class Database {
   bool in_txn_ = false;
   uint64_t last_checkpoint_lsn_ = 0;
   uint64_t checkpoints_ = 0;
+  bool upgrade_scan_done_ = false;
+
+  std::atomic<bool> degraded_{false};
+  mutable std::mutex degraded_mu_;
+  std::string degraded_reason_;       // guarded by degraded_mu_
+  bool degraded_capacity_ = false;    // guarded by degraded_mu_
 };
 
 }  // namespace netmark::storage

@@ -10,12 +10,17 @@ namespace {
 
 // Overflow page layout:
 //   bytes 0..1  : kOverflowMarker (distinguishes from slotted data pages)
-//   bytes 2..3  : unused
+//   byte  2     : format version (the slotted version byte 4 holds the next
+//                 pointer here)
+//   byte  3     : unused
 //   bytes 4..7  : next overflow page id (kInvalidPage terminates)
 //   bytes 8..11 : chunk length
 //   bytes 12..  : chunk data
 constexpr size_t kOverflowHeader = 12;
-constexpr size_t kOverflowChunk = kPageSize - kOverflowHeader;
+// New (v1) chunks leave room for the CRC trailer; legacy v0 chunks may run
+// to the end of the page.
+constexpr size_t kOverflowChunk = kPageSize - kOverflowHeader - kPageTrailerSize;
+constexpr size_t kOverflowChunkV0Max = kPageSize - kOverflowHeader;
 
 uint16_t ReadMarker(const uint8_t* raw) {
   uint16_t v;
@@ -28,8 +33,15 @@ uint16_t ReadMarker(const uint8_t* raw) {
 netmark::Result<HeapFile> HeapFile::Open(Pager* pager) {
   HeapFile hf(pager);
   // Recover the append page (highest data page) and the live-record count.
+  // Quarantined (bad-checksum) pages are skipped so the store still opens:
+  // their records surface as DataLoss on access, not as a failure to start.
   for (PageId id = 0; id < pager->page_count(); ++id) {
-    NETMARK_ASSIGN_OR_RETURN(Page page, pager->Fetch(id));
+    auto fetched = pager->Fetch(id);
+    if (!fetched.ok()) {
+      if (fetched.status().IsDataLoss()) continue;
+      return fetched.status();
+    }
+    Page page = *fetched;
     if (ReadMarker(page.raw()) == kOverflowMarker) continue;
     hf.tail_ = id;
     for (uint16_t s = 0; s < page.slot_count(); ++s) {
@@ -75,6 +87,10 @@ netmark::Result<std::string> HeapFile::WriteOverflowPayload(std::string_view rec
     uint8_t* raw = page.raw();
     uint16_t marker = kOverflowMarker;
     std::memcpy(raw, &marker, 2);
+    // Allocate() initialized the buffer as a slotted v1 page; rewriting the
+    // header as an overflow page moves the version byte to offset 2.
+    raw[2] = kPageFormatV1;
+    raw[3] = 0;
     std::memcpy(raw + 4, &next, 4);
     auto len32 = static_cast<uint32_t>(len);
     std::memcpy(raw + 8, &len32, 4);
@@ -109,7 +125,11 @@ netmark::Result<std::string> HeapFile::ReadOverflow(std::string_view payload) co
     }
     uint32_t len;
     std::memcpy(&len, raw + 8, 4);
-    if (len > kOverflowChunk) return netmark::Status::Corruption("bad overflow chunk");
+    // Bound by the v0 physical maximum: legacy chunks may use the trailer
+    // bytes for data.
+    if (len > kOverflowChunkV0Max) {
+      return netmark::Status::Corruption("bad overflow chunk");
+    }
     out.append(reinterpret_cast<const char*>(raw + kOverflowHeader), len);
     std::memcpy(&pid, raw + 4, 4);
   }
@@ -243,7 +263,14 @@ netmark::Status HeapFile::Delete(RowId id) {
 netmark::Status HeapFile::Scan(
     const std::function<netmark::Status(RowId, std::string_view)>& fn) const {
   for (PageId pid = 0; pid < pager_->page_count(); ++pid) {
-    NETMARK_ASSIGN_OR_RETURN(Page page, pager_->Fetch(pid));
+    // Quarantined pages are invisible to scans; their documents are reported
+    // as DataLoss on direct access instead.
+    auto fetched = pager_->Fetch(pid);
+    if (!fetched.ok()) {
+      if (fetched.status().IsDataLoss()) continue;
+      return fetched.status();
+    }
+    Page page = *fetched;
     if (ReadMarker(page.raw()) == kOverflowMarker) continue;
     for (uint16_t s = 0; s < page.slot_count(); ++s) {
       std::string_view rec = page.Get(s);

@@ -65,9 +65,6 @@ class HeapFile {
   static constexpr uint8_t kRelocatedFlag = 0x2;  // reached only via forward
   static constexpr uint8_t kOverflowFlag = 0x4;   // payload = page id + length
 
-  // Overflow page marker value stored in the slot_count field.
-  static constexpr uint16_t kOverflowMarker = 0xFFFF;
-
   netmark::Result<RowId> InsertTagged(std::string_view record, uint8_t extra_flags);
   netmark::Result<RowId> AppendSlot(std::string_view payload);
   netmark::Result<std::string> ReadOverflow(std::string_view payload) const;

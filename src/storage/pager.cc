@@ -1,45 +1,35 @@
 #include "storage/pager.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <cstring>
 
 #include "common/string_util.h"
 
 namespace netmark::storage {
 
-netmark::Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path) {
-  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
-  if (fd < 0) {
-    return netmark::Status::IOError("open " + path + ": " + std::strerror(errno));
-  }
-  off_t size = ::lseek(fd, 0, SEEK_END);
-  if (size < 0) {
-    ::close(fd);
-    return netmark::Status::IOError("lseek " + path + ": " + std::strerror(errno));
-  }
-  if (static_cast<size_t>(size) % kPageSize != 0) {
-    ::close(fd);
+netmark::Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path,
+                                                    PagerOptions options) {
+  netmark::Env* env = options.env != nullptr ? options.env : netmark::Env::Default();
+  NETMARK_ASSIGN_OR_RETURN(std::unique_ptr<netmark::File> file,
+                           env->OpenFile(path, /*create=*/true));
+  NETMARK_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  if (size % kPageSize != 0) {
     return netmark::Status::Corruption(
-        netmark::StringPrintf("page file %s has size %lld not a multiple of %zu",
-                              path.c_str(), static_cast<long long>(size), kPageSize));
+        netmark::StringPrintf("page file %s has size %llu not a multiple of %zu",
+                              path.c_str(), static_cast<unsigned long long>(size),
+                              kPageSize));
   }
-  auto count = static_cast<PageId>(static_cast<size_t>(size) / kPageSize);
-  return std::unique_ptr<Pager>(new Pager(path, fd, count));
+  auto count = static_cast<PageId>(size / kPageSize);
+  return std::unique_ptr<Pager>(
+      new Pager(std::move(file), count, options.verify_checksums));
 }
 
-Pager::~Pager() {
-  (void)Flush();
-  if (fd_ >= 0) ::close(fd_);
-}
+Pager::~Pager() { (void)Flush(); }
 
 netmark::Result<PageId> Pager::Allocate() {
   std::lock_guard<std::mutex> lock(mu_);
   PageId count = page_count_.load(std::memory_order_relaxed);
   if (count == kInvalidPage) {
-    return netmark::Status::CapacityExceeded("page file full");
+    return netmark::Status::CapacityExceeded("page file full: " + file_->path());
   }
   PageId id = count;
   auto buf = std::make_unique<uint8_t[]>(kPageSize);
@@ -53,26 +43,31 @@ netmark::Result<PageId> Pager::Allocate() {
 }
 
 netmark::Result<uint8_t*> Pager::Buffer(PageId id) {
-  // The lock covers the cache probe and (on a miss) the pread + insert. A
+  // The lock covers the cache probe and (on a miss) the read + insert. A
   // miss therefore serializes concurrent readers briefly, but buffers are
   // never evicted so the common case — cache hit — is one map lookup, and
   // the returned pointer stays stable after the lock is released.
   std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(id);
   if (it != cache_.end()) return it->second.get();
+  if (quarantined_.count(id) != 0) {
+    return netmark::Status::DataLoss(netmark::StringPrintf(
+        "page %u of %s is quarantined (bad checksum)", id, file_->path().c_str()));
+  }
   PageId count = page_count_.load(std::memory_order_relaxed);
   if (id >= count) {
     return netmark::Status::InvalidArgument(
         netmark::StringPrintf("page %u out of range (%u pages)", id, count));
   }
   auto buf = std::make_unique<uint8_t[]>(kPageSize);
-  ssize_t n = ::pread(fd_, buf.get(), kPageSize,
-                      static_cast<off_t>(id) * static_cast<off_t>(kPageSize));
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return netmark::Status::IOError(
-        netmark::StringPrintf("short read of page %u from %s", id, path_.c_str()));
-  }
+  NETMARK_RETURN_NOT_OK(
+      file_->Read(static_cast<uint64_t>(id) * kPageSize, kPageSize, buf.get()));
   pages_read_.fetch_add(1, std::memory_order_relaxed);
+  if (verify_checksums_ && !PageVerifyChecksum(buf.get())) {
+    quarantined_.insert(id);
+    return netmark::Status::DataLoss(netmark::StringPrintf(
+        "page %u of %s failed checksum verification", id, file_->path().c_str()));
+  }
   uint8_t* raw = buf.get();
   cache_[id] = std::move(buf);
   return raw;
@@ -106,18 +101,13 @@ netmark::Status Pager::Flush() {
     if (!is_dirty) continue;
     auto it = cache_.find(id);
     if (it == cache_.end()) continue;
-    off_t offset = static_cast<off_t>(id) * static_cast<off_t>(kPageSize);
-    ssize_t n = write_fn_ ? write_fn_(fd_, it->second.get(), kPageSize, offset)
-                          : ::pwrite(fd_, it->second.get(), kPageSize, offset);
-    if (n != static_cast<ssize_t>(kPageSize)) {
-      netmark::Status err =
-          n < 0 ? netmark::Status::IOError(
-                      netmark::StringPrintf("write of page %u to %s: %s", id,
-                                            path_.c_str(), std::strerror(errno)))
-                : netmark::Status::IOError(netmark::StringPrintf(
-                      "short write of page %u to %s (%zd of %zu bytes)", id,
-                      path_.c_str(), n, kPageSize));
-      if (first_error.ok()) first_error = std::move(err);
+    PageStampChecksum(it->second.get());
+    netmark::Status st = file_->Write(static_cast<uint64_t>(id) * kPageSize,
+                                      it->second.get(), kPageSize);
+    if (!st.ok()) {
+      if (first_error.ok()) {
+        first_error = st.WithContext(netmark::StringPrintf("write of page %u", id));
+      }
       continue;  // page stays dirty
     }
     is_dirty = false;
@@ -126,12 +116,51 @@ netmark::Status Pager::Flush() {
   return first_error;
 }
 
-netmark::Status Pager::SyncToDisk() {
-  if (::fdatasync(fd_) != 0) {
-    return netmark::Status::IOError(
-        netmark::StringPrintf("fsync %s: %s", path_.c_str(), std::strerror(errno)));
+netmark::Status Pager::SyncToDisk() { return file_->Sync(); }
+
+netmark::Result<bool> Pager::VerifyOnDisk(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (quarantined_.count(id) != 0) return true;  // already known bad
+  PageId count = page_count_.load(std::memory_order_relaxed);
+  if (id >= count) {
+    return netmark::Status::InvalidArgument(
+        netmark::StringPrintf("page %u out of range (%u pages)", id, count));
   }
-  return netmark::Status::OK();
+  // A dirty page's on-disk copy is legitimately stale; skip it. The lock
+  // keeps Flush from racing this check.
+  auto dit = dirty_.find(id);
+  if (dit != dirty_.end() && dit->second) return true;
+  uint8_t buf[kPageSize];
+  NETMARK_RETURN_NOT_OK(
+      file_->Read(static_cast<uint64_t>(id) * kPageSize, kPageSize, buf));
+  if (!PageVerifyChecksum(buf)) {
+    if (cache_.count(id) != 0) {
+      // The cached copy is authoritative and intact; the disk copy rotted
+      // underneath it. Re-dirty the page so the next flush heals the disk
+      // instead of quarantining data we still hold.
+      dirty_[id] = true;
+      dirty_since_mark_.insert(id);
+      return false;
+    }
+    quarantined_.insert(id);
+    return false;
+  }
+  return true;
+}
+
+bool Pager::IsQuarantined(PageId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quarantined_.count(id) != 0;
+}
+
+std::vector<PageId> Pager::QuarantinedPages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<PageId>(quarantined_.begin(), quarantined_.end());
+}
+
+uint64_t Pager::quarantined_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quarantined_.size();
 }
 
 }  // namespace netmark::storage

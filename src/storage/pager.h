@@ -10,12 +10,18 @@
 // commit path can stage their images on the write-ahead log *before* any
 // heap write. Flush never marks a page clean unless its bytes reached the
 // file, and SyncToDisk() makes a completed flush durable.
+//
+// Disk faults (docs/durability.md): all file I/O goes through a
+// netmark::Env, every v1 page is CRC-stamped on flush and verified on read
+// miss, and a page whose checksum does not match is *quarantined* — the read
+// returns Status::DataLoss, the page is never cached or served, and the
+// scrubber/healthz report it. Read errors (EIO) do not quarantine: the
+// fault may be transient and the on-disk bytes may still be good.
 
 #ifndef NETMARK_STORAGE_PAGER_H_
 #define NETMARK_STORAGE_PAGER_H_
 
 #include <atomic>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -23,11 +29,20 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/env.h"
 #include "common/result.h"
 #include "storage/page.h"
 #include "storage/row_id.h"
 
 namespace netmark::storage {
+
+struct PagerOptions {
+  /// File I/O environment; nullptr means Env::Default().
+  netmark::Env* env = nullptr;
+  /// Verify the CRC32C trailer on every read miss (v1 pages only). Stamping
+  /// on flush is unconditional so the knob can be toggled freely.
+  bool verify_checksums = true;
+};
 
 /// \brief Owns the page file: allocation, fetch, write-back.
 ///
@@ -41,7 +56,8 @@ namespace netmark::storage {
 class Pager {
  public:
   /// Opens (creating if absent) the page file at `path`.
-  static netmark::Result<std::unique_ptr<Pager>> Open(const std::string& path);
+  static netmark::Result<std::unique_ptr<Pager>> Open(const std::string& path,
+                                                      PagerOptions options = {});
 
   ~Pager();
   Pager(const Pager&) = delete;
@@ -54,15 +70,16 @@ class Pager {
   netmark::Result<PageId> Allocate();
 
   /// Fetches a page for reading; the pointer stays valid until the Pager is
-  /// destroyed (buffers are never evicted).
+  /// destroyed (buffers are never evicted). Returns Status::DataLoss for a
+  /// page whose on-disk checksum did not match (now or on a prior fetch).
   netmark::Result<Page> Fetch(PageId id);
 
   /// Marks a page dirty so Flush persists it.
   void MarkDirty(PageId id);
 
-  /// Writes all dirty pages to disk. Every page is attempted even after a
-  /// failure; a page whose write fails (error or partial write) stays dirty
-  /// for the next Flush, and the first error is returned.
+  /// Writes all dirty pages to disk, stamping each v1 page's CRC trailer
+  /// first. Every page is attempted even after a failure; a page whose write
+  /// fails stays dirty for the next Flush, and the first error is returned.
   netmark::Status Flush();
 
   /// fdatasyncs the page file (call after a successful Flush to make a
@@ -73,34 +90,45 @@ class Pager {
   /// The commit path uses this to stage write-ahead-log images.
   std::vector<PageId> TakeDirtySinceMark();
 
+  /// Re-reads one page from disk and checks its CRC (the scrubber's probe).
+  /// Returns false — and quarantines the page — when a fresh corruption was
+  /// found; true when the page verified, was dirty (the on-disk copy is
+  /// legitimately stale), was already quarantined, or is v0 (unverifiable).
+  /// Read errors propagate as a Status without quarantining.
+  netmark::Result<bool> VerifyOnDisk(PageId id);
+
+  bool IsQuarantined(PageId id) const;
+  /// Sorted ids of all quarantined pages.
+  std::vector<PageId> QuarantinedPages() const;
+  uint64_t quarantined_count() const;
+
   /// Count of pages read from disk (cache misses), for benchmarks.
   uint64_t pages_read() const { return pages_read_.load(std::memory_order_relaxed); }
   uint64_t pages_written() const {
     return pages_written_.load(std::memory_order_relaxed);
   }
 
-  /// Test hook: replaces pwrite so tests can inject partial/failed writes.
-  /// Signature matches pwrite(fd, buf, count, offset).
-  using WriteFn = std::function<ssize_t(int, const void*, size_t, off_t)>;
-  void set_write_fn_for_test(WriteFn fn) { write_fn_ = std::move(fn); }
-
  private:
-  Pager(std::string path, int fd, PageId page_count)
-      : path_(std::move(path)), fd_(fd), page_count_(page_count) {}
+  Pager(std::unique_ptr<netmark::File> file, PageId page_count,
+        bool verify_checksums)
+      : file_(std::move(file)),
+        verify_checksums_(verify_checksums),
+        page_count_(page_count) {}
 
   netmark::Result<uint8_t*> Buffer(PageId id);
 
-  std::string path_;
-  int fd_;
+  std::unique_ptr<netmark::File> file_;
+  bool verify_checksums_;
   std::atomic<PageId> page_count_{0};
-  /// Guards cache_/dirty_/dirty_since_mark_ against concurrent readers.
+  /// Guards cache_/dirty_/dirty_since_mark_/quarantined_ against concurrent
+  /// readers.
   mutable std::mutex mu_;
   std::unordered_map<PageId, std::unique_ptr<uint8_t[]>> cache_;
   std::unordered_map<PageId, bool> dirty_;
   std::set<PageId> dirty_since_mark_;
+  std::set<PageId> quarantined_;
   std::atomic<uint64_t> pages_read_{0};
   std::atomic<uint64_t> pages_written_{0};
-  WriteFn write_fn_;
 };
 
 }  // namespace netmark::storage

@@ -1,12 +1,8 @@
 #include "storage/recovery.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
 #include <filesystem>
 #include <map>
+#include <memory>
 #include <set>
 
 #include "common/clock.h"
@@ -20,42 +16,39 @@ namespace fs = std::filesystem;
 
 namespace {
 
-class FdCache {
+class FileCache {
  public:
-  ~FdCache() {
-    for (auto& [name, fd] : fds_) ::close(fd);
-  }
-  netmark::Result<int> Get(const std::string& dir, const std::string& table) {
-    auto it = fds_.find(table);
-    if (it != fds_.end()) return it->second;
+  explicit FileCache(netmark::Env* env) : env_(env) {}
+  netmark::Result<netmark::File*> Get(const std::string& dir,
+                                      const std::string& table) {
+    auto it = files_.find(table);
+    if (it != files_.end()) return it->second.get();
     // Must match Database::TableFilePath.
     std::string path = (fs::path(dir) / (table + ".heap")).string();
-    int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
-    if (fd < 0) {
-      return netmark::Status::IOError("recovery open " + path + ": " +
-                                      std::strerror(errno));
-    }
-    fds_[table] = fd;
-    return fd;
+    auto opened = env_->OpenFile(path, /*create=*/true);
+    if (!opened.ok()) return opened.status().WithContext("recovery open");
+    netmark::File* raw = opened->get();
+    files_[table] = std::move(*opened);
+    return raw;
   }
   netmark::Status SyncAll() {
-    for (auto& [name, fd] : fds_) {
-      if (::fdatasync(fd) != 0) {
-        return netmark::Status::IOError("recovery fsync " + name + ".heap: " +
-                                        std::strerror(errno));
-      }
+    for (auto& [name, file] : files_) {
+      NETMARK_RETURN_NOT_OK(file->Sync().WithContext("recovery fsync"));
     }
     return netmark::Status::OK();
   }
 
  private:
-  std::map<std::string, int> fds_;
+  netmark::Env* env_;
+  std::map<std::string, std::unique_ptr<netmark::File>> files_;
 };
 
 }  // namespace
 
 netmark::Result<RecoveryStats> RecoverDatabase(const std::string& dir,
-                                               const std::string& wal_path) {
+                                               const std::string& wal_path,
+                                               netmark::Env* env) {
+  if (env == nullptr) env = netmark::Env::Default();
   RecoveryStats stats;
   int64_t start = netmark::MonotonicMicros();
   NETMARK_ASSIGN_OR_RETURN(WalScan scan, Wal::ReadRecords(wal_path));
@@ -80,40 +73,29 @@ netmark::Result<RecoveryStats> RecoverDatabase(const std::string& dir,
   // Pass 2: redo committed page images in LSN order. Full-page physical
   // redo is idempotent, so a crash during this loop just means the next
   // open replays again.
-  FdCache fds;
+  FileCache files(env);
   for (const WalRecord& rec : scan.records) {
     if (rec.type != WalRecordType::kPageImage) continue;
     if (committed.count(rec.txn_id) == 0) continue;
-    NETMARK_ASSIGN_OR_RETURN(int fd, fds.Get(dir, rec.table));
-    off_t offset = static_cast<off_t>(rec.page_id) * static_cast<off_t>(kPageSize);
-    size_t off = 0;
-    while (off < rec.image.size()) {
-      ssize_t n = ::pwrite(fd, rec.image.data() + off, rec.image.size() - off,
-                           offset + static_cast<off_t>(off));
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        return netmark::Status::IOError("recovery pwrite " + rec.table +
-                                        ".heap: " + std::strerror(errno));
-      }
-      off += static_cast<size_t>(n);
-    }
+    NETMARK_ASSIGN_OR_RETURN(netmark::File * file, files.Get(dir, rec.table));
+    NETMARK_RETURN_NOT_OK(
+        file->Write(static_cast<uint64_t>(rec.page_id) * kPageSize,
+                    rec.image.data(), rec.image.size())
+            .WithContext("recovery page write"));
     ++stats.pages_applied;
     stats.last_lsn = rec.lsn;
     MaybeCrashPoint("recovery_page_applied");
   }
-  NETMARK_RETURN_NOT_OK(fds.SyncAll());
+  NETMARK_RETURN_NOT_OK(files.SyncAll());
   MaybeCrashPoint("recovery_before_truncate");
 
   // Heap files are durable; retire the log.
-  int wal_fd = ::open(wal_path.c_str(), O_RDWR);
-  if (wal_fd >= 0) {
-    if (::ftruncate(wal_fd, 0) != 0 || ::fdatasync(wal_fd) != 0) {
-      int saved = errno;
-      ::close(wal_fd);
-      return netmark::Status::IOError("recovery wal truncate: " +
-                                      std::string(std::strerror(saved)));
-    }
-    ::close(wal_fd);
+  if (env->FileExists(wal_path)) {
+    NETMARK_ASSIGN_OR_RETURN(std::unique_ptr<netmark::File> wal_file,
+                             env->OpenFile(wal_path, /*create=*/false));
+    NETMARK_RETURN_NOT_OK(
+        wal_file->Truncate(0).WithContext("recovery wal truncate"));
+    NETMARK_RETURN_NOT_OK(wal_file->Sync().WithContext("recovery wal truncate"));
   }
   stats.micros = netmark::MonotonicMicros() - start;
   return stats;

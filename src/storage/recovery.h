@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/env.h"
 #include "common/result.h"
 
 namespace netmark::storage {
@@ -27,8 +28,10 @@ struct RecoveryStats {
 /// files under `dir`, fsyncs them, then truncates the log. Idempotent:
 /// running it twice (e.g. a crash during recovery itself) converges to the
 /// same state, because replay writes full page images in LSN order.
+/// `env` defaults to Env::Default().
 netmark::Result<RecoveryStats> RecoverDatabase(const std::string& dir,
-                                               const std::string& wal_path);
+                                               const std::string& wal_path,
+                                               netmark::Env* env = nullptr);
 
 }  // namespace netmark::storage
 

@@ -4,8 +4,9 @@ namespace netmark::storage {
 
 netmark::Result<std::unique_ptr<Table>> Table::Open(
     TableSchema schema, const std::string& file_path,
-    const std::vector<IndexDef>& indexes) {
-  NETMARK_ASSIGN_OR_RETURN(std::unique_ptr<Pager> pager, Pager::Open(file_path));
+    const std::vector<IndexDef>& indexes, PagerOptions pager_options) {
+  NETMARK_ASSIGN_OR_RETURN(std::unique_ptr<Pager> pager,
+                           Pager::Open(file_path, pager_options));
   NETMARK_ASSIGN_OR_RETURN(HeapFile heap, HeapFile::Open(pager.get()));
   std::unique_ptr<Table> table(new Table(std::move(schema), std::move(pager),
                                          std::make_unique<HeapFile>(std::move(heap))));

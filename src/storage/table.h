@@ -26,10 +26,11 @@ struct IndexDef {
 class Table {
  public:
   /// Opens (or creates) the table's heap file at `file_path`. Indexes in
-  /// `indexes` are (re)built from a full scan.
+  /// `indexes` are (re)built from a full scan. `pager_options` carries the
+  /// I/O environment and the checksum-verification knob.
   static netmark::Result<std::unique_ptr<Table>> Open(
       TableSchema schema, const std::string& file_path,
-      const std::vector<IndexDef>& indexes = {});
+      const std::vector<IndexDef>& indexes = {}, PagerOptions pager_options = {});
 
   const TableSchema& schema() const { return schema_; }
   uint64_t row_count() const { return heap_->live_records(); }

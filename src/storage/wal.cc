@@ -27,20 +27,6 @@ void Put64(std::string* out, uint64_t v) {
   out->append(reinterpret_cast<const char*>(&v), 8);
 }
 
-netmark::Status WriteAll(int fd, const char* data, size_t len) {
-  size_t off = 0;
-  while (off < len) {
-    ssize_t n = ::write(fd, data + off, len - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return netmark::Status::IOError(std::string("wal write: ") +
-                                      std::strerror(errno));
-    }
-    off += static_cast<size_t>(n);
-  }
-  return netmark::Status::OK();
-}
-
 }  // namespace
 
 netmark::Result<WalFsyncPolicy> ParseWalFsyncPolicy(std::string_view text) {
@@ -157,26 +143,18 @@ netmark::Result<WalScan> Wal::ReadRecords(const std::string& path) {
 }
 
 netmark::Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
-                                                WalFsyncPolicy policy) {
+                                                WalFsyncPolicy policy,
+                                                netmark::Env* env) {
+  if (env == nullptr) env = netmark::Env::Default();
   NETMARK_ASSIGN_OR_RETURN(WalScan scan, ReadRecords(path));
-  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
-  if (fd < 0) {
-    return netmark::Status::IOError("open " + path + ": " + std::strerror(errno));
-  }
+  NETMARK_ASSIGN_OR_RETURN(std::unique_ptr<netmark::File> file,
+                           env->OpenFile(path, /*create=*/true));
   if (scan.torn_tail) {
-    if (::ftruncate(fd, static_cast<off_t>(scan.valid_bytes)) != 0) {
-      int saved = errno;
-      ::close(fd);
-      return netmark::Status::IOError("truncate torn wal tail " + path + ": " +
-                                      std::strerror(saved));
-    }
+    NETMARK_RETURN_NOT_OK(
+        file->Truncate(scan.valid_bytes).WithContext("truncate torn wal tail"));
   }
-  if (::lseek(fd, static_cast<off_t>(scan.valid_bytes), SEEK_SET) < 0) {
-    int saved = errno;
-    ::close(fd);
-    return netmark::Status::IOError("lseek " + path + ": " + std::strerror(saved));
-  }
-  std::unique_ptr<Wal> wal(new Wal(path, fd, policy));
+  std::unique_ptr<Wal> wal(new Wal(path, std::move(file), policy));
+  wal->append_offset_ = scan.valid_bytes;
   wal->size_bytes_.store(scan.valid_bytes, std::memory_order_relaxed);
   if (!scan.records.empty()) {
     uint64_t last = scan.records.back().lsn;
@@ -186,9 +164,7 @@ netmark::Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
   return wal;
 }
 
-Wal::~Wal() {
-  if (fd_ >= 0) ::close(fd_);
-}
+Wal::~Wal() = default;
 
 void Wal::EncodeRecord(uint64_t txn_id, WalRecordType type,
                        std::string_view payload, std::string* out) {
@@ -223,7 +199,8 @@ netmark::Status Wal::AppendCommit(uint64_t txn_id) {
   // write leaves a CRC-torn tail that recovery drops — the transaction simply
   // never happened.
   MaybeCrashPoint("wal_before_append");
-  NETMARK_RETURN_NOT_OK(WriteAll(fd_, staged_.data(), staged_.size()));
+  NETMARK_RETURN_NOT_OK(file_->Write(append_offset_, staged_.data(), staged_.size()));
+  append_offset_ += staged_.size();
   size_bytes_.fetch_add(staged_.size(), std::memory_order_relaxed);
   bytes_appended_.fetch_add(staged_.size(), std::memory_order_relaxed);
   records_appended_.fetch_add(staged_records_, std::memory_order_relaxed);
@@ -248,10 +225,7 @@ void Wal::DiscardStaged() {
 
 netmark::Status Wal::Sync() {
   if (!unsynced_) return netmark::Status::OK();
-  if (::fdatasync(fd_) != 0) {
-    return netmark::Status::IOError(std::string("wal fsync: ") +
-                                    std::strerror(errno));
-  }
+  NETMARK_RETURN_NOT_OK(file_->Sync());
   unsynced_ = false;
   fsyncs_.fetch_add(1, std::memory_order_relaxed);
   return netmark::Status::OK();
@@ -264,22 +238,13 @@ netmark::Status Wal::BatchSync() {
 
 netmark::Status Wal::TruncateAll() {
   MaybeCrashPoint("wal_before_truncate");
-  if (::ftruncate(fd_, 0) != 0) {
-    return netmark::Status::IOError("wal truncate " + path_ + ": " +
-                                    std::strerror(errno));
-  }
-  if (::lseek(fd_, 0, SEEK_SET) < 0) {
-    return netmark::Status::IOError("wal lseek " + path_ + ": " +
-                                    std::strerror(errno));
-  }
+  NETMARK_RETURN_NOT_OK(file_->Truncate(0).WithContext("wal truncate"));
+  append_offset_ = 0;
   // Make the truncation durable so recovery never replays pre-checkpoint
   // images over post-checkpoint heap state (replay is idempotent anyway, but
   // the bounded-recovery-time guarantee depends on the log actually
   // shrinking).
-  if (::fdatasync(fd_) != 0) {
-    return netmark::Status::IOError(std::string("wal fsync: ") +
-                                    std::strerror(errno));
-  }
+  NETMARK_RETURN_NOT_OK(file_->Sync());
   fsyncs_.fetch_add(1, std::memory_order_relaxed);
   size_bytes_.store(0, std::memory_order_relaxed);
   unsynced_ = false;

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "common/result.h"
 #include "storage/page.h"
 #include "storage/row_id.h"
@@ -77,9 +78,10 @@ class Wal {
  public:
   /// Opens (creating if absent) the log at `path`, scanning existing records
   /// to position the append offset after the last valid record (a torn tail
-  /// is truncated away here).
+  /// is truncated away here). `env` defaults to Env::Default().
   static netmark::Result<std::unique_ptr<Wal>> Open(const std::string& path,
-                                                    WalFsyncPolicy policy);
+                                                    WalFsyncPolicy policy,
+                                                    netmark::Env* env = nullptr);
   ~Wal();
   Wal(const Wal&) = delete;
   Wal& operator=(const Wal&) = delete;
@@ -125,15 +127,16 @@ class Wal {
   uint64_t truncations() const { return truncations_.load(std::memory_order_relaxed); }
 
  private:
-  Wal(std::string path, int fd, WalFsyncPolicy policy)
-      : path_(std::move(path)), fd_(fd), policy_(policy) {}
+  Wal(std::string path, std::unique_ptr<netmark::File> file, WalFsyncPolicy policy)
+      : path_(std::move(path)), file_(std::move(file)), policy_(policy) {}
 
   void EncodeRecord(uint64_t txn_id, WalRecordType type, std::string_view payload,
                     std::string* out);
 
   std::string path_;
-  int fd_;
+  std::unique_ptr<netmark::File> file_;
   WalFsyncPolicy policy_;
+  uint64_t append_offset_ = 0;
   std::string staged_;        // encoded records awaiting the commit append
   uint64_t staged_records_ = 0;
   uint64_t next_lsn_ = 1;

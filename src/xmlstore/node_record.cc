@@ -67,26 +67,33 @@ TableSchema DocRecord::Schema() {
                                 ColumnSchema{"FILE_NAME", ValueType::kString, false},
                                 ColumnSchema{"FILE_DATE", ValueType::kInt64, false},
                                 ColumnSchema{"FILE_SIZE", ValueType::kInt64, false},
+                                ColumnSchema{"NODE_COUNT", ValueType::kInt64, false},
                             });
 }
 
 Row DocRecord::ToRow() const {
   Row row;
-  row.reserve(4);
+  row.reserve(5);
   row.push_back(Value::Int(doc_id));
   row.push_back(Value::Str(file_name));
   row.push_back(Value::Int(file_date));
   row.push_back(Value::Int(file_size));
+  row.push_back(Value::Int(node_count));
   return row;
 }
 
 netmark::Result<DocRecord> DocRecord::FromRow(const Row& row) {
-  if (row.size() != 4) return netmark::Status::Corruption("DOC row has wrong arity");
+  // 4-column rows predate NODE_COUNT; 0 means "unknown" and disables the
+  // reconstruction completeness check for that document.
+  if (row.size() != 4 && row.size() != 5) {
+    return netmark::Status::Corruption("DOC row has wrong arity");
+  }
   DocRecord r;
   r.doc_id = row[kDocId].AsInt();
   r.file_name = row[kFileName].AsStr();
   r.file_date = row[kFileDate].AsInt();
   r.file_size = row[kFileSize].AsInt();
+  if (row.size() > kNodeCount) r.node_count = row[kNodeCount].AsInt();
   return r;
 }
 

@@ -64,12 +64,17 @@ struct NodeRecord {
 };
 
 /// \brief Decoded DOC-table row (paper Fig 5: FILE_NAME, FILE_DATE,
-/// FILE_SIZE, DOC_ID).
+/// FILE_SIZE, DOC_ID), plus NODE_COUNT — the number of XML rows the document
+/// was stored with. Reconstruction compares against it so rows silently
+/// absent from a rebuilt index (their page failed its checksum and was
+/// quarantined) surface as detected data loss, never as a truncated
+/// document.
 struct DocRecord {
   int64_t doc_id = 0;
   std::string file_name;
   int64_t file_date = 0;  ///< seconds since epoch
   int64_t file_size = 0;  ///< bytes of the original source file
+  int64_t node_count = 0;  ///< XML rows stored for this doc (0 = legacy row)
 
   static storage::TableSchema Schema();
   enum Column : size_t {
@@ -77,6 +82,7 @@ struct DocRecord {
     kFileName = 1,
     kFileDate = 2,
     kFileSize = 3,
+    kNodeCount = 4,
   };
 
   storage::Row ToRow() const;

@@ -1,6 +1,7 @@
 #include "xmlstore/xml_store.h"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <map>
 
@@ -66,7 +67,19 @@ netmark::Result<std::unique_ptr<XmlStore>> XmlStore::Open(
   }
   store->last_commit_micros_.store(netmark::MonotonicMicros(),
                                    std::memory_order_relaxed);
+  if (storage_options.scrub_pages_per_sec > 0) {
+    store->scrub_thread_ = std::thread(&XmlStore::ScrubberLoop, store.get(),
+                                       storage_options.scrub_pages_per_sec);
+  }
   return store;
+}
+
+XmlStore::~XmlStore() {
+  if (scrub_thread_.joinable()) {
+    scrub_stop_.store(true, std::memory_order_release);
+    scrub_cv_.notify_all();
+    scrub_thread_.join();
+  }
 }
 
 XmlStore::ReadSnapshot XmlStore::BeginRead() const {
@@ -138,7 +151,20 @@ netmark::Result<int64_t> XmlStore::InsertPrepared(const PreparedDocument& prepar
     db_->AbandonTransaction();
     return doc_id;
   }
-  NETMARK_RETURN_NOT_OK(CommitTransactionLocked());
+  uint64_t epoch_before = commit_epoch_.load(std::memory_order_relaxed);
+  netmark::Status committed = CommitTransactionLocked();
+  if (!committed.ok()) {
+    if (commit_epoch_.load(std::memory_order_relaxed) == epoch_before) {
+      // The commit itself failed: nothing was acknowledged, so the
+      // half-inserted in-memory rows must not be servable either. Purge them
+      // before releasing the commit lock.
+      (void)DeleteDocumentLocked(*doc_id);
+      return committed;
+    }
+    // The commit landed durably; only the piggybacked size-triggered
+    // checkpoint failed (and degraded the store). The document is on the
+    // log and will survive a restart — acknowledge it.
+  }
   return doc_id;
 }
 
@@ -149,6 +175,7 @@ netmark::Result<int64_t> XmlStore::InsertPreparedLocked(const PreparedDocument& 
   doc_rec.file_name = prepared.info.file_name;
   doc_rec.file_date = prepared.info.file_date;
   doc_rec.file_size = prepared.info.file_size;
+  doc_rec.node_count = static_cast<int64_t>(prepared.nodes.size());
   NETMARK_RETURN_NOT_OK(doc_table_->Insert(doc_rec.ToRow()).status());
 
   // Pass 1: pre-order insert (`prepared.nodes` is in document order, parents
@@ -316,8 +343,28 @@ xml::NodeId MaterializeNode(const NodeRecord& rec, xml::Document* target,
 }  // namespace
 
 netmark::Result<xml::Document> XmlStore::Reconstruct(int64_t doc_id) const {
-  NETMARK_RETURN_NOT_OK(GetDocumentInfo(doc_id).status());  // existence check
+  NETMARK_ASSIGN_OR_RETURN(DocRecord info, GetDocumentInfo(doc_id));
   NETMARK_ASSIGN_OR_RETURN(auto nodes, DocumentNodes(doc_id));
+  // Completeness gate: the index the lookup ran over is rebuilt at Open by
+  // scanning the heap, and that scan skips quarantined (checksum-failed)
+  // pages — rows lost that way are silently absent here, not errors. The
+  // stored node count turns the silence back into a detectable failure.
+  if (info.node_count > 0 &&
+      static_cast<int64_t>(nodes.size()) != info.node_count) {
+    if (quarantined_pages() > 0) {
+      NoteQuarantinedDoc(doc_id);
+      return netmark::Status::DataLoss(netmark::StringPrintf(
+          "document %lld: %lld of %lld nodes lost to quarantined pages",
+          static_cast<long long>(doc_id),
+          static_cast<long long>(info.node_count -
+                                 static_cast<int64_t>(nodes.size())),
+          static_cast<long long>(info.node_count)));
+    }
+    return netmark::Status::Corruption(netmark::StringPrintf(
+        "document %lld has %zu nodes, expected %lld",
+        static_cast<long long>(doc_id), nodes.size(),
+        static_cast<long long>(info.node_count)));
+  }
   xml::Document out;
   std::map<int64_t, xml::NodeId> by_node_id;  // stored NODEID -> DOM id
   // `nodes` is in NODEID (pre-order) order, so parents precede children.
@@ -487,6 +534,86 @@ netmark::Status XmlStore::SyncWal() {
   return st;
 }
 
+void XmlStore::ScrubBatch(int budget, size_t* table_idx,
+                          storage::PageId* next_page) const {
+  storage::Table* tables[2] = {xml_table_, doc_table_};
+  for (int i = 0; i < budget; ++i) {
+    storage::Pager* pager = tables[*table_idx]->mutable_pager();
+    if (*next_page >= pager->page_count()) {
+      *table_idx = (*table_idx + 1) % 2;
+      *next_page = 0;
+      if (*table_idx == 0) scrub_passes_.fetch_add(1, std::memory_order_relaxed);
+      pager = tables[*table_idx]->mutable_pager();
+      if (pager->page_count() == 0) break;  // wrapped onto an empty table
+    }
+    auto verified = pager->VerifyOnDisk((*next_page)++);
+    scrub_pages_scanned_.fetch_add(1, std::memory_order_relaxed);
+    // A transient read error is not corruption, but it is a page the scrub
+    // could not vouch for — count both so operators see movement.
+    if (!verified.ok() || !*verified) {
+      scrub_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void XmlStore::ScrubberLoop(int pages_per_sec) {
+  // 100ms ticks: small batches keep the shared commit lock hold short, so
+  // scrubbing never stalls a mutation for long.
+  const int batch = std::max(1, pages_per_sec / 10);
+  size_t table_idx = 0;
+  storage::PageId next_page = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(scrub_mu_);
+      scrub_cv_.wait_for(lock, std::chrono::milliseconds(100), [this] {
+        return scrub_stop_.load(std::memory_order_acquire);
+      });
+    }
+    if (scrub_stop_.load(std::memory_order_acquire)) return;
+    // The snapshot holds commit_mu_ shared: no flush can rewrite a page
+    // under the verifying read, so a CRC mismatch is real disk rot.
+    ReadSnapshot snap = BeginRead();
+    ScrubBatch(batch, &table_idx, &next_page);
+  }
+}
+
+XmlStore::ScrubStats XmlStore::ScrubAll() const {
+  ReadSnapshot snap = BeginRead();
+  ScrubStats stats;
+  for (storage::Table* table : {xml_table_, doc_table_}) {
+    storage::Pager* pager = table->mutable_pager();
+    for (storage::PageId id = 0; id < pager->page_count(); ++id) {
+      auto verified = pager->VerifyOnDisk(id);
+      ++stats.pages_scanned;
+      if (!verified.ok() || !*verified) ++stats.errors_found;
+    }
+  }
+  scrub_pages_scanned_.fetch_add(stats.pages_scanned, std::memory_order_relaxed);
+  scrub_errors_.fetch_add(stats.errors_found, std::memory_order_relaxed);
+  scrub_passes_.fetch_add(1, std::memory_order_relaxed);
+  return stats;
+}
+
+uint64_t XmlStore::quarantined_pages() const {
+  return xml_table_->pager().quarantined_count() +
+         doc_table_->pager().quarantined_count();
+}
+
+uint64_t XmlStore::quarantined_doc_count() const {
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  return quarantined_docs_.size();
+}
+
+std::vector<int64_t> XmlStore::QuarantinedDocs() const {
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  return std::vector<int64_t>(quarantined_docs_.begin(), quarantined_docs_.end());
+}
+
+void XmlStore::NoteQuarantinedDoc(int64_t doc_id) const {
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  quarantined_docs_.insert(doc_id);
+}
+
 void XmlStore::BindMetrics(observability::MetricsRegistry* registry) {
   if (registry == nullptr || registry == metrics_) return;
   metrics_ = registry;
@@ -529,6 +656,27 @@ void XmlStore::BindHandles() {
     int64_t last = last_commit_micros_.load(std::memory_order_relaxed);
     if (last == 0) return 0.0;
     return static_cast<double>(netmark::MonotonicMicros() - last) / 1e6;
+  });
+  // Disk-fault containment (docs/durability.md). Scrub totals live in
+  // atomics (the scrubber thread must not race a BindMetrics re-home), so
+  // they surface as callback gauges rather than registry counters.
+  metrics_->SetCallbackGauge("netmark_scrub_pages_total", {}, [this] {
+    return static_cast<double>(scrub_pages_scanned_.load(std::memory_order_relaxed));
+  });
+  metrics_->SetCallbackGauge("netmark_scrub_errors_total", {}, [this] {
+    return static_cast<double>(scrub_errors_.load(std::memory_order_relaxed));
+  });
+  metrics_->SetCallbackGauge("netmark_scrub_passes_total", {}, [this] {
+    return static_cast<double>(scrub_passes_.load(std::memory_order_relaxed));
+  });
+  metrics_->SetCallbackGauge("netmark_storage_quarantined_pages", {}, [this] {
+    return static_cast<double>(quarantined_pages());
+  });
+  metrics_->SetCallbackGauge("netmark_storage_quarantined_docs", {}, [this] {
+    return static_cast<double>(quarantined_doc_count());
+  });
+  metrics_->SetCallbackGauge("netmark_storage_degraded", {}, [this] {
+    return db_->degraded() ? 1.0 : 0.0;
   });
 }
 

@@ -10,10 +10,14 @@
 #define NETMARK_XMLSTORE_XML_STORE_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <cstdint>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -199,10 +203,54 @@ class XmlStore {
   /// unless `wal_fsync = batch`). The daemon calls this at sweep end.
   netmark::Status SyncWal();
 
+  // --- Disk-fault containment (docs/durability.md) ------------------------
+
+  /// True once a failed WAL/heap write forced the store read-only; reads
+  /// keep serving the last good state while mutations are rejected.
+  bool degraded() const { return db_->degraded(); }
+  std::string degraded_reason() const { return db_->degraded_reason(); }
+  /// The status mutations are rejected with while degraded (CapacityExceeded
+  /// when the cause was a full disk, Unavailable otherwise).
+  netmark::Status DegradedError() const { return db_->DegradedError(); }
+
+  /// Result of one scrub pass (also folded into the cumulative
+  /// netmark_scrub_* metrics).
+  struct ScrubStats {
+    uint64_t pages_scanned = 0;
+    uint64_t errors_found = 0;
+  };
+  /// Synchronous CRC sweep over every heap page of both tables (the CLI's
+  /// `scrub` verb). The background scrubber does the same work paced by
+  /// `[storage] scrub_pages_per_sec`.
+  ScrubStats ScrubAll() const;
+  uint64_t scrub_pages_scanned() const {
+    return scrub_pages_scanned_.load(std::memory_order_relaxed);
+  }
+  uint64_t scrub_errors_found() const {
+    return scrub_errors_.load(std::memory_order_relaxed);
+  }
+  uint64_t scrub_passes() const {
+    return scrub_passes_.load(std::memory_order_relaxed);
+  }
+
+  /// Heap pages currently quarantined (CRC mismatch) across both tables.
+  uint64_t quarantined_pages() const;
+  /// Documents observed (lazily, at read time) to have at least one node on
+  /// a quarantined page. Queries skip them and mark results partial.
+  uint64_t quarantined_doc_count() const;
+  std::vector<int64_t> QuarantinedDocs() const;
+  /// Records that `doc_id` hit a quarantined page (called from the read
+  /// path, hence const; quarantine bookkeeping is logically mutable).
+  void NoteQuarantinedDoc(int64_t doc_id) const;
+
   /// Re-homes the store's durability metrics (netmark_wal_* /
   /// netmark_checkpoint_* / recovery gauges) onto `registry`.
   void BindMetrics(observability::MetricsRegistry* registry);
   observability::MetricsRegistry* metrics() const { return metrics_; }
+
+  /// Stops the background scrubber (if running) before tearing down the
+  /// database.
+  ~XmlStore();
 
  private:
   XmlStore(std::unique_ptr<storage::Database> db, xml::NodeTypeConfig node_types)
@@ -220,6 +268,13 @@ class XmlStore {
   netmark::Status CheckpointLocked();
   void BindHandles();
   void PublishWalCounters();
+  /// Background scrubber body: verifies ~pages_per_sec pages per second in
+  /// 100ms batches, round-robin across both tables, under a ReadSnapshot so
+  /// it never races a flush.
+  void ScrubberLoop(int pages_per_sec);
+  /// Verifies up to `budget` pages starting at the (table, page) cursor;
+  /// advances the cursor and the scrub counters.
+  void ScrubBatch(int budget, size_t* table_idx, storage::PageId* next_page) const;
 
   storage::Table* xml_table() const { return xml_table_; }
   storage::Table* doc_table() const { return doc_table_; }
@@ -262,6 +317,21 @@ class XmlStore {
   struct WalSeen {
     uint64_t bytes = 0, records = 0, fsyncs = 0, commits = 0;
   } wal_seen_;
+
+  // --- Scrubber + quarantine bookkeeping ---------------------------------
+  // Cumulative scrub totals are atomics (not registry counters) because the
+  // scrubber thread may race a BindMetrics() re-home; the registry reads
+  // them through callback gauges instead.
+  mutable std::atomic<uint64_t> scrub_pages_scanned_{0};
+  mutable std::atomic<uint64_t> scrub_errors_{0};
+  mutable std::atomic<uint64_t> scrub_passes_{0};
+  std::thread scrub_thread_;
+  std::atomic<bool> scrub_stop_{false};
+  std::mutex scrub_mu_;
+  std::condition_variable scrub_cv_;
+  /// Doc ids seen (at read time) to touch a quarantined page.
+  mutable std::mutex quarantine_mu_;
+  mutable std::set<int64_t> quarantined_docs_;
 };
 
 /// Encodes element attributes into the NODEDATA blob ("k=v&k2=v2",

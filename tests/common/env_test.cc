@@ -1,0 +1,224 @@
+#include "common/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "common/temp_dir.h"
+
+namespace netmark {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = TempDir::Make("env");
+    ASSERT_TRUE(dir.ok());
+    dir_ = std::make_unique<TempDir>(std::move(*dir));
+    path_ = (dir_->path() / "file.bin").string();
+  }
+  std::unique_ptr<TempDir> dir_;
+  std::string path_;
+};
+
+TEST_F(EnvTest, DefaultEnvRoundTrip) {
+  Env* env = Env::Default();
+  auto file = env->OpenFile(path_, /*create=*/true);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Write(0, "hello world", 11).ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  auto size = (*file)->Size();
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 11u);
+  char buf[11];
+  ASSERT_TRUE((*file)->Read(0, 11, buf).ok());
+  EXPECT_EQ(std::string(buf, 11), "hello world");
+  // Reading past EOF is a loud short-read error, never silent zeros.
+  netmark::Status st = (*file)->Read(6, 11, buf);
+  EXPECT_TRUE(st.IsIOError());
+  EXPECT_NE(st.ToString().find(path_), std::string::npos)
+      << "error must carry the file path: " << st.ToString();
+  ASSERT_TRUE((*file)->Truncate(5).ok());
+  size = (*file)->Size();
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 5u);
+}
+
+TEST_F(EnvTest, DefaultEnvMissingFileErrorsCarryPath) {
+  Env* env = Env::Default();
+  std::string missing = (dir_->path() / "nope.bin").string();
+  auto file = env->OpenFile(missing, /*create=*/false);
+  ASSERT_FALSE(file.ok());
+  EXPECT_NE(file.status().ToString().find(missing), std::string::npos);
+  EXPECT_FALSE(env->FileExists(missing));
+  EXPECT_TRUE(env->ReadFileToString(missing).status().IsNotFound() ||
+              env->ReadFileToString(missing).status().IsIOError());
+}
+
+TEST(FaultSpecTest, ParseAcceptsEveryKindAndRejectsGarbage) {
+  auto spec = FaultSpec::Parse("read_eio:3");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->kind, FaultSpec::Kind::kReadEio);
+  EXPECT_EQ(spec->nth, 3u);
+  EXPECT_FALSE(spec->sticky);
+
+  spec = FaultSpec::Parse("write_eio:1");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->kind, FaultSpec::Kind::kWriteEio);
+  EXPECT_TRUE(spec->sticky);
+
+  spec = FaultSpec::Parse("write_enospc:9");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(spec->sticky);
+
+  spec = FaultSpec::Parse("fsync_fail:2");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(spec->sticky);
+
+  ASSERT_TRUE(FaultSpec::Parse("write_short:5").ok());
+  ASSERT_TRUE(FaultSpec::Parse("write_torn:5").ok());
+
+  // The ":nth" suffix is optional and defaults to the first operation.
+  spec = FaultSpec::Parse("write_eio");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->nth, 1u);
+
+  EXPECT_FALSE(FaultSpec::Parse("").ok());
+  EXPECT_FALSE(FaultSpec::Parse("write_eio:").ok());
+  EXPECT_FALSE(FaultSpec::Parse("write_eio:0").ok());
+  EXPECT_FALSE(FaultSpec::Parse("write_eio:abc").ok());
+  EXPECT_FALSE(FaultSpec::Parse("bad_kind:1").ok());
+}
+
+TEST_F(EnvTest, ReadEioFiresOnceOnTheNthRead) {
+  FaultSpec spec;
+  spec.kind = FaultSpec::Kind::kReadEio;
+  spec.nth = 2;
+  FaultInjectingEnv env(spec);
+  auto file = env.OpenFile(path_, /*create=*/true);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Write(0, "abcdef", 6).ok());
+  char buf[6];
+  ASSERT_TRUE((*file)->Read(0, 6, buf).ok());  // read #1 passes
+  netmark::Status st = (*file)->Read(0, 6, buf);  // read #2 injected
+  EXPECT_TRUE(st.IsIOError());
+  EXPECT_NE(st.ToString().find("(injected)"), std::string::npos);
+  EXPECT_TRUE((*file)->Read(0, 6, buf).ok());  // one-shot: read #3 passes
+  EXPECT_EQ(env.faults_injected(), 1u);
+  EXPECT_EQ(env.reads(), 3u);
+}
+
+TEST_F(EnvTest, WriteEnospcIsStickyAndMapsToCapacityExceeded) {
+  FaultSpec spec;
+  spec.kind = FaultSpec::Kind::kWriteEnospc;
+  spec.nth = 2;
+  spec.sticky = true;
+  FaultInjectingEnv env(spec);
+  auto file = env.OpenFile(path_, /*create=*/true);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Write(0, "ok", 2).ok());
+  netmark::Status st = (*file)->Write(2, "xx", 2);
+  EXPECT_TRUE(st.IsCapacityExceeded()) << st.ToString();
+  // Sticky: every later write keeps failing.
+  EXPECT_TRUE((*file)->Write(4, "yy", 2).IsCapacityExceeded());
+  EXPECT_EQ(env.faults_injected(), 2u);
+}
+
+TEST_F(EnvTest, FsyncFailIsSticky) {
+  FaultSpec spec;
+  spec.kind = FaultSpec::Kind::kFsyncFail;
+  spec.nth = 1;
+  spec.sticky = true;
+  FaultInjectingEnv env(spec);
+  auto file = env.OpenFile(path_, /*create=*/true);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Write(0, "data", 4).ok());
+  EXPECT_TRUE((*file)->Sync().IsIOError());
+  EXPECT_TRUE((*file)->Sync().IsIOError());
+  EXPECT_EQ(env.syncs(), 2u);
+}
+
+TEST_F(EnvTest, ShortWriteIsTransparentlyCompleted) {
+  // The injector splits the Nth write in two; File's retry loop must leave
+  // callers none the wiser and the bytes intact.
+  FaultSpec spec;
+  spec.kind = FaultSpec::Kind::kWriteShort;
+  spec.nth = 1;
+  FaultInjectingEnv env(spec);
+  auto file = env.OpenFile(path_, /*create=*/true);
+  ASSERT_TRUE(file.ok());
+  std::string payload(1000, 'z');
+  ASSERT_TRUE((*file)->Write(0, payload.data(), payload.size()).ok());
+  EXPECT_EQ(env.faults_injected(), 1u);
+  std::string back(1000, '\0');
+  ASSERT_TRUE((*file)->Read(0, back.size(), back.data()).ok());
+  EXPECT_EQ(back, payload);
+}
+
+TEST_F(EnvTest, CountersSpanAllFilesOfTheEnv) {
+  FaultSpec spec;
+  spec.kind = FaultSpec::Kind::kWriteEio;
+  spec.nth = 3;
+  spec.sticky = true;
+  FaultInjectingEnv env(spec);
+  auto a = env.OpenFile((dir_->path() / "a.bin").string(), true);
+  auto b = env.OpenFile((dir_->path() / "b.bin").string(), true);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE((*a)->Write(0, "1", 1).ok());  // write #1 (file a)
+  ASSERT_TRUE((*b)->Write(0, "2", 1).ok());  // write #2 (file b)
+  // Write #3 fires even though it is file a's second write: the count is
+  // env-wide, matching "the 3rd write the storage layer issues".
+  EXPECT_TRUE((*a)->Write(1, "3", 1).IsIOError());
+}
+
+TEST_F(EnvTest, TornWriteGarblesPrefixAndExits) {
+  FaultSpec spec;
+  spec.kind = FaultSpec::Kind::kWriteTorn;
+  spec.nth = 1;
+  std::string path = path_;
+  EXPECT_EXIT(
+      {
+        FaultInjectingEnv env(spec);
+        auto file = env.OpenFile(path, /*create=*/true);
+        if (!file.ok()) ::_exit(99);
+        std::string payload(512, 'A');
+        (void)(*file)->Write(0, payload.data(), payload.size());
+        ::_exit(0);  // unreachable: the torn write _exit()s first
+      },
+      ::testing::ExitedWithCode(41), "");
+  // The child persisted (and synced) only a garbled prefix — the simulated
+  // power cut mid-write that recovery and checksums must catch.
+  auto contents = Env::Default()->ReadFileToString(path_);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_LT(contents->size(), 512u);
+  EXPECT_GT(contents->size(), 0u);
+  EXPECT_NE((*contents)[0], 'A');  // first byte of the prefix is garbled
+}
+
+TEST_F(EnvTest, MaybeFaultInjectingEnvFromEnvironment) {
+  ASSERT_EQ(::setenv("NETMARK_DISK_FAULT", "write_eio:5", 1), 0);
+  auto env = MaybeFaultInjectingEnvFromEnvironment();
+  EXPECT_NE(env, nullptr);
+  ASSERT_EQ(::setenv("NETMARK_DISK_FAULT", "not-a-spec", 1), 0);
+  EXPECT_EQ(MaybeFaultInjectingEnvFromEnvironment(), nullptr);
+  ASSERT_EQ(::unsetenv("NETMARK_DISK_FAULT"), 0);
+  EXPECT_EQ(MaybeFaultInjectingEnvFromEnvironment(), nullptr);
+}
+
+TEST_F(EnvTest, WriteFileAtomicReplacesContentsDurably) {
+  Env* env = Env::Default();
+  ASSERT_TRUE(env->WriteFileAtomic(path_, "first").ok());
+  auto got = env->ReadFileToString(path_);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "first");
+  ASSERT_TRUE(env->WriteFileAtomic(path_, "second").ok());
+  got = env->ReadFileToString(path_);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "second");
+  EXPECT_TRUE(env->FileExists(path_));
+}
+
+}  // namespace
+}  // namespace netmark

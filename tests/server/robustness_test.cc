@@ -11,7 +11,10 @@
 #include <atomic>
 #include <thread>
 
+#include "common/env.h"
 #include "common/rng.h"
+#include "common/temp_dir.h"
+#include "core/netmark.h"
 #include "server/http_client.h"
 #include "server/http_server.h"
 
@@ -99,6 +102,76 @@ TEST(HttpServerRobustnessTest, ConcurrentClientsAllServed) {
   for (auto& thread : threads) thread.join();
   EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(handled.load(), kThreads * kRequestsEach);
+}
+
+// A store whose WAL fsync fails must stop acknowledging writes (fail-stop)
+// while the HTTP surface keeps serving reads and reports the degradation.
+TEST(DegradedModeServingTest, FsyncFailureKeepsReadsServingAndReportsDegraded) {
+  auto dir = netmark::TempDir::Make("degraded_http");
+  ASSERT_TRUE(dir.ok());
+  const std::string data_dir = dir->Sub("data").string();
+
+  // Seed one document with a healthy store, then close it.
+  {
+    NetmarkOptions options;
+    options.data_dir = data_dir;
+    auto nm = Netmark::Open(options);
+    ASSERT_TRUE(nm.ok());
+    ASSERT_TRUE((*nm)->IngestContent("memo.txt", "OVERVIEW\nall good\n").ok());
+    ASSERT_TRUE((*nm)->store()->Flush().ok());
+  }
+
+  // Reopen with every fsync failing from the start.
+  netmark::FaultSpec spec;
+  spec.kind = netmark::FaultSpec::Kind::kFsyncFail;
+  spec.nth = 1;
+  spec.sticky = true;
+  netmark::FaultInjectingEnv env(spec);
+  NetmarkOptions options;
+  options.data_dir = data_dir;
+  options.storage.env = &env;
+  options.storage.wal_fsync = storage::WalFsyncPolicy::kCommit;
+  auto nm = Netmark::Open(options);
+  ASSERT_TRUE(nm.ok());
+
+  auto request = [](std::string method, std::string path, std::string body) {
+    HttpRequest req;
+    req.method = std::move(method);
+    req.path = std::move(path);
+    req.target = req.path;
+    req.body = std::move(body);
+    return req;
+  };
+
+  // First mutation: the fsync fault surfaces as a hard error, and — crucially
+  // — the document is NOT acknowledged.
+  HttpResponse put1 =
+      (*nm)->service()->Handle(request("PUT", "/docs/new.txt", "BUDGET\nQ3\n"));
+  EXPECT_GE(put1.status, 500) << put1.body;
+  EXPECT_TRUE((*nm)->store()->degraded());
+
+  // Later mutations see the latched read-only mode: 503 with a retry hint.
+  HttpResponse put2 =
+      (*nm)->service()->Handle(request("PUT", "/docs/more.txt", "NOTES\nx\n"));
+  EXPECT_EQ(put2.status, 503) << put2.body;
+  EXPECT_EQ(put2.Header("Retry-After"), "10");
+  EXPECT_NE(put2.body.find("read-only"), std::string::npos) << put2.body;
+
+  // Reads keep serving the acked corpus.
+  HttpRequest query = request("GET", "/xdb", "");
+  query.query = "context=Overview";
+  query.target = "/xdb?context=Overview";
+  HttpResponse xdb = (*nm)->service()->Handle(query);
+  EXPECT_EQ(xdb.status, 200) << xdb.body;
+  EXPECT_NE(xdb.body.find("all good"), std::string::npos);
+
+  // /healthz reports the degraded latch and its reason.
+  HttpResponse health = (*nm)->service()->Handle(request("GET", "/healthz", ""));
+  EXPECT_EQ(health.status, 200) << health.body;
+  EXPECT_NE(health.body.find("\"status\":\"degraded\""), std::string::npos)
+      << health.body;
+  EXPECT_NE(health.body.find("\"degraded_reason\""), std::string::npos);
+  EXPECT_NE(health.body.find("injected"), std::string::npos) << health.body;
 }
 
 }  // namespace

@@ -21,8 +21,10 @@ class PageTest : public ::testing::Test {
 
 TEST_F(PageTest, FreshPageIsEmpty) {
   EXPECT_EQ(page_.slot_count(), 0);
-  EXPECT_EQ(page_.free_end(), kPageSize);
-  EXPECT_EQ(page_.FreeSpace(), kPageSize - Page::kHeaderSize);
+  // Format v1 reserves the checksum trailer at the tail of every page.
+  EXPECT_EQ(page_.free_end(), kPageSize - kPageTrailerSize);
+  EXPECT_EQ(page_.FreeSpace(),
+            kPageSize - Page::kHeaderSize - kPageTrailerSize);
 }
 
 TEST_F(PageTest, InsertAndGet) {

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/env.h"
 #include "common/temp_dir.h"
 #include "xml/parser.h"
 #include "xml/serializer.h"
@@ -244,6 +249,108 @@ TEST_F(XmlStoreTest, ListDocumentsSorted) {
   ASSERT_EQ(docs->size(), 3u);
   EXPECT_EQ((*docs)[0].file_name, "a.xml");
   EXPECT_EQ((*docs)[2].file_name, "c.xml");
+}
+
+// Runs in the TSan CI matrix (test name matches its Scrubber filter): the
+// paced background scrub thread and an on-demand ScrubAll race writers and
+// readers; nothing may tear, false-quarantine, or deadlock.
+TEST(XmlStoreScrubberTest, ScrubberRunsConcurrentlyWithIngestAndReads) {
+  auto dir = TempDir::Make("scrubber");
+  ASSERT_TRUE(dir.ok());
+  storage::StorageOptions sopts;
+  sopts.scrub_pages_per_sec = 5000;  // several full passes per second
+  auto store =
+      XmlStore::Open(dir->str(), xml::NodeTypeConfig::Default(), sopts);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      (void)(*store)->ListDocuments();
+      (void)(*store)->ScrubAll();
+    }
+  });
+
+  for (int i = 0; i < 40; ++i) {
+    auto doc = xml::ParseXml(kUpmarked);
+    ASSERT_TRUE(doc.ok());
+    DocumentInfo info;
+    info.file_name = "doc" + std::to_string(i) + ".xml";
+    auto id = (*store)->InsertDocument(*doc, info);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+  }
+  ASSERT_TRUE((*store)->Flush().ok());
+
+  // Wait for the background thread to complete at least one full pass over
+  // flushed pages (it ticks every 100ms).
+  for (int tries = 0; tries < 100 && (*store)->scrub_passes() < 1; ++tries) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  stop.store(true);
+  reader.join();
+
+  EXPECT_GE((*store)->scrub_passes(), 1u);
+  EXPECT_GT((*store)->scrub_pages_scanned(), 0u);
+  // A healthy disk must never scrub up errors or quarantine anything.
+  EXPECT_EQ((*store)->scrub_errors_found(), 0u);
+  EXPECT_EQ((*store)->quarantined_pages(), 0u);
+  auto rebuilt = (*store)->Reconstruct(1);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  store->reset();  // joins the scrub thread
+}
+
+// A failed commit-path fsync must latch read-only degraded mode: the failed
+// insert is not acked, later mutations are refused up front, reads keep
+// working.
+TEST(XmlStoreDegradedTest, FsyncFailureLatchesReadOnlyMode) {
+  auto dir = TempDir::Make("degraded");
+  ASSERT_TRUE(dir.ok());
+
+  // A clean first open seeds one committed document.
+  {
+    auto store = XmlStore::Open(dir->str());
+    ASSERT_TRUE(store.ok());
+    auto doc = xml::ParseXml(kUpmarked);
+    ASSERT_TRUE(doc.ok());
+    DocumentInfo info;
+    info.file_name = "seed.xml";
+    ASSERT_TRUE((*store)->InsertDocument(*doc, info).ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+
+  FaultSpec spec;
+  spec.kind = FaultSpec::Kind::kFsyncFail;
+  spec.nth = 1;
+  spec.sticky = true;
+  FaultInjectingEnv env(spec);
+  storage::StorageOptions sopts;
+  sopts.env = &env;
+  sopts.wal_fsync = storage::WalFsyncPolicy::kCommit;
+  auto store = XmlStore::Open(dir->str(), xml::NodeTypeConfig::Default(), sopts);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_FALSE((*store)->degraded());
+
+  auto doc = xml::ParseXml(kUpmarked);
+  ASSERT_TRUE(doc.ok());
+  DocumentInfo info;
+  info.file_name = "doomed.xml";
+  auto id = (*store)->InsertDocument(*doc, info);
+  ASSERT_FALSE(id.ok());  // never acked after the failed fsync
+  EXPECT_TRUE((*store)->degraded());
+  EXPECT_NE((*store)->degraded_reason().find("injected"), std::string::npos);
+
+  // Mutations are refused up front with the degraded status...
+  auto again = (*store)->InsertDocument(*doc, info);
+  ASSERT_FALSE(again.ok());
+  EXPECT_TRUE(again.status().IsUnavailable()) << again.status().ToString();
+  EXPECT_TRUE((*store)->DeleteDocument(1).IsUnavailable());
+
+  // ...while reads keep serving the committed state.
+  auto docs = (*store)->ListDocuments();
+  ASSERT_TRUE(docs.ok());
+  ASSERT_EQ(docs->size(), 1u);
+  EXPECT_EQ((*docs)[0].file_name, "seed.xml");
+  EXPECT_TRUE((*store)->Reconstruct(1).ok());
 }
 
 }  // namespace

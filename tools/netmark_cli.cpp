@@ -21,10 +21,12 @@
 #include <vector>
 
 #include "common/config.h"
+#include "common/env.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/temp_dir.h"
 #include "core/netmark.h"
+#include "storage/page.h"
 #include "federation/databank_config.h"
 #include "server/http_client.h"
 #include "server/source_factory.h"
@@ -53,11 +55,20 @@ int Usage() {
                "  netmark remote --host H --port P QUERY\n"
                "  netmark torture-gen    --drop DIR --count N [--seed S]\n"
                "  netmark torture-ingest --data DIR --drop DIR [--workers N]\n"
-               "  netmark torture-verify --data DIR --drop DIR\n"
+               "  netmark torture-verify --data DIR --drop DIR "
+               "[--allow-quarantine 1]\n"
+               "  netmark scrub   --data DIR              CRC-verify every heap page\n"
+               "  netmark corrupt --data DIR [--table XML|DOC] [--page N]\n"
+               "                  [--offset K]            flip one on-disk byte\n"
                "\n"
                "storage flags (any command taking --data; also the [storage]\n"
                "INI section via --config): --wal on|off, --fsync\n"
-               "commit|batch|none, --checkpoint-bytes N\n"
+               "commit|batch|none, --checkpoint-bytes N; INI-only:\n"
+               "page_checksums on|off, scrub_pages_per_sec N,\n"
+               "on_fsync_error degrade|abort (docs/durability.md)\n"
+               "NETMARK_DISK_FAULT=kind:nth injects a deterministic disk fault\n"
+               "(read_eio|write_eio|write_enospc|write_short|write_torn|"
+               "fsync_fail)\n"
                "query cache knobs ([query] INI section via --config):\n"
                "cache_enabled on|off, cache_entries N, cache_bytes N,\n"
                "plan_entries N (docs/query_cache.md)\n");
@@ -101,6 +112,24 @@ Status ApplyStorageFlags(const Args& args, storage::StorageOptions* storage) {
     storage->checkpoint_bytes = static_cast<uint64_t>(config.GetIntOr(
         "storage", "checkpoint_bytes",
         static_cast<int64_t>(storage->checkpoint_bytes)));
+    auto checksums = config.Get("storage", "page_checksums");
+    if (checksums.ok()) {
+      storage->page_checksums =
+          (*checksums != "off" && *checksums != "false" && *checksums != "0");
+    }
+    storage->scrub_pages_per_sec = static_cast<int>(config.GetIntOr(
+        "storage", "scrub_pages_per_sec", storage->scrub_pages_per_sec));
+    auto on_fsync = config.Get("storage", "on_fsync_error");
+    if (on_fsync.ok()) {
+      if (*on_fsync == "abort") {
+        storage->abort_on_fsync_error = true;
+      } else if (*on_fsync == "degrade") {
+        storage->abort_on_fsync_error = false;
+      } else {
+        return Status::InvalidArgument(
+            "bad [storage] on_fsync_error (want degrade|abort): " + *on_fsync);
+      }
+    }
   }
   auto wal_flag = args.flags.find("wal");
   if (wal_flag != args.flags.end()) {
@@ -154,6 +183,11 @@ Result<std::unique_ptr<Netmark>> OpenFromArgs(const Args& args) {
   options.data_dir = it->second;
   NETMARK_RETURN_NOT_OK(ApplyStorageFlags(args, &options.storage));
   NETMARK_RETURN_NOT_OK(ApplyQueryFlags(args, &options));
+  // NETMARK_DISK_FAULT=kind:nth wraps every storage file in a deterministic
+  // fault injector (tools/disk_torture.sh drives this). The Env must outlive
+  // the store, so it lives for the remainder of the process.
+  static std::unique_ptr<Env> fault_env = MaybeFaultInjectingEnvFromEnvironment();
+  if (fault_env != nullptr) options.storage.env = fault_env.get();
   return Netmark::Open(options);
 }
 
@@ -361,6 +395,25 @@ int CmdTortureIngest(const Args& args) {
     auto swept = daemon.ProcessOnce();
     if (!swept.ok()) return Fail(swept.status().ToString());
     total += *swept;
+    if ((*nm)->store()->degraded()) {
+      // An injected write/fsync fault latched the store read-only. Stop
+      // sweeping — the daemon defers the remaining files, so the drained
+      // check below would spin forever — and report; exit 3 tells
+      // disk_torture.sh this was the fail-stop path, not a harness error.
+      std::string reason = (*nm)->store()->degraded_reason();
+      std::string escaped;
+      for (char c : reason) {
+        if (static_cast<unsigned char>(c) < 0x20) { escaped += ' '; continue; }
+        if (c == '"' || c == '\\') escaped += '\\';
+        escaped += c;
+      }
+      std::printf(
+          "{\"ingested\":%d,\"failed\":%llu,\"degraded\":true,"
+          "\"degraded_reason\":\"%s\"}\n",
+          total, static_cast<unsigned long long>(daemon.files_failed()),
+          escaped.c_str());
+      return 3;
+    }
     bool drained = true;
     std::error_code ec;
     for (const auto& entry :
@@ -390,7 +443,18 @@ int CmdTortureVerify(const Args& args) {
   auto docs = (*nm)->ListDocuments();
   if (!docs.ok()) return Fail(docs.status().ToString());
 
+  // With --allow-quarantine 1 (the checksum-corruption phase of
+  // disk_torture.sh) documents lost to a DETECTED bad-CRC page count as
+  // quarantined, not torn: detection and containment is exactly the contract
+  // under test. Silent mismatches stay fatal in every mode.
+  bool allow_quarantine = false;
+  auto aq = args.flags.find("allow-quarantine");
+  if (aq != args.flags.end()) {
+    allow_quarantine = (aq->second != "0" && aq->second != "off");
+  }
+
   uint64_t torn = 0, mismatches = 0, missing = 0, verified = 0, rejected = 0;
+  uint64_t quarantined = 0;
 
   // Every row-complete document must rebuild into a DOM: a torn (partially
   // committed) insert would surface here as a reconstruction failure.
@@ -398,6 +462,10 @@ int CmdTortureVerify(const Args& args) {
   for (const auto& doc : *docs) {
     auto xml = (*nm)->GetDocumentXml(doc.doc_id);
     if (!xml.ok()) {
+      if (allow_quarantine && xml.status().IsDataLoss()) {
+        ++quarantined;
+        continue;
+      }
       std::fprintf(stderr, "torn doc %lld (%s): %s\n",
                    static_cast<long long>(doc.doc_id), doc.file_name.c_str(),
                    xml.status().ToString().c_str());
@@ -424,6 +492,12 @@ int CmdTortureVerify(const Args& args) {
       std::string expect = xml::Serialize(*doc);
       auto it = stored_by_name.find(name);
       if (it == stored_by_name.end()) {
+        if (allow_quarantine && (*nm)->store()->quarantined_pages() > 0) {
+          // The acked copy exists but reconstructs through a quarantined
+          // page — detected loss, reported below, not a silent hole.
+          ++quarantined;
+          continue;
+        }
         std::fprintf(stderr, "acked file %s has no stored document\n", name.c_str());
         ++missing;
         continue;
@@ -455,6 +529,7 @@ int CmdTortureVerify(const Args& args) {
   std::printf(
       "{\"docs\":%zu,\"acked_verified\":%llu,\"torn\":%llu,"
       "\"mismatches\":%llu,\"missing\":%llu,\"rejected\":%llu,"
+      "\"quarantined\":%llu,\"quarantined_pages\":%llu,"
       "\"recovery\":{\"performed\":%s,\"committed_txns\":%llu,"
       "\"pages_applied\":%llu,\"torn_tail\":%s,\"micros\":%lld}}\n",
       docs->size(), static_cast<unsigned long long>(verified),
@@ -462,11 +537,78 @@ int CmdTortureVerify(const Args& args) {
       static_cast<unsigned long long>(mismatches),
       static_cast<unsigned long long>(missing),
       static_cast<unsigned long long>(rejected),
+      static_cast<unsigned long long>(quarantined),
+      static_cast<unsigned long long>((*nm)->store()->quarantined_pages()),
       rec.performed ? "true" : "false",
       static_cast<unsigned long long>(rec.committed_txns),
       static_cast<unsigned long long>(rec.pages_applied),
       rec.torn_tail ? "true" : "false", static_cast<long long>(rec.micros));
   return (torn + mismatches + missing + rejected) == 0 ? 0 : 1;
+}
+
+// On-demand full scrub: CRC-verify every heap page of both tables against
+// the bytes on disk (the paced background scrubber runs the same pass in
+// slices). Bad pages are quarantined in-process; the JSON carries the
+// verdict. Note: pages already quarantined while opening the store count in
+// quarantined_pages, not errors_found — disk_torture.sh accepts either.
+int CmdScrub(const Args& args) {
+  auto nm = OpenFromArgs(args);
+  if (!nm.ok()) return Fail(nm.status().ToString());
+  const xmlstore::XmlStore* store = (*nm)->store();
+  xmlstore::XmlStore::ScrubStats stats = store->ScrubAll();
+  std::printf(
+      "{\"pages_scanned\":%llu,\"errors_found\":%llu,"
+      "\"quarantined_pages\":%llu,\"quarantined_docs\":%llu}\n",
+      static_cast<unsigned long long>(stats.pages_scanned),
+      static_cast<unsigned long long>(stats.errors_found),
+      static_cast<unsigned long long>(store->quarantined_pages()),
+      static_cast<unsigned long long>(store->quarantined_doc_count()));
+  return 0;
+}
+
+// Flips one byte of one on-disk heap page, bypassing the store entirely —
+// the simulated bit-rot that `netmark scrub` must then catch. Offset 64
+// lands in record payload by default (past the 12-byte header, before the
+// CRC trailer).
+int CmdCorrupt(const Args& args) {
+  auto data_it = args.flags.find("data");
+  if (data_it == args.flags.end()) return Fail("--data DIR is required");
+  std::string table = "XML";
+  auto table_it = args.flags.find("table");
+  if (table_it != args.flags.end()) table = table_it->second;
+  if (table != "XML" && table != "DOC") return Fail("--table must be XML or DOC");
+  int64_t page = 0, offset = 64;
+  auto page_it = args.flags.find("page");
+  if (page_it != args.flags.end()) {
+    auto parsed = ParseInt64(page_it->second);
+    if (!parsed.ok() || *parsed < 0) return Fail("bad --page value");
+    page = *parsed;
+  }
+  auto offset_it = args.flags.find("offset");
+  if (offset_it != args.flags.end()) {
+    auto parsed = ParseInt64(offset_it->second);
+    if (!parsed.ok() || *parsed < 0 ||
+        *parsed >= static_cast<int64_t>(storage::kPageSize)) {
+      return Fail("bad --offset value");
+    }
+    offset = *parsed;
+  }
+  std::string path =
+      (std::filesystem::path(data_it->second) / (table + ".heap")).string();
+  auto content = ReadFile(path);
+  if (!content.ok()) return Fail(content.status().ToString());
+  size_t at = static_cast<size_t>(page) * storage::kPageSize +
+              static_cast<size_t>(offset);
+  if (at >= content->size()) {
+    return Fail("page " + std::to_string(page) + " is past EOF of " + path);
+  }
+  (*content)[at] ^= 0x5A;
+  Status st = WriteFileAtomic(path, *content);
+  if (!st.ok()) return Fail(st.ToString());
+  std::printf("flipped byte %lld of page %lld in %s\n",
+              static_cast<long long>(offset), static_cast<long long>(page),
+              path.c_str());
+  return 0;
 }
 
 int CmdRemote(const Args& args) {
@@ -501,5 +643,7 @@ int main(int argc, char** argv) {
   if (command == "torture-gen") return CmdTortureGen(args);
   if (command == "torture-ingest") return CmdTortureIngest(args);
   if (command == "torture-verify") return CmdTortureVerify(args);
+  if (command == "scrub") return CmdScrub(args);
+  if (command == "corrupt") return CmdCorrupt(args);
   return Usage();
 }
