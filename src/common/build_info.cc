@@ -1,0 +1,18 @@
+#include "common/build_info.h"
+
+// Both macros come from src/common/CMakeLists.txt (configure-time values;
+// re-run cmake to refresh the sha).
+#ifndef NETMARK_VERSION
+#define NETMARK_VERSION "0.0.0"
+#endif
+#ifndef NETMARK_GIT_SHA
+#define NETMARK_GIT_SHA "unknown"
+#endif
+
+namespace netmark {
+
+const char* BuildVersion() { return NETMARK_VERSION; }
+
+const char* BuildGitSha() { return NETMARK_GIT_SHA; }
+
+}  // namespace netmark

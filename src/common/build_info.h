@@ -1,0 +1,19 @@
+// Build identity: version + git sha baked in at configure time, exported as
+// the netmark_build_info metric and a /healthz block so scrapes, traces,
+// and log lines can be correlated with the running binary.
+
+#ifndef NETMARK_COMMON_BUILD_INFO_H_
+#define NETMARK_COMMON_BUILD_INFO_H_
+
+namespace netmark {
+
+/// Project version (CMake PROJECT_VERSION), e.g. "1.0.0".
+const char* BuildVersion();
+
+/// Short git sha of the source tree at configure time; "unknown" outside a
+/// git checkout.
+const char* BuildGitSha();
+
+}  // namespace netmark
+
+#endif  // NETMARK_COMMON_BUILD_INFO_H_

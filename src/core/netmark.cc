@@ -25,6 +25,7 @@ Result<std::unique_ptr<Netmark>> Netmark::Open(const NetmarkOptions& options) {
   nm->service_->BindMetrics(nm->metrics_.get());
   nm->service_->set_slow_query_ms(options.slow_query_ms);
   nm->service_->ConfigureQueryCache(options.query_cache, options.plan_cache);
+  nm->service_->ConfigureTracing(options.trace_store);
   return nm;
 }
 
@@ -177,6 +178,9 @@ Status Netmark::StartDaemon(server::DaemonOptions opts) {
   daemon_ = std::make_unique<server::IngestionDaemon>(store_.get(), &converters_,
                                                       std::move(opts));
   daemon_->BindMetrics(metrics_.get());
+  // Background sweeps share the service's trace ring, so GET /traces covers
+  // ingestion as well as queries.
+  daemon_->set_trace_store(service_->trace_store());
   service_->set_daemon(daemon_.get());
   Status st = daemon_->Start();
   if (!st.ok()) {

@@ -57,6 +57,10 @@ struct NetmarkOptions {
   query::ResultCacheOptions query_cache;
   /// Compiled-plan cache sizing (`[query] plan_entries`).
   query::QueryPlanCache::Options plan_cache;
+  /// Trace sampling / retention knobs (the `[observability]` INI section:
+  /// trace_sample_rate, trace_store_capacity, trace_slow_keep_ms) backing
+  /// GET /traces — see docs/observability.md.
+  observability::TraceStoreOptions trace_store;
 };
 
 /// \brief One NETMARK instance.
@@ -137,6 +141,8 @@ class Netmark {
   /// The instance-wide metrics registry (what GET /metrics renders): router,
   /// daemon, executor and HTTP metrics are all re-homed onto it at Open().
   observability::MetricsRegistry* metrics() { return metrics_.get(); }
+  /// The retained-trace ring (what GET /traces serves).
+  observability::TraceStore* trace_store() { return service_->trace_store(); }
 
  private:
   explicit Netmark(NetmarkOptions options)

@@ -9,8 +9,10 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "federation/source.h"
+#include "observability/trace.h"
 
 namespace netmark::federation {
 
@@ -53,8 +55,14 @@ class RemoteSource : public Source {
 
 /// \brief Parses a `<results>` document (the XDB endpoint's response format;
 /// see query::ComposeResults) back into federated hits. Exposed for tests.
+/// When `remote_spans` is non-null and the document carries a `<trace>`
+/// block (the remote saw our traceparent header), the remote's span subtree
+/// is decoded into it — ids/parents are indices into the output vector,
+/// timestamps are synthetic (duration-only; remote clocks don't align) —
+/// ready for Trace::Graft under the local `source:*` span.
 netmark::Result<std::vector<FederatedHit>> ParseResultsDocument(
-    std::string_view body);
+    std::string_view body,
+    std::vector<observability::SpanData>* remote_spans = nullptr);
 
 }  // namespace netmark::federation
 

@@ -8,6 +8,7 @@
 
 #include "common/clock.h"
 #include "common/work_queue.h"
+#include "observability/thread_trace.h"
 #include "textindex/text_query.h"
 
 namespace netmark::federation {
@@ -150,6 +151,9 @@ void RunJob(Job job, const query::XdbQuery& query, const CallContext& ctx,
                                  "source:" + job.source->name(),
                                  job.parent_span);
   const CallContext traced_ctx = ctx.WithSpan(job.trace.get(), span.id());
+  // Bind the trace to this fan-out worker so layers below the Source API
+  // (result-cache probe, WAL) can attach spans under source:*.
+  observability::ThreadTraceScope thread_trace(job.trace.get(), span.id());
   netmark::Rng rng(job.rng_seed);
   Slot local;
   local.outcome.source = job.source->name();

@@ -69,6 +69,7 @@ Histogram::Histogram(const std::atomic<bool>* enabled, std::vector<int64_t> boun
     : enabled_(enabled), bounds_(std::move(bounds)) {
   buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
   for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+  exemplars_ = std::make_unique<ExemplarSlot[]>(bounds_.size() + 1);
 }
 
 void Histogram::Observe(int64_t value) {
@@ -78,6 +79,29 @@ void Histogram::Observe(int64_t value) {
   buckets_[idx].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+void Histogram::ObserveWithExemplar(int64_t value, std::string_view trace_id) {
+  Observe(value);
+  if (trace_id.empty() || !enabled_->load(std::memory_order_relaxed)) return;
+  size_t idx = std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+               bounds_.begin();
+  ExemplarSlot& slot = exemplars_[idx];
+  if (!slot.mu.try_lock()) return;  // a concurrent writer wins; no waiting
+  slot.exemplar.value = value;
+  slot.exemplar.trace_id.assign(trace_id.data(), trace_id.size());
+  slot.exemplar.timestamp_seconds = netmark::WallSeconds();
+  slot.mu.unlock();
+}
+
+std::vector<Exemplar> Histogram::Exemplars() const {
+  std::vector<Exemplar> out(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    ExemplarSlot& slot = exemplars_[i];
+    std::lock_guard<std::mutex> lock(slot.mu);
+    out[i] = slot.exemplar;
+  }
+  return out;
 }
 
 std::vector<uint64_t> Histogram::BucketCounts() const {
@@ -122,6 +146,8 @@ double Histogram::Quantile(double q) const {
 MetricsRegistry::MetricsRegistry() {
   const char* disabled = std::getenv("NETMARK_METRICS_DISABLED");
   if (disabled != nullptr && disabled[0] == '1') enabled_.store(false);
+  const char* exemplars = std::getenv("NETMARK_METRICS_EXEMPLARS");
+  if (exemplars != nullptr && exemplars[0] == '0') exemplars_enabled_ = false;
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name, const Labels& labels) {
@@ -176,6 +202,15 @@ void MetricsRegistry::SetCallbackGauge(const std::string& name, const Labels& la
   entry.callback = std::move(callback);
 }
 
+void MetricsRegistry::SetCallbackCounter(const std::string& name,
+                                         const Labels& labels,
+                                         std::function<uint64_t()> callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = metrics_[Key{name, labels}];
+  entry.kind = Kind::kCallbackCounter;
+  entry.counter_callback = std::move(callback);
+}
+
 MetricsSnapshot MetricsRegistry::Collect() const {
   MetricsSnapshot snap;
   std::lock_guard<std::mutex> lock(mu_);
@@ -190,6 +225,9 @@ MetricsSnapshot MetricsRegistry::Collect() const {
         break;
       case Kind::kCallbackGauge:
         snap.gauges.push_back({key.name, key.labels, entry.callback()});
+        break;
+      case Kind::kCallbackCounter:
+        snap.counters.push_back({key.name, key.labels, entry.counter_callback()});
         break;
       case Kind::kHistogram: {
         const Histogram& h = *entry.histogram;
@@ -209,6 +247,7 @@ MetricsSnapshot MetricsRegistry::Collect() const {
         }
         cumulative += counts.back();
         sample.buckets.emplace_back(std::numeric_limits<int64_t>::max(), cumulative);
+        sample.exemplars = h.Exemplars();
         snap.histograms.push_back(std::move(sample));
         break;
       }
@@ -240,12 +279,23 @@ std::string MetricsRegistry::RenderPrometheus() const {
   }
   for (const HistogramSample& h : snap.histograms) {
     type_line(h.name, "histogram");
-    for (const auto& [bound, cumulative] : h.buckets) {
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      const auto& [bound, cumulative] = h.buckets[i];
       std::string le = bound == std::numeric_limits<int64_t>::max()
                            ? std::string("+Inf")
                            : std::to_string(bound);
       out += h.name + "_bucket" + RenderLabels(h.labels, "le=\"" + le + "\"") +
-             " " + std::to_string(cumulative) + "\n";
+             " " + std::to_string(cumulative);
+      // OpenMetrics exemplar suffix: links this bucket to a retained trace
+      // (GET /traces?id=). Classic 0.0.4 scrapers that reject exemplars can
+      // be pointed at the same endpoint with NETMARK_METRICS_EXEMPLARS=0.
+      if (i < h.exemplars.size() && !h.exemplars[i].trace_id.empty() &&
+          exemplars_enabled_) {
+        out += " # {trace_id=\"" + h.exemplars[i].trace_id + "\"} " +
+               std::to_string(h.exemplars[i].value) + " " +
+               std::to_string(h.exemplars[i].timestamp_seconds);
+      }
+      out += "\n";
     }
     out += h.name + "_sum" + RenderLabels(h.labels) + " " + std::to_string(h.sum) + "\n";
     out += h.name + "_count" + RenderLabels(h.labels) + " " +

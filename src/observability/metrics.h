@@ -24,6 +24,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -70,6 +71,15 @@ class Gauge {
   std::atomic<int64_t> value_{0};
 };
 
+/// One OpenMetrics exemplar: the last sample that landed in a bucket while
+/// carrying a retained trace id. Scrapes jump from a p99 bucket straight to
+/// GET /traces?id=<trace_id>.
+struct Exemplar {
+  int64_t value = 0;
+  std::string trace_id;
+  int64_t timestamp_seconds = 0;
+};
+
 /// \brief Fixed-bucket histogram over int64 samples (convention:
 /// microseconds for latencies). Buckets are cumulative-upper-bound style
 /// (Prometheus `le`); an implicit overflow bucket catches everything above
@@ -80,6 +90,15 @@ class Histogram {
   static const std::vector<int64_t>& LatencyBucketsMicros();
 
   void Observe(int64_t value);
+
+  /// Observe() plus an exemplar on the winning bucket when `trace_id` is
+  /// non-empty. The exemplar slot is taken with a try_lock — under
+  /// contention the sample still counts and only the exemplar is skipped,
+  /// keeping the hot path wait-free.
+  void ObserveWithExemplar(int64_t value, std::string_view trace_id);
+
+  /// Exemplar per bucket (empty trace_id = none); size = bounds().size()+1.
+  std::vector<Exemplar> Exemplars() const;
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
@@ -99,9 +118,15 @@ class Histogram {
   friend class MetricsRegistry;
   Histogram(const std::atomic<bool>* enabled, std::vector<int64_t> bounds);
 
+  struct ExemplarSlot {
+    std::mutex mu;
+    Exemplar exemplar;
+  };
+
   const std::atomic<bool>* enabled_;
   std::vector<int64_t> bounds_;  // sorted, strictly increasing upper bounds
   std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::unique_ptr<ExemplarSlot[]> exemplars_;         // bounds_.size() + 1
   std::atomic<uint64_t> count_{0};
   std::atomic<int64_t> sum_{0};
 };
@@ -147,6 +172,8 @@ struct HistogramSample {
   /// (upper bound, cumulative count) pairs; the final entry is (+inf ≡
   /// INT64_MAX, total count).
   std::vector<std::pair<int64_t, uint64_t>> buckets;
+  /// Parallel to `buckets`; entries with an empty trace_id have no exemplar.
+  std::vector<Exemplar> exemplars;
 };
 struct MetricsSnapshot {
   std::vector<CounterSample> counters;
@@ -180,6 +207,13 @@ class MetricsRegistry {
   void SetCallbackGauge(const std::string& name, const Labels& labels,
                         std::function<double()> callback);
 
+  /// Like SetCallbackGauge but exposed as `# TYPE ... counter` — for
+  /// monotonic totals kept in component-owned atomics (the page scrubber),
+  /// where handing out a Counter handle would race the owner's thread
+  /// against a BindMetrics re-home.
+  void SetCallbackCounter(const std::string& name, const Labels& labels,
+                          std::function<uint64_t()> callback);
+
   /// Recording on/off switch (collection still works when disabled).
   void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
@@ -191,7 +225,13 @@ class MetricsRegistry {
   std::string RenderPrometheus() const;
 
  private:
-  enum class Kind { kCounter, kGauge, kHistogram, kCallbackGauge };
+  enum class Kind {
+    kCounter,
+    kGauge,
+    kHistogram,
+    kCallbackGauge,
+    kCallbackCounter
+  };
   struct Key {
     std::string name;
     Labels labels;
@@ -206,9 +246,11 @@ class MetricsRegistry {
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
     std::function<double()> callback;
+    std::function<uint64_t()> counter_callback;
   };
 
   std::atomic<bool> enabled_{true};
+  bool exemplars_enabled_ = true;  // NETMARK_METRICS_EXEMPLARS=0 opts out
   mutable std::mutex mu_;
   std::map<Key, Entry> metrics_;
 };

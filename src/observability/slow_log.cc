@@ -74,6 +74,7 @@ void MaybeLogSlowQuery(std::string_view endpoint, const std::string& query_strin
       .Field("query", query_string)
       .Field("total_ms", FormatMs(total_micros))
       .Field("threshold_ms", threshold_ms)
+      .Field("trace_id", trace.trace_id())  // jump-off point: /traces?id=
       .Field("spans", FormatSpansCompact(trace.Snapshot()));
 }
 

@@ -1,0 +1,24 @@
+#include "observability/thread_trace.h"
+
+namespace netmark::observability {
+
+namespace {
+thread_local Trace* g_trace = nullptr;
+thread_local int g_span = -1;
+}  // namespace
+
+Trace* CurrentThreadTrace() { return g_trace; }
+int CurrentThreadSpan() { return g_span; }
+
+ThreadTraceScope::ThreadTraceScope(Trace* trace, int span)
+    : prev_trace_(g_trace), prev_span_(g_span) {
+  g_trace = trace;
+  g_span = span;
+}
+
+ThreadTraceScope::~ThreadTraceScope() {
+  g_trace = prev_trace_;
+  g_span = prev_span_;
+}
+
+}  // namespace netmark::observability

@@ -1,0 +1,35 @@
+// Thread-local trace binding: lets deep layers (WAL append/fsync, the
+// result-cache probe) open spans without threading a Trace* through every
+// storage and query API. The serving path and daemon writer bind the
+// current trace + parent span around the call; untraced threads see a null
+// trace and every ScopedSpan built from it is inert.
+
+#ifndef NETMARK_OBSERVABILITY_THREAD_TRACE_H_
+#define NETMARK_OBSERVABILITY_THREAD_TRACE_H_
+
+#include "observability/trace.h"
+
+namespace netmark::observability {
+
+/// Trace bound to the calling thread, or nullptr.
+Trace* CurrentThreadTrace();
+/// Parent span id for new spans on this thread (-1 when unbound).
+int CurrentThreadSpan();
+
+/// \brief RAII binding; restores the previous binding at scope exit so
+/// nested scopes (sweep -> insert) stack naturally.
+class ThreadTraceScope {
+ public:
+  ThreadTraceScope(Trace* trace, int span);
+  ~ThreadTraceScope();
+  ThreadTraceScope(const ThreadTraceScope&) = delete;
+  ThreadTraceScope& operator=(const ThreadTraceScope&) = delete;
+
+ private:
+  Trace* prev_trace_;
+  int prev_span_;
+};
+
+}  // namespace netmark::observability
+
+#endif  // NETMARK_OBSERVABILITY_THREAD_TRACE_H_

@@ -1,5 +1,7 @@
 #include "observability/trace.h"
 
+#include <algorithm>
+
 namespace netmark::observability {
 
 int Trace::StartSpan(std::string name, int parent) {
@@ -28,6 +30,51 @@ void Trace::Annotate(int id, std::string key, std::string value) {
   if (id < 0 || id >= static_cast<int>(spans_.size())) return;
   spans_[static_cast<size_t>(id)].annotations.emplace_back(std::move(key),
                                                            std::move(value));
+}
+
+int Trace::AddCompletedSpan(std::string name, int parent,
+                            int64_t duration_micros, bool ok) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanData span;
+  span.id = static_cast<int>(spans_.size());
+  span.parent = parent >= 0 && parent < span.id ? parent : -1;
+  span.name = std::move(name);
+  span.end_micros = netmark::MonotonicMicros();
+  span.start_micros = span.end_micros - std::max<int64_t>(duration_micros, 0);
+  span.ok = ok;
+  spans_.push_back(std::move(span));
+  return static_cast<int>(spans_.size()) - 1;
+}
+
+int Trace::Graft(int parent, const std::vector<SpanData>& foreign) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (foreign.empty()) return -1;
+  const int base = static_cast<int>(spans_.size());
+  // Foreign parents must reference earlier foreign indices (the invariant
+  // StartSpan enforces); anything else re-parents to `parent`.
+  for (size_t i = 0; i < foreign.size(); ++i) {
+    SpanData span = foreign[i];
+    span.id = static_cast<int>(spans_.size());
+    const int fp = span.parent;
+    if (fp >= 0 && fp < static_cast<int>(i)) {
+      span.parent = base + fp;
+    } else {
+      span.parent = parent >= 0 && parent < span.id ? parent : -1;
+    }
+    span.remote = true;
+    spans_.push_back(std::move(span));
+  }
+  return base;
+}
+
+void Trace::set_trace_id(std::string id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trace_id_ = std::move(id);
+}
+
+std::string Trace::trace_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trace_id_;
 }
 
 std::vector<SpanData> Trace::Snapshot() const {

@@ -32,6 +32,8 @@ struct SpanData {
   int64_t start_micros = 0;  ///< MonotonicMicros at StartSpan
   int64_t end_micros = 0;    ///< 0 while the span is still open
   bool ok = true;
+  bool remote = false;  ///< grafted from another process's trace block; the
+                        ///< timestamps are synthetic (duration-only)
   std::string note;  ///< error message (or extra detail) set at EndSpan
   std::vector<std::pair<std::string, std::string>> annotations;
 
@@ -57,6 +59,25 @@ class Trace {
   /// Attaches a key=value annotation to an open or closed span.
   void Annotate(int id, std::string key, std::string value);
 
+  /// Records an already-measured span (accept-queue wait, request parse):
+  /// the duration happened before the Trace existed, so the span is
+  /// backdated to end now and start `duration_micros` earlier.
+  int AddCompletedSpan(std::string name, int parent, int64_t duration_micros,
+                       bool ok = true);
+
+  /// Splices a remote subtree (spans parsed from another process's trace
+  /// block) under `parent`. Foreign ids/parents are indices into `foreign`;
+  /// they are renumbered into this trace, foreign roots re-parented to
+  /// `parent`. Foreign timestamps are from another clock and kept only as
+  /// durations (see SpanData::remote). Returns the id of the first grafted
+  /// span, or -1 if `foreign` is empty.
+  int Graft(int parent, const std::vector<SpanData>& foreign);
+
+  /// W3C trace id (32 lowercase hex chars) shared across hops; empty until
+  /// assigned by the service (inbound traceparent or freshly generated).
+  void set_trace_id(std::string id);
+  std::string trace_id() const;
+
   /// Copy of all spans recorded so far (ids == indices).
   std::vector<SpanData> Snapshot() const;
 
@@ -66,6 +87,7 @@ class Trace {
 
  private:
   mutable std::mutex mu_;
+  std::string trace_id_;
   std::vector<SpanData> spans_;
 };
 

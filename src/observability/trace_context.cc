@@ -1,0 +1,103 @@
+#include "observability/trace_context.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+
+#include "common/clock.h"
+#include "common/rng.h"
+
+namespace netmark::observability {
+
+namespace {
+
+bool IsLowerHex(std::string_view s) {
+  for (char c : s) {
+    if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) return false;
+  }
+  return true;
+}
+
+bool AllZero(std::string_view s) {
+  for (char c : s) {
+    if (c != '0') return false;
+  }
+  return true;
+}
+
+std::string Hex64(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+uint64_t NextRandom64() {
+  static std::atomic<uint64_t> counter{0};
+  uint64_t seed = static_cast<uint64_t>(netmark::MonotonicMicros());
+  seed ^= static_cast<uint64_t>(::getpid()) << 32;
+  seed ^= counter.fetch_add(0x9E3779B97F4A7C15ULL, std::memory_order_relaxed);
+  netmark::Rng rng(seed);
+  return rng.Next();
+}
+
+}  // namespace
+
+std::optional<TraceContext> ParseTraceparent(std::string_view header) {
+  // 00-xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx-xxxxxxxxxxxxxxxx-xx = 55 chars.
+  if (header.size() < 55) return std::nullopt;
+  if (header[2] != '-' || header[35] != '-' || header[52] != '-') {
+    return std::nullopt;
+  }
+  std::string_view version = header.substr(0, 2);
+  std::string_view trace_id = header.substr(3, 32);
+  std::string_view span_id = header.substr(36, 16);
+  std::string_view flags = header.substr(53, 2);
+  if (!IsLowerHex(version) || !IsLowerHex(trace_id) || !IsLowerHex(span_id) ||
+      !IsLowerHex(flags)) {
+    return std::nullopt;
+  }
+  if (version == "ff") return std::nullopt;  // reserved per spec
+  // Version 00 is exactly 55 chars; future versions may append fields after
+  // another dash, which we'd ignore — but trailing garbage is malformed.
+  if (header.size() > 55 && (version == "00" || header[55] != '-')) {
+    return std::nullopt;
+  }
+  if (AllZero(trace_id) || AllZero(span_id)) return std::nullopt;
+  TraceContext ctx;
+  ctx.trace_id = std::string(trace_id);
+  ctx.span_id = std::string(span_id);
+  const int low_nibble = flags[1] <= '9' ? flags[1] - '0' : flags[1] - 'a' + 10;
+  ctx.sampled = (low_nibble & 1) != 0;
+  return ctx;
+}
+
+std::string FormatTraceparent(const std::string& trace_id,
+                              const std::string& span_id, bool sampled) {
+  return "00-" + trace_id + "-" + span_id + (sampled ? "-01" : "-00");
+}
+
+std::string GenerateTraceId() {
+  uint64_t hi = NextRandom64();
+  uint64_t lo = NextRandom64();
+  if (hi == 0 && lo == 0) lo = 1;  // all-zero is invalid per spec
+  return Hex64(hi) + Hex64(lo);
+}
+
+std::string DeriveSpanId(const std::string& trace_id, int span_index) {
+  // FNV-1a over the trace id, perturbed by the span index; nonzero by
+  // construction of the final mix.
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : trace_id) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  h ^= static_cast<uint64_t>(span_index) + 0x9E3779B97F4A7C15ULL;
+  h *= 1099511628211ULL;
+  if (h == 0) h = 1;
+  return Hex64(h);
+}
+
+}  // namespace netmark::observability

@@ -1,0 +1,50 @@
+// W3C Trace Context (traceparent) support: parse/format the header that
+// carries a trace across process boundaries, plus id generation.
+//
+// Header shape (https://www.w3.org/TR/trace-context/):
+//
+//   traceparent: 00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>
+//
+// The mediator generates a fresh trace id per request (or adopts the
+// inbound one), and SocketTransport stamps the header on every federated
+// GET so the remote NETMARK joins the same trace. All-zero ids are invalid
+// per spec and rejected.
+
+#ifndef NETMARK_OBSERVABILITY_TRACE_CONTEXT_H_
+#define NETMARK_OBSERVABILITY_TRACE_CONTEXT_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace netmark::observability {
+
+/// Parsed traceparent header.
+struct TraceContext {
+  std::string trace_id;  ///< 32 lowercase hex chars, never all-zero
+  std::string span_id;   ///< 16 lowercase hex chars (the caller's span)
+  bool sampled = true;   ///< flags bit 0
+};
+
+/// Parses a traceparent header value. Returns nullopt on any malformation
+/// (wrong length, bad hex, all-zero ids, unknown version ff) — an invalid
+/// header means "start a fresh trace", never an error.
+std::optional<TraceContext> ParseTraceparent(std::string_view header);
+
+/// Renders `00-<trace_id>-<span_id>-01|00`.
+std::string FormatTraceparent(const std::string& trace_id,
+                              const std::string& span_id, bool sampled = true);
+
+/// Fresh random 128-bit trace id (32 lowercase hex, nonzero). Seeded from
+/// the monotonic clock, pid, and a process-wide counter so two instances
+/// started in the same microsecond still diverge.
+std::string GenerateTraceId();
+
+/// Deterministic 16-hex span id for the wire, derived from the trace id and
+/// the local span index — the remote only echoes it back, so it needs to be
+/// unique per hop, not cryptographic.
+std::string DeriveSpanId(const std::string& trace_id, int span_index);
+
+}  // namespace netmark::observability
+
+#endif  // NETMARK_OBSERVABILITY_TRACE_CONTEXT_H_

@@ -1,0 +1,120 @@
+#include "observability/trace_store.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/clock.h"
+
+namespace netmark::observability {
+
+TraceStore::TraceStore(TraceStoreOptions options)
+    : options_(options),
+      rng_(options.rng_seed != 0
+               ? options.rng_seed
+               : static_cast<uint64_t>(netmark::MonotonicMicros()) | 1) {
+  owned_metrics_ = std::make_unique<MetricsRegistry>();
+  metrics_ = owned_metrics_.get();
+  BindHandles();
+}
+
+void TraceStore::BindHandles() {
+  sampled_total_ = metrics_->GetCounter("netmark_traces_sampled_total");
+  retained_total_ = metrics_->GetCounter("netmark_traces_retained_total");
+  dropped_total_ = metrics_->GetCounter("netmark_traces_dropped_total");
+}
+
+void TraceStore::BindMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr || registry == metrics_) return;
+  metrics_ = registry;
+  BindHandles();
+}
+
+void TraceStore::Configure(TraceStoreOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options.rng_seed != 0) rng_ = netmark::Rng(options.rng_seed);
+  options_ = options;
+}
+
+bool TraceStore::ShouldSample() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.sample_rate >= 1.0) {
+    sampled_total_->Increment();
+    return true;
+  }
+  if (options_.sample_rate <= 0.0) return false;
+  if (!rng_.Chance(options_.sample_rate)) return false;
+  sampled_total_->Increment();
+  return true;
+}
+
+bool TraceStore::Record(std::shared_ptr<Trace> trace, bool head_sampled,
+                        bool error) {
+  if (trace == nullptr) return false;
+  TraceSummary meta;
+  meta.id = trace->trace_id();
+  if (meta.id.empty()) return false;  // nothing to look it up by
+  const std::vector<SpanData> spans = trace->Snapshot();
+  if (!spans.empty()) {
+    meta.root = spans.front().name;
+    meta.ok = spans.front().ok;
+  }
+  meta.duration_micros = trace->RootDurationMicros();
+  meta.error = error || !meta.ok;
+  meta.wall_seconds = netmark::WallSeconds();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  meta.slow = options_.slow_keep_ms > 0 &&
+              meta.duration_micros >= options_.slow_keep_ms * 1000;
+  const bool keep = head_sampled || meta.error || meta.slow;
+  if (!keep) {
+    dropped_total_->Increment();
+    return false;
+  }
+  retained_total_->Increment();
+  std::deque<Entry>& ring = meta.error || meta.slow ? important_ : recent_;
+  const size_t cap = std::max<size_t>(
+      meta.error || meta.slow ? options_.important_capacity : options_.capacity,
+      1);
+  ring.push_back(Entry{std::move(meta), std::move(trace)});
+  while (ring.size() > cap) {
+    ring.pop_front();
+    dropped_total_->Increment();  // evictions count as drops too
+  }
+  return true;
+}
+
+std::vector<TraceSummary> TraceStore::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceSummary> out;
+  out.reserve(important_.size() + recent_.size());
+  for (auto it = important_.rbegin(); it != important_.rend(); ++it) {
+    out.push_back(it->meta);
+  }
+  for (auto it = recent_.rbegin(); it != recent_.rend(); ++it) {
+    out.push_back(it->meta);
+  }
+  return out;
+}
+
+std::shared_ptr<Trace> TraceStore::Find(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = important_.rbegin(); it != important_.rend(); ++it) {
+    if (it->meta.id == id) return it->trace;
+  }
+  for (auto it = recent_.rbegin(); it != recent_.rend(); ++it) {
+    if (it->meta.id == id) return it->trace;
+  }
+  return nullptr;
+}
+
+size_t TraceStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return important_.size() + recent_.size();
+}
+
+double TraceStore::sample_rate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return options_.sample_rate;
+}
+
+}  // namespace netmark::observability

@@ -1,0 +1,114 @@
+// Always-on trace retention: a bounded in-memory ring of recently finished
+// traces, so operators can pull a span tree *after the fact* from
+// GET /traces — no trace=1 opt-in, no external collector.
+//
+// Admission combines head sampling with tail-based keep rules:
+//   - head: each request rolls `trace_sample_rate` once, up front, so the
+//     sampling decision can also gate span creation cost;
+//   - tail: error traces and traces slower than `slow_keep_ms` are always
+//     retained, even when the head roll said no — those are the ones worth
+//     debugging.
+// Retained traces land in one of two rings: `recent` (head-sampled) and
+// `important` (error/slow), so a burst of healthy traffic cannot evict the
+// one trace that explains a p99 spike.
+//
+// Thread-safe: serving workers record while /traces scrapes concurrently
+// (covered by a TSan test).
+
+#ifndef NETMARK_OBSERVABILITY_TRACE_STORE_H_
+#define NETMARK_OBSERVABILITY_TRACE_STORE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "observability/metrics.h"
+#include "observability/trace.h"
+
+namespace netmark::observability {
+
+struct TraceStoreOptions {
+  size_t capacity = 256;           ///< head-sampled ring slots
+  size_t important_capacity = 64;  ///< error/slow ring slots
+  /// Head-sampling probability in [0,1]. 1.0 (default) records every
+  /// request — the bounded rings are the backstop; lower it on hot
+  /// instances where per-request span bookkeeping shows up in profiles.
+  double sample_rate = 1.0;
+  /// Tail keep rule: traces at least this slow are retained regardless of
+  /// the head roll. <= 0 disables the rule.
+  int64_t slow_keep_ms = 500;
+  /// Sampler seed; 0 seeds from the clock.
+  uint64_t rng_seed = 0;
+};
+
+/// One row of the GET /traces listing.
+struct TraceSummary {
+  std::string id;        ///< W3C trace id
+  std::string root;      ///< root span name ("xdb", "sweep", ...)
+  int64_t duration_micros = 0;
+  bool ok = true;        ///< root span outcome
+  bool error = false;    ///< retained by the error tail rule
+  bool slow = false;     ///< retained by the slow tail rule
+  int64_t wall_seconds = 0;  ///< when the trace was recorded
+};
+
+class TraceStore {
+ public:
+  explicit TraceStore(TraceStoreOptions options = {});
+  TraceStore(const TraceStore&) = delete;
+  TraceStore& operator=(const TraceStore&) = delete;
+
+  /// Replaces the options (serve-time configuration); clears nothing — the
+  /// rings shrink lazily as new traces arrive.
+  void Configure(TraceStoreOptions options);
+
+  /// Head-sampling roll for one request, counted in
+  /// netmark_traces_sampled_total when it comes up heads.
+  bool ShouldSample();
+
+  /// Offers a finished trace. `head_sampled` is the ShouldSample() result
+  /// for this request; `error` marks a failed request (5xx / failed sweep).
+  /// Returns true when the trace was retained — the caller uses that to
+  /// attach an exemplar.
+  bool Record(std::shared_ptr<Trace> trace, bool head_sampled, bool error);
+
+  /// Listing, newest first (important ring before recent).
+  std::vector<TraceSummary> List() const;
+
+  /// Full trace by id; nullptr when evicted or never retained.
+  std::shared_ptr<Trace> Find(const std::string& id) const;
+
+  /// Re-homes the sampled/retained/dropped counters (facade wiring).
+  void BindMetrics(MetricsRegistry* registry);
+
+  size_t size() const;
+  double sample_rate() const;
+
+ private:
+  struct Entry {
+    TraceSummary meta;
+    std::shared_ptr<Trace> trace;
+  };
+
+  void BindHandles();
+
+  mutable std::mutex mu_;
+  TraceStoreOptions options_;
+  netmark::Rng rng_;
+  std::deque<Entry> recent_;     // head-sampled, healthy
+  std::deque<Entry> important_;  // error / over-threshold
+
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_ = nullptr;
+  Counter* sampled_total_ = nullptr;
+  Counter* retained_total_ = nullptr;
+  Counter* dropped_total_ = nullptr;
+};
+
+}  // namespace netmark::observability
+
+#endif  // NETMARK_OBSERVABILITY_TRACE_STORE_H_

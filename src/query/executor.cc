@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "observability/thread_trace.h"
 #include "query/plan.h"
 #include "query/result_cache.h"
 #include "xml/serializer.h"
@@ -439,13 +440,21 @@ netmark::Result<std::vector<QueryHit>> QueryExecutor::ExecuteUnderSnapshot(
   const bool use_cache = result_cache_ != nullptr && result_cache_->enabled();
   if (use_cache) {
     cache_key = query.ToQueryString();
+    // The probe rides whatever trace the serving thread bound (inert when
+    // untraced) — cache cost shows up as its own span, not folded into
+    // "execute".
+    observability::ScopedSpan probe(observability::CurrentThreadTrace(),
+                                    "cache_probe",
+                                    observability::CurrentThreadSpan());
     if (QueryResultCache::HitsPtr cached =
             result_cache_->Lookup(cache_key, epoch)) {
+      probe.Annotate("outcome", "hit");
       local.cache_hits = 1;
       if (handles_.executes != nullptr) handles_.executes->Increment();
       if (stats != nullptr) *stats = local;
       return *cached;
     }
+    probe.Annotate("outcome", "miss");
   }
 
   NETMARK_ASSIGN_OR_RETURN(std::shared_ptr<const QueryPlan> plan,

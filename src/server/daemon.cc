@@ -8,6 +8,8 @@
 #include "common/logging.h"
 #include "common/temp_dir.h"
 #include "common/work_queue.h"
+#include "observability/thread_trace.h"
+#include "observability/trace_context.h"
 
 namespace netmark::server {
 
@@ -60,7 +62,19 @@ void IngestionDaemon::Stop() {
 
 void IngestionDaemon::Loop() {
   while (running_.load()) {
-    auto processed = ProcessOnce();
+    // Sampled sweep tracing: the daemon has no request to piggyback on, so
+    // it rolls the shared ring's head sampler itself. Only sweeps that did
+    // work (or failed) are recorded — idle polls would flood the ring.
+    std::shared_ptr<observability::Trace> trace;
+    if (trace_store_ != nullptr && trace_store_->ShouldSample()) {
+      trace = std::make_shared<observability::Trace>();
+      trace->set_trace_id(observability::GenerateTraceId());
+    }
+    auto processed = ProcessOnce(trace.get(), -1);
+    if (trace != nullptr && (!processed.ok() || *processed > 0)) {
+      trace_store_->Record(trace, /*head_sampled=*/true,
+                           /*error=*/!processed.ok());
+    }
     if (!processed.ok()) {
       NETMARK_LOG(Warning) << "daemon sweep failed: " << processed.status();
     } else if (*processed == 0) {
@@ -172,6 +186,8 @@ bool IngestionDaemon::CommitFile(const fs::path& path, PreparedFile result,
     observability::ScopedSpan span(trace, "insert", parent_span);
     span.Annotate("file", path.filename().string());
     observability::ScopedTimer timer(handles_.insert_micros);
+    // WAL append/fsync spans bind via the thread-local trace, under "insert".
+    observability::ThreadTraceScope wal_nest(trace, span.id());
     st = store_->InsertPrepared(result.prepared).status();
     span.End(st.ok(), st.ok() ? "" : st.ToString());
   }
@@ -205,6 +221,10 @@ netmark::Result<int> IngestionDaemon::ProcessOnce(observability::Trace* trace,
                                                   int parent_span) {
   std::lock_guard<std::mutex> lock(sweep_mu_);
   observability::ScopedSpan sweep(trace, "sweep", parent_span);
+  // Storage spans recorded below the store's API surface (FinishSweep's
+  // batch WAL fsync) land under "sweep" via the thread-local binding;
+  // CommitFile narrows it to the per-file "insert" span.
+  observability::ThreadTraceScope thread_trace(trace, sweep.id());
   std::vector<fs::path> pending = CollectStable();
   sweep.Annotate("files", std::to_string(pending.size()));
   if (pending.empty()) return 0;

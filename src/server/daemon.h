@@ -34,6 +34,7 @@
 #include "convert/registry.h"
 #include "observability/metrics.h"
 #include "observability/trace.h"
+#include "observability/trace_store.h"
 #include "xmlstore/xml_store.h"
 
 namespace netmark::server {
@@ -83,6 +84,13 @@ class IngestionDaemon {
   /// — counts recorded earlier stay in the private fallback registry.
   void BindMetrics(observability::MetricsRegistry* registry);
   observability::MetricsRegistry* metrics() const { return metrics_; }
+
+  /// Optional: sample background sweeps into `store` (the service's ring),
+  /// so ingestion stalls are debuggable from GET /traces like queries are.
+  /// Must be set before Start(). Idle sweeps are never recorded.
+  void set_trace_store(observability::TraceStore* store) {
+    trace_store_ = store;
+  }
 
   /// Creates the folder structure and starts the polling thread.
   netmark::Status Start();
@@ -157,6 +165,7 @@ class IngestionDaemon {
   std::unique_ptr<observability::MetricsRegistry> owned_metrics_;
   observability::MetricsRegistry* metrics_ = nullptr;
   MetricHandles handles_;
+  observability::TraceStore* trace_store_ = nullptr;
 
   std::atomic<bool> running_{false};
   std::thread thread_;

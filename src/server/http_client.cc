@@ -14,6 +14,7 @@
 #include "common/clock.h"
 #include "common/string_util.h"
 #include "observability/trace.h"
+#include "observability/trace_context.h"
 
 namespace netmark::server {
 
@@ -308,6 +309,15 @@ netmark::Result<std::string> SocketTransport::Get(
   HttpRequest req;
   req.method = "GET";
   req.target = path_and_query;
+  if (ctx.trace != nullptr) {
+    // W3C trace context: the remote NETMARK adopts this id and returns its
+    // span subtree in the response's <trace> block for stitching.
+    const std::string trace_id = ctx.trace->trace_id();
+    if (!trace_id.empty()) {
+      req.headers["traceparent"] = observability::FormatTraceparent(
+          trace_id, observability::DeriveSpanId(trace_id, span.id()));
+    }
+  }
   auto sent = client_.Send(req, ctx.deadline_micros);
   if (!sent.ok()) {
     span.End(false, sent.status().ToString());

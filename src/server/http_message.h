@@ -27,6 +27,13 @@ struct HttpRequest {
   HeaderMap headers;
   std::string body;
 
+  // Serving-path timings stamped by HttpServer (not part of the wire
+  // format); the service renders them as trace spans. Both are rounded up
+  // to 1us so a measured-but-fast stage still shows in the span tree.
+  int64_t queue_wait_micros = 0;  ///< accept-queue wait (first request on a
+                                  ///< connection only; keep-alive reuse = 0)
+  int64_t parse_micros = 0;       ///< head + body parse time
+
   std::string_view Header(const std::string& name) const {
     auto it = headers.find(name);
     return it == headers.end() ? std::string_view{} : std::string_view(it->second);

@@ -202,7 +202,7 @@ netmark::Status HttpServer::Start(uint16_t port) {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
 
-  queue_ = std::make_unique<WorkQueue<int>>(options_.accept_queue_capacity);
+  queue_ = std::make_unique<WorkQueue<QueuedConn>>(options_.accept_queue_capacity);
   queue_depth_.store(0);
   draining_.store(false);
   running_.store(true);
@@ -252,7 +252,7 @@ void HttpServer::AcceptLoop() {
       continue;
     }
     connections_accepted_.fetch_add(1);
-    if (queue_->TryPush(fd)) {
+    if (queue_->TryPush(QueuedConn{fd, netmark::MonotonicMicros()})) {
       queue_depth_.fetch_add(1, std::memory_order_relaxed);
     } else {
       // Queue full (or closing): shed immediately with a 503 instead of
@@ -271,14 +271,16 @@ void HttpServer::AcceptLoop() {
 
 void HttpServer::WorkerLoop() {
   while (true) {
-    std::optional<int> fd = queue_->Pop();
-    if (!fd.has_value()) return;  // closed and drained
+    std::optional<QueuedConn> conn = queue_->Pop();
+    if (!conn.has_value()) return;  // closed and drained
     queue_depth_.fetch_sub(1, std::memory_order_relaxed);
-    ServeConnection(*fd);
+    ServeConnection(conn->fd,
+                    std::max<int64_t>(
+                        netmark::MonotonicMicros() - conn->accepted_micros, 1));
   }
 }
 
-void HttpServer::ServeConnection(int fd) {
+void HttpServer::ServeConnection(int fd, int64_t queue_wait_micros) {
   active_connections_.fetch_add(1);
   // Belt and braces under the poll-based deadlines: a kernel-level receive/
   // send timeout so no syscall can block a worker unboundedly.
@@ -307,12 +309,19 @@ void HttpServer::ServeConnection(int fd) {
     HttpResponse response;
     bool parsed = false;
     bool client_close = false;
+    const int64_t parse_start = netmark::MonotonicMicros();
     auto request = ParseRequest(raw);
+    const int64_t parse_micros =
+        std::max<int64_t>(netmark::MonotonicMicros() - parse_start, 1);
     if (!request.ok()) {
       NETMARK_LOG(Debug) << "bad request: " << request.status();
       response = HttpResponse::BadRequest(request.status().ToString());
     } else {
       parsed = true;
+      // Queue wait belongs to the connection's first request; later
+      // keep-alive requests never sat in the accept queue.
+      request->queue_wait_micros = served == 0 ? queue_wait_micros : 0;
+      request->parse_micros = parse_micros;
       client_close =
           netmark::EqualsIgnoreCase(request->Header("Connection"), "close");
       response = handler_(*request);

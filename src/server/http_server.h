@@ -91,10 +91,17 @@ class HttpServer {
   int64_t active_connections() const { return active_connections_.load(); }
 
  private:
+  /// One accepted connection queued for a worker; the accept timestamp
+  /// feeds the queue_wait trace span.
+  struct QueuedConn {
+    int fd = -1;
+    int64_t accepted_micros = 0;
+  };
+
   void AcceptLoop();
   void WorkerLoop();
   /// Serves one connection's keep-alive request loop, then closes it.
-  void ServeConnection(int fd);
+  void ServeConnection(int fd, int64_t queue_wait_micros);
   void BindHandles();
 
   Handler handler_;
@@ -117,7 +124,7 @@ class HttpServer {
   /// (the queue object is recreated per Start).
   std::atomic<int64_t> queue_depth_{0};
 
-  std::unique_ptr<WorkQueue<int>> queue_;
+  std::unique_ptr<WorkQueue<QueuedConn>> queue_;
   std::thread accept_thread_;
   std::vector<std::thread> workers_;
 

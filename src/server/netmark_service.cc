@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/build_info.h"
 #include "common/clock.h"
 #include "common/string_util.h"
+#include "observability/thread_trace.h"
+#include "observability/trace_context.h"
 #include "server/daemon.h"
 #include "xml/entities.h"
 #include "xml/parser.h"
@@ -90,13 +93,20 @@ void NetmarkService::BindHandles() {
   query_latency_micros_ = metrics_->GetHistogram("netmark_query_latency_micros");
   route_counters_.clear();
   for (const char* route :
-       {"/xdb", "/status", "/docs", "/metrics", "/healthz", "other"}) {
+       {"/xdb", "/status", "/docs", "/metrics", "/healthz", "/traces", "other"}) {
     route_counters_[route] = metrics_->GetCounter("netmark_http_requests_total",
                                                   {{"route", route}});
   }
+  // Constant-1 gauge whose labels carry the build identity — the standard
+  // Prometheus idiom for joining any series against version/sha.
+  metrics_->SetCallbackGauge("netmark_build_info",
+                             {{"version", std::string(netmark::BuildVersion())},
+                              {"git_sha", std::string(netmark::BuildGitSha())}},
+                             [] { return 1.0; });
   executor_.BindMetrics(metrics_);
   result_cache_.BindMetrics(metrics_);
   plan_cache_.BindMetrics(metrics_);
+  trace_store_.BindMetrics(metrics_);
 }
 
 void NetmarkService::BindMetrics(observability::MetricsRegistry* registry) {
@@ -109,7 +119,7 @@ observability::Counter* NetmarkService::RouteCounter(
     const std::string& path) const {
   std::string route = "other";
   if (path == "/xdb" || path == "/status" || path == "/metrics" ||
-      path == "/healthz") {
+      path == "/healthz" || path == "/traces") {
     route = path;
   } else if (path == "/docs" || netmark::StartsWith(path, "/docs/")) {
     route = "/docs";
@@ -151,6 +161,10 @@ HttpResponse NetmarkService::Dispatch(const HttpRequest& request) {
   if (path == "/healthz") {
     if (request.method != "GET") return HttpResponse::Text(405, "GET only");
     return HandleHealthz();
+  }
+  if (path == "/traces") {
+    if (request.method != "GET") return HttpResponse::Text(405, "GET only");
+    return HandleTraces(request);
   }
   if (path == "/docs" || path == "/docs/") {
     if (request.method == "GET") return HandleListDocuments(/*webdav=*/false);
@@ -198,27 +212,78 @@ HttpResponse NetmarkService::HandleXdb(const HttpRequest& request) {
     }
   }
 
-  // One trace serves both consumers: the trace=1 response annotation and
-  // the slow-query log (which needs the spans to be worth reading).
+  // An inbound W3C traceparent means a mediator upstream is already tracing
+  // this request: adopt its id (so both processes' trace stores key the same
+  // trace) and always build the span tree — the response carries it back in
+  // a <trace> block for stitching.
+  auto inbound =
+      observability::ParseTraceparent(request.Header("traceparent"));
+  const bool remote_child = inbound.has_value();
+
+  // Head-sampling roll happens up front so the decision can gate span
+  // bookkeeping entirely; tail rules (error / slow) still apply at Record
+  // time whenever a trace exists for another reason.
+  const bool sampled = trace_store_.ShouldSample();
+
+  // One trace serves every consumer: the trace=1 response annotation, the
+  // slow-query log, the upstream mediator's stitch, and the /traces ring.
   std::shared_ptr<observability::Trace> trace;
-  if (want_trace || slow_query_ms_ > 0) {
+  if (want_trace || remote_child || sampled || slow_query_ms_ > 0) {
     trace = std::make_shared<observability::Trace>();
+    trace->set_trace_id(remote_child ? inbound->trace_id
+                                     : observability::GenerateTraceId());
   }
-  observability::ScopedTimer latency_timer(query_latency_micros_);
+  const int64_t start_micros = netmark::MonotonicMicros();
   observability::ScopedSpan root(trace.get(), "xdb");
   root.Annotate("query", request.query);
+  if (remote_child) root.Annotate("caller_span", inbound->span_id);
+  // Synthetic spans for time already spent before this handler ran: the
+  // accept-queue wait and HTTP parsing, measured by the server loop.
+  if (trace != nullptr && request.queue_wait_micros > 0) {
+    trace->AddCompletedSpan("queue_wait", root.id(), request.queue_wait_micros);
+  }
+  if (trace != nullptr && request.parse_micros > 0) {
+    trace->AddCompletedSpan("parse", root.id(), request.parse_micros);
+  }
+
+  // Every return funnels through here so the trace id header, the retention
+  // decision, the exemplar and the slow-query log cover error paths too —
+  // a 500 with X-Netmark-Data-Loss is exactly the response whose trace id
+  // an operator wants to chase.
+  auto finish = [&](HttpResponse resp) {
+    const int64_t total = netmark::MonotonicMicros() - start_micros;
+    bool retained = false;
+    if (trace != nullptr) {
+      resp.headers["X-Netmark-Trace-Id"] = trace->trace_id();
+      retained = trace_store_.Record(trace, sampled, resp.status >= 500);
+      observability::MaybeLogSlowQuery("/xdb", request.query, total,
+                                       slow_query_ms_, *trace);
+    }
+    if (query_latency_micros_ != nullptr) {
+      // Exemplars only reference retained traces — a bucket link that 404s
+      // on /traces?id= would be worse than none.
+      if (retained) {
+        query_latency_micros_->ObserveWithExemplar(total, trace->trace_id());
+      } else {
+        query_latency_micros_->Observe(total);
+      }
+    }
+    return resp;
+  };
 
   xml::Document results;
   if (!databank.empty()) {
     if (router_ == nullptr) {
-      return HttpResponse::BadRequest("this instance has no databank router");
+      root.End(false, "no databank router");
+      return finish(HttpResponse::BadRequest("this instance has no databank router"));
     }
     auto federated = router_->QueryFederated(databank, *query, trace, root.id());
     if (!federated.ok()) {
       root.End(false, federated.status().ToString());
-      return HttpResponse::ServerError(federated.status().ToString());
+      return finish(HttpResponse::ServerError(federated.status().ToString()));
     }
     root.Annotate("hits", std::to_string(federated->hits.size()));
+    observability::ScopedSpan compose_span(trace.get(), "compose", root.id());
     results = ComposeFederatedResults(*query, *federated);
   } else {
     observability::ScopedSpan exec_span(trace.get(), "execute", root.id());
@@ -227,7 +292,12 @@ HttpResponse NetmarkService::HandleXdb(const HttpRequest& request) {
     // with ingestion running concurrently.
     xmlstore::XmlStore::ReadSnapshot snapshot = store_->BeginRead();
     query::QueryExecutor::Stats exec_stats;
-    auto hits = executor_.Execute(*query, snapshot, &exec_stats);
+    netmark::Result<std::vector<query::QueryHit>> hits = [&] {
+      // Bind the trace to this thread so layers below the executor's API
+      // (result-cache probe, storage) can attach spans under "execute".
+      observability::ThreadTraceScope thread_trace(trace.get(), exec_span.id());
+      return executor_.Execute(*query, snapshot, &exec_stats);
+    }();
     // Tag the trace (and thereby any slow-query log line) with the cache
     // outcome, so a slow miss is attributable at a glance.
     root.Annotate("cache", exec_stats.cache_hits > 0 ? "hit" : "miss");
@@ -235,34 +305,42 @@ HttpResponse NetmarkService::HandleXdb(const HttpRequest& request) {
       exec_span.End(false, hits.status().ToString());
       root.End(false, hits.status().ToString());
       if (hits.status().IsInvalidArgument()) {
-        return HttpResponse::BadRequest(hits.status().ToString());
+        return finish(HttpResponse::BadRequest(hits.status().ToString()));
       }
-      return StorageErrorResponse(hits.status());
+      return finish(StorageErrorResponse(hits.status()));
     }
     exec_span.Annotate("hits", std::to_string(hits->size()));
     exec_span.End();
     root.Annotate("hits", std::to_string(hits->size()));
+    observability::ScopedSpan compose_span(trace.get(), "compose", root.id());
     auto composed = query::ComposeResults(*store_, *query, *hits);
-    if (!composed.ok()) return StorageErrorResponse(composed.status());
+    if (!composed.ok()) {
+      compose_span.End(false, composed.status().ToString());
+      root.End(false, composed.status().ToString());
+      return finish(StorageErrorResponse(composed.status()));
+    }
     results = std::move(*composed);
   }
 
   root.End();
-  if (want_trace && trace != nullptr) {
+  if ((want_trace || remote_child) && trace != nullptr) {
     xml::NodeId results_el = results.DocumentElement();
     if (results_el != xml::kInvalidNode) {
       AppendTraceElement(results, results_el, trace->Snapshot());
     }
   }
 
+  // The serialize span lands after root ends, so it shows up in the stored
+  // trace and slow logs but not in this response's own <trace> block.
+  observability::ScopedSpan serialize_span(trace.get(), "serialize", root.id());
   auto body = RenderResults(results, query->xslt);
-  if (!body.ok()) return HttpResponse::ServerError(body.status().ToString());
-  if (trace != nullptr) {
-    observability::MaybeLogSlowQuery("/xdb", request.query,
-                                     latency_timer.elapsed_micros(),
-                                     slow_query_ms_, *trace);
+  if (!body.ok()) {
+    serialize_span.End(false, body.status().ToString());
+    return finish(HttpResponse::ServerError(body.status().ToString()));
   }
-  return HttpResponse::Ok(std::move(*body));
+  serialize_span.Annotate("bytes", std::to_string(body->size()));
+  serialize_span.End();
+  return finish(HttpResponse::Ok(std::move(*body)));
 }
 
 HttpResponse NetmarkService::HandleMetrics() {
@@ -357,6 +435,9 @@ HttpResponse NetmarkService::HandleHealthz() {
 
   std::string body = std::string("{\"status\":\"") +
                      (degraded ? "degraded" : "ok") + "\"," +
+                     "\"build\":{\"version\":\"" +
+                     EscapeJson(netmark::BuildVersion()) + "\",\"git_sha\":\"" +
+                     EscapeJson(netmark::BuildGitSha()) + "\"}," +
                      "\"store\":{\"documents\":" +
                      std::to_string(store_->document_count()) +
                      ",\"nodes\":" + std::to_string(store_->node_count()) +
@@ -366,6 +447,91 @@ HttpResponse NetmarkService::HandleHealthz() {
                      "\"storage\":" + storage_json + "," +
                      "\"daemon\":" + daemon_json + "," +
                      "\"breakers\":" + breakers + "}";
+  return HttpResponse::Ok(std::move(body), "application/json");
+}
+
+HttpResponse NetmarkService::HandleTraces(const HttpRequest& request) {
+  std::string id;
+  std::string format;
+  for (const std::string& pair : netmark::Split(request.query, '&')) {
+    size_t eq = pair.find('=');
+    if (eq == std::string::npos) continue;
+    std::string key = pair.substr(0, eq);
+    auto value = netmark::UrlDecode(pair.substr(eq + 1));
+    if (!value.ok()) continue;
+    if (netmark::EqualsIgnoreCase(key, "id")) {
+      id = *value;
+    } else if (netmark::EqualsIgnoreCase(key, "format")) {
+      format = *value;
+    }
+  }
+
+  if (id.empty()) {
+    char rate[32];
+    std::snprintf(rate, sizeof(rate), "%.4f", trace_store_.sample_rate());
+    std::string body = std::string("{\"sample_rate\":") + rate +
+                       ",\"retained\":" + std::to_string(trace_store_.size()) +
+                       ",\"traces\":[";
+    bool first = true;
+    for (const observability::TraceSummary& t : trace_store_.List()) {
+      if (!first) body += ",";
+      first = false;
+      body += "{\"id\":\"" + EscapeJson(t.id) + "\",\"root\":\"" +
+              EscapeJson(t.root) +
+              "\",\"duration_us\":" + std::to_string(t.duration_micros) +
+              ",\"ok\":" + (t.ok ? "true" : "false") +
+              ",\"error\":" + (t.error ? "true" : "false") +
+              ",\"slow\":" + (t.slow ? "true" : "false") +
+              ",\"wall_seconds\":" + std::to_string(t.wall_seconds) + "}";
+    }
+    body += "]}";
+    return HttpResponse::Ok(std::move(body), "application/json");
+  }
+
+  std::shared_ptr<observability::Trace> trace = trace_store_.Find(id);
+  if (trace == nullptr) {
+    return HttpResponse::NotFound("no retained trace with id " + id);
+  }
+  const std::vector<observability::SpanData> spans = trace->Snapshot();
+
+  if (netmark::EqualsIgnoreCase(format, "xml")) {
+    // The same <trace> block the trace=1 annotation emits, standalone — the
+    // `netmark traces` CLI renders its flame view from this.
+    xml::Document doc;
+    xml::NodeId root = doc.CreateElement("netmark-trace");
+    doc.AddAttribute(root, "id", id);
+    doc.AppendChild(doc.root(), root);
+    AppendTraceElement(doc, root, spans);
+    return HttpResponse::Ok(xml::Serialize(doc));
+  }
+
+  std::string body = "{\"id\":\"" + EscapeJson(id) + "\",\"spans\":[";
+  bool first = true;
+  for (const observability::SpanData& span : spans) {
+    if (!first) body += ",";
+    first = false;
+    body += "{\"id\":" + std::to_string(span.id) +
+            ",\"parent\":" + std::to_string(span.parent) + ",\"name\":\"" +
+            EscapeJson(span.name) +
+            "\",\"us\":" + std::to_string(span.duration_micros()) +
+            ",\"ok\":" + (span.ok ? "true" : "false") +
+            ",\"unfinished\":" + (span.finished() ? "false" : "true") +
+            ",\"remote\":" + (span.remote ? "true" : "false");
+    if (!span.note.empty()) body += ",\"note\":\"" + EscapeJson(span.note) + "\"";
+    if (!span.annotations.empty()) {
+      body += ",\"annotations\":[";
+      bool first_ann = true;
+      for (const auto& [key, value] : span.annotations) {
+        if (!first_ann) body += ",";
+        first_ann = false;
+        body += "{\"key\":\"" + EscapeJson(key) + "\",\"value\":\"" +
+                EscapeJson(value) + "\"}";
+      }
+      body += "]";
+    }
+    body += "}";
+  }
+  body += "]}";
   return HttpResponse::Ok(std::move(body), "application/json");
 }
 
@@ -495,6 +661,7 @@ void AppendTraceElement(xml::Document& doc, xml::NodeId parent,
     doc.AddAttribute(el, "us", std::to_string(span.duration_micros()));
     doc.AddAttribute(el, "ok", span.ok ? "true" : "false");
     if (!span.finished()) doc.AddAttribute(el, "unfinished", "true");
+    if (span.remote) doc.AddAttribute(el, "remote", "true");
     if (!span.note.empty()) doc.AddAttribute(el, "note", span.note);
     for (const auto& [key, value] : span.annotations) {
       xml::NodeId ann = doc.CreateElement("annotation");

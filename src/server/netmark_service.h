@@ -12,13 +12,19 @@
 //   GET      /status                    store statistics
 //   GET      /metrics                   Prometheus text exposition
 //   GET      /healthz                   JSON health (store/daemon/breakers)
+//   GET      /traces                    retained-trace listing (JSON)
+//   GET      /traces?id=<trace-id>      one span tree (JSON; &format=xml for
+//                                       the <trace> block the CLI renders)
 //
 // Observability (docs/observability.md): every request bumps
 // netmark_http_requests_total{route=} and observes
 // netmark_http_request_micros; /xdb additionally observes
 // netmark_query_latency_micros and — when the request exceeds the slow-query
 // threshold — emits one structured slow_query log line with per-span
-// timings.
+// timings. Distributed tracing: every /xdb request rolls the TraceStore's
+// head sampler, adopts an inbound W3C `traceparent` id (returning its span
+// subtree in the response's <trace> block for cross-hop stitching), and
+// echoes the trace id in an X-Netmark-Trace-Id response header.
 
 #ifndef NETMARK_SERVER_NETMARK_SERVICE_H_
 #define NETMARK_SERVER_NETMARK_SERVICE_H_
@@ -33,6 +39,7 @@
 #include "observability/metrics.h"
 #include "observability/slow_log.h"
 #include "observability/trace.h"
+#include "observability/trace_store.h"
 #include "query/compose.h"
 #include "query/executor.h"
 #include "query/plan.h"
@@ -87,6 +94,16 @@ class NetmarkService {
     plan_cache_.Configure(plans);
   }
 
+  /// Applies the `[observability]` INI knobs (trace_sample_rate,
+  /// trace_store_capacity, trace_slow_keep_ms). Call before traffic.
+  void ConfigureTracing(const observability::TraceStoreOptions& options) {
+    trace_store_.Configure(options);
+  }
+
+  /// The retained-trace ring backing GET /traces; the facade shares it with
+  /// the ingestion daemon so sampled sweep traces land there too.
+  observability::TraceStore* trace_store() { return &trace_store_; }
+
   /// Dispatches one request. Thread-safe for concurrent requests (the
   /// worker-pool server calls it from many threads): store reads run under
   /// an XmlStore::ReadSnapshot, so every response reflects one committed
@@ -108,6 +125,7 @@ class NetmarkService {
   HttpResponse HandleStatus();
   HttpResponse HandleMetrics();
   HttpResponse HandleHealthz();
+  HttpResponse HandleTraces(const HttpRequest& request);
 
   /// Applies the named stylesheet (if any) and serializes.
   netmark::Result<std::string> RenderResults(const xml::Document& results,
@@ -127,6 +145,7 @@ class NetmarkService {
   federation::Router* router_ = nullptr;
   IngestionDaemon* daemon_ = nullptr;
   std::map<std::string, xslt::Stylesheet> stylesheets_;
+  observability::TraceStore trace_store_;
 
   /// Private fallback registry (BindMetrics re-homes onto the facade's).
   std::unique_ptr<observability::MetricsRegistry> owned_metrics_;

@@ -8,6 +8,7 @@
 
 #include "common/crc32.h"
 #include "common/string_util.h"
+#include "observability/thread_trace.h"
 #include "storage/crash_point.h"
 
 namespace netmark::storage {
@@ -195,6 +196,14 @@ void Wal::StagePageImage(uint64_t txn_id, std::string_view table, PageId page_id
 
 netmark::Status Wal::AppendCommit(uint64_t txn_id) {
   EncodeRecord(txn_id, WalRecordType::kCommit, {}, &staged_);
+  // Attributed to whatever trace the calling thread carries (an /xdb PUT or
+  // a daemon insert); untraced callers make this inert.
+  observability::ScopedSpan span(observability::CurrentThreadTrace(),
+                                 "wal_append",
+                                 observability::CurrentThreadSpan());
+  span.Annotate("bytes", std::to_string(staged_.size()));
+  observability::ThreadTraceScope nest(observability::CurrentThreadTrace(),
+                                       span.id());
   // One write for the whole transaction: page images + commit. A crash mid-
   // write leaves a CRC-torn tail that recovery drops — the transaction simply
   // never happened.
@@ -225,7 +234,14 @@ void Wal::DiscardStaged() {
 
 netmark::Status Wal::Sync() {
   if (!unsynced_) return netmark::Status::OK();
-  NETMARK_RETURN_NOT_OK(file_->Sync());
+  observability::ScopedSpan span(observability::CurrentThreadTrace(),
+                                 "wal_fsync",
+                                 observability::CurrentThreadSpan());
+  netmark::Status st = file_->Sync();
+  if (!st.ok()) {
+    span.End(false, st.ToString());
+    return st;
+  }
   unsynced_ = false;
   fsyncs_.fetch_add(1, std::memory_order_relaxed);
   return netmark::Status::OK();

@@ -659,15 +659,16 @@ void XmlStore::BindHandles() {
   });
   // Disk-fault containment (docs/durability.md). Scrub totals live in
   // atomics (the scrubber thread must not race a BindMetrics re-home), so
-  // they surface as callback gauges rather than registry counters.
-  metrics_->SetCallbackGauge("netmark_scrub_pages_total", {}, [this] {
-    return static_cast<double>(scrub_pages_scanned_.load(std::memory_order_relaxed));
+  // they surface as callback counters — the `_total` names are monotonic
+  // and must carry `# TYPE ... counter`, not gauge.
+  metrics_->SetCallbackCounter("netmark_scrub_pages_total", {}, [this] {
+    return scrub_pages_scanned_.load(std::memory_order_relaxed);
   });
-  metrics_->SetCallbackGauge("netmark_scrub_errors_total", {}, [this] {
-    return static_cast<double>(scrub_errors_.load(std::memory_order_relaxed));
+  metrics_->SetCallbackCounter("netmark_scrub_errors_total", {}, [this] {
+    return scrub_errors_.load(std::memory_order_relaxed);
   });
-  metrics_->SetCallbackGauge("netmark_scrub_passes_total", {}, [this] {
-    return static_cast<double>(scrub_passes_.load(std::memory_order_relaxed));
+  metrics_->SetCallbackCounter("netmark_scrub_passes_total", {}, [this] {
+    return scrub_passes_.load(std::memory_order_relaxed);
   });
   metrics_->SetCallbackGauge("netmark_storage_quarantined_pages", {}, [this] {
     return static_cast<double>(quarantined_pages());

@@ -171,6 +171,66 @@ TEST(RegistryTest, PrometheusExpositionFormat) {
   EXPECT_EQ(text.back(), '\n');
 }
 
+TEST(RegistryTest, CallbackCounterRendersAsCounter) {
+  MetricsRegistry registry;
+  uint64_t backing = 41;
+  registry.SetCallbackCounter("netmark_scrub_pages_scanned_total", {},
+                              [&backing] { return backing; });
+  backing = 42;  // evaluated at collect time, not registration time
+  std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE netmark_scrub_pages_scanned_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("netmark_scrub_pages_scanned_total 42"),
+            std::string::npos);
+}
+
+TEST(HistogramTest, ExemplarAttachesToWinningBucket) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("netmark_latency_micros", {}, {10, 100});
+  h->ObserveWithExemplar(50, "4bf92f3577b34da6a3ce929d0e0e4736");
+  EXPECT_EQ(h->count(), 1u);
+  std::vector<Exemplar> exemplars = h->Exemplars();
+  ASSERT_EQ(exemplars.size(), 3u);  // two bounds + overflow
+  EXPECT_TRUE(exemplars[0].trace_id.empty());
+  EXPECT_EQ(exemplars[1].trace_id, "4bf92f3577b34da6a3ce929d0e0e4736");
+  EXPECT_EQ(exemplars[1].value, 50);
+  EXPECT_GT(exemplars[1].timestamp_seconds, 0);
+  // A later sample in the same bucket replaces the exemplar.
+  h->ObserveWithExemplar(60, "00f067aa0ba902b700f067aa0ba902b7");
+  EXPECT_EQ(h->Exemplars()[1].trace_id, "00f067aa0ba902b700f067aa0ba902b7");
+  // An empty trace id observes without touching the slot.
+  h->ObserveWithExemplar(70, "");
+  EXPECT_EQ(h->Exemplars()[1].trace_id, "00f067aa0ba902b700f067aa0ba902b7");
+}
+
+TEST(HistogramTest, ExemplarRendersInOpenMetricsSyntax) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("netmark_latency_micros", {}, {10, 100});
+  h->Observe(5);
+  h->ObserveWithExemplar(50, "4bf92f3577b34da6a3ce929d0e0e4736");
+  std::string text = registry.RenderPrometheus();
+  // The bucket that holds the exemplar carries the `# {...}` suffix...
+  EXPECT_NE(
+      text.find("netmark_latency_micros_bucket{le=\"100\"} 2 # "
+                "{trace_id=\"4bf92f3577b34da6a3ce929d0e0e4736\"} 50"),
+      std::string::npos);
+  // ...and buckets without one render bare.
+  EXPECT_NE(text.find("netmark_latency_micros_bucket{le=\"10\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(HistogramTest, ExemplarsDisabledByEnv) {
+  setenv("NETMARK_METRICS_EXEMPLARS", "0", 1);
+  MetricsRegistry registry;  // reads the env at construction
+  Histogram* h = registry.GetHistogram("netmark_latency_micros", {}, {10, 100});
+  h->ObserveWithExemplar(50, "4bf92f3577b34da6a3ce929d0e0e4736");
+  std::string text = registry.RenderPrometheus();
+  EXPECT_EQ(text.find("trace_id"), std::string::npos);
+  EXPECT_NE(text.find("netmark_latency_micros_bucket{le=\"100\"} 1"),
+            std::string::npos);
+  unsetenv("NETMARK_METRICS_EXEMPLARS");
+}
+
 // Concurrency: N threads hammering the same counter and histogram. Exact
 // totals prove atomicity; TSan (CI job) proves data-race freedom.
 TEST(RegistryTest, ConcurrentIncrementsAreLossless) {

@@ -1,0 +1,106 @@
+// W3C traceparent parsing/formatting and id generation: the wire format
+// that carries a trace across NETMARK instances.
+
+#include "observability/trace_context.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace netmark::observability {
+namespace {
+
+TEST(TraceContextTest, ParsesWellFormedHeader) {
+  auto ctx = ParseTraceparent(
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01");
+  ASSERT_TRUE(ctx.has_value());
+  EXPECT_EQ(ctx->trace_id, "4bf92f3577b34da6a3ce929d0e0e4736");
+  EXPECT_EQ(ctx->span_id, "00f067aa0ba902b7");
+  EXPECT_TRUE(ctx->sampled);
+}
+
+TEST(TraceContextTest, ReadsSampledFlag) {
+  auto ctx = ParseTraceparent(
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00");
+  ASSERT_TRUE(ctx.has_value());
+  EXPECT_FALSE(ctx->sampled);
+}
+
+TEST(TraceContextTest, RejectsMalformedHeaders) {
+  // Per spec: an invalid header means "start a fresh trace", so all of
+  // these must come back empty rather than half-parsed.
+  const char* bad[] = {
+      "",
+      "00",
+      // Wrong lengths.
+      "00-4bf92f3577b34da6a3ce929d0e0e473-00f067aa0ba902b7-01",
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b-01",
+      // Uppercase hex is invalid on the wire.
+      "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",
+      // Non-hex garbage.
+      "00-zzf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+      // All-zero ids are explicitly invalid.
+      "00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",
+      // Version ff is reserved.
+      "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+      // Wrong separators.
+      "00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+      // Version 00 allows no trailing data.
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra",
+  };
+  for (const char* header : bad) {
+    EXPECT_FALSE(ParseTraceparent(header).has_value()) << header;
+  }
+}
+
+TEST(TraceContextTest, FutureVersionWithExtraFieldsParses) {
+  // Forward compatibility: a later version may append fields after the
+  // flags, separated by a dash.
+  auto ctx = ParseTraceparent(
+      "01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-what-else");
+  ASSERT_TRUE(ctx.has_value());
+  EXPECT_EQ(ctx->trace_id, "4bf92f3577b34da6a3ce929d0e0e4736");
+}
+
+TEST(TraceContextTest, FormatRoundTrips) {
+  std::string header = FormatTraceparent("4bf92f3577b34da6a3ce929d0e0e4736",
+                                         "00f067aa0ba902b7");
+  EXPECT_EQ(header, "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01");
+  auto ctx = ParseTraceparent(header);
+  ASSERT_TRUE(ctx.has_value());
+  EXPECT_EQ(ctx->trace_id, "4bf92f3577b34da6a3ce929d0e0e4736");
+  EXPECT_EQ(FormatTraceparent("4bf92f3577b34da6a3ce929d0e0e4736",
+                              "00f067aa0ba902b7", /*sampled=*/false)
+                .back(),
+            '0');
+}
+
+TEST(TraceContextTest, GeneratedIdsAreValidAndDistinct) {
+  std::set<std::string> seen;
+  for (int i = 0; i < 200; ++i) {
+    std::string id = GenerateTraceId();
+    ASSERT_EQ(id.size(), 32u);
+    for (char c : id) {
+      ASSERT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << id;
+    }
+    EXPECT_NE(id, "00000000000000000000000000000000");
+    seen.insert(id);
+  }
+  EXPECT_EQ(seen.size(), 200u);
+}
+
+TEST(TraceContextTest, DerivedSpanIdsAreStableAndPerSpan) {
+  const std::string trace_id = "4bf92f3577b34da6a3ce929d0e0e4736";
+  std::string a = DeriveSpanId(trace_id, 0);
+  std::string b = DeriveSpanId(trace_id, 1);
+  EXPECT_EQ(a.size(), 16u);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, "0000000000000000");
+  // Deterministic: the remote only echoes it, so re-deriving must agree.
+  EXPECT_EQ(a, DeriveSpanId(trace_id, 0));
+}
+
+}  // namespace
+}  // namespace netmark::observability

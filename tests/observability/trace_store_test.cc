@@ -1,0 +1,183 @@
+// TraceStore retention: head sampling, tail keep rules (error/slow), the
+// two-ring eviction policy, counters, and concurrent record-vs-scrape
+// (the latter is what the TSan build watches).
+
+#include "observability/trace_store.h"
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "observability/trace_context.h"
+
+namespace netmark::observability {
+namespace {
+
+std::shared_ptr<Trace> MakeTrace(const std::string& id,
+                                 const std::string& root = "xdb",
+                                 bool ok = true) {
+  auto trace = std::make_shared<Trace>();
+  trace->set_trace_id(id);
+  int span = trace->StartSpan(root);
+  trace->EndSpan(span, ok, ok ? "" : "boom");
+  return trace;
+}
+
+TEST(TraceStoreTest, HeadSampledTraceIsRetainedAndFindable) {
+  TraceStore store;
+  EXPECT_TRUE(store.Record(MakeTrace("aa11"), /*head_sampled=*/true,
+                           /*error=*/false));
+  EXPECT_EQ(store.size(), 1u);
+  ASSERT_NE(store.Find("aa11"), nullptr);
+  EXPECT_EQ(store.Find("aa11")->trace_id(), "aa11");
+  EXPECT_EQ(store.Find("missing"), nullptr);
+
+  std::vector<TraceSummary> list = store.List();
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0].id, "aa11");
+  EXPECT_EQ(list[0].root, "xdb");
+  EXPECT_TRUE(list[0].ok);
+}
+
+TEST(TraceStoreTest, RejectsTracesWithoutId) {
+  TraceStore store;
+  auto trace = std::make_shared<Trace>();  // no trace id assigned
+  int span = trace->StartSpan("xdb");
+  trace->EndSpan(span);
+  EXPECT_FALSE(store.Record(trace, /*head_sampled=*/true, /*error=*/false));
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(TraceStoreTest, TailRulesKeepErrorsDespiteHeadRoll) {
+  TraceStoreOptions options;
+  options.sample_rate = 0.0;  // the head roll always says no
+  TraceStore store(options);
+  EXPECT_FALSE(store.ShouldSample());
+  // Healthy + unsampled: dropped.
+  EXPECT_FALSE(store.Record(MakeTrace("aa"), /*head_sampled=*/false,
+                            /*error=*/false));
+  // Error: retained regardless.
+  EXPECT_TRUE(store.Record(MakeTrace("bb", "xdb", /*ok=*/false),
+                           /*head_sampled=*/false, /*error=*/false));
+  // 5xx marked by the caller: retained even though the root span is ok.
+  EXPECT_TRUE(store.Record(MakeTrace("cc"), /*head_sampled=*/false,
+                           /*error=*/true));
+  EXPECT_EQ(store.size(), 2u);
+  std::vector<TraceSummary> list = store.List();
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_TRUE(list[0].error);
+  EXPECT_TRUE(list[1].error);
+}
+
+TEST(TraceStoreTest, ImportantRingSurvivesHealthyBurst) {
+  TraceStoreOptions options;
+  options.capacity = 4;  // tiny recent ring
+  TraceStore store(options);
+  // One error trace, then a burst of healthy head-sampled traffic far
+  // beyond the recent ring's capacity.
+  EXPECT_TRUE(store.Record(MakeTrace("err0", "xdb", /*ok=*/false),
+                           /*head_sampled=*/false, /*error=*/false));
+  for (int i = 0; i < 50; ++i) {
+    store.Record(MakeTrace("ok" + std::to_string(i)), /*head_sampled=*/true,
+                 /*error=*/false);
+  }
+  // The healthy burst evicted its own kind, not the error trace.
+  EXPECT_NE(store.Find("err0"), nullptr);
+  EXPECT_EQ(store.size(), 1u + options.capacity);
+  // Listing is newest-first with the important ring leading.
+  EXPECT_EQ(store.List().front().id, "err0");
+}
+
+TEST(TraceStoreTest, EvictionsAndDropsCount) {
+  TraceStoreOptions options;
+  options.capacity = 2;
+  TraceStore store(options);
+  MetricsRegistry registry;
+  store.BindMetrics(&registry);
+  for (int i = 0; i < 5; ++i) {
+    store.Record(MakeTrace("t" + std::to_string(i)), /*head_sampled=*/true,
+                 /*error=*/false);
+  }
+  store.Record(MakeTrace("unsampled"), /*head_sampled=*/false,
+               /*error=*/false);
+  EXPECT_EQ(registry.GetCounter("netmark_traces_retained_total")->value(), 5u);
+  // 3 ring evictions + 1 head-roll rejection.
+  EXPECT_EQ(registry.GetCounter("netmark_traces_dropped_total")->value(), 4u);
+}
+
+TEST(TraceStoreTest, SampleRateZeroAndOne) {
+  TraceStoreOptions options;
+  options.sample_rate = 1.0;
+  TraceStore store(options);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(store.ShouldSample());
+  options.sample_rate = 0.0;
+  store.Configure(options);
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(store.ShouldSample());
+}
+
+TEST(TraceStoreTest, FractionalSampleRateIsRoughlyHonored) {
+  TraceStoreOptions options;
+  options.sample_rate = 0.2;
+  options.rng_seed = 42;  // deterministic roll sequence
+  TraceStore store(options);
+  int heads = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (store.ShouldSample()) ++heads;
+  }
+  EXPECT_GT(heads, 100);
+  EXPECT_LT(heads, 320);
+}
+
+TEST(TraceStoreTest, SlowKeepRuleUsesRootDuration) {
+  TraceStoreOptions options;
+  options.sample_rate = 0.0;
+  options.slow_keep_ms = 1;  // 1ms threshold
+  TraceStore store(options);
+  // Synthesize a 5ms root span via AddCompletedSpan (backdated).
+  auto slow = std::make_shared<Trace>();
+  slow->set_trace_id("slow1");
+  slow->AddCompletedSpan("xdb", -1, 5000);
+  EXPECT_TRUE(store.Record(slow, /*head_sampled=*/false, /*error=*/false));
+  EXPECT_TRUE(store.List().front().slow);
+  // A fast trace under the same regime is dropped.
+  EXPECT_FALSE(store.Record(MakeTrace("fast1"), /*head_sampled=*/false,
+                            /*error=*/false));
+}
+
+TEST(TraceStoreTest, ConcurrentRecordListFind) {
+  // Serving workers record while /traces scrapes — run both sides hard;
+  // the TSan job turns any locking mistake into a failure here.
+  TraceStoreOptions options;
+  options.capacity = 16;
+  options.important_capacity = 8;
+  TraceStore store(options);
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 500;
+  std::vector<std::thread> pool;
+  for (int w = 0; w < kWriters; ++w) {
+    pool.emplace_back([&store, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        bool error = (i % 7) == 0;
+        store.Record(MakeTrace(GenerateTraceId(), "xdb", !error),
+                     store.ShouldSample(), error);
+      }
+    });
+  }
+  for (int r = 0; r < 2; ++r) {
+    pool.emplace_back([&store] {
+      for (int i = 0; i < 500; ++i) {
+        std::vector<TraceSummary> list = store.List();
+        if (!list.empty()) store.Find(list.front().id);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_LE(store.size(), options.capacity + options.important_capacity);
+  EXPECT_GT(store.size(), 0u);
+}
+
+}  // namespace
+}  // namespace netmark::observability

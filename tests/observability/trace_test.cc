@@ -132,6 +132,70 @@ TEST(ScopedSpanTest, NullTraceIsInert) {
   EXPECT_EQ(defaulted.id(), -1);
 }
 
+TEST(TraceTest, TraceIdAccessors) {
+  Trace trace;
+  EXPECT_EQ(trace.trace_id(), "");
+  trace.set_trace_id("4bf92f3577b34da6a3ce929d0e0e4736");
+  EXPECT_EQ(trace.trace_id(), "4bf92f3577b34da6a3ce929d0e0e4736");
+}
+
+TEST(TraceTest, AddCompletedSpanBackdates) {
+  Trace trace;
+  int root = trace.StartSpan("xdb");
+  int waited = trace.AddCompletedSpan("queue_wait", root, 1500);
+  trace.EndSpan(root);
+  std::vector<SpanData> spans = trace.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[waited].parent, root);
+  EXPECT_TRUE(spans[waited].finished());
+  EXPECT_EQ(spans[waited].duration_micros(), 1500);
+  // Backdated: it started before it was recorded, never in the future.
+  EXPECT_LE(spans[waited].start_micros, spans[waited].end_micros);
+}
+
+TEST(TraceTest, GraftRenumbersForeignSubtree) {
+  // The foreign vector is what ParseResultsDocument produces: ids are
+  // indices, parents precede children, timestamps synthetic.
+  std::vector<SpanData> foreign(3);
+  foreign[0].id = 0;
+  foreign[0].parent = -1;
+  foreign[0].name = "xdb";
+  foreign[0].start_micros = 1;
+  foreign[0].end_micros = 101;
+  foreign[1].id = 1;
+  foreign[1].parent = 0;
+  foreign[1].name = "execute";
+  foreign[1].start_micros = 1;
+  foreign[1].end_micros = 81;
+  foreign[2].id = 2;
+  foreign[2].parent = 0;
+  foreign[2].name = "source:slow";
+  foreign[2].start_micros = 1;
+  foreign[2].end_micros = 0;  // unfinished straggler on the remote
+
+  Trace trace;
+  int root = trace.StartSpan("xdb");
+  int source = trace.StartSpan("source:remote", root);
+  int grafted = trace.Graft(source, foreign);
+  trace.EndSpan(source);
+  trace.EndSpan(root);
+
+  std::vector<SpanData> spans = trace.Snapshot();
+  ASSERT_EQ(spans.size(), 5u);
+  EXPECT_EQ(grafted, 2);
+  // Foreign root re-parents to the local source span; children keep their
+  // relative structure under renumbered ids.
+  EXPECT_EQ(spans[2].parent, source);
+  EXPECT_EQ(spans[2].name, "xdb");
+  EXPECT_EQ(spans[3].parent, 2);
+  EXPECT_EQ(spans[4].parent, 2);
+  for (int i = 2; i < 5; ++i) EXPECT_TRUE(spans[i].remote);
+  EXPECT_EQ(spans[2].duration_micros(), 100);
+  EXPECT_FALSE(spans[4].finished());
+  // An empty foreign set grafts nothing.
+  EXPECT_EQ(trace.Graft(root, {}), -1);
+}
+
 TEST(SlowLogTest, ThresholdEnvOverride) {
   unsetenv("NETMARK_SLOW_QUERY_MS");
   EXPECT_EQ(ResolveSlowQueryThresholdMs(250), 250);
@@ -165,6 +229,7 @@ TEST(SlowLogTest, LogsOnlyOverThreshold) {
   Logger::Instance().SetLevel(LogLevel::kWarning);
 
   Trace trace;
+  trace.set_trace_id("4bf92f3577b34da6a3ce929d0e0e4736");
   int root = trace.StartSpan("xdb");
   trace.EndSpan(root);
   // 5ms request, 10ms threshold: silent.
@@ -175,6 +240,9 @@ TEST(SlowLogTest, LogsOnlyOverThreshold) {
   ASSERT_EQ(lines.size(), 1u);
   EXPECT_NE(lines[0].find("event=slow_query"), std::string::npos);
   EXPECT_NE(lines[0].find("endpoint=/xdb"), std::string::npos);
+  // The trace id is the jump-off point to /traces?id=.
+  EXPECT_NE(lines[0].find("trace_id=4bf92f3577b34da6a3ce929d0e0e4736"),
+            std::string::npos);
   // '=' in the value forces quoting, keeping the line one awk-able record.
   EXPECT_NE(lines[0].find("query=\"context=a\""), std::string::npos);
   // Threshold 0 disables entirely.

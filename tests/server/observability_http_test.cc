@@ -2,6 +2,7 @@
 // GET /metrics (Prometheus exposition), GET /healthz (ok + degraded with an
 // open breaker), and trace=1 XDB queries returning a consistent span tree.
 
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -209,6 +210,141 @@ TEST_F(ObservabilityHttpTest, FederatedTraceCoversFanOut) {
   EXPECT_NE(resp.body.find("name=\"source:self\""), std::string::npos);
   EXPECT_NE(resp.body.find("<annotation key=\"databank\" value=\"bank\""),
             std::string::npos);
+}
+
+TEST_F(ObservabilityHttpTest, XdbResponsesCarryTraceIdHeader) {
+  // Default sample rate is 1.0: every request is traced and the trace id
+  // surfaces as a response header so clients can correlate with /traces.
+  HttpResponse resp = Handle(Get("/xdb", "context=Overview"));
+  ASSERT_EQ(resp.status, 200);
+  const std::string id = resp.headers["X-Netmark-Trace-Id"];
+  ASSERT_EQ(id.size(), 32u) << "not a W3C trace id: " << id;
+  for (char c : id) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << id;
+  }
+  // The same id resolves on /traces right away.
+  HttpResponse detail = Handle(Get("/traces", "id=" + id));
+  ASSERT_EQ(detail.status, 200) << detail.body;
+  EXPECT_NE(detail.body.find("\"id\":\"" + id + "\""), std::string::npos);
+}
+
+TEST_F(ObservabilityHttpTest, InboundTraceparentAdoptsUpstreamContext) {
+  // A mediator upstream sends its W3C context; this instance must join that
+  // trace (same id) and return its span subtree even without trace=1.
+  const std::string upstream = "4bf92f3577b34da6a3ce929d0e0e4736";
+  HttpRequest req = Get("/xdb", "context=Overview");
+  req.headers["traceparent"] = "00-" + upstream + "-00f067aa0ba902b7-01";
+  HttpResponse resp = Handle(req);
+  ASSERT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.headers["X-Netmark-Trace-Id"], upstream);
+  // The <trace> block rides along for the caller to graft.
+  EXPECT_NE(resp.body.find("<trace total_us="), std::string::npos) << resp.body;
+  EXPECT_NE(resp.body.find("<annotation key=\"caller_span\" "
+                           "value=\"00f067aa0ba902b7\""),
+            std::string::npos)
+      << resp.body;
+
+  // A malformed header starts a fresh trace instead of erroring.
+  HttpRequest bad = Get("/xdb", "context=Overview");
+  bad.headers["traceparent"] = "00-not-a-trace";
+  HttpResponse fresh = Handle(bad);
+  ASSERT_EQ(fresh.status, 200);
+  EXPECT_NE(fresh.headers["X-Netmark-Trace-Id"], upstream);
+  EXPECT_EQ(fresh.headers["X-Netmark-Trace-Id"].size(), 32u);
+}
+
+TEST_F(ObservabilityHttpTest, TracesEndpointListsAndFetchesSpanTrees) {
+  HttpResponse query = Handle(Get("/xdb", "context=Overview"));
+  ASSERT_EQ(query.status, 200);
+  const std::string id = query.headers["X-Netmark-Trace-Id"];
+  ASSERT_FALSE(id.empty());
+
+  // Listing: newest-first summaries plus the store's own vitals.
+  HttpResponse list = Handle(Get("/traces"));
+  ASSERT_EQ(list.status, 200);
+  EXPECT_EQ(list.headers["Content-Type"], "application/json");
+  EXPECT_NE(list.body.find("\"sample_rate\":1.0000"), std::string::npos)
+      << list.body;
+  EXPECT_NE(list.body.find("\"id\":\"" + id + "\""), std::string::npos);
+  EXPECT_NE(list.body.find("\"root\":\"xdb\""), std::string::npos);
+
+  // Detail: the full span tree with parent links and attribution spans.
+  HttpResponse detail = Handle(Get("/traces", "id=" + id));
+  ASSERT_EQ(detail.status, 200);
+  EXPECT_NE(detail.body.find("\"name\":\"xdb\""), std::string::npos)
+      << detail.body;
+  EXPECT_NE(detail.body.find("\"name\":\"execute\""), std::string::npos);
+  EXPECT_NE(detail.body.find("\"name\":\"compose\""), std::string::npos);
+  EXPECT_NE(detail.body.find("\"name\":\"serialize\""), std::string::npos);
+  EXPECT_NE(detail.body.find("\"name\":\"cache_probe\""), std::string::npos);
+  EXPECT_NE(detail.body.find("\"parent\":-1"), std::string::npos);
+
+  // The XML form feeds the CLI flame view.
+  HttpResponse as_xml = Handle(Get("/traces", "id=" + id + "&format=xml"));
+  ASSERT_EQ(as_xml.status, 200);
+  EXPECT_NE(as_xml.body.find("<netmark-trace id=\"" + id + "\""),
+            std::string::npos)
+      << as_xml.body;
+  EXPECT_NE(as_xml.body.find("name=\"xdb\""), std::string::npos);
+
+  // Unknown ids 404; other methods are rejected.
+  EXPECT_EQ(Handle(Get("/traces", "id=ffffffffffffffffffffffffffffffff")).status,
+            404);
+  HttpRequest post = Get("/traces");
+  post.method = "POST";
+  EXPECT_EQ(Handle(post).status, 405);
+}
+
+TEST_F(ObservabilityHttpTest, BuildInfoOnMetricsAndHealthz) {
+  HttpResponse metrics = Handle(Get("/metrics"));
+  ASSERT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("# TYPE netmark_build_info gauge"),
+            std::string::npos)
+      << metrics.body;
+  EXPECT_NE(metrics.body.find("netmark_build_info{"), std::string::npos);
+  EXPECT_NE(metrics.body.find("version=\""), std::string::npos);
+  EXPECT_NE(metrics.body.find("git_sha=\""), std::string::npos);
+
+  HttpResponse healthz = Handle(Get("/healthz"));
+  ASSERT_EQ(healthz.status, 200);
+  EXPECT_NE(healthz.body.find("\"build\":{\"version\":\""), std::string::npos)
+      << healthz.body;
+  EXPECT_NE(healthz.body.find("\"git_sha\":\""), std::string::npos);
+}
+
+TEST_F(ObservabilityHttpTest, TraceStoreCountersOnMetrics) {
+  ASSERT_EQ(Handle(Get("/xdb", "context=Overview")).status, 200);
+  HttpResponse metrics = Handle(Get("/metrics"));
+  EXPECT_NE(metrics.body.find("# TYPE netmark_traces_sampled_total counter"),
+            std::string::npos)
+      << metrics.body;
+  EXPECT_NE(metrics.body.find("netmark_traces_sampled_total 1"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("netmark_traces_retained_total 1"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("netmark_traces_dropped_total 0"),
+            std::string::npos);
+}
+
+TEST_F(ObservabilityHttpTest, LatencyHistogramCarriesExemplar) {
+  HttpResponse query = Handle(Get("/xdb", "context=Overview"));
+  ASSERT_EQ(query.status, 200);
+  const std::string id = query.headers["X-Netmark-Trace-Id"];
+  ASSERT_FALSE(id.empty());
+
+  HttpResponse metrics = Handle(Get("/metrics"));
+  // The retained trace's id is attached to the latency bucket it landed in,
+  // so a slow bucket on a dashboard links straight to /traces?id=.
+  const std::string exemplar = " # {trace_id=\"" + id + "\"}";
+  EXPECT_NE(metrics.body.find(exemplar), std::string::npos) << metrics.body;
+  size_t pos = metrics.body.find(exemplar);
+  size_t line_start = metrics.body.rfind('\n', pos);
+  line_start = (line_start == std::string::npos) ? 0 : line_start + 1;
+  EXPECT_EQ(metrics.body.compare(line_start,
+                                 strlen("netmark_query_latency_micros_bucket"),
+                                 "netmark_query_latency_micros_bucket"),
+            0)
+      << metrics.body.substr(line_start, 120);
 }
 
 }  // namespace

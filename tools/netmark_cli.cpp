@@ -8,6 +8,7 @@
 //   netmark serve   --data DIR [--port N] [--drop DIR] [--databanks FILE]
 //                                                   run the HTTP server
 //   netmark remote  --host H --port P QUERY         query a running server
+//   netmark traces  --host H --port P [--id ID]     list / render retained traces
 //
 // QUERY is an XDB query string, e.g. "context=Budget&content=engine".
 
@@ -31,6 +32,7 @@
 #include "server/http_client.h"
 #include "server/source_factory.h"
 #include "workload/corpus.h"
+#include "xml/parser.h"
 #include "xml/serializer.h"
 
 namespace {
@@ -53,6 +55,9 @@ int Usage() {
                "  netmark serve  --data DIR [--port N] [--drop DIR] "
                "[--databanks FILE] [--config FILE]\n"
                "  netmark remote --host H --port P QUERY\n"
+               "  netmark traces --host H --port P [--id ID]\n"
+               "                 list retained traces; --id renders one span\n"
+               "                 tree as an indented flame view\n"
                "  netmark torture-gen    --drop DIR --count N [--seed S]\n"
                "  netmark torture-ingest --data DIR --drop DIR [--workers N]\n"
                "  netmark torture-verify --data DIR --drop DIR "
@@ -71,7 +76,10 @@ int Usage() {
                "fsync_fail)\n"
                "query cache knobs ([query] INI section via --config):\n"
                "cache_enabled on|off, cache_entries N, cache_bytes N,\n"
-               "plan_entries N (docs/query_cache.md)\n");
+               "plan_entries N (docs/query_cache.md)\n"
+               "tracing knobs ([observability] INI section via --config):\n"
+               "trace_sample_rate 0..1, trace_store_capacity N,\n"
+               "trace_slow_keep_ms N (docs/observability.md)\n");
   return 2;
 }
 
@@ -174,6 +182,31 @@ Status ApplyQueryFlags(const Args& args, NetmarkOptions* options) {
   return Status::OK();
 }
 
+// Trace sampling / retention knobs ([observability] INI section via
+// --config): trace_sample_rate 0..1, trace_store_capacity N,
+// trace_slow_keep_ms N. Resolved before Open (docs/observability.md).
+Status ApplyObservabilityFlags(const Args& args, NetmarkOptions* options) {
+  auto config_flag = args.flags.find("config");
+  if (config_flag == args.flags.end()) return Status::OK();
+  NETMARK_ASSIGN_OR_RETURN(Config config, Config::Load(config_flag->second));
+  auto rate = config.Get("observability", "trace_sample_rate");
+  if (rate.ok()) {
+    char* end = nullptr;
+    double parsed = std::strtod(rate->c_str(), &end);
+    if (end == rate->c_str() || *end != '\0' || parsed < 0.0 || parsed > 1.0) {
+      return Status::InvalidArgument(
+          "bad [observability] trace_sample_rate (want 0..1): " + *rate);
+    }
+    options->trace_store.sample_rate = parsed;
+  }
+  options->trace_store.capacity = static_cast<size_t>(config.GetIntOr(
+      "observability", "trace_store_capacity",
+      static_cast<int64_t>(options->trace_store.capacity)));
+  options->trace_store.slow_keep_ms = config.GetIntOr(
+      "observability", "trace_slow_keep_ms", options->trace_store.slow_keep_ms);
+  return Status::OK();
+}
+
 Result<std::unique_ptr<Netmark>> OpenFromArgs(const Args& args) {
   auto it = args.flags.find("data");
   if (it == args.flags.end()) {
@@ -183,6 +216,7 @@ Result<std::unique_ptr<Netmark>> OpenFromArgs(const Args& args) {
   options.data_dir = it->second;
   NETMARK_RETURN_NOT_OK(ApplyStorageFlags(args, &options.storage));
   NETMARK_RETURN_NOT_OK(ApplyQueryFlags(args, &options));
+  NETMARK_RETURN_NOT_OK(ApplyObservabilityFlags(args, &options));
   // NETMARK_DISK_FAULT=kind:nth wraps every storage file in a deterministic
   // fault injector (tools/disk_torture.sh drives this). The Env must outlive
   // the store, so it lives for the remainder of the process.
@@ -627,6 +661,66 @@ int CmdRemote(const Args& args) {
   return 0;
 }
 
+/// Renders the <span> children of `el` as an indented flame view: children
+/// nested under parents, durations in a fixed column so the eye can scan
+/// for the wide frame.
+void PrintSpanTree(const xml::Document& doc, xml::NodeId el, int depth) {
+  for (xml::NodeId child = doc.first_child(el); child != xml::kInvalidNode;
+       child = doc.next_sibling(child)) {
+    if (doc.kind(child) != xml::NodeKind::kElement || doc.name(child) != "span") {
+      continue;
+    }
+    std::string label(static_cast<size_t>(2 * depth), ' ');
+    label += std::string(doc.GetAttribute(child, "name"));
+    std::string tags;
+    if (doc.GetAttribute(child, "ok") == "false") tags += "  FAILED";
+    if (doc.GetAttribute(child, "unfinished") == "true") tags += "  unfinished";
+    if (doc.GetAttribute(child, "remote") == "true") tags += "  [remote]";
+    std::string note(doc.GetAttribute(child, "note"));
+    if (!note.empty()) tags += "  (" + note + ")";
+    std::printf("%-44s %10s us%s\n", label.c_str(),
+                std::string(doc.GetAttribute(child, "us")).c_str(), tags.c_str());
+    PrintSpanTree(doc, child, depth + 1);
+  }
+}
+
+int CmdTraces(const Args& args) {
+  auto host = args.flags.count("host") ? args.flags.at("host") : "127.0.0.1";
+  if (args.flags.count("port") == 0) return Fail("--port is required");
+  auto port = ParseInt64(args.flags.at("port"));
+  if (!port.ok() || *port <= 0 || *port > 65535) return Fail("bad --port value");
+  server::HttpClient client(host, static_cast<uint16_t>(*port));
+  auto id_flag = args.flags.find("id");
+  if (id_flag == args.flags.end()) {
+    auto resp = client.Get("/traces");
+    if (!resp.ok()) return Fail(resp.status().ToString());
+    if (resp->status != 200) {
+      return Fail("HTTP " + std::to_string(resp->status) + ": " + resp->body);
+    }
+    std::printf("%s\n", resp->body.c_str());
+    return 0;
+  }
+  auto resp = client.Get("/traces?id=" + id_flag->second + "&format=xml");
+  if (!resp.ok()) return Fail(resp.status().ToString());
+  if (resp->status != 200) {
+    return Fail("HTTP " + std::to_string(resp->status) + ": " + resp->body);
+  }
+  auto doc = xml::ParseXml(resp->body);
+  if (!doc.ok()) return Fail(doc.status().ToString());
+  xml::NodeId root = doc->DocumentElement();
+  xml::NodeId trace_el = root != xml::kInvalidNode
+                             ? doc->FirstChildElement(root, "trace")
+                             : xml::kInvalidNode;
+  if (trace_el == xml::kInvalidNode) {
+    return Fail("response carried no <trace> block");
+  }
+  std::printf("trace %s  total %s us\n",
+              std::string(doc->GetAttribute(root, "id")).c_str(),
+              std::string(doc->GetAttribute(trace_el, "total_us")).c_str());
+  PrintSpanTree(*doc, trace_el, 1);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -640,6 +734,7 @@ int main(int argc, char** argv) {
   if (command == "query") return CmdQuery(args);
   if (command == "serve") return CmdServe(args);
   if (command == "remote") return CmdRemote(args);
+  if (command == "traces") return CmdTraces(args);
   if (command == "torture-gen") return CmdTortureGen(args);
   if (command == "torture-ingest") return CmdTortureIngest(args);
   if (command == "torture-verify") return CmdTortureVerify(args);
