@@ -34,10 +34,14 @@ struct LoadedInstance {
   std::unique_ptr<Netmark> nm;
 };
 
-inline LoadedInstance MakeLoadedInstance(size_t corpus_size, uint64_t seed = 2025) {
+/// Overload taking a base NetmarkOptions (data_dir is overwritten) — for
+/// benches that need non-default serving knobs, e.g. bench_reactor's
+/// reactor model and idle-timeout configuration.
+inline LoadedInstance MakeLoadedInstance(size_t corpus_size,
+                                         NetmarkOptions options,
+                                         uint64_t seed = 2025) {
   LoadedInstance inst;
   inst.dir = std::make_unique<TempDir>(Unwrap(TempDir::Make("bench"), "temp dir"));
-  NetmarkOptions options;
   options.data_dir = inst.dir->Sub("data").string();
   inst.nm = Unwrap(Netmark::Open(options), "open");
   workload::CorpusGenerator gen(seed);
@@ -45,6 +49,10 @@ inline LoadedInstance MakeLoadedInstance(size_t corpus_size, uint64_t seed = 202
     Check(inst.nm->IngestContent(doc.file_name, doc.content).status(), "ingest");
   }
   return inst;
+}
+
+inline LoadedInstance MakeLoadedInstance(size_t corpus_size, uint64_t seed = 2025) {
+  return MakeLoadedInstance(corpus_size, NetmarkOptions{}, seed);
 }
 
 /// Header line for the paper-shape report blocks each bench prints.
@@ -99,6 +107,24 @@ class JsonLines {
                   "\"ns_per_op\":%.6g,\"throughput\":%.6g,\"unit\":\"%s\"}",
                   bench_.c_str(), name.c_str(), param, ns_per_op, throughput,
                   unit.c_str());
+    std::printf("JSONL %s\n", line);
+    if (file_ != nullptr) {
+      std::fprintf(file_, "%s\n", line);
+      std::fflush(file_);
+    }
+  }
+
+  /// Emits a bench-computed latency distribution in the same shape as the
+  /// histogram lines EmitMetrics writes ({"metric",...,"count","p50","p95",
+  /// "p99"}), so tools/check_bench_regression.py --metric can gate on it.
+  void EmitSummary(const std::string& metric, uint64_t count, double p50,
+                   double p95, double p99) {
+    char line[512];
+    std::snprintf(line, sizeof(line),
+                  "{\"bench\":\"%s\",\"metric\":\"%s\",\"count\":%llu,"
+                  "\"p50\":%.6g,\"p95\":%.6g,\"p99\":%.6g}",
+                  bench_.c_str(), metric.c_str(),
+                  static_cast<unsigned long long>(count), p50, p95, p99);
     std::printf("JSONL %s\n", line);
     if (file_ != nullptr) {
       std::fprintf(file_, "%s\n", line);

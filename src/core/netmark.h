@@ -133,6 +133,10 @@ class Netmark {
 
   // --- Accessors ---
 
+  /// The serving knobs StartServer uses (connection model, pool sizing).
+  const server::HttpServerOptions& http_server_options() const {
+    return options_.http_server;
+  }
   xmlstore::XmlStore* store() { return store_.get(); }
   const xmlstore::XmlStore* store() const { return store_.get(); }
   federation::Router* router() { return &router_; }

@@ -47,7 +47,29 @@ netmark::Status ParseHeaders(std::string_view head, size_t start_line_end,
   return netmark::Status::OK();
 }
 
+/// Parses Content-Length out of a raw head (bytes [0, head_end)). Missing
+/// or malformed values frame as 0 — ParseRequest rejects the message later.
+size_t ParseContentLength(std::string_view buffer, size_t head_end) {
+  std::string head = netmark::ToLower(std::string(buffer.substr(0, head_end)));
+  size_t cl = head.find("content-length:");
+  if (cl == std::string::npos) return 0;
+  size_t eol = head.find("\r\n", cl);
+  auto value = netmark::ParseInt64(head.substr(
+      cl + 15, eol == std::string::npos ? std::string::npos : eol - cl - 15));
+  if (value.ok() && *value >= 0) return static_cast<size_t>(*value);
+  return 0;
+}
+
 }  // namespace
+
+size_t CompleteMessageBytes(std::string_view buffer, size_t* head_end) {
+  if (*head_end == std::string_view::npos || *head_end + 4 > buffer.size()) {
+    *head_end = buffer.find("\r\n\r\n");
+  }
+  if (*head_end == std::string_view::npos) return 0;
+  size_t total = *head_end + 4 + ParseContentLength(buffer, *head_end);
+  return buffer.size() >= total ? total : 0;
+}
 
 netmark::Result<HttpRequest> ParseRequest(std::string_view raw) {
   size_t head_end = raw.find("\r\n\r\n");

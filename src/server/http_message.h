@@ -30,8 +30,9 @@ struct HttpRequest {
   // Serving-path timings stamped by HttpServer (not part of the wire
   // format); the service renders them as trace spans. Both are rounded up
   // to 1us so a measured-but-fast stage still shows in the span tree.
-  int64_t queue_wait_micros = 0;  ///< accept-queue wait (first request on a
-                                  ///< connection only; keep-alive reuse = 0)
+  int64_t queue_wait_micros = 0;  ///< handoff-queue wait (epoll reactor:
+                                  ///< every request; threadpool: first
+                                  ///< request on a connection, reuse = 0)
   int64_t parse_micros = 0;       ///< head + body parse time
 
   std::string_view Header(const std::string& name) const {
@@ -62,6 +63,16 @@ struct HttpResponse {
   /// Serializes to wire format (server side); sets Content-Length.
   std::string Serialize() const;
 };
+
+/// \brief Incremental HTTP/1.1 framing: returns the byte length of the
+/// first complete message in `buffer` (head + Content-Length body), or 0
+/// while more bytes are needed. `head_end` caches the "\r\n\r\n" scan
+/// position across calls — pass a variable holding std::string::npos for a
+/// fresh message and reset it to npos after consuming the framed bytes.
+/// Both the worker-pool read loop and the epoll reactor frame with this, so
+/// pipelined requests split across arbitrary TCP segment boundaries are
+/// reassembled identically in either connection model.
+size_t CompleteMessageBytes(std::string_view buffer, size_t* head_end);
 
 /// \brief Parses a full request (head + body) from raw bytes.
 netmark::Result<HttpRequest> ParseRequest(std::string_view raw);

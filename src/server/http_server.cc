@@ -15,44 +15,40 @@
 #include "common/clock.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "server/epoll_reactor.h"
 
 namespace netmark::server {
 
 namespace {
 
-constexpr size_t kMaxMessageBytes = 64 * 1024 * 1024;
 /// Poll slice so blocked reads re-check draining_ promptly.
 constexpr int kPollSliceMs = 100;
-/// Once draining, any in-progress read gets at most this much longer.
-constexpr int64_t kDrainGraceMicros = 200 * 1000;
 
-netmark::Status WriteAll(int fd, std::string_view data) {
+/// Writes all of `data`, polling through EAGAIN until `deadline_micros`
+/// (monotonic). Bounds how long a worker can be held by a client that
+/// stops reading its response.
+netmark::Status WriteAll(int fd, std::string_view data,
+                         int64_t deadline_micros) {
   size_t sent = 0;
   while (sent < data.size()) {
     ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        int64_t now = netmark::MonotonicMicros();
+        if (now >= deadline_micros) {
+          return netmark::Status::IOError("send: response write deadline");
+        }
         pollfd pfd{fd, POLLOUT, 0};
-        if (::poll(&pfd, 1, kPollSliceMs) >= 0) continue;
+        int slice = static_cast<int>(std::min<int64_t>(
+            (deadline_micros - now) / 1000 + 1, kPollSliceMs));
+        if (::poll(&pfd, 1, slice) >= 0) continue;
       }
       return netmark::Status::IOError(std::string("send: ") + std::strerror(errno));
     }
     sent += static_cast<size_t>(n);
   }
   return netmark::Status::OK();
-}
-
-/// Parses Content-Length out of a raw head (bytes [0, head_end)).
-size_t ParseContentLength(const std::string& buffer, size_t head_end) {
-  std::string head = netmark::ToLower(buffer.substr(0, head_end));
-  size_t cl = head.find("content-length:");
-  if (cl == std::string::npos) return 0;
-  size_t eol = head.find("\r\n", cl);
-  auto value = netmark::ParseInt64(head.substr(
-      cl + 15, eol == std::string::npos ? std::string::npos : eol - cl - 15));
-  if (value.ok() && *value >= 0) return static_cast<size_t>(*value);
-  return 0;
 }
 
 enum class ReadOutcome {
@@ -63,12 +59,13 @@ enum class ReadOutcome {
   kError,       ///< mid-request EOF or socket error (close quietly)
 };
 
-/// Reads one full HTTP message (head + Content-Length body) from `fd` into
-/// `*message`. `buffer` carries leftover bytes between calls, so pipelined
-/// requests on a keep-alive connection are handled. The idle deadline
-/// applies while waiting for the request's first byte, the (fresher) read
-/// deadline from then on; `draining` cuts both short so Stop() never waits
-/// a full idle timeout.
+/// Reads one full HTTP message (framed by CompleteMessageBytes) from `fd`
+/// into `*message`. `buffer` carries leftover bytes between calls, so
+/// pipelined requests on a keep-alive connection are handled. The idle
+/// deadline applies while waiting for the request's first byte, the
+/// (fresher) read deadline from then on; `draining` cuts both short so
+/// Stop() never waits a full idle timeout. Threadpool model only — the
+/// epoll reactor frames incrementally off readiness events instead.
 ReadOutcome ReadOneMessage(int fd, std::string& buffer,
                            const HttpServerOptions& options,
                            const std::atomic<bool>& draining,
@@ -77,7 +74,7 @@ ReadOutcome ReadOneMessage(int fd, std::string& buffer,
   const int64_t idle_deadline = start + int64_t{options.idle_timeout_ms} * 1000;
   int64_t read_deadline = 0;  // set once the request's first byte is in
   int64_t drain_deadline = 0;
-  size_t head_end = buffer.find("\r\n\r\n");
+  size_t head_end = std::string::npos;
   bool message_started = !buffer.empty();
   if (message_started) {
     read_deadline = start + int64_t{options.read_timeout_ms} * 1000;
@@ -85,15 +82,13 @@ ReadOutcome ReadOneMessage(int fd, std::string& buffer,
 
   char chunk[4096];
   while (true) {
-    if (head_end != std::string::npos) {
-      size_t total = head_end + 4 + ParseContentLength(buffer, head_end);
-      if (buffer.size() >= total) {
-        message->assign(buffer, 0, total);
-        buffer.erase(0, total);
-        return ReadOutcome::kMessage;
-      }
+    size_t total = CompleteMessageBytes(buffer, &head_end);
+    if (total > 0) {
+      message->assign(buffer, 0, total);
+      buffer.erase(0, total);
+      return ReadOutcome::kMessage;
     }
-    if (buffer.size() > kMaxMessageBytes) return ReadOutcome::kError;
+    if (buffer.size() > kMaxHttpMessageBytes) return ReadOutcome::kError;
 
     int64_t now = netmark::MonotonicMicros();
     int64_t deadline = message_started ? read_deadline : idle_deadline;
@@ -128,11 +123,23 @@ ReadOutcome ReadOneMessage(int fd, std::string& buffer,
       read_deadline =
           netmark::MonotonicMicros() + int64_t{options.read_timeout_ms} * 1000;
     }
-    if (head_end == std::string::npos) head_end = buffer.find("\r\n\r\n");
   }
 }
 
 }  // namespace
+
+netmark::Result<ReactorModel> ParseReactorModel(std::string_view text) {
+  std::string lower = netmark::ToLower(netmark::Trim(text));
+  if (lower == "epoll") return ReactorModel::kEpoll;
+  if (lower == "threadpool") return ReactorModel::kThreadPool;
+  return netmark::Status::InvalidArgument(
+      "unknown reactor model: '" + std::string(text) +
+      "' (expected epoll|threadpool)");
+}
+
+std::string_view ReactorModelName(ReactorModel model) {
+  return model == ReactorModel::kEpoll ? "epoll" : "threadpool";
+}
 
 HttpServer::HttpServer(Handler handler, HttpServerOptions options)
     : handler_(std::move(handler)), options_(options) {
@@ -164,6 +171,8 @@ void HttpServer::BindHandles() {
       metrics_->GetCounter("netmark_http_read_timeouts_total");
   handles_.keepalive_reuses =
       metrics_->GetCounter("netmark_http_keepalive_reuses_total");
+  handles_.epoll_wakeups =
+      metrics_->GetCounter("netmark_http_server_epoll_wakeups_total");
   metrics_->SetCallbackGauge("netmark_http_pool_threads", {}, [this] {
     return static_cast<double>(options_.worker_threads);
   });
@@ -173,6 +182,10 @@ void HttpServer::BindHandles() {
   metrics_->SetCallbackGauge("netmark_http_active_connections", {}, [this] {
     return static_cast<double>(
         active_connections_.load(std::memory_order_relaxed));
+  });
+  metrics_->SetCallbackGauge("netmark_http_server_open_connections", {}, [this] {
+    return static_cast<double>(
+        open_connections_.load(std::memory_order_relaxed));
   });
 }
 
@@ -202,14 +215,33 @@ netmark::Status HttpServer::Start(uint16_t port) {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
 
-  queue_ = std::make_unique<WorkQueue<QueuedConn>>(options_.accept_queue_capacity);
   queue_depth_.store(0);
   draining_.store(false);
   running_.store(true);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
   workers_.reserve(static_cast<size_t>(options_.worker_threads));
-  for (int i = 0; i < options_.worker_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+  if (options_.reactor == ReactorModel::kEpoll) {
+    request_queue_ =
+        std::make_unique<WorkQueue<FramedRequest>>(options_.accept_queue_capacity);
+    reactor_ = std::make_unique<EpollReactor>(this);
+    netmark::Status init = reactor_->Init();
+    if (!init.ok()) {
+      running_.store(false);
+      reactor_.reset();
+      request_queue_.reset();
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return init;
+    }
+    accept_thread_ = std::thread([this] { reactor_->Run(); });
+    for (int i = 0; i < options_.worker_threads; ++i) {
+      workers_.emplace_back([this] { ReactorWorkerLoop(); });
+    }
+  } else {
+    queue_ = std::make_unique<WorkQueue<QueuedConn>>(options_.accept_queue_capacity);
+    accept_thread_ = std::thread([this] { AcceptLoop(); });
+    for (int i = 0; i < options_.worker_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
   }
   return netmark::Status::OK();
 }
@@ -217,14 +249,20 @@ netmark::Status HttpServer::Start(uint16_t port) {
 void HttpServer::Stop() {
   if (!running_.exchange(false)) return;
   // Drain: stop accepting first, then let workers finish the queued and
-  // in-flight connections (their responses switch to Connection: close).
+  // in-flight requests (their responses switch to Connection: close). Under
+  // epoll the reactor thread additionally waits for every dispatched
+  // request's completion before exiting, so no connection is torn down with
+  // a worker still writing on it.
   draining_.store(true);
+  if (reactor_ != nullptr) reactor_->Wake();
   if (accept_thread_.joinable()) accept_thread_.join();
   if (queue_ != nullptr) queue_->Close();
+  if (request_queue_ != nullptr) request_queue_->Close();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+  reactor_.reset();  // after worker join: workers post completions into it
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -236,7 +274,20 @@ void HttpServer::AcceptLoop() {
   while (running_.load()) {
     pollfd pfd{listen_fd_, POLLIN, 0};
     int ready = ::poll(&pfd, 1, kPollSliceMs);
-    if (ready <= 0) continue;  // timeout/EINTR: re-check running_
+    if (ready < 0) {
+      if (errno == EINTR) {
+        // A signal is not a timeout: re-check the stop flag explicitly so a
+        // drain that lands mid-poll is honored before the next wait.
+        if (!running_.load()) return;
+        continue;
+      }
+      accept_errors_.fetch_add(1);
+      handles_.accept_errors->Increment();
+      NETMARK_LOG(Warning) << "poll(listen): " << std::strerror(errno);
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      continue;
+    }
+    if (ready == 0) continue;  // timeout: loop condition re-checks running_
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
@@ -252,6 +303,7 @@ void HttpServer::AcceptLoop() {
       continue;
     }
     connections_accepted_.fetch_add(1);
+    open_connections_.fetch_add(1);
     if (queue_->TryPush(QueuedConn{fd, netmark::MonotonicMicros()})) {
       queue_depth_.fetch_add(1, std::memory_order_relaxed);
     } else {
@@ -263,8 +315,11 @@ void HttpServer::AcceptLoop() {
           HttpResponse::Text(503, "server overloaded, retry shortly");
       resp.headers["Connection"] = "close";
       resp.headers["Retry-After"] = "1";
-      (void)WriteAll(fd, resp.Serialize());
+      (void)WriteAll(fd, resp.Serialize(),
+                     netmark::MonotonicMicros() +
+                         int64_t{options_.read_timeout_ms} * 1000);
       ::close(fd);
+      open_connections_.fetch_sub(1);
     }
   }
 }
@@ -301,7 +356,9 @@ void HttpServer::ServeConnection(int fd, int64_t queue_wait_micros) {
       handles_.read_timeouts->Increment();
       HttpResponse resp = HttpResponse::Text(408, "request read timed out");
       resp.headers["Connection"] = "close";
-      (void)WriteAll(fd, resp.Serialize());
+      (void)WriteAll(fd, resp.Serialize(),
+                     netmark::MonotonicMicros() +
+                         int64_t{options_.read_timeout_ms} * 1000);
       break;
     }
     if (outcome != ReadOutcome::kMessage) break;  // idle reap / EOF / error
@@ -337,11 +394,68 @@ void HttpServer::ServeConnection(int fd, int64_t queue_wait_micros) {
                 served < options_.max_requests_per_connection &&
                 !draining_.load(std::memory_order_relaxed);
     response.headers["Connection"] = keep ? "keep-alive" : "close";
-    if (!WriteAll(fd, response.Serialize()).ok()) break;
-    if (!keep) break;
+    netmark::Status written =
+        WriteAll(fd, response.Serialize(),
+                 netmark::MonotonicMicros() +
+                     int64_t{options_.read_timeout_ms} * 1000);
+    if (!written.ok() || !keep) break;
   }
   ::close(fd);
+  open_connections_.fetch_sub(1);
   active_connections_.fetch_sub(1);
+}
+
+void HttpServer::ReactorWorkerLoop() {
+  while (true) {
+    std::optional<FramedRequest> request = request_queue_->Pop();
+    if (!request.has_value()) return;  // closed and drained
+    queue_depth_.fetch_sub(1, std::memory_order_relaxed);
+    active_connections_.fetch_add(1);
+    bool keep = ServeFramedRequest(*request);
+    active_connections_.fetch_sub(1);
+    reactor_->Complete(Completion{request->fd, request->conn_id, keep});
+  }
+}
+
+bool HttpServer::ServeFramedRequest(const FramedRequest& framed) {
+  const int64_t popped = netmark::MonotonicMicros();
+  HttpResponse response;
+  bool parsed = false;
+  bool client_close = false;
+  auto request = ParseRequest(framed.raw);
+  const int64_t parse_micros =
+      std::max<int64_t>(netmark::MonotonicMicros() - popped, 1);
+  if (!request.ok()) {
+    NETMARK_LOG(Debug) << "bad request: " << request.status();
+    response = HttpResponse::BadRequest(request.status().ToString());
+  } else {
+    parsed = true;
+    // Under the reactor every request sits in the handoff queue, so every
+    // request carries a real queue_wait span (the threadpool model only
+    // queued whole connections, so only the first request had one).
+    request->queue_wait_micros =
+        std::max<int64_t>(popped - framed.enqueued_micros, 1);
+    request->parse_micros = parse_micros;
+    client_close =
+        netmark::EqualsIgnoreCase(request->Header("Connection"), "close");
+    response = handler_(*request);
+  }
+  const int served = framed.served_before + 1;
+  requests_served_.fetch_add(1);
+  handles_.requests->Increment();
+  if (served > 1) {
+    keepalive_reuses_.fetch_add(1);
+    handles_.keepalive_reuses->Increment();
+  }
+  bool keep = parsed && !client_close &&
+              served < options_.max_requests_per_connection &&
+              !draining_.load(std::memory_order_relaxed);
+  response.headers["Connection"] = keep ? "keep-alive" : "close";
+  netmark::Status written =
+      WriteAll(framed.fd, response.Serialize(),
+               netmark::MonotonicMicros() +
+                   int64_t{options_.read_timeout_ms} * 1000);
+  return keep && written.ok();
 }
 
 }  // namespace netmark::server

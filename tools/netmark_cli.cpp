@@ -79,7 +79,11 @@ int Usage() {
                "plan_entries N (docs/query_cache.md)\n"
                "tracing knobs ([observability] INI section via --config):\n"
                "trace_sample_rate 0..1, trace_store_capacity N,\n"
-               "trace_slow_keep_ms N (docs/observability.md)\n");
+               "trace_slow_keep_ms N (docs/observability.md)\n"
+               "serving knobs ([server] INI section via --config):\n"
+               "reactor epoll|threadpool, worker_threads N,\n"
+               "accept_queue_capacity N, max_requests_per_connection N,\n"
+               "idle_timeout_ms N, read_timeout_ms N (docs/serving.md)\n");
   return 2;
 }
 
@@ -207,6 +211,35 @@ Status ApplyObservabilityFlags(const Args& args, NetmarkOptions* options) {
   return Status::OK();
 }
 
+// Serving knobs ([server] INI section via --config): reactor
+// epoll|threadpool plus the pool/queue/timeout sizing. Resolved before Open
+// so StartServer (serve command, tests through the CLI) picks the
+// connection model up without extra plumbing (docs/serving.md).
+Status ApplyServerFlags(const Args& args, NetmarkOptions* options) {
+  auto config_flag = args.flags.find("config");
+  if (config_flag == args.flags.end()) return Status::OK();
+  NETMARK_ASSIGN_OR_RETURN(Config config, Config::Load(config_flag->second));
+  auto reactor = config.Get("server", "reactor");
+  if (reactor.ok()) {
+    NETMARK_ASSIGN_OR_RETURN(options->http_server.reactor,
+                             server::ParseReactorModel(*reactor));
+  }
+  server::HttpServerOptions& http = options->http_server;
+  http.worker_threads = static_cast<int>(
+      config.GetIntOr("server", "worker_threads", http.worker_threads));
+  http.accept_queue_capacity = static_cast<size_t>(
+      config.GetIntOr("server", "accept_queue_capacity",
+                      static_cast<int64_t>(http.accept_queue_capacity)));
+  http.max_requests_per_connection = static_cast<int>(
+      config.GetIntOr("server", "max_requests_per_connection",
+                      http.max_requests_per_connection));
+  http.idle_timeout_ms = static_cast<int>(
+      config.GetIntOr("server", "idle_timeout_ms", http.idle_timeout_ms));
+  http.read_timeout_ms = static_cast<int>(
+      config.GetIntOr("server", "read_timeout_ms", http.read_timeout_ms));
+  return Status::OK();
+}
+
 Result<std::unique_ptr<Netmark>> OpenFromArgs(const Args& args) {
   auto it = args.flags.find("data");
   if (it == args.flags.end()) {
@@ -217,6 +250,7 @@ Result<std::unique_ptr<Netmark>> OpenFromArgs(const Args& args) {
   NETMARK_RETURN_NOT_OK(ApplyStorageFlags(args, &options.storage));
   NETMARK_RETURN_NOT_OK(ApplyQueryFlags(args, &options));
   NETMARK_RETURN_NOT_OK(ApplyObservabilityFlags(args, &options));
+  NETMARK_RETURN_NOT_OK(ApplyServerFlags(args, &options));
   // NETMARK_DISK_FAULT=kind:nth wraps every storage file in a deterministic
   // fault injector (tools/disk_torture.sh drives this). The Env must outlive
   // the store, so it lives for the remainder of the process.
@@ -352,8 +386,14 @@ int CmdServe(const Args& args) {
   }
   Status st = (*nm)->StartServer(port);
   if (!st.ok()) return Fail(st.ToString());
-  std::printf("NETMARK serving on http://127.0.0.1:%u  (Ctrl-C to stop)\n",
-              (*nm)->server_port());
+  std::printf("NETMARK serving on http://127.0.0.1:%u  [reactor=%.*s]"
+              "  (Ctrl-C to stop)\n",
+              (*nm)->server_port(),
+              static_cast<int>(
+                  server::ReactorModelName((*nm)->http_server_options().reactor)
+                      .size()),
+              server::ReactorModelName((*nm)->http_server_options().reactor)
+                  .data());
 
   static volatile std::sig_atomic_t stop_requested = 0;
   std::signal(SIGINT, [](int) { stop_requested = 1; });

@@ -11,6 +11,11 @@
 # /metrics carries at least one histogram exemplar, and that the
 # `netmark traces` CLI renders the flame view.
 #
+# Both instances run with an explicit `[server] reactor = epoll` config, so
+# the whole mediator+remote topology is exercised through the epoll reactor
+# (the INI knob path included), and the scrape asserts the reactor gauges
+# (netmark_http_server_open_connections, _epoll_wakeups_total) are exported.
+#
 # Usage: tools/smoke_observability.sh [path/to/netmark] [port]
 set -euo pipefail
 
@@ -45,9 +50,17 @@ mkdir -p "${WORK}/data" "${WORK}/drop" "${WORK}/remote-data" "${WORK}/remote-dro
 printf 'OVERVIEW\nsmoke engine nominal\n' > "${WORK}/drop/memo.txt"
 printf 'OVERVIEW\nremote thruster anomaly\n' > "${WORK}/remote-drop/anomaly.txt"
 
+# Pin the connection model explicitly so this smoke keeps covering the
+# epoll reactor (INI plumbing included) even if the default ever changes.
+cat > "${WORK}/server.ini" <<EOF
+[server]
+reactor = epoll
+EOF
+
 # Second instance: the remote half of the federated hop.
 "${BIN}" serve --data "${WORK}/remote-data" --port "${REMOTE_PORT}" \
-  --drop "${WORK}/remote-drop" > "${WORK}/remote.log" 2>&1 &
+  --drop "${WORK}/remote-drop" --config "${WORK}/server.ini" \
+  > "${WORK}/remote.log" 2>&1 &
 REMOTE_PID=$!
 
 # The mediator reaches it through a declared databank.
@@ -62,7 +75,8 @@ sources = smoke-remote
 EOF
 
 "${BIN}" serve --data "${WORK}/data" --port "${PORT}" --drop "${WORK}/drop" \
-  --databanks "${WORK}/databanks.ini" > "${WORK}/serve.log" 2>&1 &
+  --databanks "${WORK}/databanks.ini" --config "${WORK}/server.ini" \
+  > "${WORK}/serve.log" 2>&1 &
 SERVER_PID=$!
 
 for _ in $(seq 1 100); do
@@ -160,6 +174,14 @@ grep -q 'netmark_ingest_prepare_micros_bucket{le="+Inf"} 1' "${WORK}/metrics.txt
 grep -q '^netmark_build_info{' "${WORK}/metrics.txt" || fail "missing build info gauge"
 grep -q 'netmark_traces_retained_total' "${WORK}/metrics.txt" ||
   fail "missing trace retention counter"
+# Reactor observability: the open-connections gauge must be exported and
+# count this scrape's own socket; the wakeup counter must have moved.
+grep -q '^# TYPE netmark_http_server_open_connections gauge' \
+  "${WORK}/metrics.txt" || fail "missing open-connections gauge TYPE line"
+grep -q '^netmark_http_server_open_connections [1-9]' "${WORK}/metrics.txt" ||
+  fail "open-connections gauge not exported or zero during a live scrape"
+grep -q '^netmark_http_server_epoll_wakeups_total [1-9]' "${WORK}/metrics.txt" ||
+  fail "epoll wakeup counter not exported or zero under reactor=epoll"
 # Exemplar: at least one latency bucket links to a retained trace id.
 grep -q '_bucket{le="[^"]*"} [0-9]* # {trace_id="[0-9a-f]\{32\}"}' \
   "${WORK}/metrics.txt" || fail "no histogram exemplar on /metrics"
