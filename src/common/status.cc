@@ -32,6 +32,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Deadline exceeded";
     case StatusCode::kDataLoss:
       return "Data loss";
+    case StatusCode::kSnapshotTooOld:
+      return "Snapshot too old";
   }
   return "Unknown";
 }

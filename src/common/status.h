@@ -31,6 +31,7 @@ enum class StatusCode : int {
   kInternal = 11,
   kDeadlineExceeded = 12,
   kDataLoss = 13,
+  kSnapshotTooOld = 14,
 };
 
 /// \brief Human-readable name of a StatusCode ("Invalid argument", ...).
@@ -103,6 +104,9 @@ class Status {
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
   }
+  static Status SnapshotTooOld(std::string msg) {
+    return Status(StatusCode::kSnapshotTooOld, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -124,6 +128,7 @@ class Status {
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsDeadlineExceeded() const { return code() == StatusCode::kDeadlineExceeded; }
   bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
+  bool IsSnapshotTooOld() const { return code() == StatusCode::kSnapshotTooOld; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

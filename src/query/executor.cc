@@ -34,6 +34,25 @@ using xmlstore::NodeRecord;
   }                                                         \
   auto lhs = std::move(*lhs##_or);
 
+// Text-index candidate verification: postings are writer-latest (docs/
+// mvcc.md), so a seed RowId may point at a row that is deleted, not yet
+// committed, or simply invisible at this snapshot's epoch — the store
+// answers NotFound, and the candidate is silently dropped (it is not data
+// loss, just MVCC staleness). DataLoss still counts as a quarantine skip.
+#define NETMARK_SKIP_STALE_OR_DATALOSS(lhs, expr, stats, on_skip) \
+  auto lhs##_or = (expr);                                         \
+  if (!lhs##_or.ok()) {                                           \
+    if (lhs##_or.status().IsNotFound()) {                         \
+      on_skip;                                                    \
+    }                                                             \
+    if (lhs##_or.status().IsDataLoss()) {                         \
+      ++(stats).quarantined_skips;                                \
+      on_skip;                                                    \
+    }                                                             \
+    return lhs##_or.status();                                     \
+  }                                                               \
+  auto lhs = std::move(*lhs##_or);
+
 netmark::Result<std::vector<RowId>> QueryExecutor::ClauseNodes(
     const QueryClause& clause, Stats& stats) const {
   ++stats.index_probes;
@@ -98,7 +117,7 @@ netmark::Result<std::vector<QueryHit>> QueryExecutor::ContentOnly(
     NETMARK_ASSIGN_OR_RETURN(std::vector<RowId> nodes, ClauseNodes(clause, stats));
     std::set<int64_t> clause_docs;
     for (RowId id : nodes) {
-      NETMARK_SKIP_ON_DATALOSS(rec, store_->GetNode(id), stats, continue);
+      NETMARK_SKIP_STALE_OR_DATALOSS(rec, store_->GetNode(id), stats, continue);
       if (doc_scope != 0 && rec.doc_id != doc_scope) continue;
       clause_docs.insert(rec.doc_id);
       first_match.emplace(rec.doc_id, id);
@@ -188,7 +207,7 @@ netmark::Result<std::vector<QueryHit>> QueryExecutor::SectionQuery(
     NETMARK_ASSIGN_OR_RETURN(std::vector<RowId> nodes, ClauseNodes(clause, stats));
     std::set<uint64_t> clause_contexts;
     for (RowId node : nodes) {
-      NETMARK_SKIP_ON_DATALOSS(rec, store_->GetNode(node), stats, continue);
+      NETMARK_SKIP_STALE_OR_DATALOSS(rec, store_->GetNode(node), stats, continue);
       if (query.doc_id != 0 && rec.doc_id != query.doc_id) continue;
       NETMARK_SKIP_ON_DATALOSS(ctx, Walk(node, stats), stats, continue);
       if (ctx.valid()) clause_contexts.insert(ctx.Pack());
@@ -263,7 +282,7 @@ netmark::Result<std::vector<QueryHit>> QueryExecutor::SectionQuerySpecialized(
     NETMARK_ASSIGN_OR_RETURN(std::vector<RowId> nodes, ClauseNodes(clause, stats));
     std::set<uint64_t> clause_contexts;
     for (RowId node : nodes) {
-      NETMARK_SKIP_ON_DATALOSS(rec, store_->GetNode(node), stats, continue);
+      NETMARK_SKIP_STALE_OR_DATALOSS(rec, store_->GetNode(node), stats, continue);
       if (query.doc_id != 0 && rec.doc_id != query.doc_id) continue;
       NETMARK_SKIP_ON_DATALOSS(ctx, Walk(node, stats), stats, continue);
       if (ctx.valid()) clause_contexts.insert(ctx.Pack());

@@ -409,6 +409,15 @@ HttpResponse NetmarkService::HandleHealthz() {
       ",\"checkpoints\":" + std::to_string(db->checkpoints()) +
       ",\"degraded\":" + (store_degraded ? "true" : "false") +
       ",\"degraded_reason\":\"" + EscapeJson(store_->degraded_reason()) + "\"" +
+      // MVCC version lifecycle (docs/mvcc.md): how much history the pager is
+      // holding, the GC watermark, and total reclaim work done.
+      ",\"mvcc\":{\"epoch\":" + std::to_string(store_->commit_epoch()) +
+      ",\"versions_retained\":" +
+      std::to_string(store_->mvcc_versions_retained()) +
+      ",\"oldest_pinned_epoch\":" +
+      std::to_string(store_->OldestPinnedEpoch()) +
+      ",\"gc_reclaimed_total\":" +
+      std::to_string(store_->mvcc_versions_reclaimed()) + "}" +
       ",\"quarantine\":" + quarantine_json +
       ",\"recovery\":{\"performed\":" + (rec.performed ? "true" : "false") +
       ",\"committed_txns\":" + std::to_string(rec.committed_txns) +

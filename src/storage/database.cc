@@ -199,16 +199,13 @@ bool Database::ShouldCheckpoint() const {
 
 netmark::Status Database::StagePendingAndUpgrades() {
   // One v0→v1 format scan per open: pages with spare trailer room are
-  // upgraded in place and marked dirty so this checkpoint persists them.
+  // upgraded (in MVCC mode the published current version is swapped for an
+  // upgraded clone) and land in dirty-since-mark so this checkpoint stages
+  // and persists them. Unreadable pages are left as is.
   if (!upgrade_scan_done_) {
     upgrade_scan_done_ = true;
     for (auto& [name, table] : tables_) {
-      Pager* pager = table->mutable_pager();
-      for (PageId id = 0; id < pager->page_count(); ++id) {
-        auto page = pager->Fetch(id);
-        if (!page.ok()) continue;  // quarantined/unreadable: leave as is
-        if (PageTryUpgradeV1(page->raw())) pager->MarkDirty(id);
-      }
+      (void)table->mutable_pager()->UpgradeAllV0();
     }
   }
   // Stage every pending dirty-since-mark image (format upgrades plus junk
@@ -228,7 +225,14 @@ netmark::Status Database::StagePendingAndUpgrades() {
     }
   }
   if (staged == 0) return netmark::Status::OK();
-  return wal_->AppendCommit(txn);
+  NETMARK_RETURN_NOT_OK(wal_->AppendCommit(txn));
+  // MVCC: the staged images included any unpublished working copies (junk
+  // from abandoned transactions). Publish them now so the flush below writes
+  // them under log coverage — otherwise their dirty-since-mark entry is
+  // consumed here but the bytes would reach the heap only after a *later*
+  // commit, without a staged image to replay over a torn write.
+  if (options_.mvcc_snapshots) PublishVersions();
+  return netmark::Status::OK();
 }
 
 netmark::Status Database::Checkpoint() {
@@ -264,6 +268,45 @@ netmark::Status Database::Checkpoint() {
   last_checkpoint_lsn_ = wal_->last_lsn();
   ++checkpoints_;
   return netmark::Status::OK();
+}
+
+Epoch Database::PublishVersions() {
+  // Writer thread only (serialized with DDL by the store-level write lock),
+  // so the relaxed read of our own last store is safe. The publish store is
+  // seq_cst — see commit_epoch() for why.
+  Epoch epoch = commit_epoch_.load(std::memory_order_relaxed) + 1;
+  for (auto& [name, table] : tables_) {
+    table->mutable_pager()->Publish(epoch);
+    table->SealPendingRemovals(epoch);
+  }
+  commit_epoch_.store(epoch, std::memory_order_seq_cst);
+  return epoch;
+}
+
+uint64_t Database::ReclaimVersions(const std::vector<Epoch>& pins, Epoch cap) {
+  const Epoch watermark = pins.empty() ? cap : pins.front();
+  uint64_t reclaimed = 0;
+  for (auto& [name, table] : tables_) {
+    reclaimed += table->mutable_pager()->ReclaimVersions(pins, cap);
+    table->ApplyPendingRemovals(watermark);
+  }
+  return reclaimed;
+}
+
+uint64_t Database::retained_versions() const {
+  uint64_t total = 0;
+  for (const auto& [name, table] : tables_) {
+    total += table->pager().retained_versions();
+  }
+  return total;
+}
+
+uint64_t Database::versions_reclaimed() const {
+  uint64_t total = 0;
+  for (const auto& [name, table] : tables_) {
+    total += table->pager().versions_reclaimed();
+  }
+  return total;
 }
 
 netmark::Status Database::SyncWal() {

@@ -54,6 +54,17 @@ struct StorageOptions {
   /// failed WAL/heap fsync instead of degrading to read-only (fail-stop for
   /// operators who prefer a supervisor restart over a limping store).
   bool abort_on_fsync_error = false;
+  /// MVCC page snapshots: epoch-versioned, copy-on-write pages so readers
+  /// never block the writer (docs/mvcc.md). Enabled by the XML store; plain
+  /// Database users keep the legacy single-buffer pager.
+  bool mvcc_snapshots = false;
+  /// `[storage] mvcc_gc_interval_ms`: background version-GC cadence.
+  /// Enforced by the XML store, which owns the GC thread.
+  int mvcc_gc_interval_ms = 50;
+  /// `[storage] mvcc_max_retained_versions`: bound on published versions
+  /// kept per page (0 = unlimited). Readers pinned before the surviving
+  /// window get Status::SnapshotTooOld.
+  int mvcc_max_retained_versions = 0;
 };
 
 /// \brief A set of tables persisted under one directory.
@@ -108,6 +119,36 @@ class Database {
   /// daemon calls this once per sweep).
   netmark::Status SyncWal();
 
+  // --- MVCC (active when StorageOptions::mvcc_snapshots is set) ----------
+
+  /// Epoch of the latest published commit (0 = the state at Open, WAL
+  /// recovery included). Lock-free; safe from any thread. seq_cst on
+  /// purpose: the reader pin protocol's claim-recheck and the GC's cap rely
+  /// on epoch stores, pin writes, and pin scans sharing one total order
+  /// (docs/mvcc.md).
+  Epoch commit_epoch() const {
+    return commit_epoch_.load(std::memory_order_seq_cst);
+  }
+
+  /// Commit publication: atomically publishes every table's dirty working
+  /// pages under the next epoch and seals queued index removals with it.
+  /// Call after a successful CommitTransaction (writer thread only).
+  /// Returns the new epoch.
+  Epoch PublishVersions();
+
+  /// Version GC: drops page versions and applies sealed index removals that
+  /// no pin in `pins` (sorted ascending, non-empty — it always contains the
+  /// epoch that was current when the GC pass began) can see. `cap` is that
+  /// pass-start epoch, bounding what the pager may drop (Pager::
+  /// ReclaimVersions); the oldest pin (pins.front()) is the watermark for
+  /// index removals. Returns the number of page versions reclaimed.
+  uint64_t ReclaimVersions(const std::vector<Epoch>& pins, Epoch cap);
+
+  /// Published page versions currently retained across all tables (gauge).
+  uint64_t retained_versions() const;
+  /// Total page versions dropped by GC or the retention cap (counter).
+  uint64_t versions_reclaimed() const;
+
   // --- Degraded (read-only) mode -----------------------------------------
   //
   // After a failed WAL append/fsync or a failed checkpoint write, the store
@@ -149,7 +190,15 @@ class Database {
   std::string DdlCounterPath() const;
   std::string WalPath() const;
   PagerOptions MakePagerOptions() const {
-    return PagerOptions{options_.env, options_.page_checksums};
+    PagerOptions po;
+    po.env = options_.env;
+    po.verify_checksums = options_.page_checksums;
+    po.mvcc = options_.mvcc_snapshots;
+    po.mvcc_max_retained_versions =
+        options_.mvcc_max_retained_versions > 0
+            ? static_cast<size_t>(options_.mvcc_max_retained_versions)
+            : 0;
+    return po;
   }
   /// Records the first failure that forces read-only mode (or aborts, per
   /// the on_fsync_error policy).
@@ -171,6 +220,7 @@ class Database {
   uint64_t last_checkpoint_lsn_ = 0;
   uint64_t checkpoints_ = 0;
   bool upgrade_scan_done_ = false;
+  std::atomic<Epoch> commit_epoch_{0};
 
   std::atomic<bool> degraded_{false};
   mutable std::mutex degraded_mu_;

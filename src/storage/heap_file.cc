@@ -35,22 +35,24 @@ netmark::Result<HeapFile> HeapFile::Open(Pager* pager) {
   // Recover the append page (highest data page) and the live-record count.
   // Quarantined (bad-checksum) pages are skipped so the store still opens:
   // their records surface as DataLoss on access, not as a failure to start.
+  uint64_t live = 0;
   for (PageId id = 0; id < pager->page_count(); ++id) {
-    auto fetched = pager->Fetch(id);
+    auto fetched = pager->FetchAt(id, kLatestEpoch);
     if (!fetched.ok()) {
       if (fetched.status().IsDataLoss()) continue;
       return fetched.status();
     }
-    Page page = *fetched;
+    Page page = fetched->page();
     if (ReadMarker(page.raw()) == kOverflowMarker) continue;
     hf.tail_ = id;
     for (uint16_t s = 0; s < page.slot_count(); ++s) {
       std::string_view rec = page.Get(s);
       if (rec.empty()) continue;
       uint8_t flags = static_cast<uint8_t>(rec[0]);
-      if ((flags & (kForwardFlag | kRelocatedFlag)) == 0) ++hf.live_records_;
+      if ((flags & (kForwardFlag | kRelocatedFlag)) == 0) ++live;
     }
   }
+  hf.live_records_.store(live, std::memory_order_relaxed);
   return hf;
 }
 
@@ -107,7 +109,8 @@ netmark::Result<std::string> HeapFile::WriteOverflowPayload(std::string_view rec
   return payload;
 }
 
-netmark::Result<std::string> HeapFile::ReadOverflow(std::string_view payload) const {
+netmark::Result<std::string> HeapFile::ReadOverflow(std::string_view payload,
+                                                    Epoch epoch) const {
   if (payload.size() != 12) {
     return netmark::Status::Corruption("bad overflow descriptor size");
   }
@@ -118,8 +121,10 @@ netmark::Result<std::string> HeapFile::ReadOverflow(std::string_view payload) co
   std::string out;
   out.reserve(total);
   while (pid != kInvalidPage) {
-    NETMARK_ASSIGN_OR_RETURN(Page page, pager_->Fetch(pid));
-    const uint8_t* raw = page.raw();
+    // Overflow pages are born with their record and never rewritten (space
+    // is not reused), so they are visible at every epoch the record is.
+    NETMARK_ASSIGN_OR_RETURN(PageRef ref, pager_->FetchAt(pid, epoch));
+    const uint8_t* raw = ref.raw();
     if (ReadMarker(raw) != kOverflowMarker) {
       return netmark::Status::Corruption("overflow chain reached a data page");
     }
@@ -159,14 +164,15 @@ netmark::Result<RowId> HeapFile::InsertTagged(std::string_view record,
 
 netmark::Result<RowId> HeapFile::Insert(std::string_view record) {
   NETMARK_ASSIGN_OR_RETURN(RowId id, InsertTagged(record, 0));
-  ++live_records_;
+  live_records_.fetch_add(1, std::memory_order_relaxed);
   return id;
 }
 
-netmark::Result<RowId> HeapFile::Resolve(RowId id) const {
+netmark::Result<RowId> HeapFile::Resolve(RowId id, Epoch epoch) const {
   RowId cur = id;
   for (int hops = 0; hops < 64; ++hops) {
-    NETMARK_ASSIGN_OR_RETURN(Page page, pager_->Fetch(cur.page));
+    NETMARK_ASSIGN_OR_RETURN(PageRef ref, pager_->FetchAt(cur.page, epoch));
+    Page page = ref.page();
     std::string_view rec = page.Get(cur.slot);
     if (rec.empty()) {
       return netmark::Status::NotFound("no record at " + id.ToString());
@@ -181,22 +187,23 @@ netmark::Result<RowId> HeapFile::Resolve(RowId id) const {
   return netmark::Status::Corruption("forward chain too long at " + id.ToString());
 }
 
-netmark::Result<std::string> HeapFile::Get(RowId id) const {
-  NETMARK_ASSIGN_OR_RETURN(RowId loc, Resolve(id));
-  NETMARK_ASSIGN_OR_RETURN(Page page, pager_->Fetch(loc.page));
+netmark::Result<std::string> HeapFile::Get(RowId id, Epoch epoch) const {
+  NETMARK_ASSIGN_OR_RETURN(RowId loc, Resolve(id, epoch));
+  NETMARK_ASSIGN_OR_RETURN(PageRef ref, pager_->FetchAt(loc.page, epoch));
+  Page page = ref.page();
   std::string_view rec = page.Get(loc.slot);
   uint8_t flags = static_cast<uint8_t>(rec[0]);
-  if (flags & kOverflowFlag) return ReadOverflow(rec.substr(1));
+  if (flags & kOverflowFlag) return ReadOverflow(rec.substr(1), epoch);
   return std::string(rec.substr(1));
 }
 
-bool HeapFile::Exists(RowId id) const {
-  auto loc = Resolve(id);
+bool HeapFile::Exists(RowId id, Epoch epoch) const {
+  auto loc = Resolve(id, epoch);
   return loc.ok();
 }
 
 netmark::Status HeapFile::Update(RowId id, std::string_view record) {
-  NETMARK_ASSIGN_OR_RETURN(RowId loc, Resolve(id));
+  NETMARK_ASSIGN_OR_RETURN(RowId loc, Resolve(id, kWriterEpoch));
   NETMARK_ASSIGN_OR_RETURN(Page page, pager_->Fetch(loc.page));
   std::string_view old = page.Get(loc.slot);
   uint8_t old_flags = static_cast<uint8_t>(old[0]);
@@ -247,7 +254,7 @@ netmark::Status HeapFile::Update(RowId id, std::string_view record) {
 }
 
 netmark::Status HeapFile::Delete(RowId id) {
-  NETMARK_ASSIGN_OR_RETURN(RowId loc, Resolve(id));
+  NETMARK_ASSIGN_OR_RETURN(RowId loc, Resolve(id, kWriterEpoch));
   NETMARK_ASSIGN_OR_RETURN(Page page, pager_->Fetch(loc.page));
   page.Delete(loc.slot);
   pager_->MarkDirty(loc.page);
@@ -256,21 +263,25 @@ netmark::Status HeapFile::Delete(RowId id) {
     origin.Delete(id.slot);
     pager_->MarkDirty(id.page);
   }
-  --live_records_;
+  live_records_.fetch_sub(1, std::memory_order_relaxed);
   return netmark::Status::OK();
 }
 
 netmark::Status HeapFile::Scan(
-    const std::function<netmark::Status(RowId, std::string_view)>& fn) const {
+    const std::function<netmark::Status(RowId, std::string_view)>& fn,
+    Epoch epoch) const {
   for (PageId pid = 0; pid < pager_->page_count(); ++pid) {
     // Quarantined pages are invisible to scans; their documents are reported
-    // as DataLoss on direct access instead.
-    auto fetched = pager_->Fetch(pid);
+    // as DataLoss on direct access instead. Pages born after the snapshot's
+    // epoch hold only records it cannot see — skip them like empty pages.
+    auto fetched = pager_->FetchAt(pid, epoch);
     if (!fetched.ok()) {
-      if (fetched.status().IsDataLoss()) continue;
+      if (fetched.status().IsDataLoss() || fetched.status().IsNotFound()) {
+        continue;
+      }
       return fetched.status();
     }
-    Page page = *fetched;
+    Page page = fetched->page();
     if (ReadMarker(page.raw()) == kOverflowMarker) continue;
     for (uint16_t s = 0; s < page.slot_count(); ++s) {
       std::string_view rec = page.Get(s);
@@ -279,10 +290,11 @@ netmark::Status HeapFile::Scan(
       if (flags & kRelocatedFlag) continue;  // reached via its origin slot
       RowId rid(pid, s);
       if (flags & kForwardFlag) {
-        NETMARK_ASSIGN_OR_RETURN(std::string data, Get(rid));
+        NETMARK_ASSIGN_OR_RETURN(std::string data, Get(rid, epoch));
         NETMARK_RETURN_NOT_OK(fn(rid, data));
       } else if (flags & kOverflowFlag) {
-        NETMARK_ASSIGN_OR_RETURN(std::string data, ReadOverflow(rec.substr(1)));
+        NETMARK_ASSIGN_OR_RETURN(std::string data,
+                                 ReadOverflow(rec.substr(1), epoch));
         NETMARK_RETURN_NOT_OK(fn(rid, data));
       } else {
         NETMARK_RETURN_NOT_OK(fn(rid, rec.substr(1)));

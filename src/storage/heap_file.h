@@ -11,11 +11,19 @@
 //    addresses.
 //
 // Space freed by deletes/relocations is not reused — NETMARK's workload is
-// append-mostly bulk ingest, matching the paper's usage.
+// append-mostly bulk ingest, matching the paper's usage. No-reuse is also
+// what makes MVCC reads simple here: bytes reachable from a page version at
+// epoch E are never overwritten by later commits, so reading every page at
+// `epoch` yields a consistent record (docs/mvcc.md).
+//
+// Read methods take an Epoch: kLatestEpoch (default) serves the newest
+// published state, a pinned epoch serves that snapshot, and mutators pass
+// kWriterEpoch internally so a transaction sees its own uncommitted writes.
 
 #ifndef NETMARK_STORAGE_HEAP_FILE_H_
 #define NETMARK_STORAGE_HEAP_FILE_H_
 
+#include <atomic>
 #include <functional>
 #include <string>
 #include <string_view>
@@ -34,11 +42,24 @@ class HeapFile {
   /// headers (overflow pages are marked and skipped).
   static netmark::Result<HeapFile> Open(Pager* pager);
 
+  HeapFile(HeapFile&& other) noexcept
+      : pager_(other.pager_),
+        tail_(other.tail_),
+        live_records_(other.live_records_.load(std::memory_order_relaxed)) {}
+  HeapFile& operator=(HeapFile&& other) noexcept {
+    pager_ = other.pager_;
+    tail_ = other.tail_;
+    live_records_.store(other.live_records_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    return *this;
+  }
+
   /// Stores a record, returning its permanent RowId.
   netmark::Result<RowId> Insert(std::string_view record);
 
-  /// Fetches a record (assembling overflow chains, chasing forwards).
-  netmark::Result<std::string> Get(RowId id) const;
+  /// Fetches a record (assembling overflow chains, chasing forwards) as of
+  /// `epoch`. NotFound covers both "no record" and "page born after epoch".
+  netmark::Result<std::string> Get(RowId id, Epoch epoch = kLatestEpoch) const;
 
   /// Replaces a record's bytes; the RowId remains valid.
   netmark::Status Update(RowId id, std::string_view record);
@@ -46,16 +67,22 @@ class HeapFile {
   /// Removes a record.
   netmark::Status Delete(RowId id);
 
-  /// True if `id` addresses a live record.
-  bool Exists(RowId id) const;
+  /// True if `id` addresses a live record as of `epoch`.
+  bool Exists(RowId id, Epoch epoch = kLatestEpoch) const;
 
-  /// Visits every live record in physical order with its canonical RowId.
-  /// Stops early if `fn` returns a non-OK status (propagated).
+  /// Visits every record live as of `epoch` in physical order with its
+  /// canonical RowId. Pages born after `epoch` are skipped (they hold only
+  /// records the snapshot cannot see). Stops early if `fn` returns a non-OK
+  /// status (propagated).
   netmark::Status Scan(
-      const std::function<netmark::Status(RowId, std::string_view)>& fn) const;
+      const std::function<netmark::Status(RowId, std::string_view)>& fn,
+      Epoch epoch = kLatestEpoch) const;
 
   /// Number of live records (maintained incrementally; recomputed at Open).
-  uint64_t live_records() const { return live_records_; }
+  /// Counts the writer's view — unpublished inserts included.
+  uint64_t live_records() const {
+    return live_records_.load(std::memory_order_relaxed);
+  }
 
  private:
   explicit HeapFile(Pager* pager) : pager_(pager) {}
@@ -67,14 +94,16 @@ class HeapFile {
 
   netmark::Result<RowId> InsertTagged(std::string_view record, uint8_t extra_flags);
   netmark::Result<RowId> AppendSlot(std::string_view payload);
-  netmark::Result<std::string> ReadOverflow(std::string_view payload) const;
+  netmark::Result<std::string> ReadOverflow(std::string_view payload,
+                                            Epoch epoch) const;
   netmark::Result<std::string> WriteOverflowPayload(std::string_view record);
   /// Follows forward pointers from `id` to the slot holding the data.
-  netmark::Result<RowId> Resolve(RowId id) const;
+  netmark::Result<RowId> Resolve(RowId id, Epoch epoch) const;
 
   Pager* pager_;
   PageId tail_ = kInvalidPage;  // current append page
-  uint64_t live_records_ = 0;
+  /// Atomic so metrics/healthz threads may read while the writer inserts.
+  std::atomic<uint64_t> live_records_{0};
 };
 
 }  // namespace netmark::storage

@@ -1,10 +1,25 @@
 #include "storage/pager.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/string_util.h"
 
 namespace netmark::storage {
+
+namespace {
+
+std::shared_ptr<uint8_t[]> MakePageBuffer() {
+  return std::shared_ptr<uint8_t[]>(new uint8_t[kPageSize]);
+}
+
+std::shared_ptr<uint8_t[]> ClonePageBuffer(const uint8_t* src) {
+  auto buf = MakePageBuffer();
+  std::memcpy(buf.get(), src, kPageSize);
+  return buf;
+}
+
+}  // namespace
 
 netmark::Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path,
                                                     PagerOptions options) {
@@ -19,8 +34,7 @@ netmark::Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path,
                               kPageSize));
   }
   auto count = static_cast<PageId>(size / kPageSize);
-  return std::unique_ptr<Pager>(
-      new Pager(std::move(file), count, options.verify_checksums));
+  return std::unique_ptr<Pager>(new Pager(std::move(file), count, options));
 }
 
 Pager::~Pager() { (void)Flush(); }
@@ -32,24 +46,27 @@ netmark::Result<PageId> Pager::Allocate() {
     return netmark::Status::CapacityExceeded("page file full: " + file_->path());
   }
   PageId id = count;
-  auto buf = std::make_unique<uint8_t[]>(kPageSize);
+  auto buf = MakePageBuffer();
   std::memset(buf.get(), 0, kPageSize);
   Page(buf.get()).Init();
-  cache_[id] = std::move(buf);
-  dirty_[id] = true;
+  Entry& entry = entries_[id];
+  entry.working = std::move(buf);
+  if (mvcc_) {
+    // Born unpublished: readers pinned at earlier epochs resolve NotFound
+    // (an empty page, semantically) until the transaction publishes.
+    entry.working_dirty = true;
+    entry.first_tag = kLatestEpoch;
+  } else {
+    entry.disk_dirty = true;
+  }
   dirty_since_mark_.insert(id);
   page_count_.store(count + 1, std::memory_order_release);
   return id;
 }
 
-netmark::Result<uint8_t*> Pager::Buffer(PageId id) {
-  // The lock covers the cache probe and (on a miss) the read + insert. A
-  // miss therefore serializes concurrent readers briefly, but buffers are
-  // never evicted so the common case — cache hit — is one map lookup, and
-  // the returned pointer stays stable after the lock is released.
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = cache_.find(id);
-  if (it != cache_.end()) return it->second.get();
+netmark::Result<Pager::Entry*> Pager::LoadEntryLocked(PageId id) {
+  auto it = entries_.find(id);
+  if (it != entries_.end()) return &it->second;
   if (quarantined_.count(id) != 0) {
     return netmark::Status::DataLoss(netmark::StringPrintf(
         "page %u of %s is quarantined (bad checksum)", id, file_->path().c_str()));
@@ -59,7 +76,7 @@ netmark::Result<uint8_t*> Pager::Buffer(PageId id) {
     return netmark::Status::InvalidArgument(
         netmark::StringPrintf("page %u out of range (%u pages)", id, count));
   }
-  auto buf = std::make_unique<uint8_t[]>(kPageSize);
+  auto buf = MakePageBuffer();
   NETMARK_RETURN_NOT_OK(
       file_->Read(static_cast<uint64_t>(id) * kPageSize, kPageSize, buf.get()));
   pages_read_.fetch_add(1, std::memory_order_relaxed);
@@ -68,20 +85,145 @@ netmark::Result<uint8_t*> Pager::Buffer(PageId id) {
     return netmark::Status::DataLoss(netmark::StringPrintf(
         "page %u of %s failed checksum verification", id, file_->path().c_str()));
   }
-  uint8_t* raw = buf.get();
-  cache_[id] = std::move(buf);
-  return raw;
+  Entry& entry = entries_[id];
+  if (mvcc_) {
+    // Epoch 0 is the on-disk state at open (WAL recovery included).
+    entry.versions.emplace_back(Epoch{0}, std::move(buf));
+    retained_versions_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    entry.working = std::move(buf);
+  }
+  return &entry;
 }
 
 netmark::Result<Page> Pager::Fetch(PageId id) {
-  NETMARK_ASSIGN_OR_RETURN(uint8_t* buf, Buffer(id));
-  return Page(buf);
+  // The lock covers the map probe and (on a miss) the read + insert. A miss
+  // therefore serializes concurrent callers briefly, but entries are never
+  // evicted so the common case — cache hit — is one map lookup, and the
+  // returned buffer stays stable after the lock is released.
+  std::lock_guard<std::mutex> lock(mu_);
+  NETMARK_ASSIGN_OR_RETURN(Entry * entry, LoadEntryLocked(id));
+  if (mvcc_ && entry->working == nullptr) {
+    // Copy-on-write point: the writer gets a private clone of the current
+    // published version; readers keep seeing the published bytes until
+    // Publish() swaps the clone in.
+    entry->working = ClonePageBuffer(entry->versions.back().second.get());
+  }
+  return Page(entry->working.get());
+}
+
+netmark::Result<PageRef> Pager::FetchAt(PageId id, Epoch epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  NETMARK_ASSIGN_OR_RETURN(Entry * entry, LoadEntryLocked(id));
+  if (!mvcc_ || epoch == kWriterEpoch) {
+    if (entry->working != nullptr) return PageRef(entry->working);
+    if (!entry->versions.empty()) return PageRef(entry->versions.back().second);
+    return netmark::Status::Internal(
+        netmark::StringPrintf("page %u has no buffer", id));
+  }
+  if (epoch == kLatestEpoch) {
+    if (!entry->versions.empty()) return PageRef(entry->versions.back().second);
+    return netmark::Status::NotFound(netmark::StringPrintf(
+        "page %u of %s has no published version yet", id, file_->path().c_str()));
+  }
+  // Newest version tagged <= epoch: versions are sorted ascending by tag.
+  const auto& versions = entry->versions;
+  auto it = std::upper_bound(
+      versions.begin(), versions.end(), epoch,
+      [](Epoch e, const auto& version) { return e < version.first; });
+  if (it == versions.begin()) {
+    if (epoch < entry->first_tag) {
+      return netmark::Status::NotFound(netmark::StringPrintf(
+          "page %u of %s was born after epoch %llu", id, file_->path().c_str(),
+          static_cast<unsigned long long>(epoch)));
+    }
+    return netmark::Status::SnapshotTooOld(netmark::StringPrintf(
+        "page %u of %s: version for epoch %llu dropped by the retention cap",
+        id, file_->path().c_str(), static_cast<unsigned long long>(epoch)));
+  }
+  return PageRef(std::prev(it)->second);
 }
 
 void Pager::MarkDirty(PageId id) {
   std::lock_guard<std::mutex> lock(mu_);
-  dirty_[id] = true;
+  Entry& entry = entries_[id];
+  if (mvcc_) {
+    entry.working_dirty = true;
+  } else {
+    entry.disk_dirty = true;
+  }
   dirty_since_mark_.insert(id);
+}
+
+void Pager::DropVersionLocked(Entry& entry, size_t index) {
+  entry.versions.erase(entry.versions.begin() +
+                       static_cast<std::ptrdiff_t>(index));
+  retained_versions_.fetch_sub(1, std::memory_order_relaxed);
+  versions_reclaimed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Pager::Publish(Epoch epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!mvcc_) return;
+  for (auto& [id, entry] : entries_) {
+    if (entry.working == nullptr) continue;
+    if (!entry.working_dirty) {
+      // Fetched (e.g. a free-space probe) but never mutated: drop the clone
+      // rather than publishing a duplicate version.
+      entry.working.reset();
+      continue;
+    }
+    // Stamp before the buffer becomes visible — after this point it is
+    // immutable. Flush then writes it verbatim.
+    PageStampChecksum(entry.working.get());
+    if (entry.versions.empty()) entry.first_tag = epoch;
+    entry.versions.emplace_back(epoch, std::move(entry.working));
+    entry.working = nullptr;
+    entry.working_dirty = false;
+    entry.disk_dirty = true;
+    retained_versions_.fetch_add(1, std::memory_order_relaxed);
+    if (max_retained_versions_ != 0) {
+      while (entry.versions.size() > max_retained_versions_) {
+        DropVersionLocked(entry, 0);
+      }
+    }
+  }
+}
+
+uint64_t Pager::ReclaimVersions(const std::vector<Epoch>& pins, Epoch cap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!mvcc_) return 0;
+  uint64_t reclaimed = 0;
+  for (auto& [id, entry] : entries_) {
+    auto& versions = entry.versions;
+    if (versions.size() <= 1) continue;
+    size_t kept = 0;
+    for (size_t i = 0; i < versions.size(); ++i) {
+      bool keep = (i + 1 == versions.size());  // current version always stays
+      // A version superseded after the GC pass began (successor tag > cap)
+      // stays: a reader may have pinned an epoch in that window after the
+      // pin scan and would be missed by `pins` (see docs/mvcc.md).
+      if (!keep) keep = versions[i + 1].first > cap;
+      if (!keep) {
+        // Version i serves pins in [tag_i, tag_{i+1}): keep it while one
+        // exists.
+        auto pin = std::lower_bound(pins.begin(), pins.end(), versions[i].first);
+        keep = pin != pins.end() && *pin < versions[i + 1].first;
+      }
+      if (keep) {
+        if (kept != i) versions[kept] = std::move(versions[i]);
+        ++kept;
+      } else {
+        ++reclaimed;
+      }
+    }
+    versions.resize(kept);
+  }
+  if (reclaimed != 0) {
+    retained_versions_.fetch_sub(reclaimed, std::memory_order_relaxed);
+    versions_reclaimed_.fetch_add(reclaimed, std::memory_order_relaxed);
+  }
+  return reclaimed;
 }
 
 std::vector<PageId> Pager::TakeDirtySinceMark() {
@@ -97,26 +239,80 @@ netmark::Status Pager::Flush() {
   // next Flush) and the first error is propagated.
   netmark::Status first_error = netmark::Status::OK();
   std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [id, is_dirty] : dirty_) {
-    if (!is_dirty) continue;
-    auto it = cache_.find(id);
-    if (it == cache_.end()) continue;
-    PageStampChecksum(it->second.get());
-    netmark::Status st = file_->Write(static_cast<uint64_t>(id) * kPageSize,
-                                      it->second.get(), kPageSize);
+  for (auto& [id, entry] : entries_) {
+    if (!entry.disk_dirty) continue;
+    uint8_t* buf = nullptr;
+    if (mvcc_) {
+      // Only published bytes reach the file; an unpublished working copy is
+      // an uncommitted transaction and must never be flushed.
+      if (entry.versions.empty()) continue;
+      buf = entry.versions.back().second.get();
+    } else {
+      if (entry.working == nullptr) continue;
+      buf = entry.working.get();
+    }
+    PageStampChecksum(buf);
+    netmark::Status st =
+        file_->Write(static_cast<uint64_t>(id) * kPageSize, buf, kPageSize);
     if (!st.ok()) {
       if (first_error.ok()) {
         first_error = st.WithContext(netmark::StringPrintf("write of page %u", id));
       }
       continue;  // page stays dirty
     }
-    is_dirty = false;
+    entry.disk_dirty = false;
     pages_written_.fetch_add(1, std::memory_order_relaxed);
   }
   return first_error;
 }
 
 netmark::Status Pager::SyncToDisk() { return file_->Sync(); }
+
+netmark::Result<std::vector<PageId>> Pager::UpgradeAllV0() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PageId> upgraded;
+  PageId count = page_count_.load(std::memory_order_relaxed);
+  for (PageId id = 0; id < count; ++id) {
+    if (quarantined_.count(id) != 0) continue;
+    auto entry_or = LoadEntryLocked(id);
+    if (!entry_or.ok()) {
+      // A freshly quarantined page cannot be upgraded; skip it like the
+      // scrubber does. Transient read errors still abort the scan.
+      if (entry_or.status().IsDataLoss()) continue;
+      return entry_or.status();
+    }
+    Entry* entry = *entry_or;
+    if (!mvcc_) {
+      // Legacy mode: upgrade the single buffer in place and mark it dirty
+      // so the commit path stages + flushes it.
+      if (PageTryUpgradeV1(entry->working.get())) {
+        entry->disk_dirty = true;
+        dirty_since_mark_.insert(id);
+        upgraded.push_back(id);
+      }
+      continue;
+    }
+    if (entry->working != nullptr) {
+      // The writer's private copy upgrades in place (it is unpublished, so
+      // no reader can observe the shift).
+      (void)PageTryUpgradeV1(entry->working.get());
+    }
+    if (entry->versions.empty()) continue;
+    auto& current = entry->versions.back();
+    if (PageVersion(current.second.get()) >= kPageFormatV1) continue;
+    auto clone = ClonePageBuffer(current.second.get());
+    if (PageTryUpgradeV1(clone.get())) {
+      PageStampChecksum(clone.get());
+      // Same epoch tag, new bytes: in-flight PageRefs keep the old buffer
+      // alive; new readers see the (equivalent) v1 image.
+      current.second = std::move(clone);
+      entry->disk_dirty = true;
+      dirty_since_mark_.insert(id);
+      upgraded.push_back(id);
+    }
+  }
+  return upgraded;
+}
 
 netmark::Result<bool> Pager::VerifyOnDisk(PageId id) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -126,19 +322,28 @@ netmark::Result<bool> Pager::VerifyOnDisk(PageId id) {
     return netmark::Status::InvalidArgument(
         netmark::StringPrintf("page %u out of range (%u pages)", id, count));
   }
-  // A dirty page's on-disk copy is legitimately stale; skip it. The lock
-  // keeps Flush from racing this check.
-  auto dit = dirty_.find(id);
-  if (dit != dirty_.end() && dit->second) return true;
+  // A dirty page's on-disk copy is legitimately stale; so is a page that
+  // was allocated but not yet published (nothing on disk at all). The lock
+  // keeps Flush/Publish from racing this check.
+  auto it = entries_.find(id);
+  Entry* entry = it != entries_.end() ? &it->second : nullptr;
+  if (entry != nullptr &&
+      (entry->disk_dirty || (mvcc_ && entry->versions.empty() &&
+                             entry->working != nullptr))) {
+    return true;
+  }
   uint8_t buf[kPageSize];
   NETMARK_RETURN_NOT_OK(
       file_->Read(static_cast<uint64_t>(id) * kPageSize, kPageSize, buf));
   if (!PageVerifyChecksum(buf)) {
-    if (cache_.count(id) != 0) {
-      // The cached copy is authoritative and intact; the disk copy rotted
-      // underneath it. Re-dirty the page so the next flush heals the disk
-      // instead of quarantining data we still hold.
-      dirty_[id] = true;
+    bool have_authoritative_copy =
+        entry != nullptr && (mvcc_ ? !entry->versions.empty()
+                                   : entry->working != nullptr);
+    if (have_authoritative_copy) {
+      // The in-memory copy is authoritative and intact; the disk copy
+      // rotted underneath it. Re-dirty the page so the next flush heals the
+      // disk instead of quarantining data we still hold.
+      entry->disk_dirty = true;
       dirty_since_mark_.insert(id);
       return false;
     }

@@ -17,6 +17,19 @@
 // returns Status::DataLoss, the page is never cached or served, and the
 // scrubber/healthz report it. Read errors (EIO) do not quarantine: the
 // fault may be transient and the on-disk bytes may still be good.
+//
+// MVCC (docs/mvcc.md): with PagerOptions::mvcc the pager keeps, per page, a
+// list of immutable *published* versions tagged with the commit epoch that
+// produced them, plus at most one private *working* copy the single writer
+// mutates. Fetch() keeps its historical mutable semantics — it hands the
+// writer the working copy, lazily cloned from the latest published version
+// (copy-on-write) — while FetchAt(id, epoch) serves readers an immutable
+// version without blocking on the writer. Publish(epoch) moves every dirty
+// working copy into the published list under one short critical section;
+// Flush() then writes only published bytes, so WAL-before-heap ordering is
+// unchanged. ReclaimVersions() garbage-collects versions no pinned reader
+// can see. Without the option the pager behaves exactly as it always has
+// (single buffer per page, Flush writes it).
 
 #ifndef NETMARK_STORAGE_PAGER_H_
 #define NETMARK_STORAGE_PAGER_H_
@@ -27,6 +40,7 @@
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/env.h"
@@ -36,23 +50,65 @@
 
 namespace netmark::storage {
 
+/// Commit epoch tag on a published page version. Epoch 0 is the state a
+/// page had on disk when the pager opened (including anything WAL recovery
+/// replayed into the file); each commit publishes under the next epoch.
+using Epoch = uint64_t;
+
+/// Pseudo-epoch: "latest published state". An unpinned reader resolves to
+/// the newest version of each page it touches (per-page atomic, not a
+/// cross-page snapshot — pin a real epoch for that).
+inline constexpr Epoch kLatestEpoch = ~static_cast<Epoch>(0);
+
+/// Pseudo-epoch: the writer's own view — the private working copy when one
+/// exists, else the latest published version. Only the (single) mutating
+/// thread may read at this epoch; it is how a transaction sees its own
+/// uncommitted writes.
+inline constexpr Epoch kWriterEpoch = kLatestEpoch - 1;
+
 struct PagerOptions {
   /// File I/O environment; nullptr means Env::Default().
   netmark::Env* env = nullptr;
   /// Verify the CRC32C trailer on every read miss (v1 pages only). Stamping
   /// on flush is unconditional so the knob can be toggled freely.
   bool verify_checksums = true;
+  /// Run in MVCC mode: published page versions + copy-on-write writer
+  /// copies (see the class comment). Off = exact legacy behavior.
+  bool mvcc = false;
+  /// MVCC: bound on published versions kept per page (0 = unlimited). When
+  /// the cap forces a drop, readers pinned before the surviving window get
+  /// Status::SnapshotTooOld.
+  size_t mvcc_max_retained_versions = 0;
+};
+
+/// \brief Shared, read-only handle to one immutable page version.
+///
+/// Holds a reference on the underlying buffer, so the bytes stay valid even
+/// if version GC or a v0->v1 upgrade retires the version concurrently.
+class PageRef {
+ public:
+  PageRef() = default;
+  explicit PageRef(std::shared_ptr<uint8_t[]> buf) : buf_(std::move(buf)) {}
+
+  /// Page view over the buffer. Callers must treat it as read-only.
+  Page page() const { return Page(buf_.get()); }
+  const uint8_t* raw() const { return buf_.get(); }
+  explicit operator bool() const { return buf_ != nullptr; }
+
+ private:
+  std::shared_ptr<uint8_t[]> buf_;
 };
 
 /// \brief Owns the page file: allocation, fetch, write-back.
 ///
-/// Thread safety: Fetch() may be called concurrently from many reader
-/// threads (the concurrent serving path); the internal mutex guards the
-/// cache map and dirty bookkeeping. Returned page pointers stay valid
-/// without the lock because buffers are never evicted. Mutators (Allocate /
-/// MarkDirty / Flush / TakeDirtySinceMark) are additionally serialized by
-/// the store-level writer lock, so they never race each other — but they do
-/// share the cache map with readers, hence the mutex.
+/// Thread safety: Fetch()/FetchAt() may be called concurrently from many
+/// reader threads (the concurrent serving path); the internal mutex guards
+/// the version map and dirty bookkeeping. Returned buffers stay valid
+/// without the lock (legacy mode never evicts; MVCC mode hands out
+/// shared_ptr references). Mutators (Allocate / Fetch / MarkDirty / Flush /
+/// Publish / TakeDirtySinceMark) are additionally serialized by the
+/// store-level writer lock, so they never race each other — but they do
+/// share the map with readers, hence the mutex.
 class Pager {
  public:
   /// Opens (creating if absent) the page file at `path`.
@@ -63,23 +119,54 @@ class Pager {
   Pager(const Pager&) = delete;
   Pager& operator=(const Pager&) = delete;
 
+  bool mvcc_enabled() const { return mvcc_; }
+
   /// Number of pages in the file.
   PageId page_count() const { return page_count_.load(std::memory_order_acquire); }
 
-  /// Allocates a fresh, zero-initialized page and returns its id.
+  /// Allocates a fresh, zero-initialized page and returns its id. In MVCC
+  /// mode the page starts as an unpublished working copy: readers pinned at
+  /// earlier epochs see NotFound for it (semantically an empty page) until
+  /// the allocating transaction publishes.
   netmark::Result<PageId> Allocate();
 
-  /// Fetches a page for reading; the pointer stays valid until the Pager is
-  /// destroyed (buffers are never evicted). Returns Status::DataLoss for a
-  /// page whose on-disk checksum did not match (now or on a prior fetch).
+  /// Fetches a page for *writing* (the single mutator thread). In legacy
+  /// mode this is the classic shared buffer, valid until the Pager dies. In
+  /// MVCC mode it returns the private working copy, lazily cloned from the
+  /// latest published version — readers never observe the returned bytes
+  /// until Publish(). Returns Status::DataLoss for a quarantined page.
   netmark::Result<Page> Fetch(PageId id);
 
-  /// Marks a page dirty so Flush persists it.
+  /// Fetches an immutable version of a page for *reading*: the newest
+  /// version tagged <= `epoch` (see kLatestEpoch / kWriterEpoch). Returns
+  /// NotFound when the page was born after `epoch` (callers scan-skip),
+  /// SnapshotTooOld when the version was dropped by the retention cap, and
+  /// DataLoss for quarantined pages.
+  netmark::Result<PageRef> FetchAt(PageId id, Epoch epoch);
+
+  /// Marks a page dirty so the commit path stages it and Flush persists it.
   void MarkDirty(PageId id);
 
+  /// MVCC commit point: stamps every dirty working copy's checksum and
+  /// publishes it as the `epoch` version of its page, atomically with
+  /// respect to FetchAt. Clean working copies (fetched but never
+  /// MarkDirty'd) are discarded. No-op in legacy mode.
+  void Publish(Epoch epoch);
+
+  /// Drops published versions no longer visible to any pin in `pins`
+  /// (sorted ascending; must include the current commit epoch). A version
+  /// is kept while some pin falls between its epoch and its successor's,
+  /// and whenever its successor was published after `cap` (the commit epoch
+  /// observed *before* the caller scanned for pins — this makes a pin that
+  /// raced the scan safe; see docs/mvcc.md). The newest version of each
+  /// page is always kept. Returns the number of versions reclaimed.
+  uint64_t ReclaimVersions(const std::vector<Epoch>& pins, Epoch cap);
+
   /// Writes all dirty pages to disk, stamping each v1 page's CRC trailer
-  /// first. Every page is attempted even after a failure; a page whose write
-  /// fails stays dirty for the next Flush, and the first error is returned.
+  /// first. In MVCC mode only *published* bytes are written (working copies
+  /// are invisible to Flush), preserving WAL-before-heap ordering. Every
+  /// page is attempted even after a failure; a page whose write fails stays
+  /// dirty for the next Flush, and the first error is returned.
   netmark::Status Flush();
 
   /// fdatasyncs the page file (call after a successful Flush to make a
@@ -89,6 +176,14 @@ class Pager {
   /// Pages dirtied since the previous call (sorted; cleared by the call).
   /// The commit path uses this to stage write-ahead-log images.
   std::vector<PageId> TakeDirtySinceMark();
+
+  /// Upgrades every v0 page to the checksummed v1 format where possible
+  /// (see PageTryUpgradeV1), loading uncached pages from disk. In MVCC mode
+  /// the current published version is replaced by an upgraded clone under
+  /// the same epoch tag (in-flight PageRefs keep the old buffer alive).
+  /// Returns the ids whose persistent image changed so the caller can stage
+  /// them on the WAL before the next flush. Quarantined pages are skipped.
+  netmark::Result<std::vector<PageId>> UpgradeAllV0();
 
   /// Re-reads one page from disk and checks its CRC (the scrubber's probe).
   /// Returns false — and quarantines the page — when a fresh corruption was
@@ -108,27 +203,62 @@ class Pager {
     return pages_written_.load(std::memory_order_relaxed);
   }
 
+  /// Published page versions currently held in memory (MVCC gauge).
+  uint64_t retained_versions() const {
+    return retained_versions_.load(std::memory_order_relaxed);
+  }
+  /// Total versions dropped by GC or the retention cap (MVCC counter).
+  uint64_t versions_reclaimed() const {
+    return versions_reclaimed_.load(std::memory_order_relaxed);
+  }
+
  private:
+  /// One page's in-memory state. Legacy mode uses only `working` (the
+  /// classic cache buffer). MVCC mode: `versions` holds the immutable
+  /// published history (ascending epoch tags; the back is current) and
+  /// `working` the writer's private copy, if any.
+  struct Entry {
+    std::shared_ptr<uint8_t[]> working;
+    std::vector<std::pair<Epoch, std::shared_ptr<uint8_t[]>>> versions;
+    /// Working copy was actually mutated (MarkDirty) — Publish keeps it.
+    bool working_dirty = false;
+    /// Persistent image is newer than the file — Flush must write it.
+    bool disk_dirty = false;
+    /// Epoch tag of the first version this page ever had; a reader below it
+    /// gets NotFound ("born later"), a reader at/above it whose version is
+    /// gone gets SnapshotTooOld (retention cap).
+    Epoch first_tag = 0;
+  };
+
   Pager(std::unique_ptr<netmark::File> file, PageId page_count,
-        bool verify_checksums)
+        const PagerOptions& options)
       : file_(std::move(file)),
-        verify_checksums_(verify_checksums),
+        verify_checksums_(options.verify_checksums),
+        mvcc_(options.mvcc),
+        max_retained_versions_(options.mvcc_max_retained_versions),
         page_count_(page_count) {}
 
-  netmark::Result<uint8_t*> Buffer(PageId id);
+  /// Loads (or finds) the Entry for `id`, reading and verifying from disk
+  /// on a miss. Requires mu_ held.
+  netmark::Result<Entry*> LoadEntryLocked(PageId id);
+  /// Drops one published version (bookkeeping helper). Requires mu_ held.
+  void DropVersionLocked(Entry& entry, size_t index);
 
   std::unique_ptr<netmark::File> file_;
   bool verify_checksums_;
+  const bool mvcc_;
+  const size_t max_retained_versions_;  // 0 = unlimited
   std::atomic<PageId> page_count_{0};
-  /// Guards cache_/dirty_/dirty_since_mark_/quarantined_ against concurrent
+  /// Guards entries_/dirty_since_mark_/quarantined_ against concurrent
   /// readers.
   mutable std::mutex mu_;
-  std::unordered_map<PageId, std::unique_ptr<uint8_t[]>> cache_;
-  std::unordered_map<PageId, bool> dirty_;
+  std::unordered_map<PageId, Entry> entries_;
   std::set<PageId> dirty_since_mark_;
   std::set<PageId> quarantined_;
   std::atomic<uint64_t> pages_read_{0};
   std::atomic<uint64_t> pages_written_{0};
+  std::atomic<uint64_t> retained_versions_{0};
+  std::atomic<uint64_t> versions_reclaimed_{0};
 };
 
 }  // namespace netmark::storage

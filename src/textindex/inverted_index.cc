@@ -1,6 +1,8 @@
 #include "textindex/inverted_index.h"
 
 #include <algorithm>
+#include <mutex>
+#include <shared_mutex>
 
 namespace netmark::textindex {
 
@@ -20,11 +22,27 @@ PreparedPostings PreparePostings(std::string_view text) {
   return out;
 }
 
+InvertedIndex::InvertedIndex(InvertedIndex&& other) noexcept
+    : postings_(std::move(other.postings_)), num_postings_(other.num_postings_) {
+  other.num_postings_ = 0;
+}
+
+InvertedIndex& InvertedIndex::operator=(InvertedIndex&& other) noexcept {
+  if (this != &other) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    postings_ = std::move(other.postings_);
+    num_postings_ = other.num_postings_;
+    other.num_postings_ = 0;
+  }
+  return *this;
+}
+
 void InvertedIndex::Add(DocKey key, std::string_view text) {
   AddPrepared(key, PreparePostings(text));
 }
 
 void InvertedIndex::AddPrepared(DocKey key, const PreparedPostings& prepared) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   for (const auto& [term, positions] : prepared.terms) {
     std::vector<Posting>& list = postings_[term];
     auto it = std::lower_bound(list.begin(), list.end(), key,
@@ -43,6 +61,7 @@ void InvertedIndex::AddPrepared(DocKey key, const PreparedPostings& prepared) {
 }
 
 void InvertedIndex::Remove(DocKey key, std::string_view text) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   for (const std::string& term : TokenizeTerms(text)) {
     auto map_it = postings_.find(term);
     if (map_it == postings_.end()) continue;
@@ -68,7 +87,7 @@ const std::vector<Posting>* InvertedIndex::Find(std::string_view term) const {
   return it == postings_.end() ? nullptr : &it->second;
 }
 
-std::vector<DocKey> InvertedIndex::LookupTerm(std::string_view term) const {
+std::vector<DocKey> InvertedIndex::LookupTermLocked(std::string_view term) const {
   std::vector<DocKey> out;
   const std::vector<Posting>* list = Find(term);
   if (list == nullptr) return out;
@@ -77,11 +96,17 @@ std::vector<DocKey> InvertedIndex::LookupTerm(std::string_view term) const {
   return out;
 }
 
+std::vector<DocKey> InvertedIndex::LookupTerm(std::string_view term) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return LookupTermLocked(term);
+}
+
 std::vector<DocKey> InvertedIndex::MatchAll(const std::vector<std::string>& terms) const {
   if (terms.empty()) return {};
-  std::vector<DocKey> acc = LookupTerm(terms[0]);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<DocKey> acc = LookupTermLocked(terms[0]);
   for (size_t i = 1; i < terms.size() && !acc.empty(); ++i) {
-    std::vector<DocKey> next = LookupTerm(terms[i]);
+    std::vector<DocKey> next = LookupTermLocked(terms[i]);
     std::vector<DocKey> merged;
     std::set_intersection(acc.begin(), acc.end(), next.begin(), next.end(),
                           std::back_inserter(merged));
@@ -91,9 +116,10 @@ std::vector<DocKey> InvertedIndex::MatchAll(const std::vector<std::string>& term
 }
 
 std::vector<DocKey> InvertedIndex::MatchAny(const std::vector<std::string>& terms) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<DocKey> acc;
   for (const std::string& term : terms) {
-    std::vector<DocKey> next = LookupTerm(term);
+    std::vector<DocKey> next = LookupTermLocked(term);
     std::vector<DocKey> merged;
     std::set_union(acc.begin(), acc.end(), next.begin(), next.end(),
                    std::back_inserter(merged));
@@ -105,7 +131,8 @@ std::vector<DocKey> InvertedIndex::MatchAny(const std::vector<std::string>& term
 std::vector<DocKey> InvertedIndex::MatchPhrase(
     const std::vector<std::string>& words) const {
   if (words.empty()) return {};
-  if (words.size() == 1) return LookupTerm(words[0]);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (words.size() == 1) return LookupTermLocked(words[0]);
   // Gather postings lists; bail if any word is absent.
   std::vector<const std::vector<Posting>*> lists;
   for (const std::string& w : words) {
@@ -154,6 +181,7 @@ std::vector<DocKey> InvertedIndex::MatchPrefix(std::string_view prefix) const {
   for (char c : prefix) {
     folded += (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
   }
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<DocKey> acc;
   for (auto it = postings_.lower_bound(folded); it != postings_.end(); ++it) {
     if (it->first.compare(0, folded.size(), folded) != 0) break;
@@ -171,10 +199,12 @@ std::vector<DocKey> InvertedIndex::MatchPrefix(std::string_view prefix) const {
 void InvertedIndex::Visit(
     const std::function<void(const std::string&, const std::vector<Posting>&)>& fn)
     const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   for (const auto& [term, postings] : postings_) fn(term, postings);
 }
 
 void InvertedIndex::RestoreTerm(std::string term, std::vector<Posting> postings) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   num_postings_ += postings.size();
   postings_.emplace(std::move(term), std::move(postings));
 }

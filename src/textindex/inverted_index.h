@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -49,8 +50,24 @@ PreparedPostings PreparePostings(std::string_view text);
 /// At store open the index is loaded from a token-validated snapshot
 /// (textindex/snapshot.h) when one is fresh, and rebuilt from the XML store
 /// otherwise — the store is always the durable copy.
+///
+/// Thread safety: internally synchronized. The single writer (Add /
+/// AddPrepared / Remove / RestoreTerm) takes an internal lock exclusive;
+/// lookups and Visit take it shared, so MVCC snapshot readers may query
+/// while a commit mutates the index (docs/mvcc.md). Lookups are
+/// writer-latest, not versioned — the query layer re-verifies every
+/// candidate row against the heap at its snapshot epoch.
 class InvertedIndex {
  public:
+  InvertedIndex() = default;
+  /// Movable (store open replaces the index with a loaded snapshot). The
+  /// caller must quiesce both sides: the move itself is not synchronized
+  /// against concurrent readers of `other`.
+  InvertedIndex(InvertedIndex&& other) noexcept;
+  InvertedIndex& operator=(InvertedIndex&& other) noexcept;
+  InvertedIndex(const InvertedIndex&) = delete;
+  InvertedIndex& operator=(const InvertedIndex&) = delete;
+
   /// Indexes `text` under `key`. A key may be added once; re-adding merges
   /// (used when node text is updated: Remove then Add).
   void Add(DocKey key, std::string_view text);
@@ -79,8 +96,14 @@ class InvertedIndex {
   /// Keys containing any term starting with `prefix`.
   std::vector<DocKey> MatchPrefix(std::string_view prefix) const;
 
-  size_t num_terms() const { return postings_.size(); }
-  size_t num_postings() const { return num_postings_; }
+  size_t num_terms() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return postings_.size();
+  }
+  size_t num_postings() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return num_postings_;
+  }
 
   /// Visits every term with its postings list, in term order (snapshotting).
   void Visit(const std::function<void(const std::string&,
@@ -91,8 +114,13 @@ class InvertedIndex {
   void RestoreTerm(std::string term, std::vector<Posting> postings);
 
  private:
+  /// Requires mu_ held (any mode).
   const std::vector<Posting>* Find(std::string_view term) const;
+  /// LookupTerm body; requires mu_ held (any mode).
+  std::vector<DocKey> LookupTermLocked(std::string_view term) const;
 
+  /// Guards postings_ and num_postings_ (see the class comment).
+  mutable std::shared_mutex mu_;
   // term -> postings sorted by key.
   std::map<std::string, std::vector<Posting>, std::less<>> postings_;
   size_t num_postings_ = 0;

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
+#include <functional>
+#include <iterator>
 #include <map>
+#include <thread>
 
 #include "common/clock.h"
 #include "common/string_util.h"
@@ -14,6 +17,27 @@ using storage::IndexKey;
 using storage::Row;
 using storage::RowId;
 using storage::Value;
+
+namespace {
+
+/// One live pin held by this thread: either a ReadSnapshot's epoch pin or a
+/// WriterView's kWriterEpoch marker. The registry is thread-local, so
+/// resolving the calling thread's read epoch costs a short vector scan — no
+/// shared state, no atomics, and snapshot nesting is a depth bump.
+struct ThreadPin {
+  const void* store;
+  uint64_t epoch;
+  int depth;
+  int slot;  // pin_slots_ index, kOverflowSlot, or kWriterSlot
+};
+
+thread_local std::vector<ThreadPin> t_pins;
+
+/// Sentinel slot for WriterView entries (no slot-table pin to release: the
+/// writer reads its own working copies, which GC never touches).
+constexpr int kWriterSlot = -2;
+
+}  // namespace
 
 std::string EncodeAttributes(const std::vector<xml::Attribute>& attrs) {
   std::string out;
@@ -45,8 +69,12 @@ netmark::Result<std::vector<xml::Attribute>> DecodeAttributes(std::string_view b
 netmark::Result<std::unique_ptr<XmlStore>> XmlStore::Open(
     const std::string& dir, xml::NodeTypeConfig node_types,
     const storage::StorageOptions& storage_options) {
+  // The XML store is built around epoch-pinned snapshots: MVCC is not
+  // optional here (plain Database users may still opt out).
+  storage::StorageOptions opts = storage_options;
+  opts.mvcc_snapshots = true;
   NETMARK_ASSIGN_OR_RETURN(std::unique_ptr<storage::Database> db,
-                           storage::Database::Open(dir, storage_options));
+                           storage::Database::Open(dir, opts));
   std::unique_ptr<XmlStore> store(new XmlStore(std::move(db), std::move(node_types)));
   store->owned_metrics_ = std::make_unique<observability::MetricsRegistry>();
   store->metrics_ = store->owned_metrics_.get();
@@ -67,14 +95,23 @@ netmark::Result<std::unique_ptr<XmlStore>> XmlStore::Open(
   }
   store->last_commit_micros_.store(netmark::MonotonicMicros(),
                                    std::memory_order_relaxed);
-  if (storage_options.scrub_pages_per_sec > 0) {
+  if (opts.mvcc_gc_interval_ms > 0) {
+    store->gc_thread_ = std::thread(&XmlStore::GcLoop, store.get(),
+                                    opts.mvcc_gc_interval_ms);
+  }
+  if (opts.scrub_pages_per_sec > 0) {
     store->scrub_thread_ = std::thread(&XmlStore::ScrubberLoop, store.get(),
-                                       storage_options.scrub_pages_per_sec);
+                                       opts.scrub_pages_per_sec);
   }
   return store;
 }
 
 XmlStore::~XmlStore() {
+  if (gc_thread_.joinable()) {
+    gc_stop_.store(true, std::memory_order_release);
+    gc_cv_.notify_all();
+    gc_thread_.join();
+  }
   if (scrub_thread_.joinable()) {
     scrub_stop_.store(true, std::memory_order_release);
     scrub_cv_.notify_all();
@@ -82,20 +119,202 @@ XmlStore::~XmlStore() {
   }
 }
 
+// --- Snapshot pins ----------------------------------------------------------
+
 XmlStore::ReadSnapshot XmlStore::BeginRead() const {
-  std::shared_lock<std::shared_mutex> lock(commit_mu_);
   active_readers_.fetch_add(1, std::memory_order_relaxed);
-  return ReadSnapshot(this, std::move(lock),
-                      commit_epoch_.load(std::memory_order_acquire));
+  // Re-entrant: share the thread's existing pin (reader or writer) so nested
+  // snapshots observe the same view and cost one integer bump.
+  for (auto it = t_pins.rbegin(); it != t_pins.rend(); ++it) {
+    if (it->store == this) {
+      ++it->depth;
+      return ReadSnapshot(this, it->epoch);
+    }
+  }
+  int slot = 0;
+  uint64_t epoch = PinEpoch(&slot);
+  t_pins.push_back(ThreadPin{this, epoch, 1, slot});
+  return ReadSnapshot(this, epoch);
 }
 
 void XmlStore::ReadSnapshot::Release() {
   if (store_ != nullptr) {
-    store_->active_readers_.fetch_sub(1, std::memory_order_relaxed);
+    store_->EndRead();
     store_ = nullptr;
   }
-  if (lock_.owns_lock()) lock_.unlock();
 }
+
+void XmlStore::EndRead() const {
+  active_readers_.fetch_sub(1, std::memory_order_relaxed);
+  for (auto it = t_pins.rbegin(); it != t_pins.rend(); ++it) {
+    if (it->store != this) continue;
+    if (--it->depth == 0 && it->slot != kWriterSlot) {
+      UnpinEpoch(it->slot, it->epoch);
+      t_pins.erase(std::next(it).base());
+    }
+    return;
+  }
+}
+
+uint64_t XmlStore::PinEpoch(int* slot_out) const {
+  // Claim-recheck protocol (docs/mvcc.md): publish the pin first, then
+  // verify the epoch did not advance past it. Everything is seq_cst, so if
+  // the recheck passes, any GC pass that could drop this epoch's versions
+  // either sees the pin in its scan or loaded its cap at/after our epoch —
+  // both keep the versions alive.
+  const size_t start =
+      std::hash<std::thread::id>()(std::this_thread::get_id()) % kPinSlots;
+  for (;;) {
+    const uint64_t epoch = db_->commit_epoch();
+    bool raced = false;
+    for (size_t i = 0; i < kPinSlots; ++i) {
+      const size_t s = (start + i) % kPinSlots;
+      uint64_t expected = 0;
+      if (!pin_slots_[s].compare_exchange_strong(expected, epoch + 1,
+                                                 std::memory_order_seq_cst)) {
+        continue;  // slot occupied
+      }
+      if (db_->commit_epoch() == epoch) {
+        *slot_out = static_cast<int>(s);
+        return epoch;
+      }
+      // A commit landed between the load and the claim: the pin might be
+      // too late for the GC's cap argument. Undo and retry at the new epoch.
+      pin_slots_[s].store(0, std::memory_order_seq_cst);
+      raced = true;
+      break;
+    }
+    if (raced) continue;
+    // Every slot is taken (>= kPinSlots concurrent snapshots): spill into
+    // the mutex-guarded overflow set, same claim-recheck.
+    std::lock_guard<std::mutex> lock(pin_overflow_mu_);
+    auto it = pin_overflow_.insert(epoch);
+    if (db_->commit_epoch() == epoch) {
+      *slot_out = kOverflowSlot;
+      return epoch;
+    }
+    pin_overflow_.erase(it);
+  }
+}
+
+void XmlStore::UnpinEpoch(int slot, uint64_t epoch) const {
+  if (slot == kOverflowSlot) {
+    std::lock_guard<std::mutex> lock(pin_overflow_mu_);
+    auto it = pin_overflow_.find(epoch);
+    if (it != pin_overflow_.end()) pin_overflow_.erase(it);
+    return;
+  }
+  pin_slots_[static_cast<size_t>(slot)].store(0, std::memory_order_seq_cst);
+}
+
+std::vector<storage::Epoch> XmlStore::CollectPins() const {
+  std::vector<storage::Epoch> pins;
+  for (const auto& slot : pin_slots_) {
+    uint64_t v = slot.load(std::memory_order_seq_cst);
+    if (v != 0) pins.push_back(v - 1);
+  }
+  std::lock_guard<std::mutex> lock(pin_overflow_mu_);
+  pins.insert(pins.end(), pin_overflow_.begin(), pin_overflow_.end());
+  return pins;
+}
+
+uint64_t XmlStore::OldestPinnedEpoch() const {
+  uint64_t oldest = db_->commit_epoch();
+  for (const auto& slot : pin_slots_) {
+    uint64_t v = slot.load(std::memory_order_seq_cst);
+    if (v != 0) oldest = std::min(oldest, v - 1);
+  }
+  std::lock_guard<std::mutex> lock(pin_overflow_mu_);
+  if (!pin_overflow_.empty()) oldest = std::min(oldest, *pin_overflow_.begin());
+  return oldest;
+}
+
+storage::Epoch XmlStore::ResolveReadEpoch() const {
+  for (auto it = t_pins.rbegin(); it != t_pins.rend(); ++it) {
+    if (it->store == this) return it->epoch;
+  }
+  return storage::kLatestEpoch;
+}
+
+XmlStore::WriterView::WriterView(const XmlStore* store) : store_(store) {
+  t_pins.push_back(
+      ThreadPin{store, storage::kWriterEpoch, 1, kWriterSlot});
+}
+
+XmlStore::WriterView::~WriterView() {
+  for (auto it = t_pins.rbegin(); it != t_pins.rend(); ++it) {
+    if (it->store == store_ && it->slot == kWriterSlot) {
+      t_pins.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+// --- Version GC -------------------------------------------------------------
+
+uint64_t XmlStore::RunVersionGc() {
+  // Load the cap BEFORE scanning pins: a reader whose pin races the scan is
+  // then provably safe — its claim-recheck guarantees its epoch >= cap, and
+  // the pager never drops a version whose successor postdates the cap.
+  const storage::Epoch cap = db_->commit_epoch();
+  std::vector<storage::Epoch> pins = CollectPins();
+  pins.push_back(cap);
+  std::sort(pins.begin(), pins.end());
+  uint64_t reclaimed = db_->ReclaimVersions(pins, cap);
+  ApplyPendingTextRemovals(pins.front());
+  return reclaimed;
+}
+
+void XmlStore::GcLoop(int interval_ms) {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(gc_mu_);
+      gc_cv_.wait_for(lock, std::chrono::milliseconds(interval_ms), [this] {
+        return gc_stop_.load(std::memory_order_acquire);
+      });
+    }
+    if (gc_stop_.load(std::memory_order_acquire)) return;
+    RunVersionGc();
+  }
+}
+
+void XmlStore::DeferTextRemoval(textindex::DocKey key, std::string text) {
+  std::lock_guard<std::mutex> lock(pending_text_mu_);
+  pending_text_removals_.push_back(
+      PendingTextRemoval{key, std::move(text), 0, false});
+}
+
+void XmlStore::SealPendingTextRemovals(storage::Epoch epoch) {
+  std::lock_guard<std::mutex> lock(pending_text_mu_);
+  for (PendingTextRemoval& p : pending_text_removals_) {
+    if (!p.sealed) {
+      p.sealed = true;
+      p.sealed_epoch = epoch;
+    }
+  }
+}
+
+uint64_t XmlStore::ApplyPendingTextRemovals(storage::Epoch watermark) {
+  std::vector<PendingTextRemoval> ready;
+  {
+    std::lock_guard<std::mutex> lock(pending_text_mu_);
+    auto keep = std::partition(
+        pending_text_removals_.begin(), pending_text_removals_.end(),
+        [&](const PendingTextRemoval& p) {
+          return !p.sealed || p.sealed_epoch > watermark;
+        });
+    ready.assign(std::make_move_iterator(keep),
+                 std::make_move_iterator(pending_text_removals_.end()));
+    pending_text_removals_.erase(keep, pending_text_removals_.end());
+  }
+  // Outside pending_text_mu_: Remove takes the index's own lock.
+  for (const PendingTextRemoval& p : ready) {
+    text_index_.Remove(p.key, p.text);
+  }
+  return ready.size();
+}
+
+// --- Tables -----------------------------------------------------------------
 
 textindex::SnapshotToken XmlStore::CurrentToken() const {
   textindex::SnapshotToken token;
@@ -144,20 +363,22 @@ netmark::Result<int64_t> XmlStore::InsertDocument(const xml::Document& doc,
 }
 
 netmark::Result<int64_t> XmlStore::InsertPrepared(const PreparedDocument& prepared) {
-  std::lock_guard<std::shared_mutex> lock(commit_mu_);
+  std::lock_guard<std::mutex> lock(write_mu_);
+  WriterView writer(this);
   NETMARK_RETURN_NOT_OK(db_->BeginTransaction());
   netmark::Result<int64_t> doc_id = InsertPreparedLocked(prepared);
   if (!doc_id.ok()) {
     db_->AbandonTransaction();
     return doc_id;
   }
-  uint64_t epoch_before = commit_epoch_.load(std::memory_order_relaxed);
+  uint64_t epoch_before = db_->commit_epoch();
   netmark::Status committed = CommitTransactionLocked();
   if (!committed.ok()) {
-    if (commit_epoch_.load(std::memory_order_relaxed) == epoch_before) {
-      // The commit itself failed: nothing was acknowledged, so the
-      // half-inserted in-memory rows must not be servable either. Purge them
-      // before releasing the commit lock.
+    if (db_->commit_epoch() == epoch_before) {
+      // The commit itself failed: nothing was published or acknowledged, so
+      // the half-inserted in-memory rows must not become servable either.
+      // Purge them before releasing the writer lock; the WriterView makes
+      // the purge read its own uncommitted rows.
       (void)DeleteDocumentLocked(*doc_id);
       return committed;
     }
@@ -241,13 +462,14 @@ netmark::Result<int64_t> XmlStore::InsertPreparedLocked(const PreparedDocument& 
 
 netmark::Result<std::vector<std::pair<RowId, NodeRecord>>> XmlStore::DocumentNodes(
     int64_t doc_id) const {
+  const storage::Epoch epoch = ResolveReadEpoch();
   NETMARK_ASSIGN_OR_RETURN(
       std::vector<RowId> rowids,
-      xml_table_->IndexPrefix("xml_by_doc", IndexKey{Value::Int(doc_id)}));
+      xml_table_->IndexPrefix("xml_by_doc", IndexKey{Value::Int(doc_id)}, epoch));
   std::vector<std::pair<RowId, NodeRecord>> out;
   out.reserve(rowids.size());
   for (RowId id : rowids) {
-    NETMARK_ASSIGN_OR_RETURN(Row row, xml_table_->Get(id));
+    NETMARK_ASSIGN_OR_RETURN(Row row, xml_table_->Get(id, epoch));
     NETMARK_ASSIGN_OR_RETURN(NodeRecord rec, NodeRecord::FromRow(row));
     out.emplace_back(id, std::move(rec));
   }
@@ -255,7 +477,8 @@ netmark::Result<std::vector<std::pair<RowId, NodeRecord>>> XmlStore::DocumentNod
 }
 
 netmark::Status XmlStore::DeleteDocument(int64_t doc_id) {
-  std::lock_guard<std::shared_mutex> lock(commit_mu_);
+  std::lock_guard<std::mutex> lock(write_mu_);
+  WriterView writer(this);
   NETMARK_RETURN_NOT_OK(db_->BeginTransaction());
   netmark::Status st = DeleteDocumentLocked(doc_id);
   if (!st.ok()) {
@@ -268,12 +491,15 @@ netmark::Status XmlStore::DeleteDocument(int64_t doc_id) {
 netmark::Status XmlStore::DeleteDocumentLocked(int64_t doc_id) {
   NETMARK_ASSIGN_OR_RETURN(auto nodes, DocumentNodes(doc_id));
   for (const auto& [rowid, rec] : nodes) {
-    if (rec.is_text()) text_index_.Remove(rowid.Pack(), rec.node_data);
+    // Text postings are removed *deferred*: pinned snapshot readers must
+    // keep resolving this document's text hits until GC passes their epoch.
+    if (rec.is_text()) DeferTextRemoval(rowid.Pack(), rec.node_data);
     NETMARK_RETURN_NOT_OK(xml_table_->Delete(rowid));
   }
   NETMARK_ASSIGN_OR_RETURN(
       std::vector<RowId> doc_rows,
-      doc_table_->IndexLookup("doc_by_id", IndexKey{Value::Int(doc_id)}));
+      doc_table_->IndexLookup("doc_by_id", IndexKey{Value::Int(doc_id)},
+                              ResolveReadEpoch()));
   if (doc_rows.empty()) {
     return netmark::Status::NotFound(
         netmark::StringPrintf("no document %lld", static_cast<long long>(doc_id)));
@@ -285,24 +511,27 @@ netmark::Status XmlStore::DeleteDocumentLocked(int64_t doc_id) {
 }
 
 netmark::Result<DocRecord> XmlStore::GetDocumentInfo(int64_t doc_id) const {
+  const storage::Epoch epoch = ResolveReadEpoch();
   NETMARK_ASSIGN_OR_RETURN(
       std::vector<RowId> doc_rows,
-      doc_table_->IndexLookup("doc_by_id", IndexKey{Value::Int(doc_id)}));
+      doc_table_->IndexLookup("doc_by_id", IndexKey{Value::Int(doc_id)}, epoch));
   if (doc_rows.empty()) {
     return netmark::Status::NotFound(
         netmark::StringPrintf("no document %lld", static_cast<long long>(doc_id)));
   }
-  NETMARK_ASSIGN_OR_RETURN(Row row, doc_table_->Get(doc_rows[0]));
+  NETMARK_ASSIGN_OR_RETURN(Row row, doc_table_->Get(doc_rows[0], epoch));
   return DocRecord::FromRow(row);
 }
 
 netmark::Result<std::vector<DocRecord>> XmlStore::ListDocuments() const {
   std::vector<DocRecord> out;
-  NETMARK_RETURN_NOT_OK(doc_table_->Scan([&](RowId, const Row& row) -> netmark::Status {
-    NETMARK_ASSIGN_OR_RETURN(DocRecord rec, DocRecord::FromRow(row));
-    out.push_back(std::move(rec));
-    return netmark::Status::OK();
-  }));
+  NETMARK_RETURN_NOT_OK(doc_table_->Scan(
+      [&](RowId, const Row& row) -> netmark::Status {
+        NETMARK_ASSIGN_OR_RETURN(DocRecord rec, DocRecord::FromRow(row));
+        out.push_back(std::move(rec));
+        return netmark::Status::OK();
+      },
+      ResolveReadEpoch()));
   std::sort(out.begin(), out.end(),
             [](const DocRecord& a, const DocRecord& b) { return a.doc_id < b.doc_id; });
   return out;
@@ -406,15 +635,17 @@ netmark::Result<xml::Document> XmlStore::ReconstructSubtree(RowId node) const {
 }
 
 netmark::Result<NodeRecord> XmlStore::GetNode(RowId id) const {
-  NETMARK_ASSIGN_OR_RETURN(Row row, xml_table_->Get(id));
+  NETMARK_ASSIGN_OR_RETURN(Row row, xml_table_->Get(id, ResolveReadEpoch()));
   return NodeRecord::FromRow(row);
 }
 
 netmark::Result<std::vector<RowId>> XmlStore::Children(RowId node) const {
+  const storage::Epoch epoch = ResolveReadEpoch();
   NETMARK_ASSIGN_OR_RETURN(NodeRecord rec, GetNode(node));
   NETMARK_ASSIGN_OR_RETURN(
       std::vector<RowId> rowids,
-      xml_table_->IndexLookup("xml_by_parent", IndexKey{Value::Int(rec.node_id)}));
+      xml_table_->IndexLookup("xml_by_parent", IndexKey{Value::Int(rec.node_id)},
+                              epoch));
   // Order by NODEID (document order).
   std::vector<std::pair<int64_t, RowId>> keyed;
   keyed.reserve(rowids.size());
@@ -431,14 +662,17 @@ netmark::Result<std::vector<RowId>> XmlStore::Children(RowId node) const {
 
 netmark::Result<std::vector<RowId>> XmlStore::NodesWithParent(
     int64_t parent_node_id) const {
-  return xml_table_->IndexLookup("xml_by_parent", IndexKey{Value::Int(parent_node_id)});
+  return xml_table_->IndexLookup("xml_by_parent",
+                                 IndexKey{Value::Int(parent_node_id)},
+                                 ResolveReadEpoch());
 }
 
 netmark::Result<RowId> XmlStore::NodeByDocAndId(int64_t doc_id, int64_t node_id) const {
   NETMARK_ASSIGN_OR_RETURN(
       std::vector<RowId> hits,
       xml_table_->IndexLookup("xml_by_doc",
-                              IndexKey{Value::Int(doc_id), Value::Int(node_id)}));
+                              IndexKey{Value::Int(doc_id), Value::Int(node_id)},
+                              ResolveReadEpoch()));
   if (hits.empty()) {
     return netmark::Status::NotFound(netmark::StringPrintf(
         "no node %lld in document %lld", static_cast<long long>(node_id),
@@ -477,8 +711,8 @@ netmark::Result<std::vector<RowId>> XmlStore::TextScanLookup(
     std::string_view term) const {
   std::string folded = netmark::ToLower(term);
   std::vector<RowId> out;
-  NETMARK_RETURN_NOT_OK(
-      xml_table_->Scan([&](RowId id, const Row& row) -> netmark::Status {
+  NETMARK_RETURN_NOT_OK(xml_table_->Scan(
+      [&](RowId id, const Row& row) -> netmark::Status {
         NETMARK_ASSIGN_OR_RETURN(NodeRecord rec, NodeRecord::FromRow(row));
         if (!rec.is_text()) return netmark::Status::OK();
         for (const std::string& tok : textindex::TokenizeTerms(rec.node_data)) {
@@ -488,17 +722,18 @@ netmark::Result<std::vector<RowId>> XmlStore::TextScanLookup(
           }
         }
         return netmark::Status::OK();
-      }));
+      },
+      ResolveReadEpoch()));
   return out;
 }
 
 netmark::Status XmlStore::Flush() {
-  std::lock_guard<std::shared_mutex> lock(commit_mu_);
+  std::lock_guard<std::mutex> lock(write_mu_);
   return CheckpointLocked();
 }
 
 netmark::Status XmlStore::Checkpoint() {
-  std::lock_guard<std::shared_mutex> lock(commit_mu_);
+  std::lock_guard<std::mutex> lock(write_mu_);
   return CheckpointLocked();
 }
 
@@ -517,9 +752,12 @@ netmark::Status XmlStore::CommitTransactionLocked() {
     observability::ScopedTimer timer(handles_.commit_micros);
     NETMARK_RETURN_NOT_OK(db_->CommitTransaction());
   }
-  // Publish the new consistent view: snapshots taken from here on observe
-  // this mutation, and the snapshot-age gauge restarts from now.
-  commit_epoch_.fetch_add(1, std::memory_order_release);
+  // Publish the new consistent view: pages become visible under the next
+  // epoch atomically, queued index/posting removals are sealed with it, and
+  // snapshots taken from here on observe this mutation. Readers pinned at
+  // older epochs are untouched — no lock is involved.
+  storage::Epoch epoch = db_->PublishVersions();
+  SealPendingTextRemovals(epoch);
   last_commit_micros_.store(netmark::MonotonicMicros(), std::memory_order_relaxed);
   PublishWalCounters();
   // Size-triggered checkpoint: bounds both log growth and recovery time.
@@ -528,7 +766,7 @@ netmark::Status XmlStore::CommitTransactionLocked() {
 }
 
 netmark::Status XmlStore::SyncWal() {
-  std::lock_guard<std::shared_mutex> lock(commit_mu_);
+  std::lock_guard<std::mutex> lock(write_mu_);
   netmark::Status st = db_->SyncWal();
   PublishWalCounters();
   return st;
@@ -557,8 +795,9 @@ void XmlStore::ScrubBatch(int budget, size_t* table_idx,
 }
 
 void XmlStore::ScrubberLoop(int pages_per_sec) {
-  // 100ms ticks: small batches keep the shared commit lock hold short, so
-  // scrubbing never stalls a mutation for long.
+  // 100ms ticks: small batches keep the writer-lock hold short, so scrubbing
+  // never stalls a mutation for long (readers are unaffected either way —
+  // they pin epochs, not locks).
   const int batch = std::max(1, pages_per_sec / 10);
   size_t table_idx = 0;
   storage::PageId next_page = 0;
@@ -570,15 +809,16 @@ void XmlStore::ScrubberLoop(int pages_per_sec) {
       });
     }
     if (scrub_stop_.load(std::memory_order_acquire)) return;
-    // The snapshot holds commit_mu_ shared: no flush can rewrite a page
-    // under the verifying read, so a CRC mismatch is real disk rot.
-    ReadSnapshot snap = BeginRead();
+    // Holding write_mu_ excludes Flush: no write can land between the
+    // disk read and the CRC check, so a mismatch is real disk rot.
+    std::lock_guard<std::mutex> lock(write_mu_);
     ScrubBatch(batch, &table_idx, &next_page);
   }
 }
 
 XmlStore::ScrubStats XmlStore::ScrubAll() const {
-  ReadSnapshot snap = BeginRead();
+  // See ScrubberLoop: the writer lock keeps the CRC probe honest.
+  std::lock_guard<std::mutex> lock(write_mu_);
   ScrubStats stats;
   for (storage::Table* table : {xml_table_, doc_table_}) {
     storage::Pager* pager = table->mutable_pager();
@@ -645,9 +885,10 @@ void XmlStore::BindHandles() {
   metrics_->SetCallbackGauge("netmark_storage_recovery_pages_applied", {}, [this] {
     return static_cast<double>(db_->recovery_stats().pages_applied);
   });
-  // Snapshot-isolation view of the serving path (docs/serving.md).
+  // Snapshot-isolation view of the serving path (docs/serving.md,
+  // docs/mvcc.md).
   metrics_->SetCallbackGauge("netmark_snapshot_epoch", {}, [this] {
-    return static_cast<double>(commit_epoch_.load(std::memory_order_relaxed));
+    return static_cast<double>(db_->commit_epoch());
   });
   metrics_->SetCallbackGauge("netmark_snapshot_active_readers", {}, [this] {
     return static_cast<double>(active_readers_.load(std::memory_order_relaxed));
@@ -656,6 +897,16 @@ void XmlStore::BindHandles() {
     int64_t last = last_commit_micros_.load(std::memory_order_relaxed);
     if (last == 0) return 0.0;
     return static_cast<double>(netmark::MonotonicMicros() - last) / 1e6;
+  });
+  // MVCC version lifecycle (docs/mvcc.md).
+  metrics_->SetCallbackGauge("netmark_mvcc_versions_retained", {}, [this] {
+    return static_cast<double>(db_->retained_versions());
+  });
+  metrics_->SetCallbackGauge("netmark_mvcc_oldest_pinned_epoch", {}, [this] {
+    return static_cast<double>(OldestPinnedEpoch());
+  });
+  metrics_->SetCallbackCounter("netmark_mvcc_gc_reclaimed_total", {}, [this] {
+    return db_->versions_reclaimed();
   });
   // Disk-fault containment (docs/durability.md). Scrub totals live in
   // atomics (the scrubber thread must not race a BindMetrics re-home), so
@@ -701,14 +952,15 @@ netmark::Result<std::vector<RowId>> XmlStore::TextScanMatch(
     const textindex::TextQuery& query) const {
   std::vector<RowId> out;
   if (query.empty()) return out;
-  NETMARK_RETURN_NOT_OK(
-      xml_table_->Scan([&](RowId id, const Row& row) -> netmark::Status {
+  NETMARK_RETURN_NOT_OK(xml_table_->Scan(
+      [&](RowId id, const Row& row) -> netmark::Status {
         NETMARK_ASSIGN_OR_RETURN(NodeRecord rec, NodeRecord::FromRow(row));
         if (rec.is_text() && textindex::Matches(query, rec.node_data)) {
           out.push_back(id);
         }
         return netmark::Status::OK();
-      }));
+      },
+      ResolveReadEpoch()));
   return out;
 }
 

@@ -9,13 +9,13 @@
 #ifndef NETMARK_XMLSTORE_XML_STORE_H_
 #define NETMARK_XMLSTORE_XML_STORE_H_
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <set>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -36,40 +36,39 @@ namespace netmark::xmlstore {
 
 /// \brief Schema-less document store over the relational engine.
 ///
-/// Mutators (InsertDocument / InsertPrepared / DeleteDocument / Flush /
-/// Checkpoint) take the commit lock exclusively, so the HTTP PUT path, the
-/// ingestion daemon's writer stage, and a checkpointer may run concurrently.
+/// MVCC serving (docs/mvcc.md): the storage layer runs in multi-version
+/// mode — every commit publishes an immutable, epoch-tagged version set of
+/// its pages. Mutators (InsertDocument / InsertPrepared / DeleteDocument /
+/// Flush / Checkpoint) serialize on a plain writer mutex; readers never
+/// touch it. BeginRead() pins the current commit epoch in a wait-free slot
+/// table and every read issued while the snapshot is held resolves pages,
+/// index candidates, and text hits as of that epoch — queries never observe
+/// a half-committed document, never block a writer, and never wait for one.
+/// A background GC reclaims page versions once no snapshot pins them.
+///
 /// Each document mutation is one write-ahead-log transaction: its XML + DOC
 /// rows (and therefore the text-index postings, which are rebuilt from those
 /// rows after a crash) land atomically or not at all.
-///
-/// Readers pin a consistent view with BeginRead(): the returned ReadSnapshot
-/// holds the commit lock shared, so many queries overlap each other freely
-/// while mutations and checkpoints wait — queries never observe a
-/// half-committed document or race a checkpoint (the serving path's snapshot
-/// isolation; see docs/serving.md).
 class XmlStore {
  public:
   /// \brief RAII token pinning a consistent read view of the store.
   ///
-  /// While alive, no mutation or checkpoint can commit (shared commit lock);
-  /// every read issued through the owning store observes the same epoch.
-  /// Movable, not copyable; cheap to take (one shared-mutex acquisition).
-  /// Do NOT call BeginRead() again while already holding one on the same
-  /// thread — recursive shared_mutex acquisition is undefined; pass the
-  /// snapshot down instead.
+  /// BeginRead() pins the current commit epoch in a wait-free slot table —
+  /// no lock is taken, so held snapshots never block mutations, checkpoints,
+  /// or each other; version GC simply retains every page version the pinned
+  /// epoch can see. Re-entrant: a nested BeginRead() on the same thread
+  /// shares the outer pin (same epoch), so helpers may defensively take
+  /// their own snapshot. Thread-affine: release (destroy) the snapshot on
+  /// the thread that created it. Movable, not copyable.
   class ReadSnapshot {
    public:
     ReadSnapshot() = default;
     ReadSnapshot(ReadSnapshot&& other) noexcept
-        : store_(std::exchange(other.store_, nullptr)),
-          lock_(std::move(other.lock_)),
-          epoch_(other.epoch_) {}
+        : store_(std::exchange(other.store_, nullptr)), epoch_(other.epoch_) {}
     ReadSnapshot& operator=(ReadSnapshot&& other) noexcept {
       if (this != &other) {
         Release();
         store_ = std::exchange(other.store_, nullptr);
-        lock_ = std::move(other.lock_);
         epoch_ = other.epoch_;
       }
       return *this;
@@ -85,28 +84,27 @@ class XmlStore {
 
    private:
     friend class XmlStore;
-    ReadSnapshot(const XmlStore* store, std::shared_lock<std::shared_mutex> lock,
-                 uint64_t epoch)
-        : store_(store), lock_(std::move(lock)), epoch_(epoch) {}
+    ReadSnapshot(const XmlStore* store, uint64_t epoch)
+        : store_(store), epoch_(epoch) {}
     void Release();
 
     const XmlStore* store_ = nullptr;
-    std::shared_lock<std::shared_mutex> lock_;
     uint64_t epoch_ = 0;
   };
 
   /// Pins a consistent view for a batch of reads (see ReadSnapshot).
   ReadSnapshot BeginRead() const;
 
-  /// Commit epoch: bumped once per committed insert/delete. A reader that
-  /// sees the same epoch across two snapshots saw identical store contents.
-  uint64_t commit_epoch() const {
-    return commit_epoch_.load(std::memory_order_acquire);
-  }
+  /// Commit epoch: bumped once per committed mutation (storage epoch 0 is
+  /// the state at Open). A reader that sees the same epoch across two
+  /// snapshots saw identical store contents.
+  uint64_t commit_epoch() const { return db_->commit_epoch(); }
+
   /// Opens (creating on first use) a store under `dir`. The fixed two-table
   /// schema is created exactly once; reopening rebuilds the text index from
   /// the stored nodes. `storage` selects the durability mode (WAL on by
-  /// default; crash recovery runs inside storage::Database::Open).
+  /// default; crash recovery runs inside storage::Database::Open). The
+  /// storage layer always runs in MVCC mode under the XML store.
   static netmark::Result<std::unique_ptr<XmlStore>> Open(
       const std::string& dir, xml::NodeTypeConfig node_types = xml::NodeTypeConfig::Default(),
       const storage::StorageOptions& storage = {});
@@ -142,6 +140,10 @@ class XmlStore {
   netmark::Result<xml::Document> ReconstructSubtree(storage::RowId node) const;
 
   // --- Node access ---
+  //
+  // Every read method resolves its storage epoch from the calling thread's
+  // innermost live ReadSnapshot on this store (writer-latest when none is
+  // held), so signatures stay epoch-free.
 
   /// Fetches one node row by physical address — the O(1) hop everything
   /// else builds on.
@@ -170,10 +172,13 @@ class XmlStore {
 
   // --- Text index ---
 
-  /// The positional inverted index over TEXT-node contents.
+  /// The positional inverted index over TEXT-node contents. Writer-latest
+  /// (not versioned): snapshot readers must re-verify every hit against the
+  /// store at their epoch (the query executor does).
   const textindex::InvertedIndex& text_index() const { return text_index_; }
 
-  /// All TEXT-node RowIds whose content contains `term`.
+  /// All TEXT-node RowIds whose content contains `term` (writer-latest; see
+  /// text_index()).
   std::vector<storage::RowId> TextLookup(std::string_view term) const;
 
   /// Full scan fallback (for the index-ablation benchmark): TEXT-node RowIds
@@ -202,6 +207,24 @@ class XmlStore {
   /// Group commit: fsyncs the log once for a whole ingestion batch (no-op
   /// unless `wal_fsync = batch`). The daemon calls this at sweep end.
   netmark::Status SyncWal();
+
+  // --- MVCC version GC (docs/mvcc.md) -------------------------------------
+
+  /// One synchronous version-GC pass: drops page versions and applies
+  /// sealed index/posting removals that no live snapshot can still see.
+  /// The background GC thread (`[storage] mvcc_gc_interval_ms`) runs this
+  /// on a timer; tests and the CLI may call it directly. Returns the number
+  /// of page versions reclaimed.
+  uint64_t RunVersionGc();
+
+  /// Oldest epoch any live snapshot pins (the current epoch when none do) —
+  /// the GC watermark, exported as netmark_mvcc_oldest_pinned_epoch.
+  uint64_t OldestPinnedEpoch() const;
+
+  /// Published page versions currently retained across both tables.
+  uint64_t mvcc_versions_retained() const { return db_->retained_versions(); }
+  /// Total page versions dropped by GC or the retention cap.
+  uint64_t mvcc_versions_reclaimed() const { return db_->versions_reclaimed(); }
 
   // --- Disk-fault containment (docs/durability.md) ------------------------
 
@@ -244,33 +267,93 @@ class XmlStore {
   void NoteQuarantinedDoc(int64_t doc_id) const;
 
   /// Re-homes the store's durability metrics (netmark_wal_* /
-  /// netmark_checkpoint_* / recovery gauges) onto `registry`.
+  /// netmark_checkpoint_* / recovery / mvcc gauges) onto `registry`.
   void BindMetrics(observability::MetricsRegistry* registry);
   observability::MetricsRegistry* metrics() const { return metrics_; }
 
-  /// Stops the background scrubber (if running) before tearing down the
-  /// database.
+  /// Stops the background GC and scrubber threads (if running) before
+  /// tearing down the database.
   ~XmlStore();
 
  private:
+  /// Reader pin slots: lock-free fast path for up to kPinSlots concurrent
+  /// snapshots; the rest spill into a mutex-guarded multiset.
+  static constexpr size_t kPinSlots = 256;
+  /// ReadSnapshot pin bookkeeping: epoch was pinned in the overflow
+  /// multiset rather than a slot.
+  static constexpr int kOverflowSlot = -1;
+
+  /// RAII: registers the calling thread as the writer for the scope, so
+  /// internal reads (DocumentNodes during a delete, the purge after a
+  /// failed commit) resolve to storage::kWriterEpoch and see the open
+  /// transaction's uncommitted writes.
+  class WriterView {
+   public:
+    explicit WriterView(const XmlStore* store);
+    ~WriterView();
+    WriterView(const WriterView&) = delete;
+    WriterView& operator=(const WriterView&) = delete;
+
+   private:
+    const XmlStore* store_;
+  };
+
+  /// One deferred text-index posting removal: queued at delete time, sealed
+  /// with the commit epoch, applied once the GC watermark passes it — so
+  /// snapshot readers keep resolving old text hits until no one needs them.
+  struct PendingTextRemoval {
+    textindex::DocKey key;
+    std::string text;
+    storage::Epoch sealed_epoch = 0;
+    bool sealed = false;
+  };
+
   XmlStore(std::unique_ptr<storage::Database> db, xml::NodeTypeConfig node_types)
-      : db_(std::move(db)), node_types_(std::move(node_types)) {}
+      : db_(std::move(db)), node_types_(std::move(node_types)) {
+    for (auto& slot : pin_slots_) slot.store(0, std::memory_order_relaxed);
+  }
 
   netmark::Status EnsureTables();
   netmark::Status RebuildTextIndex();
   textindex::SnapshotToken CurrentToken() const;
-  /// Insert body (commit_mu_ held exclusively, transaction open).
+  /// Insert body (write_mu_ held, transaction open).
   netmark::Result<int64_t> InsertPreparedLocked(const PreparedDocument& prepared);
-  /// Delete body (commit_mu_ held exclusively, transaction open).
+  /// Delete body (write_mu_ held, transaction open).
   netmark::Status DeleteDocumentLocked(int64_t doc_id);
-  /// Commit + metric deltas + size-triggered checkpoint (commit_mu_ held).
+  /// Commit + publish + metric deltas + size-triggered checkpoint
+  /// (write_mu_ held).
   netmark::Status CommitTransactionLocked();
   netmark::Status CheckpointLocked();
   void BindHandles();
   void PublishWalCounters();
+
+  // --- Snapshot pin plumbing (bodies in xml_store.cc, where the
+  // thread-local pin registry lives) --------------------------------------
+
+  /// Storage epoch reads on this thread should use: the innermost live
+  /// ReadSnapshot's pin on this store, kWriterEpoch inside a WriterView
+  /// scope, else kLatestEpoch.
+  storage::Epoch ResolveReadEpoch() const;
+  /// Pins the current commit epoch (claim-recheck protocol; see
+  /// docs/mvcc.md). Returns the epoch; *slot_out gets the slot index or
+  /// kOverflowSlot.
+  uint64_t PinEpoch(int* slot_out) const;
+  void UnpinEpoch(int slot, uint64_t epoch) const;
+  /// Releases the calling thread's innermost pin on this store (possibly
+  /// just a nesting decrement).
+  void EndRead() const;
+  /// Every currently pinned epoch (unsorted, may repeat).
+  std::vector<storage::Epoch> CollectPins() const;
+
+  /// Background GC body: RunVersionGc() every `interval_ms`.
+  void GcLoop(int interval_ms);
+  void DeferTextRemoval(textindex::DocKey key, std::string text);
+  void SealPendingTextRemovals(storage::Epoch epoch);
+  uint64_t ApplyPendingTextRemovals(storage::Epoch watermark);
+
   /// Background scrubber body: verifies ~pages_per_sec pages per second in
-  /// 100ms batches, round-robin across both tables, under a ReadSnapshot so
-  /// it never races a flush.
+  /// 100ms batches, round-robin across both tables, under write_mu_ so it
+  /// never races a flush.
   void ScrubberLoop(int pages_per_sec);
   /// Verifies up to `budget` pages starting at the (table, page) cursor;
   /// advances the cursor and the scrub counters.
@@ -279,12 +362,17 @@ class XmlStore {
   storage::Table* xml_table() const { return xml_table_; }
   storage::Table* doc_table() const { return doc_table_; }
 
-  /// Reader-writer commit lock: mutators and checkpoints hold it exclusive,
-  /// ReadSnapshot holders hold it shared. Readers that skip BeginRead() get
-  /// the old single-writer semantics (safe only against a quiesced store).
-  mutable std::shared_mutex commit_mu_;
-  /// Bumped once per committed mutation (under exclusive commit_mu_).
-  std::atomic<uint64_t> commit_epoch_{0};
+  /// Writer lock: mutators, checkpoints, and the scrubber's disk probes
+  /// serialize on it. Readers never take it — they pin epochs instead
+  /// (the commit lock this replaces is gone; docs/mvcc.md).
+  mutable std::mutex write_mu_;
+
+  /// Wait-free reader pin table: 0 = free, else pinned epoch + 1.
+  mutable std::array<std::atomic<uint64_t>, kPinSlots> pin_slots_;
+  /// Spill for more than kPinSlots concurrent snapshots (rare).
+  mutable std::mutex pin_overflow_mu_;
+  mutable std::multiset<uint64_t> pin_overflow_;
+
   /// MonotonicMicros of the last commit (or Open) — the snapshot-age gauge.
   std::atomic<int64_t> last_commit_micros_{0};
   /// Live ReadSnapshot count (netmark_snapshot_active_readers gauge).
@@ -298,6 +386,16 @@ class XmlStore {
   std::string snapshot_path_;
   int64_t next_doc_id_ = 1;
   int64_t next_node_id_ = 1;
+
+  /// Deferred text-index removals (writer queues/seals, GC applies).
+  std::mutex pending_text_mu_;
+  std::vector<PendingTextRemoval> pending_text_removals_;
+
+  /// Background version GC (interval from `[storage] mvcc_gc_interval_ms`).
+  std::thread gc_thread_;
+  std::atomic<bool> gc_stop_{false};
+  std::mutex gc_mu_;
+  std::condition_variable gc_cv_;
 
   /// Private fallback registry so a standalone store works unwired; the
   /// facade rebinds onto its own registry via BindMetrics().

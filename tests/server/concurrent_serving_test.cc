@@ -21,6 +21,8 @@
 #include "core/netmark.h"
 #include "server/http_client.h"
 #include "server/http_server.h"
+#include "xml/serializer.h"
+#include "xmlstore/xml_store.h"
 
 namespace netmark::server {
 namespace {
@@ -78,8 +80,9 @@ TEST(ConcurrentServingTest, SnapshotReadsStayConsistentUnderIngestion) {
   std::atomic<uint64_t> reads_ok{0};
 
   // Writer: replaces the beacon document (delete + insert inside one
-  // commit each) and checkpoints periodically — both exclusive lock holds
-  // the readers' snapshots must serialize against.
+  // commit each) and checkpoints periodically. Readers never serialize
+  // against either — they pin an MVCC epoch (docs/mvcc.md), so this is a
+  // pure snapshot-consistency probe, not a lock-fairness one.
   std::thread writer([&] {
     HttpClient client("127.0.0.1", port);
     int k = 1;
@@ -133,6 +136,146 @@ TEST(ConcurrentServingTest, SnapshotReadsStayConsistentUnderIngestion) {
 
   EXPECT_EQ(inconsistencies.load(), 0);
   EXPECT_GT(reads_ok.load(), 0u);
+  (*nm)->StopServer();
+}
+
+// Old-epoch case (docs/mvcc.md): a snapshot pinned before a burst of
+// HTTP-ingested replacements, version-GC passes, and checkpoints must keep
+// serving byte-identical documents, while unpinned HTTP readers see the
+// newest beacon. Releasing the pin lets GC reclaim the history.
+TEST(ConcurrentServingTest, OldEpochSnapshotServesIdenticalBytesUnderIngestion) {
+  auto dir = TempDir::Make("serving_old_epoch");
+  ASSERT_TRUE(dir.ok());
+  NetmarkOptions options;
+  options.data_dir = dir->Sub("data").string();
+  auto nm = Netmark::Open(options);
+  ASSERT_TRUE(nm.ok());
+  ASSERT_TRUE((*nm)->StartServer().ok());
+  uint16_t port = (*nm)->server_port();
+  xmlstore::XmlStore* store = (*nm)->store();
+
+  HttpClient client("127.0.0.1", port);
+  auto seeded = client.Put("/docs/stress.xml", BeaconDoc(0), "text/xml");
+  ASSERT_TRUE(seeded.ok());
+  ASSERT_EQ(seeded->status, 201);
+
+  // Pin the epoch of beacon revision 0 and freeze its exact bytes.
+  auto pin = store->BeginRead();
+  auto docs = store->ListDocuments();
+  ASSERT_TRUE(docs.ok());
+  ASSERT_EQ(docs->size(), 1u);
+  int64_t doc_id = docs->front().doc_id;
+  auto frozen_doc = store->Reconstruct(doc_id);
+  ASSERT_TRUE(frozen_doc.ok()) << frozen_doc.status().ToString();
+  const std::string frozen = xml::Serialize(*frozen_doc);
+
+  // Churn: each PUT is a delete+insert commit that rewrites the beacon's
+  // pages; GC and checkpoints interleave.
+  for (int k = 1; k <= 25; ++k) {
+    auto put = client.Put("/docs/stress.xml", BeaconDoc(k), "text/xml");
+    ASSERT_TRUE(put.ok()) << put.status().ToString();
+    if (k % 5 == 0) {
+      store->RunVersionGc();
+      ASSERT_TRUE(store->Checkpoint().ok());
+    }
+  }
+
+  // The pinned view is byte-identical to revision 0 even though that
+  // document was deleted 25 commits ago...
+  auto old_doc = store->Reconstruct(doc_id);
+  ASSERT_TRUE(old_doc.ok()) << old_doc.status().ToString();
+  EXPECT_EQ(xml::Serialize(*old_doc), frozen);
+  // ...while an unpinned HTTP reader gets the newest beacon.
+  auto latest = client.Get("/xdb?content=beacon");
+  ASSERT_TRUE(latest.ok());
+  ASSERT_EQ(latest->status, 200);
+  EXPECT_EQ(MarkerAfter(latest->body, "BEGIN"), 25);
+  EXPECT_EQ(MarkerAfter(latest->body, "END"), 25);
+
+  pin = xmlstore::XmlStore::ReadSnapshot();  // release
+  store->RunVersionGc();
+  EXPECT_GT(store->mvcc_versions_reclaimed(), 0u);
+  (*nm)->StopServer();
+}
+
+// GC-pressure case: an aggressive version-GC hammer plus a pin-churning
+// thread race the serving path. GC must never reclaim a version a live
+// HTTP read still needs — torn or vanishing beacons fail the test.
+TEST(ConcurrentServingTest, SnapshotReadsStayConsistentUnderGcPressure) {
+  auto dir = TempDir::Make("serving_gc_pressure");
+  ASSERT_TRUE(dir.ok());
+  NetmarkOptions options;
+  options.data_dir = dir->Sub("data").string();
+  options.http_server.worker_threads = 4;
+  // Disable the background GC thread: the hammer below owns the cadence,
+  // so every reclaim races a read at the worst possible moment.
+  options.storage.mvcc_gc_interval_ms = 0;
+  auto nm = Netmark::Open(options);
+  ASSERT_TRUE(nm.ok());
+  ASSERT_TRUE((*nm)->StartServer().ok());
+  uint16_t port = (*nm)->server_port();
+  xmlstore::XmlStore* store = (*nm)->store();
+
+  HttpClient seed_client("127.0.0.1", port);
+  auto seeded = seed_client.Put("/docs/stress.xml", BeaconDoc(0), "text/xml");
+  ASSERT_TRUE(seeded.ok());
+  ASSERT_EQ(seeded->status, 201);
+
+  const int64_t duration_ms = EnvInt("NETMARK_SERVING_STRESS_MS", 1500) / 2;
+  std::atomic<bool> stop{false};
+  std::atomic<int> inconsistencies{0};
+  std::atomic<uint64_t> reads_ok{0};
+
+  std::thread writer([&] {
+    HttpClient client("127.0.0.1", port);
+    int k = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto put = client.Put("/docs/stress.xml", BeaconDoc(k++), "text/xml");
+      ASSERT_TRUE(put.ok()) << put.status().ToString();
+    }
+  });
+  std::thread gc_hammer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      store->RunVersionGc();
+    }
+  });
+  // Holds short-lived direct pins so the GC watermark keeps jumping
+  // backwards and forwards under the hammer.
+  std::thread pin_churn([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto snap = store->BeginRead();
+      std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      HttpClient client("127.0.0.1", port);
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto resp = client.Get("/xdb?content=beacon");
+        if (!resp.ok() || resp->status != 200) continue;
+        reads_ok.fetch_add(1, std::memory_order_relaxed);
+        int begin = MarkerAfter(resp->body, "BEGIN");
+        int end = MarkerAfter(resp->body, "END");
+        if (begin != end) {
+          inconsistencies.fetch_add(1);
+          ADD_FAILURE() << "torn read under GC pressure: BEGIN" << begin
+                        << " vs END" << end;
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop.store(true);
+  writer.join();
+  gc_hammer.join();
+  pin_churn.join();
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(inconsistencies.load(), 0);
+  EXPECT_GT(reads_ok.load(), 0u);
+  EXPECT_GT(store->mvcc_versions_reclaimed(), 0u);
   (*nm)->StopServer();
 }
 

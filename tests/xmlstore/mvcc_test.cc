@@ -1,0 +1,270 @@
+// MVCC snapshot tests (docs/mvcc.md). The suite name carries "Mvcc" on
+// purpose: the CI TSan job selects it by regex, so every test here doubles
+// as a data-race probe for the pin/commit/GC/checkpoint interleavings.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/temp_dir.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xmlstore/xml_store.h"
+
+namespace netmark::xmlstore {
+namespace {
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoll(value, nullptr, 10);
+}
+
+std::string BeaconMarkup(int k) {
+  std::string id = std::to_string(k);
+  return "<document>"
+         "<context>BEGIN" + id + "</context>"
+         "<content>beacon payload revision " + id + "</content>"
+         "<context>END" + id + "</context>"
+         "</document>";
+}
+
+class XmlStoreMvccTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = TempDir::Make("mvcc");
+    ASSERT_TRUE(dir.ok());
+    dir_ = std::make_unique<TempDir>(std::move(*dir));
+    OpenStore();
+  }
+  void OpenStore(const storage::StorageOptions& storage = {}) {
+    store_.reset();
+    auto store = XmlStore::Open(dir_->str(), xml::NodeTypeConfig::Default(),
+                                storage);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    store_ = std::move(*store);
+  }
+  int64_t Insert(const std::string& markup,
+                 const std::string& name = "beacon.xml") {
+    auto doc = xml::ParseXml(markup);
+    EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+    DocumentInfo info;
+    info.file_name = name;
+    info.file_date = 1118700000;
+    info.file_size = static_cast<int64_t>(markup.size());
+    auto id = store_->InsertDocument(*doc, info);
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+    return *id;
+  }
+  std::string Render(int64_t doc_id) {
+    auto doc = store_->Reconstruct(doc_id);
+    EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+    return xml::Serialize(*doc);
+  }
+
+  std::unique_ptr<TempDir> dir_;
+  std::unique_ptr<XmlStore> store_;
+};
+
+// Satellite regression for the old commit-lock recursion hazard: BeginRead()
+// used to self-deadlock when a reader helper defensively pinned its own
+// snapshot. Nested pins on one thread must now share the outer epoch and
+// release without leaking a pin slot.
+TEST_F(XmlStoreMvccTest, NestedSnapshotsShareEpochAndReleaseCleanly) {
+  Insert(BeaconMarkup(1));
+  {
+    auto outer = store_->BeginRead();
+    // A commit between the two pins must NOT leak into the nested view.
+    Insert(BeaconMarkup(2), "beacon2.xml");
+    auto inner = store_->BeginRead();
+    EXPECT_EQ(inner.epoch(), outer.epoch());
+    EXPECT_LT(inner.epoch(), store_->commit_epoch());
+    {
+      auto third = store_->BeginRead();
+      EXPECT_EQ(third.epoch(), outer.epoch());
+    }
+    // Inner releases don't drop the outer pin: the GC watermark stays at
+    // the pinned epoch while `outer` is alive.
+    EXPECT_EQ(store_->OldestPinnedEpoch(), outer.epoch());
+  }
+  // All pins gone: the watermark catches up to the current commit epoch and
+  // a fresh snapshot sees the latest data.
+  EXPECT_EQ(store_->OldestPinnedEpoch(), store_->commit_epoch());
+  auto fresh = store_->BeginRead();
+  EXPECT_EQ(fresh.epoch(), store_->commit_epoch());
+  EXPECT_EQ(store_->document_count(), 2u);
+}
+
+// The acceptance bar for the refactor: a reader pinned at epoch E gets
+// byte-identical documents no matter how many commits, GC passes, and
+// checkpoints land after the pin — including deletion of the very document
+// it is reading.
+TEST_F(XmlStoreMvccTest, PinnedReaderStaysByteIdenticalUnderWritesGcCheckpoint) {
+  int64_t doc_a = Insert(BeaconMarkup(1));
+  auto pin = store_->BeginRead();
+  const std::string frozen = Render(doc_a);
+
+  ASSERT_TRUE(store_->DeleteDocument(doc_a).ok());
+  for (int k = 2; k < 20; ++k) {
+    Insert(BeaconMarkup(k), "beacon" + std::to_string(k) + ".xml");
+    if (k % 5 == 0) {
+      store_->RunVersionGc();
+      ASSERT_TRUE(store_->Checkpoint().ok());
+    }
+  }
+  store_->RunVersionGc();
+
+  // Still pinned: every byte of the deleted document is reproducible.
+  EXPECT_EQ(Render(doc_a), frozen);
+  EXPECT_EQ(pin.epoch(), store_->OldestPinnedEpoch());
+  pin = XmlStore::ReadSnapshot();  // release
+
+  // Unpinned, the deletion is visible and GC may reclaim the history.
+  store_->RunVersionGc();
+  EXPECT_FALSE(store_->Reconstruct(doc_a).ok());
+  EXPECT_GT(store_->mvcc_versions_reclaimed(), 0u);
+}
+
+// Version GC respects pins: history needed by a live snapshot survives a GC
+// pass, and is reclaimed once the snapshot releases.
+TEST_F(XmlStoreMvccTest, GcRetainsPinnedHistoryAndReclaimsAfterRelease) {
+  int64_t doc_a = Insert(BeaconMarkup(1));
+  const std::string frozen = [&] {
+    auto s = store_->BeginRead();
+    return Render(doc_a);
+  }();
+
+  auto pin = store_->BeginRead();
+  ASSERT_TRUE(store_->DeleteDocument(doc_a).ok());
+  Insert(BeaconMarkup(2), "beacon2.xml");
+
+  uint64_t before = store_->mvcc_versions_retained();
+  store_->RunVersionGc();
+  // The pinned epoch's versions must survive the pass; the pinned read still
+  // reproduces the original bytes.
+  EXPECT_EQ(Render(doc_a), frozen);
+
+  pin = XmlStore::ReadSnapshot();  // release the pin
+  store_->RunVersionGc();
+  EXPECT_LT(store_->mvcc_versions_retained(), before);
+  EXPECT_GT(store_->mvcc_versions_reclaimed(), 0u);
+}
+
+// The retention cap is a hard bound enforced at publish time: a reader
+// pinned before the surviving window gets SnapshotTooOld, never silently
+// wrong bytes.
+TEST_F(XmlStoreMvccTest, RetentionCapTurnsStalePinsIntoSnapshotTooOld) {
+  storage::StorageOptions opts;
+  opts.mvcc_max_retained_versions = 1;
+  opts.mvcc_gc_interval_ms = 0;  // only the cap reclaims here
+  OpenStore(opts);
+
+  int64_t doc_a = Insert(BeaconMarkup(1));
+  auto pin = store_->BeginRead();
+  ASSERT_TRUE(store_->DeleteDocument(doc_a).ok());
+  for (int k = 2; k < 6; ++k) {
+    Insert(BeaconMarkup(k), "beacon" + std::to_string(k) + ".xml");
+  }
+
+  // The delete republished the document's pages and the cap (1) dropped the
+  // pinned version, so the stale read must fail loudly.
+  auto doc = store_->Reconstruct(doc_a);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_TRUE(doc.status().IsSnapshotTooOld()) << doc.status().ToString();
+
+  pin = XmlStore::ReadSnapshot();
+  // A fresh snapshot is unaffected by the cap.
+  auto fresh = store_->BeginRead();
+  EXPECT_EQ(store_->document_count(), 4u);
+}
+
+// TSan workhorse: wait-free pin/unpin churn racing committed mutations, the
+// version GC, and checkpoints. Readers assert snapshot consistency — every
+// document listed under a pin reconstructs fully and its BEGIN/END markers
+// match (a torn read would mix revisions or hit NotFound mid-snapshot).
+TEST_F(XmlStoreMvccTest, MvccPinsCommitsGcAndCheckpointsRaceCleanly) {
+  const int64_t duration_ms = EnvInt("NETMARK_MVCC_STRESS_MS", 400);
+  Insert(BeaconMarkup(0));
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+
+  std::thread writer([&] {
+    int k = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto docs = store_->ListDocuments();
+      if (docs.ok() && !docs->empty()) {
+        ASSERT_TRUE(store_->DeleteDocument(docs->front().doc_id).ok());
+      }
+      Insert(BeaconMarkup(k++));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::thread gc([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      store_->RunVersionGc();
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  std::thread checkpointer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      ASSERT_TRUE(store_->Checkpoint().ok());
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto snap = store_->BeginRead();
+        auto docs = store_->ListDocuments();
+        if (!docs.ok()) {
+          torn.fetch_add(1);
+          continue;
+        }
+        for (const auto& rec : *docs) {
+          auto doc = store_->Reconstruct(rec.doc_id);
+          if (!doc.ok()) {  // listed under this pin => must reconstruct
+            torn.fetch_add(1);
+            continue;
+          }
+          std::string xml = xml::Serialize(*doc);
+          auto begin = xml.find("BEGIN");
+          auto end = xml.find("END");
+          if (begin == std::string::npos || end == std::string::npos ||
+              xml.substr(begin + 5, xml.find('<', begin) - begin - 5) !=
+                  xml.substr(end + 3, xml.find('<', end) - end - 3)) {
+            torn.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  // Pure pin churn: stresses the slot CAS against the GC's pin scan without
+  // ever reading a page.
+  std::thread churn([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto a = store_->BeginRead();
+      auto b = store_->BeginRead();  // nested: shares a's epoch
+      ASSERT_EQ(a.epoch(), b.epoch());
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  gc.join();
+  checkpointer.join();
+  churn.join();
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(torn.load(), 0) << "readers observed torn or vanishing snapshots";
+  // The store survives the churn in a committed, queryable state.
+  EXPECT_EQ(store_->document_count(), 1u);
+}
+
+}  // namespace
+}  // namespace netmark::xmlstore

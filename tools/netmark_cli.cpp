@@ -70,7 +70,9 @@ int Usage() {
                "INI section via --config): --wal on|off, --fsync\n"
                "commit|batch|none, --checkpoint-bytes N; INI-only:\n"
                "page_checksums on|off, scrub_pages_per_sec N,\n"
-               "on_fsync_error degrade|abort (docs/durability.md)\n"
+               "on_fsync_error degrade|abort (docs/durability.md),\n"
+               "mvcc_gc_interval_ms N, mvcc_max_retained_versions N\n"
+               "(docs/mvcc.md)\n"
                "NETMARK_DISK_FAULT=kind:nth injects a deterministic disk fault\n"
                "(read_eio|write_eio|write_enospc|write_short|write_torn|"
                "fsync_fail)\n"
@@ -131,6 +133,13 @@ Status ApplyStorageFlags(const Args& args, storage::StorageOptions* storage) {
     }
     storage->scrub_pages_per_sec = static_cast<int>(config.GetIntOr(
         "storage", "scrub_pages_per_sec", storage->scrub_pages_per_sec));
+    // MVCC version lifecycle (docs/mvcc.md): GC cadence and the per-page
+    // retention bound (0 = unlimited; capped readers get SnapshotTooOld).
+    storage->mvcc_gc_interval_ms = static_cast<int>(config.GetIntOr(
+        "storage", "mvcc_gc_interval_ms", storage->mvcc_gc_interval_ms));
+    storage->mvcc_max_retained_versions = static_cast<int>(config.GetIntOr(
+        "storage", "mvcc_max_retained_versions",
+        storage->mvcc_max_retained_versions));
     auto on_fsync = config.Get("storage", "on_fsync_error");
     if (on_fsync.ok()) {
       if (*on_fsync == "abort") {

@@ -103,6 +103,16 @@ cat "${WORK}/healthz.json"; echo
 grep -q '"status":"ok"' "${WORK}/healthz.json" || fail "healthz status not ok"
 grep -q '"running":true' "${WORK}/healthz.json" || fail "daemon not reported running"
 grep -q '"inserted":1' "${WORK}/healthz.json" || fail "daemon inserted count wrong"
+# MVCC posture (docs/mvcc.md): the ingested document committed, so the epoch
+# must be nonzero, and the version-lifecycle block must be present.
+grep -q '"mvcc":{"epoch":[1-9]' "${WORK}/healthz.json" ||
+  fail "healthz storage.mvcc missing or epoch still zero after ingest"
+grep -q '"versions_retained":' "${WORK}/healthz.json" ||
+  fail "healthz mvcc missing versions_retained"
+grep -q '"oldest_pinned_epoch":' "${WORK}/healthz.json" ||
+  fail "healthz mvcc missing oldest_pinned_epoch"
+grep -q '"gc_reclaimed_total":' "${WORK}/healthz.json" ||
+  fail "healthz mvcc missing gc_reclaimed_total"
 
 echo "== traced query =="
 curl -fsSD "${WORK}/query.headers" "${BASE}/xdb?context=Overview&trace=1" \
@@ -182,6 +192,13 @@ grep -q '^netmark_http_server_open_connections [1-9]' "${WORK}/metrics.txt" ||
   fail "open-connections gauge not exported or zero during a live scrape"
 grep -q '^netmark_http_server_epoll_wakeups_total [1-9]' "${WORK}/metrics.txt" ||
   fail "epoll wakeup counter not exported or zero under reactor=epoll"
+# MVCC gauges (docs/mvcc.md): version retention, GC watermark, reclaim work.
+grep -q '^netmark_mvcc_versions_retained ' "${WORK}/metrics.txt" ||
+  fail "missing netmark_mvcc_versions_retained gauge"
+grep -q '^netmark_mvcc_oldest_pinned_epoch [1-9]' "${WORK}/metrics.txt" ||
+  fail "mvcc oldest-pinned-epoch gauge missing or zero after ingest"
+grep -q '^# TYPE netmark_mvcc_gc_reclaimed_total counter' "${WORK}/metrics.txt" ||
+  fail "missing mvcc gc reclaim counter TYPE line"
 # Exemplar: at least one latency bucket links to a retained trace id.
 grep -q '_bucket{le="[^"]*"} [0-9]* # {trace_id="[0-9a-f]\{32\}"}' \
   "${WORK}/metrics.txt" || fail "no histogram exemplar on /metrics"
